@@ -1,0 +1,62 @@
+//! Per-dimension similarity-graph construction cost — the pairwise
+//! similarity the paper identifies as the expensive part (§VI Overhead),
+//! here bounded by the inverted-index candidate generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smash_bench::medium_scenario;
+use smash_core::baseline::ReputationBaseline;
+use smash_core::dimensions::{
+    ClientDimension, Dimension, DimensionContext, IpSetDimension, ParamPatternDimension,
+    TimingDimension, UriFileDimension, WhoisDimension,
+};
+use smash_core::preprocess::filter_popular;
+use smash_core::SmashConfig;
+use std::collections::HashMap;
+
+fn bench_dimensions(c: &mut Criterion) {
+    let data = medium_scenario();
+    let config = SmashConfig::default();
+    let pre = filter_popular(&data.dataset, config.idf_threshold);
+    let nodes = pre.kept;
+    let node_of: HashMap<u32, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    let ctx = DimensionContext {
+        dataset: &data.dataset,
+        whois: &data.whois,
+        config: &config,
+        nodes: &nodes,
+        node_of: &node_of,
+    };
+    let mut g = c.benchmark_group("dimension-graphs");
+    g.bench_function("client", |b| b.iter(|| ClientDimension.build_graph(&ctx)));
+    g.bench_function("uri_file", |b| b.iter(|| UriFileDimension.build_graph(&ctx)));
+    g.bench_function("ip_set", |b| b.iter(|| IpSetDimension.build_graph(&ctx)));
+    g.bench_function("whois", |b| b.iter(|| WhoisDimension.build_graph(&ctx)));
+    g.bench_function("param_pattern", |b| {
+        b.iter(|| ParamPatternDimension.build_graph(&ctx))
+    });
+    g.bench_function("timing", |b| {
+        b.iter(|| TimingDimension::default().build_graph(&ctx))
+    });
+    g.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let data = medium_scenario();
+    c.bench_function("baseline/reputation-score-all", |b| {
+        b.iter(|| ReputationBaseline::default().score_all(&data.dataset))
+    });
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let data = medium_scenario();
+    c.bench_function("preprocess/idf-filter", |b| {
+        b.iter(|| filter_popular(&data.dataset, 200))
+    });
+}
+
+criterion_group!(benches, bench_dimensions, bench_preprocess, bench_baseline);
+criterion_main!(benches);

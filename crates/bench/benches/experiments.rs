@@ -1,0 +1,67 @@
+//! One bench per paper table/figure family: the cost of regenerating
+//! each experiment (generation + pipeline + judging), at the scale the
+//! `repro` binary uses for the single-day experiments and a shrunk week.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smash_core::SmashConfig;
+use smash_eval::experiments::{case_studies, fig3, fig6, fig8, figs910, table1, table4};
+use smash_eval::harness::run_day;
+use smash_synth::{NoiseSpec, Scenario, WeekScenario};
+
+fn bench_single_day_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1-trace-stats", |b| b.iter(|| table1::run(7)));
+    g.bench_function("table4-categories", |b| b.iter(|| table4::run(7)));
+    g.bench_function("table7-bagle", |b| b.iter(|| case_studies::run_bagle(7)));
+    g.bench_function("table8-sality", |b| b.iter(|| case_studies::run_sality(7)));
+    g.bench_function("table9-iframe", |b| b.iter(|| case_studies::run_iframe(7)));
+    g.bench_function("table10-zeus", |b| b.iter(|| case_studies::run_zeus(7)));
+    g.bench_function("fig3-cluster-composition", |b| b.iter(|| fig3::run(7)));
+    g.bench_function("fig6-distributions", |b| b.iter(|| fig6::run(7)));
+    g.bench_function("fig8-dimension-effectiveness", |b| b.iter(|| fig8::run(7)));
+    g.bench_function("fig9-idf", |b| b.iter(|| figs910::run_fig9(7)));
+    g.bench_function("fig10-filename-lengths", |b| b.iter(|| figs910::run_fig10(7)));
+    g.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    // The Table II/III inner loop: one pipeline+judging pass per threshold.
+    let data = Scenario::data2011_day(7).generate();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table2-3-sweep-step", |b| {
+        b.iter(|| run_day(&data, SmashConfig::default().with_threshold(0.8)))
+    });
+    g.bench_function("table11-12-sweep-step", |b| {
+        b.iter(|| run_day(&data, SmashConfig::default().with_single_client_threshold(1.0)))
+    });
+    g.finish();
+}
+
+fn bench_week(c: &mut Criterion) {
+    // The Table V/VI + Fig. 7 substrate: a shrunk week so the bench stays
+    // responsive (the repro binary runs the full one).
+    let mut w = WeekScenario::data2012_week(7);
+    w.days = 2;
+    w.base.n_clients = 200;
+    w.base.n_benign_servers = 600;
+    w.base.mean_client_requests = 15;
+    w.base.noise = NoiseSpec::none();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table5-6-fig7-week-generation", |b| b.iter(|| w.generate()));
+    let week = w.generate();
+    g.bench_function("table5-6-week-day-judging", |b| {
+        b.iter(|| run_day(&week.days[0], SmashConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_day_tables,
+    bench_threshold_sweep,
+    bench_week
+);
+criterion_main!(benches);

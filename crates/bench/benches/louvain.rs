@@ -1,0 +1,35 @@
+//! Louvain scaling: the clustering step that dominates ASH mining.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smash_bench::clique_chain;
+use smash_graph::{connected_components, modularity, Louvain, Partition};
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("louvain");
+    for (cliques, size) in [(10, 10), (50, 10), (100, 20), (200, 25)] {
+        let graph = clique_chain(cliques, size);
+        let nodes = graph.node_count();
+        g.bench_with_input(BenchmarkId::new("clique_chain", nodes), &graph, |b, graph| {
+            b.iter(|| Louvain::new().run(graph));
+        });
+    }
+    g.finish();
+}
+
+fn bench_modularity(c: &mut Criterion) {
+    let graph = clique_chain(100, 20);
+    let partition = Louvain::new().run(&graph);
+    c.bench_function("modularity/2000-nodes", |b| {
+        b.iter(|| modularity(&graph, &partition))
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    let graph = clique_chain(200, 25);
+    c.bench_function("connected_components/5000-nodes", |b| {
+        b.iter(|| -> Partition { connected_components(&graph) })
+    });
+}
+
+criterion_group!(benches, bench_louvain, bench_modularity, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared fixtures for the SMASH criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smash_graph::{Graph, GraphBuilder};
+use smash_synth::{Scenario, ScenarioData};
+
+/// A chain of `cliques` cliques of `size` nodes joined by weak bridges —
+/// the classic Louvain stress shape with a known community structure.
+pub fn clique_chain(cliques: usize, size: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for c in 0..cliques {
+        let base = (c * size) as u32;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_edge(base + i as u32, base + j as u32, 1.0);
+            }
+        }
+        if c + 1 < cliques {
+            b.add_edge(base + size as u32 - 1, base + size as u32, 0.05);
+        }
+    }
+    b.build()
+}
+
+/// The small benchmark scenario (~2k requests).
+pub fn small_scenario() -> ScenarioData {
+    Scenario::small_day(7).generate()
+}
+
+/// The medium benchmark scenario (the Data2011day preset, ~30k requests).
+pub fn medium_scenario() -> ScenarioData {
+    Scenario::data2011_day(7).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_chain_shape() {
+        let g = clique_chain(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 10 + 3);
+    }
+
+    #[test]
+    fn scenarios_generate() {
+        assert!(small_scenario().dataset.record_count() > 0);
+    }
+}

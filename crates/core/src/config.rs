@@ -1,0 +1,309 @@
+//! Pipeline configuration with the paper's published defaults.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A configuration rejected by [`SmashConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid smash configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of the SMASH pipeline.
+///
+/// Defaults are the values the paper selects: IDF threshold 200
+/// (Appendix A), filename-length threshold 25 with cosine 0.8
+/// (Appendix B), φ parameters μ = 4 / σ = 5.5 (§III-C), suspiciousness
+/// threshold 0.8 for multi-client herds and 1.0 for single-client herds
+/// (§V-A), and campaigns of at least two servers.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::SmashConfig;
+///
+/// let cfg = SmashConfig::default()
+///     .with_threshold(1.0)
+///     .with_param_pattern_dimension(true);
+/// assert_eq!(cfg.threshold, 1.0);
+/// assert!(cfg.param_pattern_dimension);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmashConfig {
+    /// IDF popularity cutoff: servers contacted by more distinct clients
+    /// are dropped in preprocessing (paper: 200).
+    pub idf_threshold: usize,
+    /// Filenames longer than this use the charset-cosine similarity
+    /// (paper: 25).
+    pub filename_len_threshold: usize,
+    /// Cosine cutoff for long (obfuscated) filenames (paper: 0.8).
+    pub charset_cosine_threshold: f64,
+    /// Minimum eq. 1 client similarity to create a main-dimension edge.
+    ///
+    /// Two servers sharing one client score (1/|Ci|)·(1/|Cj|): up to 0.25
+    /// when both have just two clients. Keeping such bridge edges lets the
+    /// long tail of rarely-visited servers percolate into campaign herds,
+    /// diluting herd density and killing eq. 9 scores. 0.3 keeps campaign
+    /// cliques (weight ~1) and strongly co-visited pairs while dropping
+    /// every single-shared-client bridge.
+    pub client_edge_min: f64,
+    /// Minimum eq. 7 file similarity to create a URI-file edge.
+    pub file_edge_min: f64,
+    /// Minimum eq. 8 IP-set similarity to create an IP edge.
+    pub ip_edge_min: f64,
+    /// Skip URI files served by more than this many servers (they carry
+    /// no signal — `index.html` is everywhere — and cost O(n²) pairs).
+    pub file_posting_cap: usize,
+    /// Skip clients contacting more than this many servers when counting
+    /// pairs (quadratic-cost guard; the IDF filter already bounds the
+    /// other side).
+    pub client_posting_cap: usize,
+    /// φ location parameter μ (paper: 4).
+    pub mu: f64,
+    /// φ scale parameter σ (paper: 5.5).
+    pub sigma: f64,
+    /// Suspiciousness threshold for multi-client herds (paper sweeps
+    /// 0.5 / 0.8 / 1.0 / 1.5 and selects 0.8).
+    pub threshold: f64,
+    /// Suspiciousness threshold for single-client herds (paper: 1.0).
+    pub single_client_threshold: f64,
+    /// Minimum servers for a reported campaign (paper: 2 — singletons
+    /// cannot be "associated").
+    pub min_campaign_size: usize,
+    /// Louvain seed (visit-order shuffling).
+    pub louvain_seed: u64,
+    /// Enable the URI-file base dimension (on by default; ablation knob).
+    pub uri_file_dimension: bool,
+    /// Enable the IP-set base dimension (on by default; ablation knob).
+    pub ip_set_dimension: bool,
+    /// Enable the Whois base dimension (on by default; ablation knob).
+    pub whois_dimension: bool,
+    /// Enable the paper's proposed URI *parameter pattern* extension
+    /// dimension (§VI) — fixes the Cycbot/FakeAV/Tidserv false negatives.
+    pub param_pattern_dimension: bool,
+    /// Enable the paper's proposed time-based extension dimension (§VI):
+    /// burst-synchronized servers correlate even with every lexical
+    /// feature randomized.
+    pub timing_dimension: bool,
+    /// Minimum activity-histogram cosine for a timing edge.
+    pub timing_edge_min: f64,
+    /// Enable the paper's proposed payload-similarity extension dimension
+    /// (§VI): download servers of one campaign serve the same binary and
+    /// therefore identically-sized responses.
+    pub payload_dimension: bool,
+    /// Enable pruning of redirection/referrer groups (on by default; the
+    /// ablation benches switch it off).
+    pub pruning_enabled: bool,
+}
+
+impl Default for SmashConfig {
+    fn default() -> Self {
+        Self {
+            idf_threshold: 200,
+            filename_len_threshold: 25,
+            charset_cosine_threshold: 0.8,
+            client_edge_min: 0.3,
+            file_edge_min: 0.02,
+            ip_edge_min: 0.1,
+            file_posting_cap: 100,
+            client_posting_cap: 500,
+            mu: 4.0,
+            sigma: 5.5,
+            threshold: 0.8,
+            single_client_threshold: 1.0,
+            min_campaign_size: 2,
+            louvain_seed: 0,
+            uri_file_dimension: true,
+            ip_set_dimension: true,
+            whois_dimension: true,
+            param_pattern_dimension: false,
+            timing_dimension: false,
+            timing_edge_min: 0.8,
+            payload_dimension: false,
+            pruning_enabled: true,
+        }
+    }
+}
+
+impl SmashConfig {
+    /// Sets the multi-client suspiciousness threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "threshold must be non-negative");
+        self.threshold = t;
+        self
+    }
+
+    /// Sets the single-client-herd threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or not finite.
+    pub fn with_single_client_threshold(mut self, t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "threshold must be non-negative");
+        self.single_client_threshold = t;
+        self
+    }
+
+    /// Sets the IDF popularity cutoff.
+    pub fn with_idf_threshold(mut self, n: usize) -> Self {
+        self.idf_threshold = n;
+        self
+    }
+
+    /// Enables/disables one of the three base secondary dimensions —
+    /// the ablation knobs behind the `repro ablation` experiment.
+    pub fn with_base_dimensions(mut self, uri_file: bool, ip_set: bool, whois: bool) -> Self {
+        self.uri_file_dimension = uri_file;
+        self.ip_set_dimension = ip_set;
+        self.whois_dimension = whois;
+        self
+    }
+
+    /// Enables/disables the parameter-pattern extension dimension.
+    pub fn with_param_pattern_dimension(mut self, on: bool) -> Self {
+        self.param_pattern_dimension = on;
+        self
+    }
+
+    /// Enables/disables the time-based extension dimension.
+    pub fn with_timing_dimension(mut self, on: bool) -> Self {
+        self.timing_dimension = on;
+        self
+    }
+
+    /// Enables/disables the payload-similarity extension dimension.
+    pub fn with_payload_dimension(mut self, on: bool) -> Self {
+        self.payload_dimension = on;
+        self
+    }
+
+    /// Enables/disables pruning.
+    pub fn with_pruning(mut self, on: bool) -> Self {
+        self.pruning_enabled = on;
+        self
+    }
+
+    /// Sets the Louvain seed.
+    pub fn with_louvain_seed(mut self, seed: u64) -> Self {
+        self.louvain_seed = seed;
+        self
+    }
+
+    /// Validates field ranges and cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let unit = |name: &str, v: f64| -> Result<(), ConfigError> {
+            if v.is_finite() && (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(ConfigError(format!("{name} must be in [0, 1], got {v}")))
+            }
+        };
+        unit("charset_cosine_threshold", self.charset_cosine_threshold)?;
+        unit("client_edge_min", self.client_edge_min)?;
+        unit("file_edge_min", self.file_edge_min)?;
+        unit("ip_edge_min", self.ip_edge_min)?;
+        unit("timing_edge_min", self.timing_edge_min)?;
+        for (name, v) in [
+            ("threshold", self.threshold),
+            ("single_client_threshold", self.single_client_threshold),
+            ("mu", self.mu),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ConfigError(format!("{name} must be non-negative, got {v}")));
+            }
+        }
+        if !self.sigma.is_finite() || self.sigma <= 0.0 {
+            return Err(ConfigError(format!("sigma must be positive, got {}", self.sigma)));
+        }
+        if self.min_campaign_size < 2 {
+            return Err(ConfigError(format!(
+                "min_campaign_size must be at least 2 (a herd needs associates), got {}",
+                self.min_campaign_size
+            )));
+        }
+        if self.file_posting_cap == 0 || self.client_posting_cap == 0 {
+            return Err(ConfigError("posting caps must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SmashConfig::default();
+        assert_eq!(c.idf_threshold, 200);
+        assert_eq!(c.filename_len_threshold, 25);
+        assert_eq!(c.charset_cosine_threshold, 0.8);
+        assert_eq!(c.mu, 4.0);
+        assert_eq!(c.sigma, 5.5);
+        assert_eq!(c.threshold, 0.8);
+        assert_eq!(c.single_client_threshold, 1.0);
+        assert_eq!(c.min_campaign_size, 2);
+        assert!(!c.param_pattern_dimension);
+        assert!(!c.timing_dimension);
+        assert!(c.pruning_enabled);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SmashConfig::default()
+            .with_threshold(1.5)
+            .with_single_client_threshold(0.5)
+            .with_idf_threshold(50)
+            .with_pruning(false)
+            .with_louvain_seed(9);
+        assert_eq!(c.threshold, 1.5);
+        assert_eq!(c.single_client_threshold, 0.5);
+        assert_eq!(c.idf_threshold, 50);
+        assert!(!c.pruning_enabled);
+        assert_eq!(c.louvain_seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_rejected() {
+        SmashConfig::default().with_threshold(-1.0);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        SmashConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        let mut c = SmashConfig::default();
+        c.client_edge_min = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SmashConfig::default();
+        c.sigma = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SmashConfig::default();
+        c.min_campaign_size = 1;
+        assert!(c.validate().unwrap_err().to_string().contains("min_campaign_size"));
+        let mut c = SmashConfig::default();
+        c.file_posting_cap = 0;
+        assert!(c.validate().is_err());
+        let mut c = SmashConfig::default();
+        c.threshold = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The main dimension: client-set similarity (paper eq. 1).
+//!
+//! `Client(Si, Sj) = (|Ci∩Cj| / |Ci|) · (|Ci∩Cj| / |Cj|)` — two servers
+//! are similar when their common clients matter to *both* of them.
+//! Malicious servers of one campaign are contacted by the same small set
+//! of infected clients; benign servers serve diverse crowds.
+
+use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use std::collections::HashMap;
+
+/// Builder of the client-similarity graph.
+#[derive(Debug, Clone, Default)]
+pub struct ClientDimension;
+
+impl Dimension for ClientDimension {
+    fn kind(&self) -> DimensionKind {
+        DimensionKind::Client
+    }
+
+    fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
+        // Inverted index: client → kept servers (as node ids).
+        //
+        // Servers visited by exactly one client are excluded here: the
+        // paper handles them in a separate per-client pass (Appendix C),
+        // and letting them into the general graph glues each bot's
+        // private long-tail browsing onto campaign herds, diluting herd
+        // density. The pipeline adds their per-client herds after mining.
+        let mut by_client: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (node, &server) in ctx.nodes.iter().enumerate() {
+            let clients = ctx.dataset.clients_of(server);
+            if clients.len() < 2 {
+                continue;
+            }
+            for &c in clients {
+                by_client.entry(c).or_default().push(node as u32);
+            }
+        }
+        let mut counter =
+            CooccurrenceCounter::new().with_max_posting_len(ctx.config.client_posting_cap);
+        // BTreeMap order not needed: postings are independent.
+        for (_, servers) in by_client {
+            counter.add_posting(servers);
+        }
+        for ((u, v), shared) in counter.counts_parallel() {
+            let cu = ctx.dataset.clients_of(ctx.nodes[u as usize]).len();
+            let cv = ctx.dataset.clients_of(ctx.nodes[v as usize]).len();
+            let sim = overlap_product(shared as usize, cu, cv);
+            if sim >= ctx.config.client_edge_min {
+                builder.add_edge(u, v, sim);
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmashConfig;
+    use smash_trace::{HttpRecord, TraceDataset};
+    use smash_whois::WhoisRegistry;
+
+    fn ctx_parts(records: Vec<HttpRecord>) -> (TraceDataset, WhoisRegistry, SmashConfig) {
+        (
+            TraceDataset::from_records(records),
+            WhoisRegistry::new(),
+            SmashConfig::default(),
+        )
+    }
+
+    fn build(ds: &TraceDataset, whois: &WhoisRegistry, config: &SmashConfig) -> Graph {
+        let nodes: Vec<u32> = ds.server_ids().collect();
+        let node_of: HashMap<u32, u32> = nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        ClientDimension.build_graph(&DimensionContext {
+            dataset: ds,
+            whois,
+            config,
+            nodes: &nodes,
+            node_of: &node_of,
+        })
+    }
+
+    #[test]
+    fn identical_client_sets_weight_one() {
+        let (ds, w, c) = ctx_parts(vec![
+            HttpRecord::new(0, "b1", "a.com", "1.1.1.1", "/x"),
+            HttpRecord::new(1, "b2", "a.com", "1.1.1.1", "/x"),
+            HttpRecord::new(2, "b1", "b.com", "1.1.1.2", "/y"),
+            HttpRecord::new(3, "b2", "b.com", "1.1.1.2", "/y"),
+        ]);
+        let g = build(&ds, &w, &c);
+        let u = ds.server_id("a.com").unwrap();
+        let v = ds.server_id("b.com").unwrap();
+        let nodes: Vec<u32> = ds.server_ids().collect();
+        let nu = nodes.iter().position(|&s| s == u).unwrap() as u32;
+        let nv = nodes.iter().position(|&s| s == v).unwrap() as u32;
+        assert_eq!(g.edge_weight(nu, nv), Some(1.0));
+    }
+
+    #[test]
+    fn disjoint_clients_no_edge() {
+        let (ds, w, c) = ctx_parts(vec![
+            HttpRecord::new(0, "c1", "a.com", "1.1.1.1", "/x"),
+            HttpRecord::new(1, "c2", "b.com", "1.1.1.2", "/y"),
+        ]);
+        let g = build(&ds, &w, &c);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn weak_overlap_is_thresholded() {
+        // a.com has 10 clients, b.com has 10, sharing exactly one:
+        // sim = 0.1 * 0.1 = 0.01 < default 0.04.
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(HttpRecord::new(0, &format!("a{i}"), "a.com", "1.1.1.1", "/x"));
+            records.push(HttpRecord::new(0, &format!("b{i}"), "b.com", "1.1.1.2", "/y"));
+        }
+        records.push(HttpRecord::new(0, "a0", "b.com", "1.1.1.2", "/y"));
+        let (ds, w, c) = ctx_parts(records);
+        let g = build(&ds, &w, &c);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn partial_overlap_weight_matches_formula() {
+        // a.com clients {x, y}; b.com clients {x, y, z}: sim = 1 * (2/3)²?
+        // No: shared=2, |Ca|=2, |Cb|=3 → (2/2)·(2/3) = 2/3.
+        let (ds, w, c) = ctx_parts(vec![
+            HttpRecord::new(0, "x", "a.com", "1.1.1.1", "/"),
+            HttpRecord::new(0, "y", "a.com", "1.1.1.1", "/"),
+            HttpRecord::new(0, "x", "b.com", "1.1.1.2", "/"),
+            HttpRecord::new(0, "y", "b.com", "1.1.1.2", "/"),
+            HttpRecord::new(0, "z", "b.com", "1.1.1.2", "/"),
+        ]);
+        let g = build(&ds, &w, &c);
+        let weight = g.edges().next().unwrap().2;
+        assert!((weight - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_covers_all_nodes() {
+        let (ds, w, c) = ctx_parts(vec![
+            HttpRecord::new(0, "c1", "only.com", "1.1.1.1", "/"),
+        ]);
+        let g = build(&ds, &w, &c);
+        assert_eq!(g.node_count(), 1);
+    }
+}

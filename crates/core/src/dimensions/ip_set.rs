@@ -1,0 +1,113 @@
+//! Secondary dimension: IP-address-set similarity (paper eq. 8).
+//!
+//! Fast-fluxed / fluxed domains resolve to overlapping IP pools; benign
+//! servers rarely share addresses. Same product form as eq. 1 over the
+//! servers' IP sets.
+
+use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use std::collections::HashMap;
+
+/// Builder of the IP-set-similarity graph.
+#[derive(Debug, Clone, Default)]
+pub struct IpSetDimension;
+
+impl Dimension for IpSetDimension {
+    fn kind(&self) -> DimensionKind {
+        DimensionKind::IpSet
+    }
+
+    fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
+        let mut by_ip: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (node, &server) in ctx.nodes.iter().enumerate() {
+            for &ip in ctx.dataset.ips_of(server) {
+                by_ip.entry(ip).or_default().push(node as u32);
+            }
+        }
+        // Hot IPs (large shared hosters / NATs) carry no herd signal.
+        let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
+        for (_, servers) in by_ip {
+            counter.add_posting(servers);
+        }
+        for ((u, v), shared) in counter.counts_parallel() {
+            let iu = ctx.dataset.ips_of(ctx.nodes[u as usize]).len();
+            let iv = ctx.dataset.ips_of(ctx.nodes[v as usize]).len();
+            let sim = overlap_product(shared as usize, iu, iv);
+            if sim >= ctx.config.ip_edge_min {
+                builder.add_edge(u, v, sim);
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmashConfig;
+    use smash_trace::{HttpRecord, TraceDataset};
+    use smash_whois::WhoisRegistry;
+
+    fn build(records: Vec<HttpRecord>) -> (TraceDataset, Graph) {
+        let ds = TraceDataset::from_records(records);
+        let whois = WhoisRegistry::new();
+        let config = SmashConfig::default();
+        let nodes: Vec<u32> = ds.server_ids().collect();
+        let node_of: HashMap<u32, u32> =
+            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let g = IpSetDimension.build_graph(&DimensionContext {
+            dataset: &ds,
+            whois: &whois,
+            config: &config,
+            nodes: &nodes,
+            node_of: &node_of,
+        });
+        (ds, g)
+    }
+
+    #[test]
+    fn same_single_ip_weight_one() {
+        let (_, g) = build(vec![
+            HttpRecord::new(0, "c", "a.com", "9.9.9.9", "/"),
+            HttpRecord::new(0, "c", "b.com", "9.9.9.9", "/"),
+        ]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges().next().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn distinct_ips_no_edge() {
+        let (_, g) = build(vec![
+            HttpRecord::new(0, "c", "a.com", "9.9.9.9", "/"),
+            HttpRecord::new(0, "c", "b.com", "8.8.8.8", "/"),
+        ]);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn partial_pool_overlap() {
+        // a.com on {1,2}; b.com on {2}: (1/2)·(1/1) = 0.5.
+        let (_, g) = build(vec![
+            HttpRecord::new(0, "c", "a.com", "10.0.0.1", "/"),
+            HttpRecord::new(1, "c", "a.com", "10.0.0.2", "/"),
+            HttpRecord::new(2, "c", "b.com", "10.0.0.2", "/"),
+        ]);
+        assert!((g.edges().next().unwrap().2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_threshold_dropped() {
+        // a.com on {1..5}; b.com on {1, 6..9}: (1/5)·(1/5) = 0.04 < 0.1.
+        let mut records = Vec::new();
+        for i in 1..=5 {
+            records.push(HttpRecord::new(0, "c", "a.com", &format!("10.0.0.{i}"), "/"));
+        }
+        records.push(HttpRecord::new(0, "c", "b.com", "10.0.0.1", "/"));
+        for i in 6..=9 {
+            records.push(HttpRecord::new(0, "c", "b.com", &format!("10.0.0.{i}"), "/"));
+        }
+        let (_, g) = build(records);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-dimension similarity graphs (paper §III-B).
+//!
+//! Every dimension builds a weighted graph over the *same* node space —
+//! the servers that survived preprocessing — so that herds from different
+//! dimensions can be intersected directly during correlation.
+//!
+//! Candidate pairs are always generated through an inverted index
+//! ([`smash_graph::CooccurrenceCounter`]); no dimension ever scores all
+//! `N²` server pairs.
+
+pub mod client;
+pub mod ip_set;
+pub mod param_pattern;
+pub mod payload;
+pub mod timing;
+pub mod uri_file;
+pub mod whois;
+
+use crate::config::SmashConfig;
+use serde::{Deserialize, Serialize};
+use smash_graph::Graph;
+use smash_trace::{ServerId, TraceDataset};
+use smash_whois::WhoisRegistry;
+use std::collections::HashMap;
+use std::fmt;
+
+pub use client::ClientDimension;
+pub use ip_set::IpSetDimension;
+pub use param_pattern::ParamPatternDimension;
+pub use payload::PayloadDimension;
+pub use timing::TimingDimension;
+pub use uri_file::UriFileDimension;
+pub use whois::WhoisDimension;
+
+/// Which similarity dimension a graph or herd came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DimensionKind {
+    /// Main dimension: client-set similarity (eq. 1).
+    Client,
+    /// Secondary: URI-file similarity (eqs. 2–7).
+    UriFile,
+    /// Secondary: IP-address-set similarity (eq. 8).
+    IpSet,
+    /// Secondary: Whois field overlap.
+    Whois,
+    /// Extension (paper §VI): URI parameter-pattern similarity.
+    ParamPattern,
+    /// Extension (paper §VI): time-based (burst-synchronization)
+    /// similarity.
+    Timing,
+    /// Extension (paper §VI): payload (response-size) similarity.
+    Payload,
+}
+
+impl DimensionKind {
+    /// `true` for the main (client) dimension.
+    pub fn is_main(self) -> bool {
+        self == DimensionKind::Client
+    }
+}
+
+impl fmt::Display for DimensionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DimensionKind::Client => "client",
+            DimensionKind::UriFile => "uri-file",
+            DimensionKind::IpSet => "ip-set",
+            DimensionKind::Whois => "whois",
+            DimensionKind::ParamPattern => "param-pattern",
+            DimensionKind::Timing => "timing",
+            DimensionKind::Payload => "payload",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything a dimension needs to build its graph.
+pub struct DimensionContext<'a> {
+    /// The interned trace.
+    pub dataset: &'a TraceDataset,
+    /// The Whois registry (only the Whois dimension reads it).
+    pub whois: &'a WhoisRegistry,
+    /// Pipeline configuration.
+    pub config: &'a SmashConfig,
+    /// Kept servers; node `i` of every dimension graph is `nodes[i]`.
+    pub nodes: &'a [ServerId],
+    /// Reverse map server → node index.
+    pub node_of: &'a HashMap<ServerId, u32>,
+}
+
+/// A similarity dimension: builds one weighted graph over the shared node
+/// space.
+///
+/// The trait is object-safe so new dimensions (payload similarity, timing)
+/// can be plugged into the pipeline, as the paper's §VI envisions; it is
+/// `Send + Sync` so the pipeline can build all dimension graphs in
+/// parallel (the paper's §VI overhead remedy).
+pub trait Dimension: Send + Sync {
+    /// The dimension's identity.
+    fn kind(&self) -> DimensionKind;
+
+    /// Builds the similarity graph. Node `i` corresponds to
+    /// `ctx.nodes[i]`; the graph must contain all nodes (isolated ones
+    /// included).
+    fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph;
+}
+
+/// Jaccard-style set products used by eqs. 1 and 8:
+/// `(|A∩B| / |A|) · (|A∩B| / |B|)`.
+pub(crate) fn overlap_product(shared: usize, len_a: usize, len_b: usize) -> f64 {
+    if len_a == 0 || len_b == 0 {
+        return 0.0;
+    }
+    (shared as f64 / len_a as f64) * (shared as f64 / len_b as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_product_basics() {
+        assert_eq!(overlap_product(2, 2, 2), 1.0);
+        assert_eq!(overlap_product(0, 5, 5), 0.0);
+        assert_eq!(overlap_product(1, 0, 5), 0.0);
+        assert!((overlap_product(1, 2, 4) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_display_and_main_flag() {
+        assert!(DimensionKind::Client.is_main());
+        assert!(!DimensionKind::Whois.is_main());
+        assert_eq!(DimensionKind::UriFile.to_string(), "uri-file");
+    }
+}

@@ -1,0 +1,122 @@
+//! Extension dimension (paper §VI): URI parameter-pattern similarity.
+//!
+//! The paper's false-negative analysis (§V-A2) found 40 malicious servers
+//! (Cycbot, FakeAV, Tidserv) missed because they shared *only* their URI
+//! parameter pattern. This dimension — proposed by the paper as future
+//! work — treats the ordered, value-blanked query-string keys (e.g.
+//! `p=[]&id=[]&e=[]`) the way the file dimension treats URI files.
+
+use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use std::collections::{HashMap, HashSet};
+
+/// Builder of the parameter-pattern-similarity graph.
+#[derive(Debug, Clone, Default)]
+pub struct ParamPatternDimension;
+
+impl Dimension for ParamPatternDimension {
+    fn kind(&self) -> DimensionKind {
+        DimensionKind::ParamPattern
+    }
+
+    fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
+        let empty = ctx.dataset.param_pattern_id("");
+        // Per-node sets of distinct non-empty parameter patterns.
+        let mut node_patterns: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
+        let mut by_pattern: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (node, &server) in ctx.nodes.iter().enumerate() {
+            let mut set = HashSet::new();
+            for r in ctx.dataset.records_of(server) {
+                if Some(r.param_pattern) != empty {
+                    set.insert(r.param_pattern);
+                }
+            }
+            for &p in &set {
+                by_pattern.entry(p).or_default().push(node as u32);
+            }
+            node_patterns.push(set);
+        }
+        let mut counter =
+            CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
+        for (_, nodes) in by_pattern {
+            counter.add_posting(nodes);
+        }
+        for ((u, v), shared) in counter.counts_parallel() {
+            let pu = node_patterns[u as usize].len();
+            let pv = node_patterns[v as usize].len();
+            let sim = overlap_product(shared as usize, pu, pv);
+            if sim >= ctx.config.file_edge_min {
+                builder.add_edge(u, v, sim);
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmashConfig;
+    use smash_trace::{HttpRecord, TraceDataset};
+    use smash_whois::WhoisRegistry;
+
+    fn build(records: Vec<HttpRecord>) -> Graph {
+        let ds = TraceDataset::from_records(records);
+        let whois = WhoisRegistry::new();
+        let config = SmashConfig::default();
+        let nodes: Vec<u32> = ds.server_ids().collect();
+        let node_of: HashMap<u32, u32> =
+            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        ParamPatternDimension.build_graph(&DimensionContext {
+            dataset: &ds,
+            whois: &whois,
+            config: &config,
+            nodes: &nodes,
+            node_of: &node_of,
+        })
+    }
+
+    #[test]
+    fn same_pattern_different_files_match() {
+        // The Cycbot case: different URI files, same parameter pattern.
+        let g = build(vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/one.php?v=1&tq=abc"),
+            HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/two.php?v=9&tq=xyz"),
+        ]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges().next().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn different_key_order_does_not_match() {
+        let g = build(vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/x.php?a=1&b=2"),
+            HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/x.php?b=2&a=1"),
+        ]);
+        // Patterns differ (a=[]&b=[] vs b=[]&a=[]): only the file matches
+        // in the *file* dimension; here, no edge.
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn queryless_servers_are_isolated() {
+        let g = build(vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/x.php"),
+            HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/y.php"),
+        ]);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn diluted_by_pattern_diversity() {
+        // a.com uses 2 patterns, one shared with b.com's single pattern:
+        // (1/2)·(1/1) = 0.5.
+        let g = build(vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/x.php?k=1"),
+            HttpRecord::new(1, "c", "a.com", "1.1.1.1", "/x.php?q=2&r=3"),
+            HttpRecord::new(2, "c", "b.com", "1.1.1.2", "/y.php?k=9"),
+        ]);
+        assert!((g.edges().next().unwrap().2 - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! Secondary dimension: URI-file similarity (paper eqs. 2–7).
+//!
+//! Two files are similar when they are identical (short names, eq. 2) or
+//! — for names longer than `len` = 25 — when their character-frequency
+//! distributions have cosine above 0.8 (eqs. 4–6, the obfuscated-name
+//! case of Fig. 4). Server-level similarity (eq. 7) is the product of the
+//! two directed matched-fraction terms:
+//! `File(Si,Sj) = (matchedᵢ/|Fᵢ|) · (matchedⱼ/|Fⱼ|)`.
+
+use super::{Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use smash_trace::uri::charset_vector;
+use std::collections::{HashMap, HashSet};
+
+/// Builder of the URI-file-similarity graph.
+#[derive(Debug, Clone, Default)]
+pub struct UriFileDimension;
+
+struct NodeFiles {
+    files: Vec<u32>,
+    set: HashSet<u32>,
+    long: Vec<u32>,
+}
+
+impl Dimension for UriFileDimension {
+    fn kind(&self) -> DimensionKind {
+        DimensionKind::UriFile
+    }
+
+    fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
+        let len_thresh = ctx.config.filename_len_threshold;
+
+        // Per-node file inventories and charset vectors for long names.
+        let mut node_files: Vec<NodeFiles> = Vec::with_capacity(ctx.nodes.len());
+        let mut long_vectors: HashMap<u32, [f64; 256]> = HashMap::new();
+        for &server in ctx.nodes {
+            let files = ctx.dataset.files_of(server).to_vec();
+            let set: HashSet<u32> = files.iter().copied().collect();
+            let long: Vec<u32> = files
+                .iter()
+                .copied()
+                .filter(|&f| ctx.dataset.file_name(f).len() > len_thresh)
+                .collect();
+            for &f in &long {
+                long_vectors
+                    .entry(f)
+                    .or_insert_with(|| charset_vector(ctx.dataset.file_name(f)));
+            }
+            node_files.push(NodeFiles { files, set, long });
+        }
+
+        // Candidate pairs: exact-name postings plus charset buckets for
+        // long names (names over the same alphabet share the bucket).
+        let mut exact: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut fuzzy: HashMap<String, Vec<u32>> = HashMap::new();
+        for (node, nf) in node_files.iter().enumerate() {
+            for &f in &nf.files {
+                exact.entry(f).or_default().push(node as u32);
+            }
+            for &f in &nf.long {
+                let mut chars: Vec<u8> = ctx
+                    .dataset
+                    .file_name(f)
+                    .bytes()
+                    .collect::<HashSet<u8>>()
+                    .into_iter()
+                    .collect();
+                chars.sort_unstable();
+                fuzzy
+                    .entry(String::from_utf8_lossy(&chars).into_owned())
+                    .or_default()
+                    .push(node as u32);
+            }
+        }
+        let mut counter =
+            CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
+        for (_, nodes) in exact {
+            counter.add_posting(nodes);
+        }
+        for (_, nodes) in fuzzy {
+            counter.add_posting(nodes);
+        }
+
+        for ((u, v), _) in counter.counts_parallel() {
+            let (mu, mv) = matched_counts(
+                &node_files[u as usize],
+                &node_files[v as usize],
+                &long_vectors,
+                ctx.config.charset_cosine_threshold,
+            );
+            if mu == 0 {
+                continue;
+            }
+            let fu = node_files[u as usize].files.len();
+            let fv = node_files[v as usize].files.len();
+            let sim = (mu as f64 / fu as f64) * (mv as f64 / fv as f64);
+            if sim >= ctx.config.file_edge_min {
+                builder.add_edge(u, v, sim);
+            }
+        }
+        builder.build()
+    }
+}
+
+/// eq. 7 numerators: how many of each side's files have a similar file on
+/// the other side (exact id match, or cosine > threshold for long names).
+fn matched_counts(
+    a: &NodeFiles,
+    b: &NodeFiles,
+    vectors: &HashMap<u32, [f64; 256]>,
+    cos_thresh: f64,
+) -> (usize, usize) {
+    let exact = a.files.iter().filter(|f| b.set.contains(f)).count();
+    let fuzzy_side = |from: &NodeFiles, to: &NodeFiles| -> usize {
+        from.long
+            .iter()
+            .filter(|&&f| !to.set.contains(&f))
+            .filter(|&&f| {
+                let va = &vectors[&f];
+                to.long.iter().any(|&g| {
+                    g != f && cosine(va, &vectors[&g]) > cos_thresh
+                })
+            })
+            .count()
+    };
+    (exact + fuzzy_side(a, b), exact + fuzzy_side(b, a))
+}
+
+fn cosine(a: &[f64; 256], b: &[f64; 256]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmashConfig;
+    use smash_trace::{HttpRecord, TraceDataset};
+    use smash_whois::WhoisRegistry;
+
+    fn build(records: Vec<HttpRecord>, config: SmashConfig) -> (TraceDataset, Graph) {
+        let ds = TraceDataset::from_records(records);
+        let whois = WhoisRegistry::new();
+        let nodes: Vec<u32> = ds.server_ids().collect();
+        let node_of: HashMap<u32, u32> =
+            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let g = UriFileDimension.build_graph(&DimensionContext {
+            dataset: &ds,
+            whois: &whois,
+            config: &config,
+            nodes: &nodes,
+            node_of: &node_of,
+        });
+        (ds, g)
+    }
+
+    #[test]
+    fn identical_single_file_weight_one() {
+        let (_, g) = build(
+            vec![
+                HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/x/login.php"),
+                HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/y/login.php"),
+            ],
+            SmashConfig::default(),
+        );
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges().next().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn shared_file_among_many_is_diluted() {
+        // Both servers share index.html but each has 3 other files:
+        // sim = (1/4)² = 0.0625 ≥ 0.02 → edge, but weak.
+        let mut records = Vec::new();
+        for (host, ip) in [("a.com", "1.1.1.1"), ("b.com", "1.1.1.2")] {
+            records.push(HttpRecord::new(0, "c", host, ip, "/index.html"));
+            for i in 0..3 {
+                records.push(HttpRecord::new(0, "c", host, ip, &format!("/{host}-{i}.html")));
+            }
+        }
+        let (_, g) = build(records, SmashConfig::default());
+        assert_eq!(g.edge_count(), 1);
+        let w = g.edges().next().unwrap().2;
+        assert!((w - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_file_posting_is_capped() {
+        // index.html shared by many servers with a tiny cap: no pairs.
+        let mut cfg = SmashConfig::default();
+        cfg.file_posting_cap = 3;
+        let records: Vec<HttpRecord> = (0..10)
+            .map(|i| HttpRecord::new(0, "c", &format!("s{i}.com"), "1.1.1.1", "/index.html"))
+            .collect();
+        // NOTE: shared IP is irrelevant here — this is the file dimension.
+        let (_, g) = build(records, cfg);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn obfuscated_long_names_match_by_charset() {
+        // Two long names over the same two-letter alphabet.
+        let f1 = format!("/{}" , "ababababab".repeat(4) + "a.php"); // 45 chars
+        let f2 = format!("/{}" , "bababababa".repeat(4) + "b.php");
+        let (_, g) = build(
+            vec![
+                HttpRecord::new(0, "c", "a.com", "1.1.1.1", &f1),
+                HttpRecord::new(0, "c", "b.com", "1.1.1.2", &f2),
+            ],
+            SmashConfig::default(),
+        );
+        assert_eq!(g.edge_count(), 1, "fuzzy match expected");
+        assert_eq!(g.edges().next().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn long_names_with_different_charsets_dont_match() {
+        let f1 = format!("/{}.php", "ab".repeat(20));
+        let f2 = format!("/{}.php", "xy".repeat(20));
+        let (_, g) = build(
+            vec![
+                HttpRecord::new(0, "c", "a.com", "1.1.1.1", &f1),
+                HttpRecord::new(0, "c", "b.com", "1.1.1.2", &f2),
+            ],
+            SmashConfig::default(),
+        );
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn short_names_never_fuzzy_match() {
+        // "abc.php" vs "cba.php": same charset but short → must be equal.
+        let (_, g) = build(
+            vec![
+                HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/abc.php"),
+                HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/cba.php"),
+            ],
+            SmashConfig::default(),
+        );
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn root_path_is_a_shared_file() {
+        // The paper's Sality C&C pair is correlated through the shared
+        // filename "/" (Table VIII).
+        let (_, g) = build(
+            vec![
+                HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/"),
+                HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/?k=1"),
+            ],
+            SmashConfig::default(),
+        );
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges().next().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn servers_without_files_are_isolated() {
+        let (_, g) = build(
+            vec![
+                HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/dir/"),
+                HttpRecord::new(0, "c", "b.com", "1.1.1.2", "/dir/"),
+            ],
+            SmashConfig::default(),
+        );
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 2);
+    }
+}

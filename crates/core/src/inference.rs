@@ -1,0 +1,128 @@
+//! Malicious campaign inference (paper §III-E): merge correlated ASHs
+//! whose servers co-reside in a main-dimension herd.
+//!
+//! Correlation can split one campaign into several herds (e.g. Bagle's
+//! download servers vs its C&C servers — different files, different IPs).
+//! The infected clients connect to both, so the herds share a
+//! main-dimension community; merging through that community rebuilds the
+//! original campaign.
+
+use crate::ash::MinedDimension;
+use smash_graph::UnionFind;
+use smash_trace::ServerId;
+use std::collections::HashMap;
+
+/// Merges candidate herds (post-pruning server lists) that share a
+/// main-dimension herd. Returns merged, sorted, deduplicated server lists
+/// along with the indexes of the input candidates merged into each.
+pub fn merge_by_main_herd(
+    candidates: &[Vec<ServerId>],
+    main: &MinedDimension,
+) -> Vec<(Vec<ServerId>, Vec<usize>)> {
+    let n = candidates.len();
+    let mut uf = UnionFind::new(n);
+    // main herd index → first candidate touching it.
+    let mut herd_owner: HashMap<usize, usize> = HashMap::new();
+    for (ci, servers) in candidates.iter().enumerate() {
+        for &s in servers {
+            if let Some(&herd) = main.membership.get(&s) {
+                match herd_owner.get(&herd) {
+                    Some(&owner) => {
+                        uf.union(owner, ci);
+                    }
+                    None => {
+                        herd_owner.insert(herd, ci);
+                    }
+                }
+            }
+        }
+    }
+    let groups = uf.into_groups();
+    groups
+        .into_iter()
+        .map(|idxs| {
+            let mut servers: Vec<ServerId> = idxs
+                .iter()
+                .flat_map(|&i| candidates[i].iter().copied())
+                .collect();
+            servers.sort_unstable();
+            servers.dedup();
+            (servers, idxs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ash::Ash;
+    use crate::dimensions::DimensionKind;
+    use smash_graph::{GraphBuilder, Partition};
+
+    fn main_dim(herds: &[&[ServerId]]) -> MinedDimension {
+        let mut ashes = Vec::new();
+        let mut membership = HashMap::new();
+        for members in herds {
+            let idx = ashes.len();
+            for &s in *members {
+                membership.insert(s, idx);
+            }
+            ashes.push(Ash {
+                members: members.to_vec(),
+                density: 1.0,
+            });
+        }
+        MinedDimension {
+            kind: DimensionKind::Client,
+            graph: GraphBuilder::new().build(),
+            partition: Partition::singletons(0),
+            ashes,
+            membership,
+        }
+    }
+
+    #[test]
+    fn candidates_in_same_herd_merge() {
+        // Main herd covers servers 0..6; candidates split it 0-2 / 3-5.
+        let main = main_dim(&[&[0, 1, 2, 3, 4, 5]]);
+        let candidates = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let merged = merge_by_main_herd(&candidates, &main);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(merged[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn candidates_in_different_herds_stay_separate() {
+        let main = main_dim(&[&[0, 1], &[2, 3]]);
+        let candidates = vec![vec![0, 1], vec![2, 3]];
+        let merged = merge_by_main_herd(&candidates, &main);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn unherded_servers_do_not_merge_anything() {
+        // Server 9 (from pruning replacement) is in no main herd.
+        let main = main_dim(&[&[0, 1], &[2, 3]]);
+        let candidates = vec![vec![0, 9], vec![2, 9]];
+        let merged = merge_by_main_herd(&candidates, &main);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn candidate_spanning_two_herds_bridges_them() {
+        let main = main_dim(&[&[0, 1], &[2, 3]]);
+        // The middle candidate touches both herds, pulling the outer two
+        // candidates into one campaign.
+        let candidates = vec![vec![1], vec![0, 2], vec![3]];
+        let merged = merge_by_main_herd(&candidates, &main);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let main = main_dim(&[&[0, 1]]);
+        assert!(merge_by_main_herd(&[], &main).is_empty());
+    }
+}

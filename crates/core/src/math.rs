@@ -1,0 +1,104 @@
+//! The error function and the paper's φ normalizer.
+
+/// The Gauss error function, via the Abramowitz–Stegun 7.1.26 polynomial
+/// approximation (|error| ≤ 1.5 × 10⁻⁷ — far below what eq. 9 needs).
+///
+/// # Example
+///
+/// ```
+/// use smash_core::math::erf;
+///
+/// assert!((erf(0.0)).abs() < 1e-7);
+/// assert!((erf(1.0) - 0.8427007).abs() < 1e-6);
+/// assert!((erf(-1.0) + 0.8427007).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The paper's "S"-shaped normalizer
+/// `φ(x) = ½ (1 + erf((x − μ) / σ))` (eq. 9).
+///
+/// With the paper's μ = 4, σ = 5.5, groups of fewer than four servers are
+/// penalized and need more dimensions to accumulate a high score.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::math::phi;
+///
+/// let at_mu = phi(4.0, 4.0, 5.5);
+/// assert!((at_mu - 0.5).abs() < 1e-7);
+/// assert!(phi(10.0, 4.0, 5.5) > at_mu);
+/// assert!(phi(1.0, 4.0, 5.5) < at_mu);
+/// ```
+pub fn phi(x: f64, mu: f64, sigma: f64) -> f64 {
+    0.5 * (1.0 + erf((x - mu) / sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        for (x, want) in [
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (3.0, 0.9999779),
+        ] {
+            assert!((erf(x) - want).abs() < 1e-6, "erf({x}) = {}", erf(x));
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.7, 1.3, 2.5] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_is_monotone_and_bounded() {
+        let mut prev = -1.0;
+        let mut x = -4.0;
+        while x <= 4.0 {
+            let v = erf(x);
+            assert!((-1.0..=1.0).contains(&v));
+            assert!(v >= prev - 1e-9);
+            prev = v;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn phi_range_and_monotonicity() {
+        let mut prev = 0.0;
+        for n in 0..30 {
+            let v = phi(n as f64, 4.0, 5.5);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn phi_small_groups_need_more_dimensions() {
+        // A 2-server herd scores < 0.4 per dimension; an 8-server herd
+        // scores > 0.7 — exactly the paper's intent.
+        assert!(phi(2.0, 4.0, 5.5) < 0.4);
+        assert!(phi(8.0, 4.0, 5.5) > 0.7);
+    }
+}

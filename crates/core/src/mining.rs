@@ -1,0 +1,99 @@
+//! ASH mining: Louvain community detection per dimension (paper §III-B3).
+
+use crate::ash::{Ash, MinedDimension};
+use crate::dimensions::DimensionKind;
+use smash_graph::{density, Graph, Louvain};
+use smash_trace::ServerId;
+use std::collections::HashMap;
+
+/// Extracts the Associated Server Herds of one dimension graph.
+///
+/// Communities come from Louvain; only communities of at least two
+/// *connected* servers become herds (singletons cannot be "associated").
+/// `nodes[i]` is the server behind graph node `i`.
+pub fn mine(kind: DimensionKind, graph: Graph, nodes: &[ServerId], seed: u64) -> MinedDimension {
+    assert_eq!(
+        graph.node_count(),
+        nodes.len(),
+        "graph nodes ({}) must match server list ({})",
+        graph.node_count(),
+        nodes.len()
+    );
+    let partition = Louvain::new().with_seed(seed).run(&graph);
+    let mut ashes = Vec::new();
+    let mut membership = HashMap::new();
+    for community in partition.communities_min_size(2) {
+        // Keep only members with at least one edge inside the community —
+        // Louvain can only group connected nodes, but guard anyway.
+        let d = density(&graph, &community);
+        if d <= 0.0 {
+            continue;
+        }
+        let members: Vec<ServerId> = {
+            let mut m: Vec<ServerId> = community.iter().map(|&n| nodes[n as usize]).collect();
+            m.sort_unstable();
+            m
+        };
+        let idx = ashes.len();
+        for &s in &members {
+            membership.insert(s, idx);
+        }
+        ashes.push(Ash { members, density: d });
+    }
+    MinedDimension {
+        kind,
+        graph,
+        partition,
+        ashes,
+        membership,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_graph::GraphBuilder;
+
+    #[test]
+    fn two_cliques_two_herds() {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.ensure_node(6); // isolated
+        let nodes: Vec<u32> = (100..107).collect();
+        let md = mine(DimensionKind::Client, b.build(), &nodes, 0);
+        assert_eq!(md.ash_count(), 2);
+        assert_eq!(md.herded_server_count(), 6);
+        // Server ids are translated through `nodes`.
+        assert!(md.ash_of(100).is_some());
+        assert!(md.ash_of(106).is_none());
+        assert_eq!(md.ash_of(100).unwrap().members, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn densities_are_recorded() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let nodes = vec![0, 1, 2];
+        let md = mine(DimensionKind::UriFile, b.build(), &nodes, 0);
+        assert_eq!(md.ash_count(), 1);
+        // Path of 3 nodes: 2 edges of 3 possible → density 2/3.
+        assert!((md.ashes[0].density - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_no_herds() {
+        let md = mine(DimensionKind::IpSet, GraphBuilder::new().build(), &[], 0);
+        assert_eq!(md.ash_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn node_list_mismatch_panics() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        mine(DimensionKind::Client, b.build(), &[9], 0);
+    }
+}

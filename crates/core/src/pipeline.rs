@@ -1,0 +1,381 @@
+//! The SMASH orchestrator (paper Fig. 2): preprocessing → per-dimension
+//! ASH mining → correlation → pruning → campaign inference.
+
+use crate::ash::MinedDimension;
+use crate::config::SmashConfig;
+use crate::correlation::{correlate, CorrelatedAsh};
+use crate::dimensions::{
+    ClientDimension, Dimension, DimensionContext, DimensionKind, IpSetDimension,
+    ParamPatternDimension, PayloadDimension, TimingDimension, UriFileDimension, WhoisDimension,
+};
+use crate::inference::merge_by_main_herd;
+use crate::mining::mine;
+use crate::preprocess::filter_popular;
+use crate::pruning::prune;
+use crate::report::{DimensionSummary, InferredCampaign, SmashReport};
+use smash_trace::{ServerId, TraceDataset};
+use smash_whois::WhoisRegistry;
+use std::collections::{BTreeSet, HashMap};
+
+/// The SMASH pipeline runner.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{Smash, SmashConfig};
+/// use smash_synth::Scenario;
+///
+/// let data = Scenario::small_day(1).generate();
+/// let report = Smash::new(SmashConfig::default()).run(&data.dataset, &data.whois);
+/// // The planted campaigns surface as inferred herds.
+/// assert!(report.campaigns.iter().any(|c| c.server_count() >= 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Smash {
+    config: SmashConfig,
+}
+
+impl Smash {
+    /// Creates a runner with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`try_new`](Self::try_new) for a fallible constructor.
+    pub fn new(config: SmashConfig) -> Self {
+        Self::try_new(config).expect("invalid SmashConfig")
+    }
+
+    /// Creates a runner, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated configuration constraint.
+    pub fn try_new(config: SmashConfig) -> Result<Self, crate::config::ConfigError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmashConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline over one day of traffic.
+    pub fn run(&self, dataset: &TraceDataset, whois: &WhoisRegistry) -> SmashReport {
+        let cfg = &self.config;
+        // 1. Preprocessing: IDF popularity filter (SLD aggregation already
+        //    happened when the dataset was interned).
+        let pre = filter_popular(dataset, cfg.idf_threshold);
+        let nodes: Vec<ServerId> = pre.kept.clone();
+        let node_of: HashMap<ServerId, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        let ctx = DimensionContext {
+            dataset,
+            whois,
+            config: cfg,
+            nodes: &nodes,
+            node_of: &node_of,
+        };
+
+        // 2. ASH mining per dimension. The client graph covers servers
+        //    with ≥ 2 clients; single-client servers get their per-client
+        //    herds appended below (paper Appendix C).
+        let main_graph = ClientDimension.build_graph(&ctx);
+        let mut main = mine(DimensionKind::Client, main_graph, &nodes, cfg.louvain_seed);
+        append_single_client_herds(&mut main, dataset, &nodes);
+
+        let mut secondary_dims: Vec<Box<dyn Dimension>> = Vec::new();
+        if cfg.uri_file_dimension {
+            secondary_dims.push(Box::new(UriFileDimension));
+        }
+        if cfg.ip_set_dimension {
+            secondary_dims.push(Box::new(IpSetDimension));
+        }
+        if cfg.whois_dimension {
+            secondary_dims.push(Box::new(WhoisDimension));
+        }
+        if cfg.param_pattern_dimension {
+            secondary_dims.push(Box::new(ParamPatternDimension));
+        }
+        if cfg.timing_dimension {
+            secondary_dims.push(Box::new(TimingDimension::default()));
+        }
+        if cfg.payload_dimension {
+            secondary_dims.push(Box::new(PayloadDimension));
+        }
+        // Dimension graphs are independent: build and mine them in
+        // parallel (the paper's answer to the pairwise-similarity cost is
+        // parallel sparse multiplication [18]).
+        use rayon::prelude::*;
+        let secondaries: Vec<MinedDimension> = secondary_dims
+            .par_iter()
+            .map(|d| {
+                let g = d.build_graph(&ctx);
+                mine(d.kind(), g, &nodes, cfg.louvain_seed)
+            })
+            .collect();
+
+        // 3. Correlation (eq. 9) + thresholding.
+        let correlated = correlate(dataset, &main, &secondaries, cfg);
+
+        // 4. Pruning of redirection/referrer groups.
+        let mut kept_correlated: Vec<&CorrelatedAsh> = Vec::new();
+        let mut candidates: Vec<Vec<ServerId>> = Vec::new();
+        for ca in &correlated {
+            let servers = if cfg.pruning_enabled {
+                match prune(dataset, &ca.servers, cfg.min_campaign_size) {
+                    Some(s) => s,
+                    None => continue,
+                }
+            } else {
+                ca.servers.clone()
+            };
+            kept_correlated.push(ca);
+            candidates.push(servers);
+        }
+
+        // 5. Campaign inference: merge through shared main herds.
+        let merged = merge_by_main_herd(&candidates, &main);
+
+        // Assemble campaigns; scores/dimensions come from the correlated
+        // ASHs each merged group absorbed.
+        let mut campaigns: Vec<InferredCampaign> = merged
+            .into_iter()
+            .map(|(servers, cand_idxs)| {
+                let mut score_of: HashMap<ServerId, f64> = HashMap::new();
+                let mut dims_of: HashMap<ServerId, Vec<DimensionKind>> = HashMap::new();
+                for &ci in &cand_idxs {
+                    let ca = kept_correlated[ci];
+                    for (k, &s) in ca.servers.iter().enumerate() {
+                        let e = score_of.entry(s).or_insert(0.0);
+                        if ca.scores[k] > *e {
+                            *e = ca.scores[k];
+                        }
+                        let dv = dims_of.entry(s).or_default();
+                        for d in &ca.dimensions[k] {
+                            if !dv.contains(d) {
+                                dv.push(*d);
+                            }
+                        }
+                    }
+                }
+                let clients: BTreeSet<u32> = servers
+                    .iter()
+                    .flat_map(|&s| dataset.clients_of(s).iter().copied())
+                    .collect();
+                let scores = servers
+                    .iter()
+                    .map(|s| score_of.get(s).copied().unwrap_or(0.0))
+                    .collect();
+                let dimensions = servers
+                    .iter()
+                    .map(|s| {
+                        let mut v = dims_of.get(s).cloned().unwrap_or_default();
+                        v.sort_unstable();
+                        v
+                    })
+                    .collect();
+                InferredCampaign {
+                    servers: servers.iter().map(|&s| dataset.server_name(s).to_owned()).collect(),
+                    server_ids: servers,
+                    scores,
+                    dimensions,
+                    client_count: clients.len(),
+                    single_client: clients.len() <= 1,
+                }
+            })
+            .collect();
+        campaigns.sort_by(|a, b| b.server_count().cmp(&a.server_count()));
+
+        let mut dimension_summaries = vec![DimensionSummary {
+            kind: main.kind,
+            edges: main.graph.edge_count(),
+            ashes: main.ash_count(),
+            herded_servers: main.herded_server_count(),
+        }];
+        dimension_summaries.extend(secondaries.iter().map(|d| DimensionSummary {
+            kind: d.kind,
+            edges: d.graph.edge_count(),
+            ashes: d.ash_count(),
+            herded_servers: d.herded_server_count(),
+        }));
+
+        SmashReport {
+            campaigns,
+            kept_servers: pre.kept.len(),
+            dropped_popular: pre.dropped_popular.len(),
+            dimension_summaries,
+            main,
+            secondaries,
+        }
+    }
+}
+
+/// Appends the Appendix-C herds: for each client, the servers visited by
+/// *only* that client form one main-dimension ASH. Their pairwise eq. 1
+/// similarity is exactly 1 (identical client sets), so the herd is a
+/// complete graph with density 1.
+fn append_single_client_herds(
+    main: &mut MinedDimension,
+    dataset: &TraceDataset,
+    nodes: &[ServerId],
+) {
+    let mut by_client: HashMap<u32, Vec<ServerId>> = HashMap::new();
+    for &s in nodes {
+        let clients = dataset.clients_of(s);
+        if clients.len() == 1 {
+            by_client.entry(clients[0]).or_default().push(s);
+        }
+    }
+    let mut groups: Vec<(u32, Vec<ServerId>)> = by_client.into_iter().collect();
+    groups.sort_by_key(|(c, _)| *c);
+    for (_, mut members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+        let idx = main.ashes.len();
+        for &s in &members {
+            main.membership.insert(s, idx);
+        }
+        main.ashes.push(crate::ash::Ash {
+            members,
+            density: 1.0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::HttpRecord;
+
+    /// A hand-built C&C flux herd: 3 bots, 8 domains, shared script,
+    /// shared IP, plus benign background servers with diverse clients.
+    fn flux_trace() -> Vec<HttpRecord> {
+        let mut records = Vec::new();
+        for bot in ["bot1", "bot2", "bot3"] {
+            for d in 0..8 {
+                records.push(
+                    HttpRecord::new(0, bot, &format!("cc{d}.evil"), "66.6.6.6", "/gate/login.php?p=1")
+                        .with_user_agent("BotAgent"),
+                );
+            }
+        }
+        // Benign background: 30 servers, each with its own clients/files.
+        for s in 0..30 {
+            for c in 0..6 {
+                records.push(HttpRecord::new(
+                    0,
+                    &format!("user{}", (s * 3 + c) % 40),
+                    &format!("site{s}.com"),
+                    &format!("23.0.0.{s}"),
+                    &format!("/page{c}.html"),
+                ));
+            }
+        }
+        // Bots also browse the benign web.
+        for bot in ["bot1", "bot2", "bot3"] {
+            for s in 0..5 {
+                records.push(HttpRecord::new(
+                    0,
+                    bot,
+                    &format!("site{s}.com"),
+                    &format!("23.0.0.{s}"),
+                    "/index.html",
+                ));
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn recovers_planted_flux_campaign() {
+        let ds = TraceDataset::from_records(flux_trace());
+        let whois = WhoisRegistry::new();
+        let report = Smash::new(SmashConfig::default()).run(&ds, &whois);
+        let camp = report
+            .campaigns
+            .iter()
+            .find(|c| c.contains_server("cc0.evil"))
+            .expect("flux campaign inferred");
+        // All 8 C&C domains recovered, no benign servers dragged in.
+        assert_eq!(camp.server_count(), 8);
+        assert!(camp.servers.iter().all(|s| s.ends_with(".evil")));
+        assert!(!camp.single_client);
+        assert_eq!(camp.client_count, 3);
+        // File + IP dimensions contributed.
+        let dims = camp.dimension_set();
+        assert!(dims.contains(&DimensionKind::UriFile));
+        assert!(dims.contains(&DimensionKind::IpSet));
+    }
+
+    #[test]
+    fn benign_only_trace_yields_nothing() {
+        let mut records = Vec::new();
+        for s in 0..25 {
+            for c in 0..6 {
+                records.push(HttpRecord::new(
+                    0,
+                    &format!("user{}", (s * 5 + c * 7) % 50),
+                    &format!("site{s}.com"),
+                    &format!("23.0.1.{s}"),
+                    &format!("/own{s}-{c}.html"),
+                ));
+            }
+        }
+        let ds = TraceDataset::from_records(records);
+        let report = Smash::new(SmashConfig::default()).run(&ds, &WhoisRegistry::new());
+        assert!(report.campaigns.is_empty(), "campaigns: {:?}", report.campaigns);
+    }
+
+    #[test]
+    fn higher_threshold_is_stricter() {
+        let ds = TraceDataset::from_records(flux_trace());
+        let whois = WhoisRegistry::new();
+        let low = Smash::new(SmashConfig::default().with_threshold(0.5)).run(&ds, &whois);
+        let high = Smash::new(SmashConfig::default().with_threshold(1.5)).run(&ds, &whois);
+        assert!(low.inferred_server_count() >= high.inferred_server_count());
+    }
+
+    #[test]
+    fn idf_filter_feeds_report_counts() {
+        let ds = TraceDataset::from_records(flux_trace());
+        let report = Smash::new(SmashConfig::default().with_idf_threshold(5)).run(&ds, &WhoisRegistry::new());
+        assert!(report.dropped_popular > 0 || report.kept_servers == ds.server_count());
+        assert_eq!(report.kept_servers + report.dropped_popular, ds.server_count());
+    }
+
+    #[test]
+    fn dimension_summaries_cover_all_dims() {
+        let ds = TraceDataset::from_records(flux_trace());
+        let report = Smash::new(SmashConfig::default()).run(&ds, &WhoisRegistry::new());
+        let kinds: Vec<DimensionKind> =
+            report.dimension_summaries.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DimensionKind::Client,
+                DimensionKind::UriFile,
+                DimensionKind::IpSet,
+                DimensionKind::Whois
+            ]
+        );
+        let with_param = Smash::new(SmashConfig::default().with_param_pattern_dimension(true))
+            .run(&ds, &WhoisRegistry::new());
+        assert_eq!(with_param.dimension_summaries.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let ds = TraceDataset::from_records(flux_trace());
+        let whois = WhoisRegistry::new();
+        let a = Smash::new(SmashConfig::default()).run(&ds, &whois);
+        let b = Smash::new(SmashConfig::default()).run(&ds, &whois);
+        assert_eq!(a.campaign_server_names(), b.campaign_server_names());
+    }
+}

@@ -1,0 +1,237 @@
+//! Pruning of noisy ASHs (paper §III-D): redirection groups and referrer
+//! groups are represented by their landing servers.
+//!
+//! * **Redirection group** — servers chained by 3xx redirects share
+//!   clients (and often IPs/files) trivially; each chain is replaced by
+//!   its landing (terminal) server.
+//! * **Referrer group** — servers embedded by the same landing page share
+//!   its visitors; when every member of a herd is referred by one common
+//!   server, the herd collapses to that landing server.
+
+use smash_trace::{ServerId, TraceDataset};
+use std::collections::BTreeSet;
+
+/// Follows `server`'s redirect chain to its terminal landing server
+/// (cycle-safe, at most `max_hops`).
+pub fn landing_of(dataset: &TraceDataset, server: ServerId, max_hops: usize) -> ServerId {
+    let mut cur = server;
+    let mut seen = BTreeSet::new();
+    for _ in 0..max_hops {
+        if !seen.insert(cur) {
+            break; // cycle
+        }
+        match dataset.redirect_of(cur) {
+            Some(next) if next != cur => cur = next,
+            _ => break,
+        }
+    }
+    cur
+}
+
+/// The *dominant referrer* of a server: the single referring server that
+/// accounts for at least `min_share` of the server's requests, if any.
+///
+/// Campaign traffic carries no `Referer` header (bots talk to their
+/// servers directly), so this only fires on embedded/mirrored content —
+/// the paper's referrer groups.
+pub fn dominant_referrer(
+    dataset: &TraceDataset,
+    server: ServerId,
+    min_share: f64,
+) -> Option<ServerId> {
+    let mut total = 0usize;
+    let mut counts: std::collections::HashMap<ServerId, usize> = std::collections::HashMap::new();
+    for r in dataset.records_of(server) {
+        total += 1;
+        if let Some(rf) = r.referrer {
+            if rf != server {
+                *counts.entry(rf).or_insert(0) += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(s, c)| (c, std::cmp::Reverse(s)))
+        .filter(|&(_, c)| c as f64 >= min_share * total as f64)
+        .map(|(s, _)| s)
+}
+
+/// Prunes one candidate herd (paper §III-D). Returns the surviving member
+/// list (sorted, deduplicated), or `None` when pruning collapses it below
+/// `min_size`.
+///
+/// Two replacements run, both "represent the group by its landing server"
+/// rather than dropping servers outright:
+///
+/// * members at the head of a redirect chain become their chain's
+///   terminal landing server;
+/// * members whose requests are dominated by one referring page become
+///   that landing page.
+pub fn prune(
+    dataset: &TraceDataset,
+    servers: &[ServerId],
+    min_size: usize,
+) -> Option<Vec<ServerId>> {
+    if servers.is_empty() {
+        return None;
+    }
+    let mut replaced: BTreeSet<ServerId> = BTreeSet::new();
+    for &s in servers {
+        // Redirection groups first: follow the chain to its landing.
+        let mut rep = landing_of(dataset, s, 8);
+        // Referrer groups: an embedded/mirrored server is represented by
+        // the page that embeds it.
+        if let Some(landing) = dominant_referrer(dataset, rep, 0.5) {
+            rep = landing;
+        }
+        replaced.insert(rep);
+    }
+    let out: Vec<ServerId> = replaced.into_iter().collect();
+    if out.len() >= min_size {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::{HttpRecord, TraceDataset};
+
+    fn rec(client: &str, host: &str, uri: &str) -> HttpRecord {
+        HttpRecord::new(0, client, host, "1.1.1.1", uri)
+    }
+
+    #[test]
+    fn redirect_chain_collapses_to_landing() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c", "hop1.com", "/").with_redirect_to("hop2.com"),
+            rec("c", "hop2.com", "/").with_redirect_to("land.com"),
+            rec("c", "land.com", "/index.html"),
+            rec("c", "other.com", "/x"),
+        ]);
+        let ids: Vec<ServerId> = ["hop1.com", "hop2.com", "other.com"]
+            .iter()
+            .map(|s| ds.server_id(s).unwrap())
+            .collect();
+        let pruned = prune(&ds, &ids, 2).unwrap();
+        let names: Vec<&str> = pruned.iter().map(|&s| ds.server_name(s)).collect();
+        let mut expect = vec!["land.com", "other.com"];
+        expect.sort_unstable();
+        let mut got = names.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn redirect_cycle_is_safe() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c", "a.com", "/").with_redirect_to("b.com"),
+            rec("c", "b.com", "/").with_redirect_to("a.com"),
+        ]);
+        let a = ds.server_id("a.com").unwrap();
+        // Terminates and lands somewhere inside the cycle.
+        let l = landing_of(&ds, a, 8);
+        assert!(l == a || l == ds.server_id("b.com").unwrap());
+    }
+
+    #[test]
+    fn referrer_group_collapses_below_min_size() {
+        // cdn1/cdn2 both only referred by land.com → herd collapses to
+        // land.com alone → dropped at min_size 2.
+        let ds = TraceDataset::from_records(vec![
+            rec("c", "cdn1.com", "/a.png").with_referrer("land.com"),
+            rec("c", "cdn2.com", "/b.png").with_referrer("land.com"),
+            rec("c", "land.com", "/"),
+        ]);
+        let ids: Vec<ServerId> = ["cdn1.com", "cdn2.com"]
+            .iter()
+            .map(|s| ds.server_id(s).unwrap())
+            .collect();
+        assert!(prune(&ds, &ids, 2).is_none());
+    }
+
+    #[test]
+    fn mirror_family_with_landing_inside_collapses() {
+        // The landing page itself is in the herd together with its
+        // mirrors: mirrors are replaced by the landing, group → 1 server.
+        let ds = TraceDataset::from_records(vec![
+            rec("c", "land.com", "/x.html"),
+            rec("c", "mirror1.com", "/x.html").with_referrer("land.com"),
+            rec("c", "mirror2.com", "/x.html").with_referrer("land.com"),
+        ]);
+        let ids: Vec<ServerId> = ["land.com", "mirror1.com", "mirror2.com"]
+            .iter()
+            .map(|s| ds.server_id(s).unwrap())
+            .collect();
+        assert!(prune(&ds, &ids, 2).is_none());
+    }
+
+    #[test]
+    fn dominant_referrer_requires_majority() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "s.com", "/a").with_referrer("land1.com"),
+            rec("c2", "s.com", "/b").with_referrer("land2.com"),
+            rec("c3", "s.com", "/c"),
+        ]);
+        let s = ds.server_id("s.com").unwrap();
+        // Best referrer covers 1/3 of requests < 0.5.
+        assert_eq!(dominant_referrer(&ds, s, 0.5), None);
+        assert!(dominant_referrer(&ds, s, 0.3).is_some());
+    }
+
+    #[test]
+    fn campaign_without_referrers_survives() {
+        let ds = TraceDataset::from_records(vec![
+            rec("b1", "cc1.com", "/login.php"),
+            rec("b1", "cc2.com", "/login.php"),
+            rec("b1", "cc3.com", "/login.php"),
+        ]);
+        let ids: Vec<ServerId> = ["cc1.com", "cc2.com", "cc3.com"]
+            .iter()
+            .map(|s| ds.server_id(s).unwrap())
+            .collect();
+        assert_eq!(prune(&ds, &ids, 2).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn mixed_referrers_collapse_to_their_landings() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c", "s1.com", "/x").with_referrer("land1.com"),
+            rec("c", "s2.com", "/x").with_referrer("land2.com"),
+            rec("c", "land1.com", "/"),
+            rec("c", "land2.com", "/"),
+        ]);
+        let ids: Vec<ServerId> = ["s1.com", "s2.com"]
+            .iter()
+            .map(|s| ds.server_id(s).unwrap())
+            .collect();
+        let out = prune(&ds, &ids, 2).unwrap();
+        let names: Vec<&str> = out.iter().map(|&s| ds.server_name(s)).collect();
+        assert!(names.contains(&"land1.com") && names.contains(&"land2.com"));
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        let ds = TraceDataset::from_records(vec![rec("c", "x.com", "/")]);
+        assert!(prune(&ds, &[], 2).is_none());
+    }
+
+    #[test]
+    fn partial_referrer_coverage_does_not_collapse() {
+        // Only one member has a referrer: not a referrer group.
+        let ds = TraceDataset::from_records(vec![
+            rec("c", "s1.com", "/x").with_referrer("land.com"),
+            rec("c", "s2.com", "/x"),
+        ]);
+        let ids: Vec<ServerId> = ["s1.com", "s2.com"]
+            .iter()
+            .map(|s| ds.server_id(s).unwrap())
+            .collect();
+        assert_eq!(prune(&ds, &ids, 2).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Pipeline output: inferred campaigns and run summaries.
+
+use crate::ash::MinedDimension;
+use crate::dimensions::DimensionKind;
+use serde::{Deserialize, Serialize};
+use smash_trace::ServerId;
+
+/// One inferred malicious campaign.
+///
+/// The per-server vectors (`server_ids`, `servers`, `scores`,
+/// `dimensions`) are parallel and sorted by server id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferredCampaign {
+    /// Member server ids (ascending).
+    pub server_ids: Vec<ServerId>,
+    /// Member server display names, parallel to `server_ids`.
+    pub servers: Vec<String>,
+    /// eq. 9 score per server (`0` for servers introduced by pruning's
+    /// landing-server replacement).
+    pub scores: Vec<f64>,
+    /// Contributing secondary dimensions per server.
+    pub dimensions: Vec<Vec<DimensionKind>>,
+    /// Distinct clients contacting the campaign's servers.
+    pub client_count: usize,
+    /// `true` when driven by a single client (Appendix C regime).
+    pub single_client: bool,
+}
+
+impl InferredCampaign {
+    /// Number of servers in the campaign.
+    pub fn server_count(&self) -> usize {
+        self.server_ids.len()
+    }
+
+    /// `true` when `name` is one of the campaign's servers.
+    pub fn contains_server(&self, name: &str) -> bool {
+        self.servers.iter().any(|s| s == name)
+    }
+
+    /// The union of contributing secondary dimensions across servers.
+    pub fn dimension_set(&self) -> Vec<DimensionKind> {
+        let mut v: Vec<DimensionKind> = self
+            .dimensions
+            .iter()
+            .flat_map(|d| d.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Size summary of one mined dimension.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DimensionSummary {
+    /// Which dimension.
+    pub kind: DimensionKind,
+    /// Edges in the similarity graph.
+    pub edges: usize,
+    /// Number of ASHs (communities of ≥ 2).
+    pub ashes: usize,
+    /// Servers covered by ASHs.
+    pub herded_servers: usize,
+}
+
+/// The complete output of one SMASH run.
+#[derive(Debug)]
+pub struct SmashReport {
+    /// Inferred campaigns, largest first.
+    pub campaigns: Vec<InferredCampaign>,
+    /// Servers surviving the IDF filter.
+    pub kept_servers: usize,
+    /// Servers dropped for popularity.
+    pub dropped_popular: usize,
+    /// Per-dimension sizes.
+    pub dimension_summaries: Vec<DimensionSummary>,
+    /// The mined main dimension (exposed for analyses like the paper's
+    /// Fig. 3 cluster inspection).
+    pub main: MinedDimension,
+    /// The mined secondary dimensions.
+    pub secondaries: Vec<MinedDimension>,
+}
+
+impl SmashReport {
+    /// Campaigns with at least `n` involved clients (Table II counts
+    /// campaigns with ≥ 2; Tables XI/XII count the single-client ones).
+    pub fn campaigns_with_min_clients(&self, n: usize) -> Vec<&InferredCampaign> {
+        self.campaigns.iter().filter(|c| c.client_count >= n).collect()
+    }
+
+    /// The single-client campaigns (Appendix C).
+    pub fn single_client_campaigns(&self) -> Vec<&InferredCampaign> {
+        self.campaigns.iter().filter(|c| c.single_client).collect()
+    }
+
+    /// The multi-client campaigns.
+    pub fn multi_client_campaigns(&self) -> Vec<&InferredCampaign> {
+        self.campaigns.iter().filter(|c| !c.single_client).collect()
+    }
+
+    /// Total servers across all campaigns (servers in several campaigns
+    /// count once).
+    pub fn inferred_server_count(&self) -> usize {
+        let mut ids: Vec<ServerId> = self
+            .campaigns
+            .iter()
+            .flat_map(|c| c.server_ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Campaign server lists as name vectors (for the verdict engine).
+    pub fn campaign_server_names(&self) -> Vec<Vec<String>> {
+        self.campaigns.iter().map(|c| c.servers.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign(ids: &[u32], single: bool, clients: usize) -> InferredCampaign {
+        InferredCampaign {
+            server_ids: ids.to_vec(),
+            servers: ids.iter().map(|i| format!("s{i}.com")).collect(),
+            scores: vec![1.0; ids.len()],
+            dimensions: vec![vec![DimensionKind::UriFile]; ids.len()],
+            client_count: clients,
+            single_client: single,
+        }
+    }
+
+    fn report(campaigns: Vec<InferredCampaign>) -> SmashReport {
+        use smash_graph::{GraphBuilder, Partition};
+        SmashReport {
+            campaigns,
+            kept_servers: 10,
+            dropped_popular: 2,
+            dimension_summaries: vec![],
+            main: MinedDimension {
+                kind: DimensionKind::Client,
+                graph: GraphBuilder::new().build(),
+                partition: Partition::singletons(0),
+                ashes: vec![],
+                membership: Default::default(),
+            },
+            secondaries: vec![],
+        }
+    }
+
+    #[test]
+    fn client_count_filters() {
+        let r = report(vec![campaign(&[0, 1], true, 1), campaign(&[2, 3], false, 4)]);
+        assert_eq!(r.campaigns_with_min_clients(2).len(), 1);
+        assert_eq!(r.single_client_campaigns().len(), 1);
+        assert_eq!(r.multi_client_campaigns().len(), 1);
+    }
+
+    #[test]
+    fn server_count_dedups() {
+        let r = report(vec![campaign(&[0, 1], false, 2), campaign(&[1, 2], false, 2)]);
+        assert_eq!(r.inferred_server_count(), 3);
+    }
+
+    #[test]
+    fn campaign_helpers() {
+        let c = campaign(&[5, 7], false, 3);
+        assert_eq!(c.server_count(), 2);
+        assert!(c.contains_server("s5.com"));
+        assert!(!c.contains_server("nope.com"));
+        assert_eq!(c.dimension_set(), vec![DimensionKind::UriFile]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Cross-day campaign tracking — the deployment loop behind the paper's
+//! week experiment (Tables V/VI, Fig. 7).
+//!
+//! SMASH runs once per day; the tracker accumulates the inferred servers
+//! and infected clients and classifies each new day's inferences into the
+//! paper's three evolution classes: *persistent* servers (seen before),
+//! *agile* servers (new infrastructure contacted by already-known
+//! infected clients), and *new-campaign* servers (new infrastructure,
+//! new clients).
+
+use crate::report::SmashReport;
+use serde::{Deserialize, Serialize};
+use smash_trace::TraceDataset;
+use std::collections::BTreeSet;
+
+/// One day's classification (Fig. 7 row).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DayDelta {
+    /// Servers inferred today that were already known.
+    pub persistent: Vec<String>,
+    /// New servers contacted by already-known infected clients — the
+    /// paper's dominant class (campaigns rotating domains daily).
+    pub agile: Vec<String>,
+    /// New servers contacted only by previously unseen clients.
+    pub new_campaign: Vec<String>,
+    /// Infected clients first seen today.
+    pub new_clients: Vec<String>,
+}
+
+impl DayDelta {
+    /// Total servers inferred today.
+    pub fn server_count(&self) -> usize {
+        self.persistent.len() + self.agile.len() + self.new_campaign.len()
+    }
+}
+
+/// Accumulates inferred infrastructure across daily runs.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{Smash, SmashConfig, tracker::CampaignTracker};
+/// use smash_synth::Scenario;
+///
+/// let data = Scenario::small_day(3).generate();
+/// let report = Smash::new(SmashConfig::default()).run(&data.dataset, &data.whois);
+/// let mut tracker = CampaignTracker::new();
+/// let day1 = tracker.observe(&report, &data.dataset);
+/// // Everything is new on the first day.
+/// assert!(day1.persistent.is_empty());
+/// assert_eq!(day1.server_count(), report.inferred_server_count());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CampaignTracker {
+    known_servers: BTreeSet<String>,
+    known_clients: BTreeSet<String>,
+    days_observed: usize,
+}
+
+impl CampaignTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of days observed so far.
+    pub fn days_observed(&self) -> usize {
+        self.days_observed
+    }
+
+    /// Every malicious server seen so far, ascending.
+    pub fn known_servers(&self) -> impl Iterator<Item = &str> {
+        self.known_servers.iter().map(String::as_str)
+    }
+
+    /// Every infected client seen so far, ascending.
+    pub fn known_clients(&self) -> impl Iterator<Item = &str> {
+        self.known_clients.iter().map(String::as_str)
+    }
+
+    /// `true` once `server` has appeared in any observed report.
+    pub fn knows_server(&self, server: &str) -> bool {
+        self.known_servers.contains(server)
+    }
+
+    /// Ingests one day's report, classifying and then absorbing it.
+    pub fn observe(&mut self, report: &SmashReport, dataset: &TraceDataset) -> DayDelta {
+        let mut delta = DayDelta::default();
+        let mut today_servers: BTreeSet<String> = BTreeSet::new();
+        let mut today_clients: BTreeSet<String> = BTreeSet::new();
+        for c in &report.campaigns {
+            for (name, &sid) in c.servers.iter().zip(&c.server_ids) {
+                today_servers.insert(name.clone());
+                let _ = sid;
+            }
+            for &sid in &c.server_ids {
+                for &cl in dataset.clients_of(sid) {
+                    today_clients.insert(dataset.client_name(cl).to_owned());
+                }
+            }
+        }
+        for server in &today_servers {
+            if self.known_servers.contains(server) {
+                delta.persistent.push(server.clone());
+                continue;
+            }
+            let contacts_known_client = dataset.server_id(server).is_some_and(|sid| {
+                dataset
+                    .clients_of(sid)
+                    .iter()
+                    .any(|&c| self.known_clients.contains(dataset.client_name(c)))
+            });
+            if contacts_known_client {
+                delta.agile.push(server.clone());
+            } else {
+                delta.new_campaign.push(server.clone());
+            }
+        }
+        delta.new_clients = today_clients
+            .iter()
+            .filter(|c| !self.known_clients.contains(*c))
+            .cloned()
+            .collect();
+        self.known_servers.extend(today_servers);
+        self.known_clients.extend(today_clients);
+        self.days_observed += 1;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Smash;
+    use crate::SmashConfig;
+    use smash_trace::{HttpRecord, TraceDataset};
+    use smash_whois::WhoisRegistry;
+
+    /// A trivially detectable flux herd over `domains` driven by `bots`.
+    fn day(domains: &[&str], bots: &[&str]) -> TraceDataset {
+        let mut records = Vec::new();
+        for bot in bots {
+            for d in domains {
+                records.push(HttpRecord::new(0, bot, d, "66.0.0.1", "/gate/login.php?p=1"));
+            }
+            // Background so bots aren't the only clients in the trace.
+            for s in 0..6 {
+                records.push(HttpRecord::new(
+                    1,
+                    &format!("user{s}"),
+                    &format!("site{s}.com"),
+                    &format!("23.0.0.{s}"),
+                    "/index.html",
+                ));
+            }
+        }
+        TraceDataset::from_records(records)
+    }
+
+    fn run(ds: &TraceDataset) -> SmashReport {
+        Smash::new(SmashConfig::default()).run(ds, &WhoisRegistry::new())
+    }
+
+    #[test]
+    fn first_day_is_all_new() {
+        let ds = day(&["cc1.biz", "cc2.biz", "cc3.biz", "cc4.biz", "cc5.biz"], &["b1", "b2"]);
+        let report = run(&ds);
+        let mut tracker = CampaignTracker::new();
+        let delta = tracker.observe(&report, &ds);
+        assert!(delta.persistent.is_empty());
+        assert_eq!(delta.server_count(), 5);
+        assert_eq!(tracker.days_observed(), 1);
+        assert!(tracker.knows_server("cc1.biz"));
+    }
+
+    #[test]
+    fn same_servers_next_day_are_persistent() {
+        let ds = day(&["cc1.biz", "cc2.biz", "cc3.biz", "cc4.biz", "cc5.biz"], &["b1", "b2"]);
+        let report = run(&ds);
+        let mut tracker = CampaignTracker::new();
+        tracker.observe(&report, &ds);
+        let delta = tracker.observe(&report, &ds);
+        assert_eq!(delta.persistent.len(), 5);
+        assert!(delta.agile.is_empty());
+        assert!(delta.new_campaign.is_empty());
+    }
+
+    #[test]
+    fn rotated_domains_under_known_bots_are_agile() {
+        let d1 = day(&["a1.biz", "a2.biz", "a3.biz", "a4.biz", "a5.biz"], &["b1", "b2"]);
+        let d2 = day(&["z1.biz", "z2.biz", "z3.biz", "z4.biz", "z5.biz"], &["b1", "b2"]);
+        let mut tracker = CampaignTracker::new();
+        tracker.observe(&run(&d1), &d1);
+        let delta = tracker.observe(&run(&d2), &d2);
+        assert_eq!(delta.agile.len(), 5, "{delta:?}");
+        assert!(delta.new_campaign.is_empty());
+    }
+
+    #[test]
+    fn fresh_bots_and_servers_are_a_new_campaign() {
+        let d1 = day(&["a1.biz", "a2.biz", "a3.biz", "a4.biz", "a5.biz"], &["b1", "b2"]);
+        let d2 = day(&["z1.biz", "z2.biz", "z3.biz", "z4.biz", "z5.biz"], &["c8", "c9"]);
+        let mut tracker = CampaignTracker::new();
+        tracker.observe(&run(&d1), &d1);
+        let delta = tracker.observe(&run(&d2), &d2);
+        assert_eq!(delta.new_campaign.len(), 5, "{delta:?}");
+        assert!(delta.agile.is_empty());
+        assert!(!delta.new_clients.is_empty());
+    }
+}

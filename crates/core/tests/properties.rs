@@ -1,0 +1,170 @@
+//! Property-based tests over the pipeline's algorithmic invariants.
+
+use proptest::prelude::*;
+use smash_core::ash::{Ash, MinedDimension};
+use smash_core::correlation::correlate;
+use smash_core::dimensions::DimensionKind;
+use smash_core::math::{erf, phi};
+use smash_core::pruning::prune;
+use smash_core::{Smash, SmashConfig};
+use smash_graph::{GraphBuilder, Partition};
+use smash_trace::{HttpRecord, TraceDataset};
+use smash_whois::WhoisRegistry;
+use std::collections::HashMap;
+
+fn dim_from_herds(kind: DimensionKind, herds: Vec<Vec<u32>>, density: f64) -> MinedDimension {
+    let mut ashes = Vec::new();
+    let mut membership = HashMap::new();
+    for mut members in herds {
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            continue;
+        }
+        let idx = ashes.len();
+        for &s in &members {
+            membership.insert(s, idx);
+        }
+        ashes.push(Ash { members, density });
+    }
+    MinedDimension {
+        kind,
+        graph: GraphBuilder::new().build(),
+        partition: Partition::singletons(0),
+        ashes,
+        membership,
+    }
+}
+
+/// A dataset in which servers `0..n` are each visited by `clients` many
+/// shared clients.
+fn flat_dataset(n_servers: usize, clients: usize) -> TraceDataset {
+    let mut records = Vec::new();
+    for s in 0..n_servers {
+        for c in 0..clients {
+            records.push(HttpRecord::new(
+                0,
+                &format!("c{c}"),
+                &format!("srv{s}.com"),
+                "1.1.1.1",
+                "/f.php",
+            ));
+        }
+    }
+    TraceDataset::from_records(records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn erf_bounded_odd_monotone(x in -6.0f64..6.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((erf(-x) + v).abs() < 1e-9);
+        prop_assert!(erf(x + 0.01) >= v - 1e-9);
+    }
+
+    #[test]
+    fn phi_is_a_cdf(x in -50.0f64..50.0, mu in 0.0f64..10.0, sigma in 0.5f64..10.0) {
+        let v = phi(x, mu, sigma);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(phi(x + 0.1, mu, sigma) >= v - 1e-12);
+    }
+
+    #[test]
+    fn correlation_scores_bounded_by_dimension_count(
+        herd_size in 2usize..20,
+        n_secondary in 0usize..4,
+        density in 0.01f64..1.0,
+    ) {
+        let members: Vec<u32> = (0..herd_size as u32).collect();
+        let ds = flat_dataset(herd_size, 3);
+        let main = dim_from_herds(DimensionKind::Client, vec![members.clone()], density);
+        let secondaries: Vec<MinedDimension> = (0..n_secondary)
+            .map(|_| dim_from_herds(DimensionKind::UriFile, vec![members.clone()], density))
+            .collect();
+        let cfg = SmashConfig::default().with_threshold(0.0);
+        let out = correlate(&ds, &main, &secondaries, &cfg);
+        // Every score lies in [0, n_secondary] (each dimension contributes
+        // at most density² · φ ≤ 1).
+        for ca in &out {
+            for &s in &ca.scores {
+                prop_assert!(s >= 0.0 && s <= n_secondary as f64 + 1e-9, "score {}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_is_monotone_in_threshold(
+        herd_size in 4usize..16,
+        t1 in 0.0f64..1.0,
+        dt in 0.0f64..1.0,
+    ) {
+        let members: Vec<u32> = (0..herd_size as u32).collect();
+        let ds = flat_dataset(herd_size, 3);
+        let main = dim_from_herds(DimensionKind::Client, vec![members.clone()], 1.0);
+        let sec = vec![
+            dim_from_herds(DimensionKind::UriFile, vec![members.clone()], 1.0),
+            dim_from_herds(DimensionKind::IpSet, vec![members], 0.7),
+        ];
+        let lo = correlate(&ds, &main, &sec, &SmashConfig::default().with_threshold(t1));
+        let hi = correlate(&ds, &main, &sec, &SmashConfig::default().with_threshold(t1 + dt));
+        let count = |v: &[smash_core::correlation::CorrelatedAsh]| -> usize {
+            v.iter().map(|c| c.servers.len()).sum()
+        };
+        prop_assert!(count(&lo) >= count(&hi));
+    }
+
+    #[test]
+    fn pruning_never_returns_duplicates_or_small_groups(
+        n_servers in 1usize..12,
+        min_size in 1usize..4,
+    ) {
+        let mut records = Vec::new();
+        for s in 0..n_servers {
+            records.push(HttpRecord::new(0, "c", &format!("s{s}.com"), "1.1.1.1", "/x"));
+        }
+        let ds = TraceDataset::from_records(records);
+        let servers: Vec<u32> = ds.server_ids().collect();
+        if let Some(out) = prune(&ds, &servers, min_size) {
+            prop_assert!(out.len() >= min_size);
+            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        }
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_small_traces(
+        recs in prop::collection::vec(
+            ("[a-d]", "[a-f]{3}\\.(com|biz)", 0u8..4, "/[a-z]{1,6}(\\.php)?(\\?k=[0-9])?", 0u64..86_400),
+            1..60,
+        )
+    ) {
+        let records: Vec<HttpRecord> = recs
+            .iter()
+            .map(|(c, h, ip, uri, ts)| {
+                HttpRecord::new(*ts, c, h, &format!("10.0.0.{ip}"), uri)
+            })
+            .collect();
+        let ds = TraceDataset::from_records(records);
+        let report = Smash::new(
+            SmashConfig::default()
+                .with_param_pattern_dimension(true)
+                .with_timing_dimension(true),
+        )
+        .run(&ds, &WhoisRegistry::new());
+        // Structural invariants of the report.
+        for c in &report.campaigns {
+            prop_assert!(c.server_count() >= 2);
+            prop_assert_eq!(c.servers.len(), c.server_ids.len());
+            prop_assert_eq!(c.servers.len(), c.scores.len());
+            prop_assert_eq!(c.servers.len(), c.dimensions.len());
+            prop_assert!(c.server_ids.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(c.single_client, c.client_count <= 1);
+        }
+        prop_assert_eq!(
+            report.kept_servers + report.dropped_popular,
+            ds.server_count()
+        );
+    }
+}

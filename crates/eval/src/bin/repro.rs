@@ -1,0 +1,79 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list              list available experiments
+//! repro table2            run one experiment
+//! repro all               run everything (paper order)
+//! repro all --seed 42     fixed seed (default 7)
+//! repro all --out results # additionally write <dir>/<id>.txt per experiment
+//! ```
+
+use smash_eval::experiments::{all_experiments, find};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 7u64;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value: {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out_dir = Some(std::path::PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                })));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if targets.is_empty() || targets[0] == "list" {
+        println!("available experiments (run `repro <id>` or `repro all`):\n");
+        for e in all_experiments() {
+            println!("  {:8}  {}", e.id, e.title);
+            println!("  {:8}  paper: {}", "", e.paper);
+        }
+        return;
+    }
+    let to_run: Vec<_> = if targets.iter().any(|t| t == "all") {
+        all_experiments()
+    } else {
+        targets
+            .iter()
+            .map(|t| {
+                find(t).unwrap_or_else(|| {
+                    eprintln!("unknown experiment `{t}` — try `repro list`");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    for e in to_run {
+        let started = std::time::Instant::now();
+        let out = (e.run)(seed);
+        println!("================================================================");
+        println!("{} (seed {seed}, {:.1}s)", e.title, started.elapsed().as_secs_f64());
+        println!("================================================================");
+        println!("{out}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.txt", e.id));
+            if let Err(err) = std::fs::write(&path, &out) {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

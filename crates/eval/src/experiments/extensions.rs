@@ -1,0 +1,136 @@
+//! Extra experiment — the paper's §VI extension dimensions in action.
+//!
+//! An attacker who knows SMASH randomizes every per-server artifact:
+//! unique handler filenames, one IP per domain, clean per-domain Whois.
+//! The three paper dimensions then have nothing to correlate and the
+//! herd evades. But the bots still (a) speak one protocol — a fixed
+//! query-key pattern — and (b) poll in synchronized bursts. The proposed
+//! parameter-pattern and timing dimensions recover exactly this herd.
+
+use crate::harness::run_smash;
+use crate::table::TextTable;
+use smash_core::{Smash, SmashConfig};
+use smash_synth::Scenario;
+use smash_trace::{HttpRecord, TraceDataset};
+use smash_whois::WhoisRegistry;
+
+/// Builds the small benign background plus one fully-split campaign.
+/// Returns (dataset, whois, campaign domains).
+pub fn split_campaign_scenario(seed: u64) -> (TraceDataset, WhoisRegistry, Vec<String>) {
+    let data = Scenario::small_day(seed).generate();
+    let mut records: Vec<HttpRecord> = data
+        .dataset
+        .records()
+        .iter()
+        .map(|r| {
+            HttpRecord::new(
+                r.timestamp,
+                data.dataset.client_name(r.client),
+                data.dataset.server_name(r.server),
+                data.dataset.ip_name(r.ip),
+                data.dataset.path_name(r.path),
+            )
+            .with_user_agent(data.dataset.user_agent_name(r.user_agent))
+            .with_status(r.status)
+        })
+        .collect();
+    let domains: Vec<String> = (0..8).map(|i| format!("split{i}x{seed}.biz")).collect();
+    // Synchronized polling bursts, deterministic in the seed.
+    let bursts = [20_000 + (seed % 7) * 1000, 55_000 + (seed % 5) * 1000];
+    for (i, d) in domains.iter().enumerate() {
+        for (bi, bot) in ["client-00001", "client-00002", "client-00003"].iter().enumerate() {
+            for (wi, w) in bursts.iter().enumerate() {
+                records.push(
+                    HttpRecord::new(
+                        w + (i as u64 * 37) + (bi as u64 * 91) + (wi as u64 * 13),
+                        bot,
+                        d,
+                        &format!("185.70.{i}.1"),
+                        // Unique path+file per domain; shared key pattern.
+                        &format!("/h{i}/u{i}k{seed}.php?cmd={i}&seq={bi}{wi}&tk=9"),
+                    )
+                    .with_user_agent("Mozilla/4.0 (compatible)"),
+                );
+            }
+        }
+    }
+    (TraceDataset::from_records(records), data.whois.clone(), domains)
+}
+
+fn recovered(ds: &TraceDataset, whois: &WhoisRegistry, config: SmashConfig, domains: &[String]) -> usize {
+    let report = Smash::new(config).run(ds, whois);
+    domains
+        .iter()
+        .filter(|d| report.campaigns.iter().any(|c| c.contains_server(d)))
+        .count()
+}
+
+/// Runs the extension comparison.
+pub fn run(seed: u64) -> String {
+    let (ds, whois, domains) = split_campaign_scenario(seed);
+    let base = recovered(&ds, &whois, SmashConfig::default(), &domains);
+    let with_param = recovered(
+        &ds,
+        &whois,
+        SmashConfig::default().with_param_pattern_dimension(true),
+        &domains,
+    );
+    let with_both = recovered(
+        &ds,
+        &whois,
+        SmashConfig::default()
+            .with_param_pattern_dimension(true)
+            .with_timing_dimension(true),
+        &domains,
+    );
+    let mut t = TextTable::new(vec!["configuration", "split-campaign servers recovered"]);
+    t.row(vec!["paper dimensions only".into(), format!("{base}/8")]);
+    t.row(vec!["+ parameter-pattern".into(), format!("{with_param}/8")]);
+    t.row(vec!["+ parameter-pattern + timing".into(), format!("{with_both}/8")]);
+    // Sanity: the extensions must not regress the planted baseline herds.
+    let data = Scenario::small_day(seed).generate();
+    let base_all = run_smash(&data, SmashConfig::default()).inferred_server_count();
+    let ext_all = run_smash(
+        &data,
+        SmashConfig::default()
+            .with_param_pattern_dimension(true)
+            .with_timing_dimension(true),
+    )
+    .inferred_server_count();
+    format!(
+        "Extra — §VI extension dimensions vs a dimension-splitting attacker\n\n{}\n\
+         On the unmodified small scenario the extensions keep every baseline\n\
+         detection ({base_all} → {ext_all} servers).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_catch_the_split_campaign() {
+        let (ds, whois, domains) = split_campaign_scenario(4);
+        // Evades the paper's three dimensions…
+        let base = recovered(&ds, &whois, SmashConfig::default(), &domains);
+        assert_eq!(base, 0, "split campaign should evade the base dimensions");
+        // …but not param-pattern + timing.
+        let both = recovered(
+            &ds,
+            &whois,
+            SmashConfig::default()
+                .with_param_pattern_dimension(true)
+                .with_timing_dimension(true),
+            &domains,
+        );
+        assert_eq!(both, 8, "extensions should recover the whole herd");
+    }
+
+    #[test]
+    fn renders() {
+        let out = run(4);
+        assert!(out.contains("parameter-pattern"));
+        assert!(out.contains("timing"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 8 — effectiveness of the secondary dimensions: which
+//! combination of dimensions confirmed each inferred server.
+
+use crate::harness::run_smash;
+use crate::table::TextTable;
+use smash_core::{DimensionKind, SmashConfig};
+use smash_synth::Scenario;
+use std::collections::BTreeMap;
+
+/// Regenerates the Fig. 8 decomposition.
+pub fn run(seed: u64) -> String {
+    let data = Scenario::data2011_day(seed).generate();
+    let report = run_smash(&data, SmashConfig::default());
+    let mut combos: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for c in &report.campaigns {
+        for dims in &c.dimensions {
+            total += 1;
+            let key = if dims.is_empty() {
+                "(landing-server replacement)".to_string()
+            } else {
+                dims.iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            *combos.entry(key).or_insert(0) += 1;
+        }
+    }
+    // Per-dimension marginal contribution.
+    let mut marginal: BTreeMap<DimensionKind, usize> = BTreeMap::new();
+    for c in &report.campaigns {
+        for dims in &c.dimensions {
+            for &d in dims {
+                *marginal.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut t = TextTable::new(vec!["dimension combination", "servers", "share"]);
+    let mut sorted: Vec<(String, usize)> = combos.into_iter().collect();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    for (combo, n) in sorted {
+        t.row(vec![
+            combo,
+            n.to_string(),
+            format!("{:.1}%", 100.0 * n as f64 / total.max(1) as f64),
+        ]);
+    }
+    let mut m = TextTable::new(vec!["dimension (in any combo)", "servers", "share"]);
+    for (d, n) in marginal {
+        m.row(vec![
+            d.to_string(),
+            n.to_string(),
+            format!("{:.1}%", 100.0 * n as f64 / total.max(1) as f64),
+        ]);
+    }
+    format!(
+        "Figure 8 — effectiveness of secondary dimensions over {total} inferred servers\n\
+         (paper: URI-file alone contributes 53.71%; IP+file 14.16%; file+whois 17.01%;\n\
+          all three 15.05%)\n\n{}\n{}",
+        t.render(),
+        m.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn uri_file_is_the_dominant_dimension() {
+        let out = super::run(7);
+        assert!(out.contains("uri-file"), "{out}");
+        // The first (largest) combination row should involve uri-file —
+        // the paper's headline Fig. 8 finding.
+        let first_row = out
+            .lines()
+            .skip_while(|l| !l.starts_with("dimension combination"))
+            .nth(2)
+            .unwrap_or("");
+        assert!(first_row.contains("uri-file"), "dominant combo: {first_row}");
+    }
+}

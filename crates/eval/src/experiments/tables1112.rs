@@ -1,0 +1,109 @@
+//! Tables XI and XII — the single-client-campaign regime (Appendix C),
+//! swept over the inference threshold.
+
+use crate::harness::run_day;
+use crate::table::TextTable;
+use smash_core::SmashConfig;
+use smash_groundtruth::{CampaignBreakdown, ServerBreakdown};
+use smash_synth::{Scenario, ScenarioData};
+
+use super::tables23::THRESHOLDS;
+
+fn sweep(data: &ScenarioData) -> (Vec<CampaignBreakdown>, Vec<ServerBreakdown>) {
+    let mut c = Vec::new();
+    let mut s = Vec::new();
+    for &t in &THRESHOLDS {
+        let run = run_day(data, SmashConfig::default().with_single_client_threshold(t));
+        c.push(run.single_campaign_breakdown());
+        s.push(run.single_server_breakdown());
+    }
+    (c, s)
+}
+
+fn header() -> Vec<String> {
+    let mut h = vec!["Threshold".to_string()];
+    for ds in ["2011", "2012"] {
+        for t in THRESHOLDS {
+            h.push(format!("{ds}:{t}"));
+        }
+    }
+    h
+}
+
+/// Regenerates Table XI (single-client campaigns).
+pub fn run_table11(seed: u64) -> String {
+    let sweeps = [
+        sweep(&Scenario::data2011_day(seed).generate()),
+        sweep(&Scenario::data2012_day(seed).generate()),
+    ];
+    let get = |d: usize, i: usize| -> &CampaignBreakdown { &sweeps[d].0[i] };
+    let mut t = TextTable::new(header());
+    let mut row = |label: &str, f: &dyn Fn(&CampaignBreakdown) -> usize| {
+        let mut r = vec![label.to_string()];
+        for d in 0..2 {
+            for i in 0..THRESHOLDS.len() {
+                r.push(f(get(d, i)).to_string());
+            }
+        }
+        t.row(r);
+    };
+    row("SMASH", &|b| b.smash);
+    row("IDS total", &|b| b.ids2012_total + b.ids2013_total);
+    row("IDS partial", &|b| b.ids2012_partial + b.ids2013_partial);
+    row("Blacklist", &|b| b.blacklist_partial);
+    row("Suspicious", &|b| b.suspicious);
+    row("False Positives", &|b| b.false_positives);
+    row("FP (Updated)", &|b| b.fp_updated);
+    format!(
+        "Table XI — number of attack campaigns with a single client\n\n{}",
+        t.render()
+    )
+}
+
+/// Regenerates Table XII (servers in single-client campaigns).
+pub fn run_table12(seed: u64) -> String {
+    let sweeps = [
+        sweep(&Scenario::data2011_day(seed).generate()),
+        sweep(&Scenario::data2012_day(seed).generate()),
+    ];
+    let get = |d: usize, i: usize| -> &ServerBreakdown { &sweeps[d].1[i] };
+    let mut t = TextTable::new(header());
+    let mut row = |label: &str, f: &dyn Fn(&ServerBreakdown) -> usize| {
+        let mut r = vec![label.to_string()];
+        for d in 0..2 {
+            for i in 0..THRESHOLDS.len() {
+                r.push(f(get(d, i)).to_string());
+            }
+        }
+        t.row(r);
+    };
+    row("SMASH", &|b| b.smash);
+    row("IDS 2012", &|b| b.ids2012);
+    row("IDS 2013", &|b| b.ids2013);
+    row("Blacklist", &|b| b.blacklist);
+    row("New Servers", &|b| b.new_servers);
+    row("Suspicious", &|b| b.suspicious);
+    row("FP", &|b| b.false_positives);
+    row("FP (Updated)", &|b| b.fp_updated);
+    format!(
+        "Table XII — number of servers involved in single-client campaigns\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_counts_do_not_grow_with_threshold() {
+        let data = Scenario::small_day(8).generate();
+        let (c, s) = sweep(&data);
+        for w in c.windows(2) {
+            assert!(w[0].smash >= w[1].smash);
+        }
+        for w in s.windows(2) {
+            assert!(w[0].smash >= w[1].smash);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Tables II and III — campaign/server counts and confirmation taxonomy
+//! across the inference-threshold sweep.
+
+use crate::harness::run_day;
+use crate::table::TextTable;
+use smash_core::SmashConfig;
+use smash_groundtruth::{CampaignBreakdown, ServerBreakdown};
+use smash_synth::{Scenario, ScenarioData};
+
+/// The paper's threshold sweep.
+pub const THRESHOLDS: [f64; 4] = [0.5, 0.8, 1.0, 1.5];
+
+struct Sweep {
+    campaigns: Vec<CampaignBreakdown>,
+    servers: Vec<ServerBreakdown>,
+    /// FP-rate denominator: every server in the trace, as in the paper's
+    /// headline 0.064% figure.
+    total_servers: usize,
+}
+
+fn sweep(data: &ScenarioData) -> Sweep {
+    let mut campaigns = Vec::new();
+    let mut servers = Vec::new();
+    for &t in &THRESHOLDS {
+        let run = run_day(data, SmashConfig::default().with_threshold(t));
+        campaigns.push(run.campaign_breakdown());
+        servers.push(run.server_breakdown());
+    }
+    Sweep {
+        campaigns,
+        servers,
+        total_servers: data.dataset.server_count(),
+    }
+}
+
+fn header() -> Vec<String> {
+    let mut h = vec!["Infer Thresh.".to_string()];
+    for ds in ["2011", "2012"] {
+        for t in THRESHOLDS {
+            h.push(format!("{ds}:{t}"));
+        }
+    }
+    h
+}
+
+fn row<F: Fn(usize, usize) -> String>(label: &str, cell: F) -> Vec<String> {
+    let mut r = vec![label.to_string()];
+    for ds in 0..2 {
+        for ti in 0..THRESHOLDS.len() {
+            r.push(cell(ds, ti));
+        }
+    }
+    r
+}
+
+/// Regenerates Table II (multi-client campaigns).
+pub fn run_table2(seed: u64) -> String {
+    let sweeps = [
+        sweep(&Scenario::data2011_day(seed).generate()),
+        sweep(&Scenario::data2012_day(seed).generate()),
+    ];
+    let get = |ds: usize, ti: usize| -> &CampaignBreakdown { &sweeps[ds].campaigns[ti] };
+    let mut t = TextTable::new(header());
+    t.row(row("SMASH", |d, i| get(d, i).smash.to_string()));
+    t.row(row("IDS 2012 total", |d, i| get(d, i).ids2012_total.to_string()));
+    t.row(row("IDS 2013 total", |d, i| get(d, i).ids2013_total.to_string()));
+    t.row(row("IDS 2012 partial", |d, i| get(d, i).ids2012_partial.to_string()));
+    t.row(row("IDS 2013 partial", |d, i| get(d, i).ids2013_partial.to_string()));
+    t.row(row("Blacklist partial", |d, i| get(d, i).blacklist_partial.to_string()));
+    t.row(row("Suspicious", |d, i| get(d, i).suspicious.to_string()));
+    t.row(row("False Positives", |d, i| get(d, i).false_positives.to_string()));
+    t.row(row("FP (Updated)", |d, i| get(d, i).fp_updated.to_string()));
+    format!(
+        "Table II — number of malicious campaigns (multi-client) vs inference threshold\n\n{}",
+        t.render()
+    )
+}
+
+/// Regenerates Table III (servers in multi-client campaigns), including
+/// the headline false-positive rates.
+pub fn run_table3(seed: u64) -> String {
+    let sweeps = [
+        sweep(&Scenario::data2011_day(seed).generate()),
+        sweep(&Scenario::data2012_day(seed).generate()),
+    ];
+    let get = |ds: usize, ti: usize| -> &ServerBreakdown { &sweeps[ds].servers[ti] };
+    let mut t = TextTable::new(header());
+    t.row(row("SMASH", |d, i| get(d, i).smash.to_string()));
+    t.row(row("IDS 2012", |d, i| get(d, i).ids2012.to_string()));
+    t.row(row("IDS 2013", |d, i| get(d, i).ids2013.to_string()));
+    t.row(row("Blacklist", |d, i| get(d, i).blacklist.to_string()));
+    t.row(row("New Servers", |d, i| get(d, i).new_servers.to_string()));
+    t.row(row("Suspicious", |d, i| get(d, i).suspicious.to_string()));
+    t.row(row("False Positives", |d, i| get(d, i).false_positives.to_string()));
+    t.row(row("FP (Updated)", |d, i| get(d, i).fp_updated.to_string()));
+    t.row(row("FP rate", |d, i| {
+        format!("{:.3}%", 100.0 * get(d, i).fp_rate(sweeps[d].total_servers))
+    }));
+    t.row(row("FP rate (Updated)", |d, i| {
+        format!("{:.3}%", 100.0 * get(d, i).fp_rate_updated(sweeps[d].total_servers))
+    }));
+    let mult_08 = get(0, 1)
+        .discovery_multiplier()
+        .map(|m| format!("{m:.1}x"))
+        .unwrap_or_else(|| "n/a".into());
+    format!(
+        "Table III — number of servers in malicious activities vs inference threshold\n\n{}\n\
+         At thresh 0.8 on Data2011day, SMASH surfaces {mult_08} more servers than IDS+blacklists\n\
+         (paper: ~7x; 86.5% previously unknown).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The core Table II/III shape claims, checked at a smaller scale so
+    /// the test stays fast.
+    #[test]
+    fn fp_and_counts_decrease_with_threshold() {
+        let data = Scenario::small_day(9).generate();
+        let s = sweep(&data);
+        for w in s.servers.windows(2) {
+            assert!(w[0].smash >= w[1].smash, "server counts must not grow with thresh");
+        }
+        for w in s.campaigns.windows(2) {
+            assert!(
+                w[0].smash >= w[1].smash,
+                "campaign counts must not grow with thresh"
+            );
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let t2 = run_table2(3);
+        assert!(t2.contains("SMASH"));
+        assert!(t2.contains("FP (Updated)"));
+        let lines: Vec<&str> = t2.lines().collect();
+        assert!(lines.len() > 10);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared machinery: run the pipeline over a scenario and judge the
+//! output against the simulated label sources.
+
+use smash_core::{Smash, SmashConfig, SmashReport};
+use smash_groundtruth::{
+    CampaignBreakdown, JudgedCampaign, ServerBreakdown, VerdictEngine,
+};
+use smash_synth::ScenarioData;
+
+/// One day run: pipeline report plus judged campaigns, split by the
+/// paper's client-count regimes.
+#[derive(Debug)]
+pub struct DayRun {
+    /// The pipeline output.
+    pub report: SmashReport,
+    /// Judged multi-client campaigns (Table II/III material).
+    pub multi: Vec<JudgedCampaign>,
+    /// Judged single-client campaigns (Table XI/XII material).
+    pub single: Vec<JudgedCampaign>,
+}
+
+impl DayRun {
+    /// Campaign breakdown over the multi-client campaigns.
+    pub fn campaign_breakdown(&self) -> CampaignBreakdown {
+        CampaignBreakdown::from_judged(&self.multi)
+    }
+
+    /// Server breakdown over the multi-client campaigns.
+    pub fn server_breakdown(&self) -> ServerBreakdown {
+        ServerBreakdown::from_judged(&self.multi)
+    }
+
+    /// Campaign breakdown over the single-client campaigns.
+    pub fn single_campaign_breakdown(&self) -> CampaignBreakdown {
+        CampaignBreakdown::from_judged(&self.single)
+    }
+
+    /// Server breakdown over the single-client campaigns.
+    pub fn single_server_breakdown(&self) -> ServerBreakdown {
+        ServerBreakdown::from_judged(&self.single)
+    }
+}
+
+/// Runs SMASH over one generated day.
+pub fn run_smash(data: &ScenarioData, config: SmashConfig) -> SmashReport {
+    Smash::new(config).run(&data.dataset, &data.whois)
+}
+
+/// Judges a report's campaigns against the day's label sources.
+pub fn judge_report(data: &ScenarioData, report: &SmashReport) -> (Vec<JudgedCampaign>, Vec<JudgedCampaign>) {
+    let engine = VerdictEngine::new(&data.dataset, &data.ids2012, &data.ids2013, &data.blacklists)
+        .with_truth(&data.truth);
+    let mut multi = Vec::new();
+    let mut single = Vec::new();
+    for c in &report.campaigns {
+        let judged = engine.judge(&c.servers);
+        if c.single_client {
+            single.push(judged);
+        } else {
+            multi.push(judged);
+        }
+    }
+    (multi, single)
+}
+
+/// Runs and judges in one step.
+pub fn run_day(data: &ScenarioData, config: SmashConfig) -> DayRun {
+    let report = run_smash(data, config);
+    let (multi, single) = judge_report(data, &report);
+    DayRun {
+        report,
+        multi,
+        single,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_synth::Scenario;
+
+    #[test]
+    fn small_day_round_trip() {
+        let data = Scenario::small_day(3).generate();
+        let run = run_day(&data, SmashConfig::default());
+        assert!(!run.report.campaigns.is_empty());
+        let cb = run.campaign_breakdown();
+        assert_eq!(cb.smash, run.multi.len());
+        let sb = run.server_breakdown();
+        assert_eq!(
+            sb.smash,
+            run.multi.iter().map(|j| j.servers.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn judgments_partition_campaigns() {
+        let data = Scenario::small_day(5).generate();
+        let run = run_day(&data, SmashConfig::default());
+        assert_eq!(
+            run.multi.len() + run.single.len(),
+            run.report.campaigns.len()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of the SMASH
+//! paper's evaluation (§V and the appendices).
+//!
+//! Each experiment is a pure function of a seed: it generates the
+//! matching synthetic scenario, runs the pipeline, judges the output
+//! against the simulated IDS/blacklists, and renders the same rows or
+//! series the paper reports. The `repro` binary drives them:
+//!
+//! ```text
+//! repro list          # enumerate experiments
+//! repro table2        # regenerate Table II
+//! repro all --seed 7  # everything, fixed seed
+//! ```
+//!
+//! Absolute numbers differ from the paper (its substrate was nine days of
+//! real ISP traffic; ours is a seeded simulator at ~1/20 scale) — the
+//! *shapes* are what the harness reproduces: who wins, what decreases
+//! with the threshold, which dimension dominates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use experiments::{all_experiments, Experiment};
+pub use harness::{judge_report, run_smash, DayRun};
+pub use table::TextTable;

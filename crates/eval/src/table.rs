@@ -1,0 +1,179 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use smash_eval::TextTable;
+///
+/// let mut t = TextTable::new(vec!["metric", "value"]);
+/// t.row(vec!["servers".into(), "42".into()]);
+/// let s = t.render();
+/// assert!(s.contains("servers"));
+/// assert!(s.contains("42"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with aligned columns and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |row: &[String], widths: &mut Vec<usize>| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&self.header, &mut widths);
+        for r in &self.rows {
+            measure(r, &mut widths);
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let pad = widths[i] - cell.chars().count();
+                out.push_str(cell);
+                out.extend(std::iter::repeat(' ').take(pad));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.extend(std::iter::repeat('-').take(rule_len));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a `(value, cumulative fraction)` CDF series as rows — the
+/// textual form of the paper's distribution figures.
+pub fn render_cdf(title: &str, values: &[usize]) -> String {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let mut t = TextTable::new(vec![title, "cdf"]);
+    if n == 0 {
+        return t.render();
+    }
+    // One row per distinct value (capped to ~20 quantile rows for long
+    // series).
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for (i, &v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n as f64;
+        if points.last().map(|&(pv, _)| pv) == Some(v) {
+            points.last_mut().unwrap().1 = frac;
+        } else {
+            points.push((v, frac));
+        }
+    }
+    if points.len() > 20 {
+        let step = points.len() as f64 / 20.0;
+        let mut sampled = Vec::new();
+        for k in 0..20 {
+            sampled.push(points[(k as f64 * step) as usize]);
+        }
+        sampled.push(*points.last().unwrap());
+        points = sampled;
+    }
+    for (v, f) in points {
+        t.row(vec![v.to_string(), format!("{:.3}", f)]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(vec!["x"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let s = render_cdf("size", &[1, 2, 2, 3, 10]);
+        let fracs: Vec<f64> = s
+            .lines()
+            .skip(2)
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(fracs.windows(2).all(|w| w[0] <= w[1]));
+        assert!((fracs.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_of_empty_series() {
+        let s = render_cdf("x", &[]);
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn long_cdf_is_downsampled() {
+        let values: Vec<usize> = (0..500).collect();
+        let s = render_cdf("v", &values);
+        assert!(s.lines().count() <= 24);
+    }
+}

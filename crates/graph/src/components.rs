@@ -1,0 +1,73 @@
+//! Connected components of a graph.
+
+use crate::graph::Graph;
+use crate::partition::Partition;
+use crate::union_find::UnionFind;
+
+/// Computes the connected components of `graph` as a [`Partition`].
+///
+/// Isolated nodes each form their own component. Edge weights are ignored
+/// (any edge connects).
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::{GraphBuilder, connected_components};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(1, 2, 1.0);
+/// b.ensure_node(3);
+/// let p = connected_components(&b.build());
+/// assert_eq!(p.community_count(), 2);
+/// assert_eq!(p.community_of(0), p.community_of(2));
+/// ```
+pub fn connected_components(graph: &Graph) -> Partition {
+    let n = graph.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v, _) in graph.edges() {
+        uf.union(u as usize, v as usize);
+    }
+    let assignment: Vec<u32> = (0..n).map(|u| uf.find(u) as u32).collect();
+    Partition::from_assignment(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let p = connected_components(&GraphBuilder::new().build());
+        assert_eq!(p.community_count(), 0);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let mut b = GraphBuilder::new();
+        for i in 0..9 {
+            b.add_edge(i, i + 1, 1.0);
+        }
+        let p = connected_components(&b.build());
+        assert_eq!(p.community_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.ensure_node(5);
+        let p = connected_components(&b.build());
+        assert_eq!(p.community_count(), 5); // {0,1}, {2}, {3}, {4}, {5}
+    }
+
+    #[test]
+    fn self_loop_does_not_connect_others() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.ensure_node(1);
+        let p = connected_components(&b.build());
+        assert_eq!(p.community_count(), 2);
+    }
+}

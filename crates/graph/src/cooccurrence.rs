@@ -1,0 +1,198 @@
+//! Sparse pairwise co-occurrence counting.
+//!
+//! The SMASH paper observes that pairwise server similarity is *O(N²)* and
+//! points at sparse matrix multiplication as the remedy. This module is
+//! that remedy: features (clients, IPs, URI-file signatures, whois fields)
+//! are turned into *posting lists* of the items that exhibit them, and only
+//! item pairs that co-occur in at least one posting list are ever counted.
+//! The result — `|features(i) ∩ features(j)|` for every co-occurring pair —
+//! is exactly the sparse product `AᵀA` restricted to its non-zero
+//! off-diagonal entries.
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Accumulates posting lists and computes pairwise co-occurrence counts.
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::CooccurrenceCounter;
+///
+/// let mut c = CooccurrenceCounter::new();
+/// c.add_posting([1, 2, 3]); // feature A is shared by items 1, 2, 3
+/// c.add_posting([2, 3]);    // feature B is shared by items 2, 3
+/// let counts = c.counts();
+/// assert_eq!(counts[&(2, 3)], 2);
+/// assert_eq!(counts[&(1, 2)], 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooccurrenceCounter {
+    postings: Vec<Vec<u32>>,
+    max_posting_len: Option<usize>,
+    skipped: usize,
+}
+
+impl CooccurrenceCounter {
+    /// Creates an empty counter with no posting-length cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps posting-list length: features shared by more than `cap` items
+    /// are skipped entirely.
+    ///
+    /// This mirrors the paper's IDF popularity filter — a feature common to
+    /// very many items (a hyper-popular client or IP) carries no
+    /// discriminative signal but dominates the pair count quadratically.
+    pub fn with_max_posting_len(mut self, cap: usize) -> Self {
+        self.max_posting_len = Some(cap);
+        self
+    }
+
+    /// Adds one feature's posting list (the set of items exhibiting the
+    /// feature). Duplicates within the list are removed.
+    pub fn add_posting<I: IntoIterator<Item = u32>>(&mut self, items: I) {
+        let mut v: Vec<u32> = items.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.len() < 2 {
+            return; // no pairs to contribute
+        }
+        if let Some(cap) = self.max_posting_len {
+            if v.len() > cap {
+                self.skipped += 1;
+                return;
+            }
+        }
+        self.postings.push(v);
+    }
+
+    /// Number of posting lists retained so far.
+    pub fn posting_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of posting lists dropped by the length cap.
+    pub fn skipped_count(&self) -> usize {
+        self.skipped
+    }
+
+    /// Computes `|shared features|` for every item pair that co-occurs in at
+    /// least one posting list. Keys are `(min, max)` item-id pairs.
+    pub fn counts(&self) -> HashMap<(u32, u32), u32> {
+        let mut out = HashMap::new();
+        for posting in &self.postings {
+            accumulate(posting, &mut out);
+        }
+        out
+    }
+
+    /// Parallel variant of [`counts`](Self::counts): posting lists are
+    /// sharded across threads and the per-thread maps merged. The result is
+    /// identical to the sequential version.
+    pub fn counts_parallel(&self) -> HashMap<(u32, u32), u32> {
+        if self.postings.len() < 64 {
+            return self.counts();
+        }
+        let shards = rayon::current_num_threads().max(1);
+        let chunk = self.postings.len().div_ceil(shards);
+        self.postings
+            .par_chunks(chunk)
+            .map(|chunk| {
+                let mut m = HashMap::new();
+                for posting in chunk {
+                    accumulate(posting, &mut m);
+                }
+                m
+            })
+            .reduce(HashMap::new, |a, b| {
+                if a.len() < b.len() {
+                    return merge(b, a);
+                }
+                merge(a, b)
+            })
+    }
+}
+
+fn accumulate(posting: &[u32], out: &mut HashMap<(u32, u32), u32>) {
+    for (idx, &a) in posting.iter().enumerate() {
+        for &b in &posting[idx + 1..] {
+            *out.entry((a, b)).or_insert(0) += 1;
+        }
+    }
+}
+
+fn merge(mut big: HashMap<(u32, u32), u32>, small: HashMap<(u32, u32), u32>) -> HashMap<(u32, u32), u32> {
+    for (k, v) in small {
+        *big.entry(k).or_insert(0) += v;
+    }
+    big
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counter_yields_nothing() {
+        assert!(CooccurrenceCounter::new().counts().is_empty());
+    }
+
+    #[test]
+    fn singleton_postings_are_ignored() {
+        let mut c = CooccurrenceCounter::new();
+        c.add_posting([5]);
+        c.add_posting([]);
+        assert_eq!(c.posting_count(), 0);
+        assert!(c.counts().is_empty());
+    }
+
+    #[test]
+    fn duplicates_within_posting_collapse() {
+        let mut c = CooccurrenceCounter::new();
+        c.add_posting([1, 1, 2, 2]);
+        assert_eq!(c.counts()[&(1, 2)], 1);
+    }
+
+    #[test]
+    fn counts_accumulate_across_postings() {
+        let mut c = CooccurrenceCounter::new();
+        c.add_posting([1, 2]);
+        c.add_posting([2, 1]);
+        c.add_posting([1, 3]);
+        let counts = c.counts();
+        assert_eq!(counts[&(1, 2)], 2);
+        assert_eq!(counts[&(1, 3)], 1);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn cap_drops_hot_features() {
+        let mut c = CooccurrenceCounter::new().with_max_posting_len(3);
+        c.add_posting(0..10);
+        c.add_posting([1, 2]);
+        assert_eq!(c.skipped_count(), 1);
+        assert_eq!(c.posting_count(), 1);
+        assert_eq!(c.counts().len(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut c = CooccurrenceCounter::new();
+        // 200 postings so the parallel path actually engages.
+        for i in 0..200u32 {
+            c.add_posting([i % 17, (i * 7) % 17, (i * 3) % 17]);
+        }
+        assert_eq!(c.counts(), c.counts_parallel());
+    }
+
+    #[test]
+    fn keys_are_ordered_pairs() {
+        let mut c = CooccurrenceCounter::new();
+        c.add_posting([9, 1]);
+        let counts = c.counts();
+        assert!(counts.contains_key(&(1, 9)));
+        assert!(!counts.contains_key(&(9, 1)));
+    }
+}

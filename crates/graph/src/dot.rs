@@ -1,0 +1,143 @@
+//! Graphviz DOT export for similarity graphs and their communities.
+
+use crate::graph::{Graph, NodeId};
+use crate::partition::Partition;
+
+/// Options for [`to_dot`].
+pub struct DotOptions<'a> {
+    /// Optional node labels (defaults to the node id).
+    pub label: Option<&'a dyn Fn(NodeId) -> String>,
+    /// Optional partition: nodes are colored per community.
+    pub partition: Option<&'a Partition>,
+    /// Skip isolated nodes (default true — similarity graphs are sparse
+    /// and the isolated majority would drown the plot).
+    pub skip_isolated: bool,
+}
+
+impl Default for DotOptions<'_> {
+    fn default() -> Self {
+        Self {
+            label: None,
+            partition: None,
+            skip_isolated: true,
+        }
+    }
+}
+
+const PALETTE: &[&str] = &[
+    "#e6194b", "#3cb44b", "#ffe119", "#4363d8", "#f58231", "#911eb4", "#46f0f0", "#f032e6",
+    "#bcf60c", "#fabebe", "#008080", "#e6beff", "#9a6324", "#fffac8", "#800000", "#aaffc3",
+];
+
+/// Renders `graph` as an undirected Graphviz document.
+///
+/// Edge thickness scales with weight; with a partition, nodes are filled
+/// by community color (palette cycles after 16 communities).
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::{GraphBuilder, dot::{to_dot, DotOptions}};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1, 0.8);
+/// let dot = to_dot(&b.build(), &DotOptions::default());
+/// assert!(dot.starts_with("graph"));
+/// assert!(dot.contains("0 -- 1"));
+/// ```
+pub fn to_dot(graph: &Graph, opts: &DotOptions<'_>) -> String {
+    let mut out = String::from("graph ash {\n  layout=neato;\n  overlap=false;\n  node [shape=circle, style=filled, fillcolor=\"#dddddd\"];\n");
+    for u in 0..graph.node_count() as NodeId {
+        if opts.skip_isolated && graph.neighbors(u).is_empty() {
+            continue;
+        }
+        let label = opts
+            .label
+            .map(|f| f(u))
+            .unwrap_or_else(|| u.to_string());
+        let color = opts
+            .partition
+            .map(|p| PALETTE[p.community_of(u) as usize % PALETTE.len()])
+            .unwrap_or("#dddddd");
+        out.push_str(&format!(
+            "  {u} [label=\"{}\", fillcolor=\"{color}\"];\n",
+            label.replace('"', "'")
+        ));
+    }
+    for (u, v, w) in graph.edges() {
+        if u == v {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {u} -- {v} [penwidth={:.2}];\n",
+            (0.5 + 3.0 * w).min(4.0)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::louvain::Louvain;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 0.5);
+        b.ensure_node(5);
+        b.build()
+    }
+
+    #[test]
+    fn isolated_nodes_skipped_by_default() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(!dot.contains("  5 ["));
+        assert!(dot.contains("  0 ["));
+    }
+
+    #[test]
+    fn isolated_nodes_kept_on_request() {
+        let mut opts = DotOptions::default();
+        opts.skip_isolated = false;
+        let dot = to_dot(&sample(), &opts);
+        assert!(dot.contains("  5 ["));
+    }
+
+    #[test]
+    fn labels_and_colors_applied() {
+        let g = sample();
+        let p = Louvain::new().run(&g);
+        let label = |u: u32| format!("srv-{u}");
+        let opts = DotOptions {
+            label: Some(&label),
+            partition: Some(&p),
+            skip_isolated: true,
+        };
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("srv-0"));
+        assert!(dot.contains("fillcolor=\"#"));
+    }
+
+    #[test]
+    fn edge_weights_scale_penwidth() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(dot.contains("0 -- 1 [penwidth=3.50]"));
+        assert!(dot.contains("1 -- 2 [penwidth=2.00]"));
+    }
+
+    #[test]
+    fn quotes_in_labels_are_sanitized() {
+        let g = sample();
+        let label = |_: u32| "a\"b".to_string();
+        let opts = DotOptions {
+            label: Some(&label),
+            partition: None,
+            skip_isolated: true,
+        };
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("a'b"));
+    }
+}

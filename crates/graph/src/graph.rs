@@ -1,0 +1,256 @@
+//! Weighted undirected graphs with compact node ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Compact node identifier used throughout the graph substrate.
+///
+/// Callers map their own entities (server ids, domains, …) to dense
+/// `NodeId`s before building a graph.
+pub type NodeId = u32;
+
+/// A weighted, undirected graph stored as an adjacency list.
+///
+/// Self-loops are allowed (they matter for Louvain's aggregated graphs);
+/// parallel edges are merged at build time by summing their weights.
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1, 2.0);
+/// b.add_edge(1, 2, 0.5);
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert!((g.degree(1) - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Graph {
+    /// adj[u] = sorted list of (neighbor, weight); self-loop stored once.
+    adj: Vec<Vec<(NodeId, f64)>>,
+    /// Weighted degree per node (self-loop counted twice, the Louvain convention).
+    degree: Vec<f64>,
+    /// Sum of all edge weights (each undirected edge once; self-loops once).
+    total_weight: f64,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Number of nodes (including isolated ones).
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct undirected edges (self-loops count as one).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of all edge weights, counting each undirected edge once.
+    ///
+    /// This is the `m` in the modularity formula.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Weighted degree of `u`: sum of incident edge weights, with
+    /// self-loops counted twice (the convention modularity expects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> f64 {
+        self.degree[u as usize]
+    }
+
+    /// Neighbors of `u` with edge weights, in ascending neighbor order.
+    ///
+    /// A self-loop at `u` appears once as `(u, w)`.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[u as usize]
+    }
+
+    /// Weight of the edge `(u, v)`, or `None` if absent.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let row = &self.adj[u as usize];
+        row.binary_search_by_key(&v, |&(n, _)| n).ok().map(|i| row[i].1)
+    }
+
+    /// Iterates over every undirected edge once as `(u, v, w)` with `u <= v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, row)| {
+            let u = u as NodeId;
+            row.iter()
+                .filter(move |&&(v, _)| v >= u)
+                .map(move |&(v, w)| (u, v, w))
+        })
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Nodes are created implicitly by the largest id mentioned; use
+/// [`GraphBuilder::ensure_node`] to add isolated nodes. Duplicate edges are
+/// merged by summing weights.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: HashMap<(NodeId, NodeId), f64>,
+    max_node: Option<NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `n` nodes (ids `0..n`).
+    pub fn with_nodes(n: usize) -> Self {
+        let mut b = Self::new();
+        if n > 0 {
+            b.ensure_node((n - 1) as NodeId);
+        }
+        b
+    }
+
+    /// Ensures node `u` exists even if it ends up with no edges.
+    pub fn ensure_node(&mut self, u: NodeId) -> &mut Self {
+        self.max_node = Some(self.max_node.map_or(u, |m| m.max(u)));
+        self
+    }
+
+    /// Adds (or accumulates onto) the undirected edge `(u, v)`.
+    ///
+    /// `u == v` creates a self-loop. Weights must be finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> &mut Self {
+        assert!(weight.is_finite(), "edge weight must be finite, got {weight}");
+        self.ensure_node(u);
+        self.ensure_node(v);
+        let key = if u <= v { (u, v) } else { (v, u) };
+        *self.edges.entry(key).or_insert(0.0) += weight;
+        self
+    }
+
+    /// Number of distinct edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    pub fn build(&self) -> Graph {
+        let n = self.max_node.map_or(0, |m| m as usize + 1);
+        let mut adj: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        let mut degree = vec![0.0; n];
+        let mut total = 0.0;
+        for (&(u, v), &w) in &self.edges {
+            if u == v {
+                adj[u as usize].push((v, w));
+                degree[u as usize] += 2.0 * w;
+            } else {
+                adj[u as usize].push((v, w));
+                adj[v as usize].push((u, w));
+                degree[u as usize] += w;
+                degree[v as usize] += w;
+            }
+            total += w;
+        }
+        for row in &mut adj {
+            row.sort_unstable_by_key(|&(v, _)| v);
+        }
+        Graph {
+            adj,
+            degree,
+            total_weight: total,
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.0);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+        assert_eq!(g.edge_weight(1, 0), Some(3.0));
+    }
+
+    #[test]
+    fn self_loop_degree_counts_twice() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(2, 2, 1.5);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.degree(2), 3.0);
+        assert_eq!(g.total_weight(), 1.5);
+        assert_eq!(g.neighbors(2), &[(2, 1.5)]);
+    }
+
+    #[test]
+    fn isolated_nodes_exist() {
+        let mut b = GraphBuilder::new();
+        b.ensure_node(4);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert!(g.neighbors(4).is_empty());
+        assert_eq!(g.degree(4), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_visits_each_once() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 2, 0.5);
+        let g = b.build();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(edges, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 2, 0.5)]);
+        let sum: f64 = edges.iter().map(|e| e.2).sum();
+        assert!((sum - g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(0, 9, 1.0);
+        let g = b.build();
+        let ns: Vec<NodeId> = g.neighbors(0).iter().map(|&(v, _)| v).collect();
+        assert_eq!(ns, vec![2, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weight() {
+        GraphBuilder::new().add_edge(0, 1, f64::NAN);
+    }
+}

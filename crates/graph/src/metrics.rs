@@ -1,0 +1,115 @@
+//! Graph and subgroup metrics used by the SMASH correlation stage.
+
+use crate::graph::{Graph, NodeId};
+
+/// Density of the node subset `members` within `graph`, as defined in the
+/// paper's eq. (9) weights: `2·|e| / (|v|·(|v|−1))` where `|e|` is the
+/// number of edges with both endpoints in the group.
+///
+/// A group of fewer than two nodes has density `0`. Self-loops are not
+/// counted. The result lies in `[0, 1]` for simple graphs.
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::{GraphBuilder, density};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(1, 2, 1.0);
+/// b.add_edge(0, 2, 1.0);
+/// b.ensure_node(3);
+/// let g = b.build();
+/// assert_eq!(density(&g, &[0, 1, 2]), 1.0); // triangle
+/// assert_eq!(density(&g, &[0, 1, 3]), 1.0 / 3.0);
+/// ```
+pub fn density(graph: &Graph, members: &[NodeId]) -> f64 {
+    let v = members.len();
+    if v < 2 {
+        return 0.0;
+    }
+    let set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+    let mut edges = 0usize;
+    for &u in members {
+        for &(n, _) in graph.neighbors(u) {
+            if n > u && set.contains(&n) {
+                edges += 1;
+            }
+        }
+    }
+    (2.0 * edges as f64) / (v as f64 * (v as f64 - 1.0))
+}
+
+/// Average weighted degree of the graph. Empty graphs yield `0`.
+pub fn mean_degree(graph: &Graph) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|u| graph.degree(u as NodeId)).sum::<f64>() / n as f64
+}
+
+/// Total edge weight with both endpoints inside `members` (self-loops
+/// excluded).
+pub fn internal_weight(graph: &Graph, members: &[NodeId]) -> f64 {
+    let set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+    let mut w = 0.0;
+    for &u in members {
+        for &(n, ew) in graph.neighbors(u) {
+            if n > u && set.contains(&n) {
+                w += ew;
+            }
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn density_of_small_groups_is_zero() {
+        let g = GraphBuilder::with_nodes(3).build();
+        assert_eq!(density(&g, &[]), 0.0);
+        assert_eq!(density(&g, &[0]), 0.0);
+    }
+
+    #[test]
+    fn density_of_disconnected_pair_is_zero() {
+        let g = GraphBuilder::with_nodes(2).build();
+        assert_eq!(density(&g, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn density_of_connected_pair_is_one() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 0.3);
+        assert_eq!(density(&b.build(), &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn self_loops_do_not_inflate_density() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 5.0);
+        b.add_edge(0, 1, 1.0);
+        assert_eq!(density(&b.build(), &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn mean_degree_counts_weights() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 2.0);
+        assert!((mean_degree(&b.build()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn internal_weight_ignores_outside_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 7.0);
+        let g = b.build();
+        assert_eq!(internal_weight(&g, &[0, 1]), 2.0);
+    }
+}

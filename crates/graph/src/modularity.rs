@@ -1,0 +1,124 @@
+//! Newman–Girvan modularity of a partition.
+
+use crate::graph::Graph;
+use crate::partition::Partition;
+
+/// Computes the modularity `Q` of `partition` on `graph`.
+///
+/// `Q = Σ_c [ in_c / (2m) − (tot_c / (2m))² ]` where `in_c` is twice the
+/// weight of intra-community edges (self-loops counted twice), `tot_c` is
+/// the sum of weighted degrees in community `c`, and `m` is the total edge
+/// weight. `Q` lies in `[-1, 1]`; an empty graph has modularity `0`.
+///
+/// # Panics
+///
+/// Panics if `partition.node_count() != graph.node_count()`.
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::{GraphBuilder, Partition, modularity};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(2, 3, 1.0);
+/// let g = b.build();
+/// let good = Partition::from_assignment(vec![0, 0, 1, 1]);
+/// let bad = Partition::from_assignment(vec![0, 1, 0, 1]);
+/// assert!(modularity(&g, &good) > modularity(&g, &bad));
+/// ```
+pub fn modularity(graph: &Graph, partition: &Partition) -> f64 {
+    assert_eq!(
+        partition.node_count(),
+        graph.node_count(),
+        "partition covers {} nodes but graph has {}",
+        partition.node_count(),
+        graph.node_count()
+    );
+    let m = graph.total_weight();
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let k = partition.community_count();
+    let mut inside = vec![0.0; k]; // 2 * intra-community weight
+    let mut total = vec![0.0; k]; // sum of degrees
+    for (u, v, w) in graph.edges() {
+        let cu = partition.community_of(u) as usize;
+        let cv = partition.community_of(v) as usize;
+        if cu == cv {
+            inside[cu] += 2.0 * w;
+        }
+    }
+    for u in 0..graph.node_count() {
+        let c = partition.community_of(u as u32) as usize;
+        total[c] += graph.degree(u as u32);
+    }
+    let two_m = 2.0 * m;
+    (0..k)
+        .map(|c| inside[c] / two_m - (total[c] / two_m).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn two_cliques() -> Graph {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.add_edge(2, 3, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn natural_split_beats_single_community() {
+        let g = two_cliques();
+        let split = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let lump = Partition::from_assignment(vec![0; 6]);
+        assert!(modularity(&g, &split) > modularity(&g, &lump));
+    }
+
+    #[test]
+    fn single_community_has_zero_modularity() {
+        let g = two_cliques();
+        let lump = Partition::from_assignment(vec![0; 6]);
+        assert!(modularity(&g, &lump).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = GraphBuilder::new().build();
+        let p = Partition::from_assignment(vec![]);
+        assert_eq!(modularity(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn modularity_bounded() {
+        let g = two_cliques();
+        for assignment in [vec![0, 1, 2, 3, 4, 5], vec![0, 0, 1, 1, 2, 2]] {
+            let q = modularity(&g, &Partition::from_assignment(assignment));
+            assert!((-1.0..=1.0).contains(&q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn self_loops_count_as_intra() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let p = Partition::from_assignment(vec![0, 0]);
+        // One community containing everything: Q = 1 - 1 = 0.
+        assert!(modularity(&g, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition covers")]
+    fn mismatched_sizes_panic() {
+        let g = two_cliques();
+        modularity(&g, &Partition::from_assignment(vec![0, 0]));
+    }
+}

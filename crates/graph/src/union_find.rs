@@ -1,0 +1,166 @@
+//! Disjoint-set (union-find) with path compression and union by rank.
+
+/// A disjoint-set forest over `0..len` elements.
+///
+/// Used for connected components and for merging ASHs during campaign
+/// inference.
+///
+/// # Example
+///
+/// ```
+/// use smash_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
+        Self {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements in the forest.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the canonical representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if a merge happened (they were in different sets).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        let (ra, rb) = (ra as u32, rb as u32);
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all elements by their set representative.
+    ///
+    /// The returned groups are sorted by their smallest member and each
+    /// group's members are in ascending order, so the output is
+    /// deterministic.
+    pub fn into_groups(mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        assert!(uf.same(0, 2));
+        assert!(uf.same(4, 5));
+        assert!(!uf.same(2, 4));
+    }
+
+    #[test]
+    fn groups_are_deterministic() {
+        let mut uf = UnionFind::new(6);
+        uf.union(5, 3);
+        uf.union(1, 0);
+        uf.union(2, 4);
+        let groups = uf.into_groups();
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 4], vec![3, 5]]);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+        assert!(uf.into_groups().is_empty());
+    }
+}

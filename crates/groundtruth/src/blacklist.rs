@@ -1,0 +1,185 @@
+//! Simulated online blacklists.
+//!
+//! The paper checks inferred servers against several blacklists (Malware
+//! Domain List, Phishtank, ZeuS Tracker, …) plus WhatIsMyIPAddress, an
+//! aggregator of 78 lists that only counts as confirmation when **at least
+//! two** of its member lists agree. We model each list as a partial-
+//! coverage name set and implement the aggregator rule.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One blacklist: a named set of server names (domains or dotted IPs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Blacklist {
+    /// Human-readable list name (e.g. `"Malware Domain List"`).
+    pub name: String,
+    /// `true` for aggregator-style lists whose single listing is weak
+    /// evidence (the WhatIsMyIPAddress rule).
+    pub aggregator: bool,
+    entries: HashSet<String>,
+}
+
+impl Blacklist {
+    /// Creates an empty list.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            aggregator: false,
+            entries: HashSet::new(),
+        }
+    }
+
+    /// Marks the list as an aggregator (≥2-listing confirmation rule).
+    pub fn with_aggregator(mut self, aggregator: bool) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Adds a server to the list.
+    pub fn add(&mut self, server: &str) {
+        self.entries.insert(server.to_ascii_lowercase());
+    }
+
+    /// `true` if `server` is listed.
+    pub fn contains(&self, server: &str) -> bool {
+        self.entries.contains(&server.to_ascii_lowercase())
+    }
+
+    /// Number of listed servers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A collection of blacklists with the paper's confirmation rule:
+/// any listing on a non-aggregator list confirms; aggregator lists need at
+/// least two listings (their own entries count each listing separately via
+/// [`BlacklistSet::add_aggregator_listing`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlacklistSet {
+    lists: Vec<Blacklist>,
+    /// server → number of member-list hits inside aggregator services.
+    aggregator_hits: std::collections::HashMap<String, u32>,
+}
+
+impl BlacklistSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a blacklist.
+    pub fn push(&mut self, list: Blacklist) {
+        self.lists.push(list);
+    }
+
+    /// Records one member-list hit inside an aggregator service for
+    /// `server` (call twice with different member lists to confirm).
+    pub fn add_aggregator_listing(&mut self, server: &str) {
+        *self
+            .aggregator_hits
+            .entry(server.to_ascii_lowercase())
+            .or_insert(0) += 1;
+    }
+
+    /// The paper's confirmation rule: listed on any direct blacklist, or
+    /// at least two aggregator member-list hits.
+    pub fn confirmed(&self, server: &str) -> bool {
+        if self
+            .lists
+            .iter()
+            .any(|l| !l.aggregator && l.contains(server))
+        {
+            return true;
+        }
+        let direct_agg = self
+            .lists
+            .iter()
+            .filter(|l| l.aggregator && l.contains(server))
+            .count();
+        let hits = self
+            .aggregator_hits
+            .get(&server.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0) as usize;
+        direct_agg + hits >= 2
+    }
+
+    /// All member lists.
+    pub fn lists(&self) -> &[Blacklist] {
+        &self.lists
+    }
+
+    /// Total number of servers confirmed across the whole set.
+    pub fn confirmed_count<'a, I: IntoIterator<Item = &'a str>>(&self, servers: I) -> usize {
+        servers.into_iter().filter(|s| self.confirmed(s)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_listing_confirms() {
+        let mut mdl = Blacklist::new("MDL");
+        mdl.add("evil.com");
+        let mut set = BlacklistSet::new();
+        set.push(mdl);
+        assert!(set.confirmed("evil.com"));
+        assert!(set.confirmed("EVIL.COM"));
+        assert!(!set.confirmed("good.com"));
+    }
+
+    #[test]
+    fn aggregator_needs_two_hits() {
+        let mut set = BlacklistSet::new();
+        set.push(Blacklist::new("WhatIsMyIPAddress").with_aggregator(true));
+        set.add_aggregator_listing("shady.com");
+        assert!(!set.confirmed("shady.com"));
+        set.add_aggregator_listing("shady.com");
+        assert!(set.confirmed("shady.com"));
+    }
+
+    #[test]
+    fn aggregator_direct_listing_counts_as_one() {
+        let mut agg = Blacklist::new("Agg").with_aggregator(true);
+        agg.add("shady.com");
+        let mut set = BlacklistSet::new();
+        set.push(agg);
+        assert!(!set.confirmed("shady.com"));
+        set.add_aggregator_listing("shady.com");
+        assert!(set.confirmed("shady.com"));
+    }
+
+    #[test]
+    fn confirmed_count() {
+        let mut mdl = Blacklist::new("MDL");
+        mdl.add("a.com");
+        mdl.add("b.com");
+        let mut set = BlacklistSet::new();
+        set.push(mdl);
+        assert_eq!(set.confirmed_count(["a.com", "b.com", "c.com"]), 2);
+    }
+
+    #[test]
+    fn empty_set_confirms_nothing() {
+        let set = BlacklistSet::new();
+        assert!(!set.confirmed("anything.com"));
+    }
+
+    #[test]
+    fn list_len() {
+        let mut l = Blacklist::new("L");
+        assert!(l.is_empty());
+        l.add("x.com");
+        l.add("x.com");
+        assert_eq!(l.len(), 1);
+    }
+}

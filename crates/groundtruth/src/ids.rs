@@ -1,0 +1,241 @@
+//! A simulated signature-based intrusion detection system.
+//!
+//! The paper labels traces with a commercial IDS using two signature
+//! vintages (early 2012 and June 2013). We model a signature the way
+//! network IDS content rules work: a conjunction of URI-file, parameter-
+//! pattern, and user-agent matchers, each optional. Running the signature
+//! set over a [`TraceDataset`] labels every server with the threat ids of
+//! the signatures its traffic matched.
+
+use serde::{Deserialize, Serialize};
+use smash_trace::TraceDataset;
+use std::collections::{BTreeSet, HashMap};
+
+/// One IDS content signature.
+///
+/// All specified matchers must hit on the *same request* for the signature
+/// to fire. At least one matcher should be set; an empty signature never
+/// fires.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Signature {
+    /// Threat identifier reported on match (e.g. `"Trojan.Zbot"`).
+    pub threat_id: String,
+    /// Exact URI-file matcher.
+    pub uri_file: Option<String>,
+    /// Exact parameter-pattern matcher (e.g. `p=[]&id=[]&e=[]`).
+    pub param_pattern: Option<String>,
+    /// Exact user-agent matcher.
+    pub user_agent: Option<String>,
+    /// Exact server-name matcher (domain reputation entry).
+    pub server: Option<String>,
+}
+
+impl Signature {
+    /// Creates a signature with the given threat id and no matchers.
+    pub fn new(threat_id: &str) -> Self {
+        Self {
+            threat_id: threat_id.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Requires the request's URI file to equal `f`.
+    pub fn with_uri_file(mut self, f: &str) -> Self {
+        self.uri_file = Some(f.to_owned());
+        self
+    }
+
+    /// Requires the request's parameter pattern to equal `p`.
+    pub fn with_param_pattern(mut self, p: &str) -> Self {
+        self.param_pattern = Some(p.to_owned());
+        self
+    }
+
+    /// Requires the request's user-agent to equal `ua`.
+    pub fn with_user_agent(mut self, ua: &str) -> Self {
+        self.user_agent = Some(ua.to_owned());
+        self
+    }
+
+    /// Requires the aggregated server name to equal `s`.
+    pub fn with_server(mut self, s: &str) -> Self {
+        self.server = Some(s.to_owned());
+        self
+    }
+
+    fn is_empty(&self) -> bool {
+        self.uri_file.is_none()
+            && self.param_pattern.is_none()
+            && self.user_agent.is_none()
+            && self.server.is_none()
+    }
+}
+
+/// A signature set run over a trace: maps server names to the threat ids
+/// that fired on their traffic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ids {
+    /// Server name → threat ids that fired.
+    labels: HashMap<String, BTreeSet<String>>,
+}
+
+impl Ids {
+    /// Creates an IDS with no labels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `signatures` over `dataset` and collects per-server labels.
+    pub fn from_signatures(signatures: &[Signature], dataset: &TraceDataset) -> Self {
+        let mut ids = Ids::new();
+        // Pre-intern matcher strings once so record matching is id equality.
+        struct Compiled<'a> {
+            sig: &'a Signature,
+            file: Option<Option<u32>>,
+            param: Option<Option<u32>>,
+            ua: Option<Option<u32>>,
+            server: Option<Option<u32>>,
+        }
+        let compiled: Vec<Compiled> = signatures
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|sig| Compiled {
+                sig,
+                file: sig.uri_file.as_deref().map(|f| dataset.file_id(f)),
+                param: sig.param_pattern.as_deref().map(|p| dataset.param_pattern_id(p)),
+                ua: sig.user_agent.as_deref().map(|u| dataset.user_agent_id(u)),
+                server: sig.server.as_deref().map(|s| dataset.server_id(s)),
+            })
+            .collect();
+        for r in dataset.records() {
+            for c in &compiled {
+                let hit = c.file.map_or(true, |f| f == Some(r.file))
+                    && c.param.map_or(true, |p| p == Some(r.param_pattern))
+                    && c.ua.map_or(true, |u| u == Some(r.user_agent))
+                    && c.server.map_or(true, |s| s == Some(r.server));
+                if hit {
+                    ids.label(dataset.server_name(r.server), &c.sig.threat_id);
+                }
+            }
+        }
+        ids
+    }
+
+    /// Adds a label directly (used by generators that know the truth).
+    pub fn label(&mut self, server: &str, threat_id: &str) {
+        self.labels
+            .entry(server.to_ascii_lowercase())
+            .or_default()
+            .insert(threat_id.to_owned());
+    }
+
+    /// `true` when the IDS labeled `server` with any threat.
+    pub fn detects(&self, server: &str) -> bool {
+        self.labels.contains_key(&server.to_ascii_lowercase())
+    }
+
+    /// Threat ids attached to `server`, if any.
+    pub fn threats(&self, server: &str) -> Option<&BTreeSet<String>> {
+        self.labels.get(&server.to_ascii_lowercase())
+    }
+
+    /// Number of labeled servers.
+    pub fn labeled_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over `(server, threats)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &BTreeSet<String>)> {
+        self.labels.iter().map(|(s, t)| (s.as_str(), t))
+    }
+
+    /// Groups labeled servers by threat id — the paper's proxy for
+    /// ground-truth malware campaigns when measuring false negatives.
+    pub fn servers_by_threat(&self) -> HashMap<&str, Vec<&str>> {
+        let mut out: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (server, threats) in &self.labels {
+            for t in threats {
+                out.entry(t.as_str()).or_default().push(server.as_str());
+            }
+        }
+        for v in out.values_mut() {
+            v.sort_unstable();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::HttpRecord;
+
+    fn dataset() -> TraceDataset {
+        TraceDataset::from_records(vec![
+            HttpRecord::new(0, "bot1", "cc.evil.com", "1.1.1.1", "/gate/login.php?p=1&id=2")
+                .with_user_agent("KUKU v5.05exp"),
+            HttpRecord::new(1, "c2", "shop.com", "2.2.2.2", "/login.php")
+                .with_user_agent("Mozilla/5.0"),
+            HttpRecord::new(2, "bot1", "drop.evil.org", "3.3.3.3", "/up.php?d=x")
+                .with_user_agent("KUKU v5.05exp"),
+        ])
+    }
+
+    #[test]
+    fn file_plus_param_signature() {
+        let sig = Signature::new("Zbot").with_uri_file("login.php").with_param_pattern("p=[]&id=[]");
+        let ids = Ids::from_signatures(&[sig], &dataset());
+        assert!(ids.detects("evil.com"));
+        assert!(!ids.detects("shop.com")); // same file, no params
+        assert_eq!(ids.labeled_count(), 1);
+    }
+
+    #[test]
+    fn ua_signature_matches_all_senders() {
+        let sig = Signature::new("Sality").with_user_agent("KUKU v5.05exp");
+        let ids = Ids::from_signatures(&[sig], &dataset());
+        assert!(ids.detects("evil.com"));
+        assert!(ids.detects("evil.org"));
+        assert!(!ids.detects("shop.com"));
+    }
+
+    #[test]
+    fn server_reputation_signature() {
+        let sig = Signature::new("BadRep").with_server("evil.org");
+        let ids = Ids::from_signatures(&[sig], &dataset());
+        assert!(ids.detects("evil.org"));
+        assert_eq!(ids.labeled_count(), 1);
+    }
+
+    #[test]
+    fn empty_signature_never_fires() {
+        let ids = Ids::from_signatures(&[Signature::new("Nothing")], &dataset());
+        assert_eq!(ids.labeled_count(), 0);
+    }
+
+    #[test]
+    fn threats_accumulate() {
+        let sigs = vec![
+            Signature::new("A").with_uri_file("login.php"),
+            Signature::new("B").with_user_agent("KUKU v5.05exp"),
+        ];
+        let ids = Ids::from_signatures(&sigs, &dataset());
+        let t = ids.threats("evil.com").unwrap();
+        assert!(t.contains("A") && t.contains("B"));
+    }
+
+    #[test]
+    fn servers_by_threat_groups() {
+        let sig = Signature::new("Sality").with_user_agent("KUKU v5.05exp");
+        let ids = Ids::from_signatures(&[sig], &dataset());
+        let groups = ids.servers_by_threat();
+        assert_eq!(groups["Sality"], vec!["evil.com", "evil.org"]);
+    }
+
+    #[test]
+    fn unmatched_matcher_string_never_fires() {
+        let sig = Signature::new("X").with_uri_file("nonexistent.php");
+        let ids = Ids::from_signatures(&[sig], &dataset());
+        assert_eq!(ids.labeled_count(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Campaign and activity labels (paper Table IV taxonomy).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a planted (ground-truth) campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CampaignId(pub u32);
+
+impl fmt::Display for CampaignId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign-{}", self.0)
+    }
+}
+
+/// Whether a campaign is a *communication* activity (malware talking to
+/// malicious servers) or an *attacking* activity (malware attacking benign
+/// servers) — the paper's §I distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Malware ↔ malicious-server communication (C&C, download, …).
+    Communication,
+    /// Malware attacking benign servers (scanning, injection).
+    Attacking,
+}
+
+/// Fine-grained category of a server's role in malicious activity,
+/// mirroring the paper's Table IV plus the two noise sources it identifies
+/// as false-positive generators (§V-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivityCategory {
+    /// Command & control server.
+    CommandAndControl,
+    /// Malware/exploit download server.
+    Downloading,
+    /// Browser exploit server.
+    WebExploit,
+    /// Phishing site.
+    Phishing,
+    /// Stolen-data drop zone.
+    DropZone,
+    /// Other malicious server (unclassified).
+    OtherMalicious,
+    /// Benign server targeted by a web scanner (e.g. ZmEu).
+    WebScanner,
+    /// Benign server targeted by iframe injection.
+    IframeInjection,
+    /// Benign torrent tracker herd (`scrape.php` noise — FP source).
+    TorrentNoise,
+    /// Benign TeamViewer-style ID-server pool (FP source).
+    TeamViewerNoise,
+}
+
+impl ActivityCategory {
+    /// The activity kind this category belongs to. Noise categories are
+    /// benign and belong to neither; they are reported as `None`.
+    pub fn kind(self) -> Option<ActivityKind> {
+        use ActivityCategory::*;
+        match self {
+            CommandAndControl | Downloading | WebExploit | Phishing | DropZone
+            | OtherMalicious => Some(ActivityKind::Communication),
+            WebScanner | IframeInjection => Some(ActivityKind::Attacking),
+            TorrentNoise | TeamViewerNoise => None,
+        }
+    }
+
+    /// `true` for the benign noise categories the paper calls out as the
+    /// dominant false-positive sources (torrent + TeamViewer).
+    pub fn is_noise(self) -> bool {
+        matches!(self, ActivityCategory::TorrentNoise | ActivityCategory::TeamViewerNoise)
+    }
+
+    /// `true` when servers of this category are actually malicious
+    /// infrastructure (as opposed to attacked-benign or noise).
+    pub fn is_malicious_infrastructure(self) -> bool {
+        self.kind() == Some(ActivityKind::Communication)
+    }
+}
+
+impl fmt::Display for ActivityCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActivityCategory::CommandAndControl => "C&C",
+            ActivityCategory::Downloading => "Downloading",
+            ActivityCategory::WebExploit => "Web exploit",
+            ActivityCategory::Phishing => "Phishing",
+            ActivityCategory::DropZone => "Drop zone",
+            ActivityCategory::OtherMalicious => "Other malicious servers",
+            ActivityCategory::WebScanner => "Web scanner",
+            ActivityCategory::IframeInjection => "Iframe injection",
+            ActivityCategory::TorrentNoise => "Torrent (noise)",
+            ActivityCategory::TeamViewerNoise => "TeamViewer (noise)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Metadata of one planted campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignInfo {
+    /// Campaign identifier.
+    pub id: CampaignId,
+    /// Human-readable name (e.g. `bagle`, `zeus-dga`).
+    pub name: String,
+    /// Dominant category of the campaign's servers.
+    pub category: ActivityCategory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(ActivityCategory::CommandAndControl.kind(), Some(ActivityKind::Communication));
+        assert_eq!(ActivityCategory::WebScanner.kind(), Some(ActivityKind::Attacking));
+        assert_eq!(ActivityCategory::TorrentNoise.kind(), None);
+    }
+
+    #[test]
+    fn noise_detection() {
+        assert!(ActivityCategory::TorrentNoise.is_noise());
+        assert!(ActivityCategory::TeamViewerNoise.is_noise());
+        assert!(!ActivityCategory::Phishing.is_noise());
+    }
+
+    #[test]
+    fn infrastructure_flag() {
+        assert!(ActivityCategory::DropZone.is_malicious_infrastructure());
+        assert!(!ActivityCategory::IframeInjection.is_malicious_infrastructure());
+        assert!(!ActivityCategory::TeamViewerNoise.is_malicious_infrastructure());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for c in [
+            ActivityCategory::CommandAndControl,
+            ActivityCategory::Downloading,
+            ActivityCategory::WebExploit,
+            ActivityCategory::Phishing,
+            ActivityCategory::DropZone,
+            ActivityCategory::OtherMalicious,
+            ActivityCategory::WebScanner,
+            ActivityCategory::IframeInjection,
+            ActivityCategory::TorrentNoise,
+            ActivityCategory::TeamViewerNoise,
+        ] {
+            assert!(!c.to_string().is_empty());
+        }
+        assert_eq!(CampaignId(3).to_string(), "campaign-3");
+    }
+}

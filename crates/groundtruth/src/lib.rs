@@ -1,0 +1,35 @@
+//! Ground truth and evaluation substrate for SMASH.
+//!
+//! The paper evaluates against a commercial IDS (with 2012 and 2013
+//! signature sets) and a collection of online blacklists, then sorts every
+//! inferred campaign and server into a confirmation taxonomy
+//! (IDS total / IDS partial / blacklist / suspicious / new servers / false
+//! positives). This crate simulates those label sources and implements the
+//! taxonomy:
+//!
+//! * [`GroundTruth`] — the planted truth: which servers belong to which
+//!   campaign, with category and noise flags.
+//! * [`Ids`] — a signature-based labeler; signatures match URI file +
+//!   parameter pattern + user-agent, like real network signatures.
+//! * [`BlacklistSet`] — partial-coverage domain/IP blacklists, including
+//!   the "aggregator needs ≥2 listings" rule.
+//! * [`verdict`] — the paper's §V-A confirmation logic for campaigns and
+//!   servers.
+//! * [`metrics`] — false-positive rates and category counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blacklist;
+pub mod ids;
+pub mod labels;
+pub mod metrics;
+pub mod truth;
+pub mod verdict;
+
+pub use blacklist::{Blacklist, BlacklistSet};
+pub use ids::{Ids, Signature};
+pub use labels::{ActivityCategory, ActivityKind, CampaignId, CampaignInfo};
+pub use metrics::{CampaignBreakdown, ServerBreakdown, TruthMetrics};
+pub use truth::{GroundTruth, ServerTruth};
+pub use verdict::{CampaignVerdict, JudgedCampaign, ServerVerdict, VerdictEngine};

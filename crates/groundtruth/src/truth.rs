@@ -1,0 +1,205 @@
+//! The planted ground truth of a synthetic scenario.
+
+use crate::labels::{ActivityCategory, CampaignId, CampaignInfo};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Ground-truth information about one server (keyed by aggregated name).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerTruth {
+    /// The campaign the server belongs to.
+    pub campaign: CampaignId,
+    /// The server's role/category in that campaign.
+    pub category: ActivityCategory,
+    /// `true` when the server has been taken down (probing it now fails) —
+    /// feeds the paper's "suspicious" existence check.
+    pub defunct: bool,
+}
+
+/// The complete planted truth of a scenario: campaigns and the servers
+/// involved in each.
+///
+/// Servers are keyed by their *aggregated* name (second-level domain or
+/// dotted IP) so labels survive the dataset's preprocessing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    campaigns: Vec<CampaignInfo>,
+    servers: HashMap<String, ServerTruth>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a campaign and returns its id.
+    pub fn add_campaign(&mut self, name: &str, category: ActivityCategory) -> CampaignId {
+        let id = CampaignId(self.campaigns.len() as u32);
+        self.campaigns.push(CampaignInfo {
+            id,
+            name: name.to_owned(),
+            category,
+        });
+        id
+    }
+
+    /// Labels `server` as involved in `campaign` with the given category.
+    pub fn add_server(&mut self, server: &str, campaign: CampaignId, category: ActivityCategory) {
+        self.servers.insert(
+            server.to_ascii_lowercase(),
+            ServerTruth {
+                campaign,
+                category,
+                defunct: false,
+            },
+        );
+    }
+
+    /// Marks `server` as taken down (existence probes now fail).
+    pub fn set_defunct(&mut self, server: &str, defunct: bool) {
+        if let Some(t) = self.servers.get_mut(&server.to_ascii_lowercase()) {
+            t.defunct = defunct;
+        }
+    }
+
+    /// Ground truth of `server`, if it is part of any campaign.
+    pub fn server(&self, server: &str) -> Option<&ServerTruth> {
+        self.servers.get(&server.to_ascii_lowercase())
+    }
+
+    /// `true` when `server` is involved in any (non-noise) campaign
+    /// activity — malicious infrastructure *or* an attacked benign target.
+    pub fn involved_in_malicious_activity(&self, server: &str) -> bool {
+        self.server(server).is_some_and(|t| !t.category.is_noise())
+    }
+
+    /// `true` when `server` belongs to a planted noise herd
+    /// (torrent / TeamViewer).
+    pub fn is_noise(&self, server: &str) -> bool {
+        self.server(server).is_some_and(|t| t.category.is_noise())
+    }
+
+    /// All registered campaigns.
+    pub fn campaigns(&self) -> &[CampaignInfo] {
+        &self.campaigns
+    }
+
+    /// Metadata of one campaign.
+    pub fn campaign(&self, id: CampaignId) -> Option<&CampaignInfo> {
+        self.campaigns.get(id.0 as usize)
+    }
+
+    /// Sorted server names belonging to `campaign`.
+    pub fn servers_of_campaign(&self, id: CampaignId) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .servers
+            .iter()
+            .filter(|(_, t)| t.campaign == id)
+            .map(|(s, _)| s.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total number of labeled servers (including noise herds).
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of servers involved in real (non-noise) campaign activity.
+    pub fn malicious_server_count(&self) -> usize {
+        self.servers.values().filter(|t| !t.category.is_noise()).count()
+    }
+
+    /// Iterates over `(server, truth)` pairs in arbitrary order.
+    pub fn iter_servers(&self) -> impl Iterator<Item = (&str, &ServerTruth)> {
+        self.servers.iter().map(|(s, t)| (s.as_str(), t))
+    }
+
+    /// Merges another ground truth into this one (campaign ids of `other`
+    /// are re-registered; server labels of `other` win on conflict).
+    pub fn merge(&mut self, other: &GroundTruth) {
+        let mut remap = HashMap::new();
+        for c in &other.campaigns {
+            let id = self.add_campaign(&c.name, c.category);
+            remap.insert(c.id, id);
+        }
+        for (s, t) in &other.servers {
+            self.servers.insert(
+                s.clone(),
+                ServerTruth {
+                    campaign: remap[&t.campaign],
+                    category: t.category,
+                    defunct: t.defunct,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        let mut gt = GroundTruth::new();
+        let c1 = gt.add_campaign("zeus", ActivityCategory::CommandAndControl);
+        let c2 = gt.add_campaign("torrent", ActivityCategory::TorrentNoise);
+        gt.add_server("cc1.com", c1, ActivityCategory::CommandAndControl);
+        gt.add_server("cc2.com", c1, ActivityCategory::CommandAndControl);
+        gt.add_server("tracker.org", c2, ActivityCategory::TorrentNoise);
+        gt
+    }
+
+    #[test]
+    fn campaign_membership() {
+        let gt = sample();
+        assert_eq!(gt.servers_of_campaign(CampaignId(0)), vec!["cc1.com", "cc2.com"]);
+        assert_eq!(gt.campaigns().len(), 2);
+        assert_eq!(gt.campaign(CampaignId(0)).unwrap().name, "zeus");
+    }
+
+    #[test]
+    fn malicious_vs_noise() {
+        let gt = sample();
+        assert!(gt.involved_in_malicious_activity("cc1.com"));
+        assert!(!gt.involved_in_malicious_activity("tracker.org"));
+        assert!(gt.is_noise("tracker.org"));
+        assert_eq!(gt.server_count(), 3);
+        assert_eq!(gt.malicious_server_count(), 2);
+    }
+
+    #[test]
+    fn defunct_flag() {
+        let mut gt = sample();
+        gt.set_defunct("cc1.com", true);
+        assert!(gt.server("cc1.com").unwrap().defunct);
+        assert!(!gt.server("cc2.com").unwrap().defunct);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let gt = sample();
+        assert!(gt.server("CC1.COM").is_some());
+    }
+
+    #[test]
+    fn unknown_server() {
+        let gt = sample();
+        assert!(gt.server("benign.com").is_none());
+        assert!(!gt.involved_in_malicious_activity("benign.com"));
+    }
+
+    #[test]
+    fn merge_remaps_campaigns() {
+        let mut a = sample();
+        let mut b = GroundTruth::new();
+        let cb = b.add_campaign("sality", ActivityCategory::Downloading);
+        b.add_server("dl.com", cb, ActivityCategory::Downloading);
+        a.merge(&b);
+        assert_eq!(a.campaigns().len(), 3);
+        let t = a.server("dl.com").unwrap();
+        assert_eq!(a.campaign(t.campaign).unwrap().name, "sality");
+    }
+}

@@ -1,0 +1,389 @@
+//! The paper's §V-A confirmation taxonomy for inferred campaigns and
+//! servers.
+
+use crate::blacklist::BlacklistSet;
+use crate::ids::Ids;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+use smash_trace::TraceDataset;
+use std::collections::{HashMap, HashSet};
+
+/// Verdict for one inferred campaign (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CampaignVerdict {
+    /// Every server confirmed by the 2012 IDS signatures.
+    Ids2012Total,
+    /// Every server confirmed by IDS, at least one only by the 2013 set.
+    Ids2013Total,
+    /// Some (not all) servers confirmed by the 2012 IDS signatures.
+    Ids2012Partial,
+    /// Some servers confirmed by IDS, none of them by the 2012 set.
+    Ids2013Partial,
+    /// No IDS hit, but at least one server blacklist-confirmed.
+    BlacklistPartial,
+    /// No external confirmation, but at least half the servers error out
+    /// or no longer exist.
+    Suspicious,
+    /// No confirmation at all — counted as a false positive (upper bound).
+    FalsePositive,
+}
+
+/// Verdict for one inferred server (Table III rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServerVerdict {
+    /// Labeled by the 2012 IDS signatures.
+    Ids2012,
+    /// Labeled by the 2013 IDS signatures but not the 2012 set.
+    Ids2013,
+    /// Not IDS-labeled but blacklist-confirmed.
+    Blacklist,
+    /// Member of a suspicious campaign.
+    Suspicious,
+    /// Previously undetected, but shares request patterns (URI file, path,
+    /// parameter pattern, or user-agent) with a confirmed server of the
+    /// same campaign.
+    NewServer,
+    /// No evidence — false positive (upper bound).
+    FalsePositive,
+}
+
+/// One judged campaign: its verdict plus per-server verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JudgedCampaign {
+    /// Aggregated server names of the campaign.
+    pub servers: Vec<String>,
+    /// Campaign-level verdict.
+    pub verdict: CampaignVerdict,
+    /// Per-server verdicts, parallel to `servers`.
+    pub server_verdicts: Vec<ServerVerdict>,
+    /// `true` when the campaign is one of the paper's known noise sources
+    /// (torrent / TeamViewer) — excluded in the "FP (Updated)" rows.
+    pub noise: bool,
+}
+
+/// Applies the paper's confirmation logic to inferred campaigns.
+pub struct VerdictEngine<'a> {
+    dataset: &'a TraceDataset,
+    ids2012: &'a Ids,
+    ids2013: &'a Ids,
+    blacklists: &'a BlacklistSet,
+    truth: Option<&'a GroundTruth>,
+}
+
+impl<'a> VerdictEngine<'a> {
+    /// Creates an engine over one dataset and its label sources.
+    pub fn new(
+        dataset: &'a TraceDataset,
+        ids2012: &'a Ids,
+        ids2013: &'a Ids,
+        blacklists: &'a BlacklistSet,
+    ) -> Self {
+        Self {
+            dataset,
+            ids2012,
+            ids2013,
+            blacklists,
+            truth: None,
+        }
+    }
+
+    /// Attaches ground truth, enabling the defunct-server existence check
+    /// and noise-campaign identification.
+    pub fn with_truth(mut self, truth: &'a GroundTruth) -> Self {
+        self.truth = Some(truth);
+        self
+    }
+
+    /// Judges one inferred campaign (a list of aggregated server names).
+    pub fn judge(&self, servers: &[String]) -> JudgedCampaign {
+        let n = servers.len();
+        let in_2012: Vec<bool> = servers.iter().map(|s| self.ids2012.detects(s)).collect();
+        let in_2013: Vec<bool> = servers.iter().map(|s| self.ids2013.detects(s)).collect();
+        let in_ids: Vec<bool> = (0..n).map(|i| in_2012[i] || in_2013[i]).collect();
+        let in_bl: Vec<bool> = servers.iter().map(|s| self.blacklists.confirmed(s)).collect();
+
+        let any_2012 = in_2012.iter().any(|&b| b);
+        let any_ids = in_ids.iter().any(|&b| b);
+        let all_ids = in_ids.iter().all(|&b| b) && n > 0;
+        let all_2012 = in_2012.iter().all(|&b| b) && n > 0;
+        let any_bl = in_bl.iter().any(|&b| b);
+
+        let verdict = if all_2012 {
+            CampaignVerdict::Ids2012Total
+        } else if all_ids {
+            CampaignVerdict::Ids2013Total
+        } else if any_ids {
+            if any_2012 {
+                CampaignVerdict::Ids2012Partial
+            } else {
+                CampaignVerdict::Ids2013Partial
+            }
+        } else if any_bl {
+            CampaignVerdict::BlacklistPartial
+        } else if self.is_suspicious(servers) {
+            CampaignVerdict::Suspicious
+        } else {
+            CampaignVerdict::FalsePositive
+        };
+
+        // "New Servers" (§V-A2): previously unknown servers confirmed by
+        // pattern sharing. In an externally corroborated campaign (any
+        // IDS or blacklist hit), sharing a request pattern with any other
+        // member counts — the paper's Bagle download servers share only
+        // `file.txt` with *each other*, never with the IDS-labeled C&C,
+        // yet are counted as new servers. Without corroboration, no
+        // member can be promoted.
+        let corroborated = any_ids || any_bl;
+        let member_patterns: Vec<HashSet<String>> = servers
+            .iter()
+            .map(|s| self.pattern_set(std::slice::from_ref(s), &[0]))
+            .collect();
+        let mut pattern_counts: HashMap<&String, usize> = HashMap::new();
+        for set in &member_patterns {
+            for p in set {
+                *pattern_counts.entry(p).or_insert(0) += 1;
+            }
+        }
+        let server_verdicts: Vec<ServerVerdict> = (0..n)
+            .map(|i| {
+                if in_2012[i] {
+                    ServerVerdict::Ids2012
+                } else if in_2013[i] {
+                    ServerVerdict::Ids2013
+                } else if in_bl[i] {
+                    ServerVerdict::Blacklist
+                } else if verdict == CampaignVerdict::Suspicious {
+                    ServerVerdict::Suspicious
+                } else if corroborated
+                    && member_patterns[i]
+                        .iter()
+                        .any(|p| pattern_counts.get(p).copied().unwrap_or(0) >= 2)
+                {
+                    ServerVerdict::NewServer
+                } else {
+                    ServerVerdict::FalsePositive
+                }
+            })
+            .collect();
+
+        let noise = self.is_noise(servers);
+        JudgedCampaign {
+            servers: servers.to_vec(),
+            verdict,
+            server_verdicts,
+            noise,
+        }
+    }
+
+    /// Judges a batch of campaigns.
+    pub fn judge_all(&self, campaigns: &[Vec<String>]) -> Vec<JudgedCampaign> {
+        campaigns.iter().map(|c| self.judge(c)).collect()
+    }
+
+    /// The paper's existence check: at least half the servers respond with
+    /// errors in the trace or no longer exist (defunct in ground truth).
+    fn is_suspicious(&self, servers: &[String]) -> bool {
+        if servers.is_empty() {
+            return false;
+        }
+        let bad = servers
+            .iter()
+            .filter(|s| {
+                let err = self
+                    .dataset
+                    .server_id(s)
+                    .is_some_and(|id| self.dataset.error_rate_of(id) >= 0.5);
+                let defunct = self
+                    .truth
+                    .and_then(|t| t.server(s))
+                    .is_some_and(|st| st.defunct);
+                err || defunct
+            })
+            .count();
+        2 * bad >= servers.len()
+    }
+
+    /// Majority of servers flagged as planted noise (torrent/TeamViewer).
+    fn is_noise(&self, servers: &[String]) -> bool {
+        let Some(truth) = self.truth else {
+            return false;
+        };
+        if servers.is_empty() {
+            return false;
+        }
+        let noise = servers.iter().filter(|s| truth.is_noise(s)).count();
+        2 * noise >= servers.len()
+    }
+
+    /// Collects the non-trivial request patterns (file, path, parameter
+    /// pattern, user-agent strings) of the given member servers.
+    fn pattern_set(&self, servers: &[String], members: &[usize]) -> HashSet<String> {
+        let mut out = HashSet::new();
+        for &i in members {
+            let Some(sid) = self.dataset.server_id(&servers[i]) else {
+                continue;
+            };
+            for r in self.dataset.records_of(sid) {
+                let file = self.dataset.file_name(r.file);
+                if !file.is_empty() {
+                    out.insert(format!("f:{file}"));
+                }
+                let path = self.dataset.path_name(r.path);
+                if path.len() > 1 {
+                    out.insert(format!("p:{path}"));
+                }
+                let pp = self.dataset.param_pattern_name(r.param_pattern);
+                if !pp.is_empty() {
+                    out.insert(format!("q:{pp}"));
+                }
+                let ua = self.dataset.user_agent_name(r.user_agent);
+                if !ua.is_empty() {
+                    out.insert(format!("u:{ua}"));
+                }
+            }
+        }
+        out
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blacklist::Blacklist;
+    use smash_trace::HttpRecord;
+
+    fn dataset() -> TraceDataset {
+        TraceDataset::from_records(vec![
+            HttpRecord::new(0, "b1", "cc1.com", "1.1.1.1", "/login.php?p=1").with_user_agent("BotUA"),
+            HttpRecord::new(1, "b1", "cc2.com", "1.1.1.1", "/login.php?p=2").with_user_agent("BotUA"),
+            HttpRecord::new(2, "b1", "cc3.com", "1.1.1.1", "/login.php?p=3").with_user_agent("BotUA"),
+            HttpRecord::new(3, "c9", "dead1.com", "2.2.2.2", "/x").with_status(404),
+            HttpRecord::new(4, "c9", "dead2.com", "2.2.2.3", "/x").with_status(500),
+            HttpRecord::new(5, "c2", "plain1.com", "3.3.3.1", "/index.html"),
+            HttpRecord::new(6, "c2", "plain2.com", "3.3.3.2", "/other.html"),
+        ])
+    }
+
+    fn campaign(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn ids_total_and_partial() {
+        let ds = dataset();
+        let mut ids12 = Ids::new();
+        ids12.label("cc1.com", "T");
+        ids12.label("cc2.com", "T");
+        ids12.label("cc3.com", "T");
+        let ids13 = Ids::new();
+        let bl = BlacklistSet::new();
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+        let j = eng.judge(&campaign(&["cc1.com", "cc2.com", "cc3.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::Ids2012Total);
+        assert!(j.server_verdicts.iter().all(|&v| v == ServerVerdict::Ids2012));
+    }
+
+    #[test]
+    fn zero_day_detected_by_2013_only() {
+        let ds = dataset();
+        let ids12 = Ids::new();
+        let mut ids13 = Ids::new();
+        ids13.label("cc1.com", "Zbot");
+        let bl = BlacklistSet::new();
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+        let j = eng.judge(&campaign(&["cc1.com", "cc2.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::Ids2013Partial);
+        assert_eq!(j.server_verdicts[0], ServerVerdict::Ids2013);
+        // cc2 shares login.php + BotUA + param pattern with confirmed cc1.
+        assert_eq!(j.server_verdicts[1], ServerVerdict::NewServer);
+    }
+
+    #[test]
+    fn blacklist_partial_and_new_server() {
+        let ds = dataset();
+        let ids12 = Ids::new();
+        let ids13 = Ids::new();
+        let mut mdl = Blacklist::new("MDL");
+        mdl.add("cc2.com");
+        let mut bl = BlacklistSet::new();
+        bl.push(mdl);
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+        let j = eng.judge(&campaign(&["cc1.com", "cc2.com", "cc3.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::BlacklistPartial);
+        assert_eq!(j.server_verdicts[1], ServerVerdict::Blacklist);
+        assert_eq!(j.server_verdicts[0], ServerVerdict::NewServer);
+        assert_eq!(j.server_verdicts[2], ServerVerdict::NewServer);
+    }
+
+    #[test]
+    fn suspicious_via_error_codes() {
+        let ds = dataset();
+        let ids12 = Ids::new();
+        let ids13 = Ids::new();
+        let bl = BlacklistSet::new();
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+        let j = eng.judge(&campaign(&["dead1.com", "dead2.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::Suspicious);
+        assert!(j.server_verdicts.iter().all(|&v| v == ServerVerdict::Suspicious));
+    }
+
+    #[test]
+    fn suspicious_via_defunct_truth() {
+        let ds = dataset();
+        let ids12 = Ids::new();
+        let ids13 = Ids::new();
+        let bl = BlacklistSet::new();
+        let mut gt = GroundTruth::new();
+        let c = gt.add_campaign("x", crate::labels::ActivityCategory::OtherMalicious);
+        gt.add_server("plain1.com", c, crate::labels::ActivityCategory::OtherMalicious);
+        gt.set_defunct("plain1.com", true);
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl).with_truth(&gt);
+        let j = eng.judge(&campaign(&["plain1.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::Suspicious);
+    }
+
+    #[test]
+    fn unconfirmed_campaign_is_false_positive() {
+        let ds = dataset();
+        let ids12 = Ids::new();
+        let ids13 = Ids::new();
+        let bl = BlacklistSet::new();
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+        let j = eng.judge(&campaign(&["plain1.com", "plain2.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::FalsePositive);
+        assert!(j.server_verdicts.iter().all(|&v| v == ServerVerdict::FalsePositive));
+        assert!(!j.noise);
+    }
+
+    #[test]
+    fn noise_flag_from_truth() {
+        let ds = dataset();
+        let ids12 = Ids::new();
+        let ids13 = Ids::new();
+        let bl = BlacklistSet::new();
+        let mut gt = GroundTruth::new();
+        let c = gt.add_campaign("torrent", crate::labels::ActivityCategory::TorrentNoise);
+        gt.add_server("plain1.com", c, crate::labels::ActivityCategory::TorrentNoise);
+        gt.add_server("plain2.com", c, crate::labels::ActivityCategory::TorrentNoise);
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl).with_truth(&gt);
+        let j = eng.judge(&campaign(&["plain1.com", "plain2.com"]));
+        assert!(j.noise);
+    }
+
+    #[test]
+    fn ids2012_takes_priority_over_2013() {
+        let ds = dataset();
+        let mut ids12 = Ids::new();
+        ids12.label("cc1.com", "T");
+        let mut ids13 = Ids::new();
+        ids13.label("cc1.com", "T");
+        ids13.label("cc2.com", "T");
+        let bl = BlacklistSet::new();
+        let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+        let j = eng.judge(&campaign(&["cc1.com", "cc2.com"]));
+        assert_eq!(j.verdict, CampaignVerdict::Ids2013Total);
+        assert_eq!(j.server_verdicts[0], ServerVerdict::Ids2012);
+        assert_eq!(j.server_verdicts[1], ServerVerdict::Ids2013);
+    }
+}

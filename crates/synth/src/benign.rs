@@ -1,0 +1,407 @@
+//! The benign web: Zipf-popular servers, browsing sessions, CDNs, URL
+//! shorteners.
+
+use crate::builder::{client_name, ScenarioBuilder};
+use crate::names;
+use crate::zipf::Zipf;
+use rand::Rng;
+use smash_trace::HttpRecord;
+
+/// One benign web server with its own content.
+#[derive(Debug, Clone)]
+pub struct BenignServer {
+    /// Second-level domain.
+    pub domain: String,
+    /// The server's IPs (1–2).
+    pub ips: Vec<String>,
+    /// The server's page files (every server also serves `index.html`).
+    pub files: Vec<String>,
+}
+
+/// The benign server universe, shared across the days of a week scenario.
+#[derive(Debug, Clone)]
+pub struct BenignWorld {
+    /// Ordinary web servers, ordered by popularity rank (rank 0 most
+    /// popular).
+    pub servers: Vec<BenignServer>,
+    /// Hyper-popular CDN domains embedded by many pages.
+    pub cdns: Vec<BenignServer>,
+    /// URL-shortener/redirector domains.
+    pub shorteners: Vec<BenignServer>,
+    /// Multi-hop redirect chains: `(hop1, hop2, landing index)`. The two
+    /// hops 302 through each other into the landing page and share one
+    /// service IP — the paper's *redirection groups*, which the pruning
+    /// stage replaces with the landing server.
+    pub chains: Vec<(BenignServer, BenignServer, usize)>,
+    /// Mirror families: groups of server indices where the first member
+    /// is the landing page and the rest are mirrors embedding its
+    /// content. Mirrors share the landing's visitors *and* files, so they
+    /// correlate across dimensions like a campaign would — the paper's
+    /// *referrer groups*, which the pruning stage must remove.
+    pub families: Vec<Vec<usize>>,
+    family_of: std::collections::HashMap<usize, usize>,
+    zipf: Zipf,
+}
+
+const CDN_NAMES: &[&str] = &[
+    "fbcdn.net", "akamaihd.net", "cloudfront.net", "gstatic.com", "twimg.com", "ytimg.com",
+    "gravatar.com", "typekit.net",
+];
+
+impl BenignWorld {
+    /// Builds the server universe from a dedicated RNG.
+    ///
+    /// Using a *separate* seed here keeps the universe identical across
+    /// the days of a week scenario while daily traffic varies.
+    pub fn build<R: Rng + ?Sized>(
+        b: &mut ScenarioBuilder,
+        rng: &mut R,
+        n_servers: usize,
+        n_cdn: usize,
+        zipf_exponent: f64,
+    ) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut servers = Vec::with_capacity(n_servers);
+        // ~1 provider per 20 servers: benign domains share at most the
+        // provider's name server (one Whois field — not associated).
+        let n_providers = (n_servers / 20).max(1) as u32;
+        for rank in 0..n_servers {
+            let mut domain = names::benign_domain(rng);
+            while !seen.insert(domain.clone()) {
+                domain = names::benign_domain(rng);
+            }
+            let ips: Vec<String> = (0..rng.gen_range(1..3)).map(|_| b.benign_ip()).collect();
+            let mut files = vec!["index.html".to_string()];
+            let n_files = rng.gen_range(4..30);
+            for _ in 0..n_files {
+                // Mostly server-unique pages, with a sprinkle of CMS
+                // boilerplate shared across the whole web — but only on
+                // file-rich, reasonably popular servers. On a tail server
+                // with two observed requests, one shared boilerplate name
+                // would mimic a campaign's shared script; popular servers
+                // dilute it across many observed files.
+                if rank < n_servers * 3 / 5 && n_files >= 10 && rng.gen::<f64>() < 0.2 {
+                    files.push(names::common_page_file(rng));
+                } else {
+                    files.push(names::page_file(rng));
+                }
+            }
+            files.dedup();
+            let provider = rng.gen_range(1..=n_providers);
+            b.register_whois_random(rng, &domain, provider);
+            servers.push(BenignServer { domain, ips, files });
+        }
+        let cdns: Vec<BenignServer> = CDN_NAMES
+            .iter()
+            .take(n_cdn)
+            .map(|name| {
+                let ips: Vec<String> = (0..4).map(|_| b.benign_ip()).collect();
+                let files: Vec<String> = (0..20).map(|k| format!("asset{k}.png")).collect();
+                BenignServer {
+                    domain: (*name).to_string(),
+                    ips,
+                    files,
+                }
+            })
+            .collect();
+        let shorteners: Vec<BenignServer> = (0..(n_cdn / 2).max(1))
+            .map(|i| BenignServer {
+                domain: format!("shrt{i}link.biz"),
+                ips: vec![b.benign_ip()],
+                files: vec![],
+            })
+            .collect();
+        // Mirror families among mid-popularity servers: the mirrors copy
+        // the landing server's files.
+        let mut families = Vec::new();
+        let mut family_of = std::collections::HashMap::new();
+        if n_servers >= 40 {
+            let n_families = (n_servers / 80).max(1);
+            for f in 0..n_families {
+                // Mid-popularity landing; mirrors live in the rarely
+                // bookmarked 60–80% popularity band so almost all their
+                // traffic arrives via the landing's referrals (and below
+                // the attack-target tail, which starts deeper).
+                let landing = n_servers / 4 + f * 7;
+                let mirror_base = n_servers * 3 / 5;
+                // Mostly small families; a few big mirror pools that score
+                // high enough to reach (and exercise) the pruning stage.
+                let size = if f % 5 == 0 { 8 } else { 2 + rng.gen_range(0..2) };
+                let members: Vec<usize> = std::iter::once(landing)
+                    .chain((1..=size).map(|k| mirror_base + f + k * n_families))
+                    .filter(|&i| i < n_servers * 4 / 5)
+                    .collect();
+                if members.len() < 2 {
+                    continue;
+                }
+                let landing_files = servers[members[0]].files.clone();
+                for &m in &members[1..] {
+                    servers[m].files = landing_files.clone();
+                }
+                for &m in &members {
+                    family_of.insert(m, families.len());
+                }
+                families.push(members);
+            }
+        }
+        // Multi-hop redirect chains into mid-popularity landings.
+        let chains: Vec<(BenignServer, BenignServer, usize)> = (0..(n_servers / 250))
+            .map(|i| {
+                let ip = b.benign_ip();
+                let hop = |tag: &str| BenignServer {
+                    domain: format!("go2{tag}{i}track.biz"),
+                    ips: vec![ip.clone()],
+                    files: vec![],
+                };
+                let landing = n_servers / 5 + i * 11;
+                (hop("a"), hop("b"), landing.min(n_servers - 1))
+            })
+            .collect();
+        Self {
+            servers,
+            cdns,
+            shorteners,
+            chains,
+            families,
+            family_of,
+            zipf: Zipf::new(n_servers.max(1), zipf_exponent),
+        }
+    }
+
+    /// Servers from the unpopular tail — targets for attacking campaigns
+    /// (scanning, iframe injection), which in practice hit small sites.
+    pub fn tail_servers(&self, n: usize) -> &[BenignServer] {
+        let len = self.servers.len();
+        let n = n.min(len);
+        &self.servers[len - n..]
+    }
+
+    /// A deterministic half of the unpopular tail, selected by domain
+    /// hash parity. Attacking campaigns draw victims from opposite
+    /// parities so no server is ever hit by two campaigns — a shared
+    /// victim would fuse their herds.
+    pub fn tail_partition(&self, pool: usize, parity: u8) -> Vec<&BenignServer> {
+        self.tail_servers(pool)
+            .iter()
+            .filter(|s| {
+                let h: u32 = s.domain.bytes().fold(17u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
+                (h % 2) as u8 == parity % 2
+            })
+            .collect()
+    }
+
+    /// Emits one day of benign browsing into `b`.
+    ///
+    /// Clients have heterogeneous interests: each first draws a personal
+    /// *bookmark set* by Zipf popularity and then browses within it. This
+    /// is the property the paper's main dimension rests on — "different
+    /// (independent) servers usually have different sets of clients" —
+    /// and IID sampling would destroy it by giving every client the same
+    /// visit distribution.
+    ///
+    /// Every session picks a bookmarked landing server, fetches one of its
+    /// pages, then (often) fetches embedded CDN assets carrying the
+    /// landing domain as referrer; occasionally the client arrives through
+    /// a URL shortener's redirect.
+    pub fn emit_traffic<R: Rng + ?Sized>(
+        &self,
+        b: &mut ScenarioBuilder,
+        rng: &mut R,
+        mean_client_requests: usize,
+    ) {
+        let n_clients = b.client_count();
+        for ci in 0..n_clients {
+            let client = client_name(ci);
+            let ua = names::browser_ua(rng);
+            // Personal bookmark set: Zipf keeps the global popularity
+            // skew, but each client only ever visits its own subset.
+            // Distinct draws are kept in sample order — truncating a
+            // sorted list would bias every set toward the global head.
+            let n_bookmarks = rng.gen_range(8..30);
+            let mut seen = std::collections::HashSet::new();
+            let mut bookmarks: Vec<usize> = Vec::with_capacity(n_bookmarks);
+            for _ in 0..n_bookmarks * 3 {
+                if bookmarks.len() >= n_bookmarks {
+                    break;
+                }
+                let s = self.zipf.sample(rng);
+                if seen.insert(s) {
+                    bookmarks.push(s);
+                }
+            }
+            let mut budget =
+                rng.gen_range((mean_client_requests / 2).max(1)..=mean_client_requests * 3 / 2);
+            while budget > 0 {
+                let server_idx = bookmarks[rng.gen_range(0..bookmarks.len())];
+                let server = &self.servers[server_idx];
+                let ip = &server.ips[rng.gen_range(0..server.ips.len())];
+                let file = &server.files[rng.gen_range(0..server.files.len())];
+                let ts = b.ts(rng);
+                // Occasionally arrive via a shortener redirect.
+                if !self.shorteners.is_empty() && rng.gen::<f64>() < 0.03 {
+                    let sh = &self.shorteners[rng.gen_range(0..self.shorteners.len())];
+                    let token = names::rand_token(rng, 6);
+                    b.push(
+                        HttpRecord::new(ts, &client, &sh.domain, &sh.ips[0], &format!("/{token}"))
+                            .with_user_agent(&ua)
+                            .with_redirect_to(&server.domain),
+                    );
+                    budget = budget.saturating_sub(1);
+                }
+                // Occasionally follow a two-hop tracking chain into its
+                // landing page.
+                if !self.chains.is_empty() && rng.gen::<f64>() < 0.02 {
+                    let (h1, h2, landing_idx) = &self.chains[rng.gen_range(0..self.chains.len())];
+                    let landing = &self.servers[*landing_idx];
+                    let token = names::rand_token(rng, 5);
+                    b.push(
+                        HttpRecord::new(ts, &client, &h1.domain, &h1.ips[0], &format!("/r/{token}"))
+                            .with_user_agent(&ua)
+                            .with_redirect_to(&h2.domain),
+                    );
+                    b.push(
+                        HttpRecord::new(ts + 1, &client, &h2.domain, &h2.ips[0], &format!("/r/{token}"))
+                            .with_user_agent(&ua)
+                            .with_redirect_to(&landing.domain),
+                    );
+                    b.push(
+                        HttpRecord::new(ts + 2, &client, &landing.domain, &landing.ips[0], "/index.html")
+                            .with_user_agent(&ua),
+                    );
+                    budget = budget.saturating_sub(3);
+                }
+                b.push(
+                    HttpRecord::new(ts + 1, &client, &server.domain, ip, &format!("/{file}"))
+                        .with_user_agent(&ua)
+                        .with_resp_bytes(rng.gen_range(2_048..150_000)),
+                );
+                budget = budget.saturating_sub(1);
+                // Mirror-family landings embed their mirrors: the client
+                // fetches the same file from every mirror, referred by the
+                // landing page (the paper's referrer-group pattern).
+                if let Some(&fi) = self.family_of.get(&server_idx) {
+                    let fam = &self.families[fi];
+                    if fam[0] == server_idx {
+                        for &m in &fam[1..] {
+                            let mirror = &self.servers[m];
+                            let mip = &mirror.ips[rng.gen_range(0..mirror.ips.len())];
+                            b.push(
+                                HttpRecord::new(ts + 2, &client, &mirror.domain, mip, &format!("/{file}"))
+                                    .with_user_agent(&ua)
+                                    .with_referrer(&server.domain)
+                                    .with_resp_bytes(rng.gen_range(2_048..150_000)),
+                            );
+                            budget = budget.saturating_sub(1);
+                        }
+                    }
+                }
+                // Embedded CDN assets with referrer.
+                if !self.cdns.is_empty() && rng.gen::<f64>() < 0.6 {
+                    for _ in 0..rng.gen_range(1..3) {
+                        let cdn = &self.cdns[rng.gen_range(0..self.cdns.len())];
+                        let asset = &cdn.files[rng.gen_range(0..cdn.files.len())];
+                        let cip = &cdn.ips[rng.gen_range(0..cdn.ips.len())];
+                        b.push(
+                            HttpRecord::new(ts + 2, &client, &cdn.domain, cip, &format!("/{asset}"))
+                                .with_user_agent(&ua)
+                                .with_referrer(&server.domain)
+                                .with_resp_bytes(rng.gen_range(1_024..40_000)),
+                        );
+                        budget = budget.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn world() -> (ScenarioBuilder, BenignWorld) {
+        let mut b = ScenarioBuilder::new(40, 86_400);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let w = BenignWorld::build(&mut b, &mut rng, 100, 4, 1.0);
+        (b, w)
+    }
+
+    #[test]
+    fn universe_has_requested_sizes() {
+        let (_, w) = world();
+        assert_eq!(w.servers.len(), 100);
+        assert_eq!(w.cdns.len(), 4);
+        assert!(!w.shorteners.is_empty());
+    }
+
+    #[test]
+    fn domains_are_unique() {
+        let (_, w) = world();
+        let set: std::collections::HashSet<&String> = w.servers.iter().map(|s| &s.domain).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn every_server_has_index_and_ip() {
+        let (_, w) = world();
+        for s in &w.servers {
+            assert!(s.files.contains(&"index.html".to_string()));
+            assert!(!s.ips.is_empty());
+        }
+    }
+
+    #[test]
+    fn whois_registered_for_all_servers() {
+        let (b, w) = world();
+        let parts = b.finish();
+        for s in &w.servers {
+            assert!(parts.whois.get(&s.domain).is_some(), "{}", s.domain);
+        }
+    }
+
+    #[test]
+    fn tail_servers_come_from_the_end() {
+        let (_, w) = world();
+        let tail = w.tail_servers(10);
+        assert_eq!(tail.len(), 10);
+        assert_eq!(tail[9].domain, w.servers[99].domain);
+    }
+
+    #[test]
+    fn traffic_volume_tracks_mean() {
+        let (mut b, w) = world();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        w.emit_traffic(&mut b, &mut rng, 30);
+        let n = b.record_count();
+        // 40 clients × ~30 requests, plus embeds — sanity band.
+        assert!(n > 40 * 15 && n < 40 * 90, "n = {n}");
+    }
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let (mut b1, w1) = world();
+        let (mut b2, w2) = world();
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        w1.emit_traffic(&mut b1, &mut r1, 10);
+        w2.emit_traffic(&mut b2, &mut r2, 10);
+        assert_eq!(b1.record_count(), b2.record_count());
+        assert_eq!(b1.finish().records, b2.finish().records);
+    }
+
+    #[test]
+    fn zipf_head_is_popular() {
+        let (mut b, w) = world();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        w.emit_traffic(&mut b, &mut rng, 50);
+        let parts = b.finish();
+        let ds = smash_trace::TraceDataset::from_records(parts.records);
+        let head = ds.server_id(&w.servers[0].domain).expect("head server seen");
+        let tail = ds.server_id(&w.servers[99].domain);
+        let head_clients = ds.clients_of(head).len();
+        let tail_clients = tail.map_or(0, |t| ds.clients_of(t).len());
+        assert!(head_clients > tail_clients, "head {head_clients} tail {tail_clients}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Shared state threaded through the generators.
+//!
+//! The builder is pure storage plus allocators; **all randomness is passed
+//! in** by the caller. This lets the week scenario keep a campaign's
+//! *identity* (bots) and *infrastructure* (domains, IPs, Whois) on
+//! separate seeds — persistent campaigns reuse both across days, agile
+//! campaigns keep the identity seed but rotate the infrastructure seed
+//! daily (the behaviour the paper measures in Fig. 7).
+
+use crate::config::DetectionCoverage;
+use crate::names;
+use rand::Rng;
+use smash_groundtruth::{ActivityCategory, Blacklist, BlacklistSet, CampaignId, GroundTruth, Signature};
+use smash_trace::HttpRecord;
+use smash_whois::{WhoisRecord, WhoisRegistry};
+use std::collections::HashSet;
+
+/// Canonical name of client `i` — shared by every generator so bots and
+/// benign browsing refer to the same machines.
+pub fn client_name(i: usize) -> String {
+    format!("client-{i:05}")
+}
+
+/// Samples `n` distinct clients from a pool of `n_clients`.
+pub fn pick_clients<R: Rng + ?Sized>(rng: &mut R, n: usize, n_clients: usize) -> Vec<String> {
+    let n = n.min(n_clients);
+    let mut chosen = HashSet::new();
+    while chosen.len() < n {
+        chosen.insert(rng.gen_range(0..n_clients));
+    }
+    let mut v: Vec<usize> = chosen.into_iter().collect();
+    v.sort_unstable();
+    v.into_iter().map(client_name).collect()
+}
+
+/// Accumulates the records, labels, Whois entries, signatures, and
+/// blacklist listings that the benign/campaign/noise generators emit.
+///
+/// Campaign generators follow a fixed protocol:
+/// 1. invent server names;
+/// 2. [`apply_coverage`](Self::apply_coverage) to register IDS signatures
+///    and blacklist entries and learn which servers are defunct;
+/// 3. emit traffic (defunct servers answer with errors);
+/// 4. register ground-truth labels.
+#[derive(Debug)]
+pub struct ScenarioBuilder {
+    /// Simulated day length in seconds.
+    pub day_seconds: u64,
+    n_clients: usize,
+    records: Vec<HttpRecord>,
+    truth: GroundTruth,
+    whois: WhoisRegistry,
+    sigs2012: Vec<Signature>,
+    sigs2013: Vec<Signature>,
+    direct_blacklist: Blacklist,
+    aggregator_hits: Vec<String>,
+    next_campaign_ip: u32,
+    next_benign_ip: u32,
+    next_provider: u32,
+}
+
+/// Everything a finished builder hands to [`crate::scenario`].
+#[derive(Debug)]
+pub struct ScenarioParts {
+    /// Raw HTTP records (unsorted).
+    pub records: Vec<HttpRecord>,
+    /// Planted ground truth.
+    pub truth: GroundTruth,
+    /// Whois registry.
+    pub whois: WhoisRegistry,
+    /// 2012-vintage IDS signatures.
+    pub sigs2012: Vec<Signature>,
+    /// 2013-vintage IDS signatures (superset of coverage).
+    pub sigs2013: Vec<Signature>,
+    /// Blacklists with listings applied.
+    pub blacklists: BlacklistSet,
+}
+
+impl ScenarioBuilder {
+    /// Creates a builder for `n_clients` clients over a `day_seconds` day.
+    pub fn new(n_clients: usize, day_seconds: u64) -> Self {
+        Self {
+            day_seconds,
+            n_clients,
+            records: Vec::new(),
+            truth: GroundTruth::new(),
+            whois: WhoisRegistry::new(),
+            sigs2012: Vec::new(),
+            sigs2013: Vec::new(),
+            direct_blacklist: Blacklist::new("combined-blacklist"),
+            aggregator_hits: Vec::new(),
+            next_campaign_ip: 0,
+            next_benign_ip: 0,
+            next_provider: 0,
+        }
+    }
+
+    /// Number of clients in the pool.
+    pub fn client_count(&self) -> usize {
+        self.n_clients
+    }
+
+    /// Samples `n` distinct clients to act as a campaign's bots.
+    ///
+    /// Bots come from the ordinary client pool: infected machines keep
+    /// browsing the benign web, as in the real traces.
+    pub fn pick_bots<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<String> {
+        pick_clients(rng, n, self.n_clients)
+    }
+
+    /// A uniformly random timestamp within the day.
+    pub fn ts<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.day_seconds.max(1))
+    }
+
+    /// Appends a record to the trace.
+    pub fn push(&mut self, record: HttpRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records emitted so far.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Allocates one fresh IP in the malicious hosting range.
+    pub fn campaign_ip(&mut self) -> String {
+        let n = self.next_campaign_ip;
+        self.next_campaign_ip += 1;
+        format!("185.{}.{}.{}", n / 65536 % 256, n / 256 % 256, n % 256)
+    }
+
+    /// Allocates a pool of `n` malicious IPs for a campaign to share.
+    pub fn campaign_ip_pool(&mut self, n: usize) -> Vec<String> {
+        (0..n.max(1)).map(|_| self.campaign_ip()).collect()
+    }
+
+    /// Allocates one fresh IP in the benign hosting range.
+    pub fn benign_ip(&mut self) -> String {
+        let n = self.next_benign_ip;
+        self.next_benign_ip += 1;
+        format!("23.{}.{}.{}", n / 65536 % 256, n / 256 % 256, n % 256)
+    }
+
+    /// A fresh hosting-provider id for diverse benign name servers.
+    pub fn next_provider(&mut self) -> u32 {
+        self.next_provider += 1;
+        self.next_provider
+    }
+
+    /// Registers a campaign in the ground truth.
+    pub fn begin_campaign(&mut self, name: &str, category: ActivityCategory) -> CampaignId {
+        self.truth.add_campaign(name, category)
+    }
+
+    /// Labels one server in the ground truth.
+    pub fn label_server(&mut self, server: &str, campaign: CampaignId, category: ActivityCategory) {
+        self.truth.add_server(server, campaign, category);
+    }
+
+    /// Registers correlated Whois records for a campaign's domains: all
+    /// share address, phone, and name server; registrant names differ
+    /// (the paper's Fig. 5 pattern).
+    pub fn register_whois_correlated<R: Rng + ?Sized>(&mut self, rng: &mut R, domains: &[String]) {
+        let addr = names::address(rng);
+        let ph = names::phone(rng);
+        let provider = self.next_provider();
+        let ns = names::name_server(rng, provider);
+        for d in domains {
+            let rec = WhoisRecord::new()
+                .with_registrant(&names::registrant(rng))
+                .with_email(&format!("{}@mailbox.example", names::rand_token(rng, 8)))
+                .with_address(&addr)
+                .with_phone(&ph)
+                .with_name_server(&ns);
+            self.whois.insert(d, rec);
+        }
+    }
+
+    /// Registers an independent (benign-looking) Whois record. Benign
+    /// domains share at most a hosting provider's name server — one field,
+    /// below the two-field association rule.
+    pub fn register_whois_random<R: Rng + ?Sized>(&mut self, rng: &mut R, domain: &str, provider: u32) {
+        let rec = WhoisRecord::new()
+            .with_registrant(&names::registrant(rng))
+            .with_email(&format!("{}@mail.example", names::rand_token(rng, 8)))
+            .with_address(&names::address(rng))
+            .with_phone(&names::phone(rng))
+            .with_name_server(&names::name_server(rng, provider));
+        self.whois.insert(domain, rec);
+    }
+
+    /// Applies detection coverage to a campaign's servers: registers IDS
+    /// reputation signatures (2013 covers at least the 2012 set),
+    /// blacklist listings, and returns the set of defunct servers the
+    /// traffic emitter must answer with errors.
+    pub fn apply_coverage<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        servers: &[String],
+        coverage: DetectionCoverage,
+        threat_id: &str,
+    ) -> HashSet<String> {
+        let mut defunct = HashSet::new();
+        for s in servers {
+            let r: f64 = rng.gen();
+            if r < coverage.ids2012 {
+                self.sigs2012.push(Signature::new(threat_id).with_server(s));
+                self.sigs2013.push(Signature::new(threat_id).with_server(s));
+            } else if r < coverage.ids2013 {
+                self.sigs2013.push(Signature::new(threat_id).with_server(s));
+            }
+            if rng.gen::<f64>() < coverage.blacklist {
+                self.direct_blacklist.add(s);
+            } else if rng.gen::<f64>() < 0.1 {
+                // A lone aggregator listing: not enough for confirmation.
+                self.aggregator_hits.push(s.clone());
+            }
+            if rng.gen::<f64>() < coverage.defunct {
+                defunct.insert(s.clone());
+            }
+        }
+        defunct
+    }
+
+    /// Adds a *pattern* signature (file/params/UA) to both vintages —
+    /// used for well-known protocol threats.
+    pub fn add_pattern_signature(&mut self, sig: Signature, in_2012: bool) {
+        if in_2012 {
+            self.sigs2012.push(sig.clone());
+        }
+        self.sigs2013.push(sig);
+    }
+
+    /// Marks servers defunct in the ground truth (call after labeling).
+    pub fn mark_defunct(&mut self, servers: &HashSet<String>) {
+        for s in servers {
+            self.truth.set_defunct(s, true);
+        }
+    }
+
+    /// Finalizes the builder.
+    pub fn finish(self) -> ScenarioParts {
+        let mut blacklists = BlacklistSet::new();
+        blacklists.push(self.direct_blacklist);
+        blacklists.push(Blacklist::new("whatismyipaddress").with_aggregator(true));
+        for s in &self.aggregator_hits {
+            blacklists.add_aggregator_listing(s);
+        }
+        ScenarioParts {
+            records: self.records,
+            truth: self.truth,
+            whois: self.whois,
+            sigs2012: self.sigs2012,
+            sigs2013: self.sigs2013,
+            blacklists,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bots_are_distinct_and_sorted() {
+        let b = ScenarioBuilder::new(50, 86_400);
+        let bots = b.pick_bots(&mut rng(1), 10);
+        assert_eq!(bots.len(), 10);
+        let set: HashSet<&String> = bots.iter().collect();
+        assert_eq!(set.len(), 10);
+        let mut sorted = bots.clone();
+        sorted.sort();
+        assert_eq!(bots, sorted);
+    }
+
+    #[test]
+    fn bots_capped_at_pool_size() {
+        let b = ScenarioBuilder::new(3, 86_400);
+        assert_eq!(b.pick_bots(&mut rng(1), 10).len(), 3);
+    }
+
+    #[test]
+    fn same_seed_same_bots() {
+        let b = ScenarioBuilder::new(100, 86_400);
+        assert_eq!(b.pick_bots(&mut rng(9), 5), b.pick_bots(&mut rng(9), 5));
+    }
+
+    #[test]
+    fn ip_allocators_never_collide() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let mut seen = HashSet::new();
+        for _ in 0..600 {
+            assert!(seen.insert(b.campaign_ip()));
+            assert!(seen.insert(b.benign_ip()));
+        }
+    }
+
+    #[test]
+    fn correlated_whois_is_associated() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let domains = vec!["a.com".to_string(), "b.com".to_string()];
+        b.register_whois_correlated(&mut rng(3), &domains);
+        let parts = b.finish();
+        assert!(parts.whois.associated("a.com", "b.com"));
+    }
+
+    #[test]
+    fn random_whois_is_not_associated() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let p1 = b.next_provider();
+        let p2 = b.next_provider();
+        let mut r = rng(4);
+        b.register_whois_random(&mut r, "a.com", p1);
+        b.register_whois_random(&mut r, "b.com", p2);
+        let parts = b.finish();
+        assert!(!parts.whois.associated("a.com", "b.com"));
+    }
+
+    #[test]
+    fn coverage_zero_registers_nothing() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let servers = vec!["x.com".to_string()];
+        let defunct = b.apply_coverage(
+            &mut rng(5),
+            &servers,
+            DetectionCoverage {
+                ids2012: 0.0,
+                ids2013: 0.0,
+                blacklist: 0.0,
+                defunct: 0.0,
+            },
+            "T",
+        );
+        assert!(defunct.is_empty());
+        let parts = b.finish();
+        assert!(parts.sigs2012.is_empty());
+        assert!(parts.sigs2013.is_empty());
+    }
+
+    #[test]
+    fn full_coverage_registers_everything() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let servers: Vec<String> = (0..20).map(|i| format!("s{i}.com")).collect();
+        let defunct = b.apply_coverage(&mut rng(6), &servers, DetectionCoverage::well_known(), "T");
+        assert!(defunct.is_empty()); // well_known has defunct = 0
+        let parts = b.finish();
+        assert_eq!(parts.sigs2012.len(), 20);
+        assert_eq!(parts.sigs2013.len(), 20);
+        assert!(parts.blacklists.confirmed("s0.com") || parts.blacklists.confirmed("s1.com"));
+    }
+
+    #[test]
+    fn zero_day_coverage_separates_vintages() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let servers: Vec<String> = (0..10).map(|i| format!("z{i}.cc")).collect();
+        b.apply_coverage(&mut rng(7), &servers, DetectionCoverage::zero_day(), "Zbot");
+        let parts = b.finish();
+        assert!(parts.sigs2012.is_empty());
+        assert_eq!(parts.sigs2013.len(), 10);
+    }
+
+    #[test]
+    fn timestamps_within_day() {
+        let b = ScenarioBuilder::new(10, 1000);
+        let mut r = rng(8);
+        for _ in 0..100 {
+            assert!(b.ts(&mut r) < 1000);
+        }
+    }
+
+    #[test]
+    fn defunct_marking() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let c = b.begin_campaign("x", ActivityCategory::Phishing);
+        b.label_server("p.com", c, ActivityCategory::Phishing);
+        let mut set = HashSet::new();
+        set.insert("p.com".to_string());
+        b.mark_defunct(&set);
+        let parts = b.finish();
+        assert!(parts.truth.server("p.com").unwrap().defunct);
+    }
+}

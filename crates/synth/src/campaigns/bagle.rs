@@ -1,0 +1,186 @@
+//! Bagle-style two-stage campaigns (paper Table VII): compromised
+//! download servers serving `/images/file.txt`, plus C&C servers handling
+//! `news.php?p=[]&id=[]&e=[]` — driven by the same bots. The ASH
+//! correlation step finds the two stages as separate herds; campaign
+//! inference merges them through the shared client set.
+
+use super::{unique_benign_domains, unique_shady_domains, CampaignSeeds};
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use rand::Rng;
+use smash_groundtruth::ActivityCategory;
+use smash_trace::HttpRecord;
+
+/// Generates one two-stage campaign. Returns all server names
+/// (download servers first, then C&C).
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    name: &str,
+    n_download: usize,
+    n_cnc: usize,
+    n_bots: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+
+    // Stage 1: compromised benign-looking sites, diverse Whois and IPs —
+    // reputation systems can't catch these (paper §V-D1).
+    let downloads = unique_benign_domains(&mut infra, n_download);
+    let download_ips: Vec<String> = (0..n_download).map(|_| b.benign_ip()).collect();
+    for d in &downloads {
+        let provider = b.next_provider();
+        b.register_whois_random(&mut infra, d, provider);
+    }
+    // Download servers are essentially never labeled (paper: "None of the
+    // downloading servers was detected by IDS or blacklists").
+    let dl_cov = DetectionCoverage {
+        ids2012: 0.0,
+        ids2013: 0.0,
+        blacklist: 0.02,
+        defunct: 0.05,
+    };
+    let dl_defunct = b.apply_coverage(&mut infra, &downloads, dl_cov, name);
+
+    // Stage 2: dedicated C&C servers with shared infrastructure.
+    let cncs = unique_shady_domains(&mut infra, n_cnc);
+    let pool = b.campaign_ip_pool((n_cnc / 4).max(1));
+    b.register_whois_correlated(&mut infra, &cncs);
+    let cnc_defunct = b.apply_coverage(&mut infra, &cncs, coverage, name);
+
+    let dl_ua = "Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 5.1)";
+    let cnc_ua = "Internet Exploder";
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 3);
+    // One encrypted payload, one size — served identically by every
+    // compromised host (the §VI payload-similarity signal).
+    let payload_bytes: u32 = infra.gen_range(30_000..90_000) & !63;
+
+    for (bi, bot) in bots.iter().enumerate() {
+        // First the encrypted payload download… (the first bot downloads
+        // from everything so every server appears in the trace).
+        for (i, d) in downloads.iter().enumerate() {
+            if bi > 0 && traffic.gen::<f64>() < 0.05 {
+                continue;
+            }
+            let ts = bursts.sample(&mut traffic);
+            let status = if dl_defunct.contains(d) { 404 } else { 200 };
+            b.push(
+                HttpRecord::new(ts, bot, d, &download_ips[i], "/images/file.txt")
+                    .with_user_agent(dl_ua)
+                    .with_status(status)
+                    .with_resp_bytes(payload_bytes + traffic.gen_range(0..64)),
+            );
+        }
+        // …then C&C polling with the fixed parameter pattern.
+        for c in &cncs {
+            for _ in 0..traffic.gen_range(1..=2) {
+                let ts = bursts.sample(&mut traffic);
+                let ip = &pool[traffic.gen_range(0..pool.len())];
+                let uri = format!(
+                    "/images/news.php?p={}&id={}&e=0",
+                    traffic.gen_range(10_000..99_999),
+                    traffic.gen_range(10_000_000..99_999_999)
+                );
+                let status = if cnc_defunct.contains(c) { 0 } else { 200 };
+                b.push(
+                    HttpRecord::new(ts, bot, c, ip, &uri)
+                        .with_user_agent(cnc_ua)
+                        .with_status(status)
+                        .with_resp_bytes(traffic.gen_range(300..900)),
+                );
+            }
+        }
+    }
+
+    let cid = b.begin_campaign(name, ActivityCategory::CommandAndControl);
+    for d in &downloads {
+        b.label_server(d, cid, ActivityCategory::Downloading);
+    }
+    for c in &cncs {
+        b.label_server(c, cid, ActivityCategory::CommandAndControl);
+    }
+    b.mark_defunct(&dl_defunct);
+    b.mark_defunct(&cnc_defunct);
+
+    let mut all = downloads;
+    all.extend(cncs);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(80, 86_400);
+        let servers = generate(
+            &mut b,
+            "bagle",
+            10,
+            12,
+            4,
+            DetectionCoverage::typical(),
+            CampaignSeeds::fixed(21),
+        );
+        (b, servers)
+    }
+
+    #[test]
+    fn stage_counts() {
+        let (_, servers) = run();
+        assert_eq!(servers.len(), 22);
+    }
+
+    #[test]
+    fn both_stages_share_bots() {
+        let (b, servers) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let dl = ds.server_id(&servers[0]).unwrap();
+        let cnc = ds.server_id(&servers[21]).unwrap();
+        let cd: std::collections::HashSet<u32> = ds.clients_of(dl).iter().copied().collect();
+        let cc: std::collections::HashSet<u32> = ds.clients_of(cnc).iter().copied().collect();
+        assert!(!cd.is_disjoint(&cc));
+    }
+
+    #[test]
+    fn download_servers_share_file_txt() {
+        let (b, servers) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        for d in &servers[..10] {
+            if let Some(sid) = ds.server_id(d) {
+                let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+                assert_eq!(files, vec!["file.txt"], "{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cnc_servers_share_param_pattern() {
+        let (b, servers) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let sid = ds.server_id(&servers[15]).unwrap();
+        let r = ds.records_of(sid).next().unwrap();
+        assert_eq!(ds.param_pattern_name(r.param_pattern), "p=[]&id=[]&e=[]");
+    }
+
+    #[test]
+    fn downloads_have_diverse_whois_cncs_correlated() {
+        let (b, servers) = run();
+        let whois = b.finish().whois;
+        assert!(!whois.associated(&servers[0], &servers[1]));
+        assert!(whois.associated(&servers[12], &servers[13]));
+    }
+
+    #[test]
+    fn one_campaign_two_categories() {
+        let (b, servers) = run();
+        let truth = b.finish().truth;
+        let t_dl = truth.server(&servers[0]).unwrap();
+        let t_cc = truth.server(&servers[15]).unwrap();
+        assert_eq!(t_dl.campaign, t_cc.campaign);
+        assert_eq!(t_dl.category, ActivityCategory::Downloading);
+        assert_eq!(t_cc.category, ActivityCategory::CommandAndControl);
+    }
+}

@@ -1,0 +1,209 @@
+//! Domain-flux C&C campaigns (paper Fig. 1(a)), optionally with
+//! obfuscated long handler filenames (paper Fig. 4).
+
+use super::{unique_shady_domains, CampaignSeeds};
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use crate::names;
+use rand::Rng;
+use smash_groundtruth::{ActivityCategory, Signature};
+use smash_trace::HttpRecord;
+
+const SCRIPTS: &[&str] = &["login.php", "gate.php", "panel.php", "new.php"];
+const DIRS: &[&str] = &["images", "admin", "inc", "data"];
+
+/// Generates one domain-flux C&C campaign. Returns the domain list.
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    name: &str,
+    n_domains: usize,
+    n_bots: usize,
+    obfuscated: bool,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+    let domains = unique_shady_domains(&mut infra, n_domains);
+
+    // Small shared IP pool: domain fluxing on few hosts.
+    let pool = b.campaign_ip_pool((n_domains / 3).max(1));
+    let domain_ips: Vec<Vec<String>> = domains
+        .iter()
+        .map(|_| {
+            let k = infra.gen_range(1..=2.min(pool.len()));
+            let mut v: Vec<String> = (0..k)
+                .map(|_| pool[infra.gen_range(0..pool.len())].clone())
+                .collect();
+            v.dedup();
+            v
+        })
+        .collect();
+
+    b.register_whois_correlated(&mut infra, &domains);
+    let defunct = b.apply_coverage(&mut infra, &domains, coverage, name);
+
+    // Handler script(s): one shared script, or per-domain obfuscated long
+    // names drawn from a shared alphabet.
+    let dir = DIRS[infra.gen_range(0..DIRS.len())];
+    let shared_script = SCRIPTS[infra.gen_range(0..SCRIPTS.len())].to_string();
+    let scripts: Vec<String> = if obfuscated {
+        let alpha = names::obfuscation_alphabet(&mut infra, 8);
+        domains
+            .iter()
+            .map(|_| {
+                // The paper's obfuscated names run up to 211 chars; long
+                // names keep the per-name character distributions close.
+                let len = infra.gen_range(80..150);
+                names::obfuscated_filename(&mut infra, &alpha, len)
+            })
+            .collect()
+    } else {
+        vec![shared_script.clone(); n_domains]
+    };
+    let ua = format!(
+        "Mozilla/4.0 (compatible; MSIE 6.0; bot-{})",
+        names::rand_token(&mut infra, 5)
+    );
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 2);
+
+    for (bi, bot) in bots.iter().enumerate() {
+        for (di, domain) in domains.iter().enumerate() {
+            // Each bot polls (almost) every domain of the flux set; the
+            // first bot skips nothing so every domain appears in the
+            // trace.
+            if bi > 0 && n_domains > 8 && traffic.gen::<f64>() < 0.05 {
+                continue;
+            }
+            let reps = traffic.gen_range(1..=3);
+            for _ in 0..reps {
+                let ts = bursts.sample(&mut traffic);
+                let ip = &domain_ips[di][traffic.gen_range(0..domain_ips[di].len())];
+                let uri = format!(
+                    "/{dir}/{}?p={}&id={}&e=0",
+                    scripts[di],
+                    traffic.gen_range(1000..99999),
+                    traffic.gen_range(1_000_000..99_999_999)
+                );
+                let status = if defunct.contains(domain) {
+                    if traffic.gen::<bool>() {
+                        404
+                    } else {
+                        0
+                    }
+                } else {
+                    200
+                };
+                b.push(
+                    HttpRecord::new(ts, bot, domain, ip, &uri)
+                        .with_user_agent(&ua)
+                        .with_status(status),
+                );
+            }
+        }
+    }
+
+    let c = b.begin_campaign(name, ActivityCategory::CommandAndControl);
+    for d in &domains {
+        b.label_server(d, c, ActivityCategory::CommandAndControl);
+    }
+    b.mark_defunct(&defunct);
+
+    // Well-known protocols also get a content signature.
+    if !obfuscated && coverage.ids2013 >= 1.0 {
+        let sig = Signature::new(name)
+            .with_uri_file(&shared_script)
+            .with_param_pattern("p=[]&id=[]&e=[]")
+            .with_user_agent(&ua);
+        b.add_pattern_signature(sig, coverage.ids2012 >= 1.0);
+    }
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::TraceDataset;
+
+    fn run(obfuscated: bool) -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(100, 86_400);
+        let domains = generate(
+            &mut b,
+            "flux-test",
+            8,
+            3,
+            obfuscated,
+            DetectionCoverage::typical(),
+            CampaignSeeds::fixed(77),
+        );
+        (b, domains)
+    }
+
+    #[test]
+    fn bots_share_the_domain_set() {
+        let (b, domains) = run(false);
+        let ds = TraceDataset::from_records(b.finish().records);
+        // Every domain contacted by a common set of bots.
+        let first = ds.server_id(&domains[0]).unwrap();
+        let clients = ds.clients_of(first);
+        assert!(!clients.is_empty() && clients.len() <= 3);
+    }
+
+    #[test]
+    fn shared_script_across_domains() {
+        let (b, domains) = run(false);
+        let ds = TraceDataset::from_records(b.finish().records);
+        let f0: Vec<u32> = ds.files_of(ds.server_id(&domains[0]).unwrap()).to_vec();
+        let f1: Vec<u32> = ds.files_of(ds.server_id(&domains[1]).unwrap()).to_vec();
+        assert_eq!(f0, f1);
+        assert_eq!(f0.len(), 1);
+    }
+
+    #[test]
+    fn obfuscated_scripts_differ_but_share_charset() {
+        let (b, domains) = run(true);
+        let ds = TraceDataset::from_records(b.finish().records);
+        let name0 = ds.file_name(ds.files_of(ds.server_id(&domains[0]).unwrap())[0]).to_string();
+        let name1 = ds.file_name(ds.files_of(ds.server_id(&domains[1]).unwrap())[0]).to_string();
+        assert_ne!(name0, name1);
+        assert!(name0.len() > 25);
+        assert!(smash_trace::uri::charset_cosine(&name0, &name1) > 0.8);
+    }
+
+    #[test]
+    fn ips_are_shared_within_campaign() {
+        let (b, domains) = run(false);
+        let ds = TraceDataset::from_records(b.finish().records);
+        let all_ips: std::collections::HashSet<u32> = domains
+            .iter()
+            .filter_map(|d| ds.server_id(d))
+            .flat_map(|s| ds.ips_of(s).to_vec())
+            .collect();
+        // 8 domains but a pool of at most ~3 IPs (plus dedup noise).
+        assert!(all_ips.len() <= 4, "{} ips", all_ips.len());
+    }
+
+    #[test]
+    fn truth_labels_all_domains() {
+        let (b, domains) = run(false);
+        let truth = b.finish().truth;
+        for d in &domains {
+            assert!(truth.involved_in_malicious_activity(d));
+        }
+    }
+
+    #[test]
+    fn whois_correlated() {
+        let (b, domains) = run(false);
+        let whois = b.finish().whois;
+        assert!(whois.associated(&domains[0], &domains[1]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (b1, d1) = run(false);
+        let (b2, d2) = run(false);
+        assert_eq!(d1, d2);
+        assert_eq!(b1.finish().records, b2.finish().records);
+    }
+}

@@ -1,0 +1,117 @@
+//! Zeus-style DGA herds (paper Table X): sibling domain names on a free
+//! zone, one shared IP, all serving `/login.php`.
+
+use super::CampaignSeeds;
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use crate::names;
+use rand::Rng;
+use smash_groundtruth::{ActivityCategory, Signature};
+use smash_trace::HttpRecord;
+
+/// Generates one DGA C&C campaign. Returns the domain list.
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    name: &str,
+    n_domains: usize,
+    n_bots: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+    let domains = names::dga_family(&mut infra, n_domains);
+    // The whole family resolves to one (occasionally two) IPs.
+    let pool = b.campaign_ip_pool(if n_domains > 5 { 2 } else { 1 });
+    b.register_whois_correlated(&mut infra, &domains);
+    let defunct = b.apply_coverage(&mut infra, &domains, coverage, name);
+    let ua = format!("ZBot/{}.{}", infra.gen_range(1..4), infra.gen_range(0..10));
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 2);
+
+    for bot in &bots {
+        for domain in &domains {
+            for _ in 0..traffic.gen_range(1..=2) {
+                let ts = bursts.sample(&mut traffic);
+                let ip = &pool[traffic.gen_range(0..pool.len())];
+                let status = if defunct.contains(domain) { 404 } else { 200 };
+                b.push(
+                    HttpRecord::new(ts, bot, domain, ip, "/login.php")
+                        .with_user_agent(&ua)
+                        .with_status(status),
+                );
+            }
+        }
+    }
+
+    let c = b.begin_campaign(name, ActivityCategory::CommandAndControl);
+    for d in &domains {
+        b.label_server(d, c, ActivityCategory::CommandAndControl);
+    }
+    b.mark_defunct(&defunct);
+
+    if coverage.ids2013 >= 1.0 {
+        // The 2013 signatures learned the whole family (paper: "2013 IDS
+        // signatures detect all of these domains").
+        let sig = Signature::new(name).with_uri_file("login.php").with_user_agent(&ua);
+        b.add_pattern_signature(sig, coverage.ids2012 >= 1.0);
+    }
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(60, 86_400);
+        let domains = generate(
+            &mut b,
+            "zeus-dga",
+            8,
+            2,
+            DetectionCoverage::zero_day(),
+            CampaignSeeds::fixed(5),
+        );
+        (b, domains)
+    }
+
+    #[test]
+    fn family_shares_one_ip_set() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let ips: std::collections::HashSet<u32> = domains
+            .iter()
+            .filter_map(|d| ds.server_id(d))
+            .flat_map(|s| ds.ips_of(s).to_vec())
+            .collect();
+        assert!(ips.len() <= 2);
+    }
+
+    #[test]
+    fn all_domains_serve_login_php() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        for d in &domains {
+            let sid = ds.server_id(d).unwrap();
+            let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+            assert_eq!(files, vec!["login.php"]);
+        }
+    }
+
+    #[test]
+    fn zero_day_signatures_only_2013() {
+        let (b, _) = run();
+        let parts = b.finish();
+        assert!(parts.sigs2012.is_empty());
+        assert!(!parts.sigs2013.is_empty());
+    }
+
+    #[test]
+    fn names_look_like_a_dga_family() {
+        let (_, domains) = run();
+        assert!(domains.iter().all(|d| d.ends_with(".cz.cc")));
+        let stems: std::collections::HashSet<&str> = domains.iter().map(|d| &d[..4]).collect();
+        assert_eq!(stems.len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Drop-zone herds: a few upload endpoints sharing hosting and the
+//! exfiltration script.
+
+use super::{unique_shady_domains, CampaignSeeds};
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use rand::Rng;
+use smash_groundtruth::ActivityCategory;
+use smash_trace::HttpRecord;
+
+/// Generates one drop-zone campaign. Returns the domain list.
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    name: &str,
+    n_domains: usize,
+    n_bots: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+    let domains = unique_shady_domains(&mut infra, n_domains);
+    let pool = b.campaign_ip_pool(1);
+    b.register_whois_correlated(&mut infra, &domains);
+    let defunct = b.apply_coverage(&mut infra, &domains, coverage, name);
+    let ua = "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.0)";
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 1);
+
+    for bot in &bots {
+        for d in &domains {
+            for _ in 0..traffic.gen_range(1..=4) {
+                let ts = bursts.sample(&mut traffic);
+                let uri = format!("/panel/up.php?bot={}&chunk={}", traffic.gen_range(100..999), traffic.gen_range(0..64));
+                let status = if defunct.contains(d) { 404 } else { 200 };
+                b.push(
+                    HttpRecord::new(ts, bot, d, &pool[0], &uri)
+                        .with_user_agent(ua)
+                        .with_method("POST")
+                        .with_status(status),
+                );
+            }
+        }
+    }
+
+    let cid = b.begin_campaign(name, ActivityCategory::DropZone);
+    for d in &domains {
+        b.label_server(d, cid, ActivityCategory::DropZone);
+    }
+    b.mark_defunct(&defunct);
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(40, 86_400);
+        let domains = generate(
+            &mut b,
+            "drop",
+            3,
+            1,
+            DetectionCoverage::typical(),
+            CampaignSeeds::fixed(8),
+        );
+        (b, domains)
+    }
+
+    #[test]
+    fn single_shared_ip() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let mut ips = std::collections::HashSet::new();
+        for d in &domains {
+            for &ip in ds.ips_of(ds.server_id(d).unwrap()) {
+                ips.insert(ip);
+            }
+        }
+        assert_eq!(ips.len(), 1);
+    }
+
+    #[test]
+    fn upload_script_shared() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        for d in &domains {
+            let sid = ds.server_id(d).unwrap();
+            let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+            assert_eq!(files, vec!["up.php"]);
+        }
+    }
+
+    #[test]
+    fn single_client_campaign() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let sid = ds.server_id(&domains[0]).unwrap();
+        assert_eq!(ds.clients_of(sid).len(), 1);
+    }
+
+    #[test]
+    fn param_pattern_is_stable() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let sid = ds.server_id(&domains[0]).unwrap();
+        for r in ds.records_of(sid) {
+            assert_eq!(ds.param_pattern_name(r.param_pattern), "bot=[]&chunk=[]");
+        }
+    }
+}

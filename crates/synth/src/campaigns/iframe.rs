@@ -1,0 +1,136 @@
+//! Wordpress iframe-injection campaigns (paper Table IX): compromised
+//! hosts upload/poll a malicious `sm3.php` under varying `wp-content`
+//! paths on many benign servers, with the empty user-agent `-`.
+
+use super::CampaignSeeds;
+use crate::benign::BenignWorld;
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use rand::Rng;
+use smash_groundtruth::ActivityCategory;
+use smash_trace::HttpRecord;
+
+const INJECT_PATHS: &[&str] = &[
+    "/wp-content/uploads/sm3.php",
+    "/wp-content/themes/sm3.php",
+    "/images/sm3.php",
+    "/wp-content/plugins/cache/sm3.php",
+];
+
+/// Generates one iframe-injection campaign over tail benign servers.
+/// Returns the injected target names.
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    world: &BenignWorld,
+    name: &str,
+    n_targets: usize,
+    n_bots: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+    // Iframe injection hits the odd-parity half of the tail; scanning
+    // hits the even half — disjoint victims keep the two attacking herds
+    // separate.
+    let tail = world.tail_partition((n_targets * 4).max(n_targets), 1);
+    let mut idx: Vec<usize> = (0..tail.len()).collect();
+    for i in (1..idx.len()).rev() {
+        idx.swap(i, infra.gen_range(0..=i));
+    }
+    let targets: Vec<&crate::benign::BenignServer> =
+        idx.into_iter().take(n_targets).map(|i| tail[i]).collect();
+    let target_names: Vec<String> = targets.iter().map(|t| t.domain.clone()).collect();
+
+    // Only a sliver of the 600-server herd is IDS/blacklist-known (the
+    // paper's IDS caught 4 of 600).
+    let defunct = b.apply_coverage(&mut infra, &target_names, coverage, name);
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 1);
+
+    for bot in &bots {
+        for t in &targets {
+            let ts = bursts.sample(&mut traffic);
+            let path = INJECT_PATHS[traffic.gen_range(0..INJECT_PATHS.len())];
+            let ip = &t.ips[traffic.gen_range(0..t.ips.len())];
+            let status = if defunct.contains(&t.domain) { 404 } else { 200 };
+            b.push(
+                HttpRecord::new(ts, bot, &t.domain, ip, path)
+                    .with_user_agent("-")
+                    .with_method("POST")
+                    .with_status(status),
+            );
+        }
+    }
+
+    let cid = b.begin_campaign(name, ActivityCategory::IframeInjection);
+    for t in &target_names {
+        b.label_server(t, cid, ActivityCategory::IframeInjection);
+    }
+    b.mark_defunct(&defunct);
+    target_names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use smash_trace::TraceDataset;
+
+    fn run(n: usize) -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(50, 86_400);
+        let mut wrng = ChaCha8Rng::seed_from_u64(2);
+        let world = BenignWorld::build(&mut b, &mut wrng, 150, 2, 1.0);
+        let cov = DetectionCoverage {
+            ids2012: 0.01,
+            ids2013: 0.02,
+            blacklist: 0.02,
+            defunct: 0.0,
+        };
+        let targets = generate(&mut b, &world, "iframe", n, 2, cov, CampaignSeeds::fixed(4));
+        (b, targets)
+    }
+
+    #[test]
+    fn sm3_php_shared_under_varying_paths() {
+        let (b, targets) = run(30);
+        let ds = TraceDataset::from_records(b.finish().records);
+        let mut paths = std::collections::HashSet::new();
+        for t in &targets {
+            let sid = ds.server_id(t).unwrap();
+            let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+            assert_eq!(files, vec!["sm3.php"]);
+            for r in ds.records_of(sid) {
+                paths.insert(ds.path_name(r.path).to_string());
+            }
+        }
+        assert!(paths.len() > 1, "paths should vary: {paths:?}");
+    }
+
+    #[test]
+    fn dash_user_agent() {
+        let (b, targets) = run(10);
+        let ds = TraceDataset::from_records(b.finish().records);
+        let sid = ds.server_id(&targets[0]).unwrap();
+        for r in ds.records_of(sid) {
+            assert_eq!(ds.user_agent_name(r.user_agent), "-");
+        }
+    }
+
+    #[test]
+    fn ids_coverage_is_sparse() {
+        let (b, _) = run(100);
+        let parts = b.finish();
+        assert!(parts.sigs2013.len() < 10, "{} sigs", parts.sigs2013.len());
+    }
+
+    #[test]
+    fn truth_is_attacking_category() {
+        let (b, targets) = run(10);
+        let truth = b.finish().truth;
+        assert_eq!(
+            truth.server(&targets[0]).unwrap().category,
+            ActivityCategory::IframeInjection
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Planted malicious campaigns, one module per family.
+//!
+//! Every generator follows the builder protocol (names → coverage →
+//! traffic → truth) and draws from three separate seeds:
+//!
+//! * `identity` — which clients are the bots. Fixed across a week for
+//!   both persistent *and* agile campaigns (the infected machines don't
+//!   change).
+//! * `infra` — domains, IPs, Whois. Fixed for persistent campaigns;
+//!   rotated daily for agile ones (the paper observes most campaigns
+//!   change servers every day, Fig. 7).
+//! * `traffic` — request timing/volume; varies every day.
+
+pub mod bagle;
+pub mod cnc;
+pub mod dga;
+pub mod dropzone;
+pub mod iframe;
+pub mod phishing;
+pub mod sality;
+pub mod scanning;
+
+use crate::benign::BenignWorld;
+use crate::builder::ScenarioBuilder;
+use crate::config::CampaignSpec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The three seeds driving one campaign instance (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSeeds {
+    /// Bot selection.
+    pub identity: u64,
+    /// Domains, IPs, Whois.
+    pub infra: u64,
+    /// Request timing and volume.
+    pub traffic: u64,
+    /// Restricts bot picks to clients `lo..hi`. Scenario presets hand
+    /// each campaign a disjoint block so two campaigns never share an
+    /// infected machine by accident (with hundreds of clients and dozens
+    /// of bots, birthday collisions would otherwise fuse campaigns).
+    pub bot_range: Option<(usize, usize)>,
+}
+
+impl CampaignSeeds {
+    /// All three seeds derived from one value (single-day scenarios).
+    pub fn fixed(seed: u64) -> Self {
+        Self {
+            identity: seed ^ 0x1D,
+            infra: seed ^ 0x2F,
+            traffic: seed ^ 0x3A,
+            bot_range: None,
+        }
+    }
+
+    /// Restricts bot selection to the client block `lo..hi`.
+    pub fn with_bot_range(mut self, lo: usize, hi: usize) -> Self {
+        self.bot_range = Some((lo, hi));
+        self
+    }
+
+    /// RNGs for the three seeds.
+    pub(crate) fn rngs(self) -> (ChaCha8Rng, ChaCha8Rng, ChaCha8Rng) {
+        (
+            ChaCha8Rng::seed_from_u64(self.identity),
+            ChaCha8Rng::seed_from_u64(self.infra),
+            ChaCha8Rng::seed_from_u64(self.traffic),
+        )
+    }
+}
+
+/// Generates one campaign into `b`, dispatching on the spec variant.
+///
+/// Returns the campaign's server names (useful for week-level analyses).
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    world: &BenignWorld,
+    spec: &CampaignSpec,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    match spec {
+        CampaignSpec::CncFlux {
+            name,
+            domains,
+            bots,
+            obfuscated,
+            coverage,
+        } => cnc::generate(b, name, *domains, *bots, *obfuscated, *coverage, seeds),
+        CampaignSpec::Dga {
+            name,
+            domains,
+            bots,
+            coverage,
+        } => dga::generate(b, name, *domains, *bots, *coverage, seeds),
+        CampaignSpec::TwoStage {
+            name,
+            download_servers,
+            cnc_servers,
+            bots,
+            coverage,
+        } => bagle::generate(b, name, *download_servers, *cnc_servers, *bots, *coverage, seeds),
+        CampaignSpec::Sality {
+            name,
+            download_servers,
+            bots,
+            coverage,
+        } => sality::generate(b, name, *download_servers, *bots, *coverage, seeds),
+        CampaignSpec::Scanning {
+            name,
+            targets,
+            bots,
+            coverage,
+        } => scanning::generate(b, world, name, *targets, *bots, *coverage, seeds),
+        CampaignSpec::Iframe {
+            name,
+            targets,
+            bots,
+            coverage,
+        } => iframe::generate(b, world, name, *targets, *bots, *coverage, seeds),
+        CampaignSpec::Phishing {
+            name,
+            domains,
+            bots,
+            coverage,
+        } => phishing::generate(b, name, *domains, *bots, *coverage, seeds),
+        CampaignSpec::DropZone {
+            name,
+            domains,
+            bots,
+            coverage,
+        } => dropzone::generate(b, name, *domains, *bots, *coverage, seeds),
+    }
+}
+
+/// A campaign's synchronized activity windows: bots of one campaign check
+/// in during the same few bursts (C&C polling intervals, scan sweeps) —
+/// the temporal correlation the paper's proposed time-based dimension
+/// (§VI) exploits.
+#[derive(Debug, Clone)]
+pub struct BurstSchedule {
+    windows: Vec<(u64, u64)>,
+}
+
+impl BurstSchedule {
+    /// Picks `n` non-degenerate windows of 30–90 minutes within the day.
+    pub fn pick<R: rand::Rng + ?Sized>(rng: &mut R, day_seconds: u64, n: usize) -> Self {
+        let day = day_seconds.max(3600);
+        let windows = (0..n.max(1))
+            .map(|_| {
+                let len = rng.gen_range(1800..5400).min(day - 1);
+                let start = rng.gen_range(0..day - len);
+                (start, start + len)
+            })
+            .collect();
+        Self { windows }
+    }
+
+    /// A timestamp inside one of the windows.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (lo, hi) = self.windows[rng.gen_range(0..self.windows.len())];
+        rng.gen_range(lo..hi)
+    }
+
+    /// The windows, for tests.
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.windows
+    }
+}
+
+/// Picks a campaign's bots, honoring the seeds' bot block when set.
+pub(crate) fn pick_campaign_bots<R: rand::Rng + ?Sized>(
+    b: &ScenarioBuilder,
+    rng: &mut R,
+    n: usize,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    match seeds.bot_range {
+        Some((lo, hi)) if hi > lo => {
+            let span = (hi.min(b.client_count())).saturating_sub(lo);
+            if span == 0 {
+                return b.pick_bots(rng, n);
+            }
+            crate::builder::pick_clients(rng, n.min(span), span)
+                .into_iter()
+                .map(|name| {
+                    // pick_clients sampled 0..span; shift into the block.
+                    let idx: usize = name.trim_start_matches("client-").parse().unwrap();
+                    crate::builder::client_name(lo + idx)
+                })
+                .collect()
+        }
+        _ => b.pick_bots(rng, n),
+    }
+}
+
+/// Draws `n` unique shady domains.
+pub(crate) fn unique_shady_domains<R: rand::Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let d = crate::names::shady_domain(rng);
+        if seen.insert(d.clone()) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Draws `n` unique benign-looking (compromised) domains.
+pub(crate) fn unique_benign_domains<R: rand::Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let d = crate::names::benign_domain(rng);
+        if seen.insert(d.clone()) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_fixed_derives_distinct_streams() {
+        let s = CampaignSeeds::fixed(9);
+        assert_ne!(s.identity, s.infra);
+        assert_ne!(s.infra, s.traffic);
+    }
+
+    #[test]
+    fn unique_domain_helpers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = unique_shady_domains(&mut rng, 50);
+        let set: std::collections::HashSet<&String> = ds.iter().collect();
+        assert_eq!(set.len(), 50);
+        let bs = unique_benign_domains(&mut rng, 50);
+        let set: std::collections::HashSet<&String> = bs.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+}

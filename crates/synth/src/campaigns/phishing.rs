@@ -1,0 +1,110 @@
+//! Small phishing herds: a few short-lived domains with correlated Whois
+//! serving the same credential-harvesting script.
+
+use super::{unique_shady_domains, CampaignSeeds};
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use rand::Rng;
+use smash_groundtruth::ActivityCategory;
+use smash_trace::HttpRecord;
+
+const LURES: &[&str] = &["signin.php", "verify.php", "secure-login.php"];
+
+/// Generates one phishing campaign. Returns the domain list.
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    name: &str,
+    n_domains: usize,
+    n_victims: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let victims = super::pick_campaign_bots(b, &mut id_rng, n_victims, seeds);
+    let domains = unique_shady_domains(&mut infra, n_domains);
+    // Phishing kits sit on cheap disjoint hosting; Whois is the tell.
+    let ips: Vec<String> = (0..n_domains).map(|_| b.campaign_ip()).collect();
+    b.register_whois_correlated(&mut infra, &domains);
+    let defunct = b.apply_coverage(&mut infra, &domains, coverage, name);
+    let lure = LURES[infra.gen_range(0..LURES.len())];
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 1);
+
+    for v in &victims {
+        for (i, d) in domains.iter().enumerate() {
+            let ts = bursts.sample(&mut traffic);
+            let uri = format!("/{}/{lure}?acc={}", "account", traffic.gen_range(1000..9999));
+            let status = if defunct.contains(d) { 0 } else { 200 };
+            b.push(
+                HttpRecord::new(ts, v, d, &ips[i], &uri)
+                    .with_user_agent("Mozilla/5.0 (Windows NT 6.1) Firefox/15.0")
+                    .with_status(status),
+            );
+        }
+    }
+
+    let cid = b.begin_campaign(name, ActivityCategory::Phishing);
+    for d in &domains {
+        b.label_server(d, cid, ActivityCategory::Phishing);
+    }
+    b.mark_defunct(&defunct);
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(40, 86_400);
+        let domains = generate(
+            &mut b,
+            "phish",
+            5,
+            2,
+            DetectionCoverage::invisible(),
+            CampaignSeeds::fixed(6),
+        );
+        (b, domains)
+    }
+
+    #[test]
+    fn lure_file_shared() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let f0: Vec<u32> = ds.files_of(ds.server_id(&domains[0]).unwrap()).to_vec();
+        for d in &domains[1..] {
+            assert_eq!(ds.files_of(ds.server_id(d).unwrap()), f0.as_slice());
+        }
+    }
+
+    #[test]
+    fn ips_not_shared() {
+        let (b, domains) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let a = ds.ips_of(ds.server_id(&domains[0]).unwrap());
+        let c = ds.ips_of(ds.server_id(&domains[1]).unwrap());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invisible_coverage_marks_many_defunct() {
+        let (b, domains) = run();
+        let truth = b.finish().truth;
+        let defunct = domains
+            .iter()
+            .filter(|d| truth.server(d).unwrap().defunct)
+            .count();
+        assert!(defunct >= 1, "expected some defunct phishing domains");
+    }
+
+    #[test]
+    fn category_is_phishing() {
+        let (b, domains) = run();
+        let truth = b.finish().truth;
+        assert_eq!(
+            truth.server(&domains[0]).unwrap().category,
+            ActivityCategory::Phishing
+        );
+    }
+}

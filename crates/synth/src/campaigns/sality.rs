@@ -1,0 +1,198 @@
+//! Sality-style campaigns (paper Table VIII): two C&C domains sharing IPs
+//! and Whois (requesting `/`), plus compromised download servers serving
+//! `.gif` payloads — every request stamped with the `KUKU v5.05exp`
+//! user-agent that makes the threat fully IDS-visible.
+
+use super::{unique_benign_domains, CampaignSeeds};
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use crate::names;
+use rand::Rng;
+use smash_groundtruth::{ActivityCategory, Signature};
+use smash_trace::HttpRecord;
+
+const GIFS: &[&str] = &["mainf.gif", "logos.gif", "winlogo.gif"];
+
+/// Generates one Sality campaign. Returns server names (two C&C first).
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    name: &str,
+    n_download: usize,
+    n_bots: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+    let ua = "KUKU v5.05exp";
+
+    // Two C&C domains: shared IPs + registration info, handler is `/`.
+    let cncs = vec![
+        format!("kukutrust{}.info", names::rand_token(&mut infra, 6)),
+        format!("kjwre{}.info", names::rand_token(&mut infra, 6)),
+    ];
+    let pool = b.campaign_ip_pool(2);
+    b.register_whois_correlated(&mut infra, &cncs);
+    let cnc_defunct = b.apply_coverage(&mut infra, &cncs, coverage, name);
+
+    // Compromised download servers: diverse infrastructure, shared gifs.
+    let downloads = unique_benign_domains(&mut infra, n_download);
+    let dl_ips: Vec<String> = (0..n_download).map(|_| b.benign_ip()).collect();
+    // Each compromised host serves two of the three payload names, so the
+    // shared-filename overlap chains all download servers into one herd.
+    let dl_gif: Vec<[&str; 2]> = (0..n_download)
+        .map(|_| {
+            let first = infra.gen_range(0..GIFS.len());
+            let second = (first + 1 + infra.gen_range(0..GIFS.len() - 1)) % GIFS.len();
+            [GIFS[first], GIFS[second]]
+        })
+        .collect();
+    for d in &downloads {
+        let provider = b.next_provider();
+        b.register_whois_random(&mut infra, d, provider);
+    }
+    let dl_defunct = b.apply_coverage(&mut infra, &downloads, coverage, name);
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 2);
+    // Each payload name is one binary with one size, identical across the
+    // compromised hosts serving it.
+    let gif_bytes: Vec<u32> = GIFS.iter().map(|_| infra.gen_range(20_000..80_000) & !63).collect();
+
+    for bot in &bots {
+        for (i, d) in downloads.iter().enumerate() {
+            for gif in dl_gif[i] {
+                let ts = bursts.sample(&mut traffic);
+                let key = format!("{:06x}", traffic.gen_range(0..0xFFFFFFu32));
+                let uri =
+                    format!("/images/{gif}?{key}={}", traffic.gen_range(1_000_000..99_999_999));
+                let status = if dl_defunct.contains(d) { 404 } else { 200 };
+                let gi = GIFS.iter().position(|g| *g == gif).unwrap_or(0);
+                b.push(
+                    HttpRecord::new(ts, bot, d, &dl_ips[i], &uri)
+                        .with_user_agent(ua)
+                        .with_status(status)
+                        .with_resp_bytes(gif_bytes[gi] + traffic.gen_range(0..64)),
+                );
+            }
+        }
+        for c in &cncs {
+            for _ in 0..traffic.gen_range(1..=3) {
+                let ts = bursts.sample(&mut traffic);
+                let ip = &pool[traffic.gen_range(0..pool.len())];
+                let key = format!("{:06x}", traffic.gen_range(0..0xFFFFFFu32));
+                let uri = format!("/?{key}={}", traffic.gen_range(1_000_000..99_999_999));
+                let status = if cnc_defunct.contains(c) { 0 } else { 200 };
+                b.push(
+                    HttpRecord::new(ts, bot, c, ip, &uri)
+                        .with_user_agent(ua)
+                        .with_status(status),
+                );
+            }
+        }
+    }
+
+    let cid = b.begin_campaign(name, ActivityCategory::CommandAndControl);
+    for c in &cncs {
+        b.label_server(c, cid, ActivityCategory::CommandAndControl);
+    }
+    for d in &downloads {
+        b.label_server(d, cid, ActivityCategory::Downloading);
+    }
+    b.mark_defunct(&cnc_defunct);
+    b.mark_defunct(&dl_defunct);
+
+    // The KUKU user-agent is a classic content signature.
+    if coverage.ids2013 >= 1.0 {
+        b.add_pattern_signature(
+            Signature::new(name).with_user_agent(ua),
+            coverage.ids2012 >= 1.0,
+        );
+    }
+
+    let mut all = cncs;
+    all.extend(downloads);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(60, 86_400);
+        let servers = generate(
+            &mut b,
+            "sality",
+            10,
+            3,
+            DetectionCoverage::well_known(),
+            CampaignSeeds::fixed(33),
+        );
+        (b, servers)
+    }
+
+    #[test]
+    fn two_cnc_plus_downloads() {
+        let (_, servers) = run();
+        assert_eq!(servers.len(), 12);
+        assert!(servers[0].contains("kukutrust"));
+    }
+
+    #[test]
+    fn cnc_pair_shares_ips_and_whois() {
+        let (b, servers) = run();
+        let parts = b.finish();
+        let ds = TraceDataset::from_records(parts.records);
+        let a = ds.server_id(&servers[0]).unwrap();
+        let c = ds.server_id(&servers[1]).unwrap();
+        assert_eq!(ds.ips_of(a), ds.ips_of(c));
+        assert!(parts.whois.associated(&servers[0], &servers[1]));
+    }
+
+    #[test]
+    fn kuku_ua_everywhere() {
+        let (b, servers) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        for s in &servers {
+            let sid = ds.server_id(s).unwrap();
+            for r in ds.records_of(sid) {
+                assert_eq!(ds.user_agent_name(r.user_agent), "KUKU v5.05exp");
+            }
+        }
+    }
+
+    #[test]
+    fn downloads_serve_shared_gif_names() {
+        let (b, servers) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let mut gif_names = std::collections::HashSet::new();
+        for d in &servers[2..] {
+            let sid = ds.server_id(d).unwrap();
+            for &f in ds.files_of(sid) {
+                gif_names.insert(ds.file_name(f).to_string());
+            }
+        }
+        assert!(gif_names.len() <= GIFS.len());
+        assert!(gif_names.iter().all(|g| g.ends_with(".gif")));
+    }
+
+    #[test]
+    fn well_known_coverage_has_pattern_sig_in_2012() {
+        let (b, _) = run();
+        let parts = b.finish();
+        assert!(parts
+            .sigs2012
+            .iter()
+            .any(|s| s.user_agent.as_deref() == Some("KUKU v5.05exp")));
+    }
+
+    #[test]
+    fn cnc_requests_share_the_root_filename() {
+        // The paper's Sality C&C pair is correlated via the filename "/".
+        let (b, servers) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let sid = ds.server_id(&servers[0]).unwrap();
+        let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+        assert_eq!(files, vec!["/"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! ZmEu-style web scanning (paper Fig. 1(b)): bots probe many benign
+//! servers for the vulnerable `setup.php` of phpMyAdmin under varying
+//! install paths. The *targets* form the attacking-activity campaign.
+
+use super::CampaignSeeds;
+use crate::benign::BenignWorld;
+use crate::builder::ScenarioBuilder;
+use crate::config::DetectionCoverage;
+use rand::Rng;
+use smash_groundtruth::{ActivityCategory, Signature};
+use smash_trace::HttpRecord;
+
+const ADMIN_PATHS: &[&str] = &[
+    "/phpMyAdmin/scripts/setup.php",
+    "/phpmyadmin/scripts/setup.php",
+    "/pma/scripts/setup.php",
+    "/myadmin/scripts/setup.php",
+    "/mysql/scripts/setup.php",
+    "/db/scripts/setup.php",
+];
+
+/// Generates one scanning campaign over tail (unpopular) benign servers.
+/// Returns the scanned target names.
+pub fn generate(
+    b: &mut ScenarioBuilder,
+    world: &BenignWorld,
+    name: &str,
+    n_targets: usize,
+    n_bots: usize,
+    coverage: DetectionCoverage,
+    seeds: CampaignSeeds,
+) -> Vec<String> {
+    let (mut id_rng, mut infra, mut traffic) = seeds.rngs();
+    let bots = super::pick_campaign_bots(b, &mut id_rng, n_bots, seeds);
+    // Targets from the unpopular tail: in practice scanners sweep address
+    // space, hitting small sites whose benign client sets are tiny.
+    // Scanning sweeps the even-parity half of the tail, iframe injection
+    // the odd half: two attacking campaigns must never hit the same
+    // victim, or the shared target fuses their herds.
+    let tail = world.tail_partition((n_targets * 4).max(n_targets), 0);
+    let mut idx: Vec<usize> = (0..tail.len()).collect();
+    for i in (1..idx.len()).rev() {
+        idx.swap(i, infra.gen_range(0..=i));
+    }
+    let targets: Vec<&crate::benign::BenignServer> =
+        idx.into_iter().take(n_targets).map(|i| tail[i]).collect();
+    let target_names: Vec<String> = targets.iter().map(|t| t.domain.clone()).collect();
+
+    // IDS/blacklist coverage of scanned victims is partial, as in the
+    // paper's attacking campaigns (labels mark "this server was attacked").
+    let _ = b.apply_coverage(&mut infra, &target_names, coverage, name);
+
+    let ua = "ZmEu";
+    let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 1);
+    for bot in &bots {
+        for t in &targets {
+            for _ in 0..traffic.gen_range(1..=2) {
+                let ts = bursts.sample(&mut traffic);
+                let path = ADMIN_PATHS[traffic.gen_range(0..ADMIN_PATHS.len())];
+                let ip = &t.ips[traffic.gen_range(0..t.ips.len())];
+                // Almost no target actually has phpMyAdmin installed.
+                let status = if traffic.gen::<f64>() < 0.05 { 200 } else { 404 };
+                b.push(
+                    HttpRecord::new(ts, bot, &t.domain, ip, path)
+                        .with_user_agent(ua)
+                        .with_status(status),
+                );
+            }
+        }
+    }
+
+    let cid = b.begin_campaign(name, ActivityCategory::WebScanner);
+    for t in &target_names {
+        b.label_server(t, cid, ActivityCategory::WebScanner);
+    }
+    // A full content rule for the probe exists only when coverage says
+    // the threat is fully known to that signature vintage.
+    if coverage.ids2013 >= 1.0 {
+        b.add_pattern_signature(
+            Signature::new(name).with_uri_file("setup.php").with_user_agent(ua),
+            coverage.ids2012 >= 1.0,
+        );
+    }
+    target_names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>) {
+        let mut b = ScenarioBuilder::new(50, 86_400);
+        let mut wrng = ChaCha8Rng::seed_from_u64(1);
+        let world = BenignWorld::build(&mut b, &mut wrng, 120, 2, 1.0);
+        let targets = generate(
+            &mut b,
+            &world,
+            "zmeu",
+            15,
+            2,
+            DetectionCoverage::well_known(),
+            CampaignSeeds::fixed(3),
+        );
+        (b, targets)
+    }
+
+    #[test]
+    fn targets_are_distinct_benign_servers() {
+        let (_, targets) = run();
+        assert_eq!(targets.len(), 15);
+        let set: std::collections::HashSet<&String> = targets.iter().collect();
+        assert_eq!(set.len(), 15);
+    }
+
+    #[test]
+    fn targets_share_setup_php() {
+        let (b, targets) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        for t in &targets {
+            let sid = ds.server_id(t).unwrap();
+            let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+            assert_eq!(files, vec!["setup.php"], "{t}");
+        }
+    }
+
+    #[test]
+    fn probes_mostly_fail() {
+        let (b, targets) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let sid = ds.server_id(&targets[0]).unwrap();
+        assert!(ds.error_rate_of(sid) > 0.5);
+    }
+
+    #[test]
+    fn labeled_as_attacking_activity() {
+        let (b, targets) = run();
+        let truth = b.finish().truth;
+        let t = truth.server(&targets[0]).unwrap();
+        assert_eq!(t.category, ActivityCategory::WebScanner);
+        assert_eq!(
+            t.category.kind(),
+            Some(smash_groundtruth::ActivityKind::Attacking)
+        );
+    }
+
+    #[test]
+    fn pattern_signature_registered() {
+        let (b, _) = run();
+        let parts = b.finish();
+        assert!(parts
+            .sigs2012
+            .iter()
+            .any(|s| s.uri_file.as_deref() == Some("setup.php")));
+    }
+}

@@ -1,0 +1,315 @@
+//! Generator configuration: world size, campaign roster, noise.
+
+use serde::{Deserialize, Serialize};
+
+/// How visible a campaign is to the simulated external label sources.
+///
+/// Fractions are per-server probabilities. The paper's zero-day claim
+/// requires `ids2013 >= ids2012`: servers the 2013 signatures catch that
+/// the 2012 set missed are SMASH's "detected before the update" wins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionCoverage {
+    /// Fraction of campaign servers the 2012 IDS signature set labels.
+    pub ids2012: f64,
+    /// Fraction the 2013 IDS set labels (includes the 2012 fraction).
+    pub ids2013: f64,
+    /// Fraction the blacklists confirm.
+    pub blacklist: f64,
+    /// Fraction of servers already taken down (existence probes fail and
+    /// their trace responses are HTTP errors).
+    pub defunct: f64,
+}
+
+impl DetectionCoverage {
+    /// Typical coverage: IDS sees little, blacklists see some, a few
+    /// servers are already dead — matching the paper's observation that
+    /// ~86.5% of inferred servers were unknown to IDS and blacklists.
+    pub fn typical() -> Self {
+        Self {
+            ids2012: 0.03,
+            ids2013: 0.10,
+            blacklist: 0.10,
+            defunct: 0.10,
+        }
+    }
+
+    /// Entirely invisible to all label sources (candidate for the
+    /// "suspicious" bucket via the existence check).
+    pub fn invisible() -> Self {
+        Self {
+            ids2012: 0.0,
+            ids2013: 0.0,
+            blacklist: 0.0,
+            defunct: 0.75,
+        }
+    }
+
+    /// A well-known threat: fully covered by both IDS vintages.
+    pub fn well_known() -> Self {
+        Self {
+            ids2012: 1.0,
+            ids2013: 1.0,
+            blacklist: 0.6,
+            defunct: 0.0,
+        }
+    }
+
+    /// A zero-day: the 2012 set misses everything, the 2013 set catches
+    /// all of it (the paper's Zeus case, Table X).
+    pub fn zero_day() -> Self {
+        Self {
+            ids2012: 0.0,
+            ids2013: 1.0,
+            blacklist: 0.1,
+            defunct: 0.0,
+        }
+    }
+}
+
+/// One planted campaign.
+///
+/// Every variant carries the number of *bot* clients driving it; the
+/// paper observes 75% of campaigns have a single infected client, so
+/// presets plant many `bots: 1` campaigns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CampaignSpec {
+    /// Domain-flux C&C: many domains, shared IP pool, one handler script
+    /// (paper Fig. 1(a)). `obfuscated` switches the handler filename to
+    /// per-server long obfuscated names sharing a character set (Fig. 4).
+    CncFlux {
+        /// Campaign name.
+        name: String,
+        /// Number of C&C domains.
+        domains: usize,
+        /// Number of infected clients.
+        bots: usize,
+        /// `true` to use obfuscated long filenames instead of one script.
+        obfuscated: bool,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// Zeus-style DGA herd: sibling domain names on a free zone, same IP,
+    /// same `login.php` (paper Table X).
+    Dga {
+        /// Campaign name.
+        name: String,
+        /// Number of DGA domains.
+        domains: usize,
+        /// Number of infected clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// Bagle-style two-stage campaign: compromised download servers
+    /// (`/images/file.txt`) plus C&C servers (`news.php` with a fixed
+    /// parameter pattern) driven by the same bots (paper Table VII).
+    TwoStage {
+        /// Campaign name.
+        name: String,
+        /// Number of compromised download servers.
+        download_servers: usize,
+        /// Number of C&C servers.
+        cnc_servers: usize,
+        /// Number of infected clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// Sality-style campaign: two C&C domains sharing IPs + Whois and
+    /// requesting `/`, plus compromised download servers serving `.gif`
+    /// payloads, all with the `KUKU` user-agent (paper Table VIII).
+    Sality {
+        /// Campaign name.
+        name: String,
+        /// Number of compromised download servers.
+        download_servers: usize,
+        /// Number of infected clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// ZmEu-style scanning: bots probe benign servers for
+    /// `setup.php` under phpMyAdmin-like paths (paper Fig. 1(b)).
+    Scanning {
+        /// Campaign name.
+        name: String,
+        /// Number of scanned benign targets.
+        targets: usize,
+        /// Number of scanning clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// Wordpress iframe injection: bots hit `sm3.php` under varying
+    /// `wp-content` paths on many benign servers with user-agent `-`
+    /// (paper Table IX).
+    Iframe {
+        /// Campaign name.
+        name: String,
+        /// Number of injected benign servers.
+        targets: usize,
+        /// Number of attacking clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// A small phishing herd: few domains, shared Whois, same landing
+    /// file.
+    Phishing {
+        /// Campaign name.
+        name: String,
+        /// Number of phishing domains.
+        domains: usize,
+        /// Number of victim clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+    /// A drop-zone herd: few upload endpoints sharing IPs and the upload
+    /// script.
+    DropZone {
+        /// Campaign name.
+        name: String,
+        /// Number of drop-zone domains.
+        domains: usize,
+        /// Number of exfiltrating clients.
+        bots: usize,
+        /// Label-source visibility.
+        coverage: DetectionCoverage,
+    },
+}
+
+impl CampaignSpec {
+    /// The campaign's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            CampaignSpec::CncFlux { name, .. }
+            | CampaignSpec::Dga { name, .. }
+            | CampaignSpec::TwoStage { name, .. }
+            | CampaignSpec::Sality { name, .. }
+            | CampaignSpec::Scanning { name, .. }
+            | CampaignSpec::Iframe { name, .. }
+            | CampaignSpec::Phishing { name, .. }
+            | CampaignSpec::DropZone { name, .. } => name,
+        }
+    }
+
+    /// Number of bot clients driving the campaign.
+    pub fn bots(&self) -> usize {
+        match self {
+            CampaignSpec::CncFlux { bots, .. }
+            | CampaignSpec::Dga { bots, .. }
+            | CampaignSpec::TwoStage { bots, .. }
+            | CampaignSpec::Sality { bots, .. }
+            | CampaignSpec::Scanning { bots, .. }
+            | CampaignSpec::Iframe { bots, .. }
+            | CampaignSpec::Phishing { bots, .. }
+            | CampaignSpec::DropZone { bots, .. } => *bots,
+        }
+    }
+}
+
+/// The paper's two false-positive noise sources (§V-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// P2P clients requesting `scrape.php` from many trackers.
+    pub torrent_clients: usize,
+    /// Torrent tracker servers.
+    pub torrent_trackers: usize,
+    /// Clients of the TeamViewer-style ID service.
+    pub teamviewer_clients: usize,
+    /// Pool size of TeamViewer-style ID servers.
+    pub teamviewer_servers: usize,
+}
+
+impl NoiseSpec {
+    /// No noise at all.
+    pub fn none() -> Self {
+        Self {
+            torrent_clients: 0,
+            torrent_trackers: 0,
+            teamviewer_clients: 0,
+            teamviewer_servers: 0,
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// RNG seed; every output is a pure function of the config.
+    pub seed: u64,
+    /// Number of benign clients (bots are drawn from this pool — infected
+    /// machines still browse the benign web).
+    pub n_clients: usize,
+    /// Size of the benign server universe.
+    pub n_benign_servers: usize,
+    /// Number of hyper-popular CDN second-level domains (IDF-filter
+    /// exercise material).
+    pub n_cdn: usize,
+    /// Zipf exponent of benign server popularity.
+    pub zipf_exponent: f64,
+    /// Mean browsing requests per client per day.
+    pub mean_client_requests: usize,
+    /// Length of the simulated day in seconds.
+    pub day_seconds: u64,
+    /// Planted campaigns.
+    pub campaigns: Vec<CampaignSpec>,
+    /// Planted noise herds.
+    pub noise: NoiseSpec,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            n_clients: 300,
+            n_benign_servers: 800,
+            n_cdn: 6,
+            zipf_exponent: 1.0,
+            mean_client_requests: 40,
+            day_seconds: 86_400,
+            campaigns: Vec::new(),
+            noise: NoiseSpec::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_presets_are_ordered() {
+        for c in [
+            DetectionCoverage::typical(),
+            DetectionCoverage::invisible(),
+            DetectionCoverage::well_known(),
+            DetectionCoverage::zero_day(),
+        ] {
+            assert!(c.ids2013 >= c.ids2012, "{c:?}");
+            assert!((0.0..=1.0).contains(&c.blacklist));
+            assert!((0.0..=1.0).contains(&c.defunct));
+        }
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = CampaignSpec::Dga {
+            name: "zeus".into(),
+            domains: 8,
+            bots: 3,
+            coverage: DetectionCoverage::zero_day(),
+        };
+        assert_eq!(s.name(), "zeus");
+        assert_eq!(s.bots(), 3);
+    }
+
+    #[test]
+    fn default_config_is_clean() {
+        let c = SynthConfig::default();
+        assert!(c.campaigns.is_empty());
+        assert_eq!(c.noise, NoiseSpec::none());
+        assert!(c.n_clients > 0);
+    }
+}

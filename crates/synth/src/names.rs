@@ -1,0 +1,223 @@
+//! Deterministic name generators: domains, DGA names, obfuscated
+//! filenames, Whois identities, user-agents.
+
+use rand::Rng;
+
+const TLDS: &[&str] = &["com", "net", "org", "info", "biz"];
+const WORDS: &[&str] = &[
+    "blue", "river", "shop", "tech", "media", "cloud", "data", "home", "travel", "photo",
+    "music", "game", "news", "food", "auto", "health", "sport", "garden", "craft", "book",
+];
+
+/// Random lowercase alphanumeric string of length `len`.
+pub fn rand_token<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A plausible benign second-level domain, e.g. `blueriver42.com`.
+pub fn benign_domain<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let a = WORDS[rng.gen_range(0..WORDS.len())];
+    let b = WORDS[rng.gen_range(0..WORDS.len())];
+    let n = rng.gen_range(0..1000);
+    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    format!("{a}{b}{n}.{tld}")
+}
+
+/// A malicious throw-away domain, e.g. `xk3f9qa2.info`.
+pub fn shady_domain<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    let len = rng.gen_range(6..12);
+    format!("{}.{tld}", rand_token(rng, len))
+}
+
+/// A Zeus-style DGA family: a shared stem with a per-domain mutation on a
+/// free second-level zone, e.g. `4k0t155m.cz.cc` / `4k0t177m.cz.cc`.
+///
+/// All names of one family share the stem and differ in two digits, so the
+/// family is *visibly* related (the paper's Table X) yet every name is
+/// distinct.
+pub fn dga_family<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<String> {
+    let stem = rand_token(rng, 4);
+    let suffix: char = (b'a' + rng.gen_range(0..26u8)) as char;
+    (0..count)
+        .map(|i| format!("{stem}1{}{}m{suffix}.cz.cc", i % 10, (i / 10) % 10))
+        .collect()
+}
+
+/// An obfuscated long filename (paper Fig. 4): `len` characters drawn from
+/// a fixed per-campaign alphabet so sibling names share a character
+/// distribution (detectable by the eq. 6 cosine) without any substring
+/// match.
+pub fn obfuscated_filename<R: Rng + ?Sized>(rng: &mut R, alphabet: &[u8], len: usize) -> String {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let body: String = (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .collect();
+    format!("{body}.php")
+}
+
+/// Picks a per-campaign alphabet of `k` distinct characters for
+/// [`obfuscated_filename`].
+pub fn obfuscation_alphabet<R: Rng + ?Sized>(rng: &mut R, k: usize) -> Vec<u8> {
+    const POOL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let mut pool: Vec<u8> = POOL.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(pool.len()) {
+        let i = rng.gen_range(0..pool.len());
+        out.push(pool.swap_remove(i));
+    }
+    out
+}
+
+/// A person-like registrant name.
+pub fn registrant<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const FIRST: &[&str] = &["ivan", "maria", "chen", "raj", "olga", "juan", "amir", "lena"];
+    const LAST: &[&str] = &["petrov", "garcia", "wang", "singh", "novak", "silva", "ali", "berg"];
+    format!(
+        "{} {}{}",
+        FIRST[rng.gen_range(0..FIRST.len())],
+        LAST[rng.gen_range(0..LAST.len())],
+        rng.gen_range(0..100)
+    )
+}
+
+/// A street-address-like string.
+pub fn address<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("{} {} st", rng.gen_range(1..999), WORDS[rng.gen_range(0..WORDS.len())])
+}
+
+/// A phone-number-like string.
+pub fn phone<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!("+{}-{:03}-{:07}", rng.gen_range(1..99), rng.gen_range(0..999), rng.gen_range(0..9_999_999))
+}
+
+/// A hosting-provider name-server pair like `ns1.hostpool7.net`.
+pub fn name_server<R: Rng + ?Sized>(rng: &mut R, provider: u32) -> String {
+    format!("ns{}.hostpool{provider}.net", rng.gen_range(1..3))
+}
+
+/// A benign browser user-agent (a handful of realistic variants).
+pub fn browser_ua<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const UAS: &[&str] = &[
+        "Mozilla/5.0 (Windows NT 6.1) Firefox/15.0",
+        "Mozilla/5.0 (Windows NT 6.1) Chrome/21.0",
+        "Mozilla/5.0 (Macintosh) Safari/536.25",
+        "Mozilla/4.0 (compatible; MSIE 8.0)",
+        "Opera/9.80 (Windows NT 6.1)",
+    ];
+    UAS[rng.gen_range(0..UAS.len())].to_owned()
+}
+
+/// A benign page filename for server-specific content.
+///
+/// Includes a random token so two servers virtually never share a
+/// generated page name by accident — accidental cross-server file
+/// collisions would look exactly like a campaign's shared script.
+/// Genuinely common names come from [`common_page_file`] instead.
+pub fn page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const EXT: &[&str] = &["html", "php", "htm", "asp"];
+    format!(
+        "{}{}{}.{}",
+        WORDS[rng.gen_range(0..WORDS.len())],
+        rand_token(rng, 4),
+        rng.gen_range(0..100),
+        EXT[rng.gen_range(0..EXT.len())]
+    )
+}
+
+/// Web-wide common page/asset names (CMS boilerplate): the realistic
+/// low-signal file sharing among unrelated benign servers.
+pub fn common_page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const COMMON: &[&str] = &[
+        "about.html", "contact.html", "faq.html", "news.html", "search.php", "style.css",
+        "main.js", "banner.jpg", "header.png", "footer.php", "login.html", "terms.html",
+        "privacy.html", "sitemap.xml", "feed.xml", "gallery.html", "products.html",
+        "services.html", "blog.html", "archive.html", "print.css", "menu.js", "logo.gif",
+        "background.jpg", "favicon.ico", "form.php", "press.html", "jobs.html", "help.html",
+        "team.html", "history.html", "map.html", "events.html", "downloads.html", "links.html",
+        "reviews.html", "pricing.html", "order.php", "cart.php", "checkout.php", "account.php",
+        "register.php", "reset.php", "rss.xml", "atom.xml", "robots.txt", "humans.txt",
+        "video.html", "audio.html", "photos.html", "calendar.html", "weather.html",
+        "stats.html", "forum.php", "wiki.html", "docs.html", "api.html", "mobile.html",
+        "amp.html", "print.html",
+    ];
+    COMMON[rng.gen_range(0..COMMON.len())].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn benign_domains_have_tld() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let d = benign_domain(&mut r);
+            assert!(d.contains('.'), "{d}");
+            assert_eq!(d.split('.').count(), 2);
+        }
+    }
+
+    #[test]
+    fn dga_family_shares_stem_and_zone() {
+        let mut r = rng();
+        let fam = dga_family(&mut r, 8);
+        assert_eq!(fam.len(), 8);
+        let stem = &fam[0][..4];
+        for d in &fam {
+            assert!(d.starts_with(stem), "{d}");
+            assert!(d.ends_with(".cz.cc"));
+        }
+        let distinct: std::collections::HashSet<&String> = fam.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn obfuscated_names_share_charset() {
+        let mut r = rng();
+        let alpha = obfuscation_alphabet(&mut r, 8);
+        let a = obfuscated_filename(&mut r, &alpha, 100);
+        let b = obfuscated_filename(&mut r, &alpha, 100);
+        assert_ne!(a, b);
+        assert!(a.ends_with(".php"));
+        assert_eq!(a.len(), 104);
+        // High charset cosine expected for long names over the same
+        // 8-letter alphabet.
+        let cos = smash_trace::uri::charset_cosine(&a, &b);
+        assert!(cos > 0.8, "cosine {cos}");
+    }
+
+    #[test]
+    fn alphabet_has_distinct_chars() {
+        let mut r = rng();
+        let alpha = obfuscation_alphabet(&mut r, 10);
+        let set: std::collections::HashSet<u8> = alpha.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(benign_domain(&mut r1), benign_domain(&mut r2));
+        assert_eq!(registrant(&mut r1), registrant(&mut r2));
+        assert_eq!(phone(&mut r1), phone(&mut r2));
+    }
+
+    #[test]
+    fn token_length_and_charset() {
+        let mut r = rng();
+        let t = rand_token(&mut r, 12);
+        assert_eq!(t.len(), 12);
+        assert!(t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's two false-positive noise sources (§V-A1): torrent tracker
+//! herds sharing `scrape.php`, and TeamViewer-style ID-server pools
+//! sharing one path. Both are benign, yet correlate strongly enough to
+//! surface as SMASH campaigns.
+
+use crate::builder::ScenarioBuilder;
+use crate::config::NoiseSpec;
+use rand::Rng;
+use smash_groundtruth::ActivityCategory;
+use smash_trace::HttpRecord;
+
+/// Emits the configured noise herds. Returns (tracker names,
+/// TeamViewer-pool names).
+pub fn generate<R: Rng + ?Sized>(
+    b: &mut ScenarioBuilder,
+    rng: &mut R,
+    spec: NoiseSpec,
+) -> (Vec<String>, Vec<String>) {
+    let trackers = torrent(b, rng, spec.torrent_clients, spec.torrent_trackers);
+    let tv = teamviewer(b, rng, spec.teamviewer_clients, spec.teamviewer_servers);
+    (trackers, tv)
+}
+
+/// P2P clients hitting many trackers with `announce.php`/`scrape.php`,
+/// occasionally on shared IPs (multi-tracker hosts).
+fn torrent<R: Rng + ?Sized>(
+    b: &mut ScenarioBuilder,
+    rng: &mut R,
+    n_clients: usize,
+    n_trackers: usize,
+) -> Vec<String> {
+    if n_clients == 0 || n_trackers == 0 {
+        return Vec::new();
+    }
+    let trackers: Vec<String> = (0..n_trackers)
+        .map(|i| format!("tracker{i}swarm.org"))
+        .collect();
+    // Some tracker hosts run several trackers: small shared IP pool.
+    let ips: Vec<String> = (0..(n_trackers / 3).max(1)).map(|_| b.benign_ip()).collect();
+    let tracker_ip: Vec<String> = (0..n_trackers)
+        .map(|_| ips[rng.gen_range(0..ips.len())].clone())
+        .collect();
+    let peers = b.pick_bots(rng, n_clients);
+    for p in &peers {
+        for (i, t) in trackers.iter().enumerate() {
+            if rng.gen::<f64>() < 0.25 {
+                continue;
+            }
+            let hash = crate::names::rand_token(rng, 20);
+            let ts = b.ts(rng);
+            let file = if rng.gen::<bool>() { "scrape.php" } else { "announce.php" };
+            b.push(
+                HttpRecord::new(ts, p, t, &tracker_ip[i], &format!("/{file}?info_hash={hash}"))
+                    .with_user_agent("uTorrent/3.2"),
+            );
+        }
+    }
+    let cid = b.begin_campaign("torrent-noise", ActivityCategory::TorrentNoise);
+    for t in &trackers {
+        b.label_server(t, cid, ActivityCategory::TorrentNoise);
+    }
+    trackers
+}
+
+/// A TeamViewer-like service: one organization, a pool of ID servers all
+/// answering the same path — shared clients + shared file + shared Whois.
+fn teamviewer<R: Rng + ?Sized>(
+    b: &mut ScenarioBuilder,
+    rng: &mut R,
+    n_clients: usize,
+    n_servers: usize,
+) -> Vec<String> {
+    if n_clients == 0 || n_servers == 0 {
+        return Vec::new();
+    }
+    let servers: Vec<String> = (0..n_servers)
+        .map(|i| format!("ping{i}viewer.com"))
+        .collect();
+    let ips: Vec<String> = (0..n_servers).map(|_| b.benign_ip()).collect();
+    // One company registered the whole pool: legitimately correlated Whois.
+    b.register_whois_correlated(rng, &servers);
+    let users = b.pick_bots(rng, n_clients);
+    for u in &users {
+        for (i, s) in servers.iter().enumerate() {
+            if rng.gen::<f64>() < 0.25 {
+                continue;
+            }
+            let ts = b.ts(rng);
+            b.push(
+                HttpRecord::new(
+                    ts,
+                    u,
+                    s,
+                    &ips[i],
+                    &format!("/din.aspx?client=DynGate&id={}", rng.gen_range(10_000..99_999)),
+                )
+                .with_user_agent("DynGate"),
+            );
+        }
+    }
+    let cid = b.begin_campaign("teamviewer-noise", ActivityCategory::TeamViewerNoise);
+    for s in &servers {
+        b.label_server(s, cid, ActivityCategory::TeamViewerNoise);
+    }
+    servers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use smash_trace::TraceDataset;
+
+    fn run() -> (ScenarioBuilder, Vec<String>, Vec<String>) {
+        let mut b = ScenarioBuilder::new(60, 86_400);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let spec = NoiseSpec {
+            torrent_clients: 8,
+            torrent_trackers: 30,
+            teamviewer_clients: 10,
+            teamviewer_servers: 15,
+        };
+        let (tr, tv) = generate(&mut b, &mut rng, spec);
+        (b, tr, tv)
+    }
+
+    #[test]
+    fn herd_sizes() {
+        let (_, tr, tv) = run();
+        assert_eq!(tr.len(), 30);
+        assert_eq!(tv.len(), 15);
+    }
+
+    #[test]
+    fn trackers_share_scrape_php() {
+        let (b, tr, _) = run();
+        let ds = TraceDataset::from_records(b.finish().records);
+        let mut with_scrape = 0;
+        for t in &tr {
+            if let Some(sid) = ds.server_id(t) {
+                let files: Vec<&str> = ds.files_of(sid).iter().map(|&f| ds.file_name(f)).collect();
+                if files.contains(&"scrape.php") {
+                    with_scrape += 1;
+                }
+            }
+        }
+        assert!(with_scrape > 15, "{with_scrape}");
+    }
+
+    #[test]
+    fn noise_flag_set_in_truth() {
+        let (b, tr, tv) = run();
+        let truth = b.finish().truth;
+        assert!(truth.is_noise(&tr[0]));
+        assert!(truth.is_noise(&tv[0]));
+        assert!(!truth.involved_in_malicious_activity(&tr[0]));
+    }
+
+    #[test]
+    fn teamviewer_pool_whois_correlated() {
+        let (b, _, tv) = run();
+        let whois = b.finish().whois;
+        assert!(whois.associated(&tv[0], &tv[1]));
+    }
+
+    #[test]
+    fn zero_spec_emits_nothing() {
+        let mut b = ScenarioBuilder::new(10, 86_400);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (tr, tv) = generate(&mut b, &mut rng, NoiseSpec::none());
+        assert!(tr.is_empty() && tv.is_empty());
+        assert_eq!(b.record_count(), 0);
+    }
+}

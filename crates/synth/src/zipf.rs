@@ -1,0 +1,118 @@
+//! A simple Zipf sampler over ranks `0..n`.
+
+use rand::Rng;
+
+/// Samples ranks with probability ∝ `1 / (rank+1)^s` — the classic model
+/// of web-site popularity, which gives the trace its hyper-popular head
+/// (filtered by the paper's IDF preprocessing) and long tail.
+///
+/// # Example
+///
+/// ```
+/// use smash_synth::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler covers no ranks (never: `new` rejects
+    /// `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn head_is_heavier_than_tail() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[49]);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..2400).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+}

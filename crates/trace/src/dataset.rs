@@ -1,0 +1,420 @@
+//! Columnar, interned trace datasets with the inverted indexes the SMASH
+//! pipeline consumes.
+
+use crate::interner::Interner;
+use crate::record::HttpRecord;
+use crate::server::ServerKey;
+use crate::uri::{parameter_pattern, uri_file, uri_path};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense id of an (aggregated) server within a [`TraceDataset`].
+pub type ServerId = u32;
+
+/// One HTTP request with every string field interned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactRecord {
+    /// Seconds since trace start.
+    pub timestamp: u64,
+    /// Interned client id.
+    pub client: u32,
+    /// Aggregated server id (second-level domain or IP).
+    pub server: ServerId,
+    /// Interned full host name (pre-aggregation).
+    pub host: u32,
+    /// Interned server IP.
+    pub ip: u32,
+    /// Interned URI file (`""` for directory requests).
+    pub file: u32,
+    /// Interned URI path.
+    pub path: u32,
+    /// Interned parameter pattern (`""` when no query string).
+    pub param_pattern: u32,
+    /// Interned user-agent.
+    pub user_agent: u32,
+    /// Referring server, aggregated, if any.
+    pub referrer: Option<ServerId>,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body size in bytes (`0` when unknown).
+    pub resp_bytes: u32,
+    /// Redirect target server, aggregated, if any.
+    pub redirect_to: Option<ServerId>,
+}
+
+/// A full trace: interned records plus per-server inverted indexes.
+///
+/// Servers are aggregated per the paper's preprocessing step (§III-A):
+/// hosts sharing a second-level domain are one server; IP-literal hosts are
+/// servers keyed by IP.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::{HttpRecord, TraceDataset};
+///
+/// let ds = TraceDataset::from_records(vec![
+///     HttpRecord::new(0, "c1", "www.shop.com", "9.9.9.9", "/buy.php?id=4"),
+///     HttpRecord::new(1, "c1", "img.shop.com", "9.9.9.8", "/logo.png"),
+/// ]);
+/// let sid = ds.server_id("shop.com").unwrap();
+/// assert_eq!(ds.clients_of(sid).len(), 1);
+/// assert_eq!(ds.files_of(sid).len(), 2); // buy.php, logo.png
+/// assert_eq!(ds.ips_of(sid).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceDataset {
+    clients: Interner,
+    servers: Interner,
+    server_keys: Vec<ServerKey>,
+    hosts: Interner,
+    ips: Interner,
+    files: Interner,
+    paths: Interner,
+    params: Interner,
+    user_agents: Interner,
+    records: Vec<CompactRecord>,
+    // Inverted indexes, all sorted + deduplicated.
+    server_clients: Vec<Vec<u32>>,
+    server_files: Vec<Vec<u32>>,
+    server_ips: Vec<Vec<u32>>,
+    server_records: Vec<Vec<u32>>,
+    server_referrers: Vec<Vec<ServerId>>,
+}
+
+impl TraceDataset {
+    /// Builds a dataset from raw records, interning and indexing.
+    pub fn from_records<I: IntoIterator<Item = HttpRecord>>(records: I) -> Self {
+        let mut ds = TraceDataset::default();
+        let mut raw = Vec::new();
+        for r in records {
+            let server = ds.intern_server(&r.host);
+            let referrer = r.referrer.as_deref().map(|h| ds.intern_server(h));
+            let redirect_to = r.redirect_to.as_deref().map(|h| ds.intern_server(h));
+            let rec = CompactRecord {
+                timestamp: r.timestamp,
+                client: ds.clients.intern(&r.client),
+                server,
+                host: ds.hosts.intern(&r.host),
+                ip: ds.ips.intern(&r.server_ip.to_string()),
+                file: ds.files.intern(uri_file(&r.uri)),
+                path: ds.paths.intern(uri_path(&r.uri)),
+                param_pattern: ds.params.intern(&parameter_pattern(&r.uri)),
+                user_agent: ds.user_agents.intern(&r.user_agent),
+                referrer,
+                status: r.status,
+                resp_bytes: r.resp_bytes,
+                redirect_to,
+            };
+            raw.push(rec);
+        }
+        ds.records = raw;
+        ds.build_indexes();
+        ds
+    }
+
+    fn intern_server(&mut self, host: &str) -> ServerId {
+        let key = ServerKey::from_host(host);
+        let name = key.to_string();
+        let before = self.servers.len();
+        let id = self.servers.intern(&name);
+        if self.servers.len() > before {
+            self.server_keys.push(key);
+        }
+        id
+    }
+
+    fn build_indexes(&mut self) {
+        let n = self.servers.len();
+        let mut clients = vec![Vec::new(); n];
+        let mut files = vec![Vec::new(); n];
+        let mut ips = vec![Vec::new(); n];
+        let mut recs = vec![Vec::new(); n];
+        let mut refs = vec![Vec::new(); n];
+        let empty_file = self.files.get("");
+        for (i, r) in self.records.iter().enumerate() {
+            let s = r.server as usize;
+            clients[s].push(r.client);
+            if Some(r.file) != empty_file {
+                files[s].push(r.file);
+            }
+            ips[s].push(r.ip);
+            recs[s].push(i as u32);
+            if let Some(rf) = r.referrer {
+                refs[s].push(rf);
+            }
+        }
+        for v in clients.iter_mut().chain(&mut files).chain(&mut ips).chain(&mut refs) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        self.server_clients = clients;
+        self.server_files = files;
+        self.server_ips = ips;
+        self.server_records = recs;
+        self.server_referrers = refs;
+    }
+
+    /// Number of aggregated servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of distinct clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Number of distinct non-empty URI files.
+    pub fn file_count(&self) -> usize {
+        let has_empty = self.files.get("").is_some();
+        self.files.len() - usize::from(has_empty)
+    }
+
+    /// Total number of HTTP requests.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All interned records in input order.
+    pub fn records(&self) -> &[CompactRecord] {
+        &self.records
+    }
+
+    /// The [`ServerKey`] of a server id.
+    pub fn server_key(&self, id: ServerId) -> &ServerKey {
+        &self.server_keys[id as usize]
+    }
+
+    /// The display name of a server id (domain or dotted IP).
+    pub fn server_name(&self, id: ServerId) -> &str {
+        self.servers.resolve(id)
+    }
+
+    /// Looks up a server id by aggregated name.
+    pub fn server_id(&self, name: &str) -> Option<ServerId> {
+        self.servers.get(name)
+    }
+
+    /// The display name of a client id.
+    pub fn client_name(&self, id: u32) -> &str {
+        self.clients.resolve(id)
+    }
+
+    /// Looks up a client id by name.
+    pub fn client_id(&self, name: &str) -> Option<u32> {
+        self.clients.get(name)
+    }
+
+    /// The string of an interned URI file id.
+    pub fn file_name(&self, id: u32) -> &str {
+        self.files.resolve(id)
+    }
+
+    /// Looks up a URI-file id by string.
+    pub fn file_id(&self, name: &str) -> Option<u32> {
+        self.files.get(name)
+    }
+
+    /// Looks up a parameter-pattern id by string.
+    pub fn param_pattern_id(&self, pattern: &str) -> Option<u32> {
+        self.params.get(pattern)
+    }
+
+    /// Looks up a user-agent id by string.
+    pub fn user_agent_id(&self, ua: &str) -> Option<u32> {
+        self.user_agents.get(ua)
+    }
+
+    /// The string of an interned parameter-pattern id.
+    pub fn param_pattern_name(&self, id: u32) -> &str {
+        self.params.resolve(id)
+    }
+
+    /// The string of an interned user-agent id.
+    pub fn user_agent_name(&self, id: u32) -> &str {
+        self.user_agents.resolve(id)
+    }
+
+    /// The string of an interned IP id.
+    pub fn ip_name(&self, id: u32) -> &str {
+        self.ips.resolve(id)
+    }
+
+    /// The string of an interned path id.
+    pub fn path_name(&self, id: u32) -> &str {
+        self.paths.resolve(id)
+    }
+
+    /// Sorted, deduplicated client ids that contacted `server`.
+    pub fn clients_of(&self, server: ServerId) -> &[u32] {
+        &self.server_clients[server as usize]
+    }
+
+    /// Sorted, deduplicated non-empty URI-file ids requested on `server`.
+    pub fn files_of(&self, server: ServerId) -> &[u32] {
+        &self.server_files[server as usize]
+    }
+
+    /// Sorted, deduplicated IP ids `server` resolved to.
+    pub fn ips_of(&self, server: ServerId) -> &[u32] {
+        &self.server_ips[server as usize]
+    }
+
+    /// Indexes into [`records`](Self::records) of the requests to `server`.
+    pub fn records_of(&self, server: ServerId) -> impl Iterator<Item = &CompactRecord> {
+        self.server_records[server as usize].iter().map(|&i| &self.records[i as usize])
+    }
+
+    /// Sorted, deduplicated servers that referred clients to `server`.
+    pub fn referrers_of(&self, server: ServerId) -> &[ServerId] {
+        &self.server_referrers[server as usize]
+    }
+
+    /// The redirect target of `server`, if any 3xx response with a
+    /// `Location` was observed (the most frequent target wins).
+    pub fn redirect_of(&self, server: ServerId) -> Option<ServerId> {
+        let mut counts: HashMap<ServerId, u32> = HashMap::new();
+        for r in self.records_of(server) {
+            if let Some(t) = r.redirect_to {
+                if t != server {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t)))
+            .map(|(t, _)| t)
+    }
+
+    /// Fraction of requests to `server` whose response was an error
+    /// (4xx/5xx or missing) — the paper's "suspicious" existence check.
+    pub fn error_rate_of(&self, server: ServerId) -> f64 {
+        let recs = &self.server_records[server as usize];
+        if recs.is_empty() {
+            return 0.0;
+        }
+        let errors = recs
+            .iter()
+            .filter(|&&i| {
+                let s = self.records[i as usize].status;
+                s == 0 || s >= 400
+            })
+            .count();
+        errors as f64 / recs.len() as f64
+    }
+
+    /// Iterates over all server ids.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        0..self.servers.len() as ServerId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(client: &str, host: &str, ip: &str, uri: &str) -> HttpRecord {
+        HttpRecord::new(0, client, host, ip, uri)
+    }
+
+    #[test]
+    fn aggregation_merges_subdomains() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "a.x.com", "1.1.1.1", "/f.php"),
+            rec("c2", "b.x.com", "1.1.1.2", "/g.php"),
+        ]);
+        assert_eq!(ds.server_count(), 1);
+        let sid = ds.server_id("x.com").unwrap();
+        assert_eq!(ds.clients_of(sid), &[0, 1]);
+        assert_eq!(ds.ips_of(sid).len(), 2);
+    }
+
+    #[test]
+    fn ip_hosts_are_separate_servers() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "1.2.3.4", "1.2.3.4", "/f.php"),
+            rec("c1", "x.com", "1.2.3.4", "/f.php"),
+        ]);
+        assert_eq!(ds.server_count(), 2);
+        assert!(ds.server_key(ds.server_id("1.2.3.4").unwrap()).is_ip());
+    }
+
+    #[test]
+    fn directory_requests_have_no_file() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "x.com", "1.1.1.1", "/dir/"),
+            rec("c1", "x.com", "1.1.1.1", "/dir/page.html"),
+        ]);
+        let sid = ds.server_id("x.com").unwrap();
+        assert_eq!(ds.files_of(sid).len(), 1);
+        assert_eq!(ds.file_count(), 1);
+    }
+
+    #[test]
+    fn referrer_index_aggregates() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "x.com", "1.1.1.1", "/a").with_referrer("www.landing.com"),
+            rec("c2", "x.com", "1.1.1.1", "/b").with_referrer("img.landing.com"),
+        ]);
+        let sid = ds.server_id("x.com").unwrap();
+        let land = ds.server_id("landing.com").unwrap();
+        assert_eq!(ds.referrers_of(sid), &[land]);
+    }
+
+    #[test]
+    fn redirect_majority_wins() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "hop.com", "1.1.1.1", "/").with_redirect_to("a.com"),
+            rec("c2", "hop.com", "1.1.1.1", "/").with_redirect_to("b.com"),
+            rec("c3", "hop.com", "1.1.1.1", "/").with_redirect_to("b.com"),
+        ]);
+        let hop = ds.server_id("hop.com").unwrap();
+        let b = ds.server_id("b.com").unwrap();
+        assert_eq!(ds.redirect_of(hop), Some(b));
+    }
+
+    #[test]
+    fn self_redirect_ignored() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "hop.com", "1.1.1.1", "/").with_redirect_to("www.hop.com"),
+        ]);
+        let hop = ds.server_id("hop.com").unwrap();
+        assert_eq!(ds.redirect_of(hop), None);
+    }
+
+    #[test]
+    fn error_rate() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "x.com", "1.1.1.1", "/a").with_status(200),
+            rec("c1", "x.com", "1.1.1.1", "/b").with_status(404),
+            rec("c1", "x.com", "1.1.1.1", "/c").with_status(500),
+            rec("c1", "x.com", "1.1.1.1", "/d").with_status(0),
+        ]);
+        let sid = ds.server_id("x.com").unwrap();
+        assert!((ds.error_rate_of(sid) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = TraceDataset::from_records(Vec::<HttpRecord>::new());
+        assert_eq!(ds.server_count(), 0);
+        assert_eq!(ds.client_count(), 0);
+        assert_eq!(ds.record_count(), 0);
+        assert_eq!(ds.file_count(), 0);
+    }
+
+    #[test]
+    fn record_fields_interned_consistently() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "x.com", "1.1.1.1", "/p/a.php?x=1&y=2").with_user_agent("UA-1"),
+        ]);
+        let r = &ds.records()[0];
+        assert_eq!(ds.file_name(r.file), "a.php");
+        assert_eq!(ds.path_name(r.path), "/p/a.php");
+        assert_eq!(ds.param_pattern_name(r.param_pattern), "x=[]&y=[]");
+        assert_eq!(ds.user_agent_name(r.user_agent), "UA-1");
+        assert_eq!(ds.ip_name(r.ip), "1.1.1.1");
+    }
+}

@@ -1,0 +1,124 @@
+//! String interning: map strings to dense `u32` ids and back.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional string ↔ dense-id table.
+///
+/// Interning keeps the dataset columnar and lets the pipeline operate on
+/// `u32` ids (which the graph substrate requires) instead of strings.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("evil.com");
+/// let b = i.intern("evil.com");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "evil.com");
+/// assert_eq!(i.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id (allocating a new id if unseen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct strings are interned.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.map.insert(s.to_owned(), id);
+        self.strings.push(s.to_owned());
+        id
+    }
+
+    /// Looks up the id of `s` without interning it.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(0));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let id = i.intern("login.php");
+        assert_eq!(i.resolve(id), "login.php");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        let v: Vec<_> = i.iter().collect();
+        assert_eq!(v, vec![(0, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! JSONL import/export of raw HTTP records.
+//!
+//! The paper's input is PCAP; our portable interchange format is one JSON
+//! object per line, which is trivially produced from any flow log.
+
+use crate::record::HttpRecord;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes records as JSONL to `w`.
+///
+/// A `&mut` writer may be passed since `Write` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns any underlying I/O or serialization error.
+pub fn write_jsonl<W: Write>(mut w: W, records: &[HttpRecord]) -> io::Result<()> {
+    for r in records {
+        let line = serde_json::to_string(r).map_err(io::Error::other)?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads JSONL records from `r`. Blank lines are skipped.
+///
+/// A `&mut` reader may be passed since `Read` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or malformed JSON.
+pub fn read_jsonl<R: Read>(r: R) -> io::Result<Vec<HttpRecord>> {
+    let mut out = Vec::new();
+    for line in BufReader::new(r).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+    }
+    Ok(out)
+}
+
+/// Writes records to the file at `path`, creating or truncating it.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_jsonl_file<P: AsRef<Path>>(path: P, records: &[HttpRecord]) -> io::Result<()> {
+    write_jsonl(BufWriter::new(File::create(path)?), records)
+}
+
+/// Reads records from the file at `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error or malformed JSON.
+pub fn read_jsonl_file<P: AsRef<Path>>(path: P) -> io::Result<Vec<HttpRecord>> {
+    read_jsonl(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<HttpRecord> {
+        vec![
+            HttpRecord::new(0, "c1", "x.com", "1.1.1.1", "/a.php?k=1").with_user_agent("UA"),
+            HttpRecord::new(9, "c2", "1.2.3.4", "1.2.3.4", "/b").with_status(404),
+        ]
+    }
+
+    #[test]
+    fn round_trip_via_buffer() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recs).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &recs).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(read_jsonl(&b"{not json}\n"[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("smash-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let recs = sample();
+        write_jsonl_file(&path, &recs).unwrap();
+        let back = read_jsonl_file(&path).unwrap();
+        assert_eq!(recs, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,48 @@
+//! HTTP trace substrate for SMASH.
+//!
+//! The SMASH paper consumes passive HTTP traces collected at the edge of an
+//! ISP. This crate models those traces:
+//!
+//! * [`HttpRecord`] — one observed HTTP request (client, host, URI,
+//!   user-agent, referrer, server IP, status).
+//! * [`ServerKey`] — the paper's notion of a *server*: either a
+//!   second-level domain (all subdomains aggregated, §III-A) or a bare IP.
+//! * [`uri`] — URI-file and parameter-pattern extraction (§III-B2).
+//! * [`TraceDataset`] — a columnar, interned dataset with the inverted
+//!   indexes the pipeline needs (server→clients, server→files,
+//!   server→IPs, referrer edges, redirect chains).
+//! * [`stats`] — Table-I style summary statistics.
+//! * [`io`] — JSONL import/export.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_trace::{HttpRecord, TraceDataset};
+//!
+//! let records = vec![
+//!     HttpRecord::new(0, "c1", "a.evil.com", "10.0.0.1", "/gate/login.php?id=1"),
+//!     HttpRecord::new(1, "c2", "b.evil.com", "10.0.0.1", "/gate/login.php?id=2"),
+//! ];
+//! let ds = TraceDataset::from_records(records);
+//! assert_eq!(ds.server_count(), 1); // both hosts aggregate to evil.com
+//! assert_eq!(ds.client_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod dataset;
+pub mod interner;
+pub mod io;
+pub mod record;
+pub mod server;
+pub mod stats;
+pub mod uri;
+
+pub use dataset::{CompactRecord, ServerId, TraceDataset};
+pub use interner::Interner;
+pub use record::HttpRecord;
+pub use server::{second_level_domain, ServerKey};
+pub use stats::TraceStats;
+pub use uri::{parameter_pattern, uri_file, uri_path};

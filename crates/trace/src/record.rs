@@ -1,0 +1,183 @@
+//! Raw HTTP request records as observed at the network edge.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One observed HTTP request.
+///
+/// This mirrors the fields the paper extracts from its ISP PCAP traces:
+/// client identity, destination host (domain or IP literal), destination
+/// IP, request URI, user-agent, referrer, and response status. A `Location`
+/// target is recorded for 3xx responses so redirection chains can be
+/// reconstructed during pruning.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::HttpRecord;
+///
+/// let r = HttpRecord::new(1000, "client-1", "cc.evil.com", "10.9.9.9", "/login.php?id=7")
+///     .with_user_agent("Internet Exploder")
+///     .with_status(200);
+/// assert_eq!(r.host, "cc.evil.com");
+/// assert_eq!(r.status, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRecord {
+    /// Seconds since the start of the trace.
+    pub timestamp: u64,
+    /// Client identity (anonymized client id in the paper's traces).
+    pub client: String,
+    /// Destination host header: a domain name or an IPv4 literal.
+    pub host: String,
+    /// Destination server IPv4 address.
+    pub server_ip: Ipv4Addr,
+    /// HTTP method (default `GET`).
+    pub method: String,
+    /// Request URI including the query string.
+    pub uri: String,
+    /// User-agent header (may be `-` as in the iframe-injection campaign).
+    pub user_agent: String,
+    /// Referring host, if the request carried a `Referer` header.
+    pub referrer: Option<String>,
+    /// HTTP response status code (`0` when no response was observed).
+    pub status: u16,
+    /// Response body size in bytes (`0` when unknown) — the paper's §VI
+    /// proposed *payload similarity* dimension keys on this.
+    #[serde(default)]
+    pub resp_bytes: u32,
+    /// Target host of a 3xx `Location` header, when present.
+    pub redirect_to: Option<String>,
+}
+
+impl HttpRecord {
+    /// Creates a record with the required fields; the rest default to
+    /// `GET`, an empty user-agent, status `200`, and no referrer/redirect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_ip` is not a valid IPv4 literal.
+    pub fn new(timestamp: u64, client: &str, host: &str, server_ip: &str, uri: &str) -> Self {
+        Self {
+            timestamp,
+            client: client.to_owned(),
+            host: host.to_owned(),
+            server_ip: server_ip
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid IPv4 literal: {server_ip}")),
+            method: "GET".to_owned(),
+            uri: uri.to_owned(),
+            user_agent: String::new(),
+            referrer: None,
+            status: 200,
+            resp_bytes: 0,
+            redirect_to: None,
+        }
+    }
+
+    /// Sets the HTTP method.
+    pub fn with_method(mut self, method: &str) -> Self {
+        self.method = method.to_owned();
+        self
+    }
+
+    /// Sets the user-agent header.
+    pub fn with_user_agent(mut self, ua: &str) -> Self {
+        self.user_agent = ua.to_owned();
+        self
+    }
+
+    /// Sets the referring host.
+    pub fn with_referrer(mut self, host: &str) -> Self {
+        self.referrer = Some(host.to_owned());
+        self
+    }
+
+    /// Sets the response status code.
+    pub fn with_status(mut self, status: u16) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// Sets the response body size in bytes.
+    pub fn with_resp_bytes(mut self, bytes: u32) -> Self {
+        self.resp_bytes = bytes;
+        self
+    }
+
+    /// Marks the response as a redirect to `host` (also forces a 302
+    /// status if the current status is not already 3xx).
+    pub fn with_redirect_to(mut self, host: &str) -> Self {
+        self.redirect_to = Some(host.to_owned());
+        if !(300..400).contains(&self.status) {
+            self.status = 302;
+        }
+        self
+    }
+
+    /// Returns `true` if the observed response was an HTTP error (4xx/5xx)
+    /// or missing entirely — the paper's "suspicious" existence check.
+    pub fn is_error(&self) -> bool {
+        self.status == 0 || self.status >= 400
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let r = HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.status, 200);
+        assert!(r.referrer.is_none());
+        assert!(!r.is_error());
+    }
+
+    #[test]
+    fn redirect_forces_3xx() {
+        let r = HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_redirect_to("land.com");
+        assert_eq!(r.status, 302);
+        assert_eq!(r.redirect_to.as_deref(), Some("land.com"));
+    }
+
+    #[test]
+    fn explicit_301_kept() {
+        let r = HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/")
+            .with_status(301)
+            .with_redirect_to("land.com");
+        assert_eq!(r.status, 301);
+    }
+
+    #[test]
+    fn error_statuses() {
+        assert!(HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_status(404).is_error());
+        assert!(HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_status(0).is_error());
+        assert!(!HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_status(302).is_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IPv4")]
+    fn bad_ip_panics() {
+        HttpRecord::new(0, "c", "h.com", "not-an-ip", "/");
+    }
+
+    #[test]
+    fn resp_bytes_defaults_to_zero_for_old_jsonl() {
+        // Traces written before the field existed still parse.
+        let old = r#"{"timestamp":0,"client":"c","host":"h.com","server_ip":"1.2.3.4","method":"GET","uri":"/","user_agent":"","referrer":null,"status":200,"redirect_to":null}"#;
+        let r: HttpRecord = serde_json::from_str(old).unwrap();
+        assert_eq!(r.resp_bytes, 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = HttpRecord::new(5, "c", "h.com", "1.2.3.4", "/x.php?a=1")
+            .with_referrer("ref.com")
+            .with_user_agent("UA");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: HttpRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,88 @@
+//! Table-I style trace summary statistics.
+
+use crate::dataset::TraceDataset;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four statistics the paper reports per dataset in Table I:
+/// clients, HTTP requests, servers, and URI files.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::{HttpRecord, TraceDataset, TraceStats};
+///
+/// let ds = TraceDataset::from_records(vec![
+///     HttpRecord::new(0, "c1", "x.com", "1.1.1.1", "/a.php"),
+///     HttpRecord::new(1, "c2", "y.com", "1.1.1.2", "/b.php"),
+/// ]);
+/// let s = TraceStats::compute(&ds);
+/// assert_eq!(s.clients, 2);
+/// assert_eq!(s.http_requests, 2);
+/// assert_eq!(s.servers, 2);
+/// assert_eq!(s.uri_files, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TraceStats {
+    /// Number of distinct clients.
+    pub clients: usize,
+    /// Total HTTP requests.
+    pub http_requests: usize,
+    /// Number of aggregated servers.
+    pub servers: usize,
+    /// Number of distinct non-empty URI files.
+    pub uri_files: usize,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a dataset.
+    pub fn compute(ds: &TraceDataset) -> Self {
+        Self {
+            clients: ds.client_count(),
+            http_requests: ds.record_count(),
+            servers: ds.server_count(),
+            uri_files: ds.file_count(),
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clients={} requests={} servers={} uri_files={}",
+            self.clients, self.http_requests, self.servers, self.uri_files
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HttpRecord;
+
+    #[test]
+    fn empty_stats() {
+        let s = TraceStats::compute(&TraceDataset::from_records(Vec::<HttpRecord>::new()));
+        assert_eq!(s, TraceStats::default());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = TraceStats::default();
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn counts_repeat_requests() {
+        let ds = TraceDataset::from_records(vec![
+            HttpRecord::new(0, "c1", "x.com", "1.1.1.1", "/a.php"),
+            HttpRecord::new(1, "c1", "x.com", "1.1.1.1", "/a.php"),
+        ]);
+        let s = TraceStats::compute(&ds);
+        assert_eq!(s.http_requests, 2);
+        assert_eq!(s.clients, 1);
+        assert_eq!(s.servers, 1);
+        assert_eq!(s.uri_files, 1);
+    }
+}

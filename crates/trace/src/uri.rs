@@ -1,0 +1,217 @@
+//! URI parsing: file, path, and parameter-pattern extraction.
+//!
+//! The paper (§III-B2) defines a *URI file* as "the substring of a URI
+//! starting from the last `/` until the end before the question mark" —
+//! the script handling the request. It also observes (§V-A2) that several
+//! missed campaigns shared a *parameter pattern* (`p=[]&id=[]&e=[]`), which
+//! we expose as the proposed extension dimension.
+
+/// Extracts the URI file: everything after the last `/` of the path, with
+/// the query string stripped.
+///
+/// Returns an empty string for directory requests (`/a/b/`). The bare
+/// root is special: its "file" is `/` itself — the paper's Sality C&C
+/// servers are correlated through the shared filename `/` (Table VIII).
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::uri_file;
+///
+/// assert_eq!(uri_file("/images/news.php?p=1&id=2"), "news.php");
+/// assert_eq!(uri_file("/wp-content/uploads/sm3.php"), "sm3.php");
+/// assert_eq!(uri_file("/a/dir/"), "");
+/// assert_eq!(uri_file("/"), "/");
+/// assert_eq!(uri_file("/?k=1"), "/");
+/// ```
+pub fn uri_file(uri: &str) -> &str {
+    let path = uri.split('?').next().unwrap_or("");
+    if path == "/" {
+        return "/";
+    }
+    match path.rfind('/') {
+        Some(i) => &path[i + 1..],
+        None => path,
+    }
+}
+
+/// Extracts the URI path (query string stripped, file name kept).
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::uri_path;
+///
+/// assert_eq!(uri_path("/images/news.php?p=1"), "/images/news.php");
+/// ```
+pub fn uri_path(uri: &str) -> &str {
+    uri.split('?').next().unwrap_or("")
+}
+
+/// Extracts the parameter *pattern* of a URI: the query-string keys in
+/// their original order with values blanked, e.g.
+/// `/x.php?p=16435&id=21799517&e=0` → `p=[]&id=[]&e=[]`.
+///
+/// Returns an empty string when there is no query string. Keys are kept in
+/// request order because bot protocols emit them in a fixed order — the
+/// order itself is part of the signature.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::parameter_pattern;
+///
+/// assert_eq!(parameter_pattern("/new.php?p=1&id=22&e=0"), "p=[]&id=[]&e=[]");
+/// assert_eq!(parameter_pattern("/plain.html"), "");
+/// ```
+pub fn parameter_pattern(uri: &str) -> String {
+    let Some(q) = uri.split_once('?').map(|(_, q)| q) else {
+        return String::new();
+    };
+    if q.is_empty() {
+        return String::new();
+    }
+    let mut out = String::with_capacity(q.len());
+    for (i, kv) in q.split('&').enumerate() {
+        if i > 0 {
+            out.push('&');
+        }
+        let key = kv.split('=').next().unwrap_or(kv);
+        out.push_str(key);
+        out.push_str("=[]");
+    }
+    out
+}
+
+/// Character-frequency vector of a string over bytes, L2-normalized.
+///
+/// Used for the paper's obfuscated-filename similarity (eq. 6): two long
+/// random-looking names drawn from the same generator share a character
+/// distribution even when no substring matches.
+pub fn charset_vector(s: &str) -> [f64; 256] {
+    let mut v = [0.0f64; 256];
+    for b in s.bytes() {
+        v[b as usize] += 1.0;
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Cosine similarity between the character distributions of two strings
+/// (the `cos θ` of the paper's eq. 6). Empty strings yield `0`.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::uri::charset_cosine;
+///
+/// assert!(charset_cosine("abcabc", "cabcab") > 0.99);
+/// assert!(charset_cosine("aaaa", "zzzz") < 1e-9);
+/// ```
+pub fn charset_cosine(a: &str, b: &str) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let va = charset_vector(a);
+    let vb = charset_vector(b);
+    va.iter().zip(vb.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_from_simple_paths() {
+        assert_eq!(uri_file("/login.php"), "login.php");
+        assert_eq!(uri_file("/scripts/setup.php"), "setup.php");
+    }
+
+    #[test]
+    fn file_strips_query() {
+        assert_eq!(uri_file("/a/b.php?x=1#frag"), "b.php");
+    }
+
+    #[test]
+    fn file_of_root_is_the_root() {
+        assert_eq!(uri_file("/"), "/");
+        assert_eq!(uri_file("/?q=1"), "/");
+    }
+
+    #[test]
+    fn file_without_slash_is_whole_path() {
+        assert_eq!(uri_file("favicon.ico"), "favicon.ico");
+    }
+
+    #[test]
+    fn path_keeps_directories() {
+        assert_eq!(uri_path("/wp-content/uploads/sm3.php?a=b"), "/wp-content/uploads/sm3.php");
+        assert_eq!(uri_path("/"), "/");
+    }
+
+    #[test]
+    fn pattern_preserves_key_order() {
+        assert_eq!(parameter_pattern("/x?b=2&a=1"), "b=[]&a=[]");
+    }
+
+    #[test]
+    fn pattern_of_bagle_example() {
+        assert_eq!(
+            parameter_pattern("/images/news.php?p=16435&id=21799517&e=0"),
+            "p=[]&id=[]&e=[]"
+        );
+    }
+
+    #[test]
+    fn pattern_handles_valueless_keys() {
+        assert_eq!(parameter_pattern("/x?flag&y=3"), "flag=[]&y=[]");
+    }
+
+    #[test]
+    fn pattern_empty_when_no_query() {
+        assert_eq!(parameter_pattern("/x.php"), "");
+        assert_eq!(parameter_pattern("/x.php?"), "");
+    }
+
+    #[test]
+    fn cosine_identical_strings_is_one() {
+        let c = charset_cosine("abcdef123", "abcdef123");
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_permutation_is_one() {
+        let c = charset_cosine("aabbcc", "ccbbaa");
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_disjoint_alphabets_is_zero() {
+        assert_eq!(charset_cosine("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_is_zero() {
+        assert_eq!(charset_cosine("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn cosine_symmetric() {
+        let a = "4fEokdD1Qs8z";
+        let b = "8zQsD1kdEo4f";
+        assert!((charset_cosine(a, b) - charset_cosine(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_in_unit_range() {
+        for (a, b) in [("ab", "abb"), ("hello.php", "hallo.php"), ("x", "y")] {
+            let c = charset_cosine(a, b);
+            assert!((0.0..=1.0 + 1e-9).contains(&c), "{a} vs {b}: {c}");
+        }
+    }
+}

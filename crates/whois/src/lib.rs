@@ -1,0 +1,46 @@
+//! Simulated Whois registry substrate for SMASH.
+//!
+//! The paper's Whois dimension (§III-B2) links servers whose domains were
+//! registered with overlapping information: registrant name, home address,
+//! email, phone number, and name servers. Live Whois is unavailable in a
+//! reproduction, so this crate provides a deterministic in-memory registry
+//! that the synthetic workload generator populates — campaign domains get
+//! correlated records, benign domains get diverse ones.
+//!
+//! Similarity is the paper's rule: number of shared fields over the union
+//! of present fields, with **at least two shared fields** required to call
+//! two domains associated (guarding against the registration-proxy false
+//! signal).
+//!
+//! # Example
+//!
+//! ```
+//! use smash_whois::{WhoisRecord, WhoisRegistry};
+//!
+//! let mut reg = WhoisRegistry::new();
+//! let a = WhoisRecord::new()
+//!     .with_registrant("ivan")
+//!     .with_phone("+7-495-1")
+//!     .with_name_server("ns1.bullet.net");
+//! let b = WhoisRecord::new()
+//!     .with_registrant("dmitry")
+//!     .with_phone("+7-495-1")
+//!     .with_name_server("ns1.bullet.net");
+//! reg.insert("evil-one.com", a);
+//! reg.insert("evil-two.com", b);
+//! // Different registrants, but shared phone + name server => associated.
+//! assert!(reg.associated("evil-one.com", "evil-two.com"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod registry;
+
+pub use record::WhoisRecord;
+pub use registry::WhoisRegistry;
+
+/// Minimum number of shared Whois fields for two domains to be considered
+/// associated (paper §III-B2).
+pub const MIN_SHARED_FIELDS: usize = 2;

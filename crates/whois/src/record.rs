@@ -1,0 +1,214 @@
+//! Whois registration records and field-level similarity.
+
+use serde::{Deserialize, Serialize};
+
+/// A domain registration record with the five fields the paper compares:
+/// registrant name, home address, email, phone number, and name servers.
+///
+/// All fields are optional — real Whois data is patchy, and the similarity
+/// rule only counts fields present on at least one side.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WhoisRecord {
+    /// Registrant (owner) name.
+    pub registrant: Option<String>,
+    /// Registrant postal address.
+    pub address: Option<String>,
+    /// Registrant email.
+    pub email: Option<String>,
+    /// Registrant phone number.
+    pub phone: Option<String>,
+    /// Authoritative name servers.
+    pub name_servers: Vec<String>,
+    /// `true` when the record is hidden behind a privacy/registration
+    /// proxy. Two proxy records sharing only proxy-owned identity fields
+    /// are *not* evidence of association.
+    pub privacy_proxy: bool,
+}
+
+impl WhoisRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the registrant name.
+    pub fn with_registrant(mut self, v: &str) -> Self {
+        self.registrant = Some(v.to_owned());
+        self
+    }
+
+    /// Sets the postal address.
+    pub fn with_address(mut self, v: &str) -> Self {
+        self.address = Some(v.to_owned());
+        self
+    }
+
+    /// Sets the email.
+    pub fn with_email(mut self, v: &str) -> Self {
+        self.email = Some(v.to_owned());
+        self
+    }
+
+    /// Sets the phone number.
+    pub fn with_phone(mut self, v: &str) -> Self {
+        self.phone = Some(v.to_owned());
+        self
+    }
+
+    /// Adds one name server.
+    pub fn with_name_server(mut self, v: &str) -> Self {
+        self.name_servers.push(v.to_owned());
+        self
+    }
+
+    /// Marks the record as privacy-proxy registered.
+    pub fn with_privacy_proxy(mut self, proxy: bool) -> Self {
+        self.privacy_proxy = proxy;
+        self
+    }
+
+    /// Number of field slots carrying a value (name servers count as one
+    /// slot when non-empty).
+    pub fn field_count(&self) -> usize {
+        usize::from(self.registrant.is_some())
+            + usize::from(self.address.is_some())
+            + usize::from(self.email.is_some())
+            + usize::from(self.phone.is_some())
+            + usize::from(!self.name_servers.is_empty())
+    }
+
+    /// Counts `(shared, union)` fields between two records.
+    ///
+    /// A scalar field is *shared* when both sides carry the same value; the
+    /// name-server field is shared when the server sets intersect. A field
+    /// is in the *union* when at least one side carries a value.
+    ///
+    /// When **both** records are privacy-proxy registered, the four
+    /// identity fields (registrant, address, email, phone) are excluded
+    /// from the shared count — they identify the proxy, not the owner —
+    /// but still count toward the union.
+    pub fn shared_fields(&self, other: &WhoisRecord) -> (usize, usize) {
+        let both_proxy = self.privacy_proxy && other.privacy_proxy;
+        let mut shared = 0;
+        let mut union = 0;
+        let scalar = |a: &Option<String>, b: &Option<String>| -> (bool, bool) {
+            let in_union = a.is_some() || b.is_some();
+            let is_shared = a.is_some() && a == b;
+            (is_shared, in_union)
+        };
+        for (s, u) in [
+            scalar(&self.registrant, &other.registrant),
+            scalar(&self.address, &other.address),
+            scalar(&self.email, &other.email),
+            scalar(&self.phone, &other.phone),
+        ] {
+            if u {
+                union += 1;
+            }
+            if s && !both_proxy {
+                shared += 1;
+            }
+        }
+        let ns_union = !self.name_servers.is_empty() || !other.name_servers.is_empty();
+        if ns_union {
+            union += 1;
+            if self.name_servers.iter().any(|n| other.name_servers.contains(n)) {
+                shared += 1;
+            }
+        }
+        (shared, union)
+    }
+
+    /// The paper's Whois similarity: shared fields over union of fields
+    /// (`0` when neither record has any field).
+    pub fn similarity(&self, other: &WhoisRecord) -> f64 {
+        let (shared, union) = self.shared_fields(other);
+        if union == 0 {
+            0.0
+        } else {
+            shared as f64 / union as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(reg: &str, addr: &str, mail: &str, ph: &str, ns: &str) -> WhoisRecord {
+        WhoisRecord::new()
+            .with_registrant(reg)
+            .with_address(addr)
+            .with_email(mail)
+            .with_phone(ph)
+            .with_name_server(ns)
+    }
+
+    #[test]
+    fn identical_records_similarity_one() {
+        let a = full("r", "a", "e", "p", "ns1");
+        assert_eq!(a.similarity(&a.clone()), 1.0);
+        assert_eq!(a.shared_fields(&a.clone()), (5, 5));
+    }
+
+    #[test]
+    fn paper_figure5_case() {
+        // Different registrants, same address/phone/name servers.
+        let a = full("alice", "12 Elm St", "a@x.com", "555", "ns1.h.net");
+        let b = full("bob", "12 Elm St", "b@y.com", "555", "ns1.h.net");
+        let (shared, union) = a.shared_fields(&b);
+        assert_eq!(shared, 3);
+        assert_eq!(union, 5);
+        assert!((a.similarity(&b) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_records_similarity_zero() {
+        let e = WhoisRecord::new();
+        assert_eq!(e.similarity(&WhoisRecord::new()), 0.0);
+        assert_eq!(e.field_count(), 0);
+    }
+
+    #[test]
+    fn missing_fields_dont_count_as_shared() {
+        let a = WhoisRecord::new().with_phone("1");
+        let b = WhoisRecord::new().with_email("x@y.z");
+        assert_eq!(a.shared_fields(&b), (0, 2));
+    }
+
+    #[test]
+    fn name_server_intersection_is_shared() {
+        let a = WhoisRecord::new().with_name_server("ns1.a").with_name_server("ns2.a");
+        let b = WhoisRecord::new().with_name_server("ns2.a").with_name_server("ns3.a");
+        assert_eq!(a.shared_fields(&b), (1, 1));
+    }
+
+    #[test]
+    fn proxy_pair_ignores_identity_fields() {
+        let proxy = full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g").with_privacy_proxy(true);
+        let (shared, union) = proxy.shared_fields(&proxy.clone());
+        assert_eq!(union, 5);
+        assert_eq!(shared, 1); // only the name-server slot survives
+    }
+
+    #[test]
+    fn single_proxy_side_still_counts() {
+        let proxy = full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g").with_privacy_proxy(true);
+        let honest = full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g");
+        let (shared, _) = proxy.shared_fields(&honest);
+        assert_eq!(shared, 5);
+    }
+
+    #[test]
+    fn similarity_symmetric() {
+        let a = full("r1", "a1", "e1", "p", "ns1");
+        let b = WhoisRecord::new().with_phone("p").with_name_server("ns1");
+        assert_eq!(a.similarity(&b), b.similarity(&a));
+    }
+
+    #[test]
+    fn field_count() {
+        assert_eq!(full("r", "a", "e", "p", "n").field_count(), 5);
+        assert_eq!(WhoisRecord::new().with_phone("p").field_count(), 1);
+    }
+}

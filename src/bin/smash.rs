@@ -1,0 +1,199 @@
+//! `smash` — run the pipeline over your own HTTP traces.
+//!
+//! ```text
+//! smash generate small out.jsonl --seed 7     # emit a synthetic trace (+ .whois.json)
+//! smash stats out.jsonl                       # Table-I style statistics
+//! smash analyze out.jsonl                     # infer campaigns (text report)
+//! smash analyze out.jsonl --whois out.whois.json --threshold 1.0 --json report.json
+//! smash baseline out.jsonl --top 15           # per-server reputation scores
+//! ```
+//!
+//! Traces are JSONL, one `HttpRecord` per line (see `smash::trace::io`).
+
+use smash::core::baseline::ReputationBaseline;
+use smash::core::{Smash, SmashConfig};
+use smash::synth::Scenario;
+use smash::trace::{io, TraceDataset, TraceStats};
+use smash::whois::WhoisRegistry;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("baseline") => cmd_baseline(&args[1..]),
+        _ => {
+            eprintln!("usage: smash <generate|stats|analyze|baseline> ... (see --help in each)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let preset = args.first().map(String::as_str).unwrap_or("small");
+    let out = args.get(1).map(String::as_str).unwrap_or("trace.jsonl");
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("7").parse()?;
+    let scenario = match preset {
+        "small" => Scenario::small_day(seed),
+        "day2011" => Scenario::data2011_day(seed),
+        "day2012" => Scenario::data2012_day(seed),
+        other => return Err(format!("unknown preset `{other}` (small|day2011|day2012)").into()),
+    };
+    let data = scenario.generate();
+    // Re-emit raw records from the interned dataset.
+    let records: Vec<smash::trace::HttpRecord> = data
+        .dataset
+        .records()
+        .iter()
+        .map(|r| {
+            let mut rec = smash::trace::HttpRecord::new(
+                r.timestamp,
+                data.dataset.client_name(r.client),
+                data.dataset.server_name(r.server),
+                data.dataset.ip_name(r.ip),
+                &{
+                    // Reconstruct a representative URI: the stored pattern
+                    // is value-blanked (`p=[]&id=[]`), so refill with
+                    // placeholder values to keep the query-key structure.
+                    let path = data.dataset.path_name(r.path).to_string();
+                    let pattern = data.dataset.param_pattern_name(r.param_pattern);
+                    if pattern.is_empty() {
+                        path
+                    } else {
+                        format!("{path}?{}", pattern.replace("=[]", "=0"))
+                    }
+                },
+            )
+            .with_user_agent(data.dataset.user_agent_name(r.user_agent))
+            .with_status(r.status);
+            if let Some(rf) = r.referrer {
+                rec = rec.with_referrer(data.dataset.server_name(rf));
+            }
+            if let Some(rd) = r.redirect_to {
+                rec = rec.with_redirect_to(data.dataset.server_name(rd));
+            }
+            rec
+        })
+        .collect();
+    if out.ends_with(".smsh") {
+        smash::trace::binary::write_binary_file(out, &records)?;
+    } else {
+        io::write_jsonl_file(out, &records)?;
+    }
+    let whois_path = format!("{out}.whois.json");
+    std::fs::write(&whois_path, serde_json::to_string_pretty(&data.whois)?)?;
+    println!(
+        "wrote {} records to {out} and the Whois registry to {whois_path} (seed {seed})",
+        records.len()
+    );
+    Ok(())
+}
+
+fn load(args: &[String]) -> Result<(TraceDataset, WhoisRegistry), Box<dyn std::error::Error>> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing trace path")?;
+    let records = if path.ends_with(".smsh") {
+        smash::trace::binary::read_binary_file(path)?
+    } else {
+        io::read_jsonl_file(path)?
+    };
+    let dataset = TraceDataset::from_records(records);
+    let whois = match flag_value(args, "--whois") {
+        Some(p) => serde_json::from_str(&std::fs::read_to_string(p)?)?,
+        None => WhoisRegistry::new(),
+    };
+    Ok((dataset, whois))
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let (dataset, _) = load(args)?;
+    println!("{}", TraceStats::compute(&dataset));
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let (dataset, whois) = load(args)?;
+    let mut config = SmashConfig::default();
+    if let Some(t) = flag_value(args, "--threshold") {
+        config = config.with_threshold(t.parse()?);
+    }
+    if let Some(t) = flag_value(args, "--idf") {
+        config = config.with_idf_threshold(t.parse()?);
+    }
+    if args.iter().any(|a| a == "--param-dimension") {
+        config = config.with_param_pattern_dimension(true);
+    }
+    let report = Smash::new(config).run(&dataset, &whois);
+    println!(
+        "kept {} servers ({} filtered as popular); {} campaigns inferred",
+        report.kept_servers,
+        report.dropped_popular,
+        report.campaigns.len()
+    );
+    for (i, c) in report.campaigns.iter().enumerate() {
+        println!(
+            "\ncampaign #{i}: {} servers, {} client(s), dimensions {:?}",
+            c.server_count(),
+            c.client_count,
+            c.dimension_set()
+        );
+        for (s, score) in c.servers.iter().zip(&c.scores) {
+            println!("  {s}  (score {score:.2})");
+        }
+    }
+    if let Some(out) = flag_value(args, "--json") {
+        std::fs::write(out, serde_json::to_string_pretty(&report.campaigns)?)?;
+        println!("\nwrote JSON report to {out}");
+    }
+    if let Some(out) = flag_value(args, "--dot") {
+        // The main (client-similarity) graph, colored by herd — the
+        // paper's Fig. 3 view. Node i of the graph is the i-th kept
+        // server; resolve labels through the preprocessing order.
+        let pre = smash::core::preprocess::filter_popular(&dataset, Smash::new(SmashConfig::default()).config().idf_threshold);
+        let label = |u: u32| {
+            pre.kept
+                .get(u as usize)
+                .map(|&sid| dataset.server_name(sid).to_string())
+                .unwrap_or_else(|| u.to_string())
+        };
+        let opts = smash::graph::dot::DotOptions {
+            label: Some(&label),
+            partition: Some(&report.main.partition),
+            skip_isolated: true,
+        };
+        std::fs::write(out, smash::graph::dot::to_dot(&report.main.graph, &opts))?;
+        println!("wrote client-similarity DOT graph to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &[String]) -> CliResult {
+    let (dataset, _) = load(args)?;
+    let top: usize = flag_value(args, "--top").unwrap_or("20").parse()?;
+    let baseline = ReputationBaseline::default();
+    println!("top {top} servers by per-server reputation score (herd-blind comparator):");
+    for (sid, score) in baseline.score_all(&dataset).into_iter().take(top) {
+        println!("  {:5.2}  {}", score, dataset.server_name(sid));
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # SMASH — Systematic Mining of Associated Server Herds
+//!
+//! A Rust reproduction of *"Systematic Mining of Associated Server Herds
+//! for Malware Campaign Discovery"* (Zhang, Saha, Gu, Lee, Mellia —
+//! ICDCS 2015).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`graph`] — Louvain community detection and sparse similarity.
+//! * [`trace`] — HTTP trace records and columnar datasets.
+//! * [`whois`] — the simulated Whois registry.
+//! * [`synth`] — the synthetic ISP workload generator with planted
+//!   malware campaigns.
+//! * [`groundtruth`] — simulated IDS / blacklists and the evaluation
+//!   verdict taxonomy.
+//! * [`core`] — the SMASH pipeline itself (preprocess → per-dimension ASH
+//!   mining → correlation → pruning → campaign inference).
+//! * [`eval`] — experiment harness regenerating every table and figure of
+//!   the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smash::synth::Scenario;
+//! use smash::core::{Smash, SmashConfig};
+//!
+//! // Generate a small synthetic ISP day with planted campaigns.
+//! let scenario = Scenario::small_day(42).generate();
+//! // Run the SMASH pipeline at the paper's default threshold.
+//! let report = Smash::new(SmashConfig::default())
+//!     .run(&scenario.dataset, &scenario.whois);
+//! assert!(!report.campaigns.is_empty());
+//! ```
+
+pub use smash_core as core;
+pub use smash_eval as eval;
+pub use smash_graph as graph;
+pub use smash_groundtruth as groundtruth;
+pub use smash_synth as synth;
+pub use smash_trace as trace;
+pub use smash_whois as whois;

@@ -1,0 +1,145 @@
+//! The paper's evasion analysis (§VI): what an attacker who knows SMASH
+//! can and cannot achieve by manipulating individual dimensions.
+
+use smash::core::{Smash, SmashConfig};
+use smash::synth::builder::ScenarioBuilder;
+use smash::synth::campaigns::{cnc, CampaignSeeds};
+use smash::synth::config::DetectionCoverage;
+use smash::synth::Scenario;
+use smash::trace::TraceDataset;
+use smash::whois::WhoisRegistry;
+
+/// Builds a trace with benign background plus one hand-controlled C&C
+/// campaign, returning (dataset, whois, campaign domains).
+fn background_plus_flux(obfuscated: bool) -> (TraceDataset, WhoisRegistry, Vec<String>) {
+    // Benign background from the small preset.
+    let data = Scenario::small_day(31).generate();
+    let mut records: Vec<smash::trace::HttpRecord> = Vec::new();
+    for r in data.dataset.records() {
+        records.push(
+            smash::trace::HttpRecord::new(
+                r.timestamp,
+                data.dataset.client_name(r.client),
+                data.dataset.server_name(r.server),
+                data.dataset.ip_name(r.ip),
+                data.dataset.path_name(r.path),
+            )
+            .with_user_agent(data.dataset.user_agent_name(r.user_agent))
+            .with_status(r.status),
+        );
+    }
+    // One fresh flux campaign on top.
+    let mut b = ScenarioBuilder::new(60, 86_400);
+    let domains = cnc::generate(
+        &mut b,
+        "evasion-flux",
+        8,
+        3,
+        obfuscated,
+        DetectionCoverage::invisible(),
+        CampaignSeeds::fixed(77),
+    );
+    let parts = b.finish();
+    records.extend(parts.records);
+    let mut whois = data.whois.clone();
+    for (d, rec) in parts.whois.iter() {
+        whois.insert(d, rec.clone());
+    }
+    (TraceDataset::from_records(records), whois, domains)
+}
+
+fn recovered(report: &smash::core::SmashReport, domains: &[String]) -> usize {
+    domains
+        .iter()
+        .filter(|d| report.campaigns.iter().any(|c| c.contains_server(d)))
+        .count()
+}
+
+#[test]
+fn baseline_flux_campaign_is_caught() {
+    let (ds, whois, domains) = background_plus_flux(false);
+    let report = Smash::new(SmashConfig::default()).run(&ds, &whois);
+    assert_eq!(recovered(&report, &domains), domains.len());
+}
+
+#[test]
+fn obfuscating_filenames_does_not_evade() {
+    // §VI: per-server obfuscated names defeat exact matching, but the
+    // charset-cosine rule (eqs. 4–6) still links them — and IP + Whois
+    // corroborate.
+    let (ds, whois, domains) = background_plus_flux(true);
+    let report = Smash::new(SmashConfig::default()).run(&ds, &whois);
+    assert_eq!(recovered(&report, &domains), domains.len());
+}
+
+#[test]
+fn single_server_campaigns_are_invisible_by_design() {
+    // §VI Limitations: "if an attacker uses only a single server...
+    // SMASH can not detect it" — herds need at least two members.
+    let data = Scenario::small_day(8).generate();
+    let mut records: Vec<smash::trace::HttpRecord> = Vec::new();
+    for r in data.dataset.records() {
+        records.push(smash::trace::HttpRecord::new(
+            r.timestamp,
+            data.dataset.client_name(r.client),
+            data.dataset.server_name(r.server),
+            data.dataset.ip_name(r.ip),
+            data.dataset.path_name(r.path),
+        ));
+    }
+    for bot in ["client-00001", "client-00002"] {
+        records.push(smash::trace::HttpRecord::new(
+            500,
+            bot,
+            "lonely-cc.biz",
+            "185.99.99.99",
+            "/gate.php?id=1",
+        ));
+    }
+    let ds = TraceDataset::from_records(records);
+    let report = Smash::new(SmashConfig::default()).run(&ds, &data.whois);
+    assert!(
+        !report.campaigns.iter().any(|c| c.contains_server("lonely-cc.biz")),
+        "a single-server campaign has no herd to associate with"
+    );
+}
+
+#[test]
+fn splitting_every_secondary_dimension_weakens_detection() {
+    // An attacker with unique filenames, unique IPs, and clean Whois per
+    // server leaves only the main dimension — which alone cannot clear
+    // the threshold (eq. 9 needs at least one secondary herd).
+    let data = Scenario::small_day(12).generate();
+    let mut records: Vec<smash::trace::HttpRecord> = Vec::new();
+    for r in data.dataset.records() {
+        records.push(smash::trace::HttpRecord::new(
+            r.timestamp,
+            data.dataset.client_name(r.client),
+            data.dataset.server_name(r.server),
+            data.dataset.ip_name(r.ip),
+            data.dataset.path_name(r.path),
+        ));
+    }
+    for (i, domain) in (0..8).map(|i| (i, format!("fullsplit{i}.biz"))).collect::<Vec<_>>() {
+        for bot in ["client-00001", "client-00002", "client-00003"] {
+            records.push(smash::trace::HttpRecord::new(
+                600 + i as u64,
+                bot,
+                &domain,
+                &format!("185.50.0.{i}"),
+                &format!("/x{i}/u{i}q{i}z.php?k{i}=1"),
+            ));
+        }
+    }
+    let ds = TraceDataset::from_records(records);
+    let report = Smash::new(SmashConfig::default()).run(&ds, &data.whois);
+    let caught = (0..8)
+        .filter(|i| {
+            report
+                .campaigns
+                .iter()
+                .any(|c| c.contains_server(&format!("fullsplit{i}.biz")))
+        })
+        .count();
+    assert_eq!(caught, 0, "fully split dimensions should evade (at real cost to the attacker)");
+}

@@ -1,0 +1,97 @@
+//! Week-scenario integration: shared benign universe, persistent vs
+//! agile evolution, per-day pipeline runs (the substrate of Tables V/VI
+//! and Fig. 7).
+
+use smash::core::{Smash, SmashConfig};
+use smash::synth::{NoiseSpec, ScenarioData, WeekScenario};
+use std::collections::BTreeSet;
+
+fn small_week(seed: u64, days: usize) -> Vec<ScenarioData> {
+    let mut w = WeekScenario::data2012_week(seed);
+    w.days = days;
+    w.base.n_clients = 150;
+    w.base.n_benign_servers = 400;
+    w.base.mean_client_requests = 12;
+    w.base.noise = NoiseSpec::none();
+    w.generate().days
+}
+
+fn inferred_servers(day: &ScenarioData) -> BTreeSet<String> {
+    let report = Smash::new(SmashConfig::default()).run(&day.dataset, &day.whois);
+    report
+        .campaigns
+        .iter()
+        .flat_map(|c| c.servers.iter().cloned())
+        .collect()
+}
+
+#[test]
+fn persistent_campaigns_survive_across_days() {
+    let days = small_week(2, 2);
+    let d0 = inferred_servers(&days[0]);
+    let d1 = inferred_servers(&days[1]);
+    // The persistent Sality campaign keeps its servers: the days overlap.
+    let common: Vec<&String> = d0.intersection(&d1).collect();
+    assert!(
+        common.len() >= 5,
+        "expected persistent servers across days, got {common:?}"
+    );
+}
+
+#[test]
+fn agile_campaigns_rotate_daily() {
+    let days = small_week(2, 2);
+    let d0 = inferred_servers(&days[0]);
+    let d1 = inferred_servers(&days[1]);
+    let fresh = d1.difference(&d0).count();
+    assert!(fresh >= 5, "expected fresh agile infrastructure on day 2, got {fresh}");
+}
+
+#[test]
+fn late_campaigns_appear_mid_week() {
+    let mut w = WeekScenario::data2012_week(5);
+    w.days = 3;
+    w.base.n_clients = 150;
+    w.base.n_benign_servers = 400;
+    w.base.mean_client_requests = 12;
+    w.base.noise = NoiseSpec::none();
+    let week = w.generate();
+    // bagle-w starts day 2 (0-based): absent before, present after.
+    let has = |d: &ScenarioData| d.truth.campaigns().iter().any(|c| c.name == "bagle-w");
+    assert!(!has(&week.days[0]));
+    assert!(!has(&week.days[1]));
+    assert!(has(&week.days[2]));
+}
+
+#[test]
+fn benign_universe_is_stable_across_the_week() {
+    let days = small_week(9, 2);
+    // Whois registries agree on the (shared) benign domains.
+    let mut agree = 0;
+    for (dom, rec) in days[0].whois.iter() {
+        if days[1].whois.get(dom) == Some(rec) {
+            agree += 1;
+        }
+    }
+    assert!(agree >= 350, "only {agree} identical whois records across days");
+}
+
+#[test]
+fn infected_clients_persist_while_servers_rotate() {
+    let days = small_week(13, 2);
+    let clients_of = |day: &ScenarioData| -> BTreeSet<String> {
+        let report = Smash::new(SmashConfig::default()).run(&day.dataset, &day.whois);
+        report
+            .campaigns
+            .iter()
+            .flat_map(|c| c.server_ids.iter())
+            .flat_map(|&sid| day.dataset.clients_of(sid).to_vec())
+            .map(|c| day.dataset.client_name(c).to_owned())
+            .collect()
+    };
+    let c0 = clients_of(&days[0]);
+    let c1 = clients_of(&days[1]);
+    // The same infected machines drive both days (agile = same bots).
+    let common = c0.intersection(&c1).count();
+    assert!(common * 2 >= c0.len().min(c1.len()), "{common} of {} / {}", c0.len(), c1.len());
+}
