@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Hermetic CI gate. The workspace has zero external dependencies, so every
+# step runs with --offline and needs nothing beyond a stock Rust toolchain.
+#
+#   ./ci.sh          run the full gate
+#
+# Steps:
+#   1. cargo fmt --check                      formatting drift
+#   2. cargo build --release --all-targets    everything compiles, benches
+#                                             included (cargo test skips them)
+#   3. cargo test -q                          the full suite: unit tests,
+#                                             doctests, property suites, and
+#                                             the root integration tests
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --offline --all-targets"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> ci.sh: all green"

@@ -2,7 +2,6 @@
 //! similarity the paper identifies as the expensive part (§VI Overhead),
 //! here bounded by the inverted-index candidate generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smash_bench::medium_scenario;
 use smash_core::baseline::ReputationBaseline;
 use smash_core::dimensions::{
@@ -11,6 +10,7 @@ use smash_core::dimensions::{
 };
 use smash_core::preprocess::filter_popular;
 use smash_core::SmashConfig;
+use smash_support::bench::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 
 fn bench_dimensions(c: &mut Criterion) {
@@ -32,7 +32,9 @@ fn bench_dimensions(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("dimension-graphs");
     g.bench_function("client", |b| b.iter(|| ClientDimension.build_graph(&ctx)));
-    g.bench_function("uri_file", |b| b.iter(|| UriFileDimension.build_graph(&ctx)));
+    g.bench_function("uri_file", |b| {
+        b.iter(|| UriFileDimension.build_graph(&ctx))
+    });
     g.bench_function("ip_set", |b| b.iter(|| IpSetDimension.build_graph(&ctx)));
     g.bench_function("whois", |b| b.iter(|| WhoisDimension.build_graph(&ctx)));
     g.bench_function("param_pattern", |b| {

@@ -2,10 +2,10 @@
 //! each experiment (generation + pipeline + judging), at the scale the
 //! `repro` binary uses for the single-day experiments and a shrunk week.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smash_core::SmashConfig;
 use smash_eval::experiments::{case_studies, fig3, fig6, fig8, figs910, table1, table4};
 use smash_eval::harness::run_day;
+use smash_support::bench::{criterion_group, criterion_main, Criterion};
 use smash_synth::{NoiseSpec, Scenario, WeekScenario};
 
 fn bench_single_day_tables(c: &mut Criterion) {
@@ -21,7 +21,9 @@ fn bench_single_day_tables(c: &mut Criterion) {
     g.bench_function("fig6-distributions", |b| b.iter(|| fig6::run(7)));
     g.bench_function("fig8-dimension-effectiveness", |b| b.iter(|| fig8::run(7)));
     g.bench_function("fig9-idf", |b| b.iter(|| figs910::run_fig9(7)));
-    g.bench_function("fig10-filename-lengths", |b| b.iter(|| figs910::run_fig10(7)));
+    g.bench_function("fig10-filename-lengths", |b| {
+        b.iter(|| figs910::run_fig10(7))
+    });
     g.finish();
 }
 
@@ -34,7 +36,12 @@ fn bench_threshold_sweep(c: &mut Criterion) {
         b.iter(|| run_day(&data, SmashConfig::default().with_threshold(0.8)))
     });
     g.bench_function("table11-12-sweep-step", |b| {
-        b.iter(|| run_day(&data, SmashConfig::default().with_single_client_threshold(1.0)))
+        b.iter(|| {
+            run_day(
+                &data,
+                SmashConfig::default().with_single_client_threshold(1.0),
+            )
+        })
     });
     g.finish();
 }

@@ -1,17 +1,21 @@
 //! Louvain scaling: the clustering step that dominates ASH mining.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smash_bench::clique_chain;
 use smash_graph::{connected_components, modularity, Louvain, Partition};
+use smash_support::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_louvain(c: &mut Criterion) {
     let mut g = c.benchmark_group("louvain");
     for (cliques, size) in [(10, 10), (50, 10), (100, 20), (200, 25)] {
         let graph = clique_chain(cliques, size);
         let nodes = graph.node_count();
-        g.bench_with_input(BenchmarkId::new("clique_chain", nodes), &graph, |b, graph| {
-            b.iter(|| Louvain::new().run(graph));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("clique_chain", nodes),
+            &graph,
+            |b, graph| {
+                b.iter(|| Louvain::new().run(graph));
+            },
+        );
     }
     g.finish();
 }

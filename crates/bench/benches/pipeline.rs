@@ -2,9 +2,9 @@
 //! on/off, the parameter-pattern extension dimension, and the threshold
 //! sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use smash_bench::{medium_scenario, small_scenario};
 use smash_core::{Smash, SmashConfig};
+use smash_support::bench::{criterion_group, criterion_main, Criterion};
 use smash_trace::TraceDataset;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -26,10 +26,14 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(20);
     g.bench_function("pruning-on", |b| {
-        b.iter(|| Smash::new(SmashConfig::default().with_pruning(true)).run(&data.dataset, &data.whois))
+        b.iter(|| {
+            Smash::new(SmashConfig::default().with_pruning(true)).run(&data.dataset, &data.whois)
+        })
     });
     g.bench_function("pruning-off", |b| {
-        b.iter(|| Smash::new(SmashConfig::default().with_pruning(false)).run(&data.dataset, &data.whois))
+        b.iter(|| {
+            Smash::new(SmashConfig::default().with_pruning(false)).run(&data.dataset, &data.whois)
+        })
     });
     g.bench_function("param-pattern-dimension", |b| {
         b.iter(|| {
@@ -39,7 +43,9 @@ fn bench_ablations(c: &mut Criterion) {
     });
     for t in [0.5, 0.8, 1.5] {
         g.bench_function(format!("threshold-{t}"), |b| {
-            b.iter(|| Smash::new(SmashConfig::default().with_threshold(t)).run(&data.dataset, &data.whois))
+            b.iter(|| {
+                Smash::new(SmashConfig::default().with_threshold(t)).run(&data.dataset, &data.whois)
+            })
         });
     }
     g.finish();
@@ -76,5 +82,10 @@ fn bench_dataset_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_ablations, bench_dataset_build);
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_ablations,
+    bench_dataset_build
+);
 criterion_main!(benches);

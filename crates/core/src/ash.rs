@@ -1,14 +1,14 @@
 //! Associated Server Herds and per-dimension mining results.
 
 use crate::dimensions::DimensionKind;
-use serde::{Deserialize, Serialize};
 use smash_graph::{Graph, Partition};
+use smash_support::impl_json_struct;
 use smash_trace::ServerId;
 use std::collections::HashMap;
 
 /// One Associated Server Herd: a community of servers in one dimension's
 /// similarity graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ash {
     /// Member servers, ascending.
     pub members: Vec<ServerId>,
@@ -16,6 +16,8 @@ pub struct Ash {
     /// (`2|e| / (|v|(|v|−1))`) — the weight `w` of eq. 9.
     pub density: f64,
 }
+
+impl_json_struct!(Ash { members, density });
 
 impl Ash {
     /// Number of member servers.

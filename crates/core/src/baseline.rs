@@ -9,11 +9,11 @@
 //! servers — Bagle's download hosts are ordinary benign sites in every
 //! per-server feature — while SMASH finds them through their herd.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use smash_trace::{ServerId, ServerKey, TraceDataset};
 
 /// Per-server features extracted for the baseline.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ServerFeatures {
     /// Shannon entropy (bits/char) of the domain's first label.
     pub name_entropy: f64,
@@ -33,6 +33,17 @@ pub struct ServerFeatures {
     /// Number of distinct URI files.
     pub file_count: usize,
 }
+
+impl_json_struct!(ServerFeatures {
+    name_entropy,
+    digit_ratio,
+    vowel_ratio,
+    risky_zone,
+    client_count,
+    error_rate,
+    query_ratio,
+    file_count,
+});
 
 impl ServerFeatures {
     /// Extracts the features of one server.
@@ -66,11 +77,7 @@ impl ServerFeatures {
             vowel_ratio: if label.is_empty() {
                 0.0
             } else {
-                label
-                    .chars()
-                    .filter(|c| "aeiou".contains(*c))
-                    .count() as f64
-                    / label.len() as f64
+                label.chars().filter(|c| "aeiou".contains(*c)).count() as f64 / label.len() as f64
             },
             risky_zone,
             client_count: dataset.clients_of(server).len(),
@@ -122,11 +129,13 @@ pub fn shannon_entropy(s: &str) -> f64 {
 /// let benign = b.score(&ds, ds.server_id("gardenclub.org").unwrap());
 /// assert!(dga > benign);
 /// ```
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReputationBaseline {
     /// Servers scoring at or above this are flagged (default 2.0).
     pub threshold: f64,
 }
+
+impl_json_struct!(ReputationBaseline { threshold });
 
 impl Default for ReputationBaseline {
     fn default() -> Self {
@@ -176,7 +185,11 @@ impl ReputationBaseline {
             .server_ids()
             .map(|s| (s, self.score(dataset, s)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 
@@ -199,9 +212,13 @@ mod tests {
         let mut records = Vec::new();
         // A DGA-looking C&C on a risky zone, bot-only, parameterized.
         for bot in ["b1", "b2"] {
-            records.push(
-                HttpRecord::new(0, bot, "qx7k93zf1.info", "185.0.0.1", "/gate.php?id=1&p=9"),
-            );
+            records.push(HttpRecord::new(
+                0,
+                bot,
+                "qx7k93zf1.info",
+                "185.0.0.1",
+                "/gate.php?id=1&p=9",
+            ));
         }
         // A benign site: wordy domain, many files, many clients.
         for c in 0..8 {
@@ -227,7 +244,13 @@ mod tests {
             ));
         }
         for bot in ["b1", "b2"] {
-            records.push(HttpRecord::new(0, bot, "familybakery.com", "23.0.0.2", "/images/file.txt"));
+            records.push(HttpRecord::new(
+                0,
+                bot,
+                "familybakery.com",
+                "23.0.0.2",
+                "/images/file.txt",
+            ));
         }
         TraceDataset::from_records(records)
     }
@@ -237,7 +260,11 @@ mod tests {
         let ds = dataset();
         let b = ReputationBaseline::default();
         let cc = ds.server_id("qx7k93zf1.info").unwrap();
-        assert!(b.score(&ds, cc) >= b.threshold, "score {}", b.score(&ds, cc));
+        assert!(
+            b.score(&ds, cc) >= b.threshold,
+            "score {}",
+            b.score(&ds, cc)
+        );
         assert!(b.flagged(&ds).contains(&cc));
     }
 

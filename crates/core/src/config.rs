@@ -1,6 +1,6 @@
 //! Pipeline configuration with the paper's published defaults.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::fmt;
 
 /// A configuration rejected by [`SmashConfig::validate`].
@@ -34,7 +34,7 @@ impl std::error::Error for ConfigError {}
 /// assert_eq!(cfg.threshold, 1.0);
 /// assert!(cfg.param_pattern_dimension);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmashConfig {
     /// IDF popularity cutoff: servers contacted by more distinct clients
     /// are dropped in preprocessing (paper: 200).
@@ -101,6 +101,31 @@ pub struct SmashConfig {
     /// ablation benches switch it off).
     pub pruning_enabled: bool,
 }
+
+impl_json_struct!(SmashConfig {
+    idf_threshold,
+    filename_len_threshold,
+    charset_cosine_threshold,
+    client_edge_min,
+    file_edge_min,
+    ip_edge_min,
+    file_posting_cap,
+    client_posting_cap,
+    mu,
+    sigma,
+    threshold,
+    single_client_threshold,
+    min_campaign_size,
+    louvain_seed,
+    uri_file_dimension,
+    ip_set_dimension,
+    whois_dimension,
+    param_pattern_dimension,
+    timing_dimension,
+    timing_edge_min,
+    payload_dimension,
+    pruning_enabled,
+});
 
 impl Default for SmashConfig {
     fn default() -> Self {
@@ -227,7 +252,10 @@ impl SmashConfig {
             }
         }
         if !self.sigma.is_finite() || self.sigma <= 0.0 {
-            return Err(ConfigError(format!("sigma must be positive, got {}", self.sigma)));
+            return Err(ConfigError(format!(
+                "sigma must be positive, got {}",
+                self.sigma
+            )));
         }
         if self.min_campaign_size < 2 {
             return Err(ConfigError(format!(
@@ -298,7 +326,11 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = SmashConfig::default();
         c.min_campaign_size = 1;
-        assert!(c.validate().unwrap_err().to_string().contains("min_campaign_size"));
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("min_campaign_size"));
         let mut c = SmashConfig::default();
         c.file_posting_cap = 0;
         assert!(c.validate().is_err());

@@ -11,12 +11,12 @@ use crate::ash::MinedDimension;
 use crate::config::SmashConfig;
 use crate::dimensions::DimensionKind;
 use crate::math::phi;
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use smash_trace::{ServerId, TraceDataset};
 use std::collections::BTreeSet;
 
 /// A correlated, thresholded candidate herd.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CorrelatedAsh {
     /// Surviving servers, ascending.
     pub servers: Vec<ServerId>,
@@ -33,6 +33,15 @@ pub struct CorrelatedAsh {
     /// (the paper's Appendix C regime, judged at threshold 1.0).
     pub single_client: bool,
 }
+
+impl_json_struct!(CorrelatedAsh {
+    servers,
+    scores,
+    dimensions,
+    main_ash,
+    client_count,
+    single_client,
+});
 
 /// Runs eq. 9 over all main herds.
 ///
@@ -178,16 +187,8 @@ mod tests {
         let ds = dataset(10, 3);
         let small: Vec<ServerId> = (0..2).collect();
         let large: Vec<ServerId> = (2..10).collect();
-        let main = dim(
-            DimensionKind::Client,
-            &[(&small, 1.0), (&large, 1.0)],
-            10,
-        );
-        let file = dim(
-            DimensionKind::UriFile,
-            &[(&small, 1.0), (&large, 1.0)],
-            10,
-        );
+        let main = dim(DimensionKind::Client, &[(&small, 1.0), (&large, 1.0)], 10);
+        let file = dim(DimensionKind::UriFile, &[(&small, 1.0), (&large, 1.0)], 10);
         let out = correlate(&ds, &main, &[file], &SmashConfig::default());
         // φ(2) ≈ 0.36 < 0.8 for the pair; φ(8) ≈ 0.85 ≥ 0.8.
         assert_eq!(out.len(), 1);
@@ -217,9 +218,18 @@ mod tests {
         let main = dim(DimensionKind::Client, &[(&members, 1.0)], 8);
         let weak = dim(DimensionKind::UriFile, &[(&members, 0.2)], 8);
         let strong = dim(DimensionKind::UriFile, &[(&members, 1.0)], 8);
-        let out_weak = correlate(&ds, &main, &[weak], &SmashConfig::default().with_threshold(0.0));
-        let out_strong =
-            correlate(&ds, &main, &[strong], &SmashConfig::default().with_threshold(0.0));
+        let out_weak = correlate(
+            &ds,
+            &main,
+            &[weak],
+            &SmashConfig::default().with_threshold(0.0),
+        );
+        let out_strong = correlate(
+            &ds,
+            &main,
+            &[strong],
+            &SmashConfig::default().with_threshold(0.0),
+        );
         assert!(out_weak[0].scores[0] < out_strong[0].scores[0]);
     }
 

@@ -72,7 +72,11 @@ mod tests {
 
     fn build(ds: &TraceDataset, whois: &WhoisRegistry, config: &SmashConfig) -> Graph {
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> = nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         ClientDimension.build_graph(&DimensionContext {
             dataset: ds,
             whois,
@@ -115,8 +119,20 @@ mod tests {
         // sim = 0.1 * 0.1 = 0.01 < default 0.04.
         let mut records = Vec::new();
         for i in 0..10 {
-            records.push(HttpRecord::new(0, &format!("a{i}"), "a.com", "1.1.1.1", "/x"));
-            records.push(HttpRecord::new(0, &format!("b{i}"), "b.com", "1.1.1.2", "/y"));
+            records.push(HttpRecord::new(
+                0,
+                &format!("a{i}"),
+                "a.com",
+                "1.1.1.1",
+                "/x",
+            ));
+            records.push(HttpRecord::new(
+                0,
+                &format!("b{i}"),
+                "b.com",
+                "1.1.1.2",
+                "/y",
+            ));
         }
         records.push(HttpRecord::new(0, "a0", "b.com", "1.1.1.2", "/y"));
         let (ds, w, c) = ctx_parts(records);
@@ -142,9 +158,7 @@ mod tests {
 
     #[test]
     fn graph_covers_all_nodes() {
-        let (ds, w, c) = ctx_parts(vec![
-            HttpRecord::new(0, "c1", "only.com", "1.1.1.1", "/"),
-        ]);
+        let (ds, w, c) = ctx_parts(vec![HttpRecord::new(0, "c1", "only.com", "1.1.1.1", "/")]);
         let g = build(&ds, &w, &c);
         assert_eq!(g.node_count(), 1);
     }

@@ -54,8 +54,11 @@ mod tests {
         let whois = WhoisRegistry::new();
         let config = SmashConfig::default();
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         let g = IpSetDimension.build_graph(&DimensionContext {
             dataset: &ds,
             whois: &whois,
@@ -101,11 +104,23 @@ mod tests {
         // a.com on {1..5}; b.com on {1, 6..9}: (1/5)·(1/5) = 0.04 < 0.1.
         let mut records = Vec::new();
         for i in 1..=5 {
-            records.push(HttpRecord::new(0, "c", "a.com", &format!("10.0.0.{i}"), "/"));
+            records.push(HttpRecord::new(
+                0,
+                "c",
+                "a.com",
+                &format!("10.0.0.{i}"),
+                "/",
+            ));
         }
         records.push(HttpRecord::new(0, "c", "b.com", "10.0.0.1", "/"));
         for i in 6..=9 {
-            records.push(HttpRecord::new(0, "c", "b.com", &format!("10.0.0.{i}"), "/"));
+            records.push(HttpRecord::new(
+                0,
+                "c",
+                "b.com",
+                &format!("10.0.0.{i}"),
+                "/",
+            ));
         }
         let (_, g) = build(records);
         assert_eq!(g.edge_count(), 0);

@@ -17,8 +17,8 @@ pub mod uri_file;
 pub mod whois;
 
 use crate::config::SmashConfig;
-use serde::{Deserialize, Serialize};
 use smash_graph::Graph;
+use smash_support::impl_json_enum;
 use smash_trace::{ServerId, TraceDataset};
 use smash_whois::WhoisRegistry;
 use std::collections::HashMap;
@@ -33,7 +33,7 @@ pub use uri_file::UriFileDimension;
 pub use whois::WhoisDimension;
 
 /// Which similarity dimension a graph or herd came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DimensionKind {
     /// Main dimension: client-set similarity (eq. 1).
     Client,
@@ -51,6 +51,16 @@ pub enum DimensionKind {
     /// Extension (paper §VI): payload (response-size) similarity.
     Payload,
 }
+
+impl_json_enum!(DimensionKind {
+    Client,
+    UriFile,
+    IpSet,
+    Whois,
+    ParamPattern,
+    Timing,
+    Payload,
+});
 
 impl DimensionKind {
     /// `true` for the main (client) dimension.

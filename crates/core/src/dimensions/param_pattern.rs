@@ -66,8 +66,11 @@ mod tests {
         let whois = WhoisRegistry::new();
         let config = SmashConfig::default();
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         ParamPatternDimension.build_graph(&DimensionContext {
             dataset: &ds,
             whois: &whois,

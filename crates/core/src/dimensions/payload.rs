@@ -74,8 +74,11 @@ mod tests {
         let whois = WhoisRegistry::new();
         let config = SmashConfig::default();
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         PayloadDimension.build_graph(&DimensionContext {
             dataset: &ds,
             whois: &whois,
@@ -111,10 +114,7 @@ mod tests {
 
     #[test]
     fn tiny_responses_are_ignored() {
-        let g = build(vec![
-            rec("a.com", "/x", 512),
-            rec("b.com", "/y", 512),
-        ]);
+        let g = build(vec![rec("a.com", "/x", 512), rec("b.com", "/y", 512)]);
         assert_eq!(g.edge_count(), 0);
     }
 

@@ -61,7 +61,9 @@ impl Dimension for TimingDimension {
                 total += 1;
             }
             let active: Vec<usize> = (0..buckets).filter(|&i| h[i] > 0.0).collect();
-            let bursty = total >= 2 && !active.is_empty() && (active.len() as f64) <= BURSTY_FRACTION * buckets as f64;
+            let bursty = total >= 2
+                && !active.is_empty()
+                && (active.len() as f64) <= BURSTY_FRACTION * buckets as f64;
             if !bursty {
                 histograms.push(None);
                 continue;
@@ -105,8 +107,11 @@ mod tests {
         let whois = WhoisRegistry::new();
         let config = SmashConfig::default();
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         let g = TimingDimension::default().build_graph(&DimensionContext {
             dataset: &ds,
             whois: &whois,
@@ -120,9 +125,7 @@ mod tests {
     /// `n` requests to `host` at timestamps spread within one burst.
     fn burst(host: &str, start: u64, n: usize) -> Vec<HttpRecord> {
         (0..n)
-            .map(|i| {
-                HttpRecord::new(start + (i as u64 * 60), "bot", host, "1.1.1.1", "/x.php")
-            })
+            .map(|i| HttpRecord::new(start + (i as u64 * 60), "bot", host, "1.1.1.1", "/x.php"))
             .collect()
     }
 

@@ -118,9 +118,9 @@ fn matched_counts(
             .filter(|&&f| !to.set.contains(&f))
             .filter(|&&f| {
                 let va = &vectors[&f];
-                to.long.iter().any(|&g| {
-                    g != f && cosine(va, &vectors[&g]) > cos_thresh
-                })
+                to.long
+                    .iter()
+                    .any(|&g| g != f && cosine(va, &vectors[&g]) > cos_thresh)
             })
             .count()
     };
@@ -142,8 +142,11 @@ mod tests {
         let ds = TraceDataset::from_records(records);
         let whois = WhoisRegistry::new();
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         let g = UriFileDimension.build_graph(&DimensionContext {
             dataset: &ds,
             whois: &whois,
@@ -175,7 +178,13 @@ mod tests {
         for (host, ip) in [("a.com", "1.1.1.1"), ("b.com", "1.1.1.2")] {
             records.push(HttpRecord::new(0, "c", host, ip, "/index.html"));
             for i in 0..3 {
-                records.push(HttpRecord::new(0, "c", host, ip, &format!("/{host}-{i}.html")));
+                records.push(HttpRecord::new(
+                    0,
+                    "c",
+                    host,
+                    ip,
+                    &format!("/{host}-{i}.html"),
+                ));
             }
         }
         let (_, g) = build(records, SmashConfig::default());
@@ -200,8 +209,8 @@ mod tests {
     #[test]
     fn obfuscated_long_names_match_by_charset() {
         // Two long names over the same two-letter alphabet.
-        let f1 = format!("/{}" , "ababababab".repeat(4) + "a.php"); // 45 chars
-        let f2 = format!("/{}" , "bababababa".repeat(4) + "b.php");
+        let f1 = format!("/{}", "ababababab".repeat(4) + "a.php"); // 45 chars
+        let f2 = format!("/{}", "bababababa".repeat(4) + "b.php");
         let (_, g) = build(
             vec![
                 HttpRecord::new(0, "c", "a.com", "1.1.1.1", &f1),

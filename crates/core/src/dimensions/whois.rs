@@ -25,7 +25,8 @@ impl Dimension for WhoisDimension {
         // Inverted index over field values. Keys are namespaced so a phone
         // number never collides with an address string.
         let mut by_value: HashMap<String, Vec<u32>> = HashMap::new();
-        let mut records: Vec<Option<&smash_whois::WhoisRecord>> = Vec::with_capacity(ctx.nodes.len());
+        let mut records: Vec<Option<&smash_whois::WhoisRecord>> =
+            Vec::with_capacity(ctx.nodes.len());
         for (node, &server) in ctx.nodes.iter().enumerate() {
             let rec = ctx
                 .dataset
@@ -85,8 +86,11 @@ mod tests {
         let ds = TraceDataset::from_records(records);
         let config = SmashConfig::default();
         let nodes: Vec<u32> = ds.server_ids().collect();
-        let node_of: HashMap<u32, u32> =
-            nodes.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        let node_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
         WhoisDimension.build_graph(&DimensionContext {
             dataset: &ds,
             whois: &whois,
@@ -106,8 +110,18 @@ mod tests {
     #[test]
     fn two_shared_fields_create_edge() {
         let mut reg = WhoisRegistry::new();
-        reg.insert("a.com", WhoisRecord::new().with_phone("555").with_name_server("ns1.x"));
-        reg.insert("b.com", WhoisRecord::new().with_phone("555").with_name_server("ns1.x"));
+        reg.insert(
+            "a.com",
+            WhoisRecord::new()
+                .with_phone("555")
+                .with_name_server("ns1.x"),
+        );
+        reg.insert(
+            "b.com",
+            WhoisRecord::new()
+                .with_phone("555")
+                .with_name_server("ns1.x"),
+        );
         let g = build(two_servers(), reg);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.edges().next().unwrap().2, 1.0);
@@ -116,8 +130,14 @@ mod tests {
     #[test]
     fn one_shared_field_is_not_enough() {
         let mut reg = WhoisRegistry::new();
-        reg.insert("a.com", WhoisRecord::new().with_phone("555").with_email("a@x"));
-        reg.insert("b.com", WhoisRecord::new().with_phone("555").with_email("b@y"));
+        reg.insert(
+            "a.com",
+            WhoisRecord::new().with_phone("555").with_email("a@x"),
+        );
+        reg.insert(
+            "b.com",
+            WhoisRecord::new().with_phone("555").with_email("b@y"),
+        );
         let g = build(two_servers(), reg);
         assert_eq!(g.edge_count(), 0);
     }
@@ -147,7 +167,10 @@ mod tests {
     #[test]
     fn ip_servers_never_match() {
         let mut reg = WhoisRegistry::new();
-        reg.insert("a.com", WhoisRecord::new().with_phone("5").with_email("e@x"));
+        reg.insert(
+            "a.com",
+            WhoisRecord::new().with_phone("5").with_email("e@x"),
+        );
         let records = vec![
             HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/"),
             HttpRecord::new(0, "c", "2.2.2.2", "2.2.2.2", "/"),

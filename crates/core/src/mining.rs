@@ -38,7 +38,10 @@ pub fn mine(kind: DimensionKind, graph: Graph, nodes: &[ServerId], seed: u64) ->
         for &s in &members {
             membership.insert(s, idx);
         }
-        ashes.push(Ash { members, density: d });
+        ashes.push(Ash {
+            members,
+            density: d,
+        });
     }
     MinedDimension {
         kind,

@@ -110,14 +110,10 @@ impl Smash {
         // Dimension graphs are independent: build and mine them in
         // parallel (the paper's answer to the pairwise-similarity cost is
         // parallel sparse multiplication [18]).
-        use rayon::prelude::*;
-        let secondaries: Vec<MinedDimension> = secondary_dims
-            .par_iter()
-            .map(|d| {
-                let g = d.build_graph(&ctx);
-                mine(d.kind(), g, &nodes, cfg.louvain_seed)
-            })
-            .collect();
+        let secondaries: Vec<MinedDimension> = smash_support::par::par_map(&secondary_dims, |d| {
+            let g = d.build_graph(&ctx);
+            mine(d.kind(), g, &nodes, cfg.louvain_seed)
+        });
 
         // 3. Correlation (eq. 9) + thresholding.
         let correlated = correlate(dataset, &main, &secondaries, cfg);
@@ -180,7 +176,10 @@ impl Smash {
                     })
                     .collect();
                 InferredCampaign {
-                    servers: servers.iter().map(|&s| dataset.server_name(s).to_owned()).collect(),
+                    servers: servers
+                        .iter()
+                        .map(|&s| dataset.server_name(s).to_owned())
+                        .collect(),
                     server_ids: servers,
                     scores,
                     dimensions,
@@ -261,8 +260,14 @@ mod tests {
         for bot in ["bot1", "bot2", "bot3"] {
             for d in 0..8 {
                 records.push(
-                    HttpRecord::new(0, bot, &format!("cc{d}.evil"), "66.6.6.6", "/gate/login.php?p=1")
-                        .with_user_agent("BotAgent"),
+                    HttpRecord::new(
+                        0,
+                        bot,
+                        &format!("cc{d}.evil"),
+                        "66.6.6.6",
+                        "/gate/login.php?p=1",
+                    )
+                    .with_user_agent("BotAgent"),
                 );
             }
         }
@@ -330,7 +335,11 @@ mod tests {
         }
         let ds = TraceDataset::from_records(records);
         let report = Smash::new(SmashConfig::default()).run(&ds, &WhoisRegistry::new());
-        assert!(report.campaigns.is_empty(), "campaigns: {:?}", report.campaigns);
+        assert!(
+            report.campaigns.is_empty(),
+            "campaigns: {:?}",
+            report.campaigns
+        );
     }
 
     #[test]
@@ -345,17 +354,20 @@ mod tests {
     #[test]
     fn idf_filter_feeds_report_counts() {
         let ds = TraceDataset::from_records(flux_trace());
-        let report = Smash::new(SmashConfig::default().with_idf_threshold(5)).run(&ds, &WhoisRegistry::new());
+        let report = Smash::new(SmashConfig::default().with_idf_threshold(5))
+            .run(&ds, &WhoisRegistry::new());
         assert!(report.dropped_popular > 0 || report.kept_servers == ds.server_count());
-        assert_eq!(report.kept_servers + report.dropped_popular, ds.server_count());
+        assert_eq!(
+            report.kept_servers + report.dropped_popular,
+            ds.server_count()
+        );
     }
 
     #[test]
     fn dimension_summaries_cover_all_dims() {
         let ds = TraceDataset::from_records(flux_trace());
         let report = Smash::new(SmashConfig::default()).run(&ds, &WhoisRegistry::new());
-        let kinds: Vec<DimensionKind> =
-            report.dimension_summaries.iter().map(|d| d.kind).collect();
+        let kinds: Vec<DimensionKind> = report.dimension_summaries.iter().map(|d| d.kind).collect();
         assert_eq!(
             kinds,
             vec![

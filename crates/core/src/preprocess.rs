@@ -8,17 +8,22 @@
 //! themselves, and their traffic dominates cost while carrying no herd
 //! signal.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use smash_trace::{ServerId, TraceDataset};
 
 /// Result of preprocessing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Preprocessed {
     /// Servers that survive the IDF filter, ascending.
     pub kept: Vec<ServerId>,
     /// Servers dropped for popularity, ascending.
     pub dropped_popular: Vec<ServerId>,
 }
+
+impl_json_struct!(Preprocessed {
+    kept,
+    dropped_popular
+});
 
 impl Preprocessed {
     /// Fraction of servers dropped.
@@ -89,10 +94,22 @@ mod tests {
         let mut records = Vec::new();
         // mega.com: 8 clients; mid.com: 4; tiny.com: 1.
         for i in 0..8 {
-            records.push(HttpRecord::new(0, &format!("c{i}"), "mega.com", "1.1.1.1", "/"));
+            records.push(HttpRecord::new(
+                0,
+                &format!("c{i}"),
+                "mega.com",
+                "1.1.1.1",
+                "/",
+            ));
         }
         for i in 0..4 {
-            records.push(HttpRecord::new(0, &format!("c{i}"), "mid.com", "2.2.2.2", "/"));
+            records.push(HttpRecord::new(
+                0,
+                &format!("c{i}"),
+                "mid.com",
+                "2.2.2.2",
+                "/",
+            ));
         }
         records.push(HttpRecord::new(0, "c0", "tiny.com", "3.3.3.3", "/"));
         TraceDataset::from_records(records)

@@ -2,14 +2,14 @@
 
 use crate::ash::MinedDimension;
 use crate::dimensions::DimensionKind;
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use smash_trace::ServerId;
 
 /// One inferred malicious campaign.
 ///
 /// The per-server vectors (`server_ids`, `servers`, `scores`,
 /// `dimensions`) are parallel and sorted by server id.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InferredCampaign {
     /// Member server ids (ascending).
     pub server_ids: Vec<ServerId>,
@@ -25,6 +25,15 @@ pub struct InferredCampaign {
     /// `true` when driven by a single client (Appendix C regime).
     pub single_client: bool,
 }
+
+impl_json_struct!(InferredCampaign {
+    server_ids,
+    servers,
+    scores,
+    dimensions,
+    client_count,
+    single_client,
+});
 
 impl InferredCampaign {
     /// Number of servers in the campaign.
@@ -51,7 +60,7 @@ impl InferredCampaign {
 }
 
 /// Size summary of one mined dimension.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DimensionSummary {
     /// Which dimension.
     pub kind: DimensionKind,
@@ -62,6 +71,13 @@ pub struct DimensionSummary {
     /// Servers covered by ASHs.
     pub herded_servers: usize,
 }
+
+impl_json_struct!(DimensionSummary {
+    kind,
+    edges,
+    ashes,
+    herded_servers
+});
 
 /// The complete output of one SMASH run.
 #[derive(Debug)]
@@ -85,7 +101,10 @@ impl SmashReport {
     /// Campaigns with at least `n` involved clients (Table II counts
     /// campaigns with ≥ 2; Tables XI/XII count the single-client ones).
     pub fn campaigns_with_min_clients(&self, n: usize) -> Vec<&InferredCampaign> {
-        self.campaigns.iter().filter(|c| c.client_count >= n).collect()
+        self.campaigns
+            .iter()
+            .filter(|c| c.client_count >= n)
+            .collect()
     }
 
     /// The single-client campaigns (Appendix C).
@@ -152,7 +171,10 @@ mod tests {
 
     #[test]
     fn client_count_filters() {
-        let r = report(vec![campaign(&[0, 1], true, 1), campaign(&[2, 3], false, 4)]);
+        let r = report(vec![
+            campaign(&[0, 1], true, 1),
+            campaign(&[2, 3], false, 4),
+        ]);
         assert_eq!(r.campaigns_with_min_clients(2).len(), 1);
         assert_eq!(r.single_client_campaigns().len(), 1);
         assert_eq!(r.multi_client_campaigns().len(), 1);
@@ -160,7 +182,10 @@ mod tests {
 
     #[test]
     fn server_count_dedups() {
-        let r = report(vec![campaign(&[0, 1], false, 2), campaign(&[1, 2], false, 2)]);
+        let r = report(vec![
+            campaign(&[0, 1], false, 2),
+            campaign(&[1, 2], false, 2),
+        ]);
         assert_eq!(r.inferred_server_count(), 3);
     }
 

@@ -9,12 +9,12 @@
 //! new clients).
 
 use crate::report::SmashReport;
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use smash_trace::TraceDataset;
 use std::collections::BTreeSet;
 
 /// One day's classification (Fig. 7 row).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DayDelta {
     /// Servers inferred today that were already known.
     pub persistent: Vec<String>,
@@ -26,6 +26,13 @@ pub struct DayDelta {
     /// Infected clients first seen today.
     pub new_clients: Vec<String>,
 }
+
+impl_json_struct!(DayDelta {
+    persistent,
+    agile,
+    new_campaign,
+    new_clients
+});
 
 impl DayDelta {
     /// Total servers inferred today.
@@ -50,12 +57,18 @@ impl DayDelta {
 /// assert!(day1.persistent.is_empty());
 /// assert_eq!(day1.server_count(), report.inferred_server_count());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CampaignTracker {
     known_servers: BTreeSet<String>,
     known_clients: BTreeSet<String>,
     days_observed: usize,
 }
+
+impl_json_struct!(CampaignTracker {
+    known_servers,
+    known_clients,
+    days_observed
+});
 
 impl CampaignTracker {
     /// Creates an empty tracker.
@@ -141,7 +154,13 @@ mod tests {
         let mut records = Vec::new();
         for bot in bots {
             for d in domains {
-                records.push(HttpRecord::new(0, bot, d, "66.0.0.1", "/gate/login.php?p=1"));
+                records.push(HttpRecord::new(
+                    0,
+                    bot,
+                    d,
+                    "66.0.0.1",
+                    "/gate/login.php?p=1",
+                ));
             }
             // Background so bots aren't the only clients in the trace.
             for s in 0..6 {
@@ -163,7 +182,10 @@ mod tests {
 
     #[test]
     fn first_day_is_all_new() {
-        let ds = day(&["cc1.biz", "cc2.biz", "cc3.biz", "cc4.biz", "cc5.biz"], &["b1", "b2"]);
+        let ds = day(
+            &["cc1.biz", "cc2.biz", "cc3.biz", "cc4.biz", "cc5.biz"],
+            &["b1", "b2"],
+        );
         let report = run(&ds);
         let mut tracker = CampaignTracker::new();
         let delta = tracker.observe(&report, &ds);
@@ -175,7 +197,10 @@ mod tests {
 
     #[test]
     fn same_servers_next_day_are_persistent() {
-        let ds = day(&["cc1.biz", "cc2.biz", "cc3.biz", "cc4.biz", "cc5.biz"], &["b1", "b2"]);
+        let ds = day(
+            &["cc1.biz", "cc2.biz", "cc3.biz", "cc4.biz", "cc5.biz"],
+            &["b1", "b2"],
+        );
         let report = run(&ds);
         let mut tracker = CampaignTracker::new();
         tracker.observe(&report, &ds);
@@ -187,8 +212,14 @@ mod tests {
 
     #[test]
     fn rotated_domains_under_known_bots_are_agile() {
-        let d1 = day(&["a1.biz", "a2.biz", "a3.biz", "a4.biz", "a5.biz"], &["b1", "b2"]);
-        let d2 = day(&["z1.biz", "z2.biz", "z3.biz", "z4.biz", "z5.biz"], &["b1", "b2"]);
+        let d1 = day(
+            &["a1.biz", "a2.biz", "a3.biz", "a4.biz", "a5.biz"],
+            &["b1", "b2"],
+        );
+        let d2 = day(
+            &["z1.biz", "z2.biz", "z3.biz", "z4.biz", "z5.biz"],
+            &["b1", "b2"],
+        );
         let mut tracker = CampaignTracker::new();
         tracker.observe(&run(&d1), &d1);
         let delta = tracker.observe(&run(&d2), &d2);
@@ -198,8 +229,14 @@ mod tests {
 
     #[test]
     fn fresh_bots_and_servers_are_a_new_campaign() {
-        let d1 = day(&["a1.biz", "a2.biz", "a3.biz", "a4.biz", "a5.biz"], &["b1", "b2"]);
-        let d2 = day(&["z1.biz", "z2.biz", "z3.biz", "z4.biz", "z5.biz"], &["c8", "c9"]);
+        let d1 = day(
+            &["a1.biz", "a2.biz", "a3.biz", "a4.biz", "a5.biz"],
+            &["b1", "b2"],
+        );
+        let d2 = day(
+            &["z1.biz", "z2.biz", "z3.biz", "z4.biz", "z5.biz"],
+            &["c8", "c9"],
+        );
         let mut tracker = CampaignTracker::new();
         tracker.observe(&run(&d1), &d1);
         let delta = tracker.observe(&run(&d2), &d2);

@@ -1,6 +1,5 @@
 //! Property-based tests over the pipeline's algorithmic invariants.
 
-use proptest::prelude::*;
 use smash_core::ash::{Ash, MinedDimension};
 use smash_core::correlation::correlate;
 use smash_core::dimensions::DimensionKind;
@@ -8,6 +7,7 @@ use smash_core::math::{erf, phi};
 use smash_core::pruning::prune;
 use smash_core::{Smash, SmashConfig};
 use smash_graph::{GraphBuilder, Partition};
+use smash_support::check::{cases, Gen};
 use smash_trace::{HttpRecord, TraceDataset};
 use smash_whois::WhoisRegistry;
 use std::collections::HashMap;
@@ -54,117 +54,177 @@ fn flat_dataset(n_servers: usize, clients: usize) -> TraceDataset {
     TraceDataset::from_records(records)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn erf_bounded_odd_monotone() {
+    cases(64).run(
+        |g| g.range(-6.0f64..6.0),
+        |&x| {
+            let v = erf(x);
+            assert!((-1.0..=1.0).contains(&v));
+            assert!((erf(-x) + v).abs() < 1e-9);
+            assert!(erf(x + 0.01) >= v - 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn erf_bounded_odd_monotone(x in -6.0f64..6.0) {
-        let v = erf(x);
-        prop_assert!((-1.0..=1.0).contains(&v));
-        prop_assert!((erf(-x) + v).abs() < 1e-9);
-        prop_assert!(erf(x + 0.01) >= v - 1e-9);
-    }
+#[test]
+fn phi_is_a_cdf() {
+    cases(64).run(
+        |g| {
+            (
+                g.range(-50.0f64..50.0),
+                g.range(0.0f64..10.0),
+                g.range(0.5f64..10.0),
+            )
+        },
+        |&(x, mu, sigma)| {
+            let v = phi(x, mu, sigma);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(phi(x + 0.1, mu, sigma) >= v - 1e-12);
+        },
+    );
+}
 
-    #[test]
-    fn phi_is_a_cdf(x in -50.0f64..50.0, mu in 0.0f64..10.0, sigma in 0.5f64..10.0) {
-        let v = phi(x, mu, sigma);
-        prop_assert!((0.0..=1.0).contains(&v));
-        prop_assert!(phi(x + 0.1, mu, sigma) >= v - 1e-12);
-    }
-
-    #[test]
-    fn correlation_scores_bounded_by_dimension_count(
-        herd_size in 2usize..20,
-        n_secondary in 0usize..4,
-        density in 0.01f64..1.0,
-    ) {
-        let members: Vec<u32> = (0..herd_size as u32).collect();
-        let ds = flat_dataset(herd_size, 3);
-        let main = dim_from_herds(DimensionKind::Client, vec![members.clone()], density);
-        let secondaries: Vec<MinedDimension> = (0..n_secondary)
-            .map(|_| dim_from_herds(DimensionKind::UriFile, vec![members.clone()], density))
-            .collect();
-        let cfg = SmashConfig::default().with_threshold(0.0);
-        let out = correlate(&ds, &main, &secondaries, &cfg);
-        // Every score lies in [0, n_secondary] (each dimension contributes
-        // at most density² · φ ≤ 1).
-        for ca in &out {
-            for &s in &ca.scores {
-                prop_assert!(s >= 0.0 && s <= n_secondary as f64 + 1e-9, "score {}", s);
+#[test]
+fn correlation_scores_bounded_by_dimension_count() {
+    cases(64).run(
+        |g| {
+            (
+                g.range(2usize..20),
+                g.range(0usize..4),
+                g.range(0.01f64..1.0),
+            )
+        },
+        |&(herd_size, n_secondary, density)| {
+            let members: Vec<u32> = (0..herd_size as u32).collect();
+            let ds = flat_dataset(herd_size, 3);
+            let main = dim_from_herds(DimensionKind::Client, vec![members.clone()], density);
+            let secondaries: Vec<MinedDimension> = (0..n_secondary)
+                .map(|_| dim_from_herds(DimensionKind::UriFile, vec![members.clone()], density))
+                .collect();
+            let cfg = SmashConfig::default().with_threshold(0.0);
+            let out = correlate(&ds, &main, &secondaries, &cfg);
+            // Every score lies in [0, n_secondary] (each dimension contributes
+            // at most density² · φ ≤ 1).
+            for ca in &out {
+                for &s in &ca.scores {
+                    assert!(s >= 0.0 && s <= n_secondary as f64 + 1e-9, "score {}", s);
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn correlation_is_monotone_in_threshold(
-        herd_size in 4usize..16,
-        t1 in 0.0f64..1.0,
-        dt in 0.0f64..1.0,
-    ) {
-        let members: Vec<u32> = (0..herd_size as u32).collect();
-        let ds = flat_dataset(herd_size, 3);
-        let main = dim_from_herds(DimensionKind::Client, vec![members.clone()], 1.0);
-        let sec = vec![
-            dim_from_herds(DimensionKind::UriFile, vec![members.clone()], 1.0),
-            dim_from_herds(DimensionKind::IpSet, vec![members], 0.7),
-        ];
-        let lo = correlate(&ds, &main, &sec, &SmashConfig::default().with_threshold(t1));
-        let hi = correlate(&ds, &main, &sec, &SmashConfig::default().with_threshold(t1 + dt));
-        let count = |v: &[smash_core::correlation::CorrelatedAsh]| -> usize {
-            v.iter().map(|c| c.servers.len()).sum()
-        };
-        prop_assert!(count(&lo) >= count(&hi));
-    }
+#[test]
+fn correlation_is_monotone_in_threshold() {
+    cases(64).run(
+        |g| {
+            (
+                g.range(4usize..16),
+                g.range(0.0f64..1.0),
+                g.range(0.0f64..1.0),
+            )
+        },
+        |&(herd_size, t1, dt)| {
+            let members: Vec<u32> = (0..herd_size as u32).collect();
+            let ds = flat_dataset(herd_size, 3);
+            let main = dim_from_herds(DimensionKind::Client, vec![members.clone()], 1.0);
+            let sec = vec![
+                dim_from_herds(DimensionKind::UriFile, vec![members.clone()], 1.0),
+                dim_from_herds(DimensionKind::IpSet, vec![members.clone()], 0.7),
+            ];
+            let lo = correlate(&ds, &main, &sec, &SmashConfig::default().with_threshold(t1));
+            let hi = correlate(
+                &ds,
+                &main,
+                &sec,
+                &SmashConfig::default().with_threshold(t1 + dt),
+            );
+            let count = |v: &[smash_core::correlation::CorrelatedAsh]| -> usize {
+                v.iter().map(|c| c.servers.len()).sum()
+            };
+            assert!(count(&lo) >= count(&hi));
+        },
+    );
+}
 
-    #[test]
-    fn pruning_never_returns_duplicates_or_small_groups(
-        n_servers in 1usize..12,
-        min_size in 1usize..4,
-    ) {
-        let mut records = Vec::new();
-        for s in 0..n_servers {
-            records.push(HttpRecord::new(0, "c", &format!("s{s}.com"), "1.1.1.1", "/x"));
-        }
-        let ds = TraceDataset::from_records(records);
-        let servers: Vec<u32> = ds.server_ids().collect();
-        if let Some(out) = prune(&ds, &servers, min_size) {
-            prop_assert!(out.len() >= min_size);
-            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
-        }
-    }
+#[test]
+fn pruning_never_returns_duplicates_or_small_groups() {
+    cases(64).run(
+        |g| (g.range(1usize..12), g.range(1usize..4)),
+        |&(n_servers, min_size)| {
+            let mut records = Vec::new();
+            for s in 0..n_servers {
+                records.push(HttpRecord::new(
+                    0,
+                    "c",
+                    &format!("s{s}.com"),
+                    "1.1.1.1",
+                    "/x",
+                ));
+            }
+            let ds = TraceDataset::from_records(records);
+            let servers: Vec<u32> = ds.server_ids().collect();
+            if let Some(out) = prune(&ds, &servers, min_size) {
+                assert!(out.len() >= min_size);
+                assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn pipeline_never_panics_on_arbitrary_small_traces(
-        recs in prop::collection::vec(
-            ("[a-d]", "[a-f]{3}\\.(com|biz)", 0u8..4, "/[a-z]{1,6}(\\.php)?(\\?k=[0-9])?", 0u64..86_400),
-            1..60,
-        )
-    ) {
-        let records: Vec<HttpRecord> = recs
-            .iter()
-            .map(|(c, h, ip, uri, ts)| {
-                HttpRecord::new(*ts, c, h, &format!("10.0.0.{ip}"), uri)
+/// A URI drawn from `/[a-z]{1,6}(\.php)?(\?k=[0-9])?`.
+fn small_uri(g: &mut Gen) -> String {
+    let mut uri = format!("/{}", g.string(1..=6, "abcdefghijklmnopqrstuvwxyz"));
+    if g.bool(0.5) {
+        uri.push_str(".php");
+    }
+    if g.bool(0.5) {
+        uri.push_str("?k=");
+        uri.push_str(&g.string(1..=1, "0123456789"));
+    }
+    uri
+}
+
+#[test]
+fn pipeline_never_panics_on_arbitrary_small_traces() {
+    cases(64).run(
+        |g| {
+            g.vec(1..60, |g| {
+                (
+                    g.string(1..=1, "abcd"),
+                    format!("{}.{}", g.string(3..=3, "abcdef"), *g.pick(&["com", "biz"])),
+                    g.range(0u8..4),
+                    small_uri(g),
+                    g.range(0u64..86_400),
+                )
             })
-            .collect();
-        let ds = TraceDataset::from_records(records);
-        let report = Smash::new(
-            SmashConfig::default()
-                .with_param_pattern_dimension(true)
-                .with_timing_dimension(true),
-        )
-        .run(&ds, &WhoisRegistry::new());
-        // Structural invariants of the report.
-        for c in &report.campaigns {
-            prop_assert!(c.server_count() >= 2);
-            prop_assert_eq!(c.servers.len(), c.server_ids.len());
-            prop_assert_eq!(c.servers.len(), c.scores.len());
-            prop_assert_eq!(c.servers.len(), c.dimensions.len());
-            prop_assert!(c.server_ids.windows(2).all(|w| w[0] < w[1]));
-            prop_assert_eq!(c.single_client, c.client_count <= 1);
-        }
-        prop_assert_eq!(
-            report.kept_servers + report.dropped_popular,
-            ds.server_count()
-        );
-    }
+        },
+        |recs| {
+            let records: Vec<HttpRecord> = recs
+                .iter()
+                .map(|(c, h, ip, uri, ts)| HttpRecord::new(*ts, c, h, &format!("10.0.0.{ip}"), uri))
+                .collect();
+            let ds = TraceDataset::from_records(records);
+            let report = Smash::new(
+                SmashConfig::default()
+                    .with_param_pattern_dimension(true)
+                    .with_timing_dimension(true),
+            )
+            .run(&ds, &WhoisRegistry::new());
+            // Structural invariants of the report.
+            for c in &report.campaigns {
+                assert!(c.server_count() >= 2);
+                assert_eq!(c.servers.len(), c.server_ids.len());
+                assert_eq!(c.servers.len(), c.scores.len());
+                assert_eq!(c.servers.len(), c.dimensions.len());
+                assert!(c.server_ids.windows(2).all(|w| w[0] < w[1]));
+                assert_eq!(c.single_client, c.client_count <= 1);
+            }
+            assert_eq!(
+                report.kept_servers + report.dropped_popular,
+                ds.server_count()
+            );
+        },
+    );
 }

@@ -65,7 +65,11 @@ fn main() {
         let started = std::time::Instant::now();
         let out = (e.run)(seed);
         println!("================================================================");
-        println!("{} (seed {seed}, {:.1}s)", e.title, started.elapsed().as_secs_f64());
+        println!(
+            "{} (seed {seed}, {:.1}s)",
+            e.title,
+            started.elapsed().as_secs_f64()
+        );
         println!("================================================================");
         println!("{out}");
         if let Some(dir) = &out_dir {

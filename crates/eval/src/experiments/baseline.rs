@@ -56,7 +56,12 @@ pub fn run(seed: u64) -> String {
     categories.sort_by_key(|(_, planted, ..)| std::cmp::Reverse(*planted));
     let (mut tp_s, mut tp_b, mut planted_total) = (0, 0, 0);
     for (cat, planted, s, b) in &categories {
-        t.row(vec![cat.to_string(), planted.to_string(), s.to_string(), b.to_string()]);
+        t.row(vec![
+            cat.to_string(),
+            planted.to_string(),
+            s.to_string(),
+            b.to_string(),
+        ]);
         planted_total += planted;
         tp_s += s;
         tp_b += b;
@@ -103,7 +108,9 @@ mod tests {
             // Compromised/attacked *benign* servers.
             if matches!(
                 truth.category,
-                ActivityCategory::Downloading | ActivityCategory::IframeInjection | ActivityCategory::WebScanner
+                ActivityCategory::Downloading
+                    | ActivityCategory::IframeInjection
+                    | ActivityCategory::WebScanner
             ) {
                 total += 1;
                 if report.campaigns.iter().any(|c| c.contains_server(server)) {

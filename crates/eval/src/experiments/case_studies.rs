@@ -39,7 +39,13 @@ fn render_case(data: &ScenarioData, report: &SmashReport, name: &str, title: &st
             }
         }
     }
-    let mut t = TextTable::new(vec!["Category", "Server", "URI file", "UserAgent", "Params"]);
+    let mut t = TextTable::new(vec![
+        "Category",
+        "Server",
+        "URI file",
+        "UserAgent",
+        "Params",
+    ]);
     let mut shown = 0;
     for server in &best.servers {
         if shown >= 12 {
@@ -74,7 +80,9 @@ fn render_case(data: &ScenarioData, report: &SmashReport, name: &str, title: &st
             server.clone(),
             file,
             data.dataset.user_agent_name(rec.user_agent).to_string(),
-            data.dataset.param_pattern_name(rec.param_pattern).to_string(),
+            data.dataset
+                .param_pattern_name(rec.param_pattern)
+                .to_string(),
         ]);
         shown += 1;
     }

@@ -38,7 +38,10 @@ pub fn split_campaign_scenario(seed: u64) -> (TraceDataset, WhoisRegistry, Vec<S
     // Synchronized polling bursts, deterministic in the seed.
     let bursts = [20_000 + (seed % 7) * 1000, 55_000 + (seed % 5) * 1000];
     for (i, d) in domains.iter().enumerate() {
-        for (bi, bot) in ["client-00001", "client-00002", "client-00003"].iter().enumerate() {
+        for (bi, bot) in ["client-00001", "client-00002", "client-00003"]
+            .iter()
+            .enumerate()
+        {
             for (wi, w) in bursts.iter().enumerate() {
                 records.push(
                     HttpRecord::new(
@@ -54,10 +57,19 @@ pub fn split_campaign_scenario(seed: u64) -> (TraceDataset, WhoisRegistry, Vec<S
             }
         }
     }
-    (TraceDataset::from_records(records), data.whois.clone(), domains)
+    (
+        TraceDataset::from_records(records),
+        data.whois.clone(),
+        domains,
+    )
 }
 
-fn recovered(ds: &TraceDataset, whois: &WhoisRegistry, config: SmashConfig, domains: &[String]) -> usize {
+fn recovered(
+    ds: &TraceDataset,
+    whois: &WhoisRegistry,
+    config: SmashConfig,
+    domains: &[String],
+) -> usize {
     let report = Smash::new(config).run(ds, whois);
     domains
         .iter()
@@ -85,8 +97,14 @@ pub fn run(seed: u64) -> String {
     );
     let mut t = TextTable::new(vec!["configuration", "split-campaign servers recovered"]);
     t.row(vec!["paper dimensions only".into(), format!("{base}/8")]);
-    t.row(vec!["+ parameter-pattern".into(), format!("{with_param}/8")]);
-    t.row(vec!["+ parameter-pattern + timing".into(), format!("{with_both}/8")]);
+    t.row(vec![
+        "+ parameter-pattern".into(),
+        format!("{with_param}/8"),
+    ]);
+    t.row(vec![
+        "+ parameter-pattern + timing".into(),
+        format!("{with_both}/8"),
+    ]);
     // Sanity: the extensions must not regress the planted baseline herds.
     let data = Scenario::small_day(seed).generate();
     let base_all = run_smash(&data, SmashConfig::default()).inferred_server_count();

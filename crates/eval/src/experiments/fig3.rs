@@ -56,8 +56,8 @@ pub fn run(seed: u64) -> String {
             file_sum += ds.files_of(s).len();
             file_union.extend(ds.files_of(s).iter().copied());
         }
-        let shared_content = !file_union.is_empty()
-            && (file_sum as f64 / file_union.len() as f64) >= 1.8;
+        let shared_content =
+            !file_union.is_empty() && (file_sum as f64 / file_union.len() as f64) >= 1.8;
 
         if 2 * truth_malicious > n {
             malicious += 1;
@@ -74,11 +74,36 @@ pub fn run(seed: u64) -> String {
     let total = (referrer + redirection + content + malicious + unknown).max(1);
     let pct = |x: usize| format!("{:.0}%", 100.0 * x as f64 / total as f64);
     let mut t = TextTable::new(vec!["group type", "count", "share", "paper"]);
-    t.row(vec!["referrer groups".into(), referrer.to_string(), pct(referrer), "60%".into()]);
-    t.row(vec!["redirection groups".into(), redirection.to_string(), pct(redirection), "10%".into()]);
-    t.row(vec!["similar content".into(), content.to_string(), pct(content), "8%".into()]);
-    t.row(vec!["unknown".into(), unknown.to_string(), pct(unknown), "18%".into()]);
-    t.row(vec!["malicious".into(), malicious.to_string(), pct(malicious), "4%".into()]);
+    t.row(vec![
+        "referrer groups".into(),
+        referrer.to_string(),
+        pct(referrer),
+        "60%".into(),
+    ]);
+    t.row(vec![
+        "redirection groups".into(),
+        redirection.to_string(),
+        pct(redirection),
+        "10%".into(),
+    ]);
+    t.row(vec![
+        "similar content".into(),
+        content.to_string(),
+        pct(content),
+        "8%".into(),
+    ]);
+    t.row(vec![
+        "unknown".into(),
+        unknown.to_string(),
+        pct(unknown),
+        "18%".into(),
+    ]);
+    t.row(vec![
+        "malicious".into(),
+        malicious.to_string(),
+        pct(malicious),
+        "4%".into(),
+    ]);
     format!(
         "Figure 3 / §V-C1 — composition of main-dimension (client-similarity) herds\n\
          ({} multi-client herds classified)\n\n{}",

@@ -13,11 +13,7 @@ pub fn run(seed: u64) -> String {
     let report = run_smash(&data, SmashConfig::default());
     let sizes: Vec<usize> = report.campaigns.iter().map(|c| c.server_count()).collect();
     let clients: Vec<usize> = report.campaigns.iter().map(|c| c.client_count).collect();
-    let single = report
-        .campaigns
-        .iter()
-        .filter(|c| c.single_client)
-        .count();
+    let single = report.campaigns.iter().filter(|c| c.single_client).count();
     format!(
         "Figure 6 — campaign size and client count distributions\n\
          ({} campaigns; {} single-client — paper: 75% of campaigns have one client)\n\n{}\n{}",

@@ -78,7 +78,13 @@ mod tests {
         let s1: BTreeSet<&String> = d1.campaigns.iter().flat_map(|c| &c.servers).collect();
         // Persistent campaigns overlap; agile ones rotate — so the two
         // days intersect but neither contains the other.
-        assert!(s0.intersection(&s1).next().is_some(), "persistent servers missing");
-        assert!(s1.difference(&s0).next().is_some(), "agile rotation missing");
+        assert!(
+            s0.intersection(&s1).next().is_some(),
+            "persistent servers missing"
+        );
+        assert!(
+            s1.difference(&s0).next().is_some(),
+            "agile rotation missing"
+        );
     }
 }

@@ -76,6 +76,9 @@ mod tests {
             .skip_while(|l| !l.starts_with("dimension combination"))
             .nth(2)
             .unwrap_or("");
-        assert!(first_row.contains("uri-file"), "dominant combo: {first_row}");
+        assert!(
+            first_row.contains("uri-file"),
+            "dominant combo: {first_row}"
+        );
     }
 }

@@ -20,8 +20,8 @@ pub fn run_fig9(seed: u64) -> String {
         .map(|s| idf(&data.dataset, s))
         .collect();
     let pre = filter_popular(&data.dataset, 200);
-    let kept_frac = pre.kept.len() as f64
-        / (pre.kept.len() + pre.dropped_popular.len()).max(1) as f64;
+    let kept_frac =
+        pre.kept.len() as f64 / (pre.kept.len() + pre.dropped_popular.len()).max(1) as f64;
     let mal_below_10 = malicious.iter().filter(|&&v| v < 10).count();
     format!(
         "Figure 9 — IDF (popularity) distributions\n\

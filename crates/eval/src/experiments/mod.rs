@@ -4,13 +4,13 @@ pub mod ablation;
 pub mod baseline;
 pub mod case_studies;
 pub mod extensions;
-pub mod shapes;
-pub mod stability;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod figs910;
+pub mod shapes;
+pub mod stability;
 pub mod table1;
 pub mod table4;
 pub mod tables1112;

@@ -30,14 +30,19 @@ pub fn run(seed: u64) -> String {
     let campaigns: Vec<_> = runs.iter().map(|r| r.campaign_breakdown()).collect();
 
     // (i) FP count decreases monotonically with thresh, ~0 at 1.5.
-    let fp_mono = servers.windows(2).all(|w| w[0].false_positives >= w[1].false_positives);
+    let fp_mono = servers
+        .windows(2)
+        .all(|w| w[0].false_positives >= w[1].false_positives);
     let fp_end = servers[3].fp_updated;
     checks.push(Check {
         name: "FPs fall with threshold; FP(updated) ~0 at 1.5",
         pass: fp_mono && fp_end <= 3,
         detail: format!(
             "fp = {:?}, updated at 1.5 = {fp_end}",
-            servers.iter().map(|b| b.false_positives).collect::<Vec<_>>()
+            servers
+                .iter()
+                .map(|b| b.false_positives)
+                .collect::<Vec<_>>()
         ),
     });
 
@@ -61,7 +66,10 @@ pub fn run(seed: u64) -> String {
             }
         }
     }
-    let file = dim_counts.get(&DimensionKind::UriFile).copied().unwrap_or(0);
+    let file = dim_counts
+        .get(&DimensionKind::UriFile)
+        .copied()
+        .unwrap_or(0);
     let ip = dim_counts.get(&DimensionKind::IpSet).copied().unwrap_or(0);
     let whois = dim_counts.get(&DimensionKind::Whois).copied().unwrap_or(0);
     checks.push(Check {
@@ -80,7 +88,10 @@ pub fn run(seed: u64) -> String {
     checks.push(Check {
         name: "torrent/TeamViewer noise is the dominant FP source",
         pass: 2 * b.fp_updated <= b.false_positives.max(1),
-        detail: format!("{} FPs -> {} after noise removal", b.false_positives, b.fp_updated),
+        detail: format!(
+            "{} FPs -> {} after noise removal",
+            b.false_positives, b.fp_updated
+        ),
     });
 
     // (v) Zero-day: servers only the 2013 IDS set knows are inferred.
@@ -95,7 +106,10 @@ pub fn run(seed: u64) -> String {
     checks.push(Check {
         name: "most inferred servers are previously unknown",
         pass: b.new_servers + b.suspicious > confirmed,
-        detail: format!("{} new+suspicious vs {confirmed} confirmed", b.new_servers + b.suspicious),
+        detail: format!(
+            "{} new+suspicious vs {confirmed} confirmed",
+            b.new_servers + b.suspicious
+        ),
     });
 
     // (vii) Campaign counts fall with the threshold.
@@ -103,7 +117,10 @@ pub fn run(seed: u64) -> String {
     checks.push(Check {
         name: "campaign counts fall with the threshold",
         pass: camp_mono,
-        detail: format!("{:?}", campaigns.iter().map(|c| c.smash).collect::<Vec<_>>()),
+        detail: format!(
+            "{:?}",
+            campaigns.iter().map(|c| c.smash).collect::<Vec<_>>()
+        ),
     });
 
     let mut t = TextTable::new(vec!["shape claim", "verdict", "measured"]);
@@ -119,7 +136,11 @@ pub fn run(seed: u64) -> String {
     format!(
         "Shape checklist (DESIGN.md §4) over Data2011day, seed {seed}\n\n{}\noverall: {}\n",
         t.render(),
-        if all_pass { "ALL SHAPES HOLD" } else { "SHAPE REGRESSION" }
+        if all_pass {
+            "ALL SHAPES HOLD"
+        } else {
+            "SHAPE REGRESSION"
+        }
     )
 }
 

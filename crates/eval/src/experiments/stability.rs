@@ -15,7 +15,14 @@ pub const SEEDS: [u64; 10] = [1, 2, 3, 5, 7, 11, 13, 17, 21, 99];
 /// Runs the pipeline on `Data2011day` for every seed and reports the
 /// truth metrics.
 pub fn run(_seed: u64) -> String {
-    let mut t = TextTable::new(vec!["seed", "precision", "recall", "F1", "noise hits", "missed"]);
+    let mut t = TextTable::new(vec![
+        "seed",
+        "precision",
+        "recall",
+        "F1",
+        "noise hits",
+        "missed",
+    ]);
     let mut sum_p = 0.0;
     let mut sum_r = 0.0;
     let mut min_r: f64 = 1.0;
@@ -70,7 +77,11 @@ mod tests {
                 .flat_map(|c| c.servers.iter().map(String::as_str))
                 .collect();
             let m = TruthMetrics::score(&data.truth, inferred);
-            assert!(m.precision() >= 0.95, "seed {seed}: precision {}", m.precision());
+            assert!(
+                m.precision() >= 0.95,
+                "seed {seed}: precision {}",
+                m.precision()
+            );
             assert!(m.recall() >= 0.85, "seed {seed}: recall {}", m.recall());
         }
     }

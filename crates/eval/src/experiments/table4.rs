@@ -37,7 +37,10 @@ pub fn run(seed: u64) -> String {
     for (k, v) in counts {
         t.row(vec![k, v.to_string()]);
     }
-    format!("Table IV — attack categories of inferred servers\n\n{}", t.render())
+    format!(
+        "Table IV — attack categories of inferred servers\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -62,13 +62,25 @@ pub fn run_table2(seed: u64) -> String {
     let get = |ds: usize, ti: usize| -> &CampaignBreakdown { &sweeps[ds].campaigns[ti] };
     let mut t = TextTable::new(header());
     t.row(row("SMASH", |d, i| get(d, i).smash.to_string()));
-    t.row(row("IDS 2012 total", |d, i| get(d, i).ids2012_total.to_string()));
-    t.row(row("IDS 2013 total", |d, i| get(d, i).ids2013_total.to_string()));
-    t.row(row("IDS 2012 partial", |d, i| get(d, i).ids2012_partial.to_string()));
-    t.row(row("IDS 2013 partial", |d, i| get(d, i).ids2013_partial.to_string()));
-    t.row(row("Blacklist partial", |d, i| get(d, i).blacklist_partial.to_string()));
+    t.row(row("IDS 2012 total", |d, i| {
+        get(d, i).ids2012_total.to_string()
+    }));
+    t.row(row("IDS 2013 total", |d, i| {
+        get(d, i).ids2013_total.to_string()
+    }));
+    t.row(row("IDS 2012 partial", |d, i| {
+        get(d, i).ids2012_partial.to_string()
+    }));
+    t.row(row("IDS 2013 partial", |d, i| {
+        get(d, i).ids2013_partial.to_string()
+    }));
+    t.row(row("Blacklist partial", |d, i| {
+        get(d, i).blacklist_partial.to_string()
+    }));
     t.row(row("Suspicious", |d, i| get(d, i).suspicious.to_string()));
-    t.row(row("False Positives", |d, i| get(d, i).false_positives.to_string()));
+    t.row(row("False Positives", |d, i| {
+        get(d, i).false_positives.to_string()
+    }));
     t.row(row("FP (Updated)", |d, i| get(d, i).fp_updated.to_string()));
     format!(
         "Table II — number of malicious campaigns (multi-client) vs inference threshold\n\n{}",
@@ -91,13 +103,18 @@ pub fn run_table3(seed: u64) -> String {
     t.row(row("Blacklist", |d, i| get(d, i).blacklist.to_string()));
     t.row(row("New Servers", |d, i| get(d, i).new_servers.to_string()));
     t.row(row("Suspicious", |d, i| get(d, i).suspicious.to_string()));
-    t.row(row("False Positives", |d, i| get(d, i).false_positives.to_string()));
+    t.row(row("False Positives", |d, i| {
+        get(d, i).false_positives.to_string()
+    }));
     t.row(row("FP (Updated)", |d, i| get(d, i).fp_updated.to_string()));
     t.row(row("FP rate", |d, i| {
         format!("{:.3}%", 100.0 * get(d, i).fp_rate(sweeps[d].total_servers))
     }));
     t.row(row("FP rate (Updated)", |d, i| {
-        format!("{:.3}%", 100.0 * get(d, i).fp_rate_updated(sweeps[d].total_servers))
+        format!(
+            "{:.3}%",
+            100.0 * get(d, i).fp_rate_updated(sweeps[d].total_servers)
+        )
     }));
     let mult_08 = get(0, 1)
         .discovery_multiplier()
@@ -122,7 +139,10 @@ mod tests {
         let data = Scenario::small_day(9).generate();
         let s = sweep(&data);
         for w in s.servers.windows(2) {
-            assert!(w[0].smash >= w[1].smash, "server counts must not grow with thresh");
+            assert!(
+                w[0].smash >= w[1].smash,
+                "server counts must not grow with thresh"
+            );
         }
         for w in s.campaigns.windows(2) {
             assert!(

@@ -43,8 +43,12 @@ pub fn run_table5(seed: u64) -> String {
         r
     };
     t.row(row("SMASH", &|b| b.smash));
-    t.row(row("IDS 2013 total", &|b| b.ids2013_total + b.ids2012_total));
-    t.row(row("IDS 2013 partial", &|b| b.ids2013_partial + b.ids2012_partial));
+    t.row(row("IDS 2013 total", &|b| {
+        b.ids2013_total + b.ids2012_total
+    }));
+    t.row(row("IDS 2013 partial", &|b| {
+        b.ids2013_partial + b.ids2012_partial
+    }));
     t.row(row("Blacklist", &|b| b.blacklist_partial));
     t.row(row("Suspicious", &|b| b.suspicious));
     t.row(row("False Positives", &|b| b.false_positives));

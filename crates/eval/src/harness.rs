@@ -2,9 +2,7 @@
 //! output against the simulated label sources.
 
 use smash_core::{Smash, SmashConfig, SmashReport};
-use smash_groundtruth::{
-    CampaignBreakdown, JudgedCampaign, ServerBreakdown, VerdictEngine,
-};
+use smash_groundtruth::{CampaignBreakdown, JudgedCampaign, ServerBreakdown, VerdictEngine};
 use smash_synth::ScenarioData;
 
 /// One day run: pipeline report plus judged campaigns, split by the
@@ -47,9 +45,17 @@ pub fn run_smash(data: &ScenarioData, config: SmashConfig) -> SmashReport {
 }
 
 /// Judges a report's campaigns against the day's label sources.
-pub fn judge_report(data: &ScenarioData, report: &SmashReport) -> (Vec<JudgedCampaign>, Vec<JudgedCampaign>) {
-    let engine = VerdictEngine::new(&data.dataset, &data.ids2012, &data.ids2013, &data.blacklists)
-        .with_truth(&data.truth);
+pub fn judge_report(
+    data: &ScenarioData,
+    report: &SmashReport,
+) -> (Vec<JudgedCampaign>, Vec<JudgedCampaign>) {
+    let engine = VerdictEngine::new(
+        &data.dataset,
+        &data.ids2012,
+        &data.ids2013,
+        &data.blacklists,
+    )
+    .with_truth(&data.truth);
     let mut multi = Vec::new();
     let mut single = Vec::new();
     for c in &report.campaigns {

@@ -9,7 +9,7 @@
 //! is exactly the sparse product `AᵀA` restricted to its non-zero
 //! off-diagonal entries.
 
-use rayon::prelude::*;
+use smash_support::par;
 use std::collections::HashMap;
 
 /// Accumulates posting lists and computes pairwise co-occurrence counts.
@@ -95,23 +95,23 @@ impl CooccurrenceCounter {
         if self.postings.len() < 64 {
             return self.counts();
         }
-        let shards = rayon::current_num_threads().max(1);
+        let shards = par::current_num_threads().max(1);
         let chunk = self.postings.len().div_ceil(shards);
-        self.postings
-            .par_chunks(chunk)
-            .map(|chunk| {
-                let mut m = HashMap::new();
-                for posting in chunk {
-                    accumulate(posting, &mut m);
-                }
+        par::par_fold_chunks(
+            &self.postings,
+            chunk,
+            HashMap::new,
+            |mut m, posting| {
+                accumulate(posting, &mut m);
                 m
-            })
-            .reduce(HashMap::new, |a, b| {
+            },
+            |a, b| {
                 if a.len() < b.len() {
                     return merge(b, a);
                 }
                 merge(a, b)
-            })
+            },
+        )
     }
 }
 
@@ -123,7 +123,10 @@ fn accumulate(posting: &[u32], out: &mut HashMap<(u32, u32), u32>) {
     }
 }
 
-fn merge(mut big: HashMap<(u32, u32), u32>, small: HashMap<(u32, u32), u32>) -> HashMap<(u32, u32), u32> {
+fn merge(
+    mut big: HashMap<(u32, u32), u32>,
+    small: HashMap<(u32, u32), u32>,
+) -> HashMap<(u32, u32), u32> {
     for (k, v) in small {
         *big.entry(k).or_insert(0) += v;
     }

@@ -51,10 +51,7 @@ pub fn to_dot(graph: &Graph, opts: &DotOptions<'_>) -> String {
         if opts.skip_isolated && graph.neighbors(u).is_empty() {
             continue;
         }
-        let label = opts
-            .label
-            .map(|f| f(u))
-            .unwrap_or_else(|| u.to_string());
+        let label = opts.label.map(|f| f(u)).unwrap_or_else(|| u.to_string());
         let color = opts
             .partition
             .map(|p| PALETTE[p.community_of(u) as usize % PALETTE.len()])

@@ -1,6 +1,6 @@
 //! Weighted undirected graphs with compact node ids.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// Compact node identifier used throughout the graph substrate.
@@ -27,7 +27,7 @@ pub type NodeId = u32;
 /// assert_eq!(g.edge_count(), 2);
 /// assert!((g.degree(1) - 2.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     /// adj[u] = sorted list of (neighbor, weight); self-loop stored once.
     adj: Vec<Vec<(NodeId, f64)>>,
@@ -37,6 +37,13 @@ pub struct Graph {
     total_weight: f64,
     edge_count: usize,
 }
+
+impl_json_struct!(Graph {
+    adj,
+    degree,
+    total_weight,
+    edge_count
+});
 
 impl Graph {
     /// Number of nodes (including isolated ones).
@@ -76,7 +83,9 @@ impl Graph {
     /// Weight of the edge `(u, v)`, or `None` if absent.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let row = &self.adj[u as usize];
-        row.binary_search_by_key(&v, |&(n, _)| n).ok().map(|i| row[i].1)
+        row.binary_search_by_key(&v, |&(n, _)| n)
+            .ok()
+            .map(|i| row[i].1)
     }
 
     /// Iterates over every undirected edge once as `(u, v, w)` with `u <= v`.
@@ -135,7 +144,10 @@ impl GraphBuilder {
     ///
     /// Panics if `weight` is not finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> &mut Self {
-        assert!(weight.is_finite(), "edge weight must be finite, got {weight}");
+        assert!(
+            weight.is_finite(),
+            "edge weight must be finite, got {weight}"
+        );
         self.ensure_node(u);
         self.ensure_node(v);
         let key = if u <= v { (u, v) } else { (v, u) };

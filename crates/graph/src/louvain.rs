@@ -8,14 +8,12 @@
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::modularity::modularity;
 use crate::partition::Partition;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use smash_support::rng::{DetRng, SeedableRng, SliceRandom};
 
 /// Configurable Louvain runner.
 ///
 /// Deterministic for a fixed seed: node visit order inside each local-move
-/// pass is shuffled by a seeded ChaCha RNG.
+/// pass is shuffled by a seeded SplitMix64 RNG.
 ///
 /// # Example
 ///
@@ -69,7 +67,10 @@ impl Louvain {
     ///
     /// Panics if `min_gain` is negative or not finite.
     pub fn with_min_gain(mut self, min_gain: f64) -> Self {
-        assert!(min_gain.is_finite() && min_gain >= 0.0, "min_gain must be a non-negative finite value");
+        assert!(
+            min_gain.is_finite() && min_gain >= 0.0,
+            "min_gain must be a non-negative finite value"
+        );
         self.min_gain = min_gain;
         self
     }
@@ -87,7 +88,7 @@ impl Louvain {
         if n == 0 {
             return Partition::from_assignment(vec![]);
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         // node -> community over original nodes, refined level by level.
         let mut membership: Vec<u32> = (0..n as u32).collect();
         let mut level_graph = graph.clone();
@@ -111,7 +112,7 @@ impl Louvain {
 
     /// One level of local moves. Returns the raw assignment and whether any
     /// node changed community.
-    fn one_level(&self, g: &Graph, rng: &mut ChaCha8Rng) -> (Vec<u32>, bool) {
+    fn one_level(&self, g: &Graph, rng: &mut DetRng) -> (Vec<u32>, bool) {
         let n = g.node_count();
         let two_m = 2.0 * g.total_weight();
         let mut community: Vec<u32> = (0..n as u32).collect();

@@ -1,17 +1,22 @@
 //! Node-to-community assignments produced by community detection.
 
 use crate::graph::NodeId;
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 
 /// An assignment of every node to exactly one community.
 ///
 /// Community ids are dense (`0..community_count`) and deterministic: they
 /// are renumbered in order of each community's smallest member node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     assignment: Vec<u32>,
     community_count: usize,
 }
+
+impl_json_struct!(Partition {
+    assignment,
+    community_count
+});
 
 impl Partition {
     /// Builds a partition from a raw per-node community label vector,

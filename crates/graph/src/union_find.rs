@@ -27,7 +27,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `len` singleton sets.
     pub fn new(len: usize) -> Self {
-        assert!(len <= u32::MAX as usize, "UnionFind supports at most u32::MAX elements");
+        assert!(
+            len <= u32::MAX as usize,
+            "UnionFind supports at most u32::MAX elements"
+        );
         Self {
             parent: (0..len as u32).collect(),
             rank: vec![0; len],
@@ -103,7 +106,8 @@ impl UnionFind {
     /// deterministic.
     pub fn into_groups(mut self) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for x in 0..n {
             let r = self.find(x);
             by_root.entry(r).or_default().push(x);

@@ -1,168 +1,219 @@
 //! Property-based tests for the graph substrate invariants.
 
-use proptest::prelude::*;
 use smash_graph::{
     connected_components, density, modularity, CooccurrenceCounter, GraphBuilder, Louvain,
     Partition, UnionFind,
 };
+use smash_support::check::{check, Gen};
 
-/// Strategy: a random small edge list over up to `n` nodes.
-fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    prop::collection::vec((0..n, 0..n, 0.01f64..10.0), 0..max_edges)
+/// Generator: a random small edge list over up to `n` nodes.
+fn edges(g: &mut Gen, n: u32, max_edges: usize) -> Vec<(u32, u32, f64)> {
+    g.vec(0..max_edges, |g| {
+        (g.range(0..n), g.range(0..n), g.range(0.01f64..10.0))
+    })
 }
 
-proptest! {
-    #[test]
-    fn louvain_partition_covers_all_nodes(es in edges(30, 60), seed in 0u64..1000) {
-        let mut b = GraphBuilder::new();
-        b.ensure_node(29);
-        for (u, v, w) in es {
-            b.add_edge(u, v, w);
-        }
-        let g = b.build();
-        let p = Louvain::new().with_seed(seed).run(&g);
-        prop_assert_eq!(p.node_count(), g.node_count());
-        // Every community id is within range and every community non-empty.
-        let comms = p.communities();
-        prop_assert_eq!(comms.len(), p.community_count());
-        prop_assert!(comms.iter().all(|c| !c.is_empty()));
-        let total: usize = comms.iter().map(|c| c.len()).sum();
-        prop_assert_eq!(total, g.node_count());
-    }
-
-    #[test]
-    fn louvain_never_beaten_by_singletons(es in edges(25, 50)) {
-        let mut b = GraphBuilder::new();
-        b.ensure_node(24);
-        for (u, v, w) in es {
-            b.add_edge(u, v, w);
-        }
-        let g = b.build();
-        let p = Louvain::new().run(&g);
-        let q = modularity(&g, &p);
-        let q0 = modularity(&g, &Partition::singletons(g.node_count()));
-        prop_assert!(q >= q0 - 1e-9, "louvain q={} < singleton q={}", q, q0);
-    }
-
-    #[test]
-    fn louvain_communities_are_connected_subsets_of_components(es in edges(20, 40)) {
-        let mut b = GraphBuilder::new();
-        b.ensure_node(19);
-        for (u, v, w) in es {
-            b.add_edge(u, v, w);
-        }
-        let g = b.build();
-        let p = Louvain::new().run(&g);
-        let cc = connected_components(&g);
-        // No Louvain community may straddle two connected components.
-        for comm in p.communities() {
-            let first = cc.community_of(comm[0]);
-            for &node in &comm {
-                prop_assert_eq!(cc.community_of(node), first);
+#[test]
+fn louvain_partition_covers_all_nodes() {
+    check(
+        |g| (edges(g, 30, 60), g.range(0u64..1000)),
+        |(es, seed)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_node(29);
+            for (u, v, w) in es {
+                b.add_edge(*u, *v, *w);
             }
-        }
-    }
+            let g = b.build();
+            let p = Louvain::new().with_seed(*seed).run(&g);
+            assert_eq!(p.node_count(), g.node_count());
+            // Every community id is within range and every community non-empty.
+            let comms = p.communities();
+            assert_eq!(comms.len(), p.community_count());
+            assert!(comms.iter().all(|c| !c.is_empty()));
+            let total: usize = comms.iter().map(|c| c.len()).sum();
+            assert_eq!(total, g.node_count());
+        },
+    );
+}
 
-    #[test]
-    fn modularity_in_range(es in edges(20, 50), labels in prop::collection::vec(0u32..5, 20)) {
-        let mut b = GraphBuilder::new();
-        b.ensure_node(19);
-        for (u, v, w) in es {
-            b.add_edge(u, v, w);
-        }
-        let g = b.build();
-        let p = Partition::from_assignment(labels);
-        let q = modularity(&g, &p);
-        prop_assert!((-1.0..=1.0).contains(&q), "q = {}", q);
-    }
-
-    #[test]
-    fn density_in_unit_range(es in edges(15, 30), members in prop::collection::vec(0u32..15, 0..10)) {
-        let mut b = GraphBuilder::new();
-        b.ensure_node(14);
-        for (u, v, w) in es {
-            if u != v {
-                b.add_edge(u, v, w);
+#[test]
+fn louvain_never_beaten_by_singletons() {
+    check(
+        |g| edges(g, 25, 50),
+        |es| {
+            let mut b = GraphBuilder::new();
+            b.ensure_node(24);
+            for (u, v, w) in es {
+                b.add_edge(*u, *v, *w);
             }
-        }
-        let g = b.build();
-        let mut m = members;
-        m.sort_unstable();
-        m.dedup();
-        let d = density(&g, &m);
-        prop_assert!((0.0..=1.0).contains(&d), "d = {}", d);
-    }
+            let g = b.build();
+            let p = Louvain::new().run(&g);
+            let q = modularity(&g, &p);
+            let q0 = modularity(&g, &Partition::singletons(g.node_count()));
+            assert!(q >= q0 - 1e-9, "louvain q={q} < singleton q={q0}");
+        },
+    );
+}
 
-    #[test]
-    fn union_find_equivalence_is_transitive(pairs in prop::collection::vec((0usize..20, 0usize..20), 0..30)) {
-        let mut uf = UnionFind::new(20);
-        for (a, b) in &pairs {
-            uf.union(*a, *b);
-        }
-        let groups = uf.clone().into_groups();
-        let total: usize = groups.iter().map(|g| g.len()).sum();
-        prop_assert_eq!(total, 20);
-        prop_assert_eq!(groups.len(), uf.set_count());
-        // Each member of a group agrees on its representative.
-        for g in &groups {
-            for &x in g {
-                prop_assert!(uf.same(g[0], x));
+#[test]
+fn louvain_communities_are_connected_subsets_of_components() {
+    check(
+        |g| edges(g, 20, 40),
+        |es| {
+            let mut b = GraphBuilder::new();
+            b.ensure_node(19);
+            for (u, v, w) in es {
+                b.add_edge(*u, *v, *w);
             }
-        }
-    }
-
-    #[test]
-    fn cooccurrence_counts_match_bruteforce(postings in prop::collection::vec(prop::collection::vec(0u32..12, 0..6), 0..12)) {
-        let mut c = CooccurrenceCounter::new();
-        for p in &postings {
-            c.add_posting(p.iter().copied());
-        }
-        let fast = c.counts();
-        // Brute force over all pairs.
-        let mut slow: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
-        for p in &postings {
-            let mut s: Vec<u32> = p.clone();
-            s.sort_unstable();
-            s.dedup();
-            for i in 0..s.len() {
-                for j in (i + 1)..s.len() {
-                    *slow.entry((s[i], s[j])).or_insert(0) += 1;
+            let g = b.build();
+            let p = Louvain::new().run(&g);
+            let cc = connected_components(&g);
+            // No Louvain community may straddle two connected components.
+            for comm in p.communities() {
+                let first = cc.community_of(comm[0]);
+                for &node in &comm {
+                    assert_eq!(cc.community_of(node), first);
                 }
             }
-        }
-        prop_assert_eq!(fast, slow);
-    }
+        },
+    );
+}
 
-    #[test]
-    fn cooccurrence_parallel_matches_sequential(postings in prop::collection::vec(prop::collection::vec(0u32..20, 2..5), 70..120)) {
-        let mut c = CooccurrenceCounter::new();
-        for p in &postings {
-            c.add_posting(p.iter().copied());
-        }
-        prop_assert_eq!(c.counts(), c.counts_parallel());
-    }
+#[test]
+fn modularity_in_range() {
+    check(
+        |g| (edges(g, 20, 50), g.vec(20..=20, |g| g.range(0u32..5))),
+        |(es, labels)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_node(19);
+            for (u, v, w) in es {
+                b.add_edge(*u, *v, *w);
+            }
+            let g = b.build();
+            let p = Partition::from_assignment(labels.clone());
+            let q = modularity(&g, &p);
+            assert!((-1.0..=1.0).contains(&q), "q = {q}");
+        },
+    );
+}
 
-    #[test]
-    fn graph_total_weight_is_edge_sum(es in edges(15, 30)) {
-        let mut b = GraphBuilder::new();
-        for (u, v, w) in &es {
-            b.add_edge(*u, *v, *w);
-        }
-        let g = b.build();
-        let sum: f64 = g.edges().map(|(_, _, w)| w).sum();
-        prop_assert!((sum - g.total_weight()).abs() < 1e-9);
-    }
+#[test]
+fn density_in_unit_range() {
+    check(
+        |g| (edges(g, 15, 30), g.vec(0..10, |g| g.range(0u32..15))),
+        |(es, members)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_node(14);
+            for (u, v, w) in es {
+                if u != v {
+                    b.add_edge(*u, *v, *w);
+                }
+            }
+            let g = b.build();
+            let mut m = members.clone();
+            m.sort_unstable();
+            m.dedup();
+            let d = density(&g, &m);
+            assert!((0.0..=1.0).contains(&d), "d = {d}");
+        },
+    );
+}
 
-    #[test]
-    fn graph_degree_symmetry(es in edges(15, 30)) {
-        let mut b = GraphBuilder::new();
-        for (u, v, w) in &es {
-            b.add_edge(*u, *v, *w);
-        }
-        let g = b.build();
-        // Sum of degrees equals 2 * total weight (handshake lemma,
-        // self-loops counted twice).
-        let deg_sum: f64 = (0..g.node_count()).map(|u| g.degree(u as u32)).sum();
-        prop_assert!((deg_sum - 2.0 * g.total_weight()).abs() < 1e-9);
-    }
+#[test]
+fn union_find_equivalence_is_transitive() {
+    check(
+        |g| g.vec(0..30, |g| (g.range(0usize..20), g.range(0usize..20))),
+        |pairs| {
+            let mut uf = UnionFind::new(20);
+            for (a, b) in pairs {
+                uf.union(*a, *b);
+            }
+            let groups = uf.clone().into_groups();
+            let total: usize = groups.iter().map(|g| g.len()).sum();
+            assert_eq!(total, 20);
+            assert_eq!(groups.len(), uf.set_count());
+            // Each member of a group agrees on its representative.
+            for g in &groups {
+                for &x in g {
+                    assert!(uf.same(g[0], x));
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn cooccurrence_counts_match_bruteforce() {
+    check(
+        |g| g.vec(0..12, |g| g.vec(0..6, |g| g.range(0u32..12))),
+        |postings| {
+            let mut c = CooccurrenceCounter::new();
+            for p in postings {
+                c.add_posting(p.iter().copied());
+            }
+            let fast = c.counts();
+            // Brute force over all pairs.
+            let mut slow: std::collections::HashMap<(u32, u32), u32> =
+                std::collections::HashMap::new();
+            for p in postings {
+                let mut s: Vec<u32> = p.clone();
+                s.sort_unstable();
+                s.dedup();
+                for i in 0..s.len() {
+                    for j in (i + 1)..s.len() {
+                        *slow.entry((s[i], s[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+            assert_eq!(fast, slow);
+        },
+    );
+}
+
+#[test]
+fn cooccurrence_parallel_matches_sequential() {
+    check(
+        |g| g.vec(70..120, |g| g.vec(2..5, |g| g.range(0u32..20))),
+        |postings| {
+            let mut c = CooccurrenceCounter::new();
+            for p in postings {
+                c.add_posting(p.iter().copied());
+            }
+            assert_eq!(c.counts(), c.counts_parallel());
+        },
+    );
+}
+
+#[test]
+fn graph_total_weight_is_edge_sum() {
+    check(
+        |g| edges(g, 15, 30),
+        |es| {
+            let mut b = GraphBuilder::new();
+            for (u, v, w) in es {
+                b.add_edge(*u, *v, *w);
+            }
+            let g = b.build();
+            let sum: f64 = g.edges().map(|(_, _, w)| w).sum();
+            assert!((sum - g.total_weight()).abs() < 1e-9);
+        },
+    );
+}
+
+#[test]
+fn graph_degree_symmetry() {
+    check(
+        |g| edges(g, 15, 30),
+        |es| {
+            let mut b = GraphBuilder::new();
+            for (u, v, w) in es {
+                b.add_edge(*u, *v, *w);
+            }
+            let g = b.build();
+            // Sum of degrees equals 2 * total weight (handshake lemma,
+            // self-loops counted twice).
+            let deg_sum: f64 = (0..g.node_count()).map(|u| g.degree(u as u32)).sum();
+            assert!((deg_sum - 2.0 * g.total_weight()).abs() < 1e-9);
+        },
+    );
 }

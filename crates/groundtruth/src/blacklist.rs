@@ -6,11 +6,11 @@
 //! two** of its member lists agree. We model each list as a partial-
 //! coverage name set and implement the aggregator rule.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::collections::HashSet;
 
 /// One blacklist: a named set of server names (domains or dotted IPs).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Blacklist {
     /// Human-readable list name (e.g. `"Malware Domain List"`).
     pub name: String,
@@ -19,6 +19,12 @@ pub struct Blacklist {
     pub aggregator: bool,
     entries: HashSet<String>,
 }
+
+impl_json_struct!(Blacklist {
+    name,
+    aggregator,
+    entries
+});
 
 impl Blacklist {
     /// Creates an empty list.
@@ -61,12 +67,17 @@ impl Blacklist {
 /// any listing on a non-aggregator list confirms; aggregator lists need at
 /// least two listings (their own entries count each listing separately via
 /// [`BlacklistSet::add_aggregator_listing`]).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BlacklistSet {
     lists: Vec<Blacklist>,
     /// server → number of member-list hits inside aggregator services.
     aggregator_hits: std::collections::HashMap<String, u32>,
 }
+
+impl_json_struct!(BlacklistSet {
+    lists,
+    aggregator_hits
+});
 
 impl BlacklistSet {
     /// Creates an empty set.

@@ -7,7 +7,7 @@
 //! set over a [`TraceDataset`] labels every server with the threat ids of
 //! the signatures its traffic matched.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use smash_trace::TraceDataset;
 use std::collections::{BTreeSet, HashMap};
 
@@ -16,7 +16,7 @@ use std::collections::{BTreeSet, HashMap};
 /// All specified matchers must hit on the *same request* for the signature
 /// to fire. At least one matcher should be set; an empty signature never
 /// fires.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Signature {
     /// Threat identifier reported on match (e.g. `"Trojan.Zbot"`).
     pub threat_id: String,
@@ -29,6 +29,14 @@ pub struct Signature {
     /// Exact server-name matcher (domain reputation entry).
     pub server: Option<String>,
 }
+
+impl_json_struct!(Signature {
+    threat_id,
+    uri_file,
+    param_pattern,
+    user_agent,
+    server
+});
 
 impl Signature {
     /// Creates a signature with the given threat id and no matchers.
@@ -73,11 +81,13 @@ impl Signature {
 
 /// A signature set run over a trace: maps server names to the threat ids
 /// that fired on their traffic.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Ids {
     /// Server name → threat ids that fired.
     labels: HashMap<String, BTreeSet<String>>,
 }
+
+impl_json_struct!(Ids { labels });
 
 impl Ids {
     /// Creates an IDS with no labels.
@@ -102,7 +112,10 @@ impl Ids {
             .map(|sig| Compiled {
                 sig,
                 file: sig.uri_file.as_deref().map(|f| dataset.file_id(f)),
-                param: sig.param_pattern.as_deref().map(|p| dataset.param_pattern_id(p)),
+                param: sig
+                    .param_pattern
+                    .as_deref()
+                    .map(|p| dataset.param_pattern_id(p)),
                 ua: sig.user_agent.as_deref().map(|u| dataset.user_agent_id(u)),
                 server: sig.server.as_deref().map(|s| dataset.server_id(s)),
             })
@@ -172,8 +185,14 @@ mod tests {
 
     fn dataset() -> TraceDataset {
         TraceDataset::from_records(vec![
-            HttpRecord::new(0, "bot1", "cc.evil.com", "1.1.1.1", "/gate/login.php?p=1&id=2")
-                .with_user_agent("KUKU v5.05exp"),
+            HttpRecord::new(
+                0,
+                "bot1",
+                "cc.evil.com",
+                "1.1.1.1",
+                "/gate/login.php?p=1&id=2",
+            )
+            .with_user_agent("KUKU v5.05exp"),
             HttpRecord::new(1, "c2", "shop.com", "2.2.2.2", "/login.php")
                 .with_user_agent("Mozilla/5.0"),
             HttpRecord::new(2, "bot1", "drop.evil.org", "3.3.3.3", "/up.php?d=x")
@@ -183,7 +202,9 @@ mod tests {
 
     #[test]
     fn file_plus_param_signature() {
-        let sig = Signature::new("Zbot").with_uri_file("login.php").with_param_pattern("p=[]&id=[]");
+        let sig = Signature::new("Zbot")
+            .with_uri_file("login.php")
+            .with_param_pattern("p=[]&id=[]");
         let ids = Ids::from_signatures(&[sig], &dataset());
         assert!(ids.detects("evil.com"));
         assert!(!ids.detects("shop.com")); // same file, no params

@@ -1,11 +1,25 @@
 //! Campaign and activity labels (paper Table IV taxonomy).
 
-use serde::{Deserialize, Serialize};
+use smash_support::json::{FromJson, Json, JsonError, ToJson};
+use smash_support::{impl_json_enum, impl_json_struct};
 use std::fmt;
 
 /// Identifier of a planted (ground-truth) campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CampaignId(pub u32);
+
+/// Transparent, like a derived newtype: serialized as the bare integer.
+impl ToJson for CampaignId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for CampaignId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(CampaignId)
+    }
+}
 
 impl fmt::Display for CampaignId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -16,7 +30,7 @@ impl fmt::Display for CampaignId {
 /// Whether a campaign is a *communication* activity (malware talking to
 /// malicious servers) or an *attacking* activity (malware attacking benign
 /// servers) — the paper's §I distinction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActivityKind {
     /// Malware ↔ malicious-server communication (C&C, download, …).
     Communication,
@@ -24,10 +38,15 @@ pub enum ActivityKind {
     Attacking,
 }
 
+impl_json_enum!(ActivityKind {
+    Communication,
+    Attacking
+});
+
 /// Fine-grained category of a server's role in malicious activity,
 /// mirroring the paper's Table IV plus the two noise sources it identifies
 /// as false-positive generators (§V-A1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActivityCategory {
     /// Command & control server.
     CommandAndControl,
@@ -51,14 +70,28 @@ pub enum ActivityCategory {
     TeamViewerNoise,
 }
 
+impl_json_enum!(ActivityCategory {
+    CommandAndControl,
+    Downloading,
+    WebExploit,
+    Phishing,
+    DropZone,
+    OtherMalicious,
+    WebScanner,
+    IframeInjection,
+    TorrentNoise,
+    TeamViewerNoise,
+});
+
 impl ActivityCategory {
     /// The activity kind this category belongs to. Noise categories are
     /// benign and belong to neither; they are reported as `None`.
     pub fn kind(self) -> Option<ActivityKind> {
         use ActivityCategory::*;
         match self {
-            CommandAndControl | Downloading | WebExploit | Phishing | DropZone
-            | OtherMalicious => Some(ActivityKind::Communication),
+            CommandAndControl | Downloading | WebExploit | Phishing | DropZone | OtherMalicious => {
+                Some(ActivityKind::Communication)
+            }
             WebScanner | IframeInjection => Some(ActivityKind::Attacking),
             TorrentNoise | TeamViewerNoise => None,
         }
@@ -67,7 +100,10 @@ impl ActivityCategory {
     /// `true` for the benign noise categories the paper calls out as the
     /// dominant false-positive sources (torrent + TeamViewer).
     pub fn is_noise(self) -> bool {
-        matches!(self, ActivityCategory::TorrentNoise | ActivityCategory::TeamViewerNoise)
+        matches!(
+            self,
+            ActivityCategory::TorrentNoise | ActivityCategory::TeamViewerNoise
+        )
     }
 
     /// `true` when servers of this category are actually malicious
@@ -96,7 +132,7 @@ impl fmt::Display for ActivityCategory {
 }
 
 /// Metadata of one planted campaign.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignInfo {
     /// Campaign identifier.
     pub id: CampaignId,
@@ -106,14 +142,22 @@ pub struct CampaignInfo {
     pub category: ActivityCategory,
 }
 
+impl_json_struct!(CampaignInfo { id, name, category });
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn kinds() {
-        assert_eq!(ActivityCategory::CommandAndControl.kind(), Some(ActivityKind::Communication));
-        assert_eq!(ActivityCategory::WebScanner.kind(), Some(ActivityKind::Attacking));
+        assert_eq!(
+            ActivityCategory::CommandAndControl.kind(),
+            Some(ActivityKind::Communication)
+        );
+        assert_eq!(
+            ActivityCategory::WebScanner.kind(),
+            Some(ActivityKind::Attacking)
+        );
         assert_eq!(ActivityCategory::TorrentNoise.kind(), None);
     }
 

@@ -3,10 +3,10 @@
 
 use crate::truth::GroundTruth;
 use crate::verdict::{CampaignVerdict, JudgedCampaign, ServerVerdict};
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 
 /// Campaign-level breakdown (one column of Table II).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CampaignBreakdown {
     /// Total inferred campaigns.
     pub smash: usize,
@@ -28,6 +28,18 @@ pub struct CampaignBreakdown {
     /// (torrent/TeamViewer) — the paper's "FP (Updated)" row.
     pub fp_updated: usize,
 }
+
+impl_json_struct!(CampaignBreakdown {
+    smash,
+    ids2012_total,
+    ids2013_total,
+    ids2012_partial,
+    ids2013_partial,
+    blacklist_partial,
+    suspicious,
+    false_positives,
+    fp_updated,
+});
 
 impl CampaignBreakdown {
     /// Tallies judged campaigns.
@@ -57,7 +69,7 @@ impl CampaignBreakdown {
 }
 
 /// Server-level breakdown (one column of Table III).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerBreakdown {
     /// Total servers in inferred campaigns.
     pub smash: usize,
@@ -76,6 +88,17 @@ pub struct ServerBreakdown {
     /// False positives after removing noise-herd servers.
     pub fp_updated: usize,
 }
+
+impl_json_struct!(ServerBreakdown {
+    smash,
+    ids2012,
+    ids2013,
+    blacklist,
+    new_servers,
+    suspicious,
+    false_positives,
+    fp_updated,
+});
 
 impl ServerBreakdown {
     /// Tallies servers across judged campaigns.
@@ -138,7 +161,7 @@ impl ServerBreakdown {
 /// truth (available only in synthetic evaluation — the real deployment
 /// has no oracle, which is why the paper's tables use the IDS/blacklist
 /// verdict taxonomy instead).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TruthMetrics {
     /// Inferred servers that are planted (non-noise) malicious-activity
     /// servers.
@@ -152,6 +175,13 @@ pub struct TruthMetrics {
     /// Planted servers the inference missed.
     pub false_negatives: usize,
 }
+
+impl_json_struct!(TruthMetrics {
+    true_positives,
+    false_positives,
+    noise_hits,
+    false_negatives
+});
 
 impl TruthMetrics {
     /// Scores a flat list of inferred server names against the truth.
@@ -228,10 +258,26 @@ mod tests {
     #[test]
     fn campaign_tally() {
         let js = vec![
-            judged(CampaignVerdict::Ids2012Total, &[ServerVerdict::Ids2012], false),
-            judged(CampaignVerdict::BlacklistPartial, &[ServerVerdict::Blacklist], false),
-            judged(CampaignVerdict::FalsePositive, &[ServerVerdict::FalsePositive], true),
-            judged(CampaignVerdict::FalsePositive, &[ServerVerdict::FalsePositive], false),
+            judged(
+                CampaignVerdict::Ids2012Total,
+                &[ServerVerdict::Ids2012],
+                false,
+            ),
+            judged(
+                CampaignVerdict::BlacklistPartial,
+                &[ServerVerdict::Blacklist],
+                false,
+            ),
+            judged(
+                CampaignVerdict::FalsePositive,
+                &[ServerVerdict::FalsePositive],
+                true,
+            ),
+            judged(
+                CampaignVerdict::FalsePositive,
+                &[ServerVerdict::FalsePositive],
+                false,
+            ),
         ];
         let b = CampaignBreakdown::from_judged(&js);
         assert_eq!(b.smash, 4);
@@ -246,10 +292,18 @@ mod tests {
         let js = vec![
             judged(
                 CampaignVerdict::Ids2012Partial,
-                &[ServerVerdict::Ids2012, ServerVerdict::NewServer, ServerVerdict::NewServer],
+                &[
+                    ServerVerdict::Ids2012,
+                    ServerVerdict::NewServer,
+                    ServerVerdict::NewServer,
+                ],
                 false,
             ),
-            judged(CampaignVerdict::FalsePositive, &[ServerVerdict::FalsePositive], true),
+            judged(
+                CampaignVerdict::FalsePositive,
+                &[ServerVerdict::FalsePositive],
+                true,
+            ),
         ];
         let b = ServerBreakdown::from_judged(&js);
         assert_eq!(b.smash, 4);

@@ -1,11 +1,11 @@
 //! The planted ground truth of a synthetic scenario.
 
 use crate::labels::{ActivityCategory, CampaignId, CampaignInfo};
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// Ground-truth information about one server (keyed by aggregated name).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerTruth {
     /// The campaign the server belongs to.
     pub campaign: CampaignId,
@@ -16,16 +16,24 @@ pub struct ServerTruth {
     pub defunct: bool,
 }
 
+impl_json_struct!(ServerTruth {
+    campaign,
+    category,
+    defunct
+});
+
 /// The complete planted truth of a scenario: campaigns and the servers
 /// involved in each.
 ///
 /// Servers are keyed by their *aggregated* name (second-level domain or
 /// dotted IP) so labels survive the dataset's preprocessing.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     campaigns: Vec<CampaignInfo>,
     servers: HashMap<String, ServerTruth>,
 }
+
+impl_json_struct!(GroundTruth { campaigns, servers });
 
 impl GroundTruth {
     /// Creates an empty ground truth.
@@ -109,7 +117,10 @@ impl GroundTruth {
 
     /// Number of servers involved in real (non-noise) campaign activity.
     pub fn malicious_server_count(&self) -> usize {
-        self.servers.values().filter(|t| !t.category.is_noise()).count()
+        self.servers
+            .values()
+            .filter(|t| !t.category.is_noise())
+            .count()
     }
 
     /// Iterates over `(server, truth)` pairs in arbitrary order.
@@ -155,7 +166,10 @@ mod tests {
     #[test]
     fn campaign_membership() {
         let gt = sample();
-        assert_eq!(gt.servers_of_campaign(CampaignId(0)), vec!["cc1.com", "cc2.com"]);
+        assert_eq!(
+            gt.servers_of_campaign(CampaignId(0)),
+            vec!["cc1.com", "cc2.com"]
+        );
         assert_eq!(gt.campaigns().len(), 2);
         assert_eq!(gt.campaign(CampaignId(0)).unwrap().name, "zeus");
     }

@@ -4,12 +4,12 @@
 use crate::blacklist::BlacklistSet;
 use crate::ids::Ids;
 use crate::truth::GroundTruth;
-use serde::{Deserialize, Serialize};
+use smash_support::{impl_json_enum, impl_json_struct};
 use smash_trace::TraceDataset;
 use std::collections::{HashMap, HashSet};
 
 /// Verdict for one inferred campaign (Table II rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CampaignVerdict {
     /// Every server confirmed by the 2012 IDS signatures.
     Ids2012Total,
@@ -28,8 +28,18 @@ pub enum CampaignVerdict {
     FalsePositive,
 }
 
+impl_json_enum!(CampaignVerdict {
+    Ids2012Total,
+    Ids2013Total,
+    Ids2012Partial,
+    Ids2013Partial,
+    BlacklistPartial,
+    Suspicious,
+    FalsePositive,
+});
+
 /// Verdict for one inferred server (Table III rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServerVerdict {
     /// Labeled by the 2012 IDS signatures.
     Ids2012,
@@ -47,8 +57,17 @@ pub enum ServerVerdict {
     FalsePositive,
 }
 
+impl_json_enum!(ServerVerdict {
+    Ids2012,
+    Ids2013,
+    Blacklist,
+    Suspicious,
+    NewServer,
+    FalsePositive,
+});
+
 /// One judged campaign: its verdict plus per-server verdicts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JudgedCampaign {
     /// Aggregated server names of the campaign.
     pub servers: Vec<String>,
@@ -60,6 +79,13 @@ pub struct JudgedCampaign {
     /// (torrent / TeamViewer) — excluded in the "FP (Updated)" rows.
     pub noise: bool,
 }
+
+impl_json_struct!(JudgedCampaign {
+    servers,
+    verdict,
+    server_verdicts,
+    noise
+});
 
 /// Applies the paper's confirmation logic to inferred campaigns.
 pub struct VerdictEngine<'a> {
@@ -100,7 +126,10 @@ impl<'a> VerdictEngine<'a> {
         let in_2012: Vec<bool> = servers.iter().map(|s| self.ids2012.detects(s)).collect();
         let in_2013: Vec<bool> = servers.iter().map(|s| self.ids2013.detects(s)).collect();
         let in_ids: Vec<bool> = (0..n).map(|i| in_2012[i] || in_2013[i]).collect();
-        let in_bl: Vec<bool> = servers.iter().map(|s| self.blacklists.confirmed(s)).collect();
+        let in_bl: Vec<bool> = servers
+            .iter()
+            .map(|s| self.blacklists.confirmed(s))
+            .collect();
 
         let any_2012 = in_2012.iter().any(|&b| b);
         let any_ids = in_ids.iter().any(|&b| b);
@@ -244,7 +273,6 @@ impl<'a> VerdictEngine<'a> {
         }
         out
     }
-
 }
 
 #[cfg(test)]
@@ -255,9 +283,12 @@ mod tests {
 
     fn dataset() -> TraceDataset {
         TraceDataset::from_records(vec![
-            HttpRecord::new(0, "b1", "cc1.com", "1.1.1.1", "/login.php?p=1").with_user_agent("BotUA"),
-            HttpRecord::new(1, "b1", "cc2.com", "1.1.1.1", "/login.php?p=2").with_user_agent("BotUA"),
-            HttpRecord::new(2, "b1", "cc3.com", "1.1.1.1", "/login.php?p=3").with_user_agent("BotUA"),
+            HttpRecord::new(0, "b1", "cc1.com", "1.1.1.1", "/login.php?p=1")
+                .with_user_agent("BotUA"),
+            HttpRecord::new(1, "b1", "cc2.com", "1.1.1.1", "/login.php?p=2")
+                .with_user_agent("BotUA"),
+            HttpRecord::new(2, "b1", "cc3.com", "1.1.1.1", "/login.php?p=3")
+                .with_user_agent("BotUA"),
             HttpRecord::new(3, "c9", "dead1.com", "2.2.2.2", "/x").with_status(404),
             HttpRecord::new(4, "c9", "dead2.com", "2.2.2.3", "/x").with_status(500),
             HttpRecord::new(5, "c2", "plain1.com", "3.3.3.1", "/index.html"),
@@ -281,7 +312,10 @@ mod tests {
         let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
         let j = eng.judge(&campaign(&["cc1.com", "cc2.com", "cc3.com"]));
         assert_eq!(j.verdict, CampaignVerdict::Ids2012Total);
-        assert!(j.server_verdicts.iter().all(|&v| v == ServerVerdict::Ids2012));
+        assert!(j
+            .server_verdicts
+            .iter()
+            .all(|&v| v == ServerVerdict::Ids2012));
     }
 
     #[test]
@@ -325,7 +359,10 @@ mod tests {
         let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
         let j = eng.judge(&campaign(&["dead1.com", "dead2.com"]));
         assert_eq!(j.verdict, CampaignVerdict::Suspicious);
-        assert!(j.server_verdicts.iter().all(|&v| v == ServerVerdict::Suspicious));
+        assert!(j
+            .server_verdicts
+            .iter()
+            .all(|&v| v == ServerVerdict::Suspicious));
     }
 
     #[test]
@@ -336,7 +373,11 @@ mod tests {
         let bl = BlacklistSet::new();
         let mut gt = GroundTruth::new();
         let c = gt.add_campaign("x", crate::labels::ActivityCategory::OtherMalicious);
-        gt.add_server("plain1.com", c, crate::labels::ActivityCategory::OtherMalicious);
+        gt.add_server(
+            "plain1.com",
+            c,
+            crate::labels::ActivityCategory::OtherMalicious,
+        );
         gt.set_defunct("plain1.com", true);
         let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl).with_truth(&gt);
         let j = eng.judge(&campaign(&["plain1.com"]));
@@ -352,7 +393,10 @@ mod tests {
         let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
         let j = eng.judge(&campaign(&["plain1.com", "plain2.com"]));
         assert_eq!(j.verdict, CampaignVerdict::FalsePositive);
-        assert!(j.server_verdicts.iter().all(|&v| v == ServerVerdict::FalsePositive));
+        assert!(j
+            .server_verdicts
+            .iter()
+            .all(|&v| v == ServerVerdict::FalsePositive));
         assert!(!j.noise);
     }
 
@@ -364,8 +408,16 @@ mod tests {
         let bl = BlacklistSet::new();
         let mut gt = GroundTruth::new();
         let c = gt.add_campaign("torrent", crate::labels::ActivityCategory::TorrentNoise);
-        gt.add_server("plain1.com", c, crate::labels::ActivityCategory::TorrentNoise);
-        gt.add_server("plain2.com", c, crate::labels::ActivityCategory::TorrentNoise);
+        gt.add_server(
+            "plain1.com",
+            c,
+            crate::labels::ActivityCategory::TorrentNoise,
+        );
+        gt.add_server(
+            "plain2.com",
+            c,
+            crate::labels::ActivityCategory::TorrentNoise,
+        );
         let eng = VerdictEngine::new(&ds, &ids12, &ids13, &bl).with_truth(&gt);
         let j = eng.judge(&campaign(&["plain1.com", "plain2.com"]));
         assert!(j.noise);

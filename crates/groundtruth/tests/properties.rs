@@ -1,11 +1,11 @@
 //! Property-based tests for the verdict taxonomy's totality and
 //! consistency.
 
-use proptest::prelude::*;
 use smash_groundtruth::{
     Blacklist, BlacklistSet, CampaignBreakdown, CampaignVerdict, Ids, ServerBreakdown,
     VerdictEngine,
 };
+use smash_support::check::{cases, check};
 use smash_trace::{HttpRecord, TraceDataset};
 
 /// A dataset over servers `s0.com..s<n>.com`, plus random labels.
@@ -18,7 +18,11 @@ fn setup(
 ) -> (TraceDataset, Ids, Ids, BlacklistSet) {
     let mut records = Vec::new();
     for i in 0..n {
-        let status = if err_mask.get(i).copied().unwrap_or(false) { 404 } else { 200 };
+        let status = if err_mask.get(i).copied().unwrap_or(false) {
+            404
+        } else {
+            200
+        };
         records.push(
             HttpRecord::new(0, "c1", &format!("s{i}.com"), "1.1.1.1", "/f.php").with_status(status),
         );
@@ -44,67 +48,97 @@ fn setup(
     (ds, ids12, ids13, set)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn every_campaign_gets_exactly_one_verdict() {
+    cases(128).run(
+        |g| {
+            (
+                g.range(1usize..10),
+                g.vec(10..=10, |g| g.bool(0.5)),
+                g.vec(10..=10, |g| g.bool(0.5)),
+                g.vec(10..=10, |g| g.bool(0.5)),
+                g.vec(10..=10, |g| g.bool(0.5)),
+            )
+        },
+        |(n, m12, m13, mbl, merr)| {
+            let n = *n;
+            let (ds, ids12, ids13, bl) = setup(n, m12, m13, mbl, merr);
+            let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
+            let engine = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
+            let judged = engine.judge(&servers);
+            assert_eq!(judged.server_verdicts.len(), n);
+            // Breakdowns are total: buckets sum to the inputs.
+            let cb = CampaignBreakdown::from_judged(std::slice::from_ref(&judged));
+            let bucket_sum = cb.ids2012_total
+                + cb.ids2013_total
+                + cb.ids2012_partial
+                + cb.ids2013_partial
+                + cb.blacklist_partial
+                + cb.suspicious
+                + cb.false_positives;
+            assert_eq!(bucket_sum, 1);
+            let sb = ServerBreakdown::from_judged(std::slice::from_ref(&judged));
+            let server_sum = sb.ids2012
+                + sb.ids2013
+                + sb.blacklist
+                + sb.new_servers
+                + sb.suspicious
+                + sb.false_positives;
+            assert_eq!(server_sum, n);
+            assert_eq!(sb.smash, n);
+        },
+    );
+}
 
-    #[test]
-    fn every_campaign_gets_exactly_one_verdict(
-        n in 1usize..10,
-        m12 in prop::collection::vec(any::<bool>(), 10),
-        m13 in prop::collection::vec(any::<bool>(), 10),
-        mbl in prop::collection::vec(any::<bool>(), 10),
-        merr in prop::collection::vec(any::<bool>(), 10),
-    ) {
-        let (ds, ids12, ids13, bl) = setup(n, &m12, &m13, &mbl, &merr);
-        let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
-        let engine = VerdictEngine::new(&ds, &ids12, &ids13, &bl);
-        let judged = engine.judge(&servers);
-        prop_assert_eq!(judged.server_verdicts.len(), n);
-        // Breakdowns are total: buckets sum to the inputs.
-        let cb = CampaignBreakdown::from_judged(std::slice::from_ref(&judged));
-        let bucket_sum = cb.ids2012_total + cb.ids2013_total + cb.ids2012_partial
-            + cb.ids2013_partial + cb.blacklist_partial + cb.suspicious + cb.false_positives;
-        prop_assert_eq!(bucket_sum, 1);
-        let sb = ServerBreakdown::from_judged(std::slice::from_ref(&judged));
-        let server_sum = sb.ids2012 + sb.ids2013 + sb.blacklist + sb.new_servers
-            + sb.suspicious + sb.false_positives;
-        prop_assert_eq!(server_sum, n);
-        prop_assert_eq!(sb.smash, n);
-    }
+#[test]
+fn full_ids2012_coverage_is_total() {
+    check(
+        |g| g.range(1usize..8),
+        |&n| {
+            let mask = vec![true; n];
+            let (ds, ids12, ids13, bl) = setup(n, &mask, &mask, &[], &[]);
+            let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
+            let judged = VerdictEngine::new(&ds, &ids12, &ids13, &bl).judge(&servers);
+            assert_eq!(judged.verdict, CampaignVerdict::Ids2012Total);
+        },
+    );
+}
 
-    #[test]
-    fn full_ids2012_coverage_is_total(n in 1usize..8) {
-        let mask = vec![true; n];
-        let (ds, ids12, ids13, bl) = setup(n, &mask, &mask, &[], &[]);
-        let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
-        let judged = VerdictEngine::new(&ds, &ids12, &ids13, &bl).judge(&servers);
-        prop_assert_eq!(judged.verdict, CampaignVerdict::Ids2012Total);
-    }
+#[test]
+fn all_errors_and_no_labels_is_suspicious() {
+    check(
+        |g| g.range(1usize..8),
+        |&n| {
+            let err = vec![true; n];
+            let (ds, ids12, ids13, bl) = setup(n, &[], &[], &[], &err);
+            let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
+            let judged = VerdictEngine::new(&ds, &ids12, &ids13, &bl).judge(&servers);
+            assert_eq!(judged.verdict, CampaignVerdict::Suspicious);
+        },
+    );
+}
 
-    #[test]
-    fn all_errors_and_no_labels_is_suspicious(n in 1usize..8) {
-        let err = vec![true; n];
-        let (ds, ids12, ids13, bl) = setup(n, &[], &[], &[], &err);
-        let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
-        let judged = VerdictEngine::new(&ds, &ids12, &ids13, &bl).judge(&servers);
-        prop_assert_eq!(judged.verdict, CampaignVerdict::Suspicious);
-    }
-
-    #[test]
-    fn verdict_priority_ids_over_blacklist(
-        n in 2usize..8,
-        mbl in prop::collection::vec(any::<bool>(), 8),
-    ) {
-        // One IDS-2012 hit anywhere makes the campaign IDS-partial (or
-        // total), regardless of blacklist listings.
-        let mut m12 = vec![false; n];
-        m12[0] = true;
-        let (ds, ids12, ids13, bl) = setup(n, &m12, &m12, &mbl, &[]);
-        let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
-        let judged = VerdictEngine::new(&ds, &ids12, &ids13, &bl).judge(&servers);
-        prop_assert!(matches!(
-            judged.verdict,
-            CampaignVerdict::Ids2012Partial | CampaignVerdict::Ids2012Total
-        ), "verdict {:?}", judged.verdict);
-    }
+#[test]
+fn verdict_priority_ids_over_blacklist() {
+    check(
+        |g| (g.range(2usize..8), g.vec(8..=8, |g| g.bool(0.5))),
+        |(n, mbl)| {
+            let n = *n;
+            // One IDS-2012 hit anywhere makes the campaign IDS-partial (or
+            // total), regardless of blacklist listings.
+            let mut m12 = vec![false; n];
+            m12[0] = true;
+            let (ds, ids12, ids13, bl) = setup(n, &m12, &m12, mbl, &[]);
+            let servers: Vec<String> = (0..n).map(|i| format!("s{i}.com")).collect();
+            let judged = VerdictEngine::new(&ds, &ids12, &ids13, &bl).judge(&servers);
+            assert!(
+                matches!(
+                    judged.verdict,
+                    CampaignVerdict::Ids2012Partial | CampaignVerdict::Ids2012Total
+                ),
+                "verdict {:?}",
+                judged.verdict
+            );
+        },
+    );
 }

@@ -1,0 +1,568 @@
+//! A seeded property-test harness replacing `proptest`.
+//!
+//! A property is a generator function `Fn(&mut Gen) -> T` plus a checker
+//! `Fn(&T)` that panics (usually via `assert!`) when the property is
+//! violated. The harness runs the checker over many generated cases,
+//! each derived deterministically from a per-case seed; on failure it
+//! greedily shrinks the counterexample via the [`Shrink`] trait and
+//! reports both the original and shrunk values along with the seed that
+//! reproduces the case.
+//!
+//! ```
+//! use smash_support::check::{check, Gen};
+//!
+//! check(
+//!     |g: &mut Gen| g.vec(0..20, |g| g.range(0u32..1000)),
+//!     |xs| {
+//!         let mut sorted = xs.clone();
+//!         sorted.sort();
+//!         assert_eq!(sorted.len(), xs.len());
+//!     },
+//! );
+//! ```
+//!
+//! Environment overrides:
+//!
+//! * `SMASH_CHECK_CASES` — number of cases per property (default 256).
+//! * `SMASH_CHECK_SEED` — base seed (decimal or `0x…` hex). A failure
+//!   report prints the failing case's seed; setting this variable to it
+//!   reproduces the failure as case 0.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use crate::rng::{Rng, SampleRange, SliceRandom, SplitMix64};
+
+const DEFAULT_CASES: u32 = 256;
+const DEFAULT_SEED: u64 = 0x5348_5243_4845_434b; // "SHRCHECK"
+const MAX_SHRINK_STEPS: u32 = 400;
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+// --------------------------------------------------------------- source
+
+/// The random source handed to generator functions.
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The underlying RNG, for call sites that want the raw trait API.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// A uniformly random `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// A uniform value in `range` (same ranges `Rng::gen_range` takes).
+    pub fn range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// A uniformly chosen reference into a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        xs.choose(&mut self.rng).expect("Gen::pick on empty slice")
+    }
+
+    /// A vector whose length is drawn from `len`, with elements from `f`.
+    pub fn vec<T, R, F>(&mut self, len: R, mut f: F) -> Vec<T>
+    where
+        R: SampleRange<usize>,
+        F: FnMut(&mut Gen) -> T,
+    {
+        let n = self.range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A string whose length is drawn from `len`, with characters chosen
+    /// uniformly from `alphabet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is empty.
+    pub fn string<R: SampleRange<usize>>(&mut self, len: R, alphabet: &str) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "Gen::string with empty alphabet");
+        let n = self.range(len);
+        (0..n).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// A lowercase ASCII identifier-ish string.
+    pub fn ident<R: SampleRange<usize>>(&mut self, len: R) -> String {
+        self.string(len, "abcdefghijklmnopqrstuvwxyz0123456789")
+    }
+}
+
+// -------------------------------------------------------------- discard
+
+/// Panic payload marking a case as discarded rather than failed.
+struct Discard;
+
+/// Skips the current case when `cond` is false (proptest's
+/// `prop_assume!`). Discarded cases are regenerated, not counted as
+/// failures; too many discards fail the property with a clear message.
+pub fn assume(cond: bool) {
+    if !cond {
+        panic::panic_any(Discard);
+    }
+}
+
+// -------------------------------------------------------------- shrink
+
+/// Produces smaller candidate values for counterexample minimization.
+///
+/// The default implementation yields no candidates, so opting a custom
+/// type out of shrinking is `impl Shrink for MyType {}`.
+pub trait Shrink: Sized {
+    /// Candidate replacements, roughly smallest-first. Each candidate
+    /// must be "smaller" by some well-founded measure or shrinking may
+    /// not terminate (the harness also enforces a hard step limit).
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    if *self > 1 {
+                        out.push(self / 2);
+                    }
+                    out.push(self - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    out.push(self / 2);
+                    out.push(self - self.signum());
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        if *self == 0.0 || !self.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0, self / 2.0];
+        if self.fract() != 0.0 {
+            out.push(self.trunc());
+        }
+        out
+    }
+}
+
+impl Shrink for f32 {
+    fn shrink(&self) -> Vec<Self> {
+        f64::from(*self)
+            .shrink()
+            .into_iter()
+            .map(|x| x as f32)
+            .collect()
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<Self> {
+        if *self > 'a' {
+            vec!['a']
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = vec![String::new()];
+        let half = chars.len() / 2;
+        if half > 0 {
+            out.push(chars[..half].iter().collect());
+            out.push(chars[half..].iter().collect());
+        }
+        out.push(chars[..chars.len() - 1].iter().collect());
+        out.dedup();
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![Vec::new()];
+        let half = self.len() / 2;
+        if half > 0 {
+            out.push(self[..half].to_vec());
+            out.push(self[half..].to_vec());
+        }
+        // Remove single elements at up to 8 evenly spaced positions.
+        let step = (self.len() / 8).max(1);
+        for i in (0..self.len()).step_by(step) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink single elements in place at up to 8 positions.
+        for i in (0..self.len()).step_by(step) {
+            for cand in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// -------------------------------------------------------------- runner
+
+thread_local! {
+    /// While set, the panic hook stays quiet: expected panics from
+    /// failing/discarded cases are part of normal harness operation.
+    static SILENT: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SILENT.with(Cell::get) {
+                default(info);
+            }
+        }));
+    });
+}
+
+enum CaseResult {
+    Pass,
+    Discarded,
+    Fail(String),
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn run_case<T, P: Fn(&T)>(prop: &P, value: &T) -> CaseResult {
+    install_quiet_hook();
+    SILENT.with(|s| s.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    SILENT.with(|s| s.set(false));
+    match result {
+        Ok(()) => CaseResult::Pass,
+        Err(payload) if payload.is::<Discard>() => CaseResult::Discarded,
+        Err(payload) => CaseResult::Fail(panic_message(payload.as_ref())),
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be an integer, got `{raw}`"),
+    }
+}
+
+/// A configured property runner. Construct with [`cases`] or [`check`].
+pub struct Checker {
+    cases: u32,
+    seed: u64,
+}
+
+/// A runner that executes `n` cases per property (before env overrides).
+pub fn cases(n: u32) -> Checker {
+    Checker {
+        cases: env_u64("SMASH_CHECK_CASES").map_or(n, |v| v as u32),
+        seed: env_u64("SMASH_CHECK_SEED").unwrap_or(DEFAULT_SEED),
+    }
+}
+
+/// Runs a property over the default number of cases (256).
+pub fn check<T, G, P>(gen: G, prop: P)
+where
+    T: Debug + Clone + Shrink,
+    G: Fn(&mut Gen) -> T,
+    P: Fn(&T),
+{
+    cases(DEFAULT_CASES).run(gen, prop);
+}
+
+impl Checker {
+    /// Runs the property; panics with a detailed report on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any generated case fails the property (after
+    /// shrinking), or when too many cases are discarded via [`assume`].
+    pub fn run<T, G, P>(&self, gen: G, prop: P)
+    where
+        T: Debug + Clone + Shrink,
+        G: Fn(&mut Gen) -> T,
+        P: Fn(&T),
+    {
+        let max_discards = (self.cases as u64) * 16;
+        let mut discards = 0u64;
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < self.cases {
+            // Case 0 uses the base seed directly, so setting
+            // SMASH_CHECK_SEED to a reported case seed replays it.
+            let case_seed = self
+                .seed
+                .wrapping_add((case as u64 + attempt * self.cases as u64).wrapping_mul(GOLDEN));
+            let value = gen(&mut Gen::new(case_seed));
+            match run_case(&prop, &value) {
+                CaseResult::Pass => case += 1,
+                CaseResult::Discarded => {
+                    discards += 1;
+                    attempt += 1;
+                    assert!(
+                        discards <= max_discards,
+                        "property discarded {discards} cases (limit {max_discards}); \
+                         weaken the assume() or adjust the generator",
+                    );
+                }
+                CaseResult::Fail(msg) => {
+                    let (shrunk, steps, final_msg) = self.shrink_failure(&prop, value.clone(), msg);
+                    panic!(
+                        "property failed at case {case}/{} (case seed {case_seed:#x})\n\
+                         original: {value:?}\n\
+                         shrunk ({steps} steps): {shrunk:?}\n\
+                         error: {final_msg}\n\
+                         replay: SMASH_CHECK_SEED={case_seed:#x} SMASH_CHECK_CASES=1",
+                        self.cases,
+                    );
+                }
+            }
+        }
+    }
+
+    fn shrink_failure<T, P>(&self, prop: &P, original: T, msg: String) -> (T, u32, String)
+    where
+        T: Debug + Clone + Shrink,
+        P: Fn(&T),
+    {
+        let mut current = original;
+        let mut current_msg = msg;
+        let mut steps = 0u32;
+        'outer: while steps < MAX_SHRINK_STEPS {
+            for candidate in current.shrink() {
+                if let CaseResult::Fail(msg) = run_case(prop, &candidate) {
+                    current = candidate;
+                    current_msg = msg;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, steps, current_msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check(
+            |g| g.vec(0..30, |g| g.range(0u32..100)),
+            |xs| {
+                let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+                assert_eq!(doubled.len(), xs.len());
+            },
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let make = || {
+            let mut g = Gen::new(99);
+            (g.u64(), g.range(0..1000), g.ident(1..12), g.bool(0.5))
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn failing_property_reports_shrunk_counterexample() {
+        let result = std::panic::catch_unwind(|| {
+            cases(64).run(
+                |g| g.vec(0..40, |g| g.range(0u32..1000)),
+                |xs| assert!(xs.iter().all(|x| *x < 500), "found big element"),
+            );
+        });
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("property failed"), "got: {msg}");
+        assert!(msg.contains("shrunk"), "got: {msg}");
+        assert!(msg.contains("SMASH_CHECK_SEED="), "got: {msg}");
+        // Greedy shrinking should reduce the witness to a single element
+        // at the failure threshold.
+        assert!(msg.contains("[500]"), "got: {msg}");
+    }
+
+    #[test]
+    fn shrink_finds_minimal_integer() {
+        let result = std::panic::catch_unwind(|| {
+            cases(64).run(|g| g.range(0u64..100_000), |x| assert!(*x < 777));
+        });
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("shrunk"), "got: {msg}");
+        assert!(msg.contains("777"), "got: {msg}");
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        check(
+            |g| g.range(0u32..100),
+            |x| {
+                assume(x % 2 == 0);
+                assert_eq!(x % 2, 0);
+            },
+        );
+    }
+
+    #[test]
+    fn excessive_discards_fail_with_hint() {
+        let result = std::panic::catch_unwind(|| {
+            cases(8).run(|g| g.range(0u32..100), |_| assume(false));
+        });
+        let msg = panic_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("discarded"), "got: {msg}");
+    }
+
+    #[test]
+    fn custom_type_can_opt_out_of_shrinking() {
+        #[derive(Debug, Clone)]
+        struct Blob(#[allow(dead_code)] u64);
+        impl Shrink for Blob {}
+        assert!(Blob(42).shrink().is_empty());
+    }
+
+    #[test]
+    fn string_and_vec_shrinks_are_smaller() {
+        let s = "abcdef".to_owned();
+        assert!(s.shrink().iter().all(|c| c.len() < s.len()));
+        let v = vec![1u32, 2, 3, 4];
+        assert!(v
+            .shrink()
+            .iter()
+            .all(|c| { c.len() < v.len() || c.iter().zip(&v).any(|(a, b)| a < b) }));
+    }
+}

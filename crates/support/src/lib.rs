@@ -1,0 +1,31 @@
+//! # smash-support — the hermetic substrate of the SMASH workspace.
+//!
+//! The environment SMASH builds in is fully offline: no crates-io
+//! registry, no network. Every external dependency the workspace once
+//! pulled (`rand`, `rand_chacha`, `serde`, `serde_json`, `rayon`,
+//! `parking_lot`, `bytes`, `proptest`, `criterion`) is replaced here by a
+//! small, purpose-built, dependency-free implementation:
+//!
+//! * [`rng`] — a SplitMix64-based deterministic RNG with the `Rng` /
+//!   `SeedableRng` / `SliceRandom` trait surface the workspace uses.
+//! * [`json`] — a JSON value type, parser, writer, and the
+//!   [`ToJson`](json::ToJson) / [`FromJson`](json::FromJson) traits plus
+//!   derive-like macros replacing `serde`/`serde_json`.
+//! * [`par`] — scoped-thread `par_map` / chunked fold replacing `rayon`,
+//!   with a global thread-count override for determinism tests.
+//! * [`check`] — a seeded property-test harness with shrink-on-failure
+//!   and failure-seed reporting, replacing `proptest`.
+//! * [`bench`] — a wall-clock benchmark harness exposing the subset of
+//!   the `criterion` API the bench suite uses.
+//!
+//! Everything is deterministic by construction: seeded streams, sorted
+//! map serialization, and order-preserving parallel maps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod par;
+pub mod rng;

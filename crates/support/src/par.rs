@@ -1,0 +1,142 @@
+//! Scoped-thread data parallelism without `rayon`.
+//!
+//! Two primitives cover every parallel call site in the workspace:
+//! [`par_map`] (an order-preserving parallel map over a slice) and
+//! [`par_fold_chunks`] (fold fixed-size chunks in parallel, then merge
+//! the partials in chunk order). Both fall back to the plain sequential
+//! path when one thread is requested, and the worker count can be pinned
+//! globally with [`set_thread_count`] — the hook the determinism
+//! regression test uses to prove single- and multi-threaded runs emit
+//! byte-identical reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 means "auto": use the machine's available parallelism.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the number of worker threads used by [`par_map`] and
+/// [`par_fold_chunks`]. Pass 0 to restore auto-detection.
+pub fn set_thread_count(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on scoped worker threads, preserving input
+/// order in the output.
+///
+/// Work is distributed by atomic index stealing, so uneven item costs
+/// balance across workers. A panic in `f` propagates to the caller once
+/// the scope joins.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().unwrap();
+    pairs.sort_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Folds `items` in parallel: each `chunk_size`-sized chunk is folded
+/// with `fold` starting from `make()`, and the per-chunk accumulators
+/// are merged sequentially **in chunk order** with `merge`, so the
+/// result is deterministic even when `merge` is order-sensitive.
+pub fn par_fold_chunks<T, A, M, F, G>(
+    items: &[T],
+    chunk_size: usize,
+    make: M,
+    fold: F,
+    merge: G,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    M: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    G: Fn(A, A) -> A,
+{
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    let partials = par_map(&chunks, |chunk| {
+        chunk.iter().fold(make(), |acc, item| fold(acc, item))
+    });
+    partials.into_iter().fold(make(), merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |x| *x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_fold_chunks_matches_sequential() {
+        let items: Vec<u64> = (1..=500).collect();
+        let total = par_fold_chunks(&items, 37, || 0u64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(total, 500 * 501 / 2);
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        // Runs in its own process-global; restore auto mode afterwards so
+        // other tests see the default.
+        set_thread_count(1);
+        assert_eq!(current_num_threads(), 1);
+        let out = par_map(&[1u32, 2, 3, 4], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9, 16]);
+        set_thread_count(0);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        par_map(&items, |x| {
+            if *x == 50 {
+                panic!("boom");
+            }
+            *x
+        });
+    }
+}

@@ -1,0 +1,383 @@
+//! Deterministic random number generation.
+//!
+//! A [SplitMix64](https://prng.di.unimi.it/splitmix64.c) core wrapped in
+//! the trait surface the workspace previously consumed from `rand` /
+//! `rand_chacha`: [`Rng`] (`gen`, `gen_range`, `gen_bool`),
+//! [`SeedableRng`] (`seed_from_u64`) and [`SliceRandom`] (`shuffle`,
+//! `choose`). Streams are a pure function of the seed, on every platform.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The workspace's deterministic RNG: SplitMix64.
+///
+/// Passes BigCrush-scale statistical batteries in its original
+/// formulation, is seedable from a single `u64`, and — unlike stream
+/// ciphers — costs a handful of arithmetic ops per draw.
+///
+/// # Example
+///
+/// ```
+/// use smash_support::rng::{DetRng, Rng, SeedableRng};
+///
+/// let mut a = DetRng::seed_from_u64(7);
+/// let mut b = DetRng::seed_from_u64(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// let x: f64 = a.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// The canonical name call sites use for the deterministic RNG.
+pub type DetRng = SplitMix64;
+
+impl SplitMix64 {
+    /// Creates a generator from a raw state.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advances the state and returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives an independent child stream; used to split one seed into
+    /// several decorrelated generators.
+    pub fn split(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+}
+
+/// Minimal core trait: a source of 64 random bits.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding from a single `u64`, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One scramble round so that small consecutive seeds (0, 1, 2…)
+        // do not start from nearly identical internal states.
+        let mut r = SplitMix64::new(seed ^ 0x5DEE_CE66_D1CE_4E5B);
+        let s = r.next_u64();
+        SplitMix64::new(s)
+    }
+}
+
+/// Types samplable uniformly from raw bits (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with full 53-bit mantissa resolution.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let u: f64 = Standard::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        let u: f64 = Standard::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// The convenience surface mirroring `rand::Rng`.
+///
+/// Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its full uniform distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Random slice operations, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((rng.next_u64() % self.len() as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = DetRng::seed_from_u64(99);
+        let mut b = DetRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = DetRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = DetRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(5u32..=9);
+            assert!((5..=9).contains(&y));
+            let z = r.gen_range(-4i64..7);
+            assert!((-4..7).contains(&z));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut r = DetRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probability_is_roughly_right() {
+        let mut r = DetRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut v1: Vec<u32> = (0..50).collect();
+        let mut v2: Vec<u32> = (0..50).collect();
+        v1.shuffle(&mut DetRng::seed_from_u64(8));
+        v2.shuffle(&mut DetRng::seed_from_u64(8));
+        assert_eq!(v1, v2);
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let v: Vec<u8> = vec![];
+        assert!(v.choose(&mut DetRng::seed_from_u64(0)).is_none());
+    }
+
+    #[test]
+    fn split_streams_are_decorrelated() {
+        let mut parent = DetRng::seed_from_u64(10);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_half() {
+        let mut r = DetRng::seed_from_u64(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -4,7 +4,7 @@
 use crate::builder::{client_name, ScenarioBuilder};
 use crate::names;
 use crate::zipf::Zipf;
-use rand::Rng;
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 /// One benign web server with its own content.
@@ -44,8 +44,14 @@ pub struct BenignWorld {
 }
 
 const CDN_NAMES: &[&str] = &[
-    "fbcdn.net", "akamaihd.net", "cloudfront.net", "gstatic.com", "twimg.com", "ytimg.com",
-    "gravatar.com", "typekit.net",
+    "fbcdn.net",
+    "akamaihd.net",
+    "cloudfront.net",
+    "gstatic.com",
+    "twimg.com",
+    "ytimg.com",
+    "gravatar.com",
+    "typekit.net",
 ];
 
 impl BenignWorld {
@@ -126,7 +132,11 @@ impl BenignWorld {
                 let mirror_base = n_servers * 3 / 5;
                 // Mostly small families; a few big mirror pools that score
                 // high enough to reach (and exercise) the pruning stage.
-                let size = if f % 5 == 0 { 8 } else { 2 + rng.gen_range(0..2) };
+                let size = if f % 5 == 0 {
+                    8
+                } else {
+                    2 + rng.gen_range(0..2usize)
+                };
                 let members: Vec<usize> = std::iter::once(landing)
                     .chain((1..=size).map(|k| mirror_base + f + k * n_families))
                     .filter(|&i| i < n_servers * 4 / 5)
@@ -184,7 +194,10 @@ impl BenignWorld {
         self.tail_servers(pool)
             .iter()
             .filter(|s| {
-                let h: u32 = s.domain.bytes().fold(17u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
+                let h: u32 = s
+                    .domain
+                    .bytes()
+                    .fold(17u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
                 (h % 2) as u8 == parity % 2
             })
             .collect()
@@ -255,18 +268,36 @@ impl BenignWorld {
                     let landing = &self.servers[*landing_idx];
                     let token = names::rand_token(rng, 5);
                     b.push(
-                        HttpRecord::new(ts, &client, &h1.domain, &h1.ips[0], &format!("/r/{token}"))
-                            .with_user_agent(&ua)
-                            .with_redirect_to(&h2.domain),
+                        HttpRecord::new(
+                            ts,
+                            &client,
+                            &h1.domain,
+                            &h1.ips[0],
+                            &format!("/r/{token}"),
+                        )
+                        .with_user_agent(&ua)
+                        .with_redirect_to(&h2.domain),
                     );
                     b.push(
-                        HttpRecord::new(ts + 1, &client, &h2.domain, &h2.ips[0], &format!("/r/{token}"))
-                            .with_user_agent(&ua)
-                            .with_redirect_to(&landing.domain),
+                        HttpRecord::new(
+                            ts + 1,
+                            &client,
+                            &h2.domain,
+                            &h2.ips[0],
+                            &format!("/r/{token}"),
+                        )
+                        .with_user_agent(&ua)
+                        .with_redirect_to(&landing.domain),
                     );
                     b.push(
-                        HttpRecord::new(ts + 2, &client, &landing.domain, &landing.ips[0], "/index.html")
-                            .with_user_agent(&ua),
+                        HttpRecord::new(
+                            ts + 2,
+                            &client,
+                            &landing.domain,
+                            &landing.ips[0],
+                            "/index.html",
+                        )
+                        .with_user_agent(&ua),
                     );
                     budget = budget.saturating_sub(3);
                 }
@@ -286,10 +317,16 @@ impl BenignWorld {
                             let mirror = &self.servers[m];
                             let mip = &mirror.ips[rng.gen_range(0..mirror.ips.len())];
                             b.push(
-                                HttpRecord::new(ts + 2, &client, &mirror.domain, mip, &format!("/{file}"))
-                                    .with_user_agent(&ua)
-                                    .with_referrer(&server.domain)
-                                    .with_resp_bytes(rng.gen_range(2_048..150_000)),
+                                HttpRecord::new(
+                                    ts + 2,
+                                    &client,
+                                    &mirror.domain,
+                                    mip,
+                                    &format!("/{file}"),
+                                )
+                                .with_user_agent(&ua)
+                                .with_referrer(&server.domain)
+                                .with_resp_bytes(rng.gen_range(2_048..150_000)),
                             );
                             budget = budget.saturating_sub(1);
                         }
@@ -302,10 +339,16 @@ impl BenignWorld {
                         let asset = &cdn.files[rng.gen_range(0..cdn.files.len())];
                         let cip = &cdn.ips[rng.gen_range(0..cdn.ips.len())];
                         b.push(
-                            HttpRecord::new(ts + 2, &client, &cdn.domain, cip, &format!("/{asset}"))
-                                .with_user_agent(&ua)
-                                .with_referrer(&server.domain)
-                                .with_resp_bytes(rng.gen_range(1_024..40_000)),
+                            HttpRecord::new(
+                                ts + 2,
+                                &client,
+                                &cdn.domain,
+                                cip,
+                                &format!("/{asset}"),
+                            )
+                            .with_user_agent(&ua)
+                            .with_referrer(&server.domain)
+                            .with_resp_bytes(rng.gen_range(1_024..40_000)),
                         );
                         budget = budget.saturating_sub(1);
                     }
@@ -318,12 +361,12 @@ impl BenignWorld {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use smash_support::rng::DetRng;
+    use smash_support::rng::SeedableRng;
 
     fn world() -> (ScenarioBuilder, BenignWorld) {
         let mut b = ScenarioBuilder::new(40, 86_400);
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let w = BenignWorld::build(&mut b, &mut rng, 100, 4, 1.0);
         (b, w)
     }
@@ -372,7 +415,7 @@ mod tests {
     #[test]
     fn traffic_volume_tracks_mean() {
         let (mut b, w) = world();
-        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut rng = DetRng::seed_from_u64(12);
         w.emit_traffic(&mut b, &mut rng, 30);
         let n = b.record_count();
         // 40 clients × ~30 requests, plus embeds — sanity band.
@@ -383,8 +426,8 @@ mod tests {
     fn traffic_is_deterministic() {
         let (mut b1, w1) = world();
         let (mut b2, w2) = world();
-        let mut r1 = ChaCha8Rng::seed_from_u64(5);
-        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        let mut r1 = DetRng::seed_from_u64(5);
+        let mut r2 = DetRng::seed_from_u64(5);
         w1.emit_traffic(&mut b1, &mut r1, 10);
         w2.emit_traffic(&mut b2, &mut r2, 10);
         assert_eq!(b1.record_count(), b2.record_count());
@@ -394,14 +437,19 @@ mod tests {
     #[test]
     fn zipf_head_is_popular() {
         let (mut b, w) = world();
-        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut rng = DetRng::seed_from_u64(13);
         w.emit_traffic(&mut b, &mut rng, 50);
         let parts = b.finish();
         let ds = smash_trace::TraceDataset::from_records(parts.records);
-        let head = ds.server_id(&w.servers[0].domain).expect("head server seen");
+        let head = ds
+            .server_id(&w.servers[0].domain)
+            .expect("head server seen");
         let tail = ds.server_id(&w.servers[99].domain);
         let head_clients = ds.clients_of(head).len();
         let tail_clients = tail.map_or(0, |t| ds.clients_of(t).len());
-        assert!(head_clients > tail_clients, "head {head_clients} tail {tail_clients}");
+        assert!(
+            head_clients > tail_clients,
+            "head {head_clients} tail {tail_clients}"
+        );
     }
 }

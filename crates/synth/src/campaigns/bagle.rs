@@ -7,8 +7,8 @@
 use super::{unique_benign_domains, unique_shady_domains, CampaignSeeds};
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
-use rand::Rng;
 use smash_groundtruth::ActivityCategory;
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 /// Generates one two-stage campaign. Returns all server names
@@ -54,7 +54,7 @@ pub fn generate(
     let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 3);
     // One encrypted payload, one size — served identically by every
     // compromised host (the §VI payload-similarity signal).
-    let payload_bytes: u32 = infra.gen_range(30_000..90_000) & !63;
+    let payload_bytes: u32 = infra.gen_range(30_000u32..90_000) & !63;
 
     for (bi, bot) in bots.iter().enumerate() {
         // First the encrypted payload download… (the first bot downloads
@@ -69,7 +69,7 @@ pub fn generate(
                 HttpRecord::new(ts, bot, d, &download_ips[i], "/images/file.txt")
                     .with_user_agent(dl_ua)
                     .with_status(status)
-                    .with_resp_bytes(payload_bytes + traffic.gen_range(0..64)),
+                    .with_resp_bytes(payload_bytes + traffic.gen_range(0u32..64)),
             );
         }
         // …then C&C polling with the fixed parameter pattern.

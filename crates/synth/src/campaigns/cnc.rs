@@ -5,8 +5,8 @@ use super::{unique_shady_domains, CampaignSeeds};
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
 use crate::names;
-use rand::Rng;
 use smash_groundtruth::{ActivityCategory, Signature};
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 const SCRIPTS: &[&str] = &["login.php", "gate.php", "panel.php", "new.php"];
@@ -163,8 +163,12 @@ mod tests {
     fn obfuscated_scripts_differ_but_share_charset() {
         let (b, domains) = run(true);
         let ds = TraceDataset::from_records(b.finish().records);
-        let name0 = ds.file_name(ds.files_of(ds.server_id(&domains[0]).unwrap())[0]).to_string();
-        let name1 = ds.file_name(ds.files_of(ds.server_id(&domains[1]).unwrap())[0]).to_string();
+        let name0 = ds
+            .file_name(ds.files_of(ds.server_id(&domains[0]).unwrap())[0])
+            .to_string();
+        let name1 = ds
+            .file_name(ds.files_of(ds.server_id(&domains[1]).unwrap())[0])
+            .to_string();
         assert_ne!(name0, name1);
         assert!(name0.len() > 25);
         assert!(smash_trace::uri::charset_cosine(&name0, &name1) > 0.8);

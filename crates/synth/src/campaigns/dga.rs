@@ -5,8 +5,8 @@ use super::CampaignSeeds;
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
 use crate::names;
-use rand::Rng;
 use smash_groundtruth::{ActivityCategory, Signature};
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 /// Generates one DGA C&C campaign. Returns the domain list.
@@ -52,7 +52,9 @@ pub fn generate(
     if coverage.ids2013 >= 1.0 {
         // The 2013 signatures learned the whole family (paper: "2013 IDS
         // signatures detect all of these domains").
-        let sig = Signature::new(name).with_uri_file("login.php").with_user_agent(&ua);
+        let sig = Signature::new(name)
+            .with_uri_file("login.php")
+            .with_user_agent(&ua);
         b.add_pattern_signature(sig, coverage.ids2012 >= 1.0);
     }
     domains

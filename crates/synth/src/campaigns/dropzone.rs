@@ -4,8 +4,8 @@
 use super::{unique_shady_domains, CampaignSeeds};
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
-use rand::Rng;
 use smash_groundtruth::ActivityCategory;
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 /// Generates one drop-zone campaign. Returns the domain list.
@@ -30,7 +30,11 @@ pub fn generate(
         for d in &domains {
             for _ in 0..traffic.gen_range(1..=4) {
                 let ts = bursts.sample(&mut traffic);
-                let uri = format!("/panel/up.php?bot={}&chunk={}", traffic.gen_range(100..999), traffic.gen_range(0..64));
+                let uri = format!(
+                    "/panel/up.php?bot={}&chunk={}",
+                    traffic.gen_range(100..999),
+                    traffic.gen_range(0..64)
+                );
                 let status = if defunct.contains(d) { 404 } else { 200 };
                 b.push(
                     HttpRecord::new(ts, bot, d, &pool[0], &uri)

@@ -6,8 +6,8 @@ use super::CampaignSeeds;
 use crate::benign::BenignWorld;
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
-use rand::Rng;
 use smash_groundtruth::ActivityCategory;
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 const INJECT_PATHS: &[&str] = &[
@@ -52,7 +52,11 @@ pub fn generate(
             let ts = bursts.sample(&mut traffic);
             let path = INJECT_PATHS[traffic.gen_range(0..INJECT_PATHS.len())];
             let ip = &t.ips[traffic.gen_range(0..t.ips.len())];
-            let status = if defunct.contains(&t.domain) { 404 } else { 200 };
+            let status = if defunct.contains(&t.domain) {
+                404
+            } else {
+                200
+            };
             b.push(
                 HttpRecord::new(ts, bot, &t.domain, ip, path)
                     .with_user_agent("-")
@@ -73,13 +77,13 @@ pub fn generate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use smash_support::rng::DetRng;
+    use smash_support::rng::SeedableRng;
     use smash_trace::TraceDataset;
 
     fn run(n: usize) -> (ScenarioBuilder, Vec<String>) {
         let mut b = ScenarioBuilder::new(50, 86_400);
-        let mut wrng = ChaCha8Rng::seed_from_u64(2);
+        let mut wrng = DetRng::seed_from_u64(2);
         let world = BenignWorld::build(&mut b, &mut wrng, 150, 2, 1.0);
         let cov = DetectionCoverage {
             ids2012: 0.01,

@@ -23,8 +23,8 @@ pub mod scanning;
 use crate::benign::BenignWorld;
 use crate::builder::ScenarioBuilder;
 use crate::config::CampaignSpec;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use smash_support::rng::DetRng;
+use smash_support::rng::SeedableRng;
 
 /// The three seeds driving one campaign instance (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,11 +60,11 @@ impl CampaignSeeds {
     }
 
     /// RNGs for the three seeds.
-    pub(crate) fn rngs(self) -> (ChaCha8Rng, ChaCha8Rng, ChaCha8Rng) {
+    pub(crate) fn rngs(self) -> (DetRng, DetRng, DetRng) {
         (
-            ChaCha8Rng::seed_from_u64(self.identity),
-            ChaCha8Rng::seed_from_u64(self.infra),
-            ChaCha8Rng::seed_from_u64(self.traffic),
+            DetRng::seed_from_u64(self.identity),
+            DetRng::seed_from_u64(self.infra),
+            DetRng::seed_from_u64(self.traffic),
         )
     }
 }
@@ -98,7 +98,15 @@ pub fn generate(
             cnc_servers,
             bots,
             coverage,
-        } => bagle::generate(b, name, *download_servers, *cnc_servers, *bots, *coverage, seeds),
+        } => bagle::generate(
+            b,
+            name,
+            *download_servers,
+            *cnc_servers,
+            *bots,
+            *coverage,
+            seeds,
+        ),
         CampaignSpec::Sality {
             name,
             download_servers,
@@ -143,11 +151,15 @@ pub struct BurstSchedule {
 
 impl BurstSchedule {
     /// Picks `n` non-degenerate windows of 30–90 minutes within the day.
-    pub fn pick<R: rand::Rng + ?Sized>(rng: &mut R, day_seconds: u64, n: usize) -> Self {
+    pub fn pick<R: smash_support::rng::Rng + ?Sized>(
+        rng: &mut R,
+        day_seconds: u64,
+        n: usize,
+    ) -> Self {
         let day = day_seconds.max(3600);
         let windows = (0..n.max(1))
             .map(|_| {
-                let len = rng.gen_range(1800..5400).min(day - 1);
+                let len = rng.gen_range(1800u64..5400).min(day - 1);
                 let start = rng.gen_range(0..day - len);
                 (start, start + len)
             })
@@ -156,7 +168,7 @@ impl BurstSchedule {
     }
 
     /// A timestamp inside one of the windows.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample<R: smash_support::rng::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let (lo, hi) = self.windows[rng.gen_range(0..self.windows.len())];
         rng.gen_range(lo..hi)
     }
@@ -168,7 +180,7 @@ impl BurstSchedule {
 }
 
 /// Picks a campaign's bots, honoring the seeds' bot block when set.
-pub(crate) fn pick_campaign_bots<R: rand::Rng + ?Sized>(
+pub(crate) fn pick_campaign_bots<R: smash_support::rng::Rng + ?Sized>(
     b: &ScenarioBuilder,
     rng: &mut R,
     n: usize,
@@ -194,7 +206,10 @@ pub(crate) fn pick_campaign_bots<R: rand::Rng + ?Sized>(
 }
 
 /// Draws `n` unique shady domains.
-pub(crate) fn unique_shady_domains<R: rand::Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<String> {
+pub(crate) fn unique_shady_domains<R: smash_support::rng::Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+) -> Vec<String> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
@@ -207,7 +222,10 @@ pub(crate) fn unique_shady_domains<R: rand::Rng + ?Sized>(rng: &mut R, n: usize)
 }
 
 /// Draws `n` unique benign-looking (compromised) domains.
-pub(crate) fn unique_benign_domains<R: rand::Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<String> {
+pub(crate) fn unique_benign_domains<R: smash_support::rng::Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+) -> Vec<String> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
@@ -232,7 +250,7 @@ mod tests {
 
     #[test]
     fn unique_domain_helpers() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let ds = unique_shady_domains(&mut rng, 50);
         let set: std::collections::HashSet<&String> = ds.iter().collect();
         assert_eq!(set.len(), 50);

@@ -4,8 +4,8 @@
 use super::{unique_shady_domains, CampaignSeeds};
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
-use rand::Rng;
 use smash_groundtruth::ActivityCategory;
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 const LURES: &[&str] = &["signin.php", "verify.php", "secure-login.php"];
@@ -32,7 +32,11 @@ pub fn generate(
     for v in &victims {
         for (i, d) in domains.iter().enumerate() {
             let ts = bursts.sample(&mut traffic);
-            let uri = format!("/{}/{lure}?acc={}", "account", traffic.gen_range(1000..9999));
+            let uri = format!(
+                "/{}/{lure}?acc={}",
+                "account",
+                traffic.gen_range(1000..9999)
+            );
             let status = if defunct.contains(d) { 0 } else { 200 };
             b.push(
                 HttpRecord::new(ts, v, d, &ips[i], &uri)

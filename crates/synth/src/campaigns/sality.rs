@@ -7,8 +7,8 @@ use super::{unique_benign_domains, CampaignSeeds};
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
 use crate::names;
-use rand::Rng;
 use smash_groundtruth::{ActivityCategory, Signature};
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 const GIFS: &[&str] = &["mainf.gif", "logos.gif", "winlogo.gif"];
@@ -55,22 +55,27 @@ pub fn generate(
     let bursts = super::BurstSchedule::pick(&mut infra, b.day_seconds, 2);
     // Each payload name is one binary with one size, identical across the
     // compromised hosts serving it.
-    let gif_bytes: Vec<u32> = GIFS.iter().map(|_| infra.gen_range(20_000..80_000) & !63).collect();
+    let gif_bytes: Vec<u32> = GIFS
+        .iter()
+        .map(|_| infra.gen_range(20_000u32..80_000) & !63)
+        .collect();
 
     for bot in &bots {
         for (i, d) in downloads.iter().enumerate() {
             for gif in dl_gif[i] {
                 let ts = bursts.sample(&mut traffic);
                 let key = format!("{:06x}", traffic.gen_range(0..0xFFFFFFu32));
-                let uri =
-                    format!("/images/{gif}?{key}={}", traffic.gen_range(1_000_000..99_999_999));
+                let uri = format!(
+                    "/images/{gif}?{key}={}",
+                    traffic.gen_range(1_000_000..99_999_999)
+                );
                 let status = if dl_defunct.contains(d) { 404 } else { 200 };
                 let gi = GIFS.iter().position(|g| *g == gif).unwrap_or(0);
                 b.push(
                     HttpRecord::new(ts, bot, d, &dl_ips[i], &uri)
                         .with_user_agent(ua)
                         .with_status(status)
-                        .with_resp_bytes(gif_bytes[gi] + traffic.gen_range(0..64)),
+                        .with_resp_bytes(gif_bytes[gi] + traffic.gen_range(0u32..64)),
                 );
             }
         }

@@ -6,8 +6,8 @@ use super::CampaignSeeds;
 use crate::benign::BenignWorld;
 use crate::builder::ScenarioBuilder;
 use crate::config::DetectionCoverage;
-use rand::Rng;
 use smash_groundtruth::{ActivityCategory, Signature};
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 const ADMIN_PATHS: &[&str] = &[
@@ -59,7 +59,11 @@ pub fn generate(
                 let path = ADMIN_PATHS[traffic.gen_range(0..ADMIN_PATHS.len())];
                 let ip = &t.ips[traffic.gen_range(0..t.ips.len())];
                 // Almost no target actually has phpMyAdmin installed.
-                let status = if traffic.gen::<f64>() < 0.05 { 200 } else { 404 };
+                let status = if traffic.gen::<f64>() < 0.05 {
+                    200
+                } else {
+                    404
+                };
                 b.push(
                     HttpRecord::new(ts, bot, &t.domain, ip, path)
                         .with_user_agent(ua)
@@ -77,7 +81,9 @@ pub fn generate(
     // the threat is fully known to that signature vintage.
     if coverage.ids2013 >= 1.0 {
         b.add_pattern_signature(
-            Signature::new(name).with_uri_file("setup.php").with_user_agent(ua),
+            Signature::new(name)
+                .with_uri_file("setup.php")
+                .with_user_agent(ua),
             coverage.ids2012 >= 1.0,
         );
     }
@@ -87,13 +93,13 @@ pub fn generate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use smash_support::rng::DetRng;
+    use smash_support::rng::SeedableRng;
     use smash_trace::TraceDataset;
 
     fn run() -> (ScenarioBuilder, Vec<String>) {
         let mut b = ScenarioBuilder::new(50, 86_400);
-        let mut wrng = ChaCha8Rng::seed_from_u64(1);
+        let mut wrng = DetRng::seed_from_u64(1);
         let world = BenignWorld::build(&mut b, &mut wrng, 120, 2, 1.0);
         let targets = generate(
             &mut b,

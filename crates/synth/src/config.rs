@@ -1,13 +1,11 @@
 //! Generator configuration: world size, campaign roster, noise.
 
-use serde::{Deserialize, Serialize};
-
 /// How visible a campaign is to the simulated external label sources.
 ///
 /// Fractions are per-server probabilities. The paper's zero-day claim
 /// requires `ids2013 >= ids2012`: servers the 2013 signatures catch that
 /// the 2012 set missed are SMASH's "detected before the update" wins.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionCoverage {
     /// Fraction of campaign servers the 2012 IDS signature set labels.
     pub ids2012: f64,
@@ -71,7 +69,7 @@ impl DetectionCoverage {
 /// Every variant carries the number of *bot* clients driving it; the
 /// paper observes 75% of campaigns have a single infected client, so
 /// presets plant many `bots: 1` campaigns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CampaignSpec {
     /// Domain-flux C&C: many domains, shared IP pool, one handler script
     /// (paper Fig. 1(a)). `obfuscated` switches the handler filename to
@@ -210,7 +208,7 @@ impl CampaignSpec {
 }
 
 /// The paper's two false-positive noise sources (§V-A1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NoiseSpec {
     /// P2P clients requesting `scrape.php` from many trackers.
     pub torrent_clients: usize,
@@ -235,7 +233,7 @@ impl NoiseSpec {
 }
 
 /// Full generator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthConfig {
     /// RNG seed; every output is a pure function of the config.
     pub seed: u64,

@@ -1,12 +1,12 @@
 //! Deterministic name generators: domains, DGA names, obfuscated
 //! filenames, Whois identities, user-agents.
 
-use rand::Rng;
+use smash_support::rng::Rng;
 
 const TLDS: &[&str] = &["com", "net", "org", "info", "biz"];
 const WORDS: &[&str] = &[
-    "blue", "river", "shop", "tech", "media", "cloud", "data", "home", "travel", "photo",
-    "music", "game", "news", "food", "auto", "health", "sport", "garden", "craft", "book",
+    "blue", "river", "shop", "tech", "media", "cloud", "data", "home", "travel", "photo", "music",
+    "game", "news", "food", "auto", "health", "sport", "garden", "craft", "book",
 ];
 
 /// Random lowercase alphanumeric string of length `len`.
@@ -74,8 +74,12 @@ pub fn obfuscation_alphabet<R: Rng + ?Sized>(rng: &mut R, k: usize) -> Vec<u8> {
 
 /// A person-like registrant name.
 pub fn registrant<R: Rng + ?Sized>(rng: &mut R) -> String {
-    const FIRST: &[&str] = &["ivan", "maria", "chen", "raj", "olga", "juan", "amir", "lena"];
-    const LAST: &[&str] = &["petrov", "garcia", "wang", "singh", "novak", "silva", "ali", "berg"];
+    const FIRST: &[&str] = &[
+        "ivan", "maria", "chen", "raj", "olga", "juan", "amir", "lena",
+    ];
+    const LAST: &[&str] = &[
+        "petrov", "garcia", "wang", "singh", "novak", "silva", "ali", "berg",
+    ];
     format!(
         "{} {}{}",
         FIRST[rng.gen_range(0..FIRST.len())],
@@ -86,12 +90,21 @@ pub fn registrant<R: Rng + ?Sized>(rng: &mut R) -> String {
 
 /// A street-address-like string.
 pub fn address<R: Rng + ?Sized>(rng: &mut R) -> String {
-    format!("{} {} st", rng.gen_range(1..999), WORDS[rng.gen_range(0..WORDS.len())])
+    format!(
+        "{} {} st",
+        rng.gen_range(1..999),
+        WORDS[rng.gen_range(0..WORDS.len())]
+    )
 }
 
 /// A phone-number-like string.
 pub fn phone<R: Rng + ?Sized>(rng: &mut R) -> String {
-    format!("+{}-{:03}-{:07}", rng.gen_range(1..99), rng.gen_range(0..999), rng.gen_range(0..9_999_999))
+    format!(
+        "+{}-{:03}-{:07}",
+        rng.gen_range(1..99),
+        rng.gen_range(0..999),
+        rng.gen_range(0..9_999_999)
+    )
 }
 
 /// A hosting-provider name-server pair like `ns1.hostpool7.net`.
@@ -132,17 +145,66 @@ pub fn page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
 /// low-signal file sharing among unrelated benign servers.
 pub fn common_page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
     const COMMON: &[&str] = &[
-        "about.html", "contact.html", "faq.html", "news.html", "search.php", "style.css",
-        "main.js", "banner.jpg", "header.png", "footer.php", "login.html", "terms.html",
-        "privacy.html", "sitemap.xml", "feed.xml", "gallery.html", "products.html",
-        "services.html", "blog.html", "archive.html", "print.css", "menu.js", "logo.gif",
-        "background.jpg", "favicon.ico", "form.php", "press.html", "jobs.html", "help.html",
-        "team.html", "history.html", "map.html", "events.html", "downloads.html", "links.html",
-        "reviews.html", "pricing.html", "order.php", "cart.php", "checkout.php", "account.php",
-        "register.php", "reset.php", "rss.xml", "atom.xml", "robots.txt", "humans.txt",
-        "video.html", "audio.html", "photos.html", "calendar.html", "weather.html",
-        "stats.html", "forum.php", "wiki.html", "docs.html", "api.html", "mobile.html",
-        "amp.html", "print.html",
+        "about.html",
+        "contact.html",
+        "faq.html",
+        "news.html",
+        "search.php",
+        "style.css",
+        "main.js",
+        "banner.jpg",
+        "header.png",
+        "footer.php",
+        "login.html",
+        "terms.html",
+        "privacy.html",
+        "sitemap.xml",
+        "feed.xml",
+        "gallery.html",
+        "products.html",
+        "services.html",
+        "blog.html",
+        "archive.html",
+        "print.css",
+        "menu.js",
+        "logo.gif",
+        "background.jpg",
+        "favicon.ico",
+        "form.php",
+        "press.html",
+        "jobs.html",
+        "help.html",
+        "team.html",
+        "history.html",
+        "map.html",
+        "events.html",
+        "downloads.html",
+        "links.html",
+        "reviews.html",
+        "pricing.html",
+        "order.php",
+        "cart.php",
+        "checkout.php",
+        "account.php",
+        "register.php",
+        "reset.php",
+        "rss.xml",
+        "atom.xml",
+        "robots.txt",
+        "humans.txt",
+        "video.html",
+        "audio.html",
+        "photos.html",
+        "calendar.html",
+        "weather.html",
+        "stats.html",
+        "forum.php",
+        "wiki.html",
+        "docs.html",
+        "api.html",
+        "mobile.html",
+        "amp.html",
+        "print.html",
     ];
     COMMON[rng.gen_range(0..COMMON.len())].to_string()
 }
@@ -150,11 +212,11 @@ pub fn common_page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use smash_support::rng::DetRng;
+    use smash_support::rng::SeedableRng;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(42)
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(42)
     }
 
     #[test]
@@ -218,6 +280,8 @@ mod tests {
         let mut r = rng();
         let t = rand_token(&mut r, 12);
         assert_eq!(t.len(), 12);
-        assert!(t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        assert!(t
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
     }
 }

@@ -5,8 +5,8 @@
 
 use crate::builder::ScenarioBuilder;
 use crate::config::NoiseSpec;
-use rand::Rng;
 use smash_groundtruth::ActivityCategory;
+use smash_support::rng::Rng;
 use smash_trace::HttpRecord;
 
 /// Emits the configured noise herds. Returns (tracker names,
@@ -36,7 +36,9 @@ fn torrent<R: Rng + ?Sized>(
         .map(|i| format!("tracker{i}swarm.org"))
         .collect();
     // Some tracker hosts run several trackers: small shared IP pool.
-    let ips: Vec<String> = (0..(n_trackers / 3).max(1)).map(|_| b.benign_ip()).collect();
+    let ips: Vec<String> = (0..(n_trackers / 3).max(1))
+        .map(|_| b.benign_ip())
+        .collect();
     let tracker_ip: Vec<String> = (0..n_trackers)
         .map(|_| ips[rng.gen_range(0..ips.len())].clone())
         .collect();
@@ -48,10 +50,20 @@ fn torrent<R: Rng + ?Sized>(
             }
             let hash = crate::names::rand_token(rng, 20);
             let ts = b.ts(rng);
-            let file = if rng.gen::<bool>() { "scrape.php" } else { "announce.php" };
+            let file = if rng.gen::<bool>() {
+                "scrape.php"
+            } else {
+                "announce.php"
+            };
             b.push(
-                HttpRecord::new(ts, p, t, &tracker_ip[i], &format!("/{file}?info_hash={hash}"))
-                    .with_user_agent("uTorrent/3.2"),
+                HttpRecord::new(
+                    ts,
+                    p,
+                    t,
+                    &tracker_ip[i],
+                    &format!("/{file}?info_hash={hash}"),
+                )
+                .with_user_agent("uTorrent/3.2"),
             );
         }
     }
@@ -92,7 +104,10 @@ fn teamviewer<R: Rng + ?Sized>(
                     u,
                     s,
                     &ips[i],
-                    &format!("/din.aspx?client=DynGate&id={}", rng.gen_range(10_000..99_999)),
+                    &format!(
+                        "/din.aspx?client=DynGate&id={}",
+                        rng.gen_range(10_000..99_999)
+                    ),
                 )
                 .with_user_agent("DynGate"),
             );
@@ -108,13 +123,13 @@ fn teamviewer<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use smash_support::rng::DetRng;
+    use smash_support::rng::SeedableRng;
     use smash_trace::TraceDataset;
 
     fn run() -> (ScenarioBuilder, Vec<String>, Vec<String>) {
         let mut b = ScenarioBuilder::new(60, 86_400);
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         let spec = NoiseSpec {
             torrent_clients: 8,
             torrent_trackers: 30,
@@ -167,7 +182,7 @@ mod tests {
     #[test]
     fn zero_spec_emits_nothing() {
         let mut b = ScenarioBuilder::new(10, 86_400);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let (tr, tv) = generate(&mut b, &mut rng, NoiseSpec::none());
         assert!(tr.is_empty() && tv.is_empty());
         assert_eq!(b.record_count(), 0);

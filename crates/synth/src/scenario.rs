@@ -6,9 +6,9 @@ use crate::builder::ScenarioBuilder;
 use crate::campaigns::{self, CampaignSeeds};
 use crate::config::{CampaignSpec, DetectionCoverage, NoiseSpec, SynthConfig};
 use crate::noise;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use smash_groundtruth::{BlacklistSet, GroundTruth, Ids};
+use smash_support::json::{self, FromJson};
+use smash_support::rng::{DetRng, SeedableRng};
 use smash_trace::TraceDataset;
 use smash_whois::WhoisRegistry;
 
@@ -41,15 +41,15 @@ impl ScenarioData {
     pub fn save<P: AsRef<std::path::Path>>(&self, dir: P) -> std::io::Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let write = |name: &str, json: serde_json::Result<String>| -> std::io::Result<()> {
-            std::fs::write(dir.join(name), json.map_err(std::io::Error::other)?)
+        let write = |name: &str, json: String| -> std::io::Result<()> {
+            std::fs::write(dir.join(name), json)
         };
-        write("dataset.json", serde_json::to_string(&self.dataset))?;
-        write("truth.json", serde_json::to_string_pretty(&self.truth))?;
-        write("whois.json", serde_json::to_string_pretty(&self.whois))?;
-        write("ids2012.json", serde_json::to_string_pretty(&self.ids2012))?;
-        write("ids2013.json", serde_json::to_string_pretty(&self.ids2013))?;
-        write("blacklists.json", serde_json::to_string_pretty(&self.blacklists))?;
+        write("dataset.json", json::to_string(&self.dataset))?;
+        write("truth.json", json::to_string_pretty(&self.truth))?;
+        write("whois.json", json::to_string_pretty(&self.whois))?;
+        write("ids2012.json", json::to_string_pretty(&self.ids2012))?;
+        write("ids2013.json", json::to_string_pretty(&self.ids2013))?;
+        write("blacklists.json", json::to_string_pretty(&self.blacklists))?;
         Ok(())
     }
 
@@ -60,8 +60,8 @@ impl ScenarioData {
     /// Returns any I/O error or malformed JSON.
     pub fn load<P: AsRef<std::path::Path>>(dir: P) -> std::io::Result<Self> {
         let dir = dir.as_ref();
-        fn read<T: serde::de::DeserializeOwned>(path: std::path::PathBuf) -> std::io::Result<T> {
-            serde_json::from_str(&std::fs::read_to_string(path)?).map_err(std::io::Error::other)
+        fn read<T: FromJson>(path: std::path::PathBuf) -> std::io::Result<T> {
+            json::from_str(&std::fs::read_to_string(path)?).map_err(std::io::Error::other)
         }
         Ok(Self {
             dataset: read(dir.join("dataset.json"))?,
@@ -133,7 +133,7 @@ fn generate_day(config: &SynthConfig, day: usize, plans: &[CampaignPlan]) -> Sce
     let mut b = ScenarioBuilder::new(config.n_clients, config.day_seconds);
     // The benign universe is a function of the base seed only, so a week's
     // days share servers, Whois, and IPs.
-    let mut world_rng = ChaCha8Rng::seed_from_u64(mix(config.seed, 0xB1E5_5ED, 0));
+    let mut world_rng = DetRng::seed_from_u64(mix(config.seed, 0xB1E5_5ED, 0));
     let world = BenignWorld::build(
         &mut b,
         &mut world_rng,
@@ -141,7 +141,7 @@ fn generate_day(config: &SynthConfig, day: usize, plans: &[CampaignPlan]) -> Sce
         config.n_cdn,
         config.zipf_exponent,
     );
-    let mut traffic_rng = ChaCha8Rng::seed_from_u64(mix(config.seed, 0x7AFF_1C, day as u64));
+    let mut traffic_rng = DetRng::seed_from_u64(mix(config.seed, 0x7AFF_1C, day as u64));
     world.emit_traffic(&mut b, &mut traffic_rng, config.mean_client_requests);
 
     // Disjoint bot blocks: infected machines never straddle campaigns
@@ -165,7 +165,7 @@ fn generate_day(config: &SynthConfig, day: usize, plans: &[CampaignPlan]) -> Sce
         campaigns::generate(&mut b, &world, &plan.spec, seeds);
     }
 
-    let mut noise_rng = ChaCha8Rng::seed_from_u64(mix(config.seed, 0x2015_E, day as u64));
+    let mut noise_rng = DetRng::seed_from_u64(mix(config.seed, 0x2015_E, day as u64));
     noise::generate(&mut b, &mut noise_rng, config.noise);
 
     let parts = b.finish();

@@ -1,6 +1,6 @@
 //! A simple Zipf sampler over ranks `0..n`.
 
-use rand::Rng;
+use smash_support::rng::Rng;
 
 /// Samples ranks with probability ∝ `1 / (rank+1)^s` — the classic model
 /// of web-site popularity, which gives the trace its hyper-popular head
@@ -10,10 +10,10 @@ use rand::Rng;
 ///
 /// ```
 /// use smash_synth::Zipf;
-/// use rand::SeedableRng;
+/// use smash_support::rng::SeedableRng;
 ///
 /// let z = Zipf::new(100, 1.0);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = smash_support::rng::DetRng::seed_from_u64(1);
 /// let r = z.sample(&mut rng);
 /// assert!(r < 100);
 /// ```
@@ -65,13 +65,13 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use smash_support::rng::DetRng;
+    use smash_support::rng::SeedableRng;
 
     #[test]
     fn samples_in_range() {
         let z = Zipf::new(10, 1.2);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 10);
         }
@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn head_is_heavier_than_tail() {
         let z = Zipf::new(50, 1.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let mut counts = [0usize; 50];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn zero_exponent_is_uniformish() {
         let z = Zipf::new(4, 0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let mut counts = [0usize; 4];
         for _ in 0..8000 {
             counts[z.sample(&mut rng)] += 1;
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn single_rank_always_zero() {
         let z = Zipf::new(1, 2.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         assert_eq!(z.sample(&mut rng), 0);
         assert_eq!(z.len(), 1);
         assert!(!z.is_empty());

@@ -1,120 +1,148 @@
 //! Property-based tests over the generator's structural guarantees.
 
-use proptest::prelude::*;
+use smash_support::check::cases;
 use smash_synth::campaigns::{cnc, dga, CampaignSeeds};
 use smash_synth::config::DetectionCoverage;
 use smash_synth::{Scenario, ScenarioBuilder, SynthConfig};
 use smash_trace::TraceDataset;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn generation_is_a_pure_function_of_the_seed() {
+    cases(24).run(
+        |g| g.range(0u64..500),
+        |&seed| {
+            let a = Scenario::small_day(seed).generate();
+            let b = Scenario::small_day(seed).generate();
+            assert_eq!(a.dataset.record_count(), b.dataset.record_count());
+            assert_eq!(a.dataset.server_count(), b.dataset.server_count());
+            assert_eq!(a.truth.server_count(), b.truth.server_count());
+            assert_eq!(a.ids2013.labeled_count(), b.ids2013.labeled_count());
+        },
+    );
+}
 
-    #[test]
-    fn generation_is_a_pure_function_of_the_seed(seed in 0u64..500) {
-        let a = Scenario::small_day(seed).generate();
-        let b = Scenario::small_day(seed).generate();
-        prop_assert_eq!(a.dataset.record_count(), b.dataset.record_count());
-        prop_assert_eq!(a.dataset.server_count(), b.dataset.server_count());
-        prop_assert_eq!(a.truth.server_count(), b.truth.server_count());
-        prop_assert_eq!(a.ids2013.labeled_count(), b.ids2013.labeled_count());
-    }
+#[test]
+fn campaign_servers_always_appear_in_the_trace() {
+    cases(24).run(
+        |g| g.range(0u64..200),
+        |&seed| {
+            let data = Scenario::small_day(seed).generate();
+            for (server, _) in data.truth.iter_servers() {
+                assert!(
+                    data.dataset.server_id(server).is_some(),
+                    "labeled server {} missing from trace",
+                    server
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn campaign_servers_always_appear_in_the_trace(seed in 0u64..200) {
-        let data = Scenario::small_day(seed).generate();
-        for (server, _) in data.truth.iter_servers() {
-            prop_assert!(
-                data.dataset.server_id(server).is_some(),
-                "labeled server {} missing from trace",
-                server
+#[test]
+fn ids_vintages_are_nested() {
+    // Every 2012-labeled server is also 2013-labeled (signatures only
+    // accumulate).
+    cases(24).run(
+        |g| g.range(0u64..200),
+        |&seed| {
+            let data = Scenario::small_day(seed).generate();
+            for (server, _) in data.ids2012.iter() {
+                assert!(data.ids2013.detects(server), "{} lost in 2013", server);
+            }
+        },
+    );
+}
+
+#[test]
+fn flux_campaign_structure_holds_for_any_seed() {
+    cases(24).run(
+        |g| (g.range(0u64..200), g.range(3usize..12), g.range(1usize..5)),
+        |&(seed, domains, bots)| {
+            let mut b = ScenarioBuilder::new(100, 86_400);
+            let servers = cnc::generate(
+                &mut b,
+                "prop-flux",
+                domains,
+                bots,
+                false,
+                DetectionCoverage::typical(),
+                CampaignSeeds::fixed(seed),
             );
-        }
-    }
+            assert_eq!(servers.len(), domains);
+            let parts = b.finish();
+            let ds = TraceDataset::from_records(parts.records);
+            // Every domain resolves into the trace with at most `bots` clients.
+            for d in &servers {
+                let sid = ds.server_id(d).unwrap();
+                assert!(ds.clients_of(sid).len() <= bots);
+                assert!(!ds.files_of(sid).is_empty());
+            }
+            // Whois correlation holds for every pair (spot-check first two).
+            if servers.len() >= 2 {
+                assert!(parts.whois.associated(&servers[0], &servers[1]));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn ids_vintages_are_nested(seed in 0u64..200) {
-        // Every 2012-labeled server is also 2013-labeled (signatures only
-        // accumulate).
-        let data = Scenario::small_day(seed).generate();
-        for (server, _) in data.ids2012.iter() {
-            prop_assert!(data.ids2013.detects(server), "{} lost in 2013", server);
-        }
-    }
+#[test]
+fn dga_family_always_single_ip_set() {
+    cases(24).run(
+        |g| g.range(0u64..200),
+        |&seed| {
+            let mut b = ScenarioBuilder::new(60, 86_400);
+            let servers = dga::generate(
+                &mut b,
+                "prop-dga",
+                7,
+                2,
+                DetectionCoverage::zero_day(),
+                CampaignSeeds::fixed(seed),
+            );
+            let ds = TraceDataset::from_records(b.finish().records);
+            let ips: std::collections::BTreeSet<u32> = servers
+                .iter()
+                .filter_map(|d| ds.server_id(d))
+                .flat_map(|s| ds.ips_of(s).to_vec())
+                .collect();
+            assert!(ips.len() <= 2, "{} ips", ips.len());
+        },
+    );
+}
 
-    #[test]
-    fn flux_campaign_structure_holds_for_any_seed(seed in 0u64..200, domains in 3usize..12, bots in 1usize..5) {
-        let mut b = ScenarioBuilder::new(100, 86_400);
-        let servers = cnc::generate(
-            &mut b,
-            "prop-flux",
-            domains,
-            bots,
-            false,
-            DetectionCoverage::typical(),
-            CampaignSeeds::fixed(seed),
-        );
-        prop_assert_eq!(servers.len(), domains);
-        let parts = b.finish();
-        let ds = TraceDataset::from_records(parts.records);
-        // Every domain resolves into the trace with at most `bots` clients.
-        for d in &servers {
-            let sid = ds.server_id(d).unwrap();
-            prop_assert!(ds.clients_of(sid).len() <= bots);
-            prop_assert!(!ds.files_of(sid).is_empty());
-        }
-        // Whois correlation holds for every pair (spot-check first two).
-        if servers.len() >= 2 {
-            prop_assert!(parts.whois.associated(&servers[0], &servers[1]));
-        }
-    }
-
-    #[test]
-    fn dga_family_always_single_ip_set(seed in 0u64..200) {
-        let mut b = ScenarioBuilder::new(60, 86_400);
-        let servers = dga::generate(
-            &mut b,
-            "prop-dga",
-            7,
-            2,
-            DetectionCoverage::zero_day(),
-            CampaignSeeds::fixed(seed),
-        );
-        let ds = TraceDataset::from_records(b.finish().records);
-        let ips: std::collections::BTreeSet<u32> = servers
-            .iter()
-            .filter_map(|d| ds.server_id(d))
-            .flat_map(|s| ds.ips_of(s).to_vec())
-            .collect();
-        prop_assert!(ips.len() <= 2, "{} ips", ips.len());
-    }
-
-    #[test]
-    fn custom_config_scales_sanely(
-        n_clients in 20usize..80,
-        n_servers in 50usize..200,
-        mean in 5usize..20,
-    ) {
-        let config = SynthConfig {
-            seed: 1,
-            n_clients,
-            n_benign_servers: n_servers,
-            n_cdn: 2,
-            zipf_exponent: 1.0,
-            mean_client_requests: mean,
-            day_seconds: 86_400,
-            campaigns: vec![],
-            noise: smash_synth::NoiseSpec::none(),
-        };
-        let data = Scenario::from_config(config).generate();
-        prop_assert_eq!(data.dataset.client_count(), n_clients);
-        // Volume tracks clients × mean within a generous band (embeds,
-        // mirrors, and chains add traffic).
-        let n = data.dataset.record_count();
-        prop_assert!(n >= n_clients * mean / 2, "n = {}", n);
-        prop_assert!(n <= n_clients * mean * 4, "n = {}", n);
-        // Timestamps stay within the day.
-        for r in data.dataset.records() {
-            prop_assert!(r.timestamp < 86_400 + 3);
-        }
-    }
+#[test]
+fn custom_config_scales_sanely() {
+    cases(24).run(
+        |g| {
+            (
+                g.range(20usize..80),
+                g.range(50usize..200),
+                g.range(5usize..20),
+            )
+        },
+        |&(n_clients, n_servers, mean)| {
+            let config = SynthConfig {
+                seed: 1,
+                n_clients,
+                n_benign_servers: n_servers,
+                n_cdn: 2,
+                zipf_exponent: 1.0,
+                mean_client_requests: mean,
+                day_seconds: 86_400,
+                campaigns: vec![],
+                noise: smash_synth::NoiseSpec::none(),
+            };
+            let data = Scenario::from_config(config).generate();
+            assert_eq!(data.dataset.client_count(), n_clients);
+            // Volume tracks clients × mean within a generous band (embeds,
+            // mirrors, and chains add traffic).
+            let n = data.dataset.record_count();
+            assert!(n >= n_clients * mean / 2, "n = {}", n);
+            assert!(n <= n_clients * mean * 4, "n = {}", n);
+            // Timestamps stay within the day.
+            for r in data.dataset.records() {
+                assert!(r.timestamp < 86_400 + 3);
+            }
+        },
+    );
 }

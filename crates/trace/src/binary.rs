@@ -17,12 +17,60 @@
 //! ```
 
 use crate::record::HttpRecord;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::Ipv4Addr;
 
 const MAGIC: &[u8; 8] = b"SMSHTRC1";
+
+fn put_u16_le(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(bad("truncated"));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn get_u16_le(&mut self) -> io::Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn get_u32_le(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
 
 /// Serializes records to the binary format.
 ///
@@ -75,32 +123,35 @@ pub fn write_binary<W: Write>(mut w: W, records: &[HttpRecord]) -> io::Result<()
         })
         .collect();
 
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(table.len() as u32);
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u32_le(&mut buf, table.len() as u32);
     for s in &table {
-        buf.put_u32_le(s.len() as u32);
-        buf.put_slice(s.as_bytes());
+        put_u32_le(&mut buf, s.len() as u32);
+        buf.extend_from_slice(s.as_bytes());
     }
-    buf.put_u32_le(packed.len() as u32);
+    put_u32_le(&mut buf, packed.len() as u32);
     for p in &packed {
-        buf.put_u64_le(p.ts);
-        buf.put_u32_le(p.client);
-        buf.put_u32_le(p.host);
-        buf.put_u32_le(p.ip);
-        buf.put_u32_le(p.method);
-        buf.put_u32_le(p.uri);
-        buf.put_u32_le(p.ua);
-        buf.put_u32_le(p.referrer);
-        buf.put_u32_le(p.redirect);
-        buf.put_u32_le(p.resp_bytes);
-        buf.put_u16_le(p.status);
+        put_u64_le(&mut buf, p.ts);
+        put_u32_le(&mut buf, p.client);
+        put_u32_le(&mut buf, p.host);
+        put_u32_le(&mut buf, p.ip);
+        put_u32_le(&mut buf, p.method);
+        put_u32_le(&mut buf, p.uri);
+        put_u32_le(&mut buf, p.ua);
+        put_u32_le(&mut buf, p.referrer);
+        put_u32_le(&mut buf, p.redirect);
+        put_u32_le(&mut buf, p.resp_bytes);
+        put_u16_le(&mut buf, p.status);
     }
     w.write_all(&buf)
 }
 
 fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("malformed smsh trace: {msg}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed smsh trace: {msg}"),
+    )
 }
 
 /// Deserializes records from the binary format.
@@ -112,52 +163,48 @@ fn bad(msg: &str) -> io::Error {
 pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<HttpRecord>> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
-    let mut buf = Bytes::from(raw);
-    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+    let mut buf = Cursor::new(&raw);
+    if buf.remaining() < MAGIC.len() || buf.take(MAGIC.len())? != MAGIC {
         return Err(bad("bad magic"));
     }
-    let need = |buf: &Bytes, n: usize| -> io::Result<()> {
-        if buf.remaining() < n {
-            Err(bad("truncated"))
-        } else {
-            Ok(())
-        }
-    };
-    need(&buf, 4)?;
-    let n_strings = buf.get_u32_le() as usize;
+    let n_strings = buf.get_u32_le()? as usize;
     let mut table: Vec<String> = Vec::with_capacity(n_strings.min(1 << 20));
     for _ in 0..n_strings {
-        need(&buf, 4)?;
-        let len = buf.get_u32_le() as usize;
-        need(&buf, len)?;
-        let bytes = buf.copy_to_bytes(len);
-        let s = std::str::from_utf8(&bytes).map_err(|_| bad("invalid utf-8"))?;
+        let len = buf.get_u32_le()? as usize;
+        let bytes = buf.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| bad("invalid utf-8"))?;
         table.push(s.to_owned());
     }
     let resolve = |i: u32| -> io::Result<&String> {
-        table.get(i as usize).ok_or_else(|| bad("string index out of range"))
+        table
+            .get(i as usize)
+            .ok_or_else(|| bad("string index out of range"))
     };
-    need(&buf, 4)?;
-    let n_records = buf.get_u32_le() as usize;
+    let n_records = buf.get_u32_le()? as usize;
     let mut out = Vec::with_capacity(n_records.min(1 << 22));
     for _ in 0..n_records {
-        need(&buf, 8 + 4 * 9 + 2)?;
-        let ts = buf.get_u64_le();
-        let client = buf.get_u32_le();
-        let host = buf.get_u32_le();
-        let ip = Ipv4Addr::from(buf.get_u32_le());
-        let method = buf.get_u32_le();
-        let uri = buf.get_u32_le();
-        let ua = buf.get_u32_le();
-        let referrer = buf.get_u32_le();
-        let redirect = buf.get_u32_le();
-        let resp_bytes = buf.get_u32_le();
-        let status = buf.get_u16_le();
-        let mut rec = HttpRecord::new(ts, resolve(client)?, resolve(host)?, &ip.to_string(), resolve(uri)?)
-            .with_method(resolve(method)?)
-            .with_user_agent(resolve(ua)?)
-            .with_status(status)
-            .with_resp_bytes(resp_bytes);
+        let ts = buf.get_u64_le()?;
+        let client = buf.get_u32_le()?;
+        let host = buf.get_u32_le()?;
+        let ip = Ipv4Addr::from(buf.get_u32_le()?);
+        let method = buf.get_u32_le()?;
+        let uri = buf.get_u32_le()?;
+        let ua = buf.get_u32_le()?;
+        let referrer = buf.get_u32_le()?;
+        let redirect = buf.get_u32_le()?;
+        let resp_bytes = buf.get_u32_le()?;
+        let status = buf.get_u16_le()?;
+        let mut rec = HttpRecord::new(
+            ts,
+            resolve(client)?,
+            resolve(host)?,
+            &ip.to_string(),
+            resolve(uri)?,
+        )
+        .with_method(resolve(method)?)
+        .with_user_agent(resolve(ua)?)
+        .with_status(status)
+        .with_resp_bytes(resp_bytes);
         if referrer != 0 {
             rec = rec.with_referrer(resolve(referrer - 1)?);
         }
@@ -166,7 +213,7 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<HttpRecord>> {
         }
         out.push(rec);
     }
-    if buf.has_remaining() {
+    if buf.remaining() > 0 {
         return Err(bad("trailing bytes"));
     }
     Ok(out)
@@ -177,8 +224,14 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<HttpRecord>> {
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn write_binary_file<P: AsRef<std::path::Path>>(path: P, records: &[HttpRecord]) -> io::Result<()> {
-    write_binary(std::io::BufWriter::new(std::fs::File::create(path)?), records)
+pub fn write_binary_file<P: AsRef<std::path::Path>>(
+    path: P,
+    records: &[HttpRecord],
+) -> io::Result<()> {
+    write_binary(
+        std::io::BufWriter::new(std::fs::File::create(path)?),
+        records,
+    )
 }
 
 /// Reads records from a `.smsh` file.
@@ -250,8 +303,14 @@ mod tests {
         // Repetitive traffic (the normal case) shares nearly all strings.
         let recs: Vec<HttpRecord> = (0..500)
             .map(|i| {
-                HttpRecord::new(i, &format!("c{}", i % 10), "server.com", "1.1.1.1", "/login.php?p=1")
-                    .with_user_agent("Mozilla/5.0 (Windows NT 6.1) Firefox/15.0")
+                HttpRecord::new(
+                    i,
+                    &format!("c{}", i % 10),
+                    "server.com",
+                    "1.1.1.1",
+                    "/login.php?p=1",
+                )
+                .with_user_agent("Mozilla/5.0 (Windows NT 6.1) Firefox/15.0")
             })
             .collect();
         let mut bin = Vec::new();

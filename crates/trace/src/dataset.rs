@@ -5,14 +5,14 @@ use crate::interner::Interner;
 use crate::record::HttpRecord;
 use crate::server::ServerKey;
 use crate::uri::{parameter_pattern, uri_file, uri_path};
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// Dense id of an (aggregated) server within a [`TraceDataset`].
 pub type ServerId = u32;
 
 /// One HTTP request with every string field interned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactRecord {
     /// Seconds since trace start.
     pub timestamp: u64,
@@ -42,6 +42,22 @@ pub struct CompactRecord {
     pub redirect_to: Option<ServerId>,
 }
 
+impl_json_struct!(CompactRecord {
+    timestamp,
+    client,
+    server,
+    host,
+    ip,
+    file,
+    path,
+    param_pattern,
+    user_agent,
+    referrer,
+    status,
+    resp_bytes,
+    redirect_to,
+});
+
 /// A full trace: interned records plus per-server inverted indexes.
 ///
 /// Servers are aggregated per the paper's preprocessing step (§III-A):
@@ -62,7 +78,7 @@ pub struct CompactRecord {
 /// assert_eq!(ds.files_of(sid).len(), 2); // buy.php, logo.png
 /// assert_eq!(ds.ips_of(sid).len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceDataset {
     clients: Interner,
     servers: Interner,
@@ -81,6 +97,24 @@ pub struct TraceDataset {
     server_records: Vec<Vec<u32>>,
     server_referrers: Vec<Vec<ServerId>>,
 }
+
+impl_json_struct!(TraceDataset {
+    clients,
+    servers,
+    server_keys,
+    hosts,
+    ips,
+    files,
+    paths,
+    params,
+    user_agents,
+    records,
+    server_clients,
+    server_files,
+    server_ips,
+    server_records,
+    server_referrers,
+});
 
 impl TraceDataset {
     /// Builds a dataset from raw records, interning and indexing.
@@ -144,7 +178,12 @@ impl TraceDataset {
                 refs[s].push(rf);
             }
         }
-        for v in clients.iter_mut().chain(&mut files).chain(&mut ips).chain(&mut refs) {
+        for v in clients
+            .iter_mut()
+            .chain(&mut files)
+            .chain(&mut ips)
+            .chain(&mut refs)
+        {
             v.sort_unstable();
             v.dedup();
         }
@@ -263,7 +302,9 @@ impl TraceDataset {
 
     /// Indexes into [`records`](Self::records) of the requests to `server`.
     pub fn records_of(&self, server: ServerId) -> impl Iterator<Item = &CompactRecord> {
-        self.server_records[server as usize].iter().map(|&i| &self.records[i as usize])
+        self.server_records[server as usize]
+            .iter()
+            .map(|&i| &self.records[i as usize])
     }
 
     /// Sorted, deduplicated servers that referred clients to `server`.
@@ -378,7 +419,7 @@ mod tests {
     #[test]
     fn self_redirect_ignored() {
         let ds = TraceDataset::from_records(vec![
-            rec("c1", "hop.com", "1.1.1.1", "/").with_redirect_to("www.hop.com"),
+            rec("c1", "hop.com", "1.1.1.1", "/").with_redirect_to("www.hop.com")
         ]);
         let hop = ds.server_id("hop.com").unwrap();
         assert_eq!(ds.redirect_of(hop), None);
@@ -407,9 +448,10 @@ mod tests {
 
     #[test]
     fn record_fields_interned_consistently() {
-        let ds = TraceDataset::from_records(vec![
-            rec("c1", "x.com", "1.1.1.1", "/p/a.php?x=1&y=2").with_user_agent("UA-1"),
-        ]);
+        let ds =
+            TraceDataset::from_records(vec![
+                rec("c1", "x.com", "1.1.1.1", "/p/a.php?x=1&y=2").with_user_agent("UA-1")
+            ]);
         let r = &ds.records()[0];
         assert_eq!(ds.file_name(r.file), "a.php");
         assert_eq!(ds.path_name(r.path), "/p/a.php");

@@ -1,6 +1,6 @@
 //! String interning: map strings to dense `u32` ids and back.
 
-use serde::{Deserialize, Serialize};
+use smash_support::json::{self, FromJson, Json, JsonError, ToJson};
 use std::collections::HashMap;
 
 /// A bidirectional string ↔ dense-id table.
@@ -20,10 +20,33 @@ use std::collections::HashMap;
 /// assert_eq!(i.resolve(a), "evil.com");
 /// assert_eq!(i.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Interner {
     map: HashMap<String, u32>,
     strings: Vec<String>,
+}
+
+/// Only the id-ordered string table is serialized; the reverse map is
+/// rebuilt on read.
+impl ToJson for Interner {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("strings".to_owned(), self.strings.to_json())])
+    }
+}
+
+impl FromJson for Interner {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| JsonError("expected object for Interner".to_owned()))?;
+        let strings: Vec<String> = json::req_field(obj, "strings")?;
+        let map = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        Ok(Self { map, strings })
+    }
 }
 
 impl Interner {
@@ -73,7 +96,10 @@ impl Interner {
 
     /// Iterates over `(id, string)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
     }
 }
 

@@ -18,7 +18,7 @@ use std::path::Path;
 /// Returns any underlying I/O or serialization error.
 pub fn write_jsonl<W: Write>(mut w: W, records: &[HttpRecord]) -> io::Result<()> {
     for r in records {
-        let line = serde_json::to_string(r).map_err(io::Error::other)?;
+        let line = smash_support::json::to_string(r);
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
     }
@@ -40,7 +40,7 @@ pub fn read_jsonl<R: Read>(r: R) -> io::Result<Vec<HttpRecord>> {
         if line.trim().is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line).map_err(io::Error::other)?);
+        out.push(smash_support::json::from_str(&line).map_err(io::Error::other)?);
     }
     Ok(out)
 }

@@ -1,6 +1,6 @@
 //! Raw HTTP request records as observed at the network edge.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::net::Ipv4Addr;
 
 /// One observed HTTP request.
@@ -22,7 +22,7 @@ use std::net::Ipv4Addr;
 /// assert_eq!(r.host, "cc.evil.com");
 /// assert_eq!(r.status, 200);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRecord {
     /// Seconds since the start of the trace.
     pub timestamp: u64,
@@ -44,11 +44,26 @@ pub struct HttpRecord {
     pub status: u16,
     /// Response body size in bytes (`0` when unknown) — the paper's §VI
     /// proposed *payload similarity* dimension keys on this.
-    #[serde(default)]
+    /// Defaults to 0 when absent so traces written before the field
+    /// existed still parse.
     pub resp_bytes: u32,
     /// Target host of a 3xx `Location` header, when present.
     pub redirect_to: Option<String>,
 }
+
+impl_json_struct!(HttpRecord {
+    timestamp,
+    client,
+    host,
+    server_ip,
+    method,
+    uri,
+    user_agent,
+    referrer,
+    status,
+    resp_bytes?,
+    redirect_to,
+});
 
 impl HttpRecord {
     /// Creates a record with the required fields; the rest default to
@@ -152,9 +167,15 @@ mod tests {
 
     #[test]
     fn error_statuses() {
-        assert!(HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_status(404).is_error());
-        assert!(HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_status(0).is_error());
-        assert!(!HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/").with_status(302).is_error());
+        assert!(HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/")
+            .with_status(404)
+            .is_error());
+        assert!(HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/")
+            .with_status(0)
+            .is_error());
+        assert!(!HttpRecord::new(0, "c", "h.com", "1.2.3.4", "/")
+            .with_status(302)
+            .is_error());
     }
 
     #[test]
@@ -167,7 +188,7 @@ mod tests {
     fn resp_bytes_defaults_to_zero_for_old_jsonl() {
         // Traces written before the field existed still parse.
         let old = r#"{"timestamp":0,"client":"c","host":"h.com","server_ip":"1.2.3.4","method":"GET","uri":"/","user_agent":"","referrer":null,"status":200,"redirect_to":null}"#;
-        let r: HttpRecord = serde_json::from_str(old).unwrap();
+        let r: HttpRecord = smash_support::json::from_str(old).unwrap();
         assert_eq!(r.resp_bytes, 0);
     }
 
@@ -176,8 +197,8 @@ mod tests {
         let r = HttpRecord::new(5, "c", "h.com", "1.2.3.4", "/x.php?a=1")
             .with_referrer("ref.com")
             .with_user_agent("UA");
-        let json = serde_json::to_string(&r).unwrap();
-        let back: HttpRecord = serde_json::from_str(&json).unwrap();
+        let json = smash_support::json::to_string(&r);
+        let back: HttpRecord = smash_support::json::from_str(&json).unwrap();
         assert_eq!(r, back);
     }
 }

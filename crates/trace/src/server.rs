@@ -1,6 +1,6 @@
 //! Server identity: second-level-domain aggregation and IP servers.
 
-use serde::{Deserialize, Serialize};
+use smash_support::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -11,9 +11,9 @@ use std::net::Ipv4Addr;
 /// enough for the trace vocabularies we generate and the real-world
 /// examples the paper cites (`4k0t111m.cz.cc`, `smileenhance.co.uk`).
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp",
-    "or.jp", "com.br", "com.cn", "net.cn", "org.cn", "co.in", "co.kr", "com.mx", "com.tr",
-    "com.tw", "cz.cc", "co.cc", "co.nz", "com.ar", "com.sg", "co.za",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp", "or.jp",
+    "com.br", "com.cn", "net.cn", "org.cn", "co.in", "co.kr", "com.mx", "com.tr", "com.tw",
+    "cz.cc", "co.cc", "co.nz", "com.ar", "com.sg", "co.za",
 ];
 
 /// Returns the second-level domain a host aggregates to (paper §III-A):
@@ -56,12 +56,38 @@ pub fn second_level_domain(host: &str) -> String {
 /// The paper's notion of a server: a second-level domain or a bare IP
 /// address (clients sometimes contact servers by IP literal with no Host
 /// domain).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ServerKey {
     /// A domain-named server, aggregated to its second-level domain.
     Domain(String),
     /// A server contacted directly by IPv4 literal.
     Ip(Ipv4Addr),
+}
+
+/// Externally tagged, matching the classic derive format:
+/// `{"Domain":"evil.com"}` or `{"Ip":"1.2.3.4"}`.
+impl ToJson for ServerKey {
+    fn to_json(&self) -> Json {
+        let (tag, value) = match self {
+            ServerKey::Domain(d) => ("Domain", d.to_json()),
+            ServerKey::Ip(ip) => ("Ip", ip.to_json()),
+        };
+        Json::Obj(vec![(tag.to_owned(), value)])
+    }
+}
+
+impl FromJson for ServerKey {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_obj() {
+            Some([(tag, value)]) if tag == "Domain" => {
+                Ok(ServerKey::Domain(String::from_json(value)?))
+            }
+            Some([(tag, value)]) if tag == "Ip" => Ok(ServerKey::Ip(Ipv4Addr::from_json(value)?)),
+            _ => Err(JsonError(
+                "expected {\"Domain\": …} or {\"Ip\": …} for ServerKey".to_owned(),
+            )),
+        }
+    }
 }
 
 impl ServerKey {
@@ -128,12 +154,18 @@ mod tests {
     #[test]
     fn cdn_examples_from_paper() {
         assert_eq!(second_level_domain("photos-a.fbcdn.net"), "fbcdn.net");
-        assert_eq!(second_level_domain("ec2-1-2-3-4.amazonaws.com"), "amazonaws.com");
+        assert_eq!(
+            second_level_domain("ec2-1-2-3-4.amazonaws.com"),
+            "amazonaws.com"
+        );
     }
 
     #[test]
     fn multi_label_suffix_keeps_three_labels() {
-        assert_eq!(second_level_domain("www.smileenhance.co.uk"), "smileenhance.co.uk");
+        assert_eq!(
+            second_level_domain("www.smileenhance.co.uk"),
+            "smileenhance.co.uk"
+        );
         assert_eq!(second_level_domain("4k0t111m.cz.cc"), "4k0t111m.cz.cc");
         assert_eq!(second_level_domain("x.y.4k0t111m.cz.cc"), "4k0t111m.cz.cc");
     }

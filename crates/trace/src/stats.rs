@@ -1,7 +1,7 @@
 //! Table-I style trace summary statistics.
 
 use crate::dataset::TraceDataset;
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::fmt;
 
 /// The four statistics the paper reports per dataset in Table I:
@@ -22,7 +22,7 @@ use std::fmt;
 /// assert_eq!(s.servers, 2);
 /// assert_eq!(s.uri_files, 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceStats {
     /// Number of distinct clients.
     pub clients: usize,
@@ -33,6 +33,13 @@ pub struct TraceStats {
     /// Number of distinct non-empty URI files.
     pub uri_files: usize,
 }
+
+impl_json_struct!(TraceStats {
+    clients,
+    http_requests,
+    servers,
+    uri_files
+});
 
 impl TraceStats {
     /// Computes the statistics of a dataset.

@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn path_keeps_directories() {
-        assert_eq!(uri_path("/wp-content/uploads/sm3.php?a=b"), "/wp-content/uploads/sm3.php");
+        assert_eq!(
+            uri_path("/wp-content/uploads/sm3.php?a=b"),
+            "/wp-content/uploads/sm3.php"
+        );
         assert_eq!(uri_path("/"), "/");
     }
 

@@ -1,157 +1,232 @@
 //! Property-based tests for the trace substrate.
 
-use proptest::prelude::*;
+use smash_support::check::{check, Gen};
 use smash_trace::uri::charset_cosine;
 use smash_trace::{
     parameter_pattern, second_level_domain, uri_file, uri_path, HttpRecord, Interner, ServerKey,
     TraceDataset,
 };
 
-fn label() -> impl Strategy<Value = String> {
-    "[a-z0-9]{1,8}"
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const LOWER_DIGIT: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+const ALNUM: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+const URI_CHARS: &str = "abcdefghijklmnopqrstuvwxyz0123456789/._?=&-";
+
+fn hostname(g: &mut Gen) -> String {
+    g.vec(1..4, |g| g.string(1..=8, LOWER_DIGIT)).join(".")
 }
 
-fn hostname() -> impl Strategy<Value = String> {
-    prop::collection::vec(label(), 1..4).prop_map(|ls| ls.join("."))
+/// A URI drawn from `/[a-z0-9/._?=&-]{0,30}`.
+fn uri(g: &mut Gen) -> String {
+    format!("/{}", g.string(0..=30, URI_CHARS))
 }
 
-proptest! {
-    #[test]
-    fn sld_is_idempotent(h in hostname()) {
-        let once = second_level_domain(&h);
+#[test]
+fn sld_is_idempotent() {
+    check(hostname, |h| {
+        let once = second_level_domain(h);
         let twice = second_level_domain(&once);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    #[test]
-    fn sld_is_suffix_of_host(h in hostname()) {
-        let sld = second_level_domain(&h);
-        prop_assert!(h.to_ascii_lowercase().ends_with(&sld));
-    }
+#[test]
+fn sld_is_suffix_of_host() {
+    check(hostname, |h| {
+        let sld = second_level_domain(h);
+        assert!(h.to_ascii_lowercase().ends_with(&sld));
+    });
+}
 
-    #[test]
-    fn sld_has_at_most_three_labels(h in hostname()) {
-        let sld = second_level_domain(&h);
-        prop_assert!(sld.split('.').count() <= 3);
-    }
+#[test]
+fn sld_has_at_most_three_labels() {
+    check(hostname, |h| {
+        let sld = second_level_domain(h);
+        assert!(sld.split('.').count() <= 3);
+    });
+}
 
-    #[test]
-    fn server_key_display_round_trips(h in hostname()) {
-        let k = ServerKey::from_host(&h);
+#[test]
+fn server_key_display_round_trips() {
+    check(hostname, |h| {
+        let k = ServerKey::from_host(h);
         let k2 = ServerKey::from_host(&k.to_string());
-        prop_assert_eq!(k, k2);
-    }
+        assert_eq!(k, k2);
+    });
+}
 
-    #[test]
-    fn uri_file_never_contains_slash_or_query(uri in "/[a-z0-9/._?=&-]{0,30}") {
-        let f = uri_file(&uri);
+#[test]
+fn uri_file_never_contains_slash_or_query() {
+    check(uri, |u| {
+        let f = uri_file(u);
         // The bare root is the one URI whose "file" is "/" (paper's
         // Sality case); every other file is slash-free.
         if f != "/" {
-            prop_assert!(!f.contains('/'));
+            assert!(!f.contains('/'));
         }
-        prop_assert!(!f.contains('?'));
-    }
+        assert!(!f.contains('?'));
+    });
+}
 
-    #[test]
-    fn uri_path_is_prefix(uri in "/[a-z0-9/._?=&-]{0,30}") {
-        prop_assert!(uri.starts_with(uri_path(&uri)));
-    }
+#[test]
+fn uri_path_is_prefix() {
+    check(uri, |u| {
+        assert!(u.starts_with(uri_path(u)));
+    });
+}
 
-    #[test]
-    fn parameter_pattern_is_value_free(uri in "/x\\?([a-z]{1,4}=[0-9]{1,6}&?){1,4}") {
-        let p = parameter_pattern(&uri);
-        prop_assert!(!p.is_empty());
-        for part in p.split('&') {
-            prop_assert!(part.ends_with("=[]"), "part {} in {}", part, p);
-        }
-    }
+#[test]
+fn parameter_pattern_is_value_free() {
+    // URIs of the shape `/x?k1=12&k2=345…`, optionally with a trailing `&`.
+    check(
+        |g| {
+            let parts = g.vec(1..=4, |g| {
+                format!(
+                    "{}={}",
+                    g.string(1..=4, LOWER),
+                    g.string(1..=6, "0123456789")
+                )
+            });
+            let trailing = if g.bool(0.5) { "&" } else { "" };
+            format!("/x?{}{}", parts.join("&"), trailing)
+        },
+        |u| {
+            let p = parameter_pattern(u);
+            assert!(!p.is_empty());
+            for part in p.split('&') {
+                assert!(part.ends_with("=[]"), "part {} in {}", part, p);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn charset_cosine_symmetric_and_bounded(a in "[a-zA-Z0-9]{0,20}", b in "[a-zA-Z0-9]{0,20}") {
-        let c1 = charset_cosine(&a, &b);
-        let c2 = charset_cosine(&b, &a);
-        prop_assert!((c1 - c2).abs() < 1e-12);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&c1));
-    }
+#[test]
+fn charset_cosine_symmetric_and_bounded() {
+    check(
+        |g| (g.string(0..=20, ALNUM), g.string(0..=20, ALNUM)),
+        |(a, b)| {
+            let c1 = charset_cosine(a, b);
+            let c2 = charset_cosine(b, a);
+            assert!((c1 - c2).abs() < 1e-12);
+            assert!((0.0..=1.0 + 1e-9).contains(&c1));
+        },
+    );
+}
 
-    #[test]
-    fn charset_cosine_self_is_one(a in "[a-zA-Z0-9]{1,20}") {
-        prop_assert!((charset_cosine(&a, &a) - 1.0).abs() < 1e-9);
-    }
+#[test]
+fn charset_cosine_self_is_one() {
+    check(
+        |g| g.string(1..=20, ALNUM),
+        |a| {
+            assert!((charset_cosine(a, a) - 1.0).abs() < 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn interner_round_trips(strings in prop::collection::vec("[a-z]{1,6}", 0..20)) {
-        let mut i = Interner::new();
-        let ids: Vec<u32> = strings.iter().map(|s| i.intern(s)).collect();
-        for (s, id) in strings.iter().zip(&ids) {
-            prop_assert_eq!(i.resolve(*id), s.as_str());
-        }
-        let distinct: std::collections::HashSet<&String> = strings.iter().collect();
-        prop_assert_eq!(i.len(), distinct.len());
-    }
+#[test]
+fn interner_round_trips() {
+    check(
+        |g| g.vec(0..20, |g| g.string(1..=6, LOWER)),
+        |strings| {
+            let mut i = Interner::new();
+            let ids: Vec<u32> = strings.iter().map(|s| i.intern(s)).collect();
+            for (s, id) in strings.iter().zip(&ids) {
+                assert_eq!(i.resolve(*id), s.as_str());
+            }
+            let distinct: std::collections::HashSet<&String> = strings.iter().collect();
+            assert_eq!(i.len(), distinct.len());
+        },
+    );
+}
 
-    #[test]
-    fn dataset_index_invariants(
-        recs in prop::collection::vec(
-            (hostname(), "[a-c]", "/[a-z]{1,5}\\.php", 0u8..4),
-            1..40,
-        )
-    ) {
-        let records: Vec<HttpRecord> = recs
-            .iter()
-            .enumerate()
-            .map(|(t, (host, client, uri, ip))| {
-                HttpRecord::new(t as u64, client, host, &format!("10.0.0.{ip}"), uri)
+#[test]
+fn dataset_index_invariants() {
+    check(
+        |g| {
+            g.vec(1..40, |g| {
+                (
+                    hostname(g),
+                    g.string(1..=1, "abc"),
+                    format!("/{}.php", g.string(1..=5, LOWER)),
+                    g.range(0u8..4),
+                )
             })
-            .collect();
-        let ds = TraceDataset::from_records(records);
-        // Every record's server/client/file ids resolve, and inverted
-        // indexes are consistent with the records.
-        for r in ds.records() {
-            prop_assert!(ds.clients_of(r.server).binary_search(&r.client).is_ok());
-            prop_assert!(ds.ips_of(r.server).binary_search(&r.ip).is_ok());
-            prop_assert!(ds.files_of(r.server).binary_search(&r.file).is_ok());
-        }
-        // Total clients across servers >= distinct clients (each client
-        // appears in at least one server's list).
-        let union: std::collections::HashSet<u32> = ds
-            .server_ids()
-            .flat_map(|s| ds.clients_of(s).to_vec())
-            .collect();
-        prop_assert_eq!(union.len(), ds.client_count());
-    }
+        },
+        |recs| {
+            let records: Vec<HttpRecord> = recs
+                .iter()
+                .enumerate()
+                .map(|(t, (host, client, uri, ip))| {
+                    HttpRecord::new(t as u64, client, host, &format!("10.0.0.{ip}"), uri)
+                })
+                .collect();
+            let ds = TraceDataset::from_records(records);
+            // Every record's server/client/file ids resolve, and inverted
+            // indexes are consistent with the records.
+            for r in ds.records() {
+                assert!(ds.clients_of(r.server).binary_search(&r.client).is_ok());
+                assert!(ds.ips_of(r.server).binary_search(&r.ip).is_ok());
+                assert!(ds.files_of(r.server).binary_search(&r.file).is_ok());
+            }
+            // Total clients across servers >= distinct clients (each client
+            // appears in at least one server's list).
+            let union: std::collections::HashSet<u32> = ds
+                .server_ids()
+                .flat_map(|s| ds.clients_of(s).to_vec())
+                .collect();
+            assert_eq!(union.len(), ds.client_count());
+        },
+    );
+}
 
-    #[test]
-    fn binary_round_trip(
-        recs in prop::collection::vec(
-            (hostname(), "[a-c]{1,2}", "/[a-z]{1,6}", 0u64..1000, 0u16..600),
-            0..15,
-        )
-    ) {
-        let records: Vec<HttpRecord> = recs
-            .iter()
-            .map(|(h, c, u, ts, st)| {
-                HttpRecord::new(*ts, c, h, "1.2.3.4", u).with_status(*st)
+#[test]
+fn binary_round_trip() {
+    check(
+        |g| {
+            g.vec(0..15, |g| {
+                (
+                    hostname(g),
+                    g.string(1..=2, "abc"),
+                    format!("/{}", g.string(1..=6, LOWER)),
+                    g.range(0u64..1000),
+                    g.range(0u16..600),
+                )
             })
-            .collect();
-        let mut buf = Vec::new();
-        smash_trace::binary::write_binary(&mut buf, &records).unwrap();
-        let back = smash_trace::binary::read_binary(&buf[..]).unwrap();
-        prop_assert_eq!(records, back);
-    }
+        },
+        |recs| {
+            let records: Vec<HttpRecord> = recs
+                .iter()
+                .map(|(h, c, u, ts, st)| HttpRecord::new(*ts, c, h, "1.2.3.4", u).with_status(*st))
+                .collect();
+            let mut buf = Vec::new();
+            smash_trace::binary::write_binary(&mut buf, &records).unwrap();
+            let back = smash_trace::binary::read_binary(&buf[..]).unwrap();
+            assert_eq!(records, back);
+        },
+    );
+}
 
-    #[test]
-    fn jsonl_round_trip(
-        recs in prop::collection::vec((hostname(), "[a-c]{1,2}", "/[a-z]{1,6}"), 0..10)
-    ) {
-        let records: Vec<HttpRecord> = recs
-            .iter()
-            .map(|(h, c, u)| HttpRecord::new(0, c, h, "1.2.3.4", u))
-            .collect();
-        let mut buf = Vec::new();
-        smash_trace::io::write_jsonl(&mut buf, &records).unwrap();
-        let back = smash_trace::io::read_jsonl(&buf[..]).unwrap();
-        prop_assert_eq!(records, back);
-    }
+#[test]
+fn jsonl_round_trip() {
+    check(
+        |g| {
+            g.vec(0..10, |g| {
+                (
+                    hostname(g),
+                    g.string(1..=2, "abc"),
+                    format!("/{}", g.string(1..=6, LOWER)),
+                )
+            })
+        },
+        |recs| {
+            let records: Vec<HttpRecord> = recs
+                .iter()
+                .map(|(h, c, u)| HttpRecord::new(0, c, h, "1.2.3.4", u))
+                .collect();
+            let mut buf = Vec::new();
+            smash_trace::io::write_jsonl(&mut buf, &records).unwrap();
+            let back = smash_trace::io::read_jsonl(&buf[..]).unwrap();
+            assert_eq!(records, back);
+        },
+    );
 }

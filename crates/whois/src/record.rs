@@ -1,13 +1,13 @@
 //! Whois registration records and field-level similarity.
 
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 
 /// A domain registration record with the five fields the paper compares:
 /// registrant name, home address, email, phone number, and name servers.
 ///
 /// All fields are optional — real Whois data is patchy, and the similarity
 /// rule only counts fields present on at least one side.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WhoisRecord {
     /// Registrant (owner) name.
     pub registrant: Option<String>,
@@ -24,6 +24,15 @@ pub struct WhoisRecord {
     /// are *not* evidence of association.
     pub privacy_proxy: bool,
 }
+
+impl_json_struct!(WhoisRecord {
+    registrant,
+    address,
+    email,
+    phone,
+    name_servers,
+    privacy_proxy,
+});
 
 impl WhoisRecord {
     /// Creates an empty record.
@@ -112,7 +121,11 @@ impl WhoisRecord {
         let ns_union = !self.name_servers.is_empty() || !other.name_servers.is_empty();
         if ns_union {
             union += 1;
-            if self.name_servers.iter().any(|n| other.name_servers.contains(n)) {
+            if self
+                .name_servers
+                .iter()
+                .any(|n| other.name_servers.contains(n))
+            {
                 shared += 1;
             }
         }
@@ -178,14 +191,19 @@ mod tests {
 
     #[test]
     fn name_server_intersection_is_shared() {
-        let a = WhoisRecord::new().with_name_server("ns1.a").with_name_server("ns2.a");
-        let b = WhoisRecord::new().with_name_server("ns2.a").with_name_server("ns3.a");
+        let a = WhoisRecord::new()
+            .with_name_server("ns1.a")
+            .with_name_server("ns2.a");
+        let b = WhoisRecord::new()
+            .with_name_server("ns2.a")
+            .with_name_server("ns3.a");
         assert_eq!(a.shared_fields(&b), (1, 1));
     }
 
     #[test]
     fn proxy_pair_ignores_identity_fields() {
-        let proxy = full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g").with_privacy_proxy(true);
+        let proxy =
+            full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g").with_privacy_proxy(true);
         let (shared, union) = proxy.shared_fields(&proxy.clone());
         assert_eq!(union, 5);
         assert_eq!(shared, 1); // only the name-server slot survives
@@ -193,7 +211,8 @@ mod tests {
 
     #[test]
     fn single_proxy_side_still_counts() {
-        let proxy = full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g").with_privacy_proxy(true);
+        let proxy =
+            full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g").with_privacy_proxy(true);
         let honest = full("WhoisGuard", "Panama", "p@guard", "000", "ns1.g");
         let (shared, _) = proxy.shared_fields(&honest);
         assert_eq!(shared, 5);

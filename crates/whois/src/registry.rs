@@ -2,7 +2,7 @@
 
 use crate::record::WhoisRecord;
 use crate::MIN_SHARED_FIELDS;
-use serde::{Deserialize, Serialize};
+use smash_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// A domain → [`WhoisRecord`] lookup table.
@@ -10,10 +10,12 @@ use std::collections::HashMap;
 /// Populated by the synthetic workload generator; queried by the SMASH
 /// Whois dimension. Only domain-keyed servers have records — IP-keyed
 /// servers never match.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WhoisRegistry {
     records: HashMap<String, WhoisRecord>,
 }
+
+impl_json_struct!(WhoisRegistry { records });
 
 impl WhoisRegistry {
     /// Creates an empty registry.
@@ -75,11 +77,15 @@ mod tests {
         let mut reg = WhoisRegistry::new();
         reg.insert(
             "a.com",
-            WhoisRecord::new().with_phone("555").with_name_server("ns1.x"),
+            WhoisRecord::new()
+                .with_phone("555")
+                .with_name_server("ns1.x"),
         );
         reg.insert(
             "b.com",
-            WhoisRecord::new().with_phone("555").with_name_server("ns1.x"),
+            WhoisRecord::new()
+                .with_phone("555")
+                .with_name_server("ns1.x"),
         );
         reg.insert("c.com", WhoisRecord::new().with_phone("555"));
         reg

@@ -1,83 +1,141 @@
 //! Property-based tests for Whois similarity invariants.
 
-use proptest::prelude::*;
+use smash_support::check::{assume, check, Gen};
 use smash_whois::{WhoisRecord, WhoisRegistry};
 
-fn record() -> impl Strategy<Value = WhoisRecord> {
-    (
-        prop::option::of("[a-z]{2,8}"),
-        prop::option::of("[a-z0-9 ]{2,12}"),
-        prop::option::of("[a-z]{2,6}@[a-z]{2,6}\\.[a-z]{2,3}"),
-        prop::option::of("\\+[0-9]{5,10}"),
-        prop::collection::vec("ns[0-9]\\.[a-z]{3,6}\\.net", 0..3),
-        any::<bool>(),
-    )
-        .prop_map(|(reg, addr, email, phone, ns, proxy)| {
-            let mut r = WhoisRecord::new().with_privacy_proxy(proxy);
-            if let Some(v) = reg {
-                r = r.with_registrant(&v);
-            }
-            if let Some(v) = addr {
-                r = r.with_address(&v);
-            }
-            if let Some(v) = email {
-                r = r.with_email(&v);
-            }
-            if let Some(v) = phone {
-                r = r.with_phone(&v);
-            }
-            for n in ns {
-                r = r.with_name_server(&n);
-            }
-            r
-        })
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+
+/// Raw, shrinkable ingredients for a [`WhoisRecord`]: registrant,
+/// address, email, phone, name servers, privacy-proxy flag.
+type Raw = (
+    Option<String>,
+    Option<String>,
+    Option<String>,
+    Option<String>,
+    Vec<String>,
+    bool,
+);
+
+fn opt<F: FnOnce(&mut Gen) -> String>(g: &mut Gen, f: F) -> Option<String> {
+    if g.bool(0.5) {
+        Some(f(g))
+    } else {
+        None
+    }
 }
 
-proptest! {
-    #[test]
-    fn similarity_is_symmetric_and_bounded(a in record(), b in record()) {
-        let s1 = a.similarity(&b);
-        let s2 = b.similarity(&a);
-        prop_assert!((s1 - s2).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&s1));
-    }
+fn raw(g: &mut Gen) -> Raw {
+    (
+        opt(g, |g| g.string(2..=8, LOWER)),
+        opt(g, |g| {
+            g.string(2..=12, "abcdefghijklmnopqrstuvwxyz0123456789 ")
+        }),
+        opt(g, |g| {
+            format!(
+                "{}@{}.{}",
+                g.string(2..=6, LOWER),
+                g.string(2..=6, LOWER),
+                g.string(2..=3, LOWER)
+            )
+        }),
+        opt(g, |g| format!("+{}", g.string(5..=10, "0123456789"))),
+        g.vec(0..3, |g| {
+            format!("ns{}.{}.net", g.range(0u32..10), g.string(3..=6, LOWER))
+        }),
+        g.bool(0.5),
+    )
+}
 
-    #[test]
-    fn shared_never_exceeds_union(a in record(), b in record()) {
-        let (shared, union) = a.shared_fields(&b);
-        prop_assert!(shared <= union);
-        prop_assert!(union <= 5);
+fn record((reg, addr, email, phone, ns, proxy): &Raw) -> WhoisRecord {
+    let mut r = WhoisRecord::new().with_privacy_proxy(*proxy);
+    if let Some(v) = reg {
+        r = r.with_registrant(v);
     }
-
-    #[test]
-    fn self_similarity_is_one_for_non_proxy(a in record()) {
-        prop_assume!(!a.privacy_proxy);
-        prop_assume!(a.field_count() > 0);
-        prop_assert!((a.similarity(&a.clone()) - 1.0).abs() < 1e-12);
+    if let Some(v) = addr {
+        r = r.with_address(v);
     }
+    if let Some(v) = email {
+        r = r.with_email(v);
+    }
+    if let Some(v) = phone {
+        r = r.with_phone(v);
+    }
+    for n in ns {
+        r = r.with_name_server(n);
+    }
+    r
+}
 
-    #[test]
-    fn proxy_pairs_never_match_on_identity_alone(a in record()) {
-        // A proxy record compared with itself can share at most the
-        // name-server slot.
-        prop_assume!(a.privacy_proxy);
+#[test]
+fn similarity_is_symmetric_and_bounded() {
+    check(
+        |g| (raw(g), raw(g)),
+        |(a, b)| {
+            let (a, b) = (record(a), record(b));
+            let s1 = a.similarity(&b);
+            let s2 = b.similarity(&a);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        },
+    );
+}
+
+#[test]
+fn shared_never_exceeds_union() {
+    check(
+        |g| (raw(g), raw(g)),
+        |(a, b)| {
+            let (shared, union) = record(a).shared_fields(&record(b));
+            assert!(shared <= union);
+            assert!(union <= 5);
+        },
+    );
+}
+
+#[test]
+fn self_similarity_is_one_for_non_proxy() {
+    check(raw, |r| {
+        let a = record(r);
+        assume(!a.privacy_proxy);
+        assume(a.field_count() > 0);
+        assert!((a.similarity(&a.clone()) - 1.0).abs() < 1e-12);
+    });
+}
+
+#[test]
+fn proxy_pairs_never_match_on_identity_alone() {
+    // A proxy record compared with itself can share at most the
+    // name-server slot.
+    check(raw, |r| {
+        let a = record(r);
+        assume(a.privacy_proxy);
         let (shared, _) = a.shared_fields(&a.clone());
-        prop_assert!(shared <= 1, "shared {shared}");
-    }
+        assert!(shared <= 1, "shared {shared}");
+    });
+}
 
-    #[test]
-    fn registry_association_is_symmetric(a in record(), b in record()) {
-        let mut reg = WhoisRegistry::new();
-        reg.insert("a.com", a);
-        reg.insert("b.com", b);
-        prop_assert_eq!(reg.associated("a.com", "b.com"), reg.associated("b.com", "a.com"));
-    }
+#[test]
+fn registry_association_is_symmetric() {
+    check(
+        |g| (raw(g), raw(g)),
+        |(a, b)| {
+            let mut reg = WhoisRegistry::new();
+            reg.insert("a.com", record(a));
+            reg.insert("b.com", record(b));
+            assert_eq!(
+                reg.associated("a.com", "b.com"),
+                reg.associated("b.com", "a.com")
+            );
+        },
+    );
+}
 
-    #[test]
-    fn unregistered_never_associates(a in record()) {
+#[test]
+fn unregistered_never_associates() {
+    check(raw, |r| {
         let mut reg = WhoisRegistry::new();
-        reg.insert("a.com", a);
-        prop_assert!(!reg.associated("a.com", "ghost.com"));
-        prop_assert_eq!(reg.similarity("ghost.com", "a.com"), 0.0);
-    }
+        reg.insert("a.com", record(r));
+        assert!(!reg.associated("a.com", "ghost.com"));
+        assert_eq!(reg.similarity("ghost.com", "a.com"), 0.0);
+    });
 }

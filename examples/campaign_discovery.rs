@@ -29,8 +29,13 @@ fn main() {
 
     // Judge every campaign against IDS 2012/2013 + blacklists, exactly as
     // the paper's evaluation does.
-    let engine = VerdictEngine::new(&data.dataset, &data.ids2012, &data.ids2013, &data.blacklists)
-        .with_truth(&data.truth);
+    let engine = VerdictEngine::new(
+        &data.dataset,
+        &data.ids2012,
+        &data.ids2013,
+        &data.blacklists,
+    )
+    .with_truth(&data.truth);
     let judged = engine.judge_all(&report.campaign_server_names());
     let campaigns = CampaignBreakdown::from_judged(&judged);
     let servers = ServerBreakdown::from_judged(&judged);
@@ -42,13 +47,22 @@ fn main() {
     println!("  IDS 2013 partial  {}", campaigns.ids2013_partial);
     println!("  blacklist partial {}", campaigns.blacklist_partial);
     println!("  suspicious        {}", campaigns.suspicious);
-    println!("  false positives   {} ({} after noise removal)", campaigns.false_positives, campaigns.fp_updated);
+    println!(
+        "  false positives   {} ({} after noise removal)",
+        campaigns.false_positives, campaigns.fp_updated
+    );
 
     println!("\nserver verdicts (Table III taxonomy):");
     println!("  total inferred    {}", servers.smash);
-    println!("  IDS 2012 / 2013   {} / {}", servers.ids2012, servers.ids2013);
+    println!(
+        "  IDS 2012 / 2013   {} / {}",
+        servers.ids2012, servers.ids2013
+    );
     println!("  blacklist         {}", servers.blacklist);
-    println!("  new servers       {}  <- previously unknown", servers.new_servers);
+    println!(
+        "  new servers       {}  <- previously unknown",
+        servers.new_servers
+    );
     if let Some(m) = servers.discovery_multiplier() {
         println!("  discovery         {m:.1}x beyond IDS+blacklists (paper: ~7x)");
     }
@@ -71,7 +85,10 @@ fn main() {
             continue;
         };
         let hit = planted.iter().filter(|s| best.contains_server(s)).count();
-        println!("\ncase study `{name}`: {hit}/{} servers recovered in one campaign:", planted.len());
+        println!(
+            "\ncase study `{name}`: {hit}/{} servers recovered in one campaign:",
+            planted.len()
+        );
         for s in best.servers.iter().take(6) {
             let role = data
                 .truth

@@ -19,17 +19,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, bot) in ["10.0.0.5", "10.0.0.9"].iter().enumerate() {
         for domain in ["update-cdn1.biz", "update-cdn2.biz", "update-cdn3.biz"] {
             records.push(
-                HttpRecord::new(60 * i as u64, bot, domain, "185.13.37.1", "/panel/gate.php?id=77&v=2")
-                    .with_user_agent("Mozilla/4.0 (compatible; MSIE 6.0)"),
+                HttpRecord::new(
+                    60 * i as u64,
+                    bot,
+                    domain,
+                    "185.13.37.1",
+                    "/panel/gate.php?id=77&v=2",
+                )
+                .with_user_agent("Mozilla/4.0 (compatible; MSIE 6.0)"),
             );
         }
     }
     for (client, host, ip, uri) in [
-        ("10.0.0.2", "news.example.com", "93.184.216.34", "/stories/today.html"),
-        ("10.0.0.3", "news.example.com", "93.184.216.34", "/index.html"),
-        ("10.0.0.2", "shop.example.net", "93.184.216.40", "/cart.php?item=3"),
-        ("10.0.0.7", "mail.example.org", "93.184.216.50", "/inbox.html"),
-        ("10.0.0.5", "news.example.com", "93.184.216.34", "/index.html"),
+        (
+            "10.0.0.2",
+            "news.example.com",
+            "93.184.216.34",
+            "/stories/today.html",
+        ),
+        (
+            "10.0.0.3",
+            "news.example.com",
+            "93.184.216.34",
+            "/index.html",
+        ),
+        (
+            "10.0.0.2",
+            "shop.example.net",
+            "93.184.216.40",
+            "/cart.php?item=3",
+        ),
+        (
+            "10.0.0.7",
+            "mail.example.org",
+            "93.184.216.50",
+            "/inbox.html",
+        ),
+        (
+            "10.0.0.5",
+            "news.example.com",
+            "93.184.216.34",
+            "/index.html",
+        ),
     ] {
         records.push(HttpRecord::new(120, client, host, ip, uri).with_user_agent("Mozilla/5.0"));
     }

@@ -57,7 +57,10 @@ fn main() {
             agile
         );
         if d > 0 && !fresh.is_empty() {
-            println!("        fresh infrastructure sample: {:?}", &fresh[..fresh.len().min(3)]);
+            println!(
+                "        fresh infrastructure sample: {:?}",
+                &fresh[..fresh.len().min(3)]
+            );
         }
         known_servers.extend(today_servers);
         known_clients.extend(today_clients);

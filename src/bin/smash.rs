@@ -99,7 +99,10 @@ fn cmd_generate(args: &[String]) -> CliResult {
         io::write_jsonl_file(out, &records)?;
     }
     let whois_path = format!("{out}.whois.json");
-    std::fs::write(&whois_path, serde_json::to_string_pretty(&data.whois)?)?;
+    std::fs::write(
+        &whois_path,
+        smash::support::json::to_string_pretty(&data.whois),
+    )?;
     println!(
         "wrote {} records to {out} and the Whois registry to {whois_path} (seed {seed})",
         records.len()
@@ -119,7 +122,7 @@ fn load(args: &[String]) -> Result<(TraceDataset, WhoisRegistry), Box<dyn std::e
     };
     let dataset = TraceDataset::from_records(records);
     let whois = match flag_value(args, "--whois") {
-        Some(p) => serde_json::from_str(&std::fs::read_to_string(p)?)?,
+        Some(p) => smash::support::json::from_str(&std::fs::read_to_string(p)?)?,
         None => WhoisRegistry::new(),
     };
     Ok((dataset, whois))
@@ -162,14 +165,20 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         }
     }
     if let Some(out) = flag_value(args, "--json") {
-        std::fs::write(out, serde_json::to_string_pretty(&report.campaigns)?)?;
+        std::fs::write(
+            out,
+            smash::support::json::to_string_pretty(&report.campaigns),
+        )?;
         println!("\nwrote JSON report to {out}");
     }
     if let Some(out) = flag_value(args, "--dot") {
         // The main (client-similarity) graph, colored by herd — the
         // paper's Fig. 3 view. Node i of the graph is the i-th kept
         // server; resolve labels through the preprocessing order.
-        let pre = smash::core::preprocess::filter_popular(&dataset, Smash::new(SmashConfig::default()).config().idf_threshold);
+        let pre = smash::core::preprocess::filter_popular(
+            &dataset,
+            Smash::new(SmashConfig::default()).config().idf_threshold,
+        );
         let label = |u: u32| {
             pre.kept
                 .get(u as usize)

@@ -36,6 +36,7 @@ pub use smash_core as core;
 pub use smash_eval as eval;
 pub use smash_graph as graph;
 pub use smash_groundtruth as groundtruth;
+pub use smash_support as support;
 pub use smash_synth as synth;
 pub use smash_trace as trace;
 pub use smash_whois as whois;

@@ -50,11 +50,20 @@ fn herd_mining_dominates_isolation_scoring() {
         .count();
 
     // SMASH: near-total recall at (near-)zero benign FPs.
-    assert!(smash_tp * 10 >= planted * 9, "SMASH recall {smash_tp}/{planted}");
+    assert!(
+        smash_tp * 10 >= planted * 9,
+        "SMASH recall {smash_tp}/{planted}"
+    );
     assert!(smash_fp <= 5, "SMASH benign FPs: {smash_fp}");
     // The baseline trades much worse on both axes.
-    assert!(base_tp < smash_tp, "baseline recall {base_tp} vs SMASH {smash_tp}");
-    assert!(base_fp > smash_fp, "baseline FPs {base_fp} vs SMASH {smash_fp}");
+    assert!(
+        base_tp < smash_tp,
+        "baseline recall {base_tp} vs SMASH {smash_tp}"
+    );
+    assert!(
+        base_fp > smash_fp,
+        "baseline FPs {base_fp} vs SMASH {smash_fp}"
+    );
 }
 
 #[test]

@@ -56,8 +56,12 @@ fn threshold_sweep_is_monotone() {
     let data = Scenario::small_day(5).generate();
     let mut prev = usize::MAX;
     for t in [0.5, 0.8, 1.0, 1.5] {
-        let report = Smash::new(SmashConfig::default().with_threshold(t).with_single_client_threshold(t))
-            .run(&data.dataset, &data.whois);
+        let report = Smash::new(
+            SmashConfig::default()
+                .with_threshold(t)
+                .with_single_client_threshold(t),
+        )
+        .run(&data.dataset, &data.whois);
         let n = report.inferred_server_count();
         assert!(n <= prev, "servers grew from {prev} to {n} at thresh {t}");
         prev = n;
@@ -68,8 +72,8 @@ fn threshold_sweep_is_monotone() {
 fn popular_servers_are_filtered_before_mining() {
     let data = Scenario::small_day(6).generate();
     // An aggressive IDF threshold removes almost everything…
-    let strict = Smash::new(SmashConfig::default().with_idf_threshold(0))
-        .run(&data.dataset, &data.whois);
+    let strict =
+        Smash::new(SmashConfig::default().with_idf_threshold(0)).run(&data.dataset, &data.whois);
     assert_eq!(strict.kept_servers, 0);
     assert!(strict.campaigns.is_empty());
     // …while the default keeps nearly all servers at this scale.

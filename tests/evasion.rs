@@ -99,7 +99,10 @@ fn single_server_campaigns_are_invisible_by_design() {
     let ds = TraceDataset::from_records(records);
     let report = Smash::new(SmashConfig::default()).run(&ds, &data.whois);
     assert!(
-        !report.campaigns.iter().any(|c| c.contains_server("lonely-cc.biz")),
+        !report
+            .campaigns
+            .iter()
+            .any(|c| c.contains_server("lonely-cc.biz")),
         "a single-server campaign has no herd to associate with"
     );
 }
@@ -120,7 +123,10 @@ fn splitting_every_secondary_dimension_weakens_detection() {
             data.dataset.path_name(r.path),
         ));
     }
-    for (i, domain) in (0..8).map(|i| (i, format!("fullsplit{i}.biz"))).collect::<Vec<_>>() {
+    for (i, domain) in (0..8)
+        .map(|i| (i, format!("fullsplit{i}.biz")))
+        .collect::<Vec<_>>()
+    {
         for bot in ["client-00001", "client-00002", "client-00003"] {
             records.push(smash::trace::HttpRecord::new(
                 600 + i as u64,
@@ -141,5 +147,8 @@ fn splitting_every_secondary_dimension_weakens_detection() {
                 .any(|c| c.contains_server(&format!("fullsplit{i}.biz")))
         })
         .count();
-    assert_eq!(caught, 0, "fully split dimensions should evade (at real cost to the attacker)");
+    assert_eq!(
+        caught, 0,
+        "fully split dimensions should evade (at real cost to the attacker)"
+    );
 }

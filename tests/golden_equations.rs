@@ -1,0 +1,235 @@
+//! Golden-value tests for the paper's similarity equations.
+//!
+//! Each test builds a tiny hand-sized trace, runs one dimension's
+//! `build_graph`, and checks the edge weight against a value computed by
+//! hand from the equation — eq. 1 (client similarity), eqs. 2–7 (URI-file
+//! similarity, both the exact-match and the charset-cosine branch), and
+//! eq. 8 (IP-set similarity).
+
+use smash::core::dimensions::{
+    ClientDimension, Dimension, DimensionContext, IpSetDimension, UriFileDimension,
+};
+use smash::core::SmashConfig;
+use smash::trace::uri::charset_cosine;
+use smash::trace::{HttpRecord, TraceDataset};
+use smash::whois::WhoisRegistry;
+use std::collections::HashMap;
+
+/// Builds the dimension graph for `records` and returns it together with
+/// a `host → node id` lookup.
+fn graph_of(
+    dim: &dyn Dimension,
+    records: Vec<HttpRecord>,
+) -> (smash::graph::Graph, HashMap<String, u32>) {
+    let ds = TraceDataset::from_records(records);
+    let whois = WhoisRegistry::new();
+    let config = SmashConfig::default();
+    let nodes: Vec<u32> = ds.server_ids().collect();
+    let node_of: HashMap<u32, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
+    let g = dim.build_graph(&DimensionContext {
+        dataset: &ds,
+        whois: &whois,
+        config: &config,
+        nodes: &nodes,
+        node_of: &node_of,
+    });
+    let by_host = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (ds.server_name(s).to_string(), i as u32))
+        .collect();
+    (g, by_host)
+}
+
+fn weight(g: &smash::graph::Graph, hosts: &HashMap<String, u32>, a: &str, b: &str) -> Option<f64> {
+    g.edge_weight(hosts[a], hosts[b])
+}
+
+// ---------------------------------------------------------------- eq. 1
+
+#[test]
+fn eq1_client_similarity_partial_overlap() {
+    // Ca = {c1, c2}, Cb = {c1, c2, c3}, shared = 2:
+    // Client(a,b) = (2/2) · (2/3) = 2/3 ≥ 0.3 → edge with weight 2/3.
+    let (g, hosts) = graph_of(
+        &ClientDimension,
+        vec![
+            HttpRecord::new(0, "c1", "a.com", "1.1.1.1", "/x"),
+            HttpRecord::new(1, "c2", "a.com", "1.1.1.1", "/x"),
+            HttpRecord::new(2, "c1", "b.com", "1.1.1.2", "/y"),
+            HttpRecord::new(3, "c2", "b.com", "1.1.1.2", "/y"),
+            HttpRecord::new(4, "c3", "b.com", "1.1.1.2", "/y"),
+        ],
+    );
+    assert_eq!(g.edge_count(), 1);
+    let w = weight(&g, &hosts, "a.com", "b.com").unwrap();
+    assert!((w - 2.0 / 3.0).abs() < 1e-12, "weight {w}");
+}
+
+#[test]
+fn eq1_client_similarity_below_edge_min_drops() {
+    // Ca = {c1, a2, a3, a4}, Cb = {c1, b2, b3, b4}, shared = 1:
+    // Client(a,b) = (1/4) · (1/4) = 0.0625 < client_edge_min 0.3 → no edge.
+    let mut records = vec![
+        HttpRecord::new(0, "c1", "a.com", "1.1.1.1", "/x"),
+        HttpRecord::new(0, "c1", "b.com", "1.1.1.2", "/y"),
+    ];
+    for i in 2..5 {
+        records.push(HttpRecord::new(
+            0,
+            &format!("a{i}"),
+            "a.com",
+            "1.1.1.1",
+            "/x",
+        ));
+        records.push(HttpRecord::new(
+            0,
+            &format!("b{i}"),
+            "b.com",
+            "1.1.1.2",
+            "/y",
+        ));
+    }
+    let (g, _) = graph_of(&ClientDimension, records);
+    assert_eq!(g.edge_count(), 0);
+}
+
+// ------------------------------------------------------------ eqs. 2–7
+
+#[test]
+fn eq7_file_similarity_exact_short_names() {
+    // Fa = {login.php, a1.html}, Fb = {login.php, b1.html, b2.html};
+    // login.php matches exactly (eq. 2, short name ≤ 25 chars):
+    // File(a,b) = (1/2) · (1/3) = 1/6 ≥ 0.02 → edge.
+    let (g, hosts) = graph_of(
+        &UriFileDimension,
+        vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/login.php"),
+            HttpRecord::new(1, "c", "a.com", "1.1.1.1", "/a1.html"),
+            HttpRecord::new(2, "c", "b.com", "1.1.1.2", "/login.php"),
+            HttpRecord::new(3, "c", "b.com", "1.1.1.2", "/b1.html"),
+            HttpRecord::new(4, "c", "b.com", "1.1.1.2", "/b2.html"),
+        ],
+    );
+    assert_eq!(g.edge_count(), 1);
+    let w = weight(&g, &hosts, "a.com", "b.com").unwrap();
+    assert!((w - 1.0 / 6.0).abs() < 1e-12, "weight {w}");
+}
+
+#[test]
+fn eq7_file_similarity_below_edge_min_drops() {
+    // Each server: index.html plus 7 private files. One exact match:
+    // File(a,b) = (1/8) · (1/8) = 0.015625 < file_edge_min 0.02 → no edge.
+    let mut records = Vec::new();
+    for (host, ip) in [("a.com", "1.1.1.1"), ("b.com", "1.1.1.2")] {
+        records.push(HttpRecord::new(0, "c", host, ip, "/index.html"));
+        for i in 0..7 {
+            records.push(HttpRecord::new(
+                0,
+                "c",
+                host,
+                ip,
+                &format!("/{host}-{i}.gif"),
+            ));
+        }
+    }
+    let (g, _) = graph_of(&UriFileDimension, records);
+    assert_eq!(g.edge_count(), 0);
+}
+
+#[test]
+fn eq6_charset_cosine_golden_value() {
+    // "aab" → (2,1)/√5, "abb" → (1,2)/√5; cos = (2·1 + 1·2)/5 = 0.8 —
+    // exactly the paper's threshold (matching requires strictly above).
+    assert!((charset_cosine("aab", "abb") - 0.8).abs() < 1e-12);
+    // Identical distribution → 1; disjoint alphabets → 0.
+    assert!((charset_cosine("abcabc", "cbacba") - 1.0).abs() < 1e-12);
+    assert!(charset_cosine("aaa", "zzz").abs() < 1e-12);
+}
+
+#[test]
+fn eq6_long_obfuscated_names_match_by_cosine() {
+    // Two 30-char names (> len threshold 25) over the alphabet {a, b}:
+    // counts (15,15) and (21,9); cos = (15·21 + 15·9) / (√450 · √522)
+    // = 450 / 484.66... ≈ 0.9285 > 0.8 → fuzzy match (eqs. 4–6).
+    // One file per server → File(a,b) = (1/1) · (1/1) = 1.
+    let f1 = format!("/{}{}", "a".repeat(15), "b".repeat(15));
+    let f2 = format!("/{}{}", "a".repeat(21), "b".repeat(9));
+    let (g, hosts) = graph_of(
+        &UriFileDimension,
+        vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", &f1),
+            HttpRecord::new(1, "c", "b.com", "1.1.1.2", &f2),
+        ],
+    );
+    assert_eq!(g.edge_count(), 1);
+    assert_eq!(weight(&g, &hosts, "a.com", "b.com"), Some(1.0));
+}
+
+#[test]
+fn eq6_long_names_with_low_cosine_do_not_match() {
+    // Same {a, b} bucket, but counts (29,1) vs (1,29):
+    // cos = (29 + 29) / 842 ≈ 0.0689 < 0.8 → no match, no edge.
+    let f1 = format!("/{}{}", "a".repeat(29), "b");
+    let f2 = format!("/{}{}", "a", "b".repeat(29));
+    let (g, _) = graph_of(
+        &UriFileDimension,
+        vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", &f1),
+            HttpRecord::new(1, "c", "b.com", "1.1.1.2", &f2),
+        ],
+    );
+    assert_eq!(g.edge_count(), 0);
+}
+
+// ---------------------------------------------------------------- eq. 8
+
+#[test]
+fn eq8_ip_set_similarity_partial_overlap() {
+    // Ia = {.1, .2}, Ib = {.2, .3, .4}, shared = 1:
+    // IP(a,b) = (1/2) · (1/3) = 1/6 ≥ 0.1 → edge with weight 1/6.
+    let (g, hosts) = graph_of(
+        &IpSetDimension,
+        vec![
+            HttpRecord::new(0, "c", "a.com", "1.1.1.1", "/x"),
+            HttpRecord::new(1, "c", "a.com", "1.1.1.2", "/x"),
+            HttpRecord::new(2, "c", "b.com", "1.1.1.2", "/y"),
+            HttpRecord::new(3, "c", "b.com", "1.1.1.3", "/y"),
+            HttpRecord::new(4, "c", "b.com", "1.1.1.4", "/y"),
+        ],
+    );
+    assert_eq!(g.edge_count(), 1);
+    let w = weight(&g, &hosts, "a.com", "b.com").unwrap();
+    assert!((w - 1.0 / 6.0).abs() < 1e-12, "weight {w}");
+}
+
+#[test]
+fn eq8_ip_set_similarity_below_edge_min_drops() {
+    // Ia and Ib each hold 4 addresses sharing one:
+    // IP(a,b) = (1/4) · (1/4) = 0.0625 < ip_edge_min 0.1 → no edge.
+    let mut records = Vec::new();
+    records.push(HttpRecord::new(0, "c", "a.com", "9.9.9.9", "/x"));
+    records.push(HttpRecord::new(0, "c", "b.com", "9.9.9.9", "/y"));
+    for i in 1..4 {
+        records.push(HttpRecord::new(
+            0,
+            "c",
+            "a.com",
+            &format!("1.1.1.{i}"),
+            "/x",
+        ));
+        records.push(HttpRecord::new(
+            0,
+            "c",
+            "b.com",
+            &format!("2.2.2.{i}"),
+            "/y",
+        ));
+    }
+    let (g, _) = graph_of(&IpSetDimension, records);
+    assert_eq!(g.edge_count(), 0);
+}

@@ -10,8 +10,13 @@ fn breakdown(seed: u64, threshold: f64) -> (ServerBreakdown, usize) {
     let data = Scenario::data2011_day(seed).generate();
     let report = Smash::new(SmashConfig::default().with_threshold(threshold))
         .run(&data.dataset, &data.whois);
-    let engine = VerdictEngine::new(&data.dataset, &data.ids2012, &data.ids2013, &data.blacklists)
-        .with_truth(&data.truth);
+    let engine = VerdictEngine::new(
+        &data.dataset,
+        &data.ids2012,
+        &data.ids2013,
+        &data.blacklists,
+    )
+    .with_truth(&data.truth);
     let judged = engine.judge_all(&report.campaign_server_names());
     (
         ServerBreakdown::from_judged(&judged),
@@ -32,7 +37,11 @@ fn fp_rate_decreases_with_threshold() {
     );
     // The paper reports (near-)zero updated FPs at 1.5; a handful of
     // unconfirmable planted campaigns may survive at our scale.
-    assert!(b15.fp_updated <= 5, "updated FPs at 1.5: {}", b15.fp_updated);
+    assert!(
+        b15.fp_updated <= 5,
+        "updated FPs at 1.5: {}",
+        b15.fp_updated
+    );
 }
 
 #[test]
@@ -65,16 +74,27 @@ fn uri_file_is_the_dominant_secondary_dimension() {
     let file = by_dim.get(&DimensionKind::UriFile).copied().unwrap_or(0);
     let ip = by_dim.get(&DimensionKind::IpSet).copied().unwrap_or(0);
     let whois = by_dim.get(&DimensionKind::Whois).copied().unwrap_or(0);
-    assert!(file > ip && file > whois, "file {file}, ip {ip}, whois {whois}");
-    assert!(file * 2 > total, "uri-file should touch the majority of servers");
+    assert!(
+        file > ip && file > whois,
+        "file {file}, ip {ip}, whois {whois}"
+    );
+    assert!(
+        file * 2 > total,
+        "uri-file should touch the majority of servers"
+    );
 }
 
 #[test]
 fn noise_herds_are_the_dominant_false_positive_source() {
     let data = Scenario::data2011_day(7).generate();
     let report = Smash::new(SmashConfig::default()).run(&data.dataset, &data.whois);
-    let engine = VerdictEngine::new(&data.dataset, &data.ids2012, &data.ids2013, &data.blacklists)
-        .with_truth(&data.truth);
+    let engine = VerdictEngine::new(
+        &data.dataset,
+        &data.ids2012,
+        &data.ids2013,
+        &data.blacklists,
+    )
+    .with_truth(&data.truth);
     let judged = engine.judge_all(&report.campaign_server_names());
     let b = ServerBreakdown::from_judged(&judged);
     // Removing the torrent/TeamViewer herds removes most FPs (the
@@ -110,5 +130,8 @@ fn most_campaigns_have_few_clients() {
     let mut clients: Vec<usize> = report.campaigns.iter().map(|c| c.client_count).collect();
     clients.sort_unstable();
     assert!(!clients.is_empty());
-    assert!(clients[clients.len() / 2] <= 4, "median clients: {clients:?}");
+    assert!(
+        clients[clients.len() / 2] <= 4,
+        "median clients: {clients:?}"
+    );
 }

