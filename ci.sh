@@ -11,6 +11,11 @@
 #   3. cargo test -q                          the full suite: unit tests,
 #                                             doctests, property suites, and
 #                                             the root integration tests
+#   4. fault-injection smoke                  the resilience suite re-run with
+#                                             a dimension killed from the
+#                                             environment (SMASH_FAILPOINTS)
+#   5. cargo clippy -D warnings               lint gate, skipped when the
+#                                             toolchain ships without clippy
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,5 +27,15 @@ cargo build --release --offline --workspace --all-targets
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "==> fault-injection smoke (SMASH_FAILPOINTS=dimension/whois=panic)"
+SMASH_FAILPOINTS=dimension/whois=panic cargo test -q --offline --test fault_injection
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy -q --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint gate"
+fi
 
 echo "==> ci.sh: all green"

@@ -100,6 +100,17 @@ pub struct SmashConfig {
     /// Enable pruning of redirection/referrer groups (on by default; the
     /// ablation benches switch it off).
     pub pruning_enabled: bool,
+    /// Wall-clock budget per secondary dimension in milliseconds; a
+    /// dimension that takes longer is dropped from correlation and
+    /// reported as timed out in `RunHealth`. `0` disables the budget
+    /// (the default — budgets introduce wall-clock sensitivity, so they
+    /// are opt-in for production deployments).
+    pub dimension_budget_ms: u64,
+    /// Failpoint spec (`site=action[,…]`, same grammar as the
+    /// `SMASH_FAILPOINTS` environment variable) armed process-wide when
+    /// the pipeline runs. Empty = none. Fault injection for resilience
+    /// tests; never set this in production.
+    pub failpoints: String,
 }
 
 impl_json_struct!(SmashConfig {
@@ -125,6 +136,8 @@ impl_json_struct!(SmashConfig {
     timing_edge_min,
     payload_dimension,
     pruning_enabled,
+    dimension_budget_ms?,
+    failpoints?,
 });
 
 impl Default for SmashConfig {
@@ -152,6 +165,8 @@ impl Default for SmashConfig {
             timing_edge_min: 0.8,
             payload_dimension: false,
             pruning_enabled: true,
+            dimension_budget_ms: 0,
+            failpoints: String::new(),
         }
     }
 }
@@ -224,6 +239,19 @@ impl SmashConfig {
         self
     }
 
+    /// Sets the per-dimension wall-clock budget (0 = unlimited).
+    pub fn with_dimension_budget_ms(mut self, ms: u64) -> Self {
+        self.dimension_budget_ms = ms;
+        self
+    }
+
+    /// Sets the failpoint spec armed when the pipeline runs (see
+    /// [`smash_support::failpoint`]).
+    pub fn with_failpoints(mut self, spec: &str) -> Self {
+        self.failpoints = spec.to_owned();
+        self
+    }
+
     /// Validates field ranges and cross-field constraints.
     ///
     /// # Errors
@@ -265,6 +293,9 @@ impl SmashConfig {
         }
         if self.file_posting_cap == 0 || self.client_posting_cap == 0 {
             return Err(ConfigError("posting caps must be positive".into()));
+        }
+        if let Err(e) = smash_support::failpoint::parse_spec(&self.failpoints) {
+            return Err(ConfigError(format!("bad failpoints spec: {e}")));
         }
         Ok(())
     }
@@ -318,24 +349,57 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_fields() {
-        let mut c = SmashConfig::default();
-        c.client_edge_min = 1.5;
+        let c = SmashConfig {
+            client_edge_min: 1.5,
+            ..SmashConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SmashConfig::default();
-        c.sigma = 0.0;
+        let c = SmashConfig {
+            sigma: 0.0,
+            ..SmashConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SmashConfig::default();
-        c.min_campaign_size = 1;
+        let c = SmashConfig {
+            min_campaign_size: 1,
+            ..SmashConfig::default()
+        };
         assert!(c
             .validate()
             .unwrap_err()
             .to_string()
             .contains("min_campaign_size"));
-        let mut c = SmashConfig::default();
-        c.file_posting_cap = 0;
+        let c = SmashConfig {
+            file_posting_cap: 0,
+            ..SmashConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SmashConfig::default();
-        c.threshold = f64::NAN;
+        let c = SmashConfig {
+            threshold: f64::NAN,
+            ..SmashConfig::default()
+        };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn resilience_knobs() {
+        let c = SmashConfig::default()
+            .with_dimension_budget_ms(250)
+            .with_failpoints("dimension/whois=panic");
+        assert_eq!(c.dimension_budget_ms, 250);
+        c.validate().unwrap();
+        let bad = SmashConfig::default().with_failpoints("dimension/whois=explode");
+        assert!(bad.validate().unwrap_err().to_string().contains("explode"));
+    }
+
+    #[test]
+    fn config_json_without_new_fields_still_parses() {
+        // Configs serialized before the resilience fields existed must
+        // keep loading with the defaults.
+        let mut json = smash_support::json::to_string(&SmashConfig::default());
+        json = json
+            .replace(r#","dimension_budget_ms":0"#, "")
+            .replace(r#","failpoints":"""#, "");
+        let c: SmashConfig = smash_support::json::from_str(&json).unwrap();
+        assert_eq!(c, SmashConfig::default());
     }
 }

@@ -53,6 +53,24 @@ pub fn correlate(
     secondaries: &[MinedDimension],
     config: &SmashConfig,
 ) -> Vec<CorrelatedAsh> {
+    correlate_renormalized(dataset, main, secondaries, config, 1.0)
+}
+
+/// [`correlate`] with a score renormalization factor for degraded runs.
+///
+/// When a secondary dimension fails or times out, every eq. 9 sum loses
+/// that dimension's contribution and would be compared against a
+/// threshold calibrated for the full set. Scaling each server's score
+/// by `planned / completed` (computed by the pipeline) keeps the
+/// threshold meaningful over the dimensions that actually ran. With
+/// `scale == 1.0` this is exactly [`correlate`].
+pub fn correlate_renormalized(
+    dataset: &TraceDataset,
+    main: &MinedDimension,
+    secondaries: &[MinedDimension],
+    config: &SmashConfig,
+    scale: f64,
+) -> Vec<CorrelatedAsh> {
     let mut out = Vec::new();
     for (mi, m_ash) in main.ashes.iter().enumerate() {
         // Client population of the herd decides the threshold regime.
@@ -84,6 +102,7 @@ pub fn correlate(
                     contributing.push(sec.kind);
                 }
             }
+            score *= scale;
             if score >= thresh {
                 servers.push(s);
                 scores.push(score);
@@ -202,13 +221,50 @@ mod tests {
         let main = dim(DimensionKind::Client, &[(&members, 1.0)], 8);
         let file = dim(DimensionKind::UriFile, &[(&members, 1.0)], 8);
         // One dimension: score ≈ 0.85 < 1.0 → rejected for single client…
-        let out = correlate(&ds, &main, &[file.clone()], &SmashConfig::default());
+        let out = correlate(
+            &ds,
+            &main,
+            std::slice::from_ref(&file),
+            &SmashConfig::default(),
+        );
         assert!(out.is_empty());
         // …but two dimensions pass.
         let ip = dim(DimensionKind::IpSet, &[(&members, 1.0)], 8);
         let out = correlate(&ds, &main, &[file, ip], &SmashConfig::default());
         assert_eq!(out.len(), 1);
         assert!(out[0].single_client);
+    }
+
+    #[test]
+    fn renormalization_rescues_a_degraded_run() {
+        // One dense secondary dimension alone: φ(8) ≈ 0.85 ≥ 0.8 passes,
+        // but a single-client herd at threshold 1.0 would not — unless
+        // the lost second dimension is renormalized away (scale 2/1).
+        let ds = dataset(8, 1);
+        let members: Vec<ServerId> = (0..8).collect();
+        let main = dim(DimensionKind::Client, &[(&members, 1.0)], 8);
+        let file = dim(DimensionKind::UriFile, &[(&members, 1.0)], 8);
+        let cfg = SmashConfig::default();
+        assert!(correlate(&ds, &main, std::slice::from_ref(&file), &cfg).is_empty());
+        let out = correlate_renormalized(&ds, &main, &[file], &cfg, 2.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].servers, members);
+    }
+
+    #[test]
+    fn scale_one_is_exactly_correlate() {
+        let ds = dataset(8, 3);
+        let members: Vec<ServerId> = (0..8).collect();
+        let main = dim(DimensionKind::Client, &[(&members, 1.0)], 8);
+        let file = dim(DimensionKind::UriFile, &[(&members, 1.0)], 8);
+        let cfg = SmashConfig::default();
+        let a = correlate(&ds, &main, std::slice::from_ref(&file), &cfg);
+        let b = correlate_renormalized(&ds, &main, &[file], &cfg, 1.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.servers, y.servers);
+            assert_eq!(x.scores, y.scores);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ impl Dimension for ClientDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/client");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         // Inverted index: client → kept servers (as node ids).
         //

@@ -18,6 +18,7 @@ impl Dimension for IpSetDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/ip-set");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         let mut by_ip: HashMap<u32, Vec<u32>> = HashMap::new();
         for (node, &server) in ctx.nodes.iter().enumerate() {

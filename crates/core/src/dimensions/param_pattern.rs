@@ -20,6 +20,7 @@ impl Dimension for ParamPatternDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/param-pattern");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         let empty = ctx.dataset.param_pattern_id("");
         // Per-node sets of distinct non-empty parameter patterns.

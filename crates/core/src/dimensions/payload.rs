@@ -29,6 +29,7 @@ impl Dimension for PayloadDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/payload");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         // Per-node sets of masked payload sizes.
         let mut node_sizes: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());

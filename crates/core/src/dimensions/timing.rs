@@ -46,6 +46,7 @@ impl Dimension for TimingDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/timing");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         let buckets = self.buckets.max(2);
         let bucket_len = (self.span_seconds / buckets as u64).max(1);

@@ -28,6 +28,7 @@ impl Dimension for UriFileDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/uri-file");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         let len_thresh = ctx.config.filename_len_threshold;
 
@@ -196,8 +197,10 @@ mod tests {
     #[test]
     fn hot_file_posting_is_capped() {
         // index.html shared by many servers with a tiny cap: no pairs.
-        let mut cfg = SmashConfig::default();
-        cfg.file_posting_cap = 3;
+        let cfg = SmashConfig {
+            file_posting_cap: 3,
+            ..SmashConfig::default()
+        };
         let records: Vec<HttpRecord> = (0..10)
             .map(|i| HttpRecord::new(0, "c", &format!("s{i}.com"), "1.1.1.1", "/index.html"))
             .collect();

@@ -21,6 +21,7 @@ impl Dimension for WhoisDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
+        smash_support::failpoint::fire("dimension/whois");
         let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
         // Inverted index over field values. Keys are namespaced so a phone
         // number never collides with an address string.

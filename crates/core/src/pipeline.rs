@@ -3,7 +3,7 @@
 
 use crate::ash::MinedDimension;
 use crate::config::SmashConfig;
-use crate::correlation::{correlate, CorrelatedAsh};
+use crate::correlation::{correlate_renormalized, CorrelatedAsh};
 use crate::dimensions::{
     ClientDimension, Dimension, DimensionContext, DimensionKind, IpSetDimension,
     ParamPatternDimension, PayloadDimension, TimingDimension, UriFileDimension, WhoisDimension,
@@ -12,10 +12,15 @@ use crate::inference::merge_by_main_herd;
 use crate::mining::mine;
 use crate::preprocess::filter_popular;
 use crate::pruning::prune;
-use crate::report::{DimensionSummary, InferredCampaign, SmashReport};
+use crate::report::{
+    DimensionHealth, DimensionStatus, DimensionSummary, InferredCampaign, RunHealth, SmashReport,
+};
+use smash_graph::GraphBuilder;
+use smash_support::par;
 use smash_trace::{ServerId, TraceDataset};
 use smash_whois::WhoisRegistry;
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 /// The SMASH pipeline runner.
 ///
@@ -62,8 +67,21 @@ impl Smash {
     }
 
     /// Runs the full pipeline over one day of traffic.
+    ///
+    /// The run is *degradation-tolerant*: each dimension builds under
+    /// panic isolation, so a crashing or over-budget secondary dimension
+    /// is dropped from correlation (with eq. 9 scores renormalized over
+    /// the survivors) instead of killing the run. What ran, what failed,
+    /// and why is recorded in the report's [`RunHealth`]. Only a failure
+    /// of the *main* (client) dimension ends the analysis — and even
+    /// then an empty report with the failure named is returned rather
+    /// than a panic.
     pub fn run(&self, dataset: &TraceDataset, whois: &WhoisRegistry) -> SmashReport {
         let cfg = &self.config;
+        if !cfg.failpoints.is_empty() {
+            // Validated by `try_new`; arming is process-global.
+            smash_support::failpoint::arm_spec(&cfg.failpoints).expect("validated failpoints spec");
+        }
         // 1. Preprocessing: IDF popularity filter (SLD aggregation already
         //    happened when the dataset was interned).
         let pre = filter_popular(dataset, cfg.idf_threshold);
@@ -84,39 +102,133 @@ impl Smash {
         // 2. ASH mining per dimension. The client graph covers servers
         //    with ≥ 2 clients; single-client servers get their per-client
         //    herds appended below (paper Appendix C).
-        let main_graph = ClientDimension.build_graph(&ctx);
-        let mut main = mine(DimensionKind::Client, main_graph, &nodes, cfg.louvain_seed);
-        append_single_client_herds(&mut main, dataset, &nodes);
+        let main_start = Instant::now();
+        let main_result = par::run_isolated(|| {
+            let main_graph = ClientDimension.build_graph(&ctx);
+            let mut main = mine(DimensionKind::Client, main_graph, &nodes, cfg.louvain_seed);
+            append_single_client_herds(&mut main, dataset, &nodes);
+            main
+        });
+        let main_elapsed = main_start.elapsed().as_millis() as u64;
+        let main = match main_result {
+            Ok(main) => main,
+            Err(reason) => {
+                // Without the main dimension there is nothing to
+                // correlate against: degrade to an empty report that
+                // names the failure instead of unwinding.
+                return Self::aborted_report(&pre.kept, pre.dropped_popular.len(), reason);
+            }
+        };
 
-        let mut secondary_dims: Vec<Box<dyn Dimension>> = Vec::new();
-        if cfg.uri_file_dimension {
-            secondary_dims.push(Box::new(UriFileDimension));
-        }
-        if cfg.ip_set_dimension {
-            secondary_dims.push(Box::new(IpSetDimension));
-        }
-        if cfg.whois_dimension {
-            secondary_dims.push(Box::new(WhoisDimension));
-        }
-        if cfg.param_pattern_dimension {
-            secondary_dims.push(Box::new(ParamPatternDimension));
-        }
-        if cfg.timing_dimension {
-            secondary_dims.push(Box::new(TimingDimension::default()));
-        }
-        if cfg.payload_dimension {
-            secondary_dims.push(Box::new(PayloadDimension));
-        }
+        let planned: Vec<(DimensionKind, Option<Box<dyn Dimension>>)> = vec![
+            (
+                DimensionKind::UriFile,
+                cfg.uri_file_dimension
+                    .then(|| Box::new(UriFileDimension) as Box<dyn Dimension>),
+            ),
+            (
+                DimensionKind::IpSet,
+                cfg.ip_set_dimension
+                    .then(|| Box::new(IpSetDimension) as Box<dyn Dimension>),
+            ),
+            (
+                DimensionKind::Whois,
+                cfg.whois_dimension
+                    .then(|| Box::new(WhoisDimension) as Box<dyn Dimension>),
+            ),
+            (
+                DimensionKind::ParamPattern,
+                cfg.param_pattern_dimension
+                    .then(|| Box::new(ParamPatternDimension) as Box<dyn Dimension>),
+            ),
+            (
+                DimensionKind::Timing,
+                cfg.timing_dimension
+                    .then(|| Box::new(TimingDimension::default()) as Box<dyn Dimension>),
+            ),
+            (
+                DimensionKind::Payload,
+                cfg.payload_dimension
+                    .then(|| Box::new(PayloadDimension) as Box<dyn Dimension>),
+            ),
+        ];
+        let enabled: Vec<&Box<dyn Dimension>> =
+            planned.iter().filter_map(|(_, d)| d.as_ref()).collect();
         // Dimension graphs are independent: build and mine them in
         // parallel (the paper's answer to the pairwise-similarity cost is
-        // parallel sparse multiplication [18]).
-        let secondaries: Vec<MinedDimension> = smash_support::par::par_map(&secondary_dims, |d| {
-            let g = d.build_graph(&ctx);
-            mine(d.kind(), g, &nodes, cfg.louvain_seed)
-        });
+        // parallel sparse multiplication [18]) — each under panic
+        // isolation so one crashing builder degrades the run instead of
+        // ending it.
+        let isolated: Vec<Result<(MinedDimension, u64), String>> =
+            par::par_map_isolated(&enabled, |d| {
+                let start = Instant::now();
+                let g = d.build_graph(&ctx);
+                let mined = mine(d.kind(), g, &nodes, cfg.louvain_seed);
+                (mined, start.elapsed().as_millis() as u64)
+            });
 
-        // 3. Correlation (eq. 9) + thresholding.
-        let correlated = correlate(dataset, &main, &secondaries, cfg);
+        // Triage: a dimension either completed inside its budget (kept),
+        // overran the wall-clock budget (dropped, TimedOut), or panicked
+        // (dropped, Failed).
+        let mut secondaries: Vec<MinedDimension> = Vec::new();
+        let mut dimension_health = vec![DimensionHealth {
+            kind: DimensionKind::Client,
+            status: DimensionStatus::Ok,
+            elapsed_ms: main_elapsed,
+        }];
+        let mut results = isolated.into_iter();
+        for (kind, dim) in &planned {
+            let health = match dim {
+                None => DimensionHealth {
+                    kind: *kind,
+                    status: DimensionStatus::Disabled,
+                    elapsed_ms: 0,
+                },
+                Some(_) => match results.next().expect("one result per enabled dimension") {
+                    Ok((mined, elapsed_ms))
+                        if cfg.dimension_budget_ms > 0 && elapsed_ms > cfg.dimension_budget_ms =>
+                    {
+                        drop(mined);
+                        DimensionHealth {
+                            kind: *kind,
+                            status: DimensionStatus::TimedOut {
+                                elapsed_ms,
+                                budget_ms: cfg.dimension_budget_ms,
+                            },
+                            elapsed_ms,
+                        }
+                    }
+                    Ok((mined, elapsed_ms)) => {
+                        secondaries.push(mined);
+                        DimensionHealth {
+                            kind: *kind,
+                            status: DimensionStatus::Ok,
+                            elapsed_ms,
+                        }
+                    }
+                    Err(reason) => DimensionHealth {
+                        kind: *kind,
+                        status: DimensionStatus::Failed { reason },
+                        elapsed_ms: 0,
+                    },
+                },
+            };
+            dimension_health.push(health);
+        }
+
+        // 3. Correlation (eq. 9) + thresholding, renormalized over the
+        //    dimensions that actually completed.
+        let scale = if secondaries.is_empty() || secondaries.len() == enabled.len() {
+            1.0
+        } else {
+            enabled.len() as f64 / secondaries.len() as f64
+        };
+        let health = RunHealth {
+            dimensions: dimension_health,
+            ingest: None,
+            score_renormalization: scale,
+        };
+        let correlated = correlate_renormalized(dataset, &main, &secondaries, cfg, scale);
 
         // 4. Pruning of redirection/referrer groups.
         let mut kept_correlated: Vec<&CorrelatedAsh> = Vec::new();
@@ -188,7 +300,7 @@ impl Smash {
                 }
             })
             .collect();
-        campaigns.sort_by(|a, b| b.server_count().cmp(&a.server_count()));
+        campaigns.sort_by_key(|c| std::cmp::Reverse(c.server_count()));
 
         let mut dimension_summaries = vec![DimensionSummary {
             kind: main.kind,
@@ -210,6 +322,55 @@ impl Smash {
             dimension_summaries,
             main,
             secondaries,
+            health,
+        }
+    }
+
+    /// The empty report returned when the main dimension itself failed:
+    /// no campaigns, every secondary marked as not run, and the failure
+    /// reason preserved in `RunHealth`.
+    fn aborted_report(kept: &[ServerId], dropped_popular: usize, reason: String) -> SmashReport {
+        let mut dimensions = vec![DimensionHealth {
+            kind: DimensionKind::Client,
+            status: DimensionStatus::Failed {
+                reason: reason.clone(),
+            },
+            elapsed_ms: 0,
+        }];
+        for kind in [
+            DimensionKind::UriFile,
+            DimensionKind::IpSet,
+            DimensionKind::Whois,
+            DimensionKind::ParamPattern,
+            DimensionKind::Timing,
+            DimensionKind::Payload,
+        ] {
+            dimensions.push(DimensionHealth {
+                kind,
+                status: DimensionStatus::Failed {
+                    reason: "not run: main dimension failed".to_owned(),
+                },
+                elapsed_ms: 0,
+            });
+        }
+        SmashReport {
+            campaigns: Vec::new(),
+            kept_servers: kept.len(),
+            dropped_popular,
+            dimension_summaries: Vec::new(),
+            main: MinedDimension {
+                kind: DimensionKind::Client,
+                graph: GraphBuilder::new().build(),
+                partition: smash_graph::Partition::singletons(0),
+                ashes: Vec::new(),
+                membership: HashMap::new(),
+            },
+            secondaries: Vec::new(),
+            health: RunHealth {
+                dimensions,
+                ingest: None,
+                score_renormalization: 1.0,
+            },
         }
     }
 }

@@ -3,7 +3,8 @@
 use crate::ash::MinedDimension;
 use crate::dimensions::DimensionKind;
 use smash_support::impl_json_struct;
-use smash_trace::ServerId;
+use smash_support::json::{Json, JsonError, ToJson};
+use smash_trace::{IngestReport, ServerId};
 
 /// One inferred malicious campaign.
 ///
@@ -79,6 +80,165 @@ impl_json_struct!(DimensionSummary {
     herded_servers
 });
 
+/// Completion status of one dimension in a (possibly degraded) run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimensionStatus {
+    /// Built, mined, and included in correlation.
+    Ok,
+    /// Switched off by configuration (ablation knobs).
+    Disabled,
+    /// The builder panicked (or was skipped because an earlier required
+    /// stage failed); the dimension was dropped from correlation.
+    Failed {
+        /// The captured panic message or skip reason.
+        reason: String,
+    },
+    /// Built successfully but blew the per-dimension wall-clock budget;
+    /// dropped from correlation.
+    TimedOut {
+        /// Observed build+mine time.
+        elapsed_ms: u64,
+        /// The configured budget it exceeded.
+        budget_ms: u64,
+    },
+}
+
+impl DimensionStatus {
+    /// `true` when the dimension completed and fed correlation.
+    pub fn is_ok(&self) -> bool {
+        *self == DimensionStatus::Ok
+    }
+}
+
+impl ToJson for DimensionStatus {
+    fn to_json(&self) -> Json {
+        let fields = match self {
+            DimensionStatus::Ok => vec![("status".to_owned(), Json::Str("ok".to_owned()))],
+            DimensionStatus::Disabled => {
+                vec![("status".to_owned(), Json::Str("disabled".to_owned()))]
+            }
+            DimensionStatus::Failed { reason } => vec![
+                ("status".to_owned(), Json::Str("failed".to_owned())),
+                ("reason".to_owned(), Json::Str(reason.clone())),
+            ],
+            DimensionStatus::TimedOut {
+                elapsed_ms,
+                budget_ms,
+            } => vec![
+                ("status".to_owned(), Json::Str("timed-out".to_owned())),
+                ("elapsed_ms".to_owned(), elapsed_ms.to_json()),
+                ("budget_ms".to_owned(), budget_ms.to_json()),
+            ],
+        };
+        Json::Obj(fields)
+    }
+}
+
+impl smash_support::json::FromJson for DimensionStatus {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError("DimensionStatus needs a `status` field".to_owned()))?;
+        match status {
+            "ok" => Ok(DimensionStatus::Ok),
+            "disabled" => Ok(DimensionStatus::Disabled),
+            "failed" => Ok(DimensionStatus::Failed {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            }),
+            "timed-out" => Ok(DimensionStatus::TimedOut {
+                elapsed_ms: smash_support::json::req_field(
+                    v.as_obj().unwrap_or(&[]),
+                    "elapsed_ms",
+                )?,
+                budget_ms: smash_support::json::req_field(v.as_obj().unwrap_or(&[]), "budget_ms")?,
+            }),
+            other => Err(JsonError(format!("unknown DimensionStatus `{other}`"))),
+        }
+    }
+}
+
+/// Health of one dimension: status plus observed build+mine time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionHealth {
+    /// Which dimension.
+    pub kind: DimensionKind,
+    /// What happened to it.
+    pub status: DimensionStatus,
+    /// Wall-clock build+mine milliseconds (0 when never run).
+    pub elapsed_ms: u64,
+}
+
+impl_json_struct!(DimensionHealth {
+    kind,
+    status,
+    elapsed_ms
+});
+
+/// What actually ran: per-dimension status, ingest quarantine counts,
+/// and the eq. 9 renormalization applied when dimensions were lost.
+///
+/// A degraded run is still a *successful* run — campaigns are inferred
+/// from the dimensions that completed — but the report says exactly
+/// what was lost so downstream consumers can weigh the verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHealth {
+    /// One entry per dimension, main first, in pipeline order.
+    pub dimensions: Vec<DimensionHealth>,
+    /// Quarantine counts from a lenient ingest, when the trace came
+    /// through one (attached by the CLI; `None` for in-memory runs).
+    pub ingest: Option<IngestReport>,
+    /// Factor applied to eq. 9 scores to renormalize over the secondary
+    /// dimensions that completed (1.0 when nothing was lost).
+    pub score_renormalization: f64,
+}
+
+impl_json_struct!(RunHealth {
+    dimensions,
+    ingest,
+    score_renormalization,
+});
+
+impl Default for RunHealth {
+    fn default() -> Self {
+        Self {
+            dimensions: Vec::new(),
+            ingest: None,
+            score_renormalization: 1.0,
+        }
+    }
+}
+
+impl RunHealth {
+    /// `true` when every dimension that was supposed to run completed.
+    pub fn fully_healthy(&self) -> bool {
+        self.dimensions
+            .iter()
+            .all(|d| d.status.is_ok() || d.status == DimensionStatus::Disabled)
+    }
+
+    /// The dimensions that failed or timed out.
+    pub fn degraded_dimensions(&self) -> Vec<DimensionKind> {
+        self.dimensions
+            .iter()
+            .filter(|d| !d.status.is_ok() && d.status != DimensionStatus::Disabled)
+            .map(|d| d.kind)
+            .collect()
+    }
+
+    /// The status entry for `kind`, if present.
+    pub fn status_of(&self, kind: DimensionKind) -> Option<&DimensionStatus> {
+        self.dimensions
+            .iter()
+            .find(|d| d.kind == kind)
+            .map(|d| &d.status)
+    }
+}
+
 /// The complete output of one SMASH run.
 #[derive(Debug)]
 pub struct SmashReport {
@@ -93,8 +253,11 @@ pub struct SmashReport {
     /// The mined main dimension (exposed for analyses like the paper's
     /// Fig. 3 cluster inspection).
     pub main: MinedDimension,
-    /// The mined secondary dimensions.
+    /// The mined secondary dimensions (only the ones that completed —
+    /// see [`RunHealth`] for the rest).
     pub secondaries: Vec<MinedDimension>,
+    /// What ran, what failed, and what was quarantined.
+    pub health: RunHealth,
 }
 
 impl SmashReport {
@@ -166,6 +329,7 @@ mod tests {
                 membership: Default::default(),
             },
             secondaries: vec![],
+            health: RunHealth::default(),
         }
     }
 
@@ -187,6 +351,65 @@ mod tests {
             campaign(&[1, 2], false, 2),
         ]);
         assert_eq!(r.inferred_server_count(), 3);
+    }
+
+    #[test]
+    fn dimension_status_json_round_trips() {
+        use smash_support::json::{from_str, to_string};
+        for status in [
+            DimensionStatus::Ok,
+            DimensionStatus::Disabled,
+            DimensionStatus::Failed {
+                reason: "failpoint `dimension/whois` triggered".to_owned(),
+            },
+            DimensionStatus::TimedOut {
+                elapsed_ms: 120,
+                budget_ms: 50,
+            },
+        ] {
+            let json = to_string(&status);
+            let back: DimensionStatus = from_str(&json).unwrap();
+            assert_eq!(back, status, "via {json}");
+        }
+        assert!(from_str::<DimensionStatus>(r#"{"status":"exploded"}"#).is_err());
+    }
+
+    #[test]
+    fn run_health_helpers_and_round_trip() {
+        use smash_support::json::{from_str, to_string};
+        let health = RunHealth {
+            dimensions: vec![
+                DimensionHealth {
+                    kind: DimensionKind::Client,
+                    status: DimensionStatus::Ok,
+                    elapsed_ms: 3,
+                },
+                DimensionHealth {
+                    kind: DimensionKind::Whois,
+                    status: DimensionStatus::Failed {
+                        reason: "boom".to_owned(),
+                    },
+                    elapsed_ms: 0,
+                },
+                DimensionHealth {
+                    kind: DimensionKind::Timing,
+                    status: DimensionStatus::Disabled,
+                    elapsed_ms: 0,
+                },
+            ],
+            ingest: None,
+            score_renormalization: 1.5,
+        };
+        assert!(!health.fully_healthy());
+        assert_eq!(health.degraded_dimensions(), vec![DimensionKind::Whois]);
+        assert_eq!(
+            health.status_of(DimensionKind::Client),
+            Some(&DimensionStatus::Ok)
+        );
+        assert_eq!(health.status_of(DimensionKind::Payload), None);
+        let back: RunHealth = from_str(&to_string(&health)).unwrap();
+        assert_eq!(back, health);
+        assert!(RunHealth::default().fully_healthy());
     }
 
     #[test]

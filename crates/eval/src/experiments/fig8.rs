@@ -38,7 +38,7 @@ pub fn run(seed: u64) -> String {
     }
     let mut t = TextTable::new(vec!["dimension combination", "servers", "share"]);
     let mut sorted: Vec<(String, usize)> = combos.into_iter().collect();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
     for (combo, n) in sorted {
         t.row(vec![
             combo,

@@ -60,11 +60,11 @@ impl TextTable {
         }
         let fmt_row = |row: &[String]| -> String {
             let mut out = String::new();
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                let pad = widths[i] - cell.chars().count();
+                let pad = width - cell.chars().count();
                 out.push_str(cell);
-                out.extend(std::iter::repeat(' ').take(pad));
+                out.extend(std::iter::repeat_n(' ', pad));
                 if i + 1 < cols {
                     out.push_str("  ");
                 }
@@ -75,7 +75,7 @@ impl TextTable {
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
         let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
-        out.extend(std::iter::repeat('-').take(rule_len));
+        out.extend(std::iter::repeat_n('-', rule_len));
         out.push('\n');
         for r in &self.rows {
             out.push_str(&fmt_row(r));

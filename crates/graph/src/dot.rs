@@ -97,8 +97,10 @@ mod tests {
 
     #[test]
     fn isolated_nodes_kept_on_request() {
-        let mut opts = DotOptions::default();
-        opts.skip_isolated = false;
+        let opts = DotOptions {
+            skip_isolated: false,
+            ..DotOptions::default()
+        };
         let dot = to_dot(&sample(), &opts);
         assert!(dot.contains("  5 ["));
     }

@@ -122,10 +122,10 @@ impl Ids {
             .collect();
         for r in dataset.records() {
             for c in &compiled {
-                let hit = c.file.map_or(true, |f| f == Some(r.file))
-                    && c.param.map_or(true, |p| p == Some(r.param_pattern))
-                    && c.ua.map_or(true, |u| u == Some(r.user_agent))
-                    && c.server.map_or(true, |s| s == Some(r.server));
+                let hit = c.file.is_none_or(|f| f == Some(r.file))
+                    && c.param.is_none_or(|p| p == Some(r.param_pattern))
+                    && c.ua.is_none_or(|u| u == Some(r.user_agent))
+                    && c.server.is_none_or(|s| s == Some(r.server));
                 if hit {
                     ids.label(dataset.server_name(r.server), &c.sig.threat_id);
                 }

@@ -28,11 +28,10 @@
 //!   report prints the failing case's seed; setting this variable to it
 //!   reproduces the failure as case 0.
 
-use std::cell::Cell;
 use std::fmt::Debug;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
 
+use crate::quiet::{panic_message, silenced};
 use crate::rng::{Rng, SampleRange, SliceRandom, SplitMix64};
 
 const DEFAULT_CASES: u32 = 256;
@@ -318,46 +317,14 @@ impl_shrink_tuple! {
 
 // -------------------------------------------------------------- runner
 
-thread_local! {
-    /// While set, the panic hook stays quiet: expected panics from
-    /// failing/discarded cases are part of normal harness operation.
-    static SILENT: Cell<bool> = const { Cell::new(false) };
-}
-
-static HOOK: Once = Once::new();
-
-fn install_quiet_hook() {
-    HOOK.call_once(|| {
-        let default = panic::take_hook();
-        panic::set_hook(Box::new(move |info| {
-            if !SILENT.with(Cell::get) {
-                default(info);
-            }
-        }));
-    });
-}
-
 enum CaseResult {
     Pass,
     Discarded,
     Fail(String),
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_owned()
-    }
-}
-
 fn run_case<T, P: Fn(&T)>(prop: &P, value: &T) -> CaseResult {
-    install_quiet_hook();
-    SILENT.with(|s| s.set(true));
-    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
-    SILENT.with(|s| s.set(false));
+    let result = silenced(|| panic::catch_unwind(AssertUnwindSafe(|| prop(value))));
     match result {
         Ok(()) => CaseResult::Pass,
         Err(payload) if payload.is::<Discard>() => CaseResult::Discarded,

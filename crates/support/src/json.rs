@@ -915,6 +915,9 @@ macro_rules! __json_from_fields {
 macro_rules! impl_json_struct {
     ($ty:ty { $($fields:tt)* }) => {
         impl $crate::json::ToJson for $ty {
+            // With a single-field struct the expansion is one push after
+            // `Vec::new()`, which trips `vec_init_then_push`.
+            #[allow(clippy::vec_init_then_push)]
             fn to_json(&self) -> $crate::json::Json {
                 let mut fields: Vec<(String, $crate::json::Json)> = Vec::new();
                 $crate::__json_push_fields!(self, fields, $($fields)*);

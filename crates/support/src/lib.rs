@@ -12,7 +12,10 @@
 //!   [`ToJson`](json::ToJson) / [`FromJson`](json::FromJson) traits plus
 //!   derive-like macros replacing `serde`/`serde_json`.
 //! * [`par`] — scoped-thread `par_map` / chunked fold replacing `rayon`,
-//!   with a global thread-count override for determinism tests.
+//!   with a global thread-count override for determinism tests and a
+//!   panic-isolating variant for the degraded-mode pipeline.
+//! * [`failpoint`] — deterministic, zero-cost-when-unarmed fault
+//!   injection (`SMASH_FAILPOINTS`) for resilience testing.
 //! * [`check`] — a seeded property-test harness with shrink-on-failure
 //!   and failure-seed reporting, replacing `proptest`.
 //! * [`bench`] — a wall-clock benchmark harness exposing the subset of
@@ -26,6 +29,8 @@
 
 pub mod bench;
 pub mod check;
+pub mod failpoint;
 pub mod json;
 pub mod par;
+mod quiet;
 pub mod rng;

@@ -9,6 +9,8 @@
 //! regression test uses to prove single- and multi-threaded runs emit
 //! byte-identical reports.
 
+use crate::quiet::{panic_message, silenced};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -67,6 +69,28 @@ where
     pairs.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Runs `f` with panic isolation: a panic inside `f` is caught and
+/// returned as `Err(message)` instead of unwinding into the caller, and
+/// the panic hook stays quiet (the unwind is expected, not a crash).
+pub fn run_isolated<U>(f: impl FnOnce() -> U) -> Result<U, String> {
+    silenced(|| panic::catch_unwind(AssertUnwindSafe(f)))
+        .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// [`par_map`] with per-item panic isolation: a panic while mapping item
+/// `i` yields `Err(message)` at position `i` instead of tearing down the
+/// whole map. Output order is preserved, so results stay deterministic
+/// regardless of scheduling — the degraded-mode pipeline uses this to
+/// drop a crashing dimension while keeping the rest of the run.
+pub fn par_map_isolated<T, U, F>(items: &[T], f: F) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map(items, |item| run_isolated(|| f(item)))
+}
+
 /// Folds `items` in parallel: each `chunk_size`-sized chunk is folded
 /// with `fold` starting from `make()`, and the per-chunk accumulators
 /// are merged sequentially **in chunk order** with `merge`, so the
@@ -86,9 +110,7 @@ where
     G: Fn(A, A) -> A,
 {
     let chunks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
-    let partials = par_map(&chunks, |chunk| {
-        chunk.iter().fold(make(), |acc, item| fold(acc, item))
-    });
+    let partials = par_map(&chunks, |chunk| chunk.iter().fold(make(), &fold));
     partials.into_iter().fold(make(), merge)
 }
 
@@ -126,6 +148,33 @@ mod tests {
         assert_eq!(out, vec![1, 4, 9, 16]);
         set_thread_count(0);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = par_map_isolated(&items, |x| {
+            if *x % 10 == 3 {
+                panic!("bad item {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 100);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                let msg = r.as_ref().unwrap_err();
+                assert!(msg.contains(&format!("bad item {i}")), "got: {msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn run_isolated_catches_and_passes_through() {
+        assert_eq!(run_isolated(|| 41 + 1), Ok(42));
+        let err = run_isolated(|| -> u32 { panic!("kapow") }).unwrap_err();
+        assert!(err.contains("kapow"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Shared panic-hook silencing for harnesses that *expect* panics.
+//!
+//! Both the property-test runner ([`crate::check`]) and the isolated
+//! parallel map ([`crate::par::par_map_isolated`]) catch panics as part
+//! of normal operation; without suppression every caught panic would
+//! spray a backtrace onto stderr. The hook is installed once, chains to
+//! the previously installed hook, and only mutes output while the
+//! current thread is inside [`silenced`].
+
+use std::cell::Cell;
+use std::panic;
+use std::sync::Once;
+
+thread_local! {
+    static SILENT: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SILENT.with(Cell::get) {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with panic-hook output suppressed on this thread. Panics
+/// still unwind normally; only the hook's stderr reporting is muted, so
+/// callers are expected to `catch_unwind` inside `f`.
+pub(crate) fn silenced<R>(f: impl FnOnce() -> R) -> R {
+    install_quiet_hook();
+    SILENT.with(|s| s.set(true));
+    let out = f();
+    SILENT.with(|s| s.set(false));
+    out
+}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (`&str` and `String` payloads cover `panic!`/`assert!`).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}

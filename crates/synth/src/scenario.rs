@@ -133,7 +133,7 @@ fn generate_day(config: &SynthConfig, day: usize, plans: &[CampaignPlan]) -> Sce
     let mut b = ScenarioBuilder::new(config.n_clients, config.day_seconds);
     // The benign universe is a function of the base seed only, so a week's
     // days share servers, Whois, and IPs.
-    let mut world_rng = DetRng::seed_from_u64(mix(config.seed, 0xB1E5_5ED, 0));
+    let mut world_rng = DetRng::seed_from_u64(mix(config.seed, 0x0B1E_55ED, 0));
     let world = BenignWorld::build(
         &mut b,
         &mut world_rng,
@@ -141,7 +141,7 @@ fn generate_day(config: &SynthConfig, day: usize, plans: &[CampaignPlan]) -> Sce
         config.n_cdn,
         config.zipf_exponent,
     );
-    let mut traffic_rng = DetRng::seed_from_u64(mix(config.seed, 0x7AFF_1C, day as u64));
+    let mut traffic_rng = DetRng::seed_from_u64(mix(config.seed, 0x007A_FF1C, day as u64));
     world.emit_traffic(&mut b, &mut traffic_rng, config.mean_client_requests);
 
     // Disjoint bot blocks: infected machines never straddle campaigns
@@ -165,7 +165,7 @@ fn generate_day(config: &SynthConfig, day: usize, plans: &[CampaignPlan]) -> Sce
         campaigns::generate(&mut b, &world, &plan.spec, seeds);
     }
 
-    let mut noise_rng = DetRng::seed_from_u64(mix(config.seed, 0x2015_E, day as u64));
+    let mut noise_rng = DetRng::seed_from_u64(mix(config.seed, 0x0002_015E, day as u64));
     noise::generate(&mut b, &mut noise_rng, config.noise);
 
     let parts = b.finish();

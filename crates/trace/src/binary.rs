@@ -16,7 +16,9 @@
 //!          u32 resp_bytes, u16 status
 //! ```
 
+use crate::io::{IngestError, IngestOptions, IngestReport};
 use crate::record::HttpRecord;
+use smash_support::failpoint;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::Ipv4Addr;
@@ -164,6 +166,19 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<HttpRecord>> {
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
     let mut buf = Cursor::new(&raw);
+    let (table, n_records) = read_header(&mut buf)?;
+    let mut out = Vec::with_capacity(n_records.min(1 << 22));
+    for _ in 0..n_records {
+        out.push(read_record(&mut buf, &table)?);
+    }
+    if buf.remaining() > 0 {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(out)
+}
+
+/// Reads the magic, string table, and declared record count.
+fn read_header<'a>(buf: &mut Cursor<'a>) -> io::Result<(Vec<String>, usize)> {
     if buf.remaining() < MAGIC.len() || buf.take(MAGIC.len())? != MAGIC {
         return Err(bad("bad magic"));
     }
@@ -175,48 +190,110 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<HttpRecord>> {
         let s = std::str::from_utf8(bytes).map_err(|_| bad("invalid utf-8"))?;
         table.push(s.to_owned());
     }
+    let n_records = buf.get_u32_le()? as usize;
+    Ok((table, n_records))
+}
+
+/// Reads one fixed-width record against the string table.
+fn read_record(buf: &mut Cursor<'_>, table: &[String]) -> io::Result<HttpRecord> {
     let resolve = |i: u32| -> io::Result<&String> {
         table
             .get(i as usize)
             .ok_or_else(|| bad("string index out of range"))
     };
-    let n_records = buf.get_u32_le()? as usize;
-    let mut out = Vec::with_capacity(n_records.min(1 << 22));
-    for _ in 0..n_records {
-        let ts = buf.get_u64_le()?;
-        let client = buf.get_u32_le()?;
-        let host = buf.get_u32_le()?;
-        let ip = Ipv4Addr::from(buf.get_u32_le()?);
-        let method = buf.get_u32_le()?;
-        let uri = buf.get_u32_le()?;
-        let ua = buf.get_u32_le()?;
-        let referrer = buf.get_u32_le()?;
-        let redirect = buf.get_u32_le()?;
-        let resp_bytes = buf.get_u32_le()?;
-        let status = buf.get_u16_le()?;
-        let mut rec = HttpRecord::new(
-            ts,
-            resolve(client)?,
-            resolve(host)?,
-            &ip.to_string(),
-            resolve(uri)?,
-        )
+    let ts = buf.get_u64_le()?;
+    let client = buf.get_u32_le()?;
+    let host = buf.get_u32_le()?;
+    let ip = Ipv4Addr::from(buf.get_u32_le()?);
+    let method = buf.get_u32_le()?;
+    let uri = buf.get_u32_le()?;
+    let ua = buf.get_u32_le()?;
+    let referrer = buf.get_u32_le()?;
+    let redirect = buf.get_u32_le()?;
+    let resp_bytes = buf.get_u32_le()?;
+    let status = buf.get_u16_le()?;
+    let mut rec = HttpRecord::new_with_ip(ts, resolve(client)?, resolve(host)?, ip, resolve(uri)?)
         .with_method(resolve(method)?)
         .with_user_agent(resolve(ua)?)
         .with_status(status)
         .with_resp_bytes(resp_bytes);
-        if referrer != 0 {
-            rec = rec.with_referrer(resolve(referrer - 1)?);
-        }
-        if redirect != 0 {
-            rec.redirect_to = Some(resolve(redirect - 1)?.clone());
-        }
-        out.push(rec);
+    if referrer != 0 {
+        rec = rec.with_referrer(resolve(referrer - 1)?);
     }
-    if buf.remaining() > 0 {
-        return Err(bad("trailing bytes"));
+    if redirect != 0 {
+        rec.redirect_to = Some(resolve(redirect - 1)?.clone());
     }
-    Ok(out)
+    Ok(rec)
+}
+
+/// Reads the binary format leniently: a corrupt region *after* the
+/// header salvages every record decoded so far instead of aborting.
+///
+/// The magic and string table must still be intact — without them no
+/// record is decodable, so structural damage there is reported as the
+/// "wrong file" error, not a dirty trace. Records lost to a corrupt
+/// tail count against [`IngestOptions::error_budget`] exactly like bad
+/// JSONL lines do ([`IngestReport::bad_field`], with `truncated_tail`
+/// set).
+///
+/// # Errors
+///
+/// Returns [`IngestError::Io`] on I/O failure or a structurally
+/// unreadable header, and [`IngestError::BudgetExceeded`] when the
+/// corrupt tail cost more than the error budget.
+pub fn read_binary_lenient<R: Read>(
+    mut r: R,
+    opts: &IngestOptions,
+) -> Result<(Vec<HttpRecord>, IngestReport), IngestError> {
+    failpoint::check("ingest/binary").map_err(io::Error::other)?;
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = Cursor::new(&raw);
+    let (table, n_records) = read_header(&mut buf)?;
+    let mut report = IngestReport {
+        lines: n_records,
+        ..IngestReport::default()
+    };
+    let mut out = Vec::with_capacity(n_records.min(1 << 22));
+    for _ in 0..n_records {
+        match read_record(&mut buf, &table) {
+            Ok(rec) => {
+                report.records += 1;
+                out.push(rec);
+            }
+            Err(_) => {
+                // Fixed-width records have no resync point: everything
+                // from the first corrupt record on is lost.
+                report.bad_field = n_records - report.records;
+                report.truncated_tail = true;
+                break;
+            }
+        }
+    }
+    if !report.truncated_tail && buf.remaining() > 0 {
+        report.truncated_tail = true;
+    }
+    if report.bad_fraction() > opts.error_budget {
+        return Err(IngestError::BudgetExceeded {
+            report,
+            budget: opts.error_budget,
+        });
+    }
+    Ok((out, report))
+}
+
+/// Lenient read of the `.smsh` file at `path` (see
+/// [`read_binary_lenient`]).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error, an unreadable header, or a blown
+/// error budget.
+pub fn read_binary_lenient_file<P: AsRef<std::path::Path>>(
+    path: P,
+    opts: &IngestOptions,
+) -> Result<(Vec<HttpRecord>, IngestReport), IngestError> {
+    read_binary_lenient(std::fs::File::open(path).map_err(IngestError::Io)?, opts)
 }
 
 /// Writes records to a `.smsh` file.
@@ -327,12 +404,67 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir().join("smash-binary-test");
+        let dir = std::env::temp_dir().join(format!("smash-binary-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.smsh");
         let recs = sample();
         write_binary_file(&path, &recs).unwrap();
         assert_eq!(read_binary_file(&path).unwrap(), recs);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_salvages_records_before_a_corrupt_tail() {
+        // 100 records; cut the buffer mid-way through the record block.
+        let recs: Vec<HttpRecord> = (0..100)
+            .map(|i| HttpRecord::new(i, "c", "host.com", "1.1.1.1", "/x"))
+            .collect();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &recs).unwrap();
+        // One packed record is 8 + 9·4 + 2 = 46 bytes; drop the last 3.
+        let cut = buf.len() - 3 * 46;
+        let opts = IngestOptions::default();
+        let (salvaged, report) = read_binary_lenient(&buf[..cut], &opts).unwrap();
+        assert_eq!(salvaged.len(), 97);
+        assert_eq!(report.records, 97);
+        assert_eq!(report.bad_field, 3);
+        assert!(report.truncated_tail);
+        assert_eq!(salvaged[..], recs[..97]);
+    }
+
+    #[test]
+    fn lenient_deep_truncation_blows_the_budget() {
+        let recs: Vec<HttpRecord> = (0..100)
+            .map(|i| HttpRecord::new(i, "c", "host.com", "1.1.1.1", "/x"))
+            .collect();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &recs).unwrap();
+        let half = buf.len() / 2;
+        match read_binary_lenient(&buf[..half], &IngestOptions::default()) {
+            Err(IngestError::BudgetExceeded { report, .. }) => {
+                assert!(report.truncated_tail);
+                assert!(report.bad_field > 5);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_bad_magic_is_still_a_hard_error() {
+        assert!(matches!(
+            read_binary_lenient(&b"NOTSMASHATALL"[..], &IngestOptions::default()),
+            Err(IngestError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn lenient_clean_file_reports_clean() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &recs).unwrap();
+        let (back, report) = read_binary_lenient(&buf[..], &IngestOptions::default()).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(report.bad_lines(), 0);
+        assert!(!report.truncated_tail);
     }
 }

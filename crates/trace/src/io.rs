@@ -2,11 +2,292 @@
 //!
 //! The paper's input is PCAP; our portable interchange format is one JSON
 //! object per line, which is trivially produced from any flow log.
+//!
+//! Two decode modes are offered. The strict readers ([`read_jsonl`],
+//! [`read_jsonl_file`]) abort on the first malformed line — right for
+//! files we wrote ourselves. The lenient reader ([`read_jsonl_lenient`])
+//! is for dirty edge-of-ISP flow logs, where malformed lines are the
+//! norm: bad lines are counted per error class in an [`IngestReport`]
+//! (and optionally spilled to a quarantine sidecar), and an *error
+//! budget* distinguishes a dirty trace (ingest what you can) from the
+//! wrong file entirely (fail fast with [`IngestError::BudgetExceeded`]).
 
 use crate::record::HttpRecord;
+use smash_support::failpoint;
+use smash_support::impl_json_struct;
+use smash_support::json::{self, FromJson};
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Per-error-class counts from one lenient ingest.
+///
+/// `lines` counts every non-blank input line (or declared record, for
+/// the binary format); `records` counts the ones that decoded. The
+/// difference is broken down by error class, so an operator can tell
+/// "5% of lines had a mangled IP field" from "this is not JSONL at all".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Non-blank lines seen (binary: records the header declared).
+    pub lines: usize,
+    /// Records successfully decoded.
+    pub records: usize,
+    /// Lines longer than [`IngestOptions::max_line_bytes`].
+    pub oversized: usize,
+    /// Lines that were not valid UTF-8 JSON.
+    pub bad_json: usize,
+    /// Well-formed JSON whose `server_ip` was not an IPv4 literal.
+    pub bad_ip: usize,
+    /// Well-formed JSON with another missing or mistyped field
+    /// (binary: records lost to a corrupt region).
+    pub bad_field: usize,
+    /// Bad lines spilled to the quarantine sidecar.
+    pub quarantined: usize,
+    /// Binary only: decoding stopped early at a corrupt tail.
+    pub truncated_tail: bool,
+}
+
+impl_json_struct!(IngestReport {
+    lines,
+    records,
+    oversized,
+    bad_json,
+    bad_ip,
+    bad_field,
+    quarantined,
+    truncated_tail,
+});
+
+impl IngestReport {
+    /// Total rejected lines across all error classes.
+    pub fn bad_lines(&self) -> usize {
+        self.oversized + self.bad_json + self.bad_ip + self.bad_field
+    }
+
+    /// Fraction of input lines rejected (0 for an empty input).
+    pub fn bad_fraction(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.bad_lines() as f64 / self.lines as f64
+        }
+    }
+}
+
+/// Tuning knobs for lenient ingest.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Lines longer than this are rejected unread (guards against
+    /// pathological inputs blowing up memory). Default 1 MiB.
+    pub max_line_bytes: usize,
+    /// Maximum tolerated [`IngestReport::bad_fraction`]; exceeding it
+    /// fails the whole ingest with [`IngestError::BudgetExceeded`].
+    /// Default 0.05 — the "dirty trace vs. wrong file" line.
+    pub error_budget: f64,
+    /// When set, raw rejected lines are appended to this sidecar file
+    /// for offline inspection.
+    pub quarantine: Option<PathBuf>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            max_line_bytes: 1 << 20,
+            error_budget: 0.05,
+            quarantine: None,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Sets the error budget (fraction of bad lines tolerated).
+    pub fn with_error_budget(mut self, budget: f64) -> Self {
+        self.error_budget = budget;
+        self
+    }
+
+    /// Sets the quarantine sidecar path.
+    pub fn with_quarantine<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.quarantine = Some(path.into());
+        self
+    }
+
+    /// Sets the per-line size cap.
+    pub fn with_max_line_bytes(mut self, n: usize) -> Self {
+        self.max_line_bytes = n;
+        self
+    }
+}
+
+/// A lenient ingest that could not produce a usable dataset.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying I/O failure (including quarantine-sidecar writes), or
+    /// a structurally unreadable binary file (bad magic / corrupt string
+    /// table) — the "wrong file" signal.
+    Io(io::Error),
+    /// More lines were bad than the error budget allows.
+    BudgetExceeded {
+        /// Rejected lines, by class.
+        report: IngestReport,
+        /// The budget that was exceeded.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest failed: {e}"),
+            IngestError::BudgetExceeded { report, budget } => write!(
+                f,
+                "ingest error budget exceeded: {}/{} lines bad ({:.1}% > {:.1}% budget; \
+                 {} oversized, {} bad json, {} bad ip, {} bad field) — is this the right file?",
+                report.bad_lines(),
+                report.lines,
+                report.bad_fraction() * 100.0,
+                budget * 100.0,
+                report.oversized,
+                report.bad_json,
+                report.bad_ip,
+                report.bad_field,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// Lazily-opened quarantine sidecar: bad lines only, created on first
+/// spill so a clean ingest leaves no empty sidecar behind.
+struct Quarantine<'a> {
+    path: Option<&'a Path>,
+    file: Option<BufWriter<File>>,
+}
+
+impl<'a> Quarantine<'a> {
+    fn new(path: Option<&'a Path>) -> Self {
+        Self { path, file: None }
+    }
+
+    fn spill(&mut self, raw: &[u8], report: &mut IngestReport) -> io::Result<()> {
+        let Some(path) = self.path else {
+            return Ok(());
+        };
+        if self.file.is_none() {
+            self.file = Some(BufWriter::new(File::create(path)?));
+        }
+        let f = self.file.as_mut().expect("just created");
+        f.write_all(raw)?;
+        f.write_all(b"\n")?;
+        report.quarantined += 1;
+        Ok(())
+    }
+
+    fn finish(self) -> io::Result<()> {
+        match self.file {
+            Some(mut f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Classifies one undecodable (but syntactically valid JSON) line: an
+/// unparseable or mistyped `server_ip` is its own class, everything
+/// else (missing/mistyped field) is `bad_field`.
+fn classify_decode_failure(value: &json::Json, report: &mut IngestReport) {
+    match value.get("server_ip") {
+        Some(json::Json::Str(s)) if s.parse::<Ipv4Addr>().is_err() => report.bad_ip += 1,
+        Some(json::Json::Str(_)) | None => report.bad_field += 1,
+        Some(_) => report.bad_ip += 1,
+    }
+}
+
+/// Reads JSONL leniently: malformed lines are counted and optionally
+/// quarantined instead of aborting the ingest. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`IngestError::Io`] on I/O failure and
+/// [`IngestError::BudgetExceeded`] when more than
+/// [`IngestOptions::error_budget`] of the lines were bad.
+pub fn read_jsonl_lenient<R: Read>(
+    r: R,
+    opts: &IngestOptions,
+) -> Result<(Vec<HttpRecord>, IngestReport), IngestError> {
+    failpoint::check("ingest/jsonl").map_err(io::Error::other)?;
+    let mut report = IngestReport::default();
+    let mut out = Vec::new();
+    let mut quarantine = Quarantine::new(opts.quarantine.as_deref());
+    let mut reader = BufReader::new(r);
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        raw.clear();
+        // Byte-oriented reading: invalid UTF-8 must be a counted error
+        // class, not an abort (BufRead::lines would error out).
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        while raw.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            raw.pop();
+        }
+        if raw.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        report.lines += 1;
+        if raw.len() > opts.max_line_bytes {
+            report.oversized += 1;
+            quarantine.spill(&raw, &mut report)?;
+            continue;
+        }
+        let parsed = std::str::from_utf8(&raw)
+            .ok()
+            .and_then(|line| json::parse(line).ok());
+        let Some(value) = parsed else {
+            report.bad_json += 1;
+            quarantine.spill(&raw, &mut report)?;
+            continue;
+        };
+        match HttpRecord::from_json(&value) {
+            Ok(rec) => {
+                report.records += 1;
+                out.push(rec);
+            }
+            Err(_) => {
+                classify_decode_failure(&value, &mut report);
+                quarantine.spill(&raw, &mut report)?;
+            }
+        }
+    }
+    quarantine.finish()?;
+    if report.bad_fraction() > opts.error_budget {
+        return Err(IngestError::BudgetExceeded {
+            report,
+            budget: opts.error_budget,
+        });
+    }
+    Ok((out, report))
+}
+
+/// Lenient read of the file at `path` (see [`read_jsonl_lenient`]).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error or a blown error budget.
+pub fn read_jsonl_lenient_file<P: AsRef<Path>>(
+    path: P,
+    opts: &IngestOptions,
+) -> Result<(Vec<HttpRecord>, IngestReport), IngestError> {
+    read_jsonl_lenient(File::open(path).map_err(IngestError::Io)?, opts)
+}
 
 /// Writes records as JSONL to `w`.
 ///
@@ -66,6 +347,21 @@ pub fn read_jsonl_file<P: AsRef<Path>>(path: P) -> io::Result<Vec<HttpRecord>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A fresh directory per call: the process id plus a counter keep
+    /// parallel test invocations (and parallel `cargo test` processes)
+    /// from racing on a shared fixed path.
+    fn unique_test_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "smash-trace-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     fn sample() -> Vec<HttpRecord> {
         vec![
@@ -100,13 +396,125 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir().join("smash-trace-io-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = unique_test_dir("io");
         let path = dir.join("trace.jsonl");
         let recs = sample();
         write_jsonl_file(&path, &recs).unwrap();
         let back = read_jsonl_file(&path).unwrap();
         assert_eq!(recs, back);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A buffer of `good` valid lines with `bad` malformed ones mixed in.
+    fn dirty_buffer(good: usize, bad: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample()[..1.min(good)]).unwrap();
+        for i in 1..good {
+            write_jsonl(
+                &mut buf,
+                &[HttpRecord::new(i as u64, "c", "ok.com", "1.1.1.1", "/")],
+            )
+            .unwrap();
+        }
+        for i in 0..bad {
+            match i % 3 {
+                0 => buf.extend_from_slice(b"{not json at all\n"),
+                1 => buf.extend_from_slice(
+                    br#"{"timestamp":0,"client":"c","host":"h","server_ip":"999.1.2.3","method":"GET","uri":"/","user_agent":"","referrer":null,"status":200,"redirect_to":null}
+"#,
+                ),
+                _ => buf.extend_from_slice(b"\xff\xfe garbage bytes\n"),
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn lenient_within_budget_counts_error_classes() {
+        let buf = dirty_buffer(97, 3);
+        let (recs, report) = read_jsonl_lenient(&buf[..], &IngestOptions::default()).unwrap();
+        assert_eq!(recs.len(), 97);
+        assert_eq!(report.records, 97);
+        assert_eq!(report.lines, 100);
+        assert_eq!(report.bad_lines(), 3);
+        assert_eq!(report.bad_json, 2); // `{not json` + invalid UTF-8
+        assert_eq!(report.bad_ip, 1);
+        assert_eq!(report.quarantined, 0); // no sidecar requested
+    }
+
+    #[test]
+    fn lenient_over_budget_fails_fast_with_structured_error() {
+        let buf = dirty_buffer(90, 10);
+        let err = read_jsonl_lenient(&buf[..], &IngestOptions::default()).unwrap_err();
+        match &err {
+            IngestError::BudgetExceeded { report, budget } => {
+                assert_eq!(report.bad_lines(), 10);
+                assert_eq!(report.lines, 100);
+                assert_eq!(*budget, 0.05);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(err.to_string().contains("right file"), "got: {err}");
+        // A budget of 1.0 accepts anything.
+        let (recs, _) =
+            read_jsonl_lenient(&buf[..], &IngestOptions::default().with_error_budget(1.0)).unwrap();
+        assert_eq!(recs.len(), 90);
+    }
+
+    #[test]
+    fn lenient_quarantines_bad_lines_to_sidecar() {
+        let dir = unique_test_dir("quarantine");
+        let sidecar = dir.join("trace.quarantine");
+        let buf = dirty_buffer(97, 3);
+        let opts = IngestOptions::default().with_quarantine(&sidecar);
+        let (_, report) = read_jsonl_lenient(&buf[..], &opts).unwrap();
+        assert_eq!(report.quarantined, 3);
+        let spilled = std::fs::read(&sidecar).unwrap();
+        assert_eq!(spilled.iter().filter(|&&b| b == b'\n').count(), 3);
+        assert!(spilled.windows(8).any(|w| w == b"not json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_clean_ingest_leaves_no_sidecar() {
+        let dir = unique_test_dir("no-sidecar");
+        let sidecar = dir.join("clean.quarantine");
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample()).unwrap();
+        let opts = IngestOptions::default().with_quarantine(&sidecar);
+        let (recs, report) = read_jsonl_lenient(&buf[..], &opts).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(report.bad_lines(), 0);
+        assert!(!sidecar.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_oversized_lines_rejected_unread() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(&vec![b'x'; 600]);
+        buf.push(b'\n');
+        let opts = IngestOptions::default()
+            .with_max_line_bytes(512)
+            .with_error_budget(1.0);
+        let (recs, report) = read_jsonl_lenient(&buf[..], &opts).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(report.oversized, 1);
+    }
+
+    #[test]
+    fn lenient_empty_input_is_clean() {
+        let (recs, report) = read_jsonl_lenient(&b""[..], &IngestOptions::default()).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(report.bad_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ingest_failpoint_surfaces_as_error() {
+        smash_support::failpoint::arm("ingest/jsonl", smash_support::failpoint::Action::Error);
+        let res = read_jsonl_lenient(&b"{}\n"[..], &IngestOptions::default());
+        smash_support::failpoint::disarm("ingest/jsonl");
+        assert!(matches!(res, Err(IngestError::Io(_))));
     }
 }

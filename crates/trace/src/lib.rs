@@ -12,7 +12,10 @@
 //!   indexes the pipeline needs (server→clients, server→files,
 //!   server→IPs, referrer edges, redirect chains).
 //! * [`stats`] — Table-I style summary statistics.
-//! * [`io`] — JSONL import/export.
+//! * [`io`] — JSONL import/export, including the lenient quarantining
+//!   ingest for dirty flow logs ([`io::read_jsonl_lenient`]).
+//! * [`binary`] — the compact `.smsh` archive format, with a lenient
+//!   reader that salvages records ahead of a corrupt tail.
 //!
 //! # Example
 //!
@@ -42,7 +45,8 @@ pub mod uri;
 
 pub use dataset::{CompactRecord, ServerId, TraceDataset};
 pub use interner::Interner;
-pub use record::HttpRecord;
+pub use io::{IngestError, IngestOptions, IngestReport};
+pub use record::{HttpRecord, RecordError};
 pub use server::{second_level_domain, ServerKey};
 pub use stats::TraceStats;
 pub use uri::{parameter_pattern, uri_file, uri_path};

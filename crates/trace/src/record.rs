@@ -1,7 +1,21 @@
 //! Raw HTTP request records as observed at the network edge.
 
 use smash_support::impl_json_struct;
+use std::fmt;
 use std::net::Ipv4Addr;
+
+/// A record rejected by [`HttpRecord::try_new`] (e.g. an invalid IPv4
+/// literal in untrusted input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordError(String);
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RecordError {}
 
 /// One observed HTTP request.
 ///
@@ -69,17 +83,53 @@ impl HttpRecord {
     /// Creates a record with the required fields; the rest default to
     /// `GET`, an empty user-agent, status `200`, and no referrer/redirect.
     ///
+    /// This is the convenience constructor for **trusted** callers —
+    /// tests and the synthetic-trace generator, where an invalid IP is a
+    /// bug in the caller. Code handling untrusted input (flow logs,
+    /// network bytes) must use [`try_new`](Self::try_new) or
+    /// [`new_with_ip`](Self::new_with_ip) instead; no panic may be
+    /// reachable from trace bytes.
+    ///
     /// # Panics
     ///
     /// Panics if `server_ip` is not a valid IPv4 literal.
     pub fn new(timestamp: u64, client: &str, host: &str, server_ip: &str, uri: &str) -> Self {
+        Self::try_new(timestamp, client, host, server_ip, uri).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor for untrusted input: parses `server_ip` and
+    /// reports failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecordError`] if `server_ip` is not a valid IPv4
+    /// literal.
+    pub fn try_new(
+        timestamp: u64,
+        client: &str,
+        host: &str,
+        server_ip: &str,
+        uri: &str,
+    ) -> Result<Self, RecordError> {
+        let ip: Ipv4Addr = server_ip
+            .parse()
+            .map_err(|_| RecordError(format!("invalid IPv4 literal: {server_ip}")))?;
+        Ok(Self::new_with_ip(timestamp, client, host, ip, uri))
+    }
+
+    /// Infallible constructor taking an already-parsed server IP.
+    pub fn new_with_ip(
+        timestamp: u64,
+        client: &str,
+        host: &str,
+        server_ip: Ipv4Addr,
+        uri: &str,
+    ) -> Self {
         Self {
             timestamp,
             client: client.to_owned(),
             host: host.to_owned(),
-            server_ip: server_ip
-                .parse()
-                .unwrap_or_else(|_| panic!("invalid IPv4 literal: {server_ip}")),
+            server_ip,
             method: "GET".to_owned(),
             uri: uri.to_owned(),
             user_agent: String::new(),
@@ -182,6 +232,20 @@ mod tests {
     #[should_panic(expected = "invalid IPv4")]
     fn bad_ip_panics() {
         HttpRecord::new(0, "c", "h.com", "not-an-ip", "/");
+    }
+
+    #[test]
+    fn try_new_reports_bad_ip_instead_of_panicking() {
+        let err = HttpRecord::try_new(0, "c", "h.com", "999.1.1.1", "/").unwrap_err();
+        assert!(err.to_string().contains("999.1.1.1"));
+        let ok = HttpRecord::try_new(0, "c", "h.com", "9.9.9.9", "/").unwrap();
+        assert_eq!(ok, HttpRecord::new(0, "c", "h.com", "9.9.9.9", "/"));
+    }
+
+    #[test]
+    fn new_with_ip_skips_parsing() {
+        let r = HttpRecord::new_with_ip(3, "c", "h.com", std::net::Ipv4Addr::new(1, 2, 3, 4), "/");
+        assert_eq!(r, HttpRecord::new(3, "c", "h.com", "1.2.3.4", "/"));
     }
 
     #[test]

@@ -206,6 +206,71 @@ fn binary_round_trip() {
     );
 }
 
+/// A blob of fully arbitrary bytes (including newlines, NULs, and
+/// invalid UTF-8) — the adversarial ingest input.
+fn raw_bytes(g: &mut Gen) -> Vec<u8> {
+    g.vec(0..200, |g| g.range(0u8..=255))
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_strict_jsonl_reader() {
+    check(raw_bytes, |bytes| {
+        // Errors are fine; unwinding is not.
+        let _ = smash_trace::io::read_jsonl(&bytes[..]);
+    });
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_lenient_jsonl_reader() {
+    // Budget 1.0 forces the lenient path to classify every line instead
+    // of bailing early, walking the full error-counting surface.
+    let opts = smash_trace::IngestOptions::default().with_error_budget(1.0);
+    check(raw_bytes, move |bytes| {
+        if let Ok((recs, report)) = smash_trace::io::read_jsonl_lenient(&bytes[..], &opts) {
+            assert_eq!(recs.len(), report.records);
+            assert!(report.records + report.bad_lines() <= report.lines + 1);
+        }
+    });
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_binary_readers() {
+    let opts = smash_trace::IngestOptions::default().with_error_budget(1.0);
+    check(raw_bytes, move |bytes| {
+        let _ = smash_trace::binary::read_binary(&bytes[..]);
+        let _ = smash_trace::binary::read_binary_lenient(&bytes[..], &opts);
+    });
+}
+
+#[test]
+fn corrupted_valid_archives_never_panic() {
+    // Start from a well-formed archive, then truncate at an arbitrary
+    // offset and flip one arbitrary byte: the readers must error or
+    // salvage, never unwind.
+    check(
+        |g| {
+            let records: Vec<HttpRecord> = (0..g.range(1usize..10))
+                .map(|i| HttpRecord::new(i as u64, "c", &format!("s{i}.com"), "1.2.3.4", "/x"))
+                .collect();
+            let mut buf = Vec::new();
+            smash_trace::binary::write_binary(&mut buf, &records).unwrap();
+            let cut = g.range(0..=buf.len());
+            let flip = g.range(0..buf.len().max(1));
+            let bit = g.range(0u8..8);
+            (buf, cut, flip, bit)
+        },
+        |(buf, cut, flip, bit)| {
+            let mut bytes = buf[..*cut].to_vec();
+            if *flip < bytes.len() {
+                bytes[*flip] ^= 1 << bit;
+            }
+            let opts = smash_trace::IngestOptions::default().with_error_budget(1.0);
+            let _ = smash_trace::binary::read_binary(&bytes[..]);
+            let _ = smash_trace::binary::read_binary_lenient(&bytes[..], &opts);
+        },
+    );
+}
+
 #[test]
 fn jsonl_round_trip() {
     check(

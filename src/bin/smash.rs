@@ -5,15 +5,21 @@
 //! smash stats out.jsonl                       # Table-I style statistics
 //! smash analyze out.jsonl                     # infer campaigns (text report)
 //! smash analyze out.jsonl --whois out.whois.json --threshold 1.0 --json report.json
+//! smash analyze dirty.jsonl --lenient --error-budget 0.05   # quarantining ingest
 //! smash baseline out.jsonl --top 15           # per-server reputation scores
 //! ```
 //!
-//! Traces are JSONL, one `HttpRecord` per line (see `smash::trace::io`).
+//! Traces are JSONL, one `HttpRecord` per line (see `smash::trace::io`),
+//! or the compact `.smsh` binary archive. With `--lenient`, malformed
+//! lines are counted per error class (and spilled to `<trace>.quarantine`)
+//! instead of aborting the ingest, as long as they stay under the error
+//! budget. `SMASH_FAILPOINTS` injects deterministic faults for
+//! resilience testing (see `smash::support::failpoint`).
 
 use smash::core::baseline::ReputationBaseline;
-use smash::core::{Smash, SmashConfig};
+use smash::core::{DimensionStatus, Smash, SmashConfig};
 use smash::synth::Scenario;
-use smash::trace::{io, TraceDataset, TraceStats};
+use smash::trace::{io, IngestOptions, IngestReport, TraceDataset, TraceStats};
 use smash::whois::WhoisRegistry;
 use std::process::ExitCode;
 
@@ -40,6 +46,55 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// A known flag: its name and whether it consumes a value argument.
+type FlagSpec = (&'static str, bool);
+
+/// Flags shared by every command that loads a trace.
+const LOAD_FLAGS: &[FlagSpec] = &[
+    ("--whois", true),
+    ("--lenient", false),
+    ("--error-budget", true),
+    ("--quarantine", true),
+];
+
+/// Rejects any `--flag` not in `allowed` — silently ignoring a typo like
+/// `--threshhold` would analyze with defaults and report wrong results.
+fn check_flags(args: &[String], allowed: &[&[FlagSpec]]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            match allowed
+                .iter()
+                .flat_map(|set| set.iter())
+                .find(|(name, _)| name == a)
+            {
+                None => {
+                    let known: Vec<&str> = allowed
+                        .iter()
+                        .flat_map(|set| set.iter())
+                        .map(|(name, _)| *name)
+                        .collect();
+                    return Err(format!(
+                        "unknown flag `{a}` (known flags: {})",
+                        known.join(", ")
+                    ));
+                }
+                Some((_, takes_value)) => {
+                    if *takes_value {
+                        if i + 1 >= args.len() {
+                            return Err(format!("flag `{a}` needs a value"));
+                        }
+                        i += 1; // skip the value
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
@@ -47,7 +102,19 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Writes `contents` atomically: a unique temp file in the target's
+/// directory, then a rename — a crash mid-write never leaves a
+/// truncated report at the final path.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
+}
+
 fn cmd_generate(args: &[String]) -> CliResult {
+    check_flags(args, &[&[("--seed", true)]])?;
     let preset = args.first().map(String::as_str).unwrap_or("small");
     let out = args.get(1).map(String::as_str).unwrap_or("trace.jsonl");
     let seed: u64 = flag_value(args, "--seed").unwrap_or("7").parse()?;
@@ -110,32 +177,76 @@ fn cmd_generate(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn load(args: &[String]) -> Result<(TraceDataset, WhoisRegistry), Box<dyn std::error::Error>> {
+/// Loads the trace (strict by default, quarantining with `--lenient`)
+/// plus the optional Whois registry. The third element is the ingest
+/// report when lenient mode ran.
+fn load(
+    args: &[String],
+) -> Result<(TraceDataset, WhoisRegistry, Option<IngestReport>), Box<dyn std::error::Error>> {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("missing trace path")?;
-    let records = if path.ends_with(".smsh") {
-        smash::trace::binary::read_binary_file(path)?
+    let lenient = args.iter().any(|a| a == "--lenient");
+    let (records, ingest) = if lenient {
+        let mut opts = IngestOptions::default().with_quarantine(
+            flag_value(args, "--quarantine").unwrap_or(&format!("{path}.quarantine")),
+        );
+        if let Some(b) = flag_value(args, "--error-budget") {
+            opts = opts.with_error_budget(b.parse()?);
+        }
+        let (records, report) = if path.ends_with(".smsh") {
+            smash::trace::binary::read_binary_lenient_file(path, &opts)?
+        } else {
+            io::read_jsonl_lenient_file(path, &opts)?
+        };
+        if report.bad_lines() > 0 {
+            eprintln!(
+                "note: quarantined {} of {} lines ({} oversized, {} bad JSON, {} bad IP, {} bad field)",
+                report.bad_lines(),
+                report.lines,
+                report.oversized,
+                report.bad_json,
+                report.bad_ip,
+                report.bad_field
+            );
+        }
+        (records, Some(report))
     } else {
-        io::read_jsonl_file(path)?
+        let records = if path.ends_with(".smsh") {
+            smash::trace::binary::read_binary_file(path)?
+        } else {
+            io::read_jsonl_file(path)?
+        };
+        (records, None)
     };
     let dataset = TraceDataset::from_records(records);
     let whois = match flag_value(args, "--whois") {
         Some(p) => smash::support::json::from_str(&std::fs::read_to_string(p)?)?,
         None => WhoisRegistry::new(),
     };
-    Ok((dataset, whois))
+    Ok((dataset, whois, ingest))
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
-    let (dataset, _) = load(args)?;
+    check_flags(args, &[LOAD_FLAGS])?;
+    let (dataset, _, _) = load(args)?;
     println!("{}", TraceStats::compute(&dataset));
     Ok(())
 }
 
+const ANALYZE_FLAGS: &[FlagSpec] = &[
+    ("--threshold", true),
+    ("--idf", true),
+    ("--param-dimension", false),
+    ("--dimension-budget-ms", true),
+    ("--json", true),
+    ("--dot", true),
+];
+
 fn cmd_analyze(args: &[String]) -> CliResult {
-    let (dataset, whois) = load(args)?;
+    check_flags(args, &[LOAD_FLAGS, ANALYZE_FLAGS])?;
+    let (dataset, whois, ingest) = load(args)?;
     let mut config = SmashConfig::default();
     if let Some(t) = flag_value(args, "--threshold") {
         config = config.with_threshold(t.parse()?);
@@ -146,7 +257,30 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     if args.iter().any(|a| a == "--param-dimension") {
         config = config.with_param_pattern_dimension(true);
     }
-    let report = Smash::new(config).run(&dataset, &whois);
+    if let Some(ms) = flag_value(args, "--dimension-budget-ms") {
+        config = config.with_dimension_budget_ms(ms.parse()?);
+    }
+    let mut report = Smash::new(config).run(&dataset, &whois);
+    report.health.ingest = ingest;
+    if !report.health.fully_healthy() {
+        for kind in report.health.degraded_dimensions() {
+            let why = match report.health.status_of(kind) {
+                Some(DimensionStatus::Failed { reason }) => reason.clone(),
+                Some(DimensionStatus::TimedOut {
+                    elapsed_ms,
+                    budget_ms,
+                }) => format!("over budget ({elapsed_ms} ms > {budget_ms} ms)"),
+                _ => continue,
+            };
+            eprintln!("warning: dimension {kind} dropped: {why}");
+        }
+        if report.health.score_renormalization != 1.0 {
+            eprintln!(
+                "warning: degraded run — scores renormalized by {:.2}",
+                report.health.score_renormalization
+            );
+        }
+    }
     println!(
         "kept {} servers ({} filtered as popular); {} campaigns inferred",
         report.kept_servers,
@@ -165,10 +299,12 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         }
     }
     if let Some(out) = flag_value(args, "--json") {
-        std::fs::write(
-            out,
-            smash::support::json::to_string_pretty(&report.campaigns),
-        )?;
+        use smash::support::json::{Json, ToJson};
+        let doc = Json::Obj(vec![
+            ("campaigns".into(), report.campaigns.to_json()),
+            ("health".into(), report.health.to_json()),
+        ]);
+        write_atomic(out, &smash::support::json::to_string_pretty(&doc))?;
         println!("\nwrote JSON report to {out}");
     }
     if let Some(out) = flag_value(args, "--dot") {
@@ -190,14 +326,15 @@ fn cmd_analyze(args: &[String]) -> CliResult {
             partition: Some(&report.main.partition),
             skip_isolated: true,
         };
-        std::fs::write(out, smash::graph::dot::to_dot(&report.main.graph, &opts))?;
+        write_atomic(out, &smash::graph::dot::to_dot(&report.main.graph, &opts))?;
         println!("wrote client-similarity DOT graph to {out}");
     }
     Ok(())
 }
 
 fn cmd_baseline(args: &[String]) -> CliResult {
-    let (dataset, _) = load(args)?;
+    check_flags(args, &[LOAD_FLAGS, &[("--top", true)]])?;
+    let (dataset, _, _) = load(args)?;
     let top: usize = flag_value(args, "--top").unwrap_or("20").parse()?;
     let baseline = ReputationBaseline::default();
     println!("top {top} servers by per-server reputation score (herd-blind comparator):");

@@ -1,0 +1,248 @@
+//! Fault-injection resilience suite: with any single secondary dimension
+//! killed through a failpoint, `Smash::run` must still complete, still
+//! recover the planted flux campaign, and name the casualty in
+//! [`RunHealth`]. Run it with faults pre-armed from the environment too:
+//!
+//! ```text
+//! SMASH_FAILPOINTS=dimension/whois=panic cargo test --test fault_injection
+//! ```
+//!
+//! Every test tolerates (and several exploit) an env-armed spec: each
+//! begins by clearing the process-global failpoint registry and arming
+//! exactly what it needs.
+
+use smash::core::{DimensionKind, DimensionStatus, Smash, SmashConfig};
+use smash::support::failpoint;
+use smash::trace::{io, HttpRecord, IngestError, IngestOptions, TraceDataset};
+use smash::whois::WhoisRegistry;
+use std::sync::Mutex;
+
+/// The failpoint registry is process-global; serialize the tests that
+/// arm it so they cannot observe each other's faults.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The planted C&C flux herd from the pipeline tests: 3 bots hammering
+/// 8 domains that share an IP and a gate script, over benign background
+/// traffic — strong in every secondary dimension, so losing any one
+/// still leaves enough signal to recover it.
+fn flux_trace() -> TraceDataset {
+    let mut records = Vec::new();
+    for bot in ["bot1", "bot2", "bot3"] {
+        for d in 0..8 {
+            records.push(
+                HttpRecord::new(
+                    0,
+                    bot,
+                    &format!("cc{d}.evil"),
+                    "66.6.6.6",
+                    "/gate/login.php?p=1",
+                )
+                .with_user_agent("BotAgent"),
+            );
+        }
+    }
+    for s in 0..30 {
+        for c in 0..6 {
+            records.push(HttpRecord::new(
+                0,
+                &format!("user{}", (s * 3 + c) % 40),
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                &format!("/page{c}.html"),
+            ));
+        }
+    }
+    for bot in ["bot1", "bot2", "bot3"] {
+        for s in 0..5 {
+            records.push(HttpRecord::new(
+                0,
+                bot,
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                "/index.html",
+            ));
+        }
+    }
+    TraceDataset::from_records(records)
+}
+
+fn flux_recovered(report: &smash::core::SmashReport) -> bool {
+    report.campaigns.iter().any(|c| {
+        c.contains_server("cc0.evil")
+            && c.server_count() == 8
+            && c.servers.iter().all(|s| s.ends_with(".evil"))
+    })
+}
+
+#[test]
+fn killing_any_single_secondary_dimension_still_recovers_the_campaign() {
+    let _g = locked();
+    let ds = flux_trace();
+    let whois = WhoisRegistry::new();
+    for (site, kind) in [
+        ("dimension/uri-file", DimensionKind::UriFile),
+        ("dimension/ip-set", DimensionKind::IpSet),
+        ("dimension/whois", DimensionKind::Whois),
+    ] {
+        failpoint::disarm_all();
+        let cfg = SmashConfig::default().with_failpoints(&format!("{site}=panic"));
+        let report = Smash::new(cfg).run(&ds, &whois);
+        failpoint::disarm_all();
+
+        assert!(
+            flux_recovered(&report),
+            "flux campaign lost after killing {site}: {:?}",
+            report.campaigns
+        );
+        match report.health.status_of(kind) {
+            Some(DimensionStatus::Failed { reason }) => {
+                assert!(
+                    reason.contains("failpoint") && reason.contains(site),
+                    "reason does not name the failpoint: {reason}"
+                );
+            }
+            other => panic!("expected {kind} Failed, got {other:?}"),
+        }
+        assert_eq!(report.health.degraded_dimensions(), vec![kind]);
+        // Three enabled secondaries, two completed.
+        assert!((report.health.score_renormalization - 1.5).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn env_armed_spec_degrades_the_run_but_not_the_result() {
+    let _g = locked();
+    // The CI smoke step runs this binary with
+    // `SMASH_FAILPOINTS=dimension/whois=panic`. The registry may already
+    // have consumed (and a previous test cleared) the env spec, so
+    // re-arm from the variable explicitly — same grammar, same effect.
+    failpoint::disarm_all();
+    let spec = std::env::var("SMASH_FAILPOINTS").unwrap_or_default();
+    if !spec.trim().is_empty() {
+        failpoint::arm_spec(&spec).expect("env spec must parse");
+    }
+    let report = Smash::new(SmashConfig::default()).run(&flux_trace(), &WhoisRegistry::new());
+    failpoint::disarm_all();
+    assert!(flux_recovered(&report), "campaigns: {:?}", report.campaigns);
+    if spec.contains("dimension/") {
+        assert!(
+            !report.health.fully_healthy(),
+            "env-armed dimension fault left the run fully healthy"
+        );
+    } else {
+        assert!(report.health.fully_healthy());
+        assert_eq!(report.health.score_renormalization, 1.0);
+    }
+}
+
+#[test]
+fn stalled_dimension_times_out_under_budget_and_is_dropped() {
+    let _g = locked();
+    failpoint::disarm_all();
+    // Whois stalls 200 ms against a 50 ms budget; the other dimensions
+    // finish this tiny trace well inside it.
+    let cfg = SmashConfig::default()
+        .with_failpoints("dimension/whois=delay:200")
+        .with_dimension_budget_ms(50);
+    let report = Smash::new(cfg).run(&flux_trace(), &WhoisRegistry::new());
+    failpoint::disarm_all();
+
+    assert!(flux_recovered(&report), "campaigns: {:?}", report.campaigns);
+    match report.health.status_of(DimensionKind::Whois) {
+        Some(DimensionStatus::TimedOut {
+            elapsed_ms,
+            budget_ms,
+        }) => {
+            assert!(*elapsed_ms >= 200, "elapsed {elapsed_ms} < injected delay");
+            assert_eq!(*budget_ms, 50);
+        }
+        other => panic!("expected Whois TimedOut, got {other:?}"),
+    }
+    for kind in [
+        DimensionKind::Client,
+        DimensionKind::UriFile,
+        DimensionKind::IpSet,
+    ] {
+        assert!(
+            report
+                .health
+                .status_of(kind)
+                .is_some_and(DimensionStatus::is_ok),
+            "{kind} should have completed inside the budget"
+        );
+    }
+}
+
+#[test]
+fn main_dimension_failure_yields_an_empty_report_not_a_panic() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let cfg = SmashConfig::default().with_failpoints("dimension/client=panic");
+    let report = Smash::new(cfg).run(&flux_trace(), &WhoisRegistry::new());
+    failpoint::disarm_all();
+
+    assert!(report.campaigns.is_empty());
+    assert!(report.kept_servers > 0, "preprocessing still ran");
+    match report.health.status_of(DimensionKind::Client) {
+        Some(DimensionStatus::Failed { reason }) => {
+            assert!(reason.contains("failpoint"), "reason: {reason}");
+        }
+        other => panic!("expected Client Failed, got {other:?}"),
+    }
+    // Every secondary is accounted for as not-run.
+    assert_eq!(report.health.degraded_dimensions().len(), 7);
+}
+
+#[test]
+fn ingest_failpoint_surfaces_as_an_io_error() {
+    let _g = locked();
+    failpoint::disarm_all();
+    failpoint::arm("ingest/jsonl", failpoint::Action::Error);
+    let err = io::read_jsonl_lenient(&b"{}\n"[..], &IngestOptions::default()).unwrap_err();
+    failpoint::disarm_all();
+    match err {
+        IngestError::Io(e) => assert!(e.to_string().contains("ingest/jsonl")),
+        other => panic!("expected Io error, got {other}"),
+    }
+}
+
+#[test]
+fn dirty_trace_within_budget_analyzes_with_quarantine_counts() {
+    let _g = locked();
+    failpoint::disarm_all();
+    // 3 garbage lines over 200 good ones: well under the 5% default.
+    let mut buf = Vec::new();
+    let mut records = Vec::new();
+    for i in 0..200 {
+        records.push(HttpRecord::new(
+            i,
+            &format!("c{}", i % 9),
+            &format!("srv{}.com", i % 37),
+            "10.0.0.1",
+            "/a.php",
+        ));
+    }
+    io::write_jsonl(&mut buf, &records).unwrap();
+    buf.extend_from_slice(b"{broken\n\xff\xfe\n{\"server_ip\":\"999.1.2.3\"}\n");
+    let (recs, report) = io::read_jsonl_lenient(&buf[..], &IngestOptions::default()).unwrap();
+    assert_eq!(recs.len(), 200);
+    assert_eq!(report.bad_lines(), 3);
+    assert!(report.bad_fraction() < 0.05);
+
+    // The same garbage dominating the stream blows the budget: a
+    // structured "wrong file?" error, not a panic and not a best-effort
+    // sliver of a dataset.
+    let dirty: Vec<u8> = b"{broken\n".repeat(50);
+    let err = io::read_jsonl_lenient(&dirty[..], &IngestOptions::default()).unwrap_err();
+    match err {
+        IngestError::BudgetExceeded { report, budget } => {
+            assert_eq!(report.bad_json, 50);
+            assert!((budget - 0.05).abs() < 1e-9);
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+}
