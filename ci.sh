@@ -14,7 +14,12 @@
 #   4. fault-injection smoke                  the resilience suite re-run with
 #                                             a dimension killed from the
 #                                             environment (SMASH_FAILPOINTS)
-#   5. cargo clippy -D warnings               lint gate, skipped when the
+#   5. cargo doc --no-deps                    rustdoc gate, warnings are errors
+#   6. smash-bench --quick                    the benchmark harness runs end to
+#                                             end (writes no file; the committed
+#                                             BENCH_pipeline.json stays clean)
+#   7. examples                               all four examples/ run to completion
+#   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -30,6 +35,18 @@ cargo test -q --offline --workspace
 
 echo "==> fault-injection smoke (SMASH_FAILPOINTS=dimension/whois=panic)"
 SMASH_FAILPOINTS=dimension/whois=panic cargo test -q --offline --test fault_injection
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
+
+echo "==> smash-bench --quick (benchmark harness smoke)"
+cargo run -q --release --offline -p smash-bench -- --quick >/dev/null
+
+echo "==> examples build and run"
+for ex in quickstart campaign_discovery weekly_monitoring custom_trace; do
+    echo "    --example $ex"
+    cargo run -q --release --offline --example "$ex" >/dev/null
+done
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -D warnings"

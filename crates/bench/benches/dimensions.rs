@@ -23,12 +23,14 @@ fn bench_dimensions(c: &mut Criterion) {
         .enumerate()
         .map(|(i, &s)| (s, i as u32))
         .collect();
+    let metrics = smash_support::metrics::Registry::new();
     let ctx = DimensionContext {
         dataset: &data.dataset,
         whois: &data.whois,
         config: &config,
         nodes: &nodes,
         node_of: &node_of,
+        metrics: &metrics,
     };
     let mut g = c.benchmark_group("dimension-graphs");
     g.bench_function("client", |b| b.iter(|| ClientDimension.build_graph(&ctx)));

@@ -1,4 +1,24 @@
-//! Shared fixtures for the SMASH criterion benches.
+//! Benchmark fixtures and the reproducible perf harness for SMASH.
+//!
+//! Two things live here:
+//!
+//! * **Shared fixtures** for the `benches/` suites: a synthetic Louvain
+//!   stress graph ([`clique_chain`]) and the seeded small/medium pipeline
+//!   scenarios ([`small_scenario`], [`medium_scenario`]). The medium
+//!   preset mirrors the paper's Data2011 day at roughly 1/20 scale, so
+//!   stage costs keep the proportions of Table I's workload: the client
+//!   (eq. 1) and URI-file (eqs. 2–7) dimensions dominate, preprocessing
+//!   (§III-A IDF filter) and eq. 9 correlation are cheap.
+//! * **The `smash-bench` binary** (`src/main.rs`), which runs the full
+//!   pipeline over these scenarios and rewrites `BENCH_pipeline.json` at
+//!   the repo root — per-stage median wall times plus a config
+//!   fingerprint. DESIGN.md §7 documents the format and the workflow.
+//!
+//! ```text
+//! cargo bench --workspace                       # criterion-style suites
+//! cargo run --release -p smash-bench            # regenerate BENCH_pipeline.json
+//! cargo run --release -p smash-bench -- --quick # CI smoke (no file written)
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

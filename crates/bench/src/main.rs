@@ -1,0 +1,217 @@
+//! `smash-bench` — the reproducible pipeline benchmark harness.
+//!
+//! Runs the full SMASH pipeline over the small and medium synthetic
+//! scenarios for N iterations each and writes `BENCH_pipeline.json` at
+//! the repository root: per-stage median wall times plus a fingerprint
+//! of the `SmashConfig` that produced them. The committed file is the
+//! repo's perf trajectory — every optimisation PR re-runs this harness
+//! and updates the file, so a regression shows up as a diff.
+//!
+//! ```text
+//! cargo run --release -p smash-bench                 # full run, writes BENCH_pipeline.json
+//! cargo run --release -p smash-bench -- --quick      # small scenario, 2 iters, no file
+//! cargo run --release -p smash-bench -- --iterations 9 --out /tmp/bench.json
+//! ```
+//!
+//! The format is documented in DESIGN.md §7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use smash_bench::{medium_scenario, small_scenario};
+use smash_core::{Smash, SmashConfig};
+use smash_support::json::{to_string, to_string_pretty, Json, ToJson};
+use smash_support::metrics::Registry;
+use smash_synth::ScenarioData;
+use std::collections::BTreeMap;
+
+/// Schema tag written into the output so future format changes are
+/// detectable by consumers.
+const SCHEMA: &str = "smash-bench/pipeline/v1";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: smash-bench [--iterations N] [--quick] [--out <path>]\n\
+             \n\
+             Runs the SMASH pipeline over the small/medium synthetic scenarios\n\
+             and writes per-stage median wall times to BENCH_pipeline.json at\n\
+             the repo root. --quick runs only the small scenario for 2\n\
+             iterations and writes no file unless --out is given."
+        );
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let iterations: usize = flag_value(&args, "--iterations")
+        .map(|v| v.parse().expect("--iterations takes a number"))
+        .unwrap_or(if quick { 2 } else { 5 });
+    let out = flag_value(&args, "--out").map(str::to_owned).or_else(|| {
+        (!quick).then(|| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")))
+    });
+
+    let config = SmashConfig::default();
+    let mut scenarios: Vec<(&str, ScenarioData)> = vec![("small", small_scenario())];
+    if !quick {
+        scenarios.push(("medium", medium_scenario()));
+    }
+
+    let mut scenario_objs: Vec<(String, Json)> = Vec::new();
+    for (name, data) in &scenarios {
+        let summary = bench_scenario(&config, data, iterations);
+        eprintln!(
+            "{name}: {} records, total median {:.3} ms over {iterations} iterations",
+            data.dataset.record_count(),
+            summary.total_median_ms
+        );
+        scenario_objs.push((name.to_string(), summary.to_json(data)));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        (
+            "config_fingerprint".into(),
+            Json::Str(config_fingerprint(&config)),
+        ),
+        ("iterations".into(), iterations.to_json()),
+        ("scenarios".into(), Json::Obj(scenario_objs)),
+    ]);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, to_string_pretty(&doc)).expect("write benchmark file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", to_string_pretty(&doc)),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Median wall times of one scenario across iterations.
+struct ScenarioSummary {
+    total_median_ms: f64,
+    total_min_ms: f64,
+    total_max_ms: f64,
+    /// stage name → median wall ms, sorted by name for stable output.
+    stage_median_ms: BTreeMap<String, f64>,
+}
+
+impl ScenarioSummary {
+    fn to_json(&self, data: &ScenarioData) -> Json {
+        let stages: Vec<(String, Json)> = self
+            .stage_median_ms
+            .iter()
+            .map(|(k, v)| (k.clone(), round3(*v).to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("records".into(), data.dataset.record_count().to_json()),
+            (
+                "total_wall_ms".into(),
+                Json::Obj(vec![
+                    ("median".into(), round3(self.total_median_ms).to_json()),
+                    ("min".into(), round3(self.total_min_ms).to_json()),
+                    ("max".into(), round3(self.total_max_ms).to_json()),
+                ]),
+            ),
+            ("stage_median_ms".into(), Json::Obj(stages)),
+        ])
+    }
+}
+
+/// Runs the pipeline `iterations` times with a fresh metrics registry
+/// each run and reduces the per-stage wall times to medians.
+fn bench_scenario(config: &SmashConfig, data: &ScenarioData, iterations: usize) -> ScenarioSummary {
+    let smash = Smash::new(config.clone());
+    let mut totals: Vec<f64> = Vec::with_capacity(iterations);
+    let mut per_stage: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for _ in 0..iterations.max(1) {
+        let metrics = Registry::new();
+        let report = smash.run_with_metrics(&data.dataset, &data.whois, &metrics);
+        totals.push(report.perf.total_wall_ms);
+        for s in &report.perf.stages {
+            per_stage
+                .entry(s.stage.clone())
+                .or_default()
+                .push(s.wall_ms);
+        }
+    }
+    ScenarioSummary {
+        total_median_ms: median(&mut totals.clone()),
+        total_min_ms: totals.iter().copied().fold(f64::INFINITY, f64::min),
+        total_max_ms: totals.iter().copied().fold(0.0, f64::max),
+        stage_median_ms: per_stage
+            .into_iter()
+            .map(|(k, mut v)| (k, median(&mut v)))
+            .collect(),
+    }
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// FNV-1a over the config's canonical JSON: two runs are comparable only
+/// when their fingerprints match.
+fn config_fingerprint(config: &SmashConfig) -> String {
+    let canonical = to_string(config);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let a = config_fingerprint(&SmashConfig::default());
+        let b = config_fingerprint(&SmashConfig::default());
+        let c = config_fingerprint(&SmashConfig::default().with_threshold(1.5));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn quick_bench_produces_all_stages() {
+        let data = small_scenario();
+        let summary = bench_scenario(&SmashConfig::default(), &data, 1);
+        for stage in ["preprocess", "dimension/client", "correlate", "assemble"] {
+            assert!(
+                summary.stage_median_ms.contains_key(stage),
+                "missing stage {stage}: {:?}",
+                summary.stage_median_ms.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(summary.total_median_ms >= 0.0);
+    }
+}

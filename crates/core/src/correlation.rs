@@ -12,6 +12,7 @@ use crate::config::SmashConfig;
 use crate::dimensions::DimensionKind;
 use crate::math::phi;
 use smash_support::impl_json_struct;
+use smash_support::metrics::Registry;
 use smash_trace::{ServerId, TraceDataset};
 use std::collections::BTreeSet;
 
@@ -71,6 +72,23 @@ pub fn correlate_renormalized(
     config: &SmashConfig,
     scale: f64,
 ) -> Vec<CorrelatedAsh> {
+    correlate_with_metrics(dataset, main, secondaries, config, scale, &Registry::new())
+}
+
+/// [`correlate_renormalized`], also recording eq. 9 funnel counts into
+/// `metrics`: `correlate/candidate_herds` (main herds examined),
+/// `correlate/candidate_servers` (herd members scored),
+/// `correlate/accepted_herds` and `correlate/accepted_servers` (what
+/// survived thresholding). See DESIGN.md §7.
+pub fn correlate_with_metrics(
+    dataset: &TraceDataset,
+    main: &MinedDimension,
+    secondaries: &[MinedDimension],
+    config: &SmashConfig,
+    scale: f64,
+    metrics: &Registry,
+) -> Vec<CorrelatedAsh> {
+    let mut candidate_servers = 0u64;
     let mut out = Vec::new();
     for (mi, m_ash) in main.ashes.iter().enumerate() {
         // Client population of the herd decides the threshold regime.
@@ -89,6 +107,7 @@ pub fn correlate_renormalized(
         let mut servers = Vec::new();
         let mut scores = Vec::new();
         let mut dims = Vec::new();
+        candidate_servers += m_ash.members.len() as u64;
         for &s in &m_ash.members {
             let mut score = 0.0;
             let mut contributing = Vec::new();
@@ -120,6 +139,18 @@ pub fn correlate_renormalized(
             });
         }
     }
+    metrics
+        .counter("correlate/candidate_herds")
+        .add(main.ashes.len() as u64);
+    metrics
+        .counter("correlate/candidate_servers")
+        .add(candidate_servers);
+    metrics
+        .counter("correlate/accepted_herds")
+        .add(out.len() as u64);
+    metrics
+        .counter("correlate/accepted_servers")
+        .add(out.iter().map(|ca| ca.servers.len() as u64).sum());
     out
 }
 

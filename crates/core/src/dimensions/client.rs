@@ -5,7 +5,9 @@
 //! Malicious servers of one campaign are contacted by the same small set
 //! of infected clients; benign servers serve diverse crowds.
 
-use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use std::collections::HashMap;
 
@@ -38,20 +40,25 @@ impl Dimension for ClientDimension {
                 by_client.entry(c).or_default().push(node as u32);
             }
         }
+        let postings = by_client.len() as u64;
         let mut counter =
             CooccurrenceCounter::new().with_max_posting_len(ctx.config.client_posting_cap);
         // BTreeMap order not needed: postings are independent.
         for (_, servers) in by_client {
             counter.add_posting(servers);
         }
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), shared) in counter.counts_parallel() {
+            pairs += 1;
             let cu = ctx.dataset.clients_of(ctx.nodes[u as usize]).len();
             let cv = ctx.dataset.clients_of(ctx.nodes[v as usize]).len();
             let sim = overlap_product(shared as usize, cu, cv);
             if sim >= ctx.config.client_edge_min {
                 builder.add_edge(u, v, sim);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -84,6 +91,7 @@ mod tests {
             config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         })
     }
 

@@ -4,7 +4,9 @@
 //! servers rarely share addresses. Same product form as eq. 1 over the
 //! servers' IP sets.
 
-use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use std::collections::HashMap;
 
@@ -26,19 +28,24 @@ impl Dimension for IpSetDimension {
                 by_ip.entry(ip).or_default().push(node as u32);
             }
         }
+        let postings = by_ip.len() as u64;
         // Hot IPs (large shared hosters / NATs) carry no herd signal.
         let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
         for (_, servers) in by_ip {
             counter.add_posting(servers);
         }
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), shared) in counter.counts_parallel() {
+            pairs += 1;
             let iu = ctx.dataset.ips_of(ctx.nodes[u as usize]).len();
             let iv = ctx.dataset.ips_of(ctx.nodes[v as usize]).len();
             let sim = overlap_product(shared as usize, iu, iv);
             if sim >= ctx.config.ip_edge_min {
                 builder.add_edge(u, v, sim);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -66,6 +73,7 @@ mod tests {
             config: &config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         });
         (ds, g)
     }

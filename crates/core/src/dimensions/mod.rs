@@ -19,6 +19,7 @@ pub mod whois;
 use crate::config::SmashConfig;
 use smash_graph::Graph;
 use smash_support::impl_json_enum;
+use smash_support::metrics::Registry;
 use smash_trace::{ServerId, TraceDataset};
 use smash_whois::WhoisRegistry;
 use std::collections::HashMap;
@@ -96,6 +97,31 @@ pub struct DimensionContext<'a> {
     pub nodes: &'a [ServerId],
     /// Reverse map server → node index.
     pub node_of: &'a HashMap<ServerId, u32>,
+    /// Metrics sink: builders report postings processed, pairs scored
+    /// and pruned, and edges emitted under `dim/<kind>/*` (see
+    /// DESIGN.md §7). Pass a throwaway [`Registry`] when observability
+    /// is not needed.
+    pub metrics: &'a Registry,
+}
+
+/// Reports one builder's standard `dim/<kind>/*` metrics in a single
+/// batch (one registry lock per name, after the hot loops).
+pub(crate) fn record_dimension_metrics(
+    ctx: &DimensionContext<'_>,
+    kind: DimensionKind,
+    postings: u64,
+    pairs_scored: u64,
+    edges: u64,
+) {
+    let m = ctx.metrics;
+    m.counter(&format!("dim/{kind}/postings")).add(postings);
+    m.counter(&format!("dim/{kind}/pairs_scored"))
+        .add(pairs_scored);
+    m.counter(&format!("dim/{kind}/pairs_pruned"))
+        .add(pairs_scored - edges);
+    m.counter(&format!("dim/{kind}/edges")).add(edges);
+    m.gauge(&format!("dim/{kind}/nodes"))
+        .set(ctx.nodes.len() as f64);
 }
 
 /// A similarity dimension: builds one weighted graph over the shared node

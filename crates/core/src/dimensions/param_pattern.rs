@@ -6,7 +6,9 @@
 //! work — treats the ordered, value-blanked query-string keys (e.g.
 //! `p=[]&id=[]&e=[]`) the way the file dimension treats URI files.
 
-use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use std::collections::{HashMap, HashSet};
 
@@ -38,19 +40,24 @@ impl Dimension for ParamPatternDimension {
             }
             node_patterns.push(set);
         }
+        let postings = by_pattern.len() as u64;
         let mut counter =
             CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
         for (_, nodes) in by_pattern {
             counter.add_posting(nodes);
         }
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), shared) in counter.counts_parallel() {
+            pairs += 1;
             let pu = node_patterns[u as usize].len();
             let pv = node_patterns[v as usize].len();
             let sim = overlap_product(shared as usize, pu, pv);
             if sim >= ctx.config.file_edge_min {
                 builder.add_edge(u, v, sim);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -78,6 +85,7 @@ mod tests {
             config: &config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         })
     }
 

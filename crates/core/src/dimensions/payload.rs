@@ -8,7 +8,9 @@
 //! compared exactly after masking the low bits (minor header/padding
 //! variation).
 
-use super::{overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use std::collections::{HashMap, HashSet};
 
@@ -46,19 +48,24 @@ impl Dimension for PayloadDimension {
             }
             node_sizes.push(sizes);
         }
+        let postings = by_size.len() as u64;
         let mut counter =
             CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
         for (_, nodes) in by_size {
             counter.add_posting(nodes);
         }
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), shared) in counter.counts_parallel() {
+            pairs += 1;
             let su = node_sizes[u as usize].len();
             let sv = node_sizes[v as usize].len();
             let sim = overlap_product(shared as usize, su, sv);
             if sim >= ctx.config.file_edge_min {
                 builder.add_edge(u, v, sim);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -86,6 +93,7 @@ mod tests {
             config: &config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         })
     }
 

@@ -1,6 +1,6 @@
 //! Extension dimension (paper §VI): time-based similarity.
 //!
-//! The paper proposes adding "time based dimensions [19] to characterize
+//! The paper proposes adding "time based dimensions \[19\] to characterize
 //! the relationship among servers": bots of one campaign check in during
 //! the same bursts (polling intervals, scan sweeps), so sibling servers
 //! share an activity *shape* over the day even when every other feature
@@ -11,7 +11,7 @@
 //! is high. Only *bursty* servers participate — always-on servers have
 //! flat histograms that would trivially match each other.
 
-use super::{Dimension, DimensionContext, DimensionKind};
+use super::{record_dimension_metrics, Dimension, DimensionContext, DimensionKind};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use std::collections::HashMap;
 
@@ -78,20 +78,25 @@ impl Dimension for TimingDimension {
             }
             histograms.push(Some(h));
         }
+        let postings = by_bucket.len() as u64;
         // Candidate pairs: bursty servers active in a common bucket.
         let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
         for (_, nodes) in by_bucket {
             counter.add_posting(nodes);
         }
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), _) in counter.counts_parallel() {
+            pairs += 1;
             let (Some(hu), Some(hv)) = (&histograms[u as usize], &histograms[v as usize]) else {
                 continue;
             };
             let cos: f64 = hu.iter().zip(hv.iter()).map(|(a, b)| a * b).sum();
             if cos >= ctx.config.timing_edge_min {
                 builder.add_edge(u, v, cos);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -119,6 +124,7 @@ mod tests {
             config: &config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         });
         (ds, g)
     }

@@ -7,7 +7,7 @@
 //! two directed matched-fraction terms:
 //! `File(Si,Sj) = (matchedᵢ/|Fᵢ|) · (matchedⱼ/|Fⱼ|)`.
 
-use super::{Dimension, DimensionContext, DimensionKind};
+use super::{record_dimension_metrics, Dimension, DimensionContext, DimensionKind};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use smash_trace::uri::charset_vector;
 use std::collections::{HashMap, HashSet};
@@ -74,6 +74,7 @@ impl Dimension for UriFileDimension {
                     .push(node as u32);
             }
         }
+        let postings = (exact.len() + fuzzy.len()) as u64;
         let mut counter =
             CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
         for (_, nodes) in exact {
@@ -83,7 +84,9 @@ impl Dimension for UriFileDimension {
             counter.add_posting(nodes);
         }
 
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), _) in counter.counts_parallel() {
+            pairs += 1;
             let (mu, mv) = matched_counts(
                 &node_files[u as usize],
                 &node_files[v as usize],
@@ -98,8 +101,10 @@ impl Dimension for UriFileDimension {
             let sim = (mu as f64 / fu as f64) * (mv as f64 / fv as f64);
             if sim >= ctx.config.file_edge_min {
                 builder.add_edge(u, v, sim);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -154,6 +159,7 @@ mod tests {
             config: &config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         });
         (ds, g)
     }

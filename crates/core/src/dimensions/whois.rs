@@ -6,7 +6,7 @@
 //! field *values*, and pairs must co-occur in at least two value postings
 //! before the (proxy-aware) verification runs.
 
-use super::{Dimension, DimensionContext, DimensionKind};
+use super::{record_dimension_metrics, Dimension, DimensionContext, DimensionKind};
 use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
 use smash_whois::MIN_SHARED_FIELDS;
 use std::collections::HashMap;
@@ -54,11 +54,14 @@ impl Dimension for WhoisDimension {
             }
             records.push(rec);
         }
+        let postings = by_value.len() as u64;
         let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
         for (_, nodes) in by_value {
             counter.add_posting(nodes);
         }
+        let (mut pairs, mut edges) = (0u64, 0u64);
         for ((u, v), hits) in counter.counts_parallel() {
+            pairs += 1;
             if (hits as usize) < MIN_SHARED_FIELDS {
                 continue;
             }
@@ -70,8 +73,10 @@ impl Dimension for WhoisDimension {
             let (shared, union) = ru.shared_fields(rv);
             if shared >= MIN_SHARED_FIELDS && union > 0 {
                 builder.add_edge(u, v, shared as f64 / union as f64);
+                edges += 1;
             }
         }
+        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
         builder.build()
     }
 }
@@ -98,6 +103,7 @@ mod tests {
             config: &config,
             nodes: &nodes,
             node_of: &node_of,
+            metrics: &smash_support::metrics::Registry::new(),
         })
     }
 

@@ -53,4 +53,7 @@ pub use ash::{Ash, MinedDimension};
 pub use config::{ConfigError, SmashConfig};
 pub use dimensions::DimensionKind;
 pub use pipeline::Smash;
-pub use report::{DimensionHealth, DimensionStatus, InferredCampaign, RunHealth, SmashReport};
+pub use report::{
+    DimensionHealth, DimensionStatus, InferredCampaign, PerfReport, RunHealth, SmashReport,
+    StagePerf,
+};

@@ -3,6 +3,7 @@
 use crate::ash::{Ash, MinedDimension};
 use crate::dimensions::DimensionKind;
 use smash_graph::{density, Graph, Louvain};
+use smash_support::metrics::Registry;
 use smash_trace::ServerId;
 use std::collections::HashMap;
 
@@ -12,6 +13,19 @@ use std::collections::HashMap;
 /// *connected* servers become herds (singletons cannot be "associated").
 /// `nodes[i]` is the server behind graph node `i`.
 pub fn mine(kind: DimensionKind, graph: Graph, nodes: &[ServerId], seed: u64) -> MinedDimension {
+    mine_with_metrics(kind, graph, nodes, seed, &Registry::new())
+}
+
+/// [`mine`], also recording how hard Louvain worked into `metrics`:
+/// `louvain/<kind>/levels` and `louvain/<kind>/passes` counters plus a
+/// `louvain/<kind>/modularity` gauge (see DESIGN.md §7).
+pub fn mine_with_metrics(
+    kind: DimensionKind,
+    graph: Graph,
+    nodes: &[ServerId],
+    seed: u64,
+    metrics: &Registry,
+) -> MinedDimension {
     assert_eq!(
         graph.node_count(),
         nodes.len(),
@@ -19,7 +33,16 @@ pub fn mine(kind: DimensionKind, graph: Graph, nodes: &[ServerId], seed: u64) ->
         graph.node_count(),
         nodes.len()
     );
-    let partition = Louvain::new().with_seed(seed).run(&graph);
+    let (partition, stats) = Louvain::new().with_seed(seed).run_with_stats(&graph);
+    metrics
+        .counter(&format!("louvain/{kind}/levels"))
+        .add(stats.levels as u64);
+    metrics
+        .counter(&format!("louvain/{kind}/passes"))
+        .add(stats.passes as u64);
+    metrics
+        .gauge(&format!("louvain/{kind}/modularity"))
+        .set(stats.modularity);
     let mut ashes = Vec::new();
     let mut membership = HashMap::new();
     for community in partition.communities_min_size(2) {

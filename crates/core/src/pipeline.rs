@@ -3,19 +3,22 @@
 
 use crate::ash::MinedDimension;
 use crate::config::SmashConfig;
-use crate::correlation::{correlate_renormalized, CorrelatedAsh};
+use crate::correlation::correlate_with_metrics;
+use crate::correlation::CorrelatedAsh;
 use crate::dimensions::{
     ClientDimension, Dimension, DimensionContext, DimensionKind, IpSetDimension,
     ParamPatternDimension, PayloadDimension, TimingDimension, UriFileDimension, WhoisDimension,
 };
 use crate::inference::merge_by_main_herd;
-use crate::mining::mine;
+use crate::mining::mine_with_metrics;
 use crate::preprocess::filter_popular;
 use crate::pruning::prune;
 use crate::report::{
-    DimensionHealth, DimensionStatus, DimensionSummary, InferredCampaign, RunHealth, SmashReport,
+    DimensionHealth, DimensionStatus, DimensionSummary, InferredCampaign, PerfReport, RunHealth,
+    SmashReport, StagePerf,
 };
 use smash_graph::GraphBuilder;
+use smash_support::metrics::Registry;
 use smash_support::par;
 use smash_trace::{ServerId, TraceDataset};
 use smash_whois::WhoisRegistry;
@@ -77,13 +80,28 @@ impl Smash {
     /// then an empty report with the failure named is returned rather
     /// than a panic.
     pub fn run(&self, dataset: &TraceDataset, whois: &WhoisRegistry) -> SmashReport {
+        self.run_with_metrics(dataset, whois, &Registry::new())
+    }
+
+    /// [`run`](Self::run), recording stage timings and funnel counts into
+    /// `metrics` (the schema is documented in DESIGN.md §7). The registry
+    /// is caller-owned so runs never share state; the resulting snapshot
+    /// also feeds the report's [`PerfReport`].
+    pub fn run_with_metrics(
+        &self,
+        dataset: &TraceDataset,
+        whois: &WhoisRegistry,
+        metrics: &Registry,
+    ) -> SmashReport {
         let cfg = &self.config;
+        let run_start = Instant::now();
         if !cfg.failpoints.is_empty() {
             // Validated by `try_new`; arming is process-global.
             smash_support::failpoint::arm_spec(&cfg.failpoints).expect("validated failpoints spec");
         }
         // 1. Preprocessing: IDF popularity filter (SLD aggregation already
         //    happened when the dataset was interned).
+        let pre_span = metrics.span("stage/preprocess");
         let pre = filter_popular(dataset, cfg.idf_threshold);
         let nodes: Vec<ServerId> = pre.kept.clone();
         let node_of: HashMap<ServerId, u32> = nodes
@@ -91,12 +109,23 @@ impl Smash {
             .enumerate()
             .map(|(i, &s)| (s, i as u32))
             .collect();
+        drop(pre_span);
+        metrics
+            .counter("preprocess/records")
+            .add(dataset.record_count() as u64);
+        metrics
+            .counter("preprocess/servers_kept")
+            .add(pre.kept.len() as u64);
+        metrics
+            .counter("preprocess/servers_dropped")
+            .add(pre.dropped_popular.len() as u64);
         let ctx = DimensionContext {
             dataset,
             whois,
             config: cfg,
             nodes: &nodes,
             node_of: &node_of,
+            metrics,
         };
 
         // 2. ASH mining per dimension. The client graph covers servers
@@ -104,8 +133,15 @@ impl Smash {
         //    herds appended below (paper Appendix C).
         let main_start = Instant::now();
         let main_result = par::run_isolated(|| {
+            let _span = metrics.span("stage/dimension/client");
             let main_graph = ClientDimension.build_graph(&ctx);
-            let mut main = mine(DimensionKind::Client, main_graph, &nodes, cfg.louvain_seed);
+            let mut main = mine_with_metrics(
+                DimensionKind::Client,
+                main_graph,
+                &nodes,
+                cfg.louvain_seed,
+                metrics,
+            );
             append_single_client_herds(&mut main, dataset, &nodes);
             main
         });
@@ -162,8 +198,9 @@ impl Smash {
         let isolated: Vec<Result<(MinedDimension, u64), String>> =
             par::par_map_isolated(&enabled, |d| {
                 let start = Instant::now();
+                let _span = metrics.span(&format!("stage/dimension/{}", d.kind()));
                 let g = d.build_graph(&ctx);
-                let mined = mine(d.kind(), g, &nodes, cfg.louvain_seed);
+                let mined = mine_with_metrics(d.kind(), g, &nodes, cfg.louvain_seed, metrics);
                 (mined, start.elapsed().as_millis() as u64)
             });
 
@@ -228,9 +265,13 @@ impl Smash {
             ingest: None,
             score_renormalization: scale,
         };
-        let correlated = correlate_renormalized(dataset, &main, &secondaries, cfg, scale);
+        let correlated = {
+            let _span = metrics.span("stage/correlate");
+            correlate_with_metrics(dataset, &main, &secondaries, cfg, scale, metrics)
+        };
 
         // 4. Pruning of redirection/referrer groups.
+        let prune_span = metrics.span("stage/prune");
         let mut kept_correlated: Vec<&CorrelatedAsh> = Vec::new();
         let mut candidates: Vec<Vec<ServerId>> = Vec::new();
         for ca in &correlated {
@@ -245,12 +286,17 @@ impl Smash {
             kept_correlated.push(ca);
             candidates.push(servers);
         }
+        drop(prune_span);
 
         // 5. Campaign inference: merge through shared main herds.
-        let merged = merge_by_main_herd(&candidates, &main);
+        let merged = {
+            let _span = metrics.span("stage/infer");
+            merge_by_main_herd(&candidates, &main)
+        };
 
         // Assemble campaigns; scores/dimensions come from the correlated
         // ASHs each merged group absorbed.
+        let assemble_span = metrics.span("stage/assemble");
         let mut campaigns: Vec<InferredCampaign> = merged
             .into_iter()
             .map(|(servers, cand_idxs)| {
@@ -314,6 +360,28 @@ impl Smash {
             ashes: d.ash_count(),
             herded_servers: d.herded_server_count(),
         }));
+        metrics
+            .counter("infer/campaigns")
+            .add(campaigns.len() as u64);
+        drop(assemble_span);
+
+        let peak_graph_nodes = std::iter::once(&main)
+            .chain(&secondaries)
+            .map(|d| d.graph.node_count() as u64)
+            .max()
+            .unwrap_or(0);
+        let peak_graph_edges = std::iter::once(&main)
+            .chain(&secondaries)
+            .map(|d| d.graph.edge_count() as u64)
+            .max()
+            .unwrap_or(0);
+        let perf = assemble_perf(
+            metrics,
+            run_start.elapsed().as_secs_f64() * 1000.0,
+            dataset.record_count() as u64,
+            peak_graph_nodes,
+            peak_graph_edges,
+        );
 
         SmashReport {
             campaigns,
@@ -323,6 +391,7 @@ impl Smash {
             main,
             secondaries,
             health,
+            perf,
         }
     }
 
@@ -371,7 +440,73 @@ impl Smash {
                 ingest: None,
                 score_renormalization: 1.0,
             },
+            perf: PerfReport::default(),
         }
+    }
+}
+
+/// Pipeline-order rank of a `stage/*` histogram name (unknown stages
+/// sort after the known ones, alphabetically).
+fn stage_rank(name: &str) -> usize {
+    const ORDER: [&str; 12] = [
+        "ingest",
+        "preprocess",
+        "dimension/client",
+        "dimension/uri-file",
+        "dimension/ip-set",
+        "dimension/whois",
+        "dimension/param-pattern",
+        "dimension/timing",
+        "dimension/payload",
+        "correlate",
+        "prune",
+        "infer",
+    ];
+    ORDER
+        .iter()
+        .position(|&s| s == name)
+        .unwrap_or(ORDER.len() + usize::from(name != "assemble"))
+}
+
+/// Distills the registry's `stage/*` histograms into the report's
+/// [`PerfReport`].
+fn assemble_perf(
+    metrics: &Registry,
+    total_wall_ms: f64,
+    records: u64,
+    peak_graph_nodes: u64,
+    peak_graph_edges: u64,
+) -> PerfReport {
+    let snapshot = metrics.snapshot();
+    let mut stages: Vec<StagePerf> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let stage = name.strip_prefix("stage/")?;
+            Some(StagePerf {
+                stage: stage.to_owned(),
+                wall_ms: h.sum_ms(),
+                calls: h.count,
+            })
+        })
+        .collect();
+    stages.sort_by(|a, b| {
+        stage_rank(&a.stage)
+            .cmp(&stage_rank(&b.stage))
+            .then_with(|| a.stage.cmp(&b.stage))
+    });
+    let records_per_sec = if total_wall_ms > 0.0 {
+        records as f64 * 1000.0 / total_wall_ms
+    } else {
+        0.0
+    };
+    PerfReport {
+        stages,
+        total_wall_ms,
+        records,
+        records_per_sec,
+        peak_graph_nodes,
+        peak_graph_edges,
     }
 }
 

@@ -239,6 +239,58 @@ impl RunHealth {
     }
 }
 
+/// Wall time of one pipeline stage, distilled from the run's
+/// `stage/<name>` histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePerf {
+    /// Stage name without the `stage/` prefix (e.g. `preprocess`,
+    /// `dimension/client`, `correlate`).
+    pub stage: String,
+    /// Total wall time spent in the stage, milliseconds.
+    pub wall_ms: f64,
+    /// How many times the stage ran (1 for every stage of a single run).
+    pub calls: u64,
+}
+
+impl_json_struct!(StagePerf {
+    stage,
+    wall_ms,
+    calls
+});
+
+/// Performance summary of one run (DESIGN.md §7), assembled from the
+/// run's metrics registry. The timing side of the coin whose health side
+/// is [`RunHealth`]: `RunHealth` says what *happened*, `PerfReport` says
+/// what it *cost*.
+///
+/// Wall times are inherently nondeterministic; the determinism suite
+/// fingerprints reports without this section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// Per-stage wall times, in pipeline order.
+    pub stages: Vec<StagePerf>,
+    /// End-to-end wall time of the run, milliseconds.
+    pub total_wall_ms: f64,
+    /// HTTP records analyzed.
+    pub records: u64,
+    /// Throughput over the whole run (`records / total_wall_ms`,
+    /// rescaled; 0 when the run was too fast to time).
+    pub records_per_sec: f64,
+    /// Largest node count across the dimension graphs.
+    pub peak_graph_nodes: u64,
+    /// Largest edge count across the dimension graphs.
+    pub peak_graph_edges: u64,
+}
+
+impl_json_struct!(PerfReport {
+    stages,
+    total_wall_ms,
+    records,
+    records_per_sec,
+    peak_graph_nodes,
+    peak_graph_edges,
+});
+
 /// The complete output of one SMASH run.
 #[derive(Debug)]
 pub struct SmashReport {
@@ -258,6 +310,8 @@ pub struct SmashReport {
     pub secondaries: Vec<MinedDimension>,
     /// What ran, what failed, and what was quarantined.
     pub health: RunHealth,
+    /// What the run cost: per-stage wall times and throughput.
+    pub perf: PerfReport,
 }
 
 impl SmashReport {
@@ -330,6 +384,7 @@ mod tests {
             },
             secondaries: vec![],
             health: RunHealth::default(),
+            perf: PerfReport::default(),
         }
     }
 

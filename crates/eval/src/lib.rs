@@ -16,6 +16,15 @@
 //! real ISP traffic; ours is a seeded simulator at ~1/20 scale) — the
 //! *shapes* are what the harness reproduces: who wins, what decreases
 //! with the threshold, which dimension dominates.
+//!
+//! The experiment-to-paper mapping: Table I is the trace statistics,
+//! Table II/III the campaign and server confirmation breakdowns (§V-A
+//! taxonomy), Fig. 7 sweeps the eq. 9 suspiciousness threshold, and
+//! Fig. 8 the per-dimension ablation; the extras (`baseline`,
+//! `extensions`, `ablation`, `stability`, `shapes`) quantify the §II
+//! per-server-reputation argument and the §VI extension dimensions.
+//! `EXPERIMENTS.md` at the repo root holds the paper-vs-measured
+//! discussion for every row.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

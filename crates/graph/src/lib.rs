@@ -8,7 +8,7 @@
 //!   (Blondel et al., *Fast unfolding of communities in large networks*,
 //!   J. Stat. Mech. 2008), which the paper uses to extract Associated
 //!   Server Herds (ASHs) from per-dimension similarity graphs.
-//! * [`modularity`] — the quality measure optimized by Louvain.
+//! * [`mod@modularity`] — the quality measure optimized by Louvain.
 //! * [`components`] — connected components via [`UnionFind`].
 //! * [`cooccurrence`] — an inverted-index sparse pairwise-similarity engine:
 //!   the paper notes that naive pairwise similarity is *O(N²)* and that
@@ -48,7 +48,7 @@ pub mod union_find;
 pub use components::connected_components;
 pub use cooccurrence::CooccurrenceCounter;
 pub use graph::{Graph, GraphBuilder, NodeId};
-pub use louvain::Louvain;
+pub use louvain::{Louvain, LouvainStats};
 pub use metrics::density;
 pub use modularity::modularity;
 pub use partition::Partition;

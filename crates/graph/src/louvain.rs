@@ -2,7 +2,7 @@
 //!
 //! This is the clustering algorithm the SMASH paper uses to extract
 //! Associated Server Herds from each per-dimension similarity graph:
-//! it greedily maximizes [modularity](crate::modularity) through repeated
+//! it greedily maximizes [modularity](mod@crate::modularity) through repeated
 //! local-move passes followed by graph aggregation.
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
@@ -84,19 +84,41 @@ impl Louvain {
     /// Runs Louvain on `graph` and returns the final partition over the
     /// *original* nodes.
     pub fn run(&self, graph: &Graph) -> Partition {
+        self.run_with_stats(graph).0
+    }
+
+    /// [`run`](Self::run), also reporting how hard the optimization
+    /// worked: aggregation levels, total local-move passes, and the final
+    /// partition's modularity — the numbers behind the pipeline's
+    /// per-dimension `louvain/*` metrics.
+    pub fn run_with_stats(&self, graph: &Graph) -> (Partition, LouvainStats) {
         let n = graph.node_count();
         if n == 0 {
-            return Partition::from_assignment(vec![]);
+            return (
+                Partition::from_assignment(vec![]),
+                LouvainStats {
+                    levels: 0,
+                    passes: 0,
+                    modularity: 0.0,
+                },
+            );
         }
         let mut rng = DetRng::seed_from_u64(self.seed);
         // node -> community over original nodes, refined level by level.
         let mut membership: Vec<u32> = (0..n as u32).collect();
         let mut level_graph = graph.clone();
+        let mut stats = LouvainStats {
+            levels: 0,
+            passes: 0,
+            modularity: 0.0,
+        };
         for _level in 0..self.max_levels {
-            let (local, improved) = self.one_level(&level_graph, &mut rng);
+            let (local, improved, passes) = self.one_level(&level_graph, &mut rng);
+            stats.passes += passes;
             if !improved {
                 break;
             }
+            stats.levels += 1;
             let local = Partition::from_assignment(local);
             // Compose: original node -> old level community -> new community.
             for m in membership.iter_mut() {
@@ -107,17 +129,19 @@ impl Louvain {
             }
             level_graph = aggregate(&level_graph, &local);
         }
-        Partition::from_assignment(membership)
+        let partition = Partition::from_assignment(membership);
+        stats.modularity = modularity(graph, &partition);
+        (partition, stats)
     }
 
-    /// One level of local moves. Returns the raw assignment and whether any
-    /// node changed community.
-    fn one_level(&self, g: &Graph, rng: &mut DetRng) -> (Vec<u32>, bool) {
+    /// One level of local moves. Returns the raw assignment, whether any
+    /// node changed community, and how many passes ran.
+    fn one_level(&self, g: &Graph, rng: &mut DetRng) -> (Vec<u32>, bool, u32) {
         let n = g.node_count();
         let two_m = 2.0 * g.total_weight();
         let mut community: Vec<u32> = (0..n as u32).collect();
         if two_m <= 0.0 {
-            return (community, false);
+            return (community, false, 0);
         }
         // tot[c]: sum of degrees of nodes in community c.
         let mut tot: Vec<f64> = (0..n).map(|u| g.degree(u as NodeId)).collect();
@@ -127,7 +151,9 @@ impl Louvain {
         // Scratch: weight from the current node to each neighboring community.
         let mut neigh_weight: Vec<f64> = vec![0.0; n];
         let mut neigh_comms: Vec<u32> = Vec::new();
+        let mut passes = 0u32;
         for _pass in 0..self.max_passes {
+            passes += 1;
             let mut moved = 0usize;
             for &u in &order {
                 let cu = community[u];
@@ -178,8 +204,20 @@ impl Louvain {
                 break;
             }
         }
-        (community, improved_any)
+        (community, improved_any, passes)
     }
+}
+
+/// How hard one [`Louvain`] run worked, from
+/// [`run_with_stats`](Louvain::run_with_stats).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LouvainStats {
+    /// Aggregation levels that improved the partition.
+    pub levels: u32,
+    /// Total local-move passes across all levels.
+    pub passes: u32,
+    /// Modularity of the final partition over the original graph.
+    pub modularity: f64,
 }
 
 /// Builds the aggregated graph of a partition: one node per community,

@@ -16,6 +16,17 @@
 //! * [`verdict`] — the paper's §V-A confirmation logic for campaigns and
 //!   servers.
 //! * [`metrics`] — false-positive rates and category counts.
+//!
+//! The taxonomy mirrors §V-A exactly: a campaign is *IDS total* when
+//! every server matches a signature, *IDS partial* when some do (the
+//! paper's key claim — herd context confirms the rest), *blacklist* when
+//! list coverage substitutes for signatures, *suspicious* when only
+//! behavioral evidence remains, and a *false positive* when the planted
+//! truth says benign. Per-server verdicts feed the "new servers" count —
+//! servers no label source knew, discovered only through the eq. 9 herd
+//! correlation. Simulated sources are deliberately *partial* (vintage
+//! signature sets, incomplete lists) so the reproduction exercises the
+//! same confirmation gaps the paper reports in Tables II–IV.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -897,7 +897,7 @@ macro_rules! __json_from_fields {
     };
 }
 
-/// Implements [`ToJson`](json::ToJson) and [`FromJson`](json::FromJson)
+/// Implements [`ToJson`](crate::json::ToJson) and [`FromJson`](crate::json::FromJson)
 /// for a struct with named fields, serialized as a JSON object in
 /// declaration order. Append `?` to a field name to default it when the
 /// key is absent (format evolution, the old `#[serde(default)]`).
@@ -935,7 +935,7 @@ macro_rules! impl_json_struct {
     };
 }
 
-/// Implements [`ToJson`](json::ToJson) and [`FromJson`](json::FromJson)
+/// Implements [`ToJson`](crate::json::ToJson) and [`FromJson`](crate::json::FromJson)
 /// for a fieldless enum, serialized as the variant name string (serde's
 /// unit-variant convention).
 ///

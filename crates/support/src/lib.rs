@@ -18,8 +18,10 @@
 //!   injection (`SMASH_FAILPOINTS`) for resilience testing.
 //! * [`check`] — a seeded property-test harness with shrink-on-failure
 //!   and failure-seed reporting, replacing `proptest`.
-//! * [`bench`] — a wall-clock benchmark harness exposing the subset of
+//! * [`mod@bench`] — a wall-clock benchmark harness exposing the subset of
 //!   the `criterion` API the bench suite uses.
+//! * [`metrics`] — thread-safe counters, gauges, fixed-bucket duration
+//!   histograms, and scoped stage timers for pipeline observability.
 //!
 //! Everything is deterministic by construction: seeded streams, sorted
 //! map serialization, and order-preserving parallel maps.
@@ -31,6 +33,7 @@ pub mod bench;
 pub mod check;
 pub mod failpoint;
 pub mod json;
+pub mod metrics;
 pub mod par;
 mod quiet;
 pub mod rng;

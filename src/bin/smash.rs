@@ -18,20 +18,70 @@
 
 use smash::core::baseline::ReputationBaseline;
 use smash::core::{DimensionStatus, Smash, SmashConfig};
+use smash::support::metrics::Registry;
 use smash::synth::Scenario;
 use smash::trace::{io, IngestOptions, IngestReport, TraceDataset, TraceStats};
 use smash::whois::WhoisRegistry;
 use std::process::ExitCode;
 
+const HELP: &str = "\
+smash — mine malware campaigns from HTTP traces (SMASH, ICDCS 2015)
+
+usage:
+  smash generate <small|day2011|day2012> <out> [--seed N]
+  smash stats <trace> [ingest flags]
+  smash analyze <trace> [ingest flags] [analyze flags]
+  smash baseline <trace> [ingest flags] [--top N]
+
+ingest flags (any command that loads a trace):
+  --whois <path>         Whois registry JSON to join against
+  --lenient              quarantine malformed lines instead of aborting
+  --error-budget <frac>  max quarantined fraction before failing (default 0.05)
+  --quarantine <path>    quarantine sidecar path (default <trace>.quarantine)
+
+analyze flags:
+  --threshold <t>        eq. 9 acceptance threshold
+  --idf <n>              popularity (IDF) filter threshold
+  --param-dimension      enable the URI parameter-pattern dimension
+  --dimension-budget-ms <ms>  per-dimension wall-clock budget (0 = off)
+  --json <path>          write the campaign/health/perf report as JSON
+  --dot <path>           write the client-similarity graph as Graphviz DOT
+  --metrics <path>       dump the full metrics registry snapshot as JSON
+  --profile              print a per-stage wall-time table to stdout
+
+environment:
+  SMASH_FAILPOINTS       deterministic fault injection, e.g.
+                         `dimension/whois=panic,ingest/jsonl=delay:50`
+                         (actions: panic | error | delay:<ms>; see tests/README.md)
+  SMASH_CHECK_CASES, SMASH_CHECK_SEED
+                         property-test harness controls (test builds only)
+
+benchmarking:
+  cargo run --release -p smash-bench        # writes BENCH_pipeline.json
+  cargo run --release -p smash-bench -- --quick   # CI smoke variant
+";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        print!("{HELP}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         _ => {
-            eprintln!("usage: smash <generate|stats|analyze|baseline> ... (see --help in each)");
+            eprintln!("usage: smash <generate|stats|analyze|baseline> ... (see smash --help)");
             return ExitCode::from(2);
         }
     };
@@ -179,14 +229,17 @@ fn cmd_generate(args: &[String]) -> CliResult {
 
 /// Loads the trace (strict by default, quarantining with `--lenient`)
 /// plus the optional Whois registry. The third element is the ingest
-/// report when lenient mode ran.
+/// report when lenient mode ran. Records a `stage/ingest` timing plus
+/// `ingest/records` / `ingest/quarantined` counters into `metrics`.
 fn load(
     args: &[String],
+    metrics: &Registry,
 ) -> Result<(TraceDataset, WhoisRegistry, Option<IngestReport>), Box<dyn std::error::Error>> {
     let path = args
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("missing trace path")?;
+    let ingest_span = metrics.span("stage/ingest");
     let lenient = args.iter().any(|a| a == "--lenient");
     let (records, ingest) = if lenient {
         let mut opts = IngestOptions::default().with_quarantine(
@@ -220,7 +273,12 @@ fn load(
         };
         (records, None)
     };
+    metrics.counter("ingest/records").add(records.len() as u64);
+    metrics
+        .counter("ingest/quarantined")
+        .add(ingest.as_ref().map_or(0, |r| r.bad_lines() as u64));
     let dataset = TraceDataset::from_records(records);
+    drop(ingest_span);
     let whois = match flag_value(args, "--whois") {
         Some(p) => smash::support::json::from_str(&std::fs::read_to_string(p)?)?,
         None => WhoisRegistry::new(),
@@ -230,7 +288,7 @@ fn load(
 
 fn cmd_stats(args: &[String]) -> CliResult {
     check_flags(args, &[LOAD_FLAGS])?;
-    let (dataset, _, _) = load(args)?;
+    let (dataset, _, _) = load(args, &Registry::new())?;
     println!("{}", TraceStats::compute(&dataset));
     Ok(())
 }
@@ -242,11 +300,14 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     ("--dimension-budget-ms", true),
     ("--json", true),
     ("--dot", true),
+    ("--metrics", true),
+    ("--profile", false),
 ];
 
 fn cmd_analyze(args: &[String]) -> CliResult {
     check_flags(args, &[LOAD_FLAGS, ANALYZE_FLAGS])?;
-    let (dataset, whois, ingest) = load(args)?;
+    let metrics = Registry::new();
+    let (dataset, whois, ingest) = load(args, &metrics)?;
     let mut config = SmashConfig::default();
     if let Some(t) = flag_value(args, "--threshold") {
         config = config.with_threshold(t.parse()?);
@@ -260,7 +321,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     if let Some(ms) = flag_value(args, "--dimension-budget-ms") {
         config = config.with_dimension_budget_ms(ms.parse()?);
     }
-    let mut report = Smash::new(config).run(&dataset, &whois);
+    let mut report = Smash::new(config).run_with_metrics(&dataset, &whois, &metrics);
     report.health.ingest = ingest;
     if !report.health.fully_healthy() {
         for kind in report.health.degraded_dimensions() {
@@ -303,9 +364,18 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         let doc = Json::Obj(vec![
             ("campaigns".into(), report.campaigns.to_json()),
             ("health".into(), report.health.to_json()),
+            ("perf".into(), report.perf.to_json()),
         ]);
         write_atomic(out, &smash::support::json::to_string_pretty(&doc))?;
         println!("\nwrote JSON report to {out}");
+    }
+    if let Some(out) = flag_value(args, "--metrics") {
+        let snap = metrics.snapshot();
+        write_atomic(out, &smash::support::json::to_string_pretty(&snap))?;
+        println!("\nwrote metrics snapshot to {out}");
+    }
+    if args.iter().any(|a| a == "--profile") {
+        println!("\n{}", metrics.snapshot().render_table());
     }
     if let Some(out) = flag_value(args, "--dot") {
         // The main (client-similarity) graph, colored by herd — the
@@ -334,7 +404,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
 
 fn cmd_baseline(args: &[String]) -> CliResult {
     check_flags(args, &[LOAD_FLAGS, &[("--top", true)]])?;
-    let (dataset, _, _) = load(args)?;
+    let (dataset, _, _) = load(args, &Registry::new())?;
     let top: usize = flag_value(args, "--top").unwrap_or("20").parse()?;
     let baseline = ReputationBaseline::default();
     println!("top {top} servers by per-server reputation score (herd-blind comparator):");

@@ -36,6 +36,7 @@ fn graph_of(
         config: &config,
         nodes: &nodes,
         node_of: &node_of,
+        metrics: &smash::support::metrics::Registry::new(),
     });
     let by_host = nodes
         .iter()

@@ -1,0 +1,133 @@
+//! The observability layer, end to end: an in-process run must time
+//! every pipeline stage exactly once, and the CLI's `--metrics` dump
+//! must round-trip through `smash::support::json` with the same stage
+//! coverage (DESIGN.md §7).
+
+use smash::core::{Smash, SmashConfig};
+use smash::support::metrics::{MetricsSnapshot, Registry};
+use smash::synth::Scenario;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every stage a default-config in-process run must record (the CLI adds
+/// `stage/ingest` on top; param-pattern/timing/payload are disabled by
+/// default so they must NOT appear).
+const PIPELINE_STAGES: &[&str] = &[
+    "stage/preprocess",
+    "stage/dimension/client",
+    "stage/dimension/uri-file",
+    "stage/dimension/ip-set",
+    "stage/dimension/whois",
+    "stage/correlate",
+    "stage/prune",
+    "stage/infer",
+    "stage/assemble",
+];
+
+fn assert_stages_once(snapshot: &MetricsSnapshot, expected: &[&str]) {
+    let stages = snapshot.stage_names();
+    for want in expected {
+        let h = snapshot
+            .histograms
+            .get(*want)
+            .unwrap_or_else(|| panic!("stage {want} missing; got {stages:?}"));
+        assert_eq!(h.count, 1, "stage {want} must run exactly once");
+    }
+    assert_eq!(
+        stages.len(),
+        expected.len(),
+        "unexpected extra stages: {stages:?}"
+    );
+}
+
+#[test]
+fn pipeline_times_every_stage_exactly_once() {
+    let data = Scenario::small_day(3).generate();
+    let metrics = Registry::new();
+    let report =
+        Smash::new(SmashConfig::default()).run_with_metrics(&data.dataset, &data.whois, &metrics);
+    let snapshot = metrics.snapshot();
+    assert_stages_once(&snapshot, PIPELINE_STAGES);
+
+    // The funnel counters landed too.
+    for counter in [
+        "preprocess/records",
+        "preprocess/servers_kept",
+        "correlate/candidate_herds",
+        "dim/client/postings",
+        "louvain/client/passes",
+    ] {
+        assert!(
+            snapshot.counters.contains_key(counter),
+            "counter {counter} missing; got {:?}",
+            snapshot.counters.keys().collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(
+        snapshot.counters["preprocess/records"],
+        data.dataset.record_count() as u64
+    );
+
+    // The report's perf section is distilled from the same registry.
+    assert_eq!(report.perf.stages.len(), PIPELINE_STAGES.len());
+    assert_eq!(report.perf.records, data.dataset.record_count() as u64);
+    assert!(report.perf.total_wall_ms > 0.0);
+    assert!(report.perf.peak_graph_nodes > 0);
+    // Stages come back in pipeline order, preprocess first.
+    assert_eq!(report.perf.stages[0].stage, "preprocess");
+    assert_eq!(report.perf.stages.last().unwrap().stage, "assemble");
+}
+
+#[test]
+fn enabling_a_dimension_adds_its_stage() {
+    let data = Scenario::small_day(3).generate();
+    let metrics = Registry::new();
+    let config = SmashConfig::default().with_param_pattern_dimension(true);
+    Smash::new(config).run_with_metrics(&data.dataset, &data.whois, &metrics);
+    let snapshot = metrics.snapshot();
+    assert!(snapshot
+        .histograms
+        .contains_key("stage/dimension/param-pattern"));
+    assert_eq!(snapshot.stage_names().len(), PIPELINE_STAGES.len() + 1);
+}
+
+#[test]
+fn cli_metrics_dump_parses_and_names_every_stage() {
+    let dir = std::env::temp_dir().join(format!("smash-metrics-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace: PathBuf = dir.join("trace.jsonl");
+    let metrics_out: PathBuf = dir.join("metrics.json");
+
+    let smash = env!("CARGO_BIN_EXE_smash");
+    let gen = Command::new(smash)
+        .args(["generate", "small", trace.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(gen.status.success(), "generate failed: {gen:?}");
+
+    let analyze = Command::new(smash)
+        .args([
+            "analyze",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics_out.to_str().unwrap(),
+            "--profile",
+        ])
+        .output()
+        .unwrap();
+    assert!(analyze.status.success(), "analyze failed: {analyze:?}");
+    // --profile prints the human table with a stage column.
+    let stdout = String::from_utf8_lossy(&analyze.stdout);
+    assert!(stdout.contains("stage/dimension/client"), "{stdout}");
+
+    let raw = std::fs::read_to_string(&metrics_out).unwrap();
+    let snapshot: MetricsSnapshot = smash::support::json::from_str(&raw).unwrap();
+    // The CLI path adds the ingest stage in front of the pipeline's own.
+    let mut expected = vec!["stage/ingest"];
+    expected.extend_from_slice(PIPELINE_STAGES);
+    assert_stages_once(&snapshot, &expected);
+    assert!(snapshot.counters["ingest/records"] > 0);
+    assert_eq!(snapshot.counters["ingest/quarantined"], 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -39,6 +39,7 @@ fn bagle_downloads_share_payload_sizes() {
         config: &config,
         nodes: &pre.kept,
         node_of: &node_of,
+        metrics: &smash::support::metrics::Registry::new(),
     });
     // Every pair of download servers (first 8 names) shares the payload
     // size; the C&C servers' small command responses are below the
