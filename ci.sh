@@ -21,6 +21,13 @@
 #   7. examples                               all four examples/ run to completion
 #   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
+#   9. smash-lint --check-baseline            in-tree invariant linter; hard
+#                                             gate against lint-baseline.json
+#                                             (new violations fail, see
+#                                             DESIGN.md §8)
+#  10. cargo miri test -p smash-support       UB check of the support crate,
+#                                             skipped with a notice when the
+#                                             nightly/miri toolchain is absent
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,6 +60,16 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -q --offline --workspace --all-targets -- -D warnings
 else
     echo "==> cargo clippy not installed; skipping lint gate"
+fi
+
+echo "==> smash-lint --check-baseline (invariant ratchet)"
+cargo run -q --release --offline -p smash-lint -- . --check-baseline
+
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "==> cargo +nightly miri test -p smash-support"
+    cargo +nightly miri test -q -p smash-support
+else
+    echo "==> miri not installed (needs nightly + rustup component); skipping UB check"
 fi
 
 echo "==> ci.sh: all green"

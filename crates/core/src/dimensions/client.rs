@@ -5,10 +5,8 @@
 //! Malicious servers of one campaign are contacted by the same small set
 //! of infected clients; benign servers serve diverse crowds.
 
-use super::{
-    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
-};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::HashMap;
 
 /// Builder of the client-similarity graph.
@@ -21,45 +19,42 @@ impl Dimension for ClientDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/client");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        // Inverted index: client → kept servers (as node ids).
-        //
-        // Servers visited by exactly one client are excluded here: the
-        // paper handles them in a separate per-client pass (Appendix C),
-        // and letting them into the general graph glues each bot's
-        // private long-tail browsing onto campaign herds, diluting herd
-        // density. The pipeline adds their per-client herds after mining.
-        let mut by_client: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (node, &server) in ctx.nodes.iter().enumerate() {
-            let clients = ctx.dataset.clients_of(server);
-            if clients.len() < 2 {
-                continue;
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            // Inverted index: client → kept servers (as node ids).
+            //
+            // Servers visited by exactly one client are excluded here: the
+            // paper handles them in a separate per-client pass (Appendix C),
+            // and letting them into the general graph glues each bot's
+            // private long-tail browsing onto campaign herds, diluting herd
+            // density. The pipeline adds their per-client herds after mining.
+            let mut by_client: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (node, &server) in ctx.nodes.iter().enumerate() {
+                let clients = ctx.dataset.clients_of(server);
+                if clients.len() < 2 {
+                    continue;
+                }
+                for &c in clients {
+                    by_client.entry(c).or_default().push(node as u32);
+                }
             }
-            for &c in clients {
-                by_client.entry(c).or_default().push(node as u32);
+            funnel.postings = by_client.len() as u64;
+            let mut counter =
+                CooccurrenceCounter::new().with_max_posting_len(ctx.config.client_posting_cap);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, servers) in by_client {
+                counter.add_posting(servers);
             }
-        }
-        let postings = by_client.len() as u64;
-        let mut counter =
-            CooccurrenceCounter::new().with_max_posting_len(ctx.config.client_posting_cap);
-        // BTreeMap order not needed: postings are independent.
-        for (_, servers) in by_client {
-            counter.add_posting(servers);
-        }
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), shared) in counter.counts_parallel() {
-            pairs += 1;
-            let cu = ctx.dataset.clients_of(ctx.nodes[u as usize]).len();
-            let cv = ctx.dataset.clients_of(ctx.nodes[v as usize]).len();
-            let sim = overlap_product(shared as usize, cu, cv);
-            if sim >= ctx.config.client_edge_min {
-                builder.add_edge(u, v, sim);
-                edges += 1;
+            for ((u, v), shared) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                let cu = ctx.dataset.clients_of(ctx.nodes[u as usize]).len();
+                let cv = ctx.dataset.clients_of(ctx.nodes[v as usize]).len();
+                let sim = overlap_product(shared as usize, cu, cv);
+                if sim >= ctx.config.client_edge_min {
+                    builder.add_edge(u, v, sim);
+                    funnel.edges += 1;
+                }
             }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+        })
     }
 }
 

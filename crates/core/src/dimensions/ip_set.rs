@@ -4,10 +4,8 @@
 //! servers rarely share addresses. Same product form as eq. 1 over the
 //! servers' IP sets.
 
-use super::{
-    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
-};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::HashMap;
 
 /// Builder of the IP-set-similarity graph.
@@ -20,33 +18,31 @@ impl Dimension for IpSetDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/ip-set");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        let mut by_ip: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (node, &server) in ctx.nodes.iter().enumerate() {
-            for &ip in ctx.dataset.ips_of(server) {
-                by_ip.entry(ip).or_default().push(node as u32);
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            let mut by_ip: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (node, &server) in ctx.nodes.iter().enumerate() {
+                for &ip in ctx.dataset.ips_of(server) {
+                    by_ip.entry(ip).or_default().push(node as u32);
+                }
             }
-        }
-        let postings = by_ip.len() as u64;
-        // Hot IPs (large shared hosters / NATs) carry no herd signal.
-        let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
-        for (_, servers) in by_ip {
-            counter.add_posting(servers);
-        }
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), shared) in counter.counts_parallel() {
-            pairs += 1;
-            let iu = ctx.dataset.ips_of(ctx.nodes[u as usize]).len();
-            let iv = ctx.dataset.ips_of(ctx.nodes[v as usize]).len();
-            let sim = overlap_product(shared as usize, iu, iv);
-            if sim >= ctx.config.ip_edge_min {
-                builder.add_edge(u, v, sim);
-                edges += 1;
+            funnel.postings = by_ip.len() as u64;
+            // Hot IPs (large shared hosters / NATs) carry no herd signal.
+            let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, servers) in by_ip {
+                counter.add_posting(servers);
             }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+            for ((u, v), shared) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                let iu = ctx.dataset.ips_of(ctx.nodes[u as usize]).len();
+                let iv = ctx.dataset.ips_of(ctx.nodes[v as usize]).len();
+                let sim = overlap_product(shared as usize, iu, iv);
+                if sim >= ctx.config.ip_edge_min {
+                    builder.add_edge(u, v, sim);
+                    funnel.edges += 1;
+                }
+            }
+        })
     }
 }
 

@@ -17,7 +17,7 @@ pub mod uri_file;
 pub mod whois;
 
 use crate::config::SmashConfig;
-use smash_graph::Graph;
+use smash_graph::{Graph, GraphBuilder};
 use smash_support::impl_json_enum;
 use smash_support::metrics::Registry;
 use smash_trace::{ServerId, TraceDataset};
@@ -122,6 +122,52 @@ pub(crate) fn record_dimension_metrics(
     m.counter(&format!("dim/{kind}/edges")).add(edges);
     m.gauge(&format!("dim/{kind}/nodes"))
         .set(ctx.nodes.len() as f64);
+}
+
+/// The funnel counters every builder reports: how many inverted-index
+/// postings it processed, how many candidate pairs it scored, and how
+/// many edges survived the similarity threshold.
+#[derive(Debug, Default)]
+pub(crate) struct BuilderFunnel {
+    /// Inverted-index postings processed.
+    pub postings: u64,
+    /// Candidate pairs scored.
+    pub pairs_scored: u64,
+    /// Edges that survived the threshold.
+    pub edges: u64,
+}
+
+/// The one canonical instrumentation frame around every dimension
+/// builder: the deterministic failpoint site `dimension/<kind>`, the
+/// `dim/<kind>/build` duration span, and the `dim/<kind>/*` funnel
+/// counters — in that order, so fault-injection tests observe the site
+/// before any work happens.
+///
+/// `smash-lint`'s `dim-coverage` rule checks that every `Dimension`
+/// impl routes through this helper (and that the helper itself keeps
+/// its failpoint and span); add instrumentation here, not in the
+/// builders.
+pub(crate) fn instrumented_builder<F>(
+    ctx: &DimensionContext<'_>,
+    kind: DimensionKind,
+    body: F,
+) -> Graph
+where
+    F: FnOnce(&mut GraphBuilder, &mut BuilderFunnel),
+{
+    smash_support::failpoint::fire(&format!("dimension/{kind}"));
+    let _span = ctx.metrics.span(&format!("dim/{kind}/build"));
+    let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
+    let mut funnel = BuilderFunnel::default();
+    body(&mut builder, &mut funnel);
+    record_dimension_metrics(
+        ctx,
+        kind,
+        funnel.postings,
+        funnel.pairs_scored,
+        funnel.edges,
+    );
+    builder.build()
 }
 
 /// A similarity dimension: builds one weighted graph over the shared node

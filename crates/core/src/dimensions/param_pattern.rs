@@ -6,10 +6,8 @@
 //! work — treats the ordered, value-blanked query-string keys (e.g.
 //! `p=[]&id=[]&e=[]`) the way the file dimension treats URI files.
 
-use super::{
-    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
-};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::{HashMap, HashSet};
 
 /// Builder of the parameter-pattern-similarity graph.
@@ -22,43 +20,42 @@ impl Dimension for ParamPatternDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/param-pattern");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        let empty = ctx.dataset.param_pattern_id("");
-        // Per-node sets of distinct non-empty parameter patterns.
-        let mut node_patterns: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
-        let mut by_pattern: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (node, &server) in ctx.nodes.iter().enumerate() {
-            let mut set = HashSet::new();
-            for r in ctx.dataset.records_of(server) {
-                if Some(r.param_pattern) != empty {
-                    set.insert(r.param_pattern);
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            let empty = ctx.dataset.param_pattern_id("");
+            // Per-node sets of distinct non-empty parameter patterns.
+            let mut node_patterns: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
+            let mut by_pattern: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (node, &server) in ctx.nodes.iter().enumerate() {
+                let mut set = HashSet::new();
+                for r in ctx.dataset.records_of(server) {
+                    if Some(r.param_pattern) != empty {
+                        set.insert(r.param_pattern);
+                    }
+                }
+                // lint:allow(hash-iter): postings are appended per pattern id; order-independent.
+                for &p in &set {
+                    by_pattern.entry(p).or_default().push(node as u32);
+                }
+                node_patterns.push(set);
+            }
+            funnel.postings = by_pattern.len() as u64;
+            let mut counter =
+                CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, nodes) in by_pattern {
+                counter.add_posting(nodes);
+            }
+            for ((u, v), shared) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                let pu = node_patterns[u as usize].len();
+                let pv = node_patterns[v as usize].len();
+                let sim = overlap_product(shared as usize, pu, pv);
+                if sim >= ctx.config.file_edge_min {
+                    builder.add_edge(u, v, sim);
+                    funnel.edges += 1;
                 }
             }
-            for &p in &set {
-                by_pattern.entry(p).or_default().push(node as u32);
-            }
-            node_patterns.push(set);
-        }
-        let postings = by_pattern.len() as u64;
-        let mut counter =
-            CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
-        for (_, nodes) in by_pattern {
-            counter.add_posting(nodes);
-        }
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), shared) in counter.counts_parallel() {
-            pairs += 1;
-            let pu = node_patterns[u as usize].len();
-            let pv = node_patterns[v as usize].len();
-            let sim = overlap_product(shared as usize, pu, pv);
-            if sim >= ctx.config.file_edge_min {
-                builder.add_edge(u, v, sim);
-                edges += 1;
-            }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+        })
     }
 }
 

@@ -8,10 +8,8 @@
 //! compared exactly after masking the low bits (minor header/padding
 //! variation).
 
-use super::{
-    overlap_product, record_dimension_metrics, Dimension, DimensionContext, DimensionKind,
-};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::{HashMap, HashSet};
 
 /// Low bits masked off a size before comparison (64-byte granularity).
@@ -31,42 +29,41 @@ impl Dimension for PayloadDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/payload");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        // Per-node sets of masked payload sizes.
-        let mut node_sizes: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
-        let mut by_size: HashMap<u32, Vec<u32>> = HashMap::new();
-        for (node, &server) in ctx.nodes.iter().enumerate() {
-            let mut sizes = HashSet::new();
-            for r in ctx.dataset.records_of(server) {
-                if r.resp_bytes >= MIN_SIZE {
-                    sizes.insert(r.resp_bytes & SIZE_MASK);
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            // Per-node sets of masked payload sizes.
+            let mut node_sizes: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
+            let mut by_size: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (node, &server) in ctx.nodes.iter().enumerate() {
+                let mut sizes = HashSet::new();
+                for r in ctx.dataset.records_of(server) {
+                    if r.resp_bytes >= MIN_SIZE {
+                        sizes.insert(r.resp_bytes & SIZE_MASK);
+                    }
+                }
+                // lint:allow(hash-iter): postings are appended per size bucket; order-independent.
+                for &s in &sizes {
+                    by_size.entry(s).or_default().push(node as u32);
+                }
+                node_sizes.push(sizes);
+            }
+            funnel.postings = by_size.len() as u64;
+            let mut counter =
+                CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, nodes) in by_size {
+                counter.add_posting(nodes);
+            }
+            for ((u, v), shared) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                let su = node_sizes[u as usize].len();
+                let sv = node_sizes[v as usize].len();
+                let sim = overlap_product(shared as usize, su, sv);
+                if sim >= ctx.config.file_edge_min {
+                    builder.add_edge(u, v, sim);
+                    funnel.edges += 1;
                 }
             }
-            for &s in &sizes {
-                by_size.entry(s).or_default().push(node as u32);
-            }
-            node_sizes.push(sizes);
-        }
-        let postings = by_size.len() as u64;
-        let mut counter =
-            CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
-        for (_, nodes) in by_size {
-            counter.add_posting(nodes);
-        }
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), shared) in counter.counts_parallel() {
-            pairs += 1;
-            let su = node_sizes[u as usize].len();
-            let sv = node_sizes[v as usize].len();
-            let sim = overlap_product(shared as usize, su, sv);
-            if sim >= ctx.config.file_edge_min {
-                builder.add_edge(u, v, sim);
-                edges += 1;
-            }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+        })
     }
 }
 

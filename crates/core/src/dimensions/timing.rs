@@ -11,8 +11,8 @@
 //! is high. Only *bursty* servers participate — always-on servers have
 //! flat histograms that would trivially match each other.
 
-use super::{record_dimension_metrics, Dimension, DimensionContext, DimensionKind};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::HashMap;
 
 /// Number of activity buckets (30-minute windows over a day).
@@ -46,58 +46,57 @@ impl Dimension for TimingDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/timing");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        let buckets = self.buckets.max(2);
-        let bucket_len = (self.span_seconds / buckets as u64).max(1);
-        // Per-node activity histograms; only bursty nodes participate.
-        let mut histograms: Vec<Option<Vec<f64>>> = Vec::with_capacity(ctx.nodes.len());
-        let mut by_bucket: HashMap<usize, Vec<u32>> = HashMap::new();
-        for (node, &server) in ctx.nodes.iter().enumerate() {
-            let mut h = vec![0.0f64; buckets];
-            let mut total = 0usize;
-            for r in ctx.dataset.records_of(server) {
-                let bucket = ((r.timestamp / bucket_len) as usize) % buckets;
-                h[bucket] += 1.0;
-                total += 1;
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            let buckets = self.buckets.max(2);
+            let bucket_len = (self.span_seconds / buckets as u64).max(1);
+            // Per-node activity histograms; only bursty nodes participate.
+            let mut histograms: Vec<Option<Vec<f64>>> = Vec::with_capacity(ctx.nodes.len());
+            let mut by_bucket: HashMap<usize, Vec<u32>> = HashMap::new();
+            for (node, &server) in ctx.nodes.iter().enumerate() {
+                let mut h = vec![0.0f64; buckets];
+                let mut total = 0usize;
+                for r in ctx.dataset.records_of(server) {
+                    let bucket = ((r.timestamp / bucket_len) as usize) % buckets;
+                    h[bucket] += 1.0;
+                    total += 1;
+                }
+                let active: Vec<usize> = (0..buckets).filter(|&i| h[i] > 0.0).collect();
+                let bursty = total >= 2
+                    && !active.is_empty()
+                    && (active.len() as f64) <= BURSTY_FRACTION * buckets as f64;
+                if !bursty {
+                    histograms.push(None);
+                    continue;
+                }
+                let norm = h.iter().map(|x| x * x).sum::<f64>().sqrt();
+                for x in h.iter_mut() {
+                    *x /= norm;
+                }
+                for &bkt in &active {
+                    by_bucket.entry(bkt).or_default().push(node as u32);
+                }
+                histograms.push(Some(h));
             }
-            let active: Vec<usize> = (0..buckets).filter(|&i| h[i] > 0.0).collect();
-            let bursty = total >= 2
-                && !active.is_empty()
-                && (active.len() as f64) <= BURSTY_FRACTION * buckets as f64;
-            if !bursty {
-                histograms.push(None);
-                continue;
+            funnel.postings = by_bucket.len() as u64;
+            // Candidate pairs: bursty servers active in a common bucket.
+            let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, nodes) in by_bucket {
+                counter.add_posting(nodes);
             }
-            let norm = h.iter().map(|x| x * x).sum::<f64>().sqrt();
-            for x in h.iter_mut() {
-                *x /= norm;
+            for ((u, v), _) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                let (Some(hu), Some(hv)) = (&histograms[u as usize], &histograms[v as usize])
+                else {
+                    continue;
+                };
+                let cos: f64 = hu.iter().zip(hv.iter()).map(|(a, b)| a * b).sum();
+                if cos >= ctx.config.timing_edge_min {
+                    builder.add_edge(u, v, cos);
+                    funnel.edges += 1;
+                }
             }
-            for &bkt in &active {
-                by_bucket.entry(bkt).or_default().push(node as u32);
-            }
-            histograms.push(Some(h));
-        }
-        let postings = by_bucket.len() as u64;
-        // Candidate pairs: bursty servers active in a common bucket.
-        let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
-        for (_, nodes) in by_bucket {
-            counter.add_posting(nodes);
-        }
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), _) in counter.counts_parallel() {
-            pairs += 1;
-            let (Some(hu), Some(hv)) = (&histograms[u as usize], &histograms[v as usize]) else {
-                continue;
-            };
-            let cos: f64 = hu.iter().zip(hv.iter()).map(|(a, b)| a * b).sum();
-            if cos >= ctx.config.timing_edge_min {
-                builder.add_edge(u, v, cos);
-                edges += 1;
-            }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+        })
     }
 }
 

@@ -7,8 +7,8 @@
 //! two directed matched-fraction terms:
 //! `File(Si,Sj) = (matchedᵢ/|Fᵢ|) · (matchedⱼ/|Fⱼ|)`.
 
-use super::{record_dimension_metrics, Dimension, DimensionContext, DimensionKind};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use smash_trace::uri::charset_vector;
 use std::collections::{HashMap, HashSet};
 
@@ -28,84 +28,83 @@ impl Dimension for UriFileDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/uri-file");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        let len_thresh = ctx.config.filename_len_threshold;
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            let len_thresh = ctx.config.filename_len_threshold;
 
-        // Per-node file inventories and charset vectors for long names.
-        let mut node_files: Vec<NodeFiles> = Vec::with_capacity(ctx.nodes.len());
-        let mut long_vectors: HashMap<u32, [f64; 256]> = HashMap::new();
-        for &server in ctx.nodes {
-            let files = ctx.dataset.files_of(server).to_vec();
-            let set: HashSet<u32> = files.iter().copied().collect();
-            let long: Vec<u32> = files
-                .iter()
-                .copied()
-                .filter(|&f| ctx.dataset.file_name(f).len() > len_thresh)
-                .collect();
-            for &f in &long {
-                long_vectors
-                    .entry(f)
-                    .or_insert_with(|| charset_vector(ctx.dataset.file_name(f)));
-            }
-            node_files.push(NodeFiles { files, set, long });
-        }
-
-        // Candidate pairs: exact-name postings plus charset buckets for
-        // long names (names over the same alphabet share the bucket).
-        let mut exact: HashMap<u32, Vec<u32>> = HashMap::new();
-        let mut fuzzy: HashMap<String, Vec<u32>> = HashMap::new();
-        for (node, nf) in node_files.iter().enumerate() {
-            for &f in &nf.files {
-                exact.entry(f).or_default().push(node as u32);
-            }
-            for &f in &nf.long {
-                let mut chars: Vec<u8> = ctx
-                    .dataset
-                    .file_name(f)
-                    .bytes()
-                    .collect::<HashSet<u8>>()
-                    .into_iter()
+            // Per-node file inventories and charset vectors for long names.
+            let mut node_files: Vec<NodeFiles> = Vec::with_capacity(ctx.nodes.len());
+            let mut long_vectors: HashMap<u32, [f64; 256]> = HashMap::new();
+            for &server in ctx.nodes {
+                let files = ctx.dataset.files_of(server).to_vec();
+                let set: HashSet<u32> = files.iter().copied().collect();
+                let long: Vec<u32> = files
+                    .iter()
+                    .copied()
+                    .filter(|&f| ctx.dataset.file_name(f).len() > len_thresh)
                     .collect();
-                chars.sort_unstable();
-                fuzzy
-                    .entry(String::from_utf8_lossy(&chars).into_owned())
-                    .or_default()
-                    .push(node as u32);
+                for &f in &long {
+                    long_vectors
+                        .entry(f)
+                        .or_insert_with(|| charset_vector(ctx.dataset.file_name(f)));
+                }
+                node_files.push(NodeFiles { files, set, long });
             }
-        }
-        let postings = (exact.len() + fuzzy.len()) as u64;
-        let mut counter =
-            CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
-        for (_, nodes) in exact {
-            counter.add_posting(nodes);
-        }
-        for (_, nodes) in fuzzy {
-            counter.add_posting(nodes);
-        }
 
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), _) in counter.counts_parallel() {
-            pairs += 1;
-            let (mu, mv) = matched_counts(
-                &node_files[u as usize],
-                &node_files[v as usize],
-                &long_vectors,
-                ctx.config.charset_cosine_threshold,
-            );
-            if mu == 0 {
-                continue;
+            // Candidate pairs: exact-name postings plus charset buckets for
+            // long names (names over the same alphabet share the bucket).
+            let mut exact: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut fuzzy: HashMap<String, Vec<u32>> = HashMap::new();
+            for (node, nf) in node_files.iter().enumerate() {
+                for &f in &nf.files {
+                    exact.entry(f).or_default().push(node as u32);
+                }
+                for &f in &nf.long {
+                    let mut chars: Vec<u8> = ctx
+                        .dataset
+                        .file_name(f)
+                        .bytes()
+                        .collect::<HashSet<u8>>()
+                        .into_iter()
+                        .collect();
+                    chars.sort_unstable();
+                    fuzzy
+                        .entry(String::from_utf8_lossy(&chars).into_owned())
+                        .or_default()
+                        .push(node as u32);
+                }
             }
-            let fu = node_files[u as usize].files.len();
-            let fv = node_files[v as usize].files.len();
-            let sim = (mu as f64 / fu as f64) * (mv as f64 / fv as f64);
-            if sim >= ctx.config.file_edge_min {
-                builder.add_edge(u, v, sim);
-                edges += 1;
+            funnel.postings = (exact.len() + fuzzy.len()) as u64;
+            let mut counter =
+                CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, nodes) in exact {
+                counter.add_posting(nodes);
             }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, nodes) in fuzzy {
+                counter.add_posting(nodes);
+            }
+
+            for ((u, v), _) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                let (mu, mv) = matched_counts(
+                    &node_files[u as usize],
+                    &node_files[v as usize],
+                    &long_vectors,
+                    ctx.config.charset_cosine_threshold,
+                );
+                if mu == 0 {
+                    continue;
+                }
+                let fu = node_files[u as usize].files.len();
+                let fv = node_files[v as usize].files.len();
+                let sim = (mu as f64 / fu as f64) * (mv as f64 / fv as f64);
+                if sim >= ctx.config.file_edge_min {
+                    builder.add_edge(u, v, sim);
+                    funnel.edges += 1;
+                }
+            }
+        })
     }
 }
 

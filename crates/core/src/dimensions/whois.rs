@@ -6,8 +6,8 @@
 //! field *values*, and pairs must co-occur in at least two value postings
 //! before the (proxy-aware) verification runs.
 
-use super::{record_dimension_metrics, Dimension, DimensionContext, DimensionKind};
-use smash_graph::{CooccurrenceCounter, Graph, GraphBuilder};
+use super::{instrumented_builder, Dimension, DimensionContext, DimensionKind};
+use smash_graph::{CooccurrenceCounter, Graph};
 use smash_whois::MIN_SHARED_FIELDS;
 use std::collections::HashMap;
 
@@ -21,63 +21,61 @@ impl Dimension for WhoisDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        smash_support::failpoint::fire("dimension/whois");
-        let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
-        // Inverted index over field values. Keys are namespaced so a phone
-        // number never collides with an address string.
-        let mut by_value: HashMap<String, Vec<u32>> = HashMap::new();
-        let mut records: Vec<Option<&smash_whois::WhoisRecord>> =
-            Vec::with_capacity(ctx.nodes.len());
-        for (node, &server) in ctx.nodes.iter().enumerate() {
-            let rec = ctx
-                .dataset
-                .server_key(server)
-                .domain()
-                .and_then(|d| ctx.whois.get(d));
-            if let Some(r) = rec {
-                let node = node as u32;
-                if let Some(v) = &r.registrant {
-                    by_value.entry(format!("r:{v}")).or_default().push(node);
+        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+            // Inverted index over field values. Keys are namespaced so a phone
+            // number never collides with an address string.
+            let mut by_value: HashMap<String, Vec<u32>> = HashMap::new();
+            let mut records: Vec<Option<&smash_whois::WhoisRecord>> =
+                Vec::with_capacity(ctx.nodes.len());
+            for (node, &server) in ctx.nodes.iter().enumerate() {
+                let rec = ctx
+                    .dataset
+                    .server_key(server)
+                    .domain()
+                    .and_then(|d| ctx.whois.get(d));
+                if let Some(r) = rec {
+                    let node = node as u32;
+                    if let Some(v) = &r.registrant {
+                        by_value.entry(format!("r:{v}")).or_default().push(node);
+                    }
+                    if let Some(v) = &r.address {
+                        by_value.entry(format!("a:{v}")).or_default().push(node);
+                    }
+                    if let Some(v) = &r.email {
+                        by_value.entry(format!("e:{v}")).or_default().push(node);
+                    }
+                    if let Some(v) = &r.phone {
+                        by_value.entry(format!("p:{v}")).or_default().push(node);
+                    }
+                    for ns in &r.name_servers {
+                        by_value.entry(format!("n:{ns}")).or_default().push(node);
+                    }
                 }
-                if let Some(v) = &r.address {
-                    by_value.entry(format!("a:{v}")).or_default().push(node);
+                records.push(rec);
+            }
+            funnel.postings = by_value.len() as u64;
+            let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
+            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
+            for (_, nodes) in by_value {
+                counter.add_posting(nodes);
+            }
+            for ((u, v), hits) in counter.counts_parallel() {
+                funnel.pairs_scored += 1;
+                if (hits as usize) < MIN_SHARED_FIELDS {
+                    continue;
                 }
-                if let Some(v) = &r.email {
-                    by_value.entry(format!("e:{v}")).or_default().push(node);
-                }
-                if let Some(v) = &r.phone {
-                    by_value.entry(format!("p:{v}")).or_default().push(node);
-                }
-                for ns in &r.name_servers {
-                    by_value.entry(format!("n:{ns}")).or_default().push(node);
+                let (Some(ru), Some(rv)) = (records[u as usize], records[v as usize]) else {
+                    continue;
+                };
+                // Proxy-aware verification (two proxy records sharing only the
+                // proxy's identity fields are not associated).
+                let (shared, union) = ru.shared_fields(rv);
+                if shared >= MIN_SHARED_FIELDS && union > 0 {
+                    builder.add_edge(u, v, shared as f64 / union as f64);
+                    funnel.edges += 1;
                 }
             }
-            records.push(rec);
-        }
-        let postings = by_value.len() as u64;
-        let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
-        for (_, nodes) in by_value {
-            counter.add_posting(nodes);
-        }
-        let (mut pairs, mut edges) = (0u64, 0u64);
-        for ((u, v), hits) in counter.counts_parallel() {
-            pairs += 1;
-            if (hits as usize) < MIN_SHARED_FIELDS {
-                continue;
-            }
-            let (Some(ru), Some(rv)) = (records[u as usize], records[v as usize]) else {
-                continue;
-            };
-            // Proxy-aware verification (two proxy records sharing only the
-            // proxy's identity fields are not associated).
-            let (shared, union) = ru.shared_fields(rv);
-            if shared >= MIN_SHARED_FIELDS && union > 0 {
-                builder.add_edge(u, v, shared as f64 / union as f64);
-                edges += 1;
-            }
-        }
-        record_dimension_metrics(ctx, self.kind(), postings, pairs, edges);
-        builder.build()
+        })
     }
 }
 

@@ -94,6 +94,7 @@ impl Smash {
         metrics: &Registry,
     ) -> SmashReport {
         let cfg = &self.config;
+        // lint:allow(wallclock): measures run duration for the perf block; never in report ordering.
         let run_start = Instant::now();
         if !cfg.failpoints.is_empty() {
             // Validated by `try_new`; arming is process-global.
@@ -131,6 +132,7 @@ impl Smash {
         // 2. ASH mining per dimension. The client graph covers servers
         //    with ≥ 2 clients; single-client servers get their per-client
         //    herds appended below (paper Appendix C).
+        // lint:allow(wallclock): measures stage duration for the perf block; never in report ordering.
         let main_start = Instant::now();
         let main_result = par::run_isolated(|| {
             let _span = metrics.span("stage/dimension/client");
@@ -197,6 +199,7 @@ impl Smash {
         // ending it.
         let isolated: Vec<Result<(MinedDimension, u64), String>> =
             par::par_map_isolated(&enabled, |d| {
+                // lint:allow(wallclock): measures stage duration for the perf block; never in report ordering.
                 let start = Instant::now();
                 let _span = metrics.span(&format!("stage/dimension/{}", d.kind()));
                 let g = d.build_graph(&ctx);

@@ -62,6 +62,7 @@ fn main() {
             .collect()
     };
     for e in to_run {
+        // lint:allow(wallclock): the repro harness reports wall time by design.
         let started = std::time::Instant::now();
         let out = (e.run)(seed);
         println!("================================================================");

@@ -42,7 +42,9 @@ pub fn run(seed: u64) -> String {
             Some(e) => e,
             None => {
                 categories.push((truth.category, 0, 0, 0));
-                categories.last_mut().unwrap()
+                categories
+                    .last_mut()
+                    .expect("entry pushed on the line above")
             }
         };
         entry.1 += 1;

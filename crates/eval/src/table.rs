@@ -101,7 +101,10 @@ pub fn render_cdf(title: &str, values: &[usize]) -> String {
     for (i, &v) in sorted.iter().enumerate() {
         let frac = (i + 1) as f64 / n as f64;
         if points.last().map(|&(pv, _)| pv) == Some(v) {
-            points.last_mut().unwrap().1 = frac;
+            points
+                .last_mut()
+                .expect("points is non-empty: last() matched above")
+                .1 = frac;
         } else {
             points.push((v, frac));
         }
@@ -112,7 +115,7 @@ pub fn render_cdf(title: &str, values: &[usize]) -> String {
         for k in 0..20 {
             sampled.push(points[(k as f64 * step) as usize]);
         }
-        sampled.push(*points.last().unwrap());
+        sampled.push(*points.last().expect("points.len() > 20 in this branch"));
         points = sampled;
     }
     for (v, f) in points {

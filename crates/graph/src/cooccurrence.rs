@@ -127,6 +127,7 @@ fn merge(
     mut big: HashMap<(u32, u32), u32>,
     small: HashMap<(u32, u32), u32>,
 ) -> HashMap<(u32, u32), u32> {
+    // lint:allow(hash-iter): integer `+=` merge is commutative; order cannot matter.
     for (k, v) in small {
         *big.entry(k).or_insert(0) += v;
     }

@@ -166,7 +166,13 @@ impl GraphBuilder {
         let mut adj: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
         let mut degree = vec![0.0; n];
         let mut total = 0.0;
-        for (&(u, v), &w) in &self.edges {
+        // Sort edges so the float accumulation into `degree`/`total` is
+        // order-stable: float addition is not associative, and HashMap
+        // iteration order must never reach a reported number.
+        let mut edges: Vec<((NodeId, NodeId), f64)> =
+            self.edges.iter().map(|(&k, &w)| (k, w)).collect();
+        edges.sort_unstable_by_key(|e| e.0);
+        for &((u, v), w) in &edges {
             if u == v {
                 adj[u as usize].push((v, w));
                 degree[u as usize] += 2.0 * w;

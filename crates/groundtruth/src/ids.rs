@@ -159,6 +159,7 @@ impl Ids {
 
     /// Iterates over `(server, threats)` in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &BTreeSet<String>)> {
+        // lint:allow(hash-iter): documented arbitrary-order iterator; callers must sort.
         self.labels.iter().map(|(s, t)| (s.as_str(), t))
     }
 
@@ -166,6 +167,7 @@ impl Ids {
     /// ground-truth malware campaigns when measuring false negatives.
     pub fn servers_by_threat(&self) -> HashMap<&str, Vec<&str>> {
         let mut out: HashMap<&str, Vec<&str>> = HashMap::new();
+        // lint:allow(hash-iter): every group is sorted below before returning.
         for (server, threats) in &self.labels {
             for t in threats {
                 out.entry(t.as_str()).or_default().push(server.as_str());

@@ -125,6 +125,7 @@ impl GroundTruth {
 
     /// Iterates over `(server, truth)` pairs in arbitrary order.
     pub fn iter_servers(&self) -> impl Iterator<Item = (&str, &ServerTruth)> {
+        // lint:allow(hash-iter): documented arbitrary-order iterator; callers must sort.
         self.servers.iter().map(|(s, t)| (s.as_str(), t))
     }
 
@@ -136,6 +137,7 @@ impl GroundTruth {
             let id = self.add_campaign(&c.name, c.category);
             remap.insert(c.id, id);
         }
+        // lint:allow(hash-iter): inserting into a map is order-independent.
         for (s, t) in &other.servers {
             self.servers.insert(
                 s.clone(),

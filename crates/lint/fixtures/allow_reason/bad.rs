@@ -1,0 +1,6 @@
+pub fn f() {
+    // lint:allow(panic)
+    panic!("reason was omitted above");
+    // lint:allow(nonexistent): this rule does not exist.
+    // lint:allow(index) the colon before this reason is missing
+}

@@ -1,0 +1,4 @@
+pub fn f() {
+    // lint:allow(panic): fixture demonstrates a correctly-formed suppression.
+    panic!("suppressed");
+}

@@ -1,0 +1,5 @@
+pub struct FakeDimension;
+
+impl Dimension for FakeDimension {
+    fn build_graph(&self) {}
+}

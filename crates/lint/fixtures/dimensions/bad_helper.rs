@@ -1,0 +1,3 @@
+pub fn instrumented_builder() {
+    body();
+}

@@ -1,0 +1,12 @@
+pub struct FakeDimension;
+
+impl Dimension for FakeDimension {
+    fn build_graph(&self) {
+        instrumented_builder(ctx, kind, |builder, funnel| {})
+    }
+}
+
+fn instrumented_builder() {
+    failpoint::fire("dimension/fake");
+    let _span = metrics.span("dim/fake/build");
+}

@@ -1,0 +1,4 @@
+pub fn undocumented() {}
+
+/// Documented.
+pub fn documented() {}

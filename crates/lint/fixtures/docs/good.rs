@@ -1,0 +1,6 @@
+/// Documented function.
+pub fn documented() {}
+
+/// Documented struct.
+#[derive(Debug)]
+pub struct S;

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn f(counts: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in counts.iter() {
+        out.push(*k);
+    }
+    out
+}

@@ -1,0 +1,7 @@
+use std::collections::HashMap;
+
+pub fn f(counts: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = counts.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,3 @@
+pub fn f(v: &[u32], i: usize) -> u32 {
+    v[i]
+}

@@ -1,0 +1,8 @@
+pub fn f(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i).copied()
+}
+
+pub fn g(v: &[u32]) -> u32 {
+    // lint:allow(index): the caller contract guarantees a non-empty slice.
+    v[0]
+}

@@ -1,0 +1,8 @@
+pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("ok");
+    if a > b {
+        panic!("a exceeded b");
+    }
+    todo!()
+}

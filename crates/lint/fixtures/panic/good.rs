@@ -1,0 +1,17 @@
+pub fn f(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees Some: validated at parse time")
+}
+
+pub fn g() {
+    // lint:allow(panic): fixture demonstrates an in-place suppression.
+    panic!("by design");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

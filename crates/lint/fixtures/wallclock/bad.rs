@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn f() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}

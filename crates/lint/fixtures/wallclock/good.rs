@@ -1,0 +1,3 @@
+pub fn f(now_ms: u64, then_ms: u64) -> u64 {
+    now_ms.saturating_sub(then_ms)
+}

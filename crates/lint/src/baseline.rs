@@ -1,0 +1,207 @@
+//! The ratchet baseline: frozen per-`(file, rule)` violation *counts*.
+//!
+//! Counts — not line numbers — so unrelated edits that shift code around
+//! do not churn the baseline. The ratchet only moves one way: a count
+//! above its baselined value fails CI; a count below it is an
+//! improvement the tool asks you to lock in with `--update-baseline`.
+
+use crate::rules::Finding;
+use smash_support::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// Violation counts keyed by path, then rule name. `BTreeMap` keeps the
+/// serialized form byte-deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `path -> rule name -> frozen violation count`.
+    pub entries: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// The outcome of checking current findings against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// `(path, rule, current, allowed)` for every count over budget.
+    pub regressed: Vec<(String, String, u64, u64)>,
+    /// `(path, rule, current, allowed)` for every count under budget.
+    pub improved: Vec<(String, String, u64, u64)>,
+}
+
+impl BaselineDiff {
+    /// Total violations beyond the ratchet (`Σ max(0, current − allowed)`).
+    pub fn new_violations(&self) -> u64 {
+        self.regressed
+            .iter()
+            .map(|(_, _, now, allowed)| now.saturating_sub(*allowed))
+            .sum()
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline that freezes exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry(f.path.clone())
+                .or_default()
+                .entry(f.rule.name().to_owned())
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parses a baseline from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON is malformed or the wrong shape.
+    pub fn from_json_str(s: &str) -> Result<Baseline, String> {
+        let v = json::parse(s).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+        let files = v
+            .get("files")
+            .and_then(Json::as_obj)
+            .ok_or("baseline missing `files` object")?;
+        let mut entries: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for (path, rules) in files {
+            let rules = rules
+                .as_obj()
+                .ok_or_else(|| format!("baseline entry for `{path}` is not an object"))?;
+            let mut per_rule = BTreeMap::new();
+            for (rule, count) in rules {
+                let n = match count {
+                    Json::UInt(n) => *n,
+                    Json::Int(n) if *n >= 0 => *n as u64,
+                    _ => return Err(format!("baseline count for `{path}`/`{rule}` not a count")),
+                };
+                per_rule.insert(rule.clone(), n);
+            }
+            entries.insert(path.clone(), per_rule);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes the baseline (pretty, trailing newline, deterministic).
+    pub fn to_json_string(&self) -> String {
+        let files: Vec<(String, Json)> = self
+            .entries
+            .iter()
+            .filter(|(_, rules)| !rules.is_empty())
+            .map(|(path, rules)| {
+                let obj = rules
+                    .iter()
+                    .map(|(r, n)| (r.clone(), Json::UInt(*n)))
+                    .collect();
+                (path.clone(), Json::Obj(obj))
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            (
+                "comment".to_owned(),
+                Json::Str(
+                    "Frozen lint debt; counts may only shrink. Regenerate with \
+                     `smash-lint --update-baseline`."
+                        .to_owned(),
+                ),
+            ),
+            ("files".to_owned(), Json::Obj(files)),
+        ]);
+        let mut s = json::to_string_pretty(&doc);
+        s.push('\n');
+        s
+    }
+
+    /// Compares current findings against the frozen counts.
+    pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
+        let current = Baseline::from_findings(findings);
+        let mut diff = BaselineDiff::default();
+        // Over-budget: walk current counts against the frozen ones.
+        for (path, rules) in &current.entries {
+            for (rule, &now) in rules {
+                let allowed = self
+                    .entries
+                    .get(path)
+                    .and_then(|r| r.get(rule))
+                    .copied()
+                    .unwrap_or(0);
+                if now > allowed {
+                    diff.regressed
+                        .push((path.clone(), rule.clone(), now, allowed));
+                }
+            }
+        }
+        // Under-budget: frozen counts no longer fully used.
+        for (path, rules) in &self.entries {
+            for (rule, &allowed) in rules {
+                let now = current
+                    .entries
+                    .get(path)
+                    .and_then(|r| r.get(rule))
+                    .copied()
+                    .unwrap_or(0);
+                if now < allowed {
+                    diff.improved
+                        .push((path.clone(), rule.clone(), now, allowed));
+                }
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn finding(path: &str, rule: RuleId) -> Finding {
+        Finding {
+            path: path.to_owned(),
+            line: 1,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline::from_findings(&[
+            finding("a.rs", RuleId::Panic),
+            finding("a.rs", RuleId::Panic),
+            finding("b.rs", RuleId::Index),
+        ]);
+        let s = b.to_json_string();
+        let back = Baseline::from_json_str(&s).expect("roundtrip baseline parses");
+        assert_eq!(b, back);
+        assert_eq!(back.entries["a.rs"]["panic"], 2);
+    }
+
+    #[test]
+    fn ratchet_direction() {
+        let frozen = Baseline::from_findings(&[
+            finding("a.rs", RuleId::Panic),
+            finding("a.rs", RuleId::Panic),
+        ]);
+        // One fixed: improvement, no regression.
+        let d = frozen.diff(&[finding("a.rs", RuleId::Panic)]);
+        assert!(d.regressed.is_empty());
+        assert_eq!(d.improved, vec![("a.rs".into(), "panic".into(), 1, 2)]);
+        assert_eq!(d.new_violations(), 0);
+        // One added: regression of exactly one.
+        let d = frozen.diff(&[
+            finding("a.rs", RuleId::Panic),
+            finding("a.rs", RuleId::Panic),
+            finding("a.rs", RuleId::Panic),
+        ]);
+        assert_eq!(d.new_violations(), 1);
+        // A new file is entirely over budget.
+        let d = frozen.diff(&[finding("new.rs", RuleId::Docs)]);
+        assert_eq!(d.new_violations(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::from_json_str("{").is_err());
+        assert!(Baseline::from_json_str("{}").is_err());
+        assert!(Baseline::from_json_str(r#"{"files": {"a.rs": {"panic": -2}}}"#).is_err());
+    }
+}

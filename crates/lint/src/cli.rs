@@ -1,0 +1,360 @@
+//! The `smash-lint` command line: argument parsing, output formatting,
+//! and exit-code policy.
+//!
+//! Exit codes: `0` clean (or only baselined debt), `1` new violations
+//! or a runtime error, `2` usage error. [`run_cli`] takes explicit
+//! output sinks so the self-test can drive the full CLI in-process.
+
+use crate::baseline::Baseline;
+use crate::rules::{lint_files, Finding, LintConfig, RuleId};
+use crate::walk::collect_sources;
+use smash_support::json::Json;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Usage text for `--help`.
+pub const HELP: &str = "\
+smash-lint: in-tree invariant linter for the SMASH workspace
+
+USAGE:
+    smash-lint [ROOT] [OPTIONS]
+
+ARGS:
+    ROOT                  directory to lint (default: .)
+
+OPTIONS:
+    --check-baseline      fail (exit 1) only on violations beyond the
+                          committed baseline (the CI gate)
+    --update-baseline     rewrite the baseline to freeze current findings
+    --baseline <PATH>     baseline file (default: <ROOT>/lint-baseline.json)
+    --no-baseline         ignore any baseline; report every finding
+    --rule <RULE>         run only this rule (repeatable)
+    --skip-rule <RULE>    disable this rule (repeatable)
+    --json                machine-readable output
+    --list-rules          print the rule catalog and exit
+    --help                print this help and exit
+
+Suppress a single finding in place with
+    // lint:allow(<rule>): <reason>
+on the offending line or the line above. The reason is mandatory.
+See DESIGN.md §8 for the rule catalog and ratchet semantics.
+";
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+struct Args {
+    root: Option<PathBuf>,
+    check_baseline: bool,
+    update_baseline: bool,
+    baseline_path: Option<PathBuf>,
+    no_baseline: bool,
+    json: bool,
+    list_rules: bool,
+    help: bool,
+    only: Vec<RuleId>,
+    skip: Vec<RuleId>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check-baseline" => args.check_baseline = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => args.help = true,
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path")?;
+                args.baseline_path = Some(PathBuf::from(v));
+            }
+            "--rule" | "--skip-rule" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{a} requires a rule name"))?;
+                let rule = RuleId::parse(v)
+                    .ok_or_else(|| format!("unknown rule `{v}` (see --list-rules)"))?;
+                if a == "--rule" {
+                    args.only.push(rule);
+                } else {
+                    args.skip.push(rule);
+                }
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            root => {
+                if args.root.is_some() {
+                    return Err(format!("unexpected extra argument `{root}`"));
+                }
+                args.root = Some(PathBuf::from(root));
+            }
+        }
+    }
+    if args.check_baseline && args.update_baseline {
+        return Err("--check-baseline and --update-baseline are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+/// Runs the CLI against `argv` (program name excluded), writing to the
+/// given sinks. Returns the process exit code.
+pub fn run_cli(argv: &[String], out: &mut dyn std::io::Write, err: &mut dyn std::io::Write) -> i32 {
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = writeln!(err, "error: {e}\n\n{HELP}");
+            return 2;
+        }
+    };
+    if args.help {
+        let _ = write!(out, "{HELP}");
+        return 0;
+    }
+    if args.list_rules {
+        for r in RuleId::ALL {
+            let _ = writeln!(out, "{:<14} {}", r.name(), r.description());
+        }
+        return 0;
+    }
+
+    let mut cfg = LintConfig::default();
+    if !args.only.is_empty() {
+        cfg.enabled = args.only.clone();
+    }
+    cfg.enabled.retain(|r| !args.skip.contains(r));
+
+    let root = args.root.clone().unwrap_or_else(|| PathBuf::from("."));
+    let files = match collect_sources(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = writeln!(err, "error: cannot read `{}`: {e}", root.display());
+            return 1;
+        }
+    };
+    let findings = lint_files(&files, &cfg);
+
+    let baseline_path = args
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    if args.update_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json_string()) {
+            let _ = writeln!(
+                err,
+                "error: cannot write `{}`: {e}",
+                baseline_path.display()
+            );
+            return 1;
+        }
+        let _ = writeln!(
+            out,
+            "baseline updated: {} findings frozen in {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return 0;
+    }
+
+    let baseline = if args.no_baseline {
+        Baseline::default()
+    } else {
+        match load_baseline(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                let _ = writeln!(err, "error: {e}");
+                return 1;
+            }
+        }
+    };
+    let diff = baseline.diff(&findings);
+    let new = diff.new_violations();
+
+    if args.json {
+        let _ = writeln!(out, "{}", render_json(&findings, &baseline, new));
+    } else {
+        // The CI gate only cares about regressions; a full debt listing
+        // there would drown the signal in hundreds of frozen lines.
+        let show_baselined = !args.check_baseline;
+        let _ = write!(
+            out,
+            "{}",
+            render_table(&findings, &baseline, &diff, show_baselined)
+        );
+    }
+    if new > 0 {
+        let _ = writeln!(
+            err,
+            "smash-lint: {new} new violation(s) beyond the baseline \
+             (fix them, add `lint:allow` with a reason, or run --update-baseline)"
+        );
+        return 1;
+    }
+    if !diff.improved.is_empty() && !args.json {
+        let _ = writeln!(
+            out,
+            "note: {} baselined count(s) improved — lock it in with --update-baseline",
+            diff.improved.len()
+        );
+    }
+    0
+}
+
+/// A missing baseline file is an empty baseline (fresh trees start with
+/// zero frozen debt), a malformed one is an error.
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Baseline::from_json_str(&s).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("cannot read `{}`: {e}", path.display())),
+    }
+}
+
+/// Findings over the baseline budget for a given (path, rule) are
+/// rendered as NEW; the rest as baselined debt.
+fn render_table(
+    findings: &[Finding],
+    baseline: &Baseline,
+    diff: &crate::baseline::BaselineDiff,
+    show_baselined: bool,
+) -> String {
+    let mut out = String::new();
+    if findings.is_empty() {
+        let _ = writeln!(out, "smash-lint: clean ({} rules)", RuleId::ALL.len());
+        return out;
+    }
+    // Mark the LAST `over` findings of each over-budget (path, rule)
+    // group as NEW — earlier lines fill the frozen budget first.
+    let mut budget: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    for (path, rules) in &baseline.entries {
+        for (rule, &n) in rules {
+            budget.insert((path.clone(), rule.clone()), n);
+        }
+    }
+    let mut new_total = 0u64;
+    let mut baselined_total = 0u64;
+    for f in findings {
+        let key = (f.path.clone(), f.rule.name().to_owned());
+        let left = budget.entry(key).or_insert(0);
+        let tag = if *left > 0 {
+            *left -= 1;
+            baselined_total += 1;
+            if !show_baselined {
+                continue;
+            }
+            "baselined"
+        } else {
+            new_total += 1;
+            "NEW"
+        };
+        let _ = writeln!(
+            out,
+            "{:<9} {}:{} [{}] {}",
+            tag,
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message
+        );
+    }
+    let _ = writeln!(
+        out,
+        "smash-lint: {} finding(s): {} new, {} baselined{}",
+        findings.len(),
+        new_total,
+        baselined_total,
+        if diff.improved.is_empty() {
+            String::new()
+        } else {
+            format!(", {} improved", diff.improved.len())
+        }
+    );
+    out
+}
+
+fn render_json(findings: &[Finding], baseline: &Baseline, new: u64) -> String {
+    let arr: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("path".to_owned(), Json::Str(f.path.clone())),
+                ("line".to_owned(), Json::UInt(f.line as u64)),
+                ("rule".to_owned(), Json::Str(f.rule.name().to_owned())),
+                ("message".to_owned(), Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let baselined: u64 = baseline.entries.values().flat_map(|r| r.values()).sum();
+    let doc = Json::Obj(vec![
+        ("total".to_owned(), Json::UInt(findings.len() as u64)),
+        ("new".to_owned(), Json::UInt(new)),
+        ("baseline_budget".to_owned(), Json::UInt(baselined)),
+        ("findings".to_owned(), Json::Arr(arr)),
+    ]);
+    smash_support::json::to_string_pretty(&doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> (i32, String, String) {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_cli(&argv, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).expect("stdout is UTF-8"),
+            String::from_utf8(err).expect("stderr is UTF-8"),
+        )
+    }
+
+    #[test]
+    fn help_exits_zero_on_stdout() {
+        let (code, out, err) = run(&["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        assert!(err.is_empty());
+    }
+
+    #[test]
+    fn unknown_flag_exits_two_on_stderr() {
+        let (code, out, err) = run(&["--frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(out.is_empty());
+        assert!(err.contains("unknown flag"));
+        assert!(
+            err.contains("USAGE"),
+            "usage goes to stderr on usage errors"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_exits_two() {
+        let (code, _, err) = run(&["--rule", "no-such-rule"]);
+        assert_eq!(code, 2);
+        assert!(err.contains("unknown rule"));
+    }
+
+    #[test]
+    fn list_rules_names_all() {
+        let (code, out, _) = run(&["--list-rules"]);
+        assert_eq!(code, 0);
+        for r in RuleId::ALL {
+            assert!(out.contains(r.name()), "missing {}", r.name());
+        }
+    }
+
+    #[test]
+    fn conflicting_baseline_modes_rejected() {
+        let (code, _, err) = run(&["--check-baseline", "--update-baseline"]);
+        assert_eq!(code, 2);
+        assert!(err.contains("mutually exclusive"));
+    }
+}

@@ -1,0 +1,341 @@
+//! A lightweight line-oriented Rust lexer.
+//!
+//! The rules in this crate never need a full parse tree — they match
+//! token shapes (`.unwrap()`, `HashMap`, `ident[`) on *code* text. What
+//! they do need, and what a plain `grep` cannot give them, is for those
+//! shapes to be invisible when they appear inside string literals, char
+//! literals, or comments, and for `#[cfg(test)]` regions to be
+//! excluded. The lexer produces, per source line:
+//!
+//! * `code` — the line with every comment removed and every string/char
+//!   literal's *contents* blanked to spaces. Blanking is
+//!   length-preserving, so byte offsets into `code` are valid offsets
+//!   into the original line (rules use this to slice the original text,
+//!   e.g. to read an `expect("…")` message).
+//! * `comment` — the concatenated text of any comments on the line
+//!   (`lint:allow` suppressions live here).
+//! * `in_test` — whether the line falls inside a `#[cfg(test)]` /
+//!   `#[test]` item (attribute line included).
+
+/// One lexed source line. See the module docs for field semantics.
+#[derive(Debug, Clone)]
+pub struct LexedLine {
+    /// Comment-free, literal-blanked code text (length-preserving).
+    pub code: String,
+    /// Concatenated comment text on this line (empty when none).
+    pub comment: String,
+    /// `true` inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// One entry per source line, in order.
+    pub lines: Vec<LexedLine>,
+}
+
+/// Lexer state carried across lines (comments and strings may span
+/// lines).
+enum State {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lexes `content` into per-line code/comment channels and marks
+/// `#[cfg(test)]` regions.
+pub fn lex(content: &str) -> LexedFile {
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let bytes: Vec<char> = content.chars().collect();
+    let mut i = 0usize;
+    let flush = |lines: &mut Vec<LexedLine>, code: &mut String, comment: &mut String| {
+        lines.push(LexedLine {
+            code: std::mem::take(code),
+            comment: std::mem::take(comment),
+            in_test: false,
+        });
+    };
+    while i < bytes.len() {
+        let c = bytes.get(i).copied().unwrap_or('\n');
+        if c == '\n' {
+            flush(&mut lines, &mut code, &mut comment);
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // Line comment: capture until end of line.
+                    while i < bytes.len() && bytes.get(i) != Some(&'\n') {
+                        comment.push(bytes.get(i).copied().unwrap_or(' '));
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    comment.push_str("/*");
+                    i += 2;
+                    continue;
+                }
+                // Raw string starts: r"…", r#"…"#, br#"…"#.
+                if c == 'r' || (c == 'b' && next == Some('r')) {
+                    let start = if c == 'b' { i + 2 } else { i + 1 };
+                    let mut j = start;
+                    while bytes.get(j) == Some(&'#') {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') && !prev_is_ident(&bytes, i) {
+                        let hashes = (j - start) as u32;
+                        for k in i..=j {
+                            code.push(bytes.get(k).copied().unwrap_or('"'));
+                        }
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: 'a' has a closing quote
+                    // one or two (escape) chars ahead; 'a (lifetime) has
+                    // not.
+                    if next == Some('\\') {
+                        // Escaped char literal: blank to closing quote.
+                        code.push('\'');
+                        i += 1;
+                        while i < bytes.len()
+                            && bytes.get(i) != Some(&'\'')
+                            && bytes.get(i) != Some(&'\n')
+                        {
+                            code.push(' ');
+                            i += if bytes.get(i) == Some(&'\\') { 2 } else { 1 };
+                        }
+                        if bytes.get(i) == Some(&'\'') {
+                            code.push('\'');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if next.is_some() && bytes.get(i + 2) == Some(&'\'') {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    comment.push_str("*/");
+                    state = if depth > 1 {
+                        State::Block(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    comment.push_str("/*");
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if bytes.get(i + 1).is_some() && bytes.get(i + 1) != Some(&'\n') {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut n = 0u32;
+                    while n < hashes && bytes.get(j) == Some(&'#') {
+                        j += 1;
+                        n += 1;
+                    }
+                    if n == hashes {
+                        for _ in i..j {
+                            code.push('"');
+                        }
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush(&mut lines, &mut code, &mut comment);
+    }
+    mark_test_regions(&mut lines);
+    LexedFile { lines }
+}
+
+/// `true` when the char before position `i` continues an identifier
+/// (so `for` in `bufr"x"` is not a raw-string start — contrived, but
+/// cheap to rule out).
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0
+        && bytes
+            .get(i - 1)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items by tracking brace
+/// depth on the stripped code channel.
+fn mark_test_regions(lines: &mut [LexedLine]) {
+    let mut depth: i64 = 0;
+    // Depth at which an active test region closes, if any.
+    let mut region_close: Option<i64> = None;
+    // A test attribute was seen and we are waiting for its item's `{`.
+    let mut pending: Option<usize> = None;
+    for idx in 0..lines.len() {
+        let code = lines.get(idx).map(|l| l.code.clone()).unwrap_or_default();
+        if region_close.is_some() {
+            if let Some(l) = lines.get_mut(idx) {
+                l.in_test = true;
+            }
+        }
+        if code.contains("cfg(test)") || code.contains("#[test]") {
+            if pending.is_none() && region_close.is_none() {
+                pending = Some(idx);
+            }
+            if let Some(l) = lines.get_mut(idx) {
+                l.in_test = true;
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(start) = pending.take() {
+                        if region_close.is_none() {
+                            region_close = Some(depth);
+                            for l in lines.iter_mut().take(idx + 1).skip(start) {
+                                l.in_test = true;
+                            }
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                    }
+                }
+                ';' => {
+                    // The attribute applied to a braceless item
+                    // (`#[cfg(test)] use …;`).
+                    if let Some(start) = pending.take() {
+                        for l in lines.iter_mut().take(idx + 1).skip(start) {
+                            l.in_test = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_and_captured() {
+        let f = lex("let x = 1; // trailing note\n/* block */ let y = 2;\n");
+        assert_eq!(f.lines[0].code, "let x = 1; ");
+        assert!(f.lines[0].comment.contains("trailing note"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+        assert!(f.lines[1].comment.contains("block"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_length_preserving() {
+        let src = "let s = \".unwrap()\";\n";
+        let f = lex(src);
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert_eq!(f.lines[0].code.len(), src.len() - 1);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = lex("let s = r#\"panic!( x[0] )\"#;\n");
+        assert!(!f.lines[0].code.contains("panic!("));
+        assert!(!f.lines[0].code.contains("x[0]"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { '[' }\n");
+        // The char literal '[' is blanked; the lifetime survives.
+        assert!(!f.lines[0].code.contains("'['"));
+        assert!(f.lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test, "closing brace");
+        assert!(!f.lines[5].in_test, "code after the region");
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let f = lex("/* one\ntwo */ let x = 1;\n");
+        assert!(f.lines[0].code.trim().is_empty());
+        assert!(f.lines[1].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let f = lex("let s = \"one\ntwo.unwrap()\";\nlet y = 1;\n");
+        assert!(!f.lines[1].code.contains(".unwrap()"));
+        assert!(f.lines[2].code.contains("let y"));
+    }
+}

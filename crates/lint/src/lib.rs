@@ -1,0 +1,23 @@
+//! `smash-lint`: the in-tree invariant linter for the SMASH workspace.
+//!
+//! The pipeline's correctness claims rest on invariants no compiler
+//! checks: byte-deterministic reports, panic-freedom on untrusted
+//! traces, and instrumentation coverage of every dimension builder.
+//! This crate enforces them with a lightweight lexer ([`lexer`]), a
+//! rule engine ([`rules`]), and a committed ratchet baseline
+//! ([`baseline`]) so existing debt is frozen while new violations fail
+//! CI. See DESIGN.md §8 for the rule catalog and ratchet semantics.
+//!
+//! Hermetic by construction: no dependencies beyond `smash-support`
+//! (JSON only), no network, no build scripts.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cli;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::{Baseline, BaselineDiff};
+pub use rules::{lint_file, lint_files, Finding, LintConfig, RuleId, SourceFile};

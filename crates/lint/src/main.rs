@@ -1,0 +1,14 @@
+//! `smash-lint` binary entry point. All logic lives in the library so
+//! the self-test can drive it in-process.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = smash_lint::cli::run_cli(
+        &argv,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+    );
+    ExitCode::from(u8::try_from(code).unwrap_or(1))
+}

@@ -1,0 +1,642 @@
+//! The rule engine: every invariant the linter enforces, plus the
+//! in-place suppression (`lint:allow`) machinery.
+//!
+//! Rules match token shapes on the lexed code channel (comments and
+//! literal contents already blanked — see [`crate::lexer`]), so a
+//! `panic!` inside a string or a doc example never fires. Each rule is
+//! individually toggleable; the catalog and the rationale for every
+//! rule live in DESIGN.md §8.
+
+use crate::lexer::{lex, LexedFile};
+use std::collections::BTreeMap;
+
+/// The rule catalog. `ALL` and `name()` are the single source of truth
+/// for CLI parsing and baseline keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Panic-freedom: no `unwrap()`/bare `expect`/`panic!`-family macro
+    /// in non-test library code.
+    Panic,
+    /// Slice/collection indexing (`x[i]`) that can panic; prefer `.get`.
+    Index,
+    /// Iterating a `HashMap`/`HashSet` without an ordering step —
+    /// nondeterministic order reaching reports breaks byte-determinism.
+    HashIter,
+    /// Wall-clock reads (`Instant::now`/`SystemTime`) outside the
+    /// metrics layer.
+    Wallclock,
+    /// Every dimension builder runs under `instrumented_builder`
+    /// (failpoint site + duration span + funnel counters).
+    DimCoverage,
+    /// Every public item in `crates/core` / `crates/graph` carries a doc
+    /// comment.
+    Docs,
+    /// `lint:allow` suppressions must name a known rule and a reason.
+    AllowReason,
+}
+
+impl RuleId {
+    /// Every rule, in display/baseline order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::Panic,
+        RuleId::Index,
+        RuleId::HashIter,
+        RuleId::Wallclock,
+        RuleId::DimCoverage,
+        RuleId::Docs,
+        RuleId::AllowReason,
+    ];
+
+    /// The stable name used in baselines, CLI flags, and `lint:allow`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::Panic => "panic",
+            RuleId::Index => "index",
+            RuleId::HashIter => "hash-iter",
+            RuleId::Wallclock => "wallclock",
+            RuleId::DimCoverage => "dim-coverage",
+            RuleId::Docs => "docs",
+            RuleId::AllowReason => "allow-reason",
+        }
+    }
+
+    /// Parses a rule name (the inverse of [`name`](Self::name)).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == s)
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::Panic => {
+                "no unwrap()/bare expect/panic!-family macros in non-test library code"
+            }
+            RuleId::Index => "slice/map indexing can panic; use .get() or document the invariant",
+            RuleId::HashIter => {
+                "HashMap/HashSet iteration without a sort is nondeterministic order"
+            }
+            RuleId::Wallclock => {
+                "Instant::now/SystemTime outside smash-support::metrics breaks reproducibility"
+            }
+            RuleId::DimCoverage => {
+                "every dimension builder runs under instrumented_builder (failpoint+span+funnel)"
+            }
+            RuleId::Docs => "every public item in crates/core and crates/graph has a doc comment",
+            RuleId::AllowReason => "lint:allow must name a known rule and give a reason",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Human-readable description of the specific violation.
+    pub message: String,
+}
+
+/// Which rules to run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Enabled rules (default: all).
+    pub enabled: Vec<RuleId>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            enabled: RuleId::ALL.to_vec(),
+        }
+    }
+}
+
+impl LintConfig {
+    fn on(&self, r: RuleId) -> bool {
+        self.enabled.contains(&r)
+    }
+}
+
+/// A source file handed to the engine (path relative to the lint root).
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// `/`-separated path, used for role/scope decisions and reporting.
+    pub path: String,
+    /// Full file contents.
+    pub content: String,
+}
+
+/// How a file participates in linting, decided from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Shipped library/binary code: all rules apply.
+    Library,
+    /// Test/bench/example harness code: only structural rules
+    /// (dim-coverage, allow-reason) apply.
+    Harness,
+}
+
+fn role_of(path: &str) -> Role {
+    let harness = path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+    if harness {
+        Role::Harness
+    } else {
+        Role::Library
+    }
+}
+
+/// The minimum `expect("…")` message length that counts as a documented
+/// invariant (shorter messages are no better than `unwrap()`).
+pub const MIN_EXPECT_MESSAGE: usize = 8;
+
+/// Lints one file. Findings are sorted by line, suppressions already
+/// applied.
+pub fn lint_file(file: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
+    let lexed = lex(&file.content);
+    let raw_lines: Vec<&str> = file.content.lines().collect();
+    let role = role_of(&file.path);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Suppressions first: also yields allow-reason findings.
+    let allows = collect_allows(file, &lexed, cfg, &mut findings);
+
+    if role == Role::Library {
+        if cfg.on(RuleId::Panic) {
+            rule_panic(file, &lexed, &raw_lines, &mut findings);
+        }
+        if cfg.on(RuleId::Index) {
+            rule_index(file, &lexed, &mut findings);
+        }
+        if cfg.on(RuleId::HashIter) {
+            rule_hash_iter(file, &lexed, &mut findings);
+        }
+        if cfg.on(RuleId::Wallclock) {
+            rule_wallclock(file, &lexed, &mut findings);
+        }
+        if cfg.on(RuleId::Docs) {
+            rule_docs(file, &lexed, &raw_lines, &mut findings);
+        }
+    }
+    if cfg.on(RuleId::DimCoverage) {
+        rule_dim_coverage(file, &lexed, &mut findings);
+    }
+
+    findings.retain(|f| {
+        if f.rule == RuleId::AllowReason {
+            return true;
+        }
+        let here = allows.get(&f.line).is_some_and(|rs| rs.contains(&f.rule));
+        let above = f.line > 1
+            && allows
+                .get(&(f.line - 1))
+                .is_some_and(|rs| rs.contains(&f.rule));
+        !(here || above)
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Lints many files; findings sorted by (path, line, rule).
+pub fn lint_files(files: &[SourceFile], cfg: &LintConfig) -> Vec<Finding> {
+    let mut out: Vec<Finding> = files.iter().flat_map(|f| lint_file(f, cfg)).collect();
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Parses `lint:allow(rule[,rule…]): reason` comments. Valid allows are
+/// returned keyed by line; malformed ones become `allow-reason`
+/// findings.
+fn collect_allows(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    cfg: &LintConfig,
+    findings: &mut Vec<Finding>,
+) -> BTreeMap<usize, Vec<RuleId>> {
+    let mut allows: BTreeMap<usize, Vec<RuleId>> = BTreeMap::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        // Directives live in plain `//` comments; doc comments merely
+        // talk about the directive syntax.
+        let c = line.comment.trim_start();
+        if c.starts_with("///")
+            || c.starts_with("//!")
+            || c.starts_with("/**")
+            || c.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = line.comment.find("lint:allow") else {
+            continue;
+        };
+        let mut bad = |msg: String| {
+            if cfg.on(RuleId::AllowReason) {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: lineno,
+                    rule: RuleId::AllowReason,
+                    message: msg,
+                });
+            }
+        };
+        let rest = &line.comment[pos + "lint:allow".len()..];
+        let Some(open) = rest.strip_prefix('(') else {
+            bad("malformed lint:allow: expected `lint:allow(<rule>): <reason>`".to_owned());
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            bad("malformed lint:allow: missing `)`".to_owned());
+            continue;
+        };
+        let (names, after) = (&open[..close], &open[close + 1..]);
+        let mut rules: Vec<RuleId> = Vec::new();
+        let mut ok = true;
+        for name in names.split(',').map(str::trim) {
+            match RuleId::parse(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    bad(format!("lint:allow names unknown rule `{name}`"));
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let Some(reason) = after.trim_start().strip_prefix(':') else {
+            bad("lint:allow without a reason: write `lint:allow(<rule>): <reason>`".to_owned());
+            continue;
+        };
+        if reason.trim().is_empty() {
+            bad("lint:allow with an empty reason".to_owned());
+            continue;
+        }
+        allows.entry(lineno).or_default().extend(rules);
+    }
+    allows
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `hay` at positions where it is not preceded by an
+/// identifier char (word-boundary on the left).
+fn find_token(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while let Some(p) = hay[start..].find(needle) {
+        let at = start + p;
+        let bounded = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| is_ident_char(c) || c == ':');
+        if bounded {
+            out.push(at);
+        }
+        start = at + needle.len().max(1);
+    }
+    out
+}
+
+/// Rule `panic`: `.unwrap()`, `panic!`-family macros, and `.expect(`
+/// whose message is not a string literal of at least
+/// [`MIN_EXPECT_MESSAGE`] chars (a documented invariant).
+fn rule_panic(file: &SourceFile, lexed: &LexedFile, raw: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        let mut push = |msg: String| {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: RuleId::Panic,
+                message: msg,
+            });
+        };
+        for _ in code.matches(".unwrap()") {
+            push("`.unwrap()` can panic; use `.expect(\"<invariant>\")` or propagate".to_owned());
+        }
+        for mac in ["panic!", "unimplemented!", "todo!", "unreachable!"] {
+            for _ in find_token(code, mac) {
+                push(format!("`{mac}` is reachable from library code"));
+            }
+        }
+        for at in code
+            .match_indices(".expect(")
+            .map(|(p, _)| p)
+            .collect::<Vec<_>>()
+        {
+            let after = &code[at + ".expect(".len()..];
+            let trimmed = after.trim_start();
+            // Message may sit on the next line after rustfmt wrapping.
+            let (msg_code, msg_raw) = if trimmed.is_empty() {
+                let next = lexed.lines.get(idx + 1);
+                (
+                    next.map(|l| l.code.trim_start().to_owned())
+                        .unwrap_or_default(),
+                    raw.get(idx + 1).map(|l| l.trim_start()).unwrap_or(""),
+                )
+            } else {
+                let off = after.len() - trimmed.len();
+                (
+                    trimmed.to_owned(),
+                    raw.get(idx)
+                        .and_then(|l| l.get(at + ".expect(".len() + off..))
+                        .unwrap_or(""),
+                )
+            };
+            if !msg_code.starts_with('"') {
+                push(
+                    "`.expect(…)` message must be a string literal naming the invariant".to_owned(),
+                );
+                continue;
+            }
+            let inner_len = msg_code[1..]
+                .find('"')
+                .unwrap_or(msg_code.len().saturating_sub(1));
+            let msg = msg_raw.get(1..1 + inner_len).unwrap_or("").trim();
+            if msg.len() < MIN_EXPECT_MESSAGE {
+                push(format!(
+                    "`.expect(\"{msg}\")` message is too short to document an invariant \
+                     (min {MIN_EXPECT_MESSAGE} chars)"
+                ));
+            }
+        }
+    }
+}
+
+/// Rule `index`: `expr[` indexing (identifier, `)` or `]` directly
+/// before `[`) — panics on out-of-range/missing keys; `.get` does not.
+fn rule_index(file: &SourceFile, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code: Vec<char> = line.code.chars().collect();
+        for (i, &c) in code.iter().enumerate() {
+            if c != '[' {
+                continue;
+            }
+            let before = code[..i].iter().rev().find(|c| !c.is_whitespace());
+            let indexes = before.is_some_and(|&p| is_ident_char(p) || p == ')' || p == ']');
+            if indexes {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: RuleId::Index,
+                    message: "indexing can panic; use `.get(…)` or document the invariant"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `hash-iter`: iterating an identifier bound to a
+/// `HashMap`/`HashSet` without an ordering step within reach.
+fn rule_hash_iter(file: &SourceFile, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    // Pass 1: identifiers bound to hash collections.
+    let mut idents: Vec<String> = Vec::new();
+    for line in &lexed.lines {
+        if line.in_test {
+            continue;
+        }
+        for tok in ["HashMap", "HashSet"] {
+            for at in find_token(&line.code, tok) {
+                if let Some(ident) = binder_before(&line.code, at) {
+                    if !idents.contains(&ident) {
+                        idents.push(ident);
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: unordered iteration over those identifiers.
+    const ITERS: [&str; 7] = [
+        ".iter()",
+        ".into_iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_values()",
+        ".drain(",
+    ];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for ident in &idents {
+            let mut hit = false;
+            for at in find_token(code, ident) {
+                let rest = &code[at + ident.len()..];
+                if ITERS.iter().any(|m| rest.starts_with(m)) {
+                    hit = true;
+                }
+            }
+            // `for (k, v) in map {` consumes the map by value.
+            if let Some(inpos) = code.find(" in ") {
+                let tail = &code[inpos + 4..];
+                if code.trim_start().starts_with("for ")
+                    && find_token(tail, ident)
+                        .iter()
+                        .any(|&p| !tail[p + ident.len()..].starts_with('.'))
+                {
+                    hit = true;
+                }
+            }
+            if hit && !ordered_context(lexed, idx) {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: RuleId::HashIter,
+                    message: format!(
+                        "iteration over `{ident}` (HashMap/HashSet) is unordered; sort the \
+                         result or collect into a BTree collection"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// An ordering step within two lines either side (sort-then-iterate and
+/// collect-then-sort idioms) makes hash iteration deterministic.
+fn ordered_context(lexed: &LexedFile, idx: usize) -> bool {
+    lexed
+        .lines
+        .iter()
+        .skip(idx.saturating_sub(2))
+        .take(5)
+        .any(|l| l.code.contains(".sort") || l.code.contains("BTree"))
+}
+
+/// The identifier bound at a `HashMap`/`HashSet` mention: handles
+/// `let [mut] x: HashMap…`, `x: HashMap…` (fields/params) and
+/// `let [mut] x = HashMap::…`.
+fn binder_before(code: &str, at: usize) -> Option<String> {
+    let mut before = code[..at].trim_end();
+    for strip in ["&mut", "&", "mut"] {
+        before = before.strip_suffix(strip).unwrap_or(before).trim_end();
+    }
+    for path in ["std::collections::", "collections::", "std::"] {
+        before = before.strip_suffix(path).unwrap_or(before);
+    }
+    // A binder sits right before `: Type` or `= value`.
+    let before = before.trim_end().strip_suffix([':', '='])?.trim_end();
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Rule `wallclock`: wall-clock reads outside the metrics layer.
+fn rule_wallclock(file: &SourceFile, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if file.path == "crates/support/src/metrics.rs" {
+        return;
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test || line.code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for tok in ["Instant::now", "SystemTime"] {
+            for _ in line.code.matches(tok) {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: RuleId::Wallclock,
+                    message: format!(
+                        "`{tok}` outside smash-support::metrics makes runs time-dependent"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `dim-coverage`: structural invariants of the dimension layer.
+fn rule_dim_coverage(file: &SourceFile, lexed: &LexedFile, findings: &mut Vec<Finding>) {
+    if !file.path.split('/').any(|seg| seg == "dimensions") {
+        return;
+    }
+    let line_of = |needle: &str| -> Option<usize> {
+        lexed
+            .lines
+            .iter()
+            .position(|l| l.code.contains(needle))
+            .map(|i| i + 1)
+    };
+    let contains = |needle: &str| lexed.lines.iter().any(|l| l.code.contains(needle));
+    if let Some(at) = line_of("impl Dimension for") {
+        if !contains("instrumented_builder(") {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: at,
+                rule: RuleId::DimCoverage,
+                message: "dimension builder does not run under `instrumented_builder` \
+                          (failpoint site + duration span + funnel counters)"
+                    .to_owned(),
+            });
+        }
+    }
+    if let Some(at) = line_of("fn instrumented_builder") {
+        if !contains("failpoint::fire") {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: at,
+                rule: RuleId::DimCoverage,
+                message: "`instrumented_builder` lost its deterministic failpoint site".to_owned(),
+            });
+        }
+        if !contains(".span(") {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: at,
+                rule: RuleId::DimCoverage,
+                message: "`instrumented_builder` lost its duration span".to_owned(),
+            });
+        }
+    }
+}
+
+/// Rule `docs`: public items in `crates/core` / `crates/graph` need a
+/// doc comment. (Fixture trees opt in through a `docs` path segment.)
+fn rule_docs(file: &SourceFile, lexed: &LexedFile, raw: &[&str], findings: &mut Vec<Finding>) {
+    let scoped = file.path.starts_with("crates/core/src")
+        || file.path.starts_with("crates/graph/src")
+        || file.path.split('/').any(|seg| seg == "docs");
+    if !scoped {
+        return;
+    }
+    // `pub mod x;` is exempt: the module documents itself with inner
+    // `//!` docs, which this line-oriented pass cannot see.
+    const ITEMS: [&str; 11] = [
+        "pub fn ",
+        "pub async fn ",
+        "pub unsafe fn ",
+        "pub const fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub type ",
+        "pub const ",
+        "pub static ",
+        "pub union ",
+    ];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        if !ITEMS.iter().any(|p| trimmed.starts_with(p)) {
+            continue;
+        }
+        // Walk up over attributes to the nearest doc position.
+        let mut j = idx;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let above = raw.get(j).map(|l| l.trim_start()).unwrap_or("");
+            // Skip over attributes, including multi-line `#[derive(…)]`.
+            if above.starts_with("#[") || above.ends_with(")]") {
+                continue;
+            }
+            documented = above.starts_with("///")
+                || above.starts_with("/**")
+                || above.starts_with("#[doc")
+                || above.starts_with("*/")
+                || above.ends_with("*/");
+            break;
+        }
+        if !documented {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: idx + 1,
+                rule: RuleId::Docs,
+                message: format!(
+                    "public item `{}` lacks a doc comment",
+                    trimmed.split('(').next().unwrap_or(trimmed).trim()
+                ),
+            });
+        }
+    }
+}

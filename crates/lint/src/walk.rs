@@ -1,0 +1,93 @@
+//! Deterministic source-tree walker.
+//!
+//! Collects every `.rs` file under a root, in sorted order, with
+//! `/`-separated paths relative to that root — so findings and the
+//! baseline are byte-identical across platforms and filesystems.
+
+use crate::rules::SourceFile;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "results"];
+
+/// Collects all `.rs` sources under `root`, sorted by relative path.
+///
+/// `fixtures` directories are skipped unless the walk root itself is one
+/// (so linting the workspace ignores the lint fixtures, while the
+/// self-test can lint them directly).
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the tree.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let skip_fixtures = !root
+        .components()
+        .any(|c| c.as_os_str().to_str() == Some("fixtures"));
+    let mut out = Vec::new();
+    descend(root, root, skip_fixtures, &mut out)?;
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn descend(
+    root: &Path,
+    dir: &Path,
+    skip_fixtures: bool,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_str().unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || (skip_fixtures && name == "fixtures") {
+                continue;
+            }
+            descend(root, &path, skip_fixtures, out)?;
+        } else if name.ends_with(".rs") {
+            let content = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .filter_map(|c| c.as_os_str().to_str())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile { path: rel, content });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_own_crate_sorted_without_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = collect_sources(root).expect("walk the lint crate source tree");
+        let paths: Vec<&str> = files.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"src/walk.rs"));
+        assert!(paths.iter().all(|p| !p.contains("fixtures/")));
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted, "deterministic order");
+    }
+
+    #[test]
+    fn fixture_root_is_not_skipped() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        if root.is_dir() {
+            let files = collect_sources(&root).expect("walk the fixtures tree");
+            assert!(
+                !files.is_empty(),
+                "fixtures are visible when walked directly"
+            );
+        }
+    }
+}

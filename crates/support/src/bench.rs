@@ -108,6 +108,7 @@ impl Bencher {
         self.durations.clear();
         self.durations.reserve(self.samples);
         for _ in 0..self.samples {
+            // lint:allow(wallclock): the bench harness measures wall time by design.
             let start = Instant::now();
             black_box(f());
             self.durations.push(start.elapsed());

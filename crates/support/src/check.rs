@@ -342,6 +342,7 @@ fn env_u64(name: &str) -> Option<u64> {
     };
     match parsed {
         Ok(v) => Some(v),
+        // lint:allow(panic): property-test harness config errors abort the test run.
         Err(_) => panic!("{name} must be an integer, got `{raw}`"),
     }
 }
@@ -407,6 +408,7 @@ impl Checker {
                 }
                 CaseResult::Fail(msg) => {
                     let (shrunk, steps, final_msg) = self.shrink_failure(&prop, value.clone(), msg);
+                    // lint:allow(panic): property-test harness reports failures by panicking.
                     panic!(
                         "property failed at case {case}/{} (case seed {case_seed:#x})\n\
                          original: {value:?}\n\

@@ -93,7 +93,9 @@ fn ensure_env_loaded() {
 }
 
 fn arm_parsed(pairs: &[(String, Action)]) {
-    let mut map = registry().lock().unwrap();
+    let mut map = registry()
+        .lock()
+        .expect("failpoint registry mutex not poisoned");
     for (site, action) in pairs {
         map.insert(site.clone(), *action);
     }
@@ -148,7 +150,9 @@ pub fn arm(site: &str, action: Action) {
 /// Disarms one site (a no-op if it was not armed).
 pub fn disarm(site: &str) {
     ensure_env_loaded();
-    let mut map = registry().lock().unwrap();
+    let mut map = registry()
+        .lock()
+        .expect("failpoint registry mutex not poisoned");
     map.remove(site);
     ARMED.store(!map.is_empty(), Ordering::SeqCst);
 }
@@ -157,7 +161,9 @@ pub fn disarm(site: &str) {
 /// (the environment is read only once per process and will not re-arm).
 pub fn disarm_all() {
     ensure_env_loaded();
-    let mut map = registry().lock().unwrap();
+    let mut map = registry()
+        .lock()
+        .expect("failpoint registry mutex not poisoned");
     map.clear();
     ARMED.store(false, Ordering::SeqCst);
 }
@@ -173,13 +179,22 @@ pub fn action_for(site: &str) -> Option<Action> {
             return None;
         }
     }
-    registry().lock().unwrap().get(site).copied()
+    registry()
+        .lock()
+        .expect("failpoint registry mutex not poisoned")
+        .get(site)
+        .copied()
 }
 
 /// Sites currently armed, sorted (diagnostics and tests).
 pub fn armed_sites() -> Vec<String> {
     ensure_env_loaded();
-    let mut v: Vec<String> = registry().lock().unwrap().keys().cloned().collect();
+    let mut v: Vec<String> = registry()
+        .lock()
+        .expect("failpoint registry mutex not poisoned")
+        .keys()
+        .cloned()
+        .collect();
     v.sort();
     v
 }
@@ -195,6 +210,7 @@ pub fn fire(site: &str) {
     match action_for(site) {
         None => {}
         Some(Action::Panic) | Some(Action::Error) => {
+            // lint:allow(panic): the injected panic IS the failpoint's contract.
             panic!("failpoint `{site}` triggered: injected panic")
         }
         Some(Action::Delay(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
@@ -214,6 +230,7 @@ pub fn fire(site: &str) {
 pub fn check(site: &str) -> Result<(), String> {
     match action_for(site) {
         None => Ok(()),
+        // lint:allow(panic): the injected panic IS the failpoint's contract.
         Some(Action::Panic) => panic!("failpoint `{site}` triggered: injected panic"),
         Some(Action::Error) => Err(format!("failpoint `{site}` triggered: injected error")),
         Some(Action::Delay(ms)) => {

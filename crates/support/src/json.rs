@@ -379,7 +379,10 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| JsonError("invalid utf-8".into()))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("peek() saw a byte, so the remainder is non-empty");
                     if (c as u32) < 0x20 {
                         return self.fail("unescaped control character");
                     }
@@ -452,7 +455,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number lexeme is ASCII digits, sign, dot, exponent");
         if integral {
             if let Some(stripped) = text.strip_prefix('-') {
                 if stripped != "0" {

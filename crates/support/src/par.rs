@@ -60,11 +60,16 @@ where
                     }
                     local.push((i, f(&items[i])));
                 }
-                collected.lock().unwrap().extend(local);
+                collected
+                    .lock()
+                    .expect("collector mutex not poisoned: workers do not panic while holding it")
+                    .extend(local);
             });
         }
     });
-    let mut pairs = collected.into_inner().unwrap();
+    let mut pairs = collected
+        .into_inner()
+        .expect("collector mutex not poisoned: all workers joined");
     pairs.sort_by_key(|(i, _)| *i);
     pairs.into_iter().map(|(_, v)| v).collect()
 }

@@ -209,6 +209,7 @@ impl ScenarioBuilder {
         threat_id: &str,
     ) -> HashSet<String> {
         let mut defunct = HashSet::new();
+        // lint:allow(hash-iter): `servers` here is the `&[String]` parameter, not the HashSet.
         for s in servers {
             let r: f64 = rng.gen();
             if r < coverage.ids2012 {
@@ -241,6 +242,7 @@ impl ScenarioBuilder {
 
     /// Marks servers defunct in the ground truth (call after labeling).
     pub fn mark_defunct(&mut self, servers: &HashSet<String>) {
+        // lint:allow(hash-iter): marking servers defunct is order-independent.
         for s in servers {
             self.truth.set_defunct(s, true);
         }

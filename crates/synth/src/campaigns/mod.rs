@@ -196,7 +196,10 @@ pub(crate) fn pick_campaign_bots<R: smash_support::rng::Rng + ?Sized>(
                 .into_iter()
                 .map(|name| {
                     // pick_clients sampled 0..span; shift into the block.
-                    let idx: usize = name.trim_start_matches("client-").parse().unwrap();
+                    let idx: usize = name
+                        .trim_start_matches("client-")
+                        .parse()
+                        .expect("pick_clients yields client-<index> names");
                     crate::builder::client_name(lo + idx)
                 })
                 .collect()

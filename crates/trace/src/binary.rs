@@ -62,15 +62,27 @@ impl<'a> Cursor<'a> {
     }
 
     fn get_u16_le(&mut self) -> io::Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(
+            self.take(2)?
+                .try_into()
+                .expect("take(n) returned exactly n bytes"),
+        ))
     }
 
     fn get_u32_le(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?
+                .try_into()
+                .expect("take(n) returned exactly n bytes"),
+        ))
     }
 
     fn get_u64_le(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?
+                .try_into()
+                .expect("take(n) returned exactly n bytes"),
+        ))
     }
 }
 

@@ -94,6 +94,7 @@ impl HttpRecord {
     ///
     /// Panics if `server_ip` is not a valid IPv4 literal.
     pub fn new(timestamp: u64, client: &str, host: &str, server_ip: &str, uri: &str) -> Self {
+        // lint:allow(panic): documented panicking convenience constructor; untrusted input uses try_new.
         Self::try_new(timestamp, client, host, server_ip, uri).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -65,6 +65,7 @@ impl WhoisRegistry {
 
     /// Iterates over `(domain, record)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &WhoisRecord)> {
+        // lint:allow(hash-iter): documented arbitrary-order iterator; callers must sort.
         self.records.iter().map(|(d, r)| (d.as_str(), r))
     }
 }

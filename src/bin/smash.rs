@@ -59,27 +59,37 @@ environment:
 benchmarking:
   cargo run --release -p smash-bench        # writes BENCH_pipeline.json
   cargo run --release -p smash-bench -- --quick   # CI smoke variant
+
+linting:
+  cargo run -p smash-lint -- --help         # in-tree invariant linter
+                                            # (panic-freedom, determinism,
+                                            # coverage; ratcheted in ci.sh)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty()
-        || args
-            .iter()
-            .any(|a| a == "--help" || a == "-h" || a == "help")
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
     {
         print!("{HELP}");
-        return if args.is_empty() {
-            ExitCode::from(2)
-        } else {
-            ExitCode::SUCCESS
-        };
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        // A missing subcommand is a usage error: help text belongs on
+        // stderr so stdout stays clean for scripted consumers.
+        eprint!("{HELP}");
+        return ExitCode::from(2);
     }
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
+        Some(first) if first.starts_with('-') => {
+            eprintln!("error: unknown flag `{first}` (see smash --help)");
+            return ExitCode::from(2);
+        }
         _ => {
             eprintln!("usage: smash <generate|stats|analyze|baseline> ... (see smash --help)");
             return ExitCode::from(2);
@@ -87,6 +97,10 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.downcast_ref::<UsageError>().is_some() => {
+            eprintln!("error: {e} (see smash --help)");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -95,6 +109,19 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// A command-line mistake (unknown flag, missing value) — exits with
+/// code 2 and points at `--help`, unlike runtime failures which exit 1.
+#[derive(Debug)]
+struct UsageError(String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
 
 /// A known flag: its name and whether it consumes a value argument.
 type FlagSpec = (&'static str, bool);
@@ -109,7 +136,7 @@ const LOAD_FLAGS: &[FlagSpec] = &[
 
 /// Rejects any `--flag` not in `allowed` — silently ignoring a typo like
 /// `--threshhold` would analyze with defaults and report wrong results.
-fn check_flags(args: &[String], allowed: &[&[FlagSpec]]) -> Result<(), String> {
+fn check_flags(args: &[String], allowed: &[&[FlagSpec]]) -> Result<(), UsageError> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -125,15 +152,15 @@ fn check_flags(args: &[String], allowed: &[&[FlagSpec]]) -> Result<(), String> {
                         .flat_map(|set| set.iter())
                         .map(|(name, _)| *name)
                         .collect();
-                    return Err(format!(
+                    return Err(UsageError(format!(
                         "unknown flag `{a}` (known flags: {})",
                         known.join(", ")
-                    ));
+                    )));
                 }
                 Some((_, takes_value)) => {
                     if *takes_value {
                         if i + 1 >= args.len() {
-                            return Err(format!("flag `{a}` needs a value"));
+                            return Err(UsageError(format!("flag `{a}` needs a value")));
                         }
                         i += 1; // skip the value
                     }

@@ -96,6 +96,52 @@ fn single_client_campaigns_are_flagged() {
 }
 
 #[test]
+fn cli_help_exits_zero_and_mentions_lint() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_smash"))
+        .arg("--help")
+        .output()
+        .expect("smash binary runs");
+    assert!(out.status.success(), "--help must exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("smash-lint"),
+        "--help must point at the lint subcommand"
+    );
+    assert!(out.stderr.is_empty(), "--help writes to stdout only");
+}
+
+#[test]
+fn cli_unknown_flag_exits_two_on_stderr() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_smash"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("smash binary runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag"),
+        "usage error goes to stderr, got: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "usage errors must not pollute stdout"
+    );
+}
+
+#[test]
+fn cli_no_args_prints_usage_to_stderr() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_smash"))
+        .output()
+        .expect("smash binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bare invocation is a usage error"
+    );
+    assert!(!out.stderr.is_empty(), "usage text goes to stderr");
+}
+
+#[test]
 fn facade_reexports_compose() {
     // The facade's modules interoperate without importing sub-crates.
     let records = vec![
