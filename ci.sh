@@ -18,6 +18,11 @@
 #   6. smash-bench --quick                    the benchmark harness runs end to
 #                                             end (writes no file; the committed
 #                                             BENCH_pipeline.json stays clean)
+#   6b. smash-bench --chaos --quick           crash/restart + corruption smoke:
+#                                             kill a dimension, abort after a
+#                                             checkpoint boundary and resume,
+#                                             corrupt a snapshot — resumed
+#                                             reports must match cold ones
 #   7. examples                               all four examples/ run to completion
 #   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
@@ -48,6 +53,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps
 
 echo "==> smash-bench --quick (benchmark harness smoke)"
 cargo run -q --release --offline -p smash-bench -- --quick >/dev/null
+
+echo "==> smash-bench --chaos --quick (crash/restart + corruption smoke)"
+cargo run -q --release --offline -p smash-bench -- --chaos --quick
 
 echo "==> examples build and run"
 for ex in quickstart campaign_discovery weekly_monitoring custom_trace; do

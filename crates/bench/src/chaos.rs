@@ -1,0 +1,611 @@
+//! The deterministic chaos sweep behind `smash-bench --chaos`.
+//!
+//! Enumerates every interesting failure mode from a seeded plan and
+//! asserts the two invariants that make degradation safe (DESIGN.md §9):
+//!
+//! * **the planted flux campaign is always recovered** — no single
+//!   secondary-dimension fault, nor any *pair* of simultaneous faults,
+//!   loses it; and
+//! * **resumed runs are byte-identical to cold runs** — a process
+//!   killed (`SIGABRT`, not a catchable panic) right after any
+//!   checkpoint boundary resumes to the same canonical report, and a
+//!   corrupted snapshot degrades to recompute-and-warn, never to a
+//!   wrong report.
+//!
+//! The crash/restart cases re-exec the real `smash` binary as a
+//! subprocess with `SMASH_FAILPOINTS=ckpt/after/<stage>=abort`: an
+//! in-process harness cannot survive `std::process::abort`, so the kill
+//! has to happen on the far side of a process boundary. The sweep plan
+//! itself is a pure function of the seed — same seed, same cases, same
+//! corrupted bytes — so a failing case reproduces exactly.
+
+use smash_core::checkpoint::default_stages;
+use smash_core::report::canonical_report_json;
+use smash_core::{DimensionKind, DimensionStatus, Smash, SmashConfig, SmashReport};
+use smash_support::failpoint;
+use smash_support::rng::SplitMix64;
+use smash_trace::{io as trace_io, HttpRecord, TraceDataset};
+use smash_whois::{WhoisRecord, WhoisRegistry};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// How to run the sweep.
+pub struct ChaosOptions {
+    /// CI-smoke subset: one crash/restart cycle, two fault combos, one
+    /// corruption case, and the resume-determinism check.
+    pub quick: bool,
+    /// Seeds the corruption plan (which snapshot, which byte).
+    pub seed: u64,
+    /// Explicit path to the `smash` binary; falls back to `SMASH_BIN`
+    /// and then to a sibling of the running executable.
+    pub smash_bin: Option<PathBuf>,
+    /// Keep the scratch directory instead of removing it on success.
+    pub keep: bool,
+}
+
+/// What a completed sweep covered.
+pub struct ChaosSummary {
+    /// Total cases executed (all passed — failures abort the sweep).
+    pub cases: usize,
+}
+
+/// The three secondaries enabled by the default config, as
+/// (failpoint site, kind) pairs.
+const SECONDARY_SITES: [(&str, DimensionKind); 3] = [
+    ("dimension/uri-file", DimensionKind::UriFile),
+    ("dimension/ip-set", DimensionKind::IpSet),
+    ("dimension/whois", DimensionKind::Whois),
+];
+
+/// Runs the sweep; `Err` carries the first failing case's diagnosis.
+pub fn run(opts: &ChaosOptions) -> Result<ChaosSummary, String> {
+    let mut cases = 0usize;
+
+    // --- In-process fault combos -----------------------------------
+    let singles = SECONDARY_SITES.iter().take(if opts.quick { 1 } else { 3 });
+    for &(site, kind) in singles {
+        single_fault_case(site, kind)?;
+        cases += 1;
+        eprintln!("chaos: single fault {site}=panic ... ok");
+    }
+    let mut pairs = Vec::new();
+    for (i, a) in SECONDARY_SITES.iter().enumerate() {
+        for b in SECONDARY_SITES.iter().skip(i + 1) {
+            pairs.push((a, b));
+        }
+    }
+    if opts.quick {
+        pairs.truncate(1);
+    }
+    for &(&a, &b) in &pairs {
+        pair_fault_case(a, b)?;
+        cases += 1;
+        eprintln!("chaos: pair fault {} + {} ... ok", a.0, b.0);
+    }
+
+    // --- Subprocess crash/restart and corruption -------------------
+    let smash = smash_binary(opts)?;
+    let scratch = scratch_dir()?;
+    let trace = scratch.join("trace.jsonl");
+    write_flux_trace(&trace)?;
+
+    // Cold reference report: no checkpointing involved at all.
+    let cold_json = scratch.join("cold.json");
+    let out = run_smash(&smash, &trace, &cold_json, &[], None)?;
+    if !out.status.success() {
+        return Err(failed("cold reference run", &out));
+    }
+    let cold = canonical_of(&cold_json)?;
+    if !cold.contains("cc0.evil") {
+        return Err("cold reference run did not recover the flux campaign".to_owned());
+    }
+
+    let stages = default_stages();
+    let kill_after: Vec<&String> = if opts.quick {
+        stages.iter().take(1).collect()
+    } else {
+        stages.iter().collect()
+    };
+    for stage in kill_after {
+        crash_restart_case(&smash, &trace, &scratch, stage, &cold)?;
+        cases += 1;
+        eprintln!("chaos: kill after `{stage}`, resume ... ok");
+    }
+
+    // Pristine full checkpoint set for the corruption cases, which is
+    // also the resume-determinism check: a clean warm resume must
+    // reproduce the cold report with zero warnings.
+    let pristine = scratch.join("ck-pristine");
+    let out = run_smash(
+        &smash,
+        &trace,
+        &scratch.join("warm.json"),
+        &["--checkpoint-dir", path_str(&pristine)?],
+        None,
+    )?;
+    if !out.status.success() {
+        return Err(failed("checkpointed warm run", &out));
+    }
+    resume_determinism_case(&smash, &trace, &scratch, &pristine, &cold)?;
+    cases += 1;
+    eprintln!("chaos: clean resume is byte-identical ... ok");
+
+    let mut rng = SplitMix64::new(opts.seed);
+    let corruptions = if opts.quick { 1 } else { 6 };
+    for case in 0..corruptions {
+        let what = corruption_case(&smash, &trace, &scratch, &pristine, &cold, case, &mut rng)?;
+        cases += 1;
+        eprintln!("chaos: corruption #{case} ({what}) ... ok");
+    }
+
+    if opts.keep {
+        eprintln!("chaos: scratch kept at {}", scratch.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    Ok(ChaosSummary { cases })
+}
+
+/// The planted C&C flux herd over benign background traffic — the same
+/// shape `tests/fault_injection.rs` plants: strong in every secondary
+/// dimension, so it survives the loss of any one (or two) of them.
+fn flux_records() -> Vec<HttpRecord> {
+    let mut records = Vec::new();
+    let bots = ["bot1", "bot2", "bot3"];
+    for bot in bots {
+        for d in 0..8 {
+            records.push(
+                HttpRecord::new(
+                    0,
+                    bot,
+                    &format!("cc{d}.evil"),
+                    "66.6.6.6",
+                    "/gate/login.php?p=1",
+                )
+                .with_user_agent("BotAgent"),
+            );
+        }
+    }
+    for s in 0..30 {
+        for c in 0..6 {
+            records.push(HttpRecord::new(
+                0,
+                &format!("user{}", (s * 3 + c) % 40),
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                &format!("/page{c}.html"),
+            ));
+        }
+    }
+    for bot in bots {
+        for s in 0..5 {
+            records.push(HttpRecord::new(
+                0,
+                bot,
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                "/index.html",
+            ));
+        }
+    }
+    records
+}
+
+/// Whois records for the flux trace: the 8 C&C domains share one
+/// registrant identity (one nameserver, one email), each benign site
+/// has its own. Without this the whois dimension carries no signal and
+/// a *pair* kill of the other two secondaries would lose the campaign.
+fn flux_whois() -> WhoisRegistry {
+    let mut reg = WhoisRegistry::new();
+    for d in 0..8 {
+        reg.insert(
+            &format!("cc{d}.evil"),
+            WhoisRecord::new()
+                .with_registrant("Evil Holdings")
+                .with_email("ops@evil.example")
+                .with_phone("666")
+                .with_name_server("ns1.evil.example"),
+        );
+    }
+    for s in 0..30 {
+        reg.insert(
+            &format!("site{s}.com"),
+            WhoisRecord::new()
+                .with_registrant(&format!("Site {s} LLC"))
+                .with_email(&format!("admin@site{s}.com"))
+                .with_name_server(&format!("ns{s}.hosting.example")),
+        );
+    }
+    reg
+}
+
+/// `true` when the 8-server `.evil` flux campaign was recovered intact.
+fn flux_recovered(report: &SmashReport) -> bool {
+    report.campaigns.iter().any(|c| {
+        c.contains_server("cc0.evil")
+            && c.server_count() == 8
+            && c.servers.iter().all(|s| s.ends_with(".evil"))
+    })
+}
+
+/// `true` when some campaign contains all 8 C&C servers. The pair-kill
+/// cases use this weaker containment check: with two of three
+/// secondaries dead, eq. 9's renormalization (×3) amplifies residual
+/// noise enough that a few benign servers may tag along — degraded
+/// precision is acceptable, losing the C&C herd is not.
+fn flux_contained(report: &SmashReport) -> bool {
+    report
+        .campaigns
+        .iter()
+        .any(|c| (0..8).all(|d| c.contains_server(&format!("cc{d}.evil"))))
+}
+
+fn single_fault_case(site: &str, kind: DimensionKind) -> Result<(), String> {
+    failpoint::disarm_all();
+    let cfg = SmashConfig::default().with_failpoints(&format!("{site}=panic"));
+    let report = Smash::new(cfg).run(&TraceDataset::from_records(flux_records()), &flux_whois());
+    failpoint::disarm_all();
+    if !flux_recovered(&report) {
+        return Err(format!("flux campaign lost after killing {site}"));
+    }
+    expect_failed(&report, kind, site)?;
+    expect_renorm(&report, 1.5)
+}
+
+fn pair_fault_case(a: (&str, DimensionKind), b: (&str, DimensionKind)) -> Result<(), String> {
+    failpoint::disarm_all();
+    let cfg = SmashConfig::default().with_failpoints(&format!("{}=panic,{}=panic", a.0, b.0));
+    let report = Smash::new(cfg).run(&TraceDataset::from_records(flux_records()), &flux_whois());
+    failpoint::disarm_all();
+    if !flux_contained(&report) {
+        return Err(format!(
+            "flux campaign lost after killing {} and {}",
+            a.0, b.0
+        ));
+    }
+    expect_failed(&report, a.1, a.0)?;
+    expect_failed(&report, b.1, b.0)?;
+    // Three secondaries enabled, one survivor: eq. 9 renormalizes by 3.
+    expect_renorm(&report, 3.0)
+}
+
+fn expect_failed(report: &SmashReport, kind: DimensionKind, site: &str) -> Result<(), String> {
+    match report.health.status_of(kind) {
+        Some(DimensionStatus::Failed { reason }) if reason.contains(site) => Ok(()),
+        other => Err(format!("expected {kind} Failed via {site}, got {other:?}")),
+    }
+}
+
+fn expect_renorm(report: &SmashReport, want: f64) -> Result<(), String> {
+    let got = report.health.score_renormalization;
+    if (got - want).abs() < 1e-9 {
+        Ok(())
+    } else {
+        Err(format!("score renormalization {got} != {want}"))
+    }
+}
+
+/// Kill the subprocess right after `stage`'s snapshot lands, then
+/// resume and demand the canonical report match the cold reference.
+fn crash_restart_case(
+    smash: &Path,
+    trace: &Path,
+    scratch: &Path,
+    stage: &str,
+    cold: &str,
+) -> Result<(), String> {
+    let dir = scratch.join(format!("ck-{}", stage.replace('/', "_")));
+    let out_json = scratch.join("crashed.json");
+    let spec = format!("ckpt/after/{stage}=abort");
+    let out = run_smash(
+        smash,
+        trace,
+        &out_json,
+        &["--checkpoint-dir", path_str(&dir)?],
+        Some(&spec),
+    )?;
+    if out.status.success() {
+        return Err(format!(
+            "armed `{spec}` but the subprocess exited cleanly — failpoint never fired"
+        ));
+    }
+    if out_json.exists() {
+        return Err(format!("killed run left a report file behind ({spec})"));
+    }
+    let resumed_json = scratch.join("resumed.json");
+    let out = run_smash(
+        smash,
+        trace,
+        &resumed_json,
+        &["--checkpoint-dir", path_str(&dir)?, "--resume"],
+        None,
+    )?;
+    if !out.status.success() {
+        return Err(failed(&format!("resume after `{spec}`"), &out));
+    }
+    expect_canonical_match(&resumed_json, cold, &format!("resume after `{spec}`"))?;
+    expect_warnings(&resumed_json, false)
+}
+
+/// A clean resume from a complete snapshot set: byte-identical report,
+/// zero checkpoint warnings.
+fn resume_determinism_case(
+    smash: &Path,
+    trace: &Path,
+    scratch: &Path,
+    pristine: &Path,
+    cold: &str,
+) -> Result<(), String> {
+    let resumed_json = scratch.join("warm-resumed.json");
+    let out = run_smash(
+        smash,
+        trace,
+        &resumed_json,
+        &[
+            "--checkpoint-dir",
+            path_str(pristine)?,
+            "--resume",
+            "--no-checkpoint",
+        ],
+        None,
+    )?;
+    if !out.status.success() {
+        return Err(failed("clean resume", &out));
+    }
+    expect_canonical_match(&resumed_json, cold, "clean resume")?;
+    expect_warnings(&resumed_json, false)
+}
+
+/// Corrupt one seeded byte of one seeded snapshot (flip or truncate),
+/// resume, and demand recompute-and-warn with an unchanged report.
+fn corruption_case(
+    smash: &Path,
+    trace: &Path,
+    scratch: &Path,
+    pristine: &Path,
+    cold: &str,
+    case: usize,
+    rng: &mut SplitMix64,
+) -> Result<String, String> {
+    let dir = scratch.join(format!("ck-corrupt-{case}"));
+    copy_flat_dir(pristine, &dir)?;
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("list {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    snapshots.sort();
+    if snapshots.is_empty() {
+        return Err("pristine checkpoint dir holds no snapshots".to_owned());
+    }
+    let pick = (rng.next_u64() % snapshots.len() as u64) as usize;
+    let Some(victim) = snapshots.get(pick) else {
+        return Err("snapshot pick out of range".to_owned());
+    };
+    let mut bytes = std::fs::read(victim).map_err(|e| format!("read {}: {e}", victim.display()))?;
+    let offset = (rng.next_u64() % bytes.len() as u64) as usize;
+    let flip = rng.next_u64().is_multiple_of(2);
+    let what = if flip {
+        // XOR with a nonzero mask always changes the byte, and the
+        // envelope checksum covers every region of the file.
+        let mask = (1u8) << (rng.next_u64() % 8);
+        if let Some(b) = bytes.get_mut(offset) {
+            *b ^= mask;
+        }
+        format!("flip byte {offset} of {}", file_name(victim))
+    } else {
+        bytes.truncate(offset);
+        format!("truncate {} at {offset}", file_name(victim))
+    };
+    std::fs::write(victim, &bytes).map_err(|e| format!("write {}: {e}", victim.display()))?;
+
+    let resumed_json = scratch.join(format!("corrupt-{case}.json"));
+    let out = run_smash(
+        smash,
+        trace,
+        &resumed_json,
+        &["--checkpoint-dir", path_str(&dir)?, "--resume"],
+        None,
+    )?;
+    if !out.status.success() {
+        return Err(failed(&format!("resume past corruption ({what})"), &out));
+    }
+    // The warning itself is the one sanctioned difference from the cold
+    // report: compare everything else, then demand the warning exists.
+    let got = sans_warnings(&canonical_of(&resumed_json)?)?;
+    if got != sans_warnings(cold)? {
+        return Err(format!(
+            "corruption ({what}): campaigns/health diverged from the cold run"
+        ));
+    }
+    expect_warnings(&resumed_json, true).map_err(|e| format!("{what}: {e}"))?;
+    Ok(what)
+}
+
+// --- Subprocess plumbing -------------------------------------------
+
+fn run_smash(
+    smash: &Path,
+    trace: &Path,
+    out_json: &Path,
+    extra: &[&str],
+    failpoints: Option<&str>,
+) -> Result<std::process::Output, String> {
+    let whois = trace.with_extension("whois.json");
+    let mut cmd = Command::new(smash);
+    cmd.arg("analyze")
+        .arg(trace)
+        .arg("--whois")
+        .arg(&whois)
+        .arg("--json")
+        .arg(out_json)
+        .args(extra)
+        // Never inherit an env-armed fault into a run that must be clean.
+        .env_remove("SMASH_FAILPOINTS");
+    if let Some(spec) = failpoints {
+        cmd.env("SMASH_FAILPOINTS", spec);
+    }
+    cmd.output()
+        .map_err(|e| format!("spawn {}: {e}", smash.display()))
+}
+
+fn failed(what: &str, out: &std::process::Output) -> String {
+    format!(
+        "{what} failed (status {}): {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    )
+}
+
+fn canonical_of(json_path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(json_path)
+        .map_err(|e| format!("read {}: {e}", json_path.display()))?;
+    canonical_report_json(&text).map_err(|e| format!("parse {}: {e}", json_path.display()))
+}
+
+/// Removes `health.checkpoint_warnings` from a canonical report, for
+/// the corruption cases where a warning is the *expected* difference.
+fn sans_warnings(canonical: &str) -> Result<String, String> {
+    let mut doc =
+        smash_support::json::parse(canonical).map_err(|e| format!("parse canonical: {e}"))?;
+    if let smash_support::json::Json::Obj(fields) = &mut doc {
+        if let Some((_, smash_support::json::Json::Obj(hf))) =
+            fields.iter_mut().find(|(k, _)| k == "health")
+        {
+            hf.retain(|(k, _)| k != "checkpoint_warnings");
+        }
+    }
+    Ok(smash_support::json::to_string(&doc))
+}
+
+fn expect_canonical_match(json_path: &Path, cold: &str, what: &str) -> Result<(), String> {
+    let got = canonical_of(json_path)?;
+    if got == cold {
+        Ok(())
+    } else {
+        Err(format!(
+            "{what}: canonical report diverged from the cold run ({} vs {} bytes)",
+            got.len(),
+            cold.len()
+        ))
+    }
+}
+
+/// Asserts the presence (or absence) of `health.checkpoint_warnings`
+/// entries in a written report.
+fn expect_warnings(json_path: &Path, expected: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(json_path)
+        .map_err(|e| format!("read {}: {e}", json_path.display()))?;
+    let doc = smash_support::json::parse(&text)
+        .map_err(|e| format!("parse {}: {e}", json_path.display()))?;
+    let count = doc
+        .get("health")
+        .and_then(|h| h.get("checkpoint_warnings"))
+        .and_then(|w| w.as_arr())
+        .map_or(0, |w| w.len());
+    match (expected, count) {
+        (true, 0) => Err("expected a checkpoint warning, report has none".to_owned()),
+        (false, n) if n > 0 => Err(format!(
+            "expected a warning-free resume, got {n} warning(s)"
+        )),
+        _ => Ok(()),
+    }
+}
+
+fn write_flux_trace(path: &Path) -> Result<(), String> {
+    let mut buf = Vec::new();
+    trace_io::write_jsonl(&mut buf, &flux_records())
+        .map_err(|e| format!("serialize flux trace: {e}"))?;
+    std::fs::write(path, &buf).map_err(|e| format!("write {}: {e}", path.display()))?;
+    let whois = path.with_extension("whois.json");
+    std::fs::write(&whois, smash_support::json::to_string_pretty(&flux_whois()))
+        .map_err(|e| format!("write {}: {e}", whois.display()))
+}
+
+fn smash_binary(opts: &ChaosOptions) -> Result<PathBuf, String> {
+    if let Some(p) = &opts.smash_bin {
+        return if p.exists() {
+            Ok(p.clone())
+        } else {
+            Err(format!("--smash-bin {}: no such file", p.display()))
+        };
+    }
+    if let Ok(p) = std::env::var("SMASH_BIN") {
+        let p = PathBuf::from(p);
+        return if p.exists() {
+            Ok(p)
+        } else {
+            Err(format!("SMASH_BIN={}: no such file", p.display()))
+        };
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = exe
+        .parent()
+        .map(|d| d.join(format!("smash{}", std::env::consts::EXE_SUFFIX)))
+        .filter(|p| p.exists());
+    sibling.ok_or_else(|| {
+        "cannot find the `smash` binary next to smash-bench; build it first \
+         (`cargo build`) or point at it with --smash-bin / SMASH_BIN"
+            .to_owned()
+    })
+}
+
+fn scratch_dir() -> Result<PathBuf, String> {
+    let dir = std::env::temp_dir().join(format!("smash-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    Ok(dir)
+}
+
+fn copy_flat_dir(from: &Path, to: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(to).map_err(|e| format!("create {}: {e}", to.display()))?;
+    for entry in std::fs::read_dir(from).map_err(|e| format!("list {}: {e}", from.display()))? {
+        let entry = entry.map_err(|e| format!("list {}: {e}", from.display()))?;
+        if entry.path().is_file() {
+            std::fs::copy(entry.path(), to.join(entry.file_name()))
+                .map_err(|e| format!("copy {}: {e}", entry.path().display()))?;
+        }
+    }
+    Ok(())
+}
+
+fn path_str(p: &Path) -> Result<&str, String> {
+    p.to_str()
+        .ok_or_else(|| format!("non-UTF-8 path {}", p.display()))
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| p.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test, three phases: the failpoint registry is process-global,
+    /// so the clean run and the fault cases must not interleave.
+    #[test]
+    fn in_process_cases_pass() {
+        failpoint::disarm_all();
+        let report = Smash::new(SmashConfig::default())
+            .run(&TraceDataset::from_records(flux_records()), &flux_whois());
+        assert!(flux_recovered(&report));
+        single_fault_case("dimension/whois", DimensionKind::Whois).unwrap();
+        pair_fault_case(
+            ("dimension/uri-file", DimensionKind::UriFile),
+            ("dimension/ip-set", DimensionKind::IpSet),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use smash_graph::{Graph, GraphBuilder};
 use smash_synth::{Scenario, ScenarioData};
 

@@ -11,19 +11,26 @@
 //! cargo run --release -p smash-bench                 # full run, writes BENCH_pipeline.json
 //! cargo run --release -p smash-bench -- --quick      # small scenario, 2 iters, no file
 //! cargo run --release -p smash-bench -- --iterations 9 --out /tmp/bench.json
+//! cargo run --release -p smash-bench -- --chaos      # deterministic fault/crash sweep
 //! ```
 //!
-//! The format is documented in DESIGN.md §7.
+//! `--chaos` switches the binary into the chaos sweep (DESIGN.md §9):
+//! in-process fault combos plus subprocess crash/restart and snapshot
+//! corruption cases, exiting nonzero on the first violated invariant.
+//!
+//! The benchmark format is documented in DESIGN.md §7.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use smash_bench::chaos::{self, ChaosOptions};
 use smash_bench::{medium_scenario, small_scenario};
-use smash_core::{Smash, SmashConfig};
-use smash_support::json::{to_string, to_string_pretty, Json, ToJson};
+use smash_core::{CheckpointOptions, Smash, SmashConfig, SmashReport};
+use smash_support::json::{to_string_pretty, Json, ToJson};
 use smash_support::metrics::Registry;
 use smash_synth::ScenarioData;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// Schema tag written into the output so future format changes are
 /// detectable by consumers.
@@ -34,15 +41,27 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: smash-bench [--iterations N] [--quick] [--out <path>]\n\
+             \x20      smash-bench --chaos [--quick] [--seed N] [--smash-bin <path>] [--keep]\n\
              \n\
              Runs the SMASH pipeline over the small/medium synthetic scenarios\n\
              and writes per-stage median wall times to BENCH_pipeline.json at\n\
              the repo root. --quick runs only the small scenario for 2\n\
-             iterations and writes no file unless --out is given."
+             iterations and writes no file unless --out is given.\n\
+             \n\
+             --chaos runs the deterministic fault/crash sweep instead: every\n\
+             single and paired secondary-dimension kill, a crash/restart cycle\n\
+             after every checkpoint boundary (via subprocess re-exec of the\n\
+             `smash` binary), seeded snapshot corruption, and the\n\
+             resume-determinism check. With --quick it runs the CI smoke\n\
+             subset. Exits nonzero on the first violated invariant."
         );
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--chaos") {
+        run_chaos(&args, quick);
+        return;
+    }
     let iterations: usize = flag_value(&args, "--iterations")
         .map(|v| v.parse().expect("--iterations takes a number"))
         .unwrap_or(if quick { 2 } else { 5 });
@@ -64,15 +83,29 @@ fn main() {
             data.dataset.record_count(),
             summary.total_median_ms
         );
-        scenario_objs.push((name.to_string(), summary.to_json(data)));
+        let overhead = bench_checkpoint_overhead(&config, data, iterations);
+        eprintln!(
+            "{name}: checkpoint overhead {:.1}% of checkpointed wall time (budget {:.0}%)",
+            overhead.fraction_of_total * 100.0,
+            CKPT_BUDGET_FRACTION * 100.0
+        );
+        if *name == "medium" && overhead.fraction_of_total > CKPT_BUDGET_FRACTION {
+            eprintln!(
+                "warning: checkpoint overhead {:.2}% exceeds the {:.0}% budget (DESIGN.md \u{a7}9)",
+                overhead.fraction_of_total * 100.0,
+                CKPT_BUDGET_FRACTION * 100.0
+            );
+        }
+        let mut obj = summary.to_json(data);
+        if let Json::Obj(fields) = &mut obj {
+            fields.push(("checkpoint_overhead".into(), overhead.to_json()));
+        }
+        scenario_objs.push((name.to_string(), obj));
     }
 
     let doc = Json::Obj(vec![
         ("schema".into(), Json::Str(SCHEMA.into())),
-        (
-            "config_fingerprint".into(),
-            Json::Str(config_fingerprint(&config)),
-        ),
+        ("config_fingerprint".into(), Json::Str(config.fingerprint())),
         ("iterations".into(), iterations.to_json()),
         ("scenarios".into(), Json::Obj(scenario_objs)),
     ]);
@@ -85,11 +118,39 @@ fn main() {
     }
 }
 
+// lint:allow(index): lifetime-annotated slice parameter, not an indexing site
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Parses the chaos flags and runs the sweep; exits the process.
+fn run_chaos(args: &[String], quick: bool) {
+    let seed = match flag_value(args, "--seed") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--seed takes an unsigned integer, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+        None => 0x5EED,
+    };
+    let opts = ChaosOptions {
+        quick,
+        seed,
+        smash_bin: flag_value(args, "--smash-bin").map(PathBuf::from),
+        keep: args.iter().any(|a| a == "--keep"),
+    };
+    match chaos::run(&opts) {
+        Ok(summary) => eprintln!("chaos: {} case(s), all invariants held", summary.cases),
+        Err(e) => {
+            eprintln!("chaos: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Median wall times of one scenario across iterations.
@@ -157,10 +218,11 @@ fn median(v: &mut [f64]) -> f64 {
     }
     v.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
     let mid = v.len() / 2;
+    let at = |i: usize| v.get(i).copied().unwrap_or(0.0);
     if v.len() % 2 == 1 {
-        v[mid]
+        at(mid)
     } else {
-        (v[mid - 1] + v[mid]) / 2.0
+        (at(mid - 1) + at(mid)) / 2.0
     }
 }
 
@@ -168,16 +230,90 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
-/// FNV-1a over the config's canonical JSON: two runs are comparable only
-/// when their fingerprints match.
-fn config_fingerprint(config: &SmashConfig) -> String {
-    let canonical = to_string(config);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in canonical.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Durability must stay cheap: checkpointing may cost at most this
+/// fraction of the medium scenario's wall time (DESIGN.md §9).
+const CKPT_BUDGET_FRACTION: f64 = 0.02;
+
+/// Median checkpoint costs of one scenario, measured over a
+/// write-enabled cold run and a read-only resume per iteration.
+struct CkptOverhead {
+    write_ms: f64,
+    read_ms: f64,
+    validate_ms: f64,
+    /// Checkpoint time of the cold run over its total wall time.
+    fraction_of_total: f64,
+}
+
+impl CkptOverhead {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("write_ms".into(), round3(self.write_ms).to_json()),
+            ("resume_read_ms".into(), round3(self.read_ms).to_json()),
+            (
+                "resume_validate_ms".into(),
+                round3(self.validate_ms).to_json(),
+            ),
+            (
+                "fraction_of_total".into(),
+                round3(self.fraction_of_total).to_json(),
+            ),
+            ("budget_fraction".into(), CKPT_BUDGET_FRACTION.to_json()),
+        ])
     }
-    format!("fnv1a:{h:016x}")
+}
+
+/// Total wall milliseconds of one `ckpt/*` stage in a report (0 when the
+/// stage never ran).
+fn stage_ms(report: &SmashReport, stage: &str) -> f64 {
+    report
+        .perf
+        .stages
+        .iter()
+        .filter(|s| s.stage == stage)
+        .map(|s| s.wall_ms)
+        .sum()
+}
+
+/// Measures checkpoint write overhead (cold run, write enabled) and
+/// resume read/validate overhead (read-only resume from those
+/// snapshots), reduced to medians across iterations.
+fn bench_checkpoint_overhead(
+    config: &SmashConfig,
+    data: &ScenarioData,
+    iterations: usize,
+) -> CkptOverhead {
+    let smash = Smash::new(config.clone());
+    let dir = std::env::temp_dir().join(format!("smash-bench-ckpt-{}", std::process::id()));
+    let mut write_ms = Vec::new();
+    let mut read_ms = Vec::new();
+    let mut validate_ms = Vec::new();
+    let mut fractions = Vec::new();
+    for _ in 0..iterations.max(1) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics = Registry::new();
+        let opts = CheckpointOptions::new(&dir);
+        let report = smash.run_resumable(&data.dataset, &data.whois, &metrics, Some(&opts));
+        let w = stage_ms(&report, "ckpt/write");
+        write_ms.push(w);
+        if report.perf.total_wall_ms > 0.0 {
+            fractions.push(w / report.perf.total_wall_ms);
+        }
+
+        let metrics = Registry::new();
+        let opts = CheckpointOptions::new(&dir)
+            .with_resume(true)
+            .with_write(false);
+        let report = smash.run_resumable(&data.dataset, &data.whois, &metrics, Some(&opts));
+        read_ms.push(stage_ms(&report, "ckpt/read"));
+        validate_ms.push(stage_ms(&report, "ckpt/validate"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    CkptOverhead {
+        write_ms: median(&mut write_ms),
+        read_ms: median(&mut read_ms),
+        validate_ms: median(&mut validate_ms),
+        fraction_of_total: median(&mut fractions),
+    }
 }
 
 #[cfg(test)]
@@ -193,12 +329,22 @@ mod tests {
 
     #[test]
     fn fingerprint_is_stable_and_config_sensitive() {
-        let a = config_fingerprint(&SmashConfig::default());
-        let b = config_fingerprint(&SmashConfig::default());
-        let c = config_fingerprint(&SmashConfig::default().with_threshold(1.5));
+        let a = SmashConfig::default().fingerprint();
+        let b = SmashConfig::default().fingerprint();
+        let c = SmashConfig::default().with_threshold(1.5).fingerprint();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn checkpoint_overhead_measures_all_three_phases() {
+        let data = small_scenario();
+        let o = bench_checkpoint_overhead(&SmashConfig::default(), &data, 1);
+        assert!(o.write_ms > 0.0, "cold run wrote no snapshots");
+        assert!(o.read_ms > 0.0, "resume read no snapshots");
+        assert!(o.validate_ms >= 0.0);
+        assert!(o.fraction_of_total > 0.0 && o.fraction_of_total < 1.0);
     }
 
     #[test]

@@ -252,6 +252,18 @@ impl SmashConfig {
         self
     }
 
+    /// FNV-1a fingerprint of the canonical JSON of this configuration
+    /// (`fnv1a:<16 hex digits>`).
+    ///
+    /// Two runs are comparable — and a checkpoint directory reusable —
+    /// only when their config fingerprints match; this is the same value
+    /// `smash-bench` records in `BENCH_pipeline.json` and the checkpoint
+    /// manifest stores to reject snapshots from a different sweep point.
+    pub fn fingerprint(&self) -> String {
+        use smash_support::ckpt;
+        ckpt::fingerprint_string(ckpt::fnv1a(smash_support::json::to_string(self).as_bytes()))
+    }
+
     /// Validates field ranges and cross-field constraints.
     ///
     /// # Errors
@@ -304,6 +316,16 @@ impl SmashConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let a = SmashConfig::default().fingerprint();
+        let b = SmashConfig::default().fingerprint();
+        let c = SmashConfig::default().with_threshold(1.5).fingerprint();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("fnv1a:"));
+    }
 
     #[test]
     fn defaults_match_paper() {

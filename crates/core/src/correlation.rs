@@ -11,8 +11,8 @@ use crate::ash::MinedDimension;
 use crate::config::SmashConfig;
 use crate::dimensions::DimensionKind;
 use crate::math::phi;
-use smash_support::impl_json_struct;
 use smash_support::metrics::Registry;
+use smash_support::{impl_json_struct, impl_wire_struct};
 use smash_trace::{ServerId, TraceDataset};
 use std::collections::BTreeSet;
 
@@ -36,6 +36,14 @@ pub struct CorrelatedAsh {
 }
 
 impl_json_struct!(CorrelatedAsh {
+    servers,
+    scores,
+    dimensions,
+    main_ash,
+    client_count,
+    single_client,
+});
+impl_wire_struct!(CorrelatedAsh {
     servers,
     scores,
     dimensions,

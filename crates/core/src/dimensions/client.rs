@@ -46,8 +46,11 @@ impl Dimension for ClientDimension {
             }
             for ((u, v), shared) in counter.counts_parallel() {
                 funnel.pairs_scored += 1;
-                let cu = ctx.dataset.clients_of(ctx.nodes[u as usize]).len();
-                let cv = ctx.dataset.clients_of(ctx.nodes[v as usize]).len();
+                let (Some(su), Some(sv)) = (ctx.server_at(u), ctx.server_at(v)) else {
+                    continue;
+                };
+                let cu = ctx.dataset.clients_of(su).len();
+                let cv = ctx.dataset.clients_of(sv).len();
                 let sim = overlap_product(shared as usize, cu, cv);
                 if sim >= ctx.config.client_edge_min {
                     builder.add_edge(u, v, sim);

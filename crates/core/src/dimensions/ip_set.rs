@@ -34,8 +34,11 @@ impl Dimension for IpSetDimension {
             }
             for ((u, v), shared) in counter.counts_parallel() {
                 funnel.pairs_scored += 1;
-                let iu = ctx.dataset.ips_of(ctx.nodes[u as usize]).len();
-                let iv = ctx.dataset.ips_of(ctx.nodes[v as usize]).len();
+                let (Some(su), Some(sv)) = (ctx.server_at(u), ctx.server_at(v)) else {
+                    continue;
+                };
+                let iu = ctx.dataset.ips_of(su).len();
+                let iv = ctx.dataset.ips_of(sv).len();
                 let sim = overlap_product(shared as usize, iu, iv);
                 if sim >= ctx.config.ip_edge_min {
                     builder.add_edge(u, v, sim);

@@ -20,6 +20,7 @@ use crate::config::SmashConfig;
 use smash_graph::{Graph, GraphBuilder};
 use smash_support::impl_json_enum;
 use smash_support::metrics::Registry;
+use smash_support::wire::{FromWire, Reader, ToWire, WireError};
 use smash_trace::{ServerId, TraceDataset};
 use smash_whois::WhoisRegistry;
 use std::collections::HashMap;
@@ -63,6 +64,39 @@ impl_json_enum!(DimensionKind {
     Payload,
 });
 
+// Checkpoint wire form: a one-byte tag. Tags are append-only — never
+// renumber; stale snapshots are caught by the envelope format version,
+// not by tag reshuffling.
+impl ToWire for DimensionKind {
+    fn wire(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            DimensionKind::Client => 0,
+            DimensionKind::UriFile => 1,
+            DimensionKind::IpSet => 2,
+            DimensionKind::Whois => 3,
+            DimensionKind::ParamPattern => 4,
+            DimensionKind::Timing => 5,
+            DimensionKind::Payload => 6,
+        };
+        out.push(tag);
+    }
+}
+
+impl FromWire for DimensionKind {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.array::<1>()? {
+            [0] => Ok(DimensionKind::Client),
+            [1] => Ok(DimensionKind::UriFile),
+            [2] => Ok(DimensionKind::IpSet),
+            [3] => Ok(DimensionKind::Whois),
+            [4] => Ok(DimensionKind::ParamPattern),
+            [5] => Ok(DimensionKind::Timing),
+            [6] => Ok(DimensionKind::Payload),
+            [tag] => Err(WireError(format!("unknown dimension tag {tag}"))),
+        }
+    }
+}
+
 impl DimensionKind {
     /// `true` for the main (client) dimension.
     pub fn is_main(self) -> bool {
@@ -94,6 +128,7 @@ pub struct DimensionContext<'a> {
     /// Pipeline configuration.
     pub config: &'a SmashConfig,
     /// Kept servers; node `i` of every dimension graph is `nodes[i]`.
+    // lint:allow(index): lifetime-annotated slice type, not an indexing site
     pub nodes: &'a [ServerId],
     /// Reverse map server → node index.
     pub node_of: &'a HashMap<ServerId, u32>,
@@ -102,6 +137,15 @@ pub struct DimensionContext<'a> {
     /// DESIGN.md §7). Pass a throwaway [`Registry`] when observability
     /// is not needed.
     pub metrics: &'a Registry,
+}
+
+impl DimensionContext<'_> {
+    /// The server behind graph node `u`, if `u` is a valid node index.
+    /// Builders use this instead of indexing `nodes` so a rogue node id
+    /// from a co-occurrence counter can never panic a dimension.
+    pub fn server_at(&self, u: u32) -> Option<ServerId> {
+        self.nodes.get(u as usize).copied()
+    }
 }
 
 /// Reports one builder's standard `dim/<kind>/*` metrics in a single

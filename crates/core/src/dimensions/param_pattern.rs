@@ -47,8 +47,13 @@ impl Dimension for ParamPatternDimension {
             }
             for ((u, v), shared) in counter.counts_parallel() {
                 funnel.pairs_scored += 1;
-                let pu = node_patterns[u as usize].len();
-                let pv = node_patterns[v as usize].len();
+                let (Some(nu), Some(nv)) =
+                    (node_patterns.get(u as usize), node_patterns.get(v as usize))
+                else {
+                    continue;
+                };
+                let pu = nu.len();
+                let pv = nv.len();
                 let sim = overlap_product(shared as usize, pu, pv);
                 if sim >= ctx.config.file_edge_min {
                     builder.add_edge(u, v, sim);

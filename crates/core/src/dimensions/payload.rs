@@ -55,8 +55,12 @@ impl Dimension for PayloadDimension {
             }
             for ((u, v), shared) in counter.counts_parallel() {
                 funnel.pairs_scored += 1;
-                let su = node_sizes[u as usize].len();
-                let sv = node_sizes[v as usize].len();
+                let (Some(nu), Some(nv)) = (node_sizes.get(u as usize), node_sizes.get(v as usize))
+                else {
+                    continue;
+                };
+                let su = nu.len();
+                let sv = nv.len();
                 let sim = overlap_product(shared as usize, su, sv);
                 if sim >= ctx.config.file_edge_min {
                     builder.add_edge(u, v, sim);

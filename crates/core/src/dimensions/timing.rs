@@ -57,10 +57,17 @@ impl Dimension for TimingDimension {
                 let mut total = 0usize;
                 for r in ctx.dataset.records_of(server) {
                     let bucket = ((r.timestamp / bucket_len) as usize) % buckets;
-                    h[bucket] += 1.0;
+                    if let Some(slot) = h.get_mut(bucket) {
+                        *slot += 1.0;
+                    }
                     total += 1;
                 }
-                let active: Vec<usize> = (0..buckets).filter(|&i| h[i] > 0.0).collect();
+                let active: Vec<usize> = h
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &x)| x > 0.0)
+                    .map(|(i, _)| i)
+                    .collect();
                 let bursty = total >= 2
                     && !active.is_empty()
                     && (active.len() as f64) <= BURSTY_FRACTION * buckets as f64;
@@ -86,7 +93,8 @@ impl Dimension for TimingDimension {
             }
             for ((u, v), _) in counter.counts_parallel() {
                 funnel.pairs_scored += 1;
-                let (Some(hu), Some(hv)) = (&histograms[u as usize], &histograms[v as usize])
+                let (Some(Some(hu)), Some(Some(hv))) =
+                    (histograms.get(u as usize), histograms.get(v as usize))
                 else {
                     continue;
                 };

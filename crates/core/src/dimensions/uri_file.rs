@@ -87,17 +87,17 @@ impl Dimension for UriFileDimension {
 
             for ((u, v), _) in counter.counts_parallel() {
                 funnel.pairs_scored += 1;
-                let (mu, mv) = matched_counts(
-                    &node_files[u as usize],
-                    &node_files[v as usize],
-                    &long_vectors,
-                    ctx.config.charset_cosine_threshold,
-                );
+                let (Some(nu), Some(nv)) = (node_files.get(u as usize), node_files.get(v as usize))
+                else {
+                    continue;
+                };
+                let (mu, mv) =
+                    matched_counts(nu, nv, &long_vectors, ctx.config.charset_cosine_threshold);
                 if mu == 0 {
                     continue;
                 }
-                let fu = node_files[u as usize].files.len();
-                let fv = node_files[v as usize].files.len();
+                let fu = nu.files.len();
+                let fv = nv.files.len();
                 let sim = (mu as f64 / fu as f64) * (mv as f64 / fv as f64);
                 if sim >= ctx.config.file_edge_min {
                     builder.add_edge(u, v, sim);
@@ -122,10 +122,14 @@ fn matched_counts(
             .iter()
             .filter(|&&f| !to.set.contains(&f))
             .filter(|&&f| {
-                let va = &vectors[&f];
-                to.long
-                    .iter()
-                    .any(|&g| g != f && cosine(va, &vectors[&g]) > cos_thresh)
+                vectors.get(&f).is_some_and(|va| {
+                    to.long.iter().any(|&g| {
+                        g != f
+                            && vectors
+                                .get(&g)
+                                .is_some_and(|vg| cosine(va, vg) > cos_thresh)
+                    })
+                })
             })
             .count()
     };

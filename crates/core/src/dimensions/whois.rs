@@ -64,7 +64,10 @@ impl Dimension for WhoisDimension {
                 if (hits as usize) < MIN_SHARED_FIELDS {
                     continue;
                 }
-                let (Some(ru), Some(rv)) = (records[u as usize], records[v as usize]) else {
+                let (Some(ru), Some(rv)) = (
+                    records.get(u as usize).copied().flatten(),
+                    records.get(v as usize).copied().flatten(),
+                ) else {
                     continue;
                 };
                 // Proxy-aware verification (two proxy records sharing only the

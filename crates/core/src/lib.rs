@@ -37,6 +37,7 @@
 
 pub mod ash;
 pub mod baseline;
+pub mod checkpoint;
 pub mod config;
 pub mod correlation;
 pub mod dimensions;
@@ -50,6 +51,7 @@ pub mod report;
 pub mod tracker;
 
 pub use ash::{Ash, MinedDimension};
+pub use checkpoint::CheckpointOptions;
 pub use config::{ConfigError, SmashConfig};
 pub use dimensions::DimensionKind;
 pub use pipeline::Smash;

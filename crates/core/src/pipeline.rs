@@ -2,6 +2,11 @@
 //! ASH mining → correlation → pruning → campaign inference.
 
 use crate::ash::MinedDimension;
+use crate::checkpoint::{
+    correlate_inputs_fingerprint, dimension_stage, CheckpointOptions, Checkpointer,
+    CorrelateSnapshot, CorrelateSnapshotRef, DimensionSnapshot, DimensionSnapshotRef,
+    STAGE_CORRELATE, STAGE_PREPROCESS,
+};
 use crate::config::SmashConfig;
 use crate::correlation::correlate_with_metrics;
 use crate::correlation::CorrelatedAsh;
@@ -12,6 +17,7 @@ use crate::dimensions::{
 use crate::inference::merge_by_main_herd;
 use crate::mining::mine_with_metrics;
 use crate::preprocess::filter_popular;
+use crate::preprocess::Preprocessed;
 use crate::pruning::prune;
 use crate::report::{
     DimensionHealth, DimensionStatus, DimensionSummary, InferredCampaign, PerfReport, RunHealth,
@@ -93,6 +99,29 @@ impl Smash {
         whois: &WhoisRegistry,
         metrics: &Registry,
     ) -> SmashReport {
+        self.run_resumable(dataset, whois, metrics, None)
+    }
+
+    /// [`run_with_metrics`](Self::run_with_metrics) with stage-boundary
+    /// checkpointing (DESIGN.md §9).
+    ///
+    /// With `checkpoints` set, every completed stage boundary —
+    /// preprocess, each mined dimension, correlation — is snapshotted
+    /// atomically into the checkpoint directory, and (with
+    /// [`CheckpointOptions::resume`]) stages whose validated snapshots
+    /// are already present are skipped. Checkpointing never fails or
+    /// alters a run: unusable snapshots degrade to recompute with a note
+    /// in [`RunHealth::checkpoint_warnings`](crate::report::RunHealth),
+    /// and a clean resume's report matches a cold run's byte for byte
+    /// once the inherently wall-clock fields (`perf`, `elapsed_ms`) are
+    /// stripped.
+    pub fn run_resumable(
+        &self,
+        dataset: &TraceDataset,
+        whois: &WhoisRegistry,
+        metrics: &Registry,
+        checkpoints: Option<&CheckpointOptions>,
+    ) -> SmashReport {
         let cfg = &self.config;
         // lint:allow(wallclock): measures run duration for the perf block; never in report ordering.
         let run_start = Instant::now();
@@ -100,17 +129,34 @@ impl Smash {
             // Validated by `try_new`; arming is process-global.
             smash_support::failpoint::arm_spec(&cfg.failpoints).expect("validated failpoints spec");
         }
+        let mut cp: Option<Checkpointer> = checkpoints.map(|opts| {
+            // The manifest is keyed by config AND inputs: snapshots from a
+            // different sweep point or another trace must never be reused.
+            let input_fp = format!("{}+{}", dataset.fingerprint(), whois.fingerprint());
+            Checkpointer::open(opts, &cfg.fingerprint(), &input_fp, metrics)
+        });
         // 1. Preprocessing: IDF popularity filter (SLD aggregation already
         //    happened when the dataset was interned).
-        let pre_span = metrics.span("stage/preprocess");
-        let pre = filter_popular(dataset, cfg.idf_threshold);
+        let pre = match cp
+            .as_mut()
+            .and_then(|c| c.load::<Preprocessed>(STAGE_PREPROCESS, metrics))
+        {
+            Some(pre) => pre,
+            None => {
+                let _span = metrics.span("stage/preprocess");
+                let pre = filter_popular(dataset, cfg.idf_threshold);
+                if let Some(c) = cp.as_mut() {
+                    c.store(STAGE_PREPROCESS, &pre, metrics);
+                }
+                pre
+            }
+        };
         let nodes: Vec<ServerId> = pre.kept.clone();
         let node_of: HashMap<ServerId, u32> = nodes
             .iter()
             .enumerate()
             .map(|(i, &s)| (s, i as u32))
             .collect();
-        drop(pre_span);
         metrics
             .counter("preprocess/records")
             .add(dataset.record_count() as u64);
@@ -132,29 +178,56 @@ impl Smash {
         // 2. ASH mining per dimension. The client graph covers servers
         //    with ≥ 2 clients; single-client servers get their per-client
         //    herds appended below (paper Appendix C).
-        // lint:allow(wallclock): measures stage duration for the perf block; never in report ordering.
-        let main_start = Instant::now();
-        let main_result = par::run_isolated(|| {
-            let _span = metrics.span("stage/dimension/client");
-            let main_graph = ClientDimension.build_graph(&ctx);
-            let mut main = mine_with_metrics(
-                DimensionKind::Client,
-                main_graph,
-                &nodes,
-                cfg.louvain_seed,
-                metrics,
-            );
-            append_single_client_herds(&mut main, dataset, &nodes);
-            main
-        });
-        let main_elapsed = main_start.elapsed().as_millis() as u64;
+        let main_stage = dimension_stage(DimensionKind::Client);
+        let (main_result, main_elapsed) = match cp
+            .as_mut()
+            .and_then(|c| c.load::<DimensionSnapshot>(&main_stage, metrics))
+        {
+            // Resumed: the snapshot carries the original build time so
+            // the health entry reflects real work, not the load.
+            Some(snap) => (Ok(snap.mined), snap.elapsed_ms),
+            None => {
+                // lint:allow(wallclock): measures stage duration for the perf block; never in report ordering.
+                let main_start = Instant::now();
+                let result = par::run_isolated(|| {
+                    let _span = metrics.span("stage/dimension/client");
+                    let main_graph = ClientDimension.build_graph(&ctx);
+                    let mut main = mine_with_metrics(
+                        DimensionKind::Client,
+                        main_graph,
+                        &nodes,
+                        cfg.louvain_seed,
+                        metrics,
+                    );
+                    append_single_client_herds(&mut main, dataset, &nodes);
+                    main
+                });
+                let elapsed = main_start.elapsed().as_millis() as u64;
+                if let (Some(c), Ok(main)) = (cp.as_mut(), &result) {
+                    c.store(
+                        &main_stage,
+                        &DimensionSnapshotRef {
+                            mined: main,
+                            elapsed_ms: elapsed,
+                        },
+                        metrics,
+                    );
+                }
+                (result, elapsed)
+            }
+        };
         let main = match main_result {
             Ok(main) => main,
             Err(reason) => {
                 // Without the main dimension there is nothing to
                 // correlate against: degrade to an empty report that
                 // names the failure instead of unwinding.
-                return Self::aborted_report(&pre.kept, pre.dropped_popular.len(), reason);
+                return Self::aborted_report(
+                    &pre.kept,
+                    pre.dropped_popular.len(),
+                    reason,
+                    cp.map(Checkpointer::into_warnings).unwrap_or_default(),
+                );
             }
         };
 
@@ -190,15 +263,46 @@ impl Smash {
                     .then(|| Box::new(PayloadDimension) as Box<dyn Dimension>),
             ),
         ];
-        let enabled: Vec<&Box<dyn Dimension>> =
-            planned.iter().filter_map(|(_, d)| d.as_ref()).collect();
+        // Resume loads completed dimension snapshots up front; only the
+        // remainder is built. A snapshotted dimension was Ok within
+        // budget when it was stored, so it rejoins as Ok directly.
+        enum Slot<'a> {
+            Disabled,
+            Loaded(Box<DimensionSnapshot>),
+            Build(&'a dyn Dimension),
+        }
+        let mut slots: Vec<(DimensionKind, Slot<'_>)> = Vec::new();
+        for (kind, dim) in &planned {
+            let slot = match dim {
+                None => Slot::Disabled,
+                Some(d) => match cp
+                    .as_mut()
+                    .and_then(|c| c.load::<DimensionSnapshot>(&dimension_stage(*kind), metrics))
+                {
+                    Some(snap) => Slot::Loaded(Box::new(snap)),
+                    None => Slot::Build(d.as_ref()),
+                },
+            };
+            slots.push((*kind, slot));
+        }
+        let enabled_count = slots
+            .iter()
+            .filter(|(_, s)| !matches!(s, Slot::Disabled))
+            .count();
+        let to_build: Vec<&dyn Dimension> = slots
+            .iter()
+            .filter_map(|(_, s)| match s {
+                Slot::Build(d) => Some(*d),
+                _ => None,
+            })
+            .collect();
         // Dimension graphs are independent: build and mine them in
         // parallel (the paper's answer to the pairwise-similarity cost is
         // parallel sparse multiplication [18]) — each under panic
         // isolation so one crashing builder degrades the run instead of
         // ending it.
         let isolated: Vec<Result<(MinedDimension, u64), String>> =
-            par::par_map_isolated(&enabled, |d| {
+            par::par_map_isolated(&to_build, |d| {
                 // lint:allow(wallclock): measures stage duration for the perf block; never in report ordering.
                 let start = Instant::now();
                 let _span = metrics.span(&format!("stage/dimension/{}", d.kind()));
@@ -207,9 +311,11 @@ impl Smash {
                 (mined, start.elapsed().as_millis() as u64)
             });
 
-        // Triage: a dimension either completed inside its budget (kept),
-        // overran the wall-clock budget (dropped, TimedOut), or panicked
-        // (dropped, Failed).
+        // Triage: a dimension either completed inside its budget (kept,
+        // and snapshotted), overran the wall-clock budget (dropped,
+        // TimedOut), or panicked (dropped, Failed). Only kept dimensions
+        // are checkpointed: a failed or over-budget build must re-run on
+        // resume, not be resurrected from disk.
         let mut secondaries: Vec<MinedDimension> = Vec::new();
         let mut dimension_health = vec![DimensionHealth {
             kind: DimensionKind::Client,
@@ -217,20 +323,29 @@ impl Smash {
             elapsed_ms: main_elapsed,
         }];
         let mut results = isolated.into_iter();
-        for (kind, dim) in &planned {
-            let health = match dim {
-                None => DimensionHealth {
-                    kind: *kind,
+        for (kind, slot) in slots {
+            let health = match slot {
+                Slot::Disabled => DimensionHealth {
+                    kind,
                     status: DimensionStatus::Disabled,
                     elapsed_ms: 0,
                 },
-                Some(_) => match results.next().expect("one result per enabled dimension") {
+                Slot::Loaded(snap) => {
+                    let elapsed_ms = snap.elapsed_ms;
+                    secondaries.push(snap.mined);
+                    DimensionHealth {
+                        kind,
+                        status: DimensionStatus::Ok,
+                        elapsed_ms,
+                    }
+                }
+                Slot::Build(_) => match results.next().expect("one result per built dimension") {
                     Ok((mined, elapsed_ms))
                         if cfg.dimension_budget_ms > 0 && elapsed_ms > cfg.dimension_budget_ms =>
                     {
                         drop(mined);
                         DimensionHealth {
-                            kind: *kind,
+                            kind,
                             status: DimensionStatus::TimedOut {
                                 elapsed_ms,
                                 budget_ms: cfg.dimension_budget_ms,
@@ -239,15 +354,25 @@ impl Smash {
                         }
                     }
                     Ok((mined, elapsed_ms)) => {
+                        if let Some(c) = cp.as_mut() {
+                            c.store(
+                                &dimension_stage(kind),
+                                &DimensionSnapshotRef {
+                                    mined: &mined,
+                                    elapsed_ms,
+                                },
+                                metrics,
+                            );
+                        }
                         secondaries.push(mined);
                         DimensionHealth {
-                            kind: *kind,
+                            kind,
                             status: DimensionStatus::Ok,
                             elapsed_ms,
                         }
                     }
                     Err(reason) => DimensionHealth {
-                        kind: *kind,
+                        kind,
                         status: DimensionStatus::Failed { reason },
                         elapsed_ms: 0,
                     },
@@ -258,19 +383,61 @@ impl Smash {
 
         // 3. Correlation (eq. 9) + thresholding, renormalized over the
         //    dimensions that actually completed.
-        let scale = if secondaries.is_empty() || secondaries.len() == enabled.len() {
+        let scale = if secondaries.is_empty() || secondaries.len() == enabled_count {
             1.0
         } else {
-            enabled.len() as f64 / secondaries.len() as f64
+            enabled_count as f64 / secondaries.len() as f64
+        };
+        // A correlation snapshot is only as good as its inputs: it
+        // embeds a fingerprint of the exact mining results it consumed,
+        // so a resume that rebuilt any dimension recomputes eq. 9
+        // instead of reusing a stale result.
+        let loaded_correlated: Option<Vec<CorrelatedAsh>> = cp.as_mut().and_then(|c| {
+            let snap = c.load::<CorrelateSnapshot>(STAGE_CORRELATE, metrics)?;
+            if snap.inputs_fingerprint == correlate_inputs_fingerprint(&main, &secondaries, scale) {
+                Some(snap.correlated)
+            } else {
+                c.reject(
+                    STAGE_CORRELATE,
+                    "inputs changed since the snapshot was taken",
+                    metrics,
+                );
+                None
+            }
+        });
+        let correlated = match loaded_correlated {
+            Some(correlated) => correlated,
+            None => {
+                let computed = {
+                    let _span = metrics.span("stage/correlate");
+                    correlate_with_metrics(dataset, &main, &secondaries, cfg, scale, metrics)
+                };
+                if let Some(c) = cp.as_mut() {
+                    c.store(
+                        STAGE_CORRELATE,
+                        &CorrelateSnapshotRef {
+                            inputs_fingerprint: &correlate_inputs_fingerprint(
+                                &main,
+                                &secondaries,
+                                scale,
+                            ),
+                            scale,
+                            correlated: &computed,
+                        },
+                        metrics,
+                    );
+                }
+                computed
+            }
         };
         let health = RunHealth {
             dimensions: dimension_health,
             ingest: None,
             score_renormalization: scale,
-        };
-        let correlated = {
-            let _span = metrics.span("stage/correlate");
-            correlate_with_metrics(dataset, &main, &secondaries, cfg, scale, metrics)
+            checkpoint_warnings: cp
+                .take()
+                .map(Checkpointer::into_warnings)
+                .unwrap_or_default(),
         };
 
         // 4. Pruning of redirection/referrer groups.
@@ -306,14 +473,18 @@ impl Smash {
                 let mut score_of: HashMap<ServerId, f64> = HashMap::new();
                 let mut dims_of: HashMap<ServerId, Vec<DimensionKind>> = HashMap::new();
                 for &ci in &cand_idxs {
-                    let ca = kept_correlated[ci];
-                    for (k, &s) in ca.servers.iter().enumerate() {
+                    let Some(&ca) = kept_correlated.get(ci) else {
+                        continue; // indices come from merge over this very list
+                    };
+                    for ((&s, &score), dims) in
+                        ca.servers.iter().zip(&ca.scores).zip(&ca.dimensions)
+                    {
                         let e = score_of.entry(s).or_insert(0.0);
-                        if ca.scores[k] > *e {
-                            *e = ca.scores[k];
+                        if score > *e {
+                            *e = score;
                         }
                         let dv = dims_of.entry(s).or_default();
-                        for d in &ca.dimensions[k] {
+                        for d in dims {
                             if !dv.contains(d) {
                                 dv.push(*d);
                             }
@@ -400,8 +571,13 @@ impl Smash {
 
     /// The empty report returned when the main dimension itself failed:
     /// no campaigns, every secondary marked as not run, and the failure
-    /// reason preserved in `RunHealth`.
-    fn aborted_report(kept: &[ServerId], dropped_popular: usize, reason: String) -> SmashReport {
+    /// reason (plus any checkpoint warnings) preserved in `RunHealth`.
+    fn aborted_report(
+        kept: &[ServerId],
+        dropped_popular: usize,
+        reason: String,
+        checkpoint_warnings: Vec<String>,
+    ) -> SmashReport {
         let mut dimensions = vec![DimensionHealth {
             kind: DimensionKind::Client,
             status: DimensionStatus::Failed {
@@ -442,6 +618,7 @@ impl Smash {
                 dimensions,
                 ingest: None,
                 score_renormalization: 1.0,
+                checkpoint_warnings,
             },
             perf: PerfReport::default(),
         }
@@ -451,7 +628,7 @@ impl Smash {
 /// Pipeline-order rank of a `stage/*` histogram name (unknown stages
 /// sort after the known ones, alphabetically).
 fn stage_rank(name: &str) -> usize {
-    const ORDER: [&str; 12] = [
+    const ORDER: [&str; 15] = [
         "ingest",
         "preprocess",
         "dimension/client",
@@ -464,6 +641,9 @@ fn stage_rank(name: &str) -> usize {
         "correlate",
         "prune",
         "infer",
+        "ckpt/read",
+        "ckpt/validate",
+        "ckpt/write",
     ];
     ORDER
         .iter()
@@ -524,9 +704,8 @@ fn append_single_client_herds(
 ) {
     let mut by_client: HashMap<u32, Vec<ServerId>> = HashMap::new();
     for &s in nodes {
-        let clients = dataset.clients_of(s);
-        if clients.len() == 1 {
-            by_client.entry(clients[0]).or_default().push(s);
+        if let [only_client] = dataset.clients_of(s) {
+            by_client.entry(*only_client).or_default().push(s);
         }
     }
     let mut groups: Vec<(u32, Vec<ServerId>)> = by_client.into_iter().collect();

@@ -8,7 +8,7 @@
 //! themselves, and their traffic dominates cost while carrying no herd
 //! signal.
 
-use smash_support::impl_json_struct;
+use smash_support::{impl_json_struct, impl_wire_struct};
 use smash_trace::{ServerId, TraceDataset};
 
 /// Result of preprocessing.
@@ -21,6 +21,10 @@ pub struct Preprocessed {
 }
 
 impl_json_struct!(Preprocessed {
+    kept,
+    dropped_popular
+});
+impl_wire_struct!(Preprocessed {
     kept,
     dropped_popular
 });

@@ -195,12 +195,19 @@ pub struct RunHealth {
     /// Factor applied to eq. 9 scores to renormalize over the secondary
     /// dimensions that completed (1.0 when nothing was lost).
     pub score_renormalization: f64,
+    /// One entry per checkpoint snapshot that was *present but
+    /// unusable* on resume (corrupt, truncated, wrong version, stale
+    /// fingerprint) — the stage was recomputed from scratch. Empty for
+    /// cold runs and clean resumes, so a clean resume's report matches a
+    /// cold run's byte-for-byte (modulo wall times).
+    pub checkpoint_warnings: Vec<String>,
 }
 
 impl_json_struct!(RunHealth {
     dimensions,
     ingest,
     score_renormalization,
+    checkpoint_warnings?,
 });
 
 impl Default for RunHealth {
@@ -209,6 +216,7 @@ impl Default for RunHealth {
             dimensions: Vec::new(),
             ingest: None,
             score_renormalization: 1.0,
+            checkpoint_warnings: Vec::new(),
         }
     }
 }
@@ -351,6 +359,51 @@ impl SmashReport {
     pub fn campaign_server_names(&self) -> Vec<Vec<String>> {
         self.campaigns.iter().map(|c| c.servers.clone()).collect()
     }
+
+    /// The report's campaigns and health as canonical JSON — the same
+    /// shape the CLI's `--json` file reduces to under
+    /// [`canonical_report_json`], so in-process reports compare directly
+    /// against on-disk ones.
+    pub fn canonical_json(&self) -> String {
+        let mut doc = Json::Obj(vec![
+            ("campaigns".to_owned(), self.campaigns.to_json()),
+            ("health".to_owned(), self.health.to_json()),
+        ]);
+        strip_wall_times(&mut doc, true);
+        smash_support::json::to_string(&doc)
+    }
+}
+
+/// Reduces a report JSON document to its wall-clock-independent core:
+/// drops the top-level `perf` section and every `elapsed_ms` field,
+/// then re-serializes compactly.
+///
+/// Two runs over the same inputs and config — cold or resumed from
+/// checkpoints — must produce *identical* canonical reports; the chaos
+/// harness and the checkpoint suite compare them byte-for-byte. Wall
+/// times are the only sanctioned nondeterminism in a report, and this
+/// is the one place that knows where they live.
+pub fn canonical_report_json(text: &str) -> Result<String, JsonError> {
+    let mut doc = smash_support::json::parse(text)?;
+    strip_wall_times(&mut doc, true);
+    Ok(smash_support::json::to_string(&doc))
+}
+
+fn strip_wall_times(v: &mut Json, top_level: bool) {
+    match v {
+        Json::Obj(fields) => {
+            fields.retain(|(k, _)| k != "elapsed_ms" && !(top_level && k == "perf"));
+            for (_, child) in fields.iter_mut() {
+                strip_wall_times(child, false);
+            }
+        }
+        Json::Arr(items) => {
+            for child in items.iter_mut() {
+                strip_wall_times(child, false);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +507,7 @@ mod tests {
             ],
             ingest: None,
             score_renormalization: 1.5,
+            checkpoint_warnings: vec!["corrupt checkpoint: checksum mismatch".to_owned()],
         };
         assert!(!health.fully_healthy());
         assert_eq!(health.degraded_dimensions(), vec![DimensionKind::Whois]);
@@ -465,6 +519,48 @@ mod tests {
         let back: RunHealth = from_str(&to_string(&health)).unwrap();
         assert_eq!(back, health);
         assert!(RunHealth::default().fully_healthy());
+    }
+
+    #[test]
+    fn canonical_json_strips_perf_and_elapsed_only() {
+        let text = r#"{
+            "campaigns": [],
+            "health": {
+                "dimensions": [
+                    {"kind": "client", "status": {"status": "ok"}, "elapsed_ms": 42}
+                ],
+                "ingest": null,
+                "score_renormalization": 1.0
+            },
+            "perf": {"total_wall_ms": 9.5, "stages": []}
+        }"#;
+        let canon = canonical_report_json(text).unwrap();
+        assert!(!canon.contains("perf"), "perf survived: {canon}");
+        assert!(
+            !canon.contains("elapsed_ms"),
+            "elapsed_ms survived: {canon}"
+        );
+        assert!(canon.contains("score_renormalization"));
+        // A nested field literally named `perf` below the top level is data,
+        // not the perf section, and must survive.
+        let nested = r#"{"campaigns": [{"servers": ["perf.example"]}], "health": {}}"#;
+        assert!(canonical_report_json(nested)
+            .unwrap()
+            .contains("perf.example"));
+    }
+
+    #[test]
+    fn in_process_canonical_json_matches_text_form() {
+        let r = report(vec![campaign(&[0, 1], false, 2)]);
+        // Serialize the CLI's 3-key document, reduce it, and compare with
+        // the in-process shortcut.
+        let doc = Json::Obj(vec![
+            ("campaigns".to_owned(), r.campaigns.to_json()),
+            ("health".to_owned(), r.health.to_json()),
+            ("perf".to_owned(), r.perf.to_json()),
+        ]);
+        let text = smash_support::json::to_string(&doc);
+        assert_eq!(canonical_report_json(&text).unwrap(), r.canonical_json());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Weighted undirected graphs with compact node ids.
 
 use smash_support::impl_json_struct;
+use smash_support::wire::{FromWire, Reader, ToWire, WireError};
 use std::collections::HashMap;
 
 /// Compact node identifier used throughout the graph substrate.
@@ -44,6 +45,55 @@ impl_json_struct!(Graph {
     total_weight,
     edge_count
 });
+
+// Checkpoint wire form: node count + each undirected edge once. The
+// derived state (mirrored adjacency, degrees, total weight) is rebuilt
+// through `GraphBuilder`, whose sorted accumulation makes the decoded
+// graph bit-identical to the one originally built from the same edges.
+impl ToWire for Graph {
+    fn wire(&self, out: &mut Vec<u8>) {
+        (self.adj.len() as u64).wire(out);
+        (self.edge_count as u64).wire(out);
+        // lint:allow(hash-iter): `edges()` walks the sorted Vec adjacency, not a hash map
+        for (u, v, w) in self.edges() {
+            u.wire(out);
+            v.wire(out);
+            w.wire(out);
+        }
+    }
+}
+
+impl FromWire for Graph {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = usize::from_wire(r)?;
+        let m = usize::from_wire(r)?;
+        // Each edge consumes 16 bytes; reject an impossible count before
+        // looping (a corrupted header must not drive a huge allocation).
+        if m > r.remaining() / 16 {
+            return Err(WireError(format!(
+                "edge count {m} exceeds payload ({} bytes remain)",
+                r.remaining()
+            )));
+        }
+        let mut b = GraphBuilder::with_nodes(n);
+        for _ in 0..m {
+            let u = u32::from_wire(r)?;
+            let v = u32::from_wire(r)?;
+            let w = f64::from_wire(r)?;
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(WireError(format!("edge ({u}, {v}) outside {n} node(s)")));
+            }
+            if !w.is_finite() {
+                return Err(WireError(format!("non-finite edge weight {w}")));
+            }
+            b.add_edge(u, v, w);
+        }
+        if b.edge_count() != m {
+            return Err(WireError("duplicate edges in payload".to_owned()));
+        }
+        Ok(b.build())
+    }
+}
 
 impl Graph {
     /// Number of nodes (including isolated ones).

@@ -2,6 +2,7 @@
 
 use crate::graph::NodeId;
 use smash_support::impl_json_struct;
+use smash_support::wire::{FromWire, Reader, ToWire, WireError};
 
 /// An assignment of every node to exactly one community.
 ///
@@ -17,6 +18,22 @@ impl_json_struct!(Partition {
     assignment,
     community_count
 });
+
+// Checkpoint wire form: the assignment vector alone. Stored partitions
+// are already densely renumbered, so rebuilding through
+// `from_assignment` is the identity on them — and it revalidates the
+// density invariant on anything a corrupted payload smuggles in.
+impl ToWire for Partition {
+    fn wire(&self, out: &mut Vec<u8>) {
+        self.assignment.wire(out);
+    }
+}
+
+impl FromWire for Partition {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Partition::from_assignment(Vec::from_wire(r)?))
+    }
+}
 
 impl Partition {
     /// Builds a partition from a raw per-node community label vector,

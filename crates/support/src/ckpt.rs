@@ -1,0 +1,598 @@
+//! Crash-safe checkpoint snapshots: versioned, checksummed, atomic.
+//!
+//! A long batch run (paper §III: a full day of ISP traffic) must not
+//! lose every completed stage to a mid-pipeline crash. This module is
+//! the storage half of the checkpoint/resume layer (DESIGN.md §9): a
+//! small binary *snapshot envelope* plus a JSON *manifest* that together
+//! guarantee a resumed run never trusts a stale, truncated, or corrupted
+//! snapshot.
+//!
+//! # Snapshot envelope
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"SMSHCKPT"
+//! 8       4     format version, u32 LE
+//! 12      2     stage-name length, u16 LE
+//! 14      n     stage name, UTF-8
+//! 14+n    8     payload length, u64 LE
+//! 22+n    8     FNV-1a checksum, u64 LE  (over version ‖ stage ‖ payload)
+//! 30+n    …     payload bytes (binary wire encoding of the stage value)
+//! ```
+//!
+//! The checksum covers the version and stage name as well as the
+//! payload, so a snapshot renamed to the wrong stage — or rewritten by a
+//! different format version — fails validation exactly like a bit flip.
+//! Writes go through a temp file in the same directory followed by
+//! `rename`, so a crash mid-write leaves either the old snapshot or
+//! none, never a torn one.
+//!
+//! # Manifest
+//!
+//! The manifest (`manifest.json`) binds a checkpoint directory to one
+//! (config, input) pair via the workspace's FNV-1a fingerprints. A
+//! resume whose fingerprints differ rejects the whole directory —
+//! checkpoints from a different threshold sweep or a different trace are
+//! recomputed, not silently reused.
+//!
+//! The manifest is written **once**, when a checkpointed run opens its
+//! directory; it does not track per-stage completion. The snapshot
+//! files themselves are the durable completion markers: each appears
+//! atomically (tmp + rename) at its stage boundary, names its stage in
+//! the checksummed envelope, and file names are a pure function of the
+//! stage ([`snapshot_file_name`]). Keeping the manifest out of the
+//! per-stage hot path halves the file operations per boundary, which is
+//! what keeps checkpointing inside its ≤2 % overhead budget
+//! (DESIGN.md §9). The cost is that the fingerprint binding covers the
+//! *directory*, not each file — so a run that opens a directory without
+//! resuming must clear stale `*.ckpt` files before its first boundary
+//! (the pipeline's `Checkpointer::open` does).
+//!
+//! Every failure is an [`CkptError`] value; nothing in this module
+//! panics on untrusted bytes (property-tested in `tests/checkpoint.rs`).
+
+use crate::impl_json_struct;
+use crate::json::{self, JsonError};
+use crate::wire::{self, FromWire, ToWire};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: &[u8; 8] = b"SMSHCKPT";
+
+/// Current snapshot format version. Bump on any envelope change; old
+/// snapshots then fail validation and are recomputed.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// File name of the checkpoint manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher (the workspace's canonical fingerprint hash,
+/// shared with `smash-bench`'s config fingerprint).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_BASIS)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The hash value accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Renders a hash in the workspace's fingerprint notation
+/// (`fnv1a:<16 hex digits>`), matching `BENCH_pipeline.json`.
+pub fn fingerprint_string(hash: u64) -> String {
+    format!("fnv1a:{hash:016x}")
+}
+
+/// Why a snapshot or manifest could not be used. Every variant is a
+/// *degradation* signal — callers recompute the stage and warn, they do
+/// not fail the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The file is missing or the OS refused the read/write.
+    Io(String),
+    /// The bytes are not a valid snapshot: bad magic, truncated header,
+    /// short payload, or checksum mismatch.
+    Corrupt(String),
+    /// The snapshot is well-formed but from a different format version,
+    /// stage, or (for manifests) config/input fingerprint.
+    Mismatch(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(m) => write!(f, "checkpoint io error: {m}"),
+            CkptError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CkptError::Mismatch(m) => write!(f, "stale checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Serializes and writes one stage snapshot atomically.
+///
+/// The payload is framed in the envelope described in the module docs,
+/// written to `<path>.tmp` and renamed into place, so a concurrent crash
+/// never leaves a torn file at `path`.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] if the temp write or rename fails, and
+/// [`CkptError::Corrupt`] if the stage name cannot be framed (longer
+/// than `u16::MAX` bytes).
+pub fn write_snapshot(path: &Path, stage: &str, payload: &[u8]) -> Result<(), CkptError> {
+    let stage_bytes = stage.as_bytes();
+    let stage_len = u16::try_from(stage_bytes.len())
+        .map_err(|_| CkptError::Corrupt(format!("stage name `{stage}` too long to frame")))?;
+    let mut checksum = Fnv1a::new();
+    checksum.write(&FORMAT_VERSION.to_le_bytes());
+    checksum.write(stage_bytes);
+    checksum.write(payload);
+    let mut buf = Vec::with_capacity(30 + stage_bytes.len() + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&stage_len.to_le_bytes());
+    buf.extend_from_slice(stage_bytes);
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&checksum.finish().to_le_bytes());
+    buf.extend_from_slice(payload);
+    write_atomic(path, &buf)
+}
+
+/// Reads and validates one stage snapshot, returning its payload.
+///
+/// Validation covers, in order: magic, format version, stage name,
+/// declared payload length vs. actual bytes, and the FNV-1a checksum.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] when the file cannot be read, [`CkptError::Corrupt`]
+/// on any framing/checksum violation, [`CkptError::Mismatch`] when the
+/// snapshot is valid but for a different version or stage.
+pub fn read_snapshot(path: &Path, expected_stage: &str) -> Result<Vec<u8>, CkptError> {
+    let bytes =
+        fs::read(path).map_err(|e| CkptError::Io(format!("read {}: {e}", path.display())))?;
+    parse_snapshot(&bytes, expected_stage)
+}
+
+/// The validation core of [`read_snapshot`], split out so property tests
+/// can feed arbitrary byte soup without touching the filesystem.
+///
+/// # Errors
+///
+/// See [`read_snapshot`].
+pub fn parse_snapshot(bytes: &[u8], expected_stage: &str) -> Result<Vec<u8>, CkptError> {
+    let rest = bytes
+        .strip_prefix(MAGIC.as_slice())
+        .ok_or_else(|| CkptError::Corrupt("bad magic (not a snapshot file)".to_owned()))?;
+    let (version_bytes, rest) = split_array::<4>(rest).ok_or_else(|| truncated("version"))?;
+    let version = u32::from_le_bytes(version_bytes);
+    if version != FORMAT_VERSION {
+        return Err(CkptError::Mismatch(format!(
+            "format version {version}, expected {FORMAT_VERSION}"
+        )));
+    }
+    let (stage_len_bytes, rest) =
+        split_array::<2>(rest).ok_or_else(|| truncated("stage length"))?;
+    let stage_len = usize::from(u16::from_le_bytes(stage_len_bytes));
+    if rest.len() < stage_len {
+        return Err(CkptError::Corrupt("truncated stage name".to_owned()));
+    }
+    let (stage_bytes, rest) = rest.split_at(stage_len);
+    let stage = std::str::from_utf8(stage_bytes)
+        .map_err(|_| CkptError::Corrupt("stage name is not UTF-8".to_owned()))?;
+    if stage != expected_stage {
+        return Err(CkptError::Mismatch(format!(
+            "snapshot is for stage `{stage}`, expected `{expected_stage}`"
+        )));
+    }
+    let (len_bytes, rest) = split_array::<8>(rest).ok_or_else(|| truncated("payload length"))?;
+    let payload_len = u64::from_le_bytes(len_bytes);
+    let (sum_bytes, payload) = split_array::<8>(rest).ok_or_else(|| truncated("checksum"))?;
+    let declared_sum = u64::from_le_bytes(sum_bytes);
+    if payload.len() as u64 != payload_len {
+        return Err(CkptError::Corrupt(format!(
+            "payload is {} bytes, header declares {payload_len}",
+            payload.len()
+        )));
+    }
+    let mut checksum = Fnv1a::new();
+    checksum.write(&version.to_le_bytes());
+    checksum.write(stage_bytes);
+    checksum.write(payload);
+    if checksum.finish() != declared_sum {
+        return Err(CkptError::Corrupt("checksum mismatch".to_owned()));
+    }
+    Ok(payload.to_vec())
+}
+
+fn split_array<const N: usize>(bytes: &[u8]) -> Option<([u8; N], &[u8])> {
+    if bytes.len() < N {
+        return None;
+    }
+    let (head, rest) = bytes.split_at(N);
+    let mut arr = [0u8; N];
+    arr.copy_from_slice(head);
+    Some((arr, rest))
+}
+
+/// Maps a failed [`split_array`] to a truncated-header error naming the
+/// field that was being read.
+fn truncated(what: &str) -> CkptError {
+    CkptError::Corrupt(format!("truncated header ({what})"))
+}
+
+/// Atomic file write shared by snapshots and the manifest: write to a
+/// sibling temp file, then `rename` into place.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] if any filesystem step fails.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), CkptError> {
+    let tmp = tmp_path(path);
+    let io = |what: &str, e: std::io::Error| CkptError::Io(format!("{what}: {e}"));
+    {
+        // No fsync: rename gives atomicity against process crash (the
+        // case the chaos suite exercises), and a snapshot torn by power
+        // loss fails its envelope checksum on resume and is recomputed —
+        // durability comes from detect-and-recompute, not from paying an
+        // fsync per stage (which alone would blow the ≤2% overhead
+        // budget of DESIGN.md §9).
+        let mut f =
+            fs::File::create(&tmp).map_err(|e| io(&format!("create {}", tmp.display()), e))?;
+        f.write_all(contents)
+            .map_err(|e| io(&format!("write {}", tmp.display()), e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io(
+            &format!("rename {} -> {}", tmp.display(), path.display()),
+            e,
+        )
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// The checkpoint directory's binding: which (config, input) pair its
+/// snapshots belong to. Which stages have completed is read off the
+/// directory itself — a stage is done iff its [`snapshot_file_name`]
+/// exists and its envelope validates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Schema tag (`smash-ckpt/manifest/v2`).
+    pub schema: String,
+    /// FNV-1a fingerprint of the pipeline configuration.
+    pub config_fingerprint: String,
+    /// FNV-1a fingerprint of the inputs (trace dataset + whois registry).
+    pub input_fingerprint: String,
+}
+
+impl_json_struct!(Manifest {
+    schema,
+    config_fingerprint,
+    input_fingerprint
+});
+
+/// Manifest schema tag. v1 carried a per-stage entry list; v2 binds
+/// fingerprints only (stage completion lives in the snapshot files).
+pub const MANIFEST_SCHEMA: &str = "smash-ckpt/manifest/v2";
+
+impl Manifest {
+    /// A fresh manifest for the given fingerprints.
+    pub fn new(config_fingerprint: &str, input_fingerprint: &str) -> Self {
+        Manifest {
+            schema: MANIFEST_SCHEMA.to_owned(),
+            config_fingerprint: config_fingerprint.to_owned(),
+            input_fingerprint: input_fingerprint.to_owned(),
+        }
+    }
+
+    /// Loads `manifest.json` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when unreadable, [`CkptError::Corrupt`] when the
+    /// JSON does not parse as a manifest, [`CkptError::Mismatch`] on an
+    /// unknown schema tag.
+    pub fn load(dir: &Path) -> Result<Self, CkptError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| CkptError::Io(format!("read {}: {e}", path.display())))?;
+        let manifest: Manifest = json::from_str(&text)
+            .map_err(|e: JsonError| CkptError::Corrupt(format!("manifest does not parse: {e}")))?;
+        if manifest.schema != MANIFEST_SCHEMA {
+            return Err(CkptError::Mismatch(format!(
+                "manifest schema `{}`, expected `{MANIFEST_SCHEMA}`",
+                manifest.schema
+            )));
+        }
+        Ok(manifest)
+    }
+
+    /// Writes the manifest to `dir` atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] on any filesystem failure.
+    pub fn store(&self, dir: &Path) -> Result<(), CkptError> {
+        write_atomic(&dir.join(MANIFEST_FILE), json::to_string(self).as_bytes())
+    }
+
+    /// Checks the manifest against the current run's fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Mismatch`] naming whichever fingerprint differs.
+    pub fn check_fingerprints(
+        &self,
+        config_fingerprint: &str,
+        input_fingerprint: &str,
+    ) -> Result<(), CkptError> {
+        if self.config_fingerprint != config_fingerprint {
+            return Err(CkptError::Mismatch(format!(
+                "config fingerprint {} differs from current {config_fingerprint}",
+                self.config_fingerprint
+            )));
+        }
+        if self.input_fingerprint != input_fingerprint {
+            return Err(CkptError::Mismatch(format!(
+                "input fingerprint {} differs from current {input_fingerprint}",
+                self.input_fingerprint
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Maps a stage name to its snapshot file name (`/` is not valid in a
+/// file name; stages like `dimension/client` become `dimension_client.ckpt`).
+pub fn snapshot_file_name(stage: &str) -> String {
+    let safe: String = stage
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}.ckpt")
+}
+
+/// Serializes `value` in the binary wire format ([`crate::wire`]) and
+/// writes its snapshot. JSON is deliberately not used here: snapshot
+/// payloads are the checkpoint layer's hot path, and wire encode/decode
+/// is what keeps the overhead inside the ≤2% budget of DESIGN.md §9.
+///
+/// # Errors
+///
+/// See [`write_snapshot`].
+pub fn write_value_snapshot<T: ToWire + ?Sized>(
+    path: &Path,
+    stage: &str,
+    value: &T,
+) -> Result<u64, CkptError> {
+    let payload = wire::encode(value);
+    write_snapshot(path, stage, &payload)?;
+    Ok(payload.len() as u64)
+}
+
+/// Reads, validates, and deserializes a stage snapshot.
+///
+/// # Errors
+///
+/// See [`read_snapshot`]; additionally [`CkptError::Corrupt`] when the
+/// payload is valid bytes but not a valid wire encoding of `T`.
+pub fn read_value_snapshot<T: FromWire>(path: &Path, stage: &str) -> Result<T, CkptError> {
+    let payload = read_snapshot(path, stage)?;
+    wire::decode(&payload).map_err(|e| CkptError::Corrupt(format!("payload does not decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smash-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create test temp dir");
+        dir
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vector() {
+        // FNV-1a("") = offset basis; FNV-1a("a") from the reference tables.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"ab");
+        h.write(b"c");
+        assert_eq!(h.finish(), fnv1a(b"abc"));
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(snapshot_file_name("dimension/client"));
+        write_snapshot(&path, "dimension/client", b"{\"x\":1}").expect("write");
+        let payload = read_snapshot(&path, "dimension/client").expect("read");
+        assert_eq!(payload, b"{\"x\":1}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("s.ckpt");
+        write_snapshot(&path, "s", b"payload-bytes-under-test").expect("write");
+        let good = fs::read(&path).expect("read back");
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            if let Some(b) = bad.get_mut(i) {
+                *b ^= 0x40;
+            }
+            assert!(
+                parse_snapshot(&bad, "s").is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let dir = tmp_dir("trunc");
+        let path = dir.join("s.ckpt");
+        write_snapshot(&path, "s", b"some payload").expect("write");
+        let good = fs::read(&path).expect("read back");
+        for len in 0..good.len() {
+            let cut = good.get(..len).unwrap_or(&[]);
+            assert!(
+                parse_snapshot(cut, "s").is_err(),
+                "truncation to {len} accepted"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_stage_and_version_are_mismatches() {
+        let dir = tmp_dir("mismatch");
+        let path = dir.join("s.ckpt");
+        write_snapshot(&path, "preprocess", b"x").expect("write");
+        match read_snapshot(&path, "correlate") {
+            Err(CkptError::Mismatch(m)) => assert!(m.contains("preprocess"), "got: {m}"),
+            other => panic!("expected stage mismatch, got {other:?}"),
+        }
+        // Hand-craft a version bump with a valid checksum for it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        let v = FORMAT_VERSION + 1;
+        bytes.extend_from_slice(&v.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(b"s");
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let mut sum = Fnv1a::new();
+        sum.write(&v.to_le_bytes());
+        sum.write(b"s");
+        bytes.extend_from_slice(&sum.finish().to_le_bytes());
+        match parse_snapshot(&bytes, "s") {
+            Err(CkptError::Mismatch(m)) => assert!(m.contains("version"), "got: {m}"),
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("s.ckpt");
+        write_snapshot(&path, "s", b"x").expect("write");
+        let names: Vec<String> = fs::read_dir(&dir)
+            .expect("list dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["s.ckpt"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_checks_fingerprints() {
+        let dir = tmp_dir("manifest");
+        let m = Manifest::new("fnv1a:aaaa", "fnv1a:bbbb");
+        m.store(&dir).expect("store");
+        let back = Manifest::load(&dir).expect("load");
+        assert_eq!(back, m);
+        assert!(back.check_fingerprints("fnv1a:aaaa", "fnv1a:bbbb").is_ok());
+        assert!(matches!(
+            back.check_fingerprints("fnv1a:other", "fnv1a:bbbb"),
+            Err(CkptError::Mismatch(_))
+        ));
+        assert!(matches!(
+            back.check_fingerprints("fnv1a:aaaa", "fnv1a:other"),
+            Err(CkptError::Mismatch(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_manifest_is_corrupt_not_panic() {
+        let dir = tmp_dir("badmanifest");
+        fs::write(dir.join(MANIFEST_FILE), b"not json at all").expect("write");
+        assert!(matches!(Manifest::load(&dir), Err(CkptError::Corrupt(_))));
+        fs::write(
+            dir.join(MANIFEST_FILE),
+            br#"{"schema":"other/v9","config_fingerprint":"a","input_fingerprint":"b","entries":[]}"#,
+        )
+        .expect("write");
+        assert!(matches!(Manifest::load(&dir), Err(CkptError::Mismatch(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_file_names_are_flat() {
+        assert_eq!(snapshot_file_name("preprocess"), "preprocess.ckpt");
+        assert_eq!(
+            snapshot_file_name("dimension/uri-file"),
+            "dimension_uri-file.ckpt"
+        );
+    }
+
+    #[test]
+    fn value_snapshot_round_trips() {
+        let dir = tmp_dir("value");
+        let path = dir.join("v.ckpt");
+        let value: Vec<u64> = vec![1, 2, 3];
+        let bytes = write_value_snapshot(&path, "v", &value).expect("write");
+        assert!(bytes > 0);
+        let back: Vec<u64> = read_value_snapshot(&path, "v").expect("read");
+        assert_eq!(back, value);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

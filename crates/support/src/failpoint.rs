@@ -18,8 +18,11 @@
 //! ```
 //!
 //! Supported actions: `panic` (unwind at the site), `error` (make a
-//! fallible site return an error; panics at infallible sites), and
-//! `delay:<ms>` (sleep, for exercising wall-clock budgets).
+//! fallible site return an error; panics at infallible sites),
+//! `delay:<ms>` (sleep, for exercising wall-clock budgets), and `abort`
+//! (kill the process without unwinding — a deterministic stand-in for
+//! `kill -9` / OOM, used by the chaos harness to test checkpoint
+//! resume; only meaningful when the target runs as a subprocess).
 //!
 //! ```
 //! use smash_support::failpoint::{self, Action};
@@ -45,10 +48,17 @@ pub enum Action {
     /// Sleep for the given number of milliseconds (simulates a stall;
     /// pairs with per-stage wall-clock budgets).
     Delay(u64),
+    /// Kill the process on the spot — no unwinding, no destructors, no
+    /// exit code discipline — simulating `kill -9`, OOM, or node
+    /// preemption. Panic isolation cannot catch this, which is the
+    /// point: it is how the chaos harness proves checkpoint resume
+    /// works after a *real* crash, not a caught panic.
+    Abort,
 }
 
 impl Action {
-    /// Parses an action keyword: `panic`, `error`, or `delay:<ms>`.
+    /// Parses an action keyword: `panic`, `error`, `abort`, or
+    /// `delay:<ms>`.
     ///
     /// # Errors
     ///
@@ -63,8 +73,9 @@ impl Action {
         match s {
             "panic" => Ok(Action::Panic),
             "error" => Ok(Action::Error),
+            "abort" => Ok(Action::Abort),
             other => Err(format!(
-                "unknown failpoint action `{other}` (expected panic|error|delay:<ms>)"
+                "unknown failpoint action `{other}` (expected panic|error|abort|delay:<ms>)"
             )),
         }
     }
@@ -201,7 +212,7 @@ pub fn armed_sites() -> Vec<String> {
 
 /// An infallible failpoint site. [`Action::Panic`] and [`Action::Error`]
 /// both panic here (the caller has no error channel); [`Action::Delay`]
-/// sleeps.
+/// sleeps; [`Action::Abort`] kills the process.
 ///
 /// # Panics
 ///
@@ -214,11 +225,21 @@ pub fn fire(site: &str) {
             panic!("failpoint `{site}` triggered: injected panic")
         }
         Some(Action::Delay(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        Some(Action::Abort) => abort_now(site),
     }
 }
 
+/// The `abort` action: a note on stderr (so chaos logs show *which*
+/// site fired), then `std::process::abort()` — no unwinding, no atexit
+/// handlers, the closest deterministic stand-in for `kill -9`.
+fn abort_now(site: &str) -> ! {
+    eprintln!("failpoint `{site}` triggered: aborting process");
+    std::process::abort();
+}
+
 /// A fallible failpoint site: [`Action::Error`] returns an error the
-/// caller propagates, [`Action::Delay`] sleeps then succeeds.
+/// caller propagates, [`Action::Delay`] sleeps then succeeds,
+/// [`Action::Abort`] kills the process.
 ///
 /// # Errors
 ///
@@ -237,6 +258,7 @@ pub fn check(site: &str) -> Result<(), String> {
             std::thread::sleep(std::time::Duration::from_millis(ms));
             Ok(())
         }
+        Some(Action::Abort) => abort_now(site),
     }
 }
 
@@ -294,6 +316,12 @@ mod tests {
         assert_eq!(action_for("t/z"), Some(Action::Error));
         assert_eq!(armed_sites(), vec!["t/x", "t/y", "t/z"]);
         disarm_all();
+    }
+
+    #[test]
+    fn abort_action_parses() {
+        assert_eq!(Action::parse("abort"), Ok(Action::Abort));
+        assert!(parse_spec("ckpt/after/preprocess=abort").is_ok());
     }
 
     #[test]

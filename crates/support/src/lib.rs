@@ -18,6 +18,8 @@
 //!   injection (`SMASH_FAILPOINTS`) for resilience testing.
 //! * [`check`] — a seeded property-test harness with shrink-on-failure
 //!   and failure-seed reporting, replacing `proptest`.
+//! * [`ckpt`] — versioned, checksummed, atomically-written checkpoint
+//!   snapshots plus the fingerprinted manifest behind `--resume`.
 //! * [`mod@bench`] — a wall-clock benchmark harness exposing the subset of
 //!   the `criterion` API the bench suite uses.
 //! * [`metrics`] — thread-safe counters, gauges, fixed-bucket duration
@@ -31,9 +33,11 @@
 
 pub mod bench;
 pub mod check;
+pub mod ckpt;
 pub mod failpoint;
 pub mod json;
 pub mod metrics;
 pub mod par;
 mod quiet;
 pub mod rng;
+pub mod wire;

@@ -220,6 +220,17 @@ impl TraceDataset {
         &self.records
     }
 
+    /// FNV-1a fingerprint of the dataset (`fnv1a:<16 hex digits>`).
+    ///
+    /// Covers the canonical JSON of the whole dataset — interner tables
+    /// included, so two traces that intern the same ids for different
+    /// strings fingerprint differently. The checkpoint manifest stores
+    /// this so `--resume` rejects snapshots computed from another trace.
+    pub fn fingerprint(&self) -> String {
+        use smash_support::ckpt;
+        ckpt::fingerprint_string(ckpt::fnv1a(smash_support::json::to_string(self).as_bytes()))
+    }
+
     /// The [`ServerKey`] of a server id.
     pub fn server_key(&self, id: ServerId) -> &ServerKey {
         &self.server_keys[id as usize]

@@ -17,7 +17,7 @@
 //! resilience testing (see `smash::support::failpoint`).
 
 use smash::core::baseline::ReputationBaseline;
-use smash::core::{DimensionStatus, Smash, SmashConfig};
+use smash::core::{CheckpointOptions, DimensionStatus, Smash, SmashConfig};
 use smash::support::metrics::Registry;
 use smash::synth::Scenario;
 use smash::trace::{io, IngestOptions, IngestReport, TraceDataset, TraceStats};
@@ -48,11 +48,18 @@ analyze flags:
   --dot <path>           write the client-similarity graph as Graphviz DOT
   --metrics <path>       dump the full metrics registry snapshot as JSON
   --profile              print a per-stage wall-time table to stdout
+  --checkpoint-dir <dir> snapshot each completed stage into <dir>
+                         (atomic, checksummed; see DESIGN.md §9)
+  --resume               load validated snapshots from --checkpoint-dir
+                         instead of recomputing completed stages
+  --no-checkpoint        with --checkpoint-dir: do not write new
+                         snapshots (read-only resume)
 
 environment:
   SMASH_FAILPOINTS       deterministic fault injection, e.g.
                          `dimension/whois=panic,ingest/jsonl=delay:50`
-                         (actions: panic | error | delay:<ms>; see tests/README.md)
+                         (actions: panic | error | abort | delay:<ms>;
+                         see tests/README.md)
   SMASH_CHECK_CASES, SMASH_CHECK_SEED
                          property-test harness controls (test builds only)
 
@@ -329,7 +336,35 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     ("--dot", true),
     ("--metrics", true),
     ("--profile", false),
+    ("--checkpoint-dir", true),
+    ("--resume", false),
+    ("--no-checkpoint", false),
 ];
+
+/// Resolves the three checkpoint flags into [`CheckpointOptions`].
+///
+/// `--resume` and `--no-checkpoint` both require `--checkpoint-dir`:
+/// silently accepting them alone would pretend durability that is not
+/// there.
+fn checkpoint_options(args: &[String]) -> Result<Option<CheckpointOptions>, UsageError> {
+    let dir = flag_value(args, "--checkpoint-dir");
+    let resume = args.iter().any(|a| a == "--resume");
+    let no_write = args.iter().any(|a| a == "--no-checkpoint");
+    match dir {
+        Some(dir) => Ok(Some(
+            CheckpointOptions::new(dir)
+                .with_resume(resume)
+                .with_write(!no_write),
+        )),
+        None if resume => Err(UsageError(
+            "`--resume` needs `--checkpoint-dir <dir>`".to_owned(),
+        )),
+        None if no_write => Err(UsageError(
+            "`--no-checkpoint` needs `--checkpoint-dir <dir>`".to_owned(),
+        )),
+        None => Ok(None),
+    }
+}
 
 fn cmd_analyze(args: &[String]) -> CliResult {
     check_flags(args, &[LOAD_FLAGS, ANALYZE_FLAGS])?;
@@ -348,8 +383,20 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     if let Some(ms) = flag_value(args, "--dimension-budget-ms") {
         config = config.with_dimension_budget_ms(ms.parse()?);
     }
-    let mut report = Smash::new(config).run_with_metrics(&dataset, &whois, &metrics);
+    let checkpoints = checkpoint_options(args)?;
+    let mut report =
+        Smash::new(config).run_resumable(&dataset, &whois, &metrics, checkpoints.as_ref());
     report.health.ingest = ingest;
+    for warning in &report.health.checkpoint_warnings {
+        eprintln!("warning: {warning}");
+    }
+    if checkpoints.is_some() {
+        let loaded = metrics.counter("ckpt/loaded").get();
+        let written = metrics.counter("ckpt/written").get();
+        if loaded > 0 || written > 0 {
+            eprintln!("note: checkpoints — {loaded} stage(s) resumed, {written} written");
+        }
+    }
     if !report.health.fully_healthy() {
         for kind in report.health.degraded_dimensions() {
             let why = match report.health.status_of(kind) {

@@ -113,6 +113,87 @@ fn killing_any_single_secondary_dimension_still_recovers_the_campaign() {
     }
 }
 
+/// Whois twin of the flux trace: the C&C domains share one registrant
+/// identity, so the whois dimension alone can still tie them together
+/// when both other secondaries are dead.
+fn flux_whois() -> WhoisRegistry {
+    use smash::whois::WhoisRecord;
+    let mut reg = WhoisRegistry::new();
+    for d in 0..8 {
+        reg.insert(
+            &format!("cc{d}.evil"),
+            WhoisRecord::new()
+                .with_registrant("Evil Holdings")
+                .with_email("ops@evil.example")
+                .with_phone("666")
+                .with_name_server("ns1.evil.example"),
+        );
+    }
+    for s in 0..30 {
+        reg.insert(
+            &format!("site{s}.com"),
+            WhoisRecord::new()
+                .with_registrant(&format!("Site {s} LLC"))
+                .with_email(&format!("admin@site{s}.com"))
+                .with_name_server(&format!("ns{s}.hosting.example")),
+        );
+    }
+    reg
+}
+
+#[test]
+fn killing_any_pair_of_secondary_dimensions_still_recovers_the_campaign() {
+    let _g = locked();
+    let ds = flux_trace();
+    let whois = flux_whois();
+    let sites = [
+        ("dimension/uri-file", DimensionKind::UriFile),
+        ("dimension/ip-set", DimensionKind::IpSet),
+        ("dimension/whois", DimensionKind::Whois),
+    ];
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let ((site_a, kind_a), (site_b, kind_b)) = (sites[i], sites[j]);
+            failpoint::disarm_all();
+            let cfg =
+                SmashConfig::default().with_failpoints(&format!("{site_a}=panic,{site_b}=panic"));
+            let report = Smash::new(cfg).run(&ds, &whois);
+            failpoint::disarm_all();
+
+            // With two of three secondaries dead, precision degrades (a
+            // benign server may tag along at ×3 renormalization) but the
+            // whole C&C herd must still land in one campaign.
+            assert!(
+                report
+                    .campaigns
+                    .iter()
+                    .any(|c| (0..8).all(|d| c.contains_server(&format!("cc{d}.evil")))),
+                "flux campaign lost after killing {site_a} + {site_b}: {:?}",
+                report.campaigns
+            );
+            for (kind, site) in [(kind_a, site_a), (kind_b, site_b)] {
+                match report.health.status_of(kind) {
+                    Some(DimensionStatus::Failed { reason }) => {
+                        assert!(
+                            reason.contains(site),
+                            "reason does not name {site}: {reason}"
+                        );
+                    }
+                    other => panic!("expected {kind} Failed, got {other:?}"),
+                }
+            }
+            let mut degraded = report.health.degraded_dimensions();
+            degraded.sort();
+            let mut expected = vec![kind_a, kind_b];
+            expected.sort();
+            assert_eq!(degraded, expected);
+            // Three enabled secondaries, one completed: eq. 9 scores are
+            // renormalized by 3/1.
+            assert!((report.health.score_renormalization - 3.0).abs() < 1e-9);
+        }
+    }
+}
+
 #[test]
 fn env_armed_spec_degrades_the_run_but_not_the_result() {
     let _g = locked();
