@@ -23,6 +23,14 @@
 #                                             checkpoint boundary and resume,
 #                                             corrupt a snapshot — resumed
 #                                             reports must match cold ones
+#   6c. LSH recall smoke                      exact vs MinHash/LSH candidate
+#                                             generation must produce identical
+#                                             reports on the small scenario
+#                                             (DESIGN.md §10; the full ≥0.99
+#                                             recall gate runs in step 3)
+#   6d. smash-bench --huge --quick            the streamed ISP-scale scenario
+#                                             ingests lazily and the pipeline
+#                                             completes (writes no file)
 #   7. examples                               all four examples/ run to completion
 #   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
@@ -56,6 +64,12 @@ cargo run -q --release --offline -p smash-bench -- --quick >/dev/null
 
 echo "==> smash-bench --chaos --quick (crash/restart + corruption smoke)"
 cargo run -q --release --offline -p smash-bench -- --chaos --quick
+
+echo "==> LSH recall smoke (exact vs LSH report identity, small scenario)"
+cargo test -q --offline --release --test lsh_recall small_scenario
+
+echo "==> smash-bench --huge --quick (streamed ISP-scale smoke)"
+cargo run -q --release --offline -p smash-bench -- --huge --quick >/dev/null
 
 echo "==> examples build and run"
 for ex in quickstart campaign_discovery weekly_monitoring custom_trace; do

@@ -28,7 +28,9 @@ use smash_bench::{medium_scenario, small_scenario};
 use smash_core::{CheckpointOptions, Smash, SmashConfig, SmashReport};
 use smash_support::json::{to_string_pretty, Json, ToJson};
 use smash_support::metrics::Registry;
+use smash_synth::stream::StreamScenario;
 use smash_synth::ScenarioData;
+use smash_whois::WhoisRegistry;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -40,13 +42,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: smash-bench [--iterations N] [--quick] [--out <path>]\n\
+            "usage: smash-bench [--iterations N] [--quick] [--huge] [--out <path>]\n\
              \x20      smash-bench --chaos [--quick] [--seed N] [--smash-bin <path>] [--keep]\n\
              \n\
              Runs the SMASH pipeline over the small/medium synthetic scenarios\n\
              and writes per-stage median wall times to BENCH_pipeline.json at\n\
              the repo root. --quick runs only the small scenario for 2\n\
              iterations and writes no file unless --out is given.\n\
+             \n\
+             --huge adds the streamed ISP-scale scenario (10\u{2076} clients,\n\
+             \u{2265}10\u{2077} lazily generated requests; DESIGN.md \u{a7}10): one\n\
+             iteration, records/sec plus the LSH candidate funnel. With\n\
+             --quick it runs the reduced variant alone and writes no file\n\
+             unless --out is given.\n\
              \n\
              --chaos runs the deterministic fault/crash sweep instead: every\n\
              single and paired secondary-dimension kill, a crash/restart cycle\n\
@@ -69,10 +77,14 @@ fn main() {
         (!quick).then(|| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")))
     });
 
+    let huge = args.iter().any(|a| a == "--huge");
     let config = SmashConfig::default();
-    let mut scenarios: Vec<(&str, ScenarioData)> = vec![("small", small_scenario())];
-    if !quick {
-        scenarios.push(("medium", medium_scenario()));
+    let mut scenarios: Vec<(&str, ScenarioData)> = Vec::new();
+    if !(huge && quick) {
+        scenarios.push(("small", small_scenario()));
+        if !quick {
+            scenarios.push(("medium", medium_scenario()));
+        }
     }
 
     let mut scenario_objs: Vec<(String, Json)> = Vec::new();
@@ -101,6 +113,10 @@ fn main() {
             fields.push(("checkpoint_overhead".into(), overhead.to_json()));
         }
         scenario_objs.push((name.to_string(), obj));
+    }
+
+    if huge {
+        scenario_objs.push(("huge".into(), bench_huge(&config, quick)));
     }
 
     let doc = Json::Obj(vec![
@@ -212,6 +228,100 @@ fn bench_scenario(config: &SmashConfig, data: &ScenarioData, iterations: usize) 
     }
 }
 
+/// Benchmarks the streamed ISP-scale scenario (DESIGN.md §10): one
+/// iteration, because the point is throughput at scale, not median
+/// stability. Reports streamed-ingest wall time, pipeline wall time,
+/// end-to-end records/sec, and the LSH candidate funnel
+/// (`pairs_considered → pairs_bucketed → pairs_scored`) of the two
+/// LSH-routed dimensions.
+fn bench_huge(config: &SmashConfig, quick: bool) -> Json {
+    let scenario = if quick {
+        StreamScenario::quick(7)
+    } else {
+        StreamScenario::huge(7)
+    };
+    let label = if quick { "huge (quick)" } else { "huge" };
+    let ingest_metrics = Registry::new();
+    let dataset = {
+        let _span = ingest_metrics.span("huge/ingest");
+        scenario.dataset()
+    };
+    let ingest_ms = ingest_metrics
+        .snapshot()
+        .histograms
+        .get("huge/ingest")
+        .map(|h| h.sum_ms())
+        .unwrap_or(0.0);
+    let records = dataset.record_count();
+    eprintln!(
+        "{label}: streamed {} records into {} servers in {:.0} ms",
+        records,
+        dataset.server_count(),
+        ingest_ms
+    );
+
+    let whois = WhoisRegistry::new();
+    let metrics = Registry::new();
+    let report = Smash::new(config.clone()).run_with_metrics(&dataset, &whois, &metrics);
+    let pipeline_ms = report.perf.total_wall_ms;
+    let records_per_sec = if pipeline_ms > 0.0 {
+        records as f64 / (pipeline_ms / 1000.0)
+    } else {
+        0.0
+    };
+    eprintln!(
+        "{label}: pipeline {:.0} ms over {} kept servers → {:.0} records/sec, {} campaigns",
+        pipeline_ms,
+        report.kept_servers,
+        records_per_sec,
+        report.campaigns.len()
+    );
+
+    let snap = metrics.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let funnel: Vec<(String, Json)> = ["client", "uri-file"]
+        .iter()
+        .map(|dim| {
+            let stages: Vec<(String, Json)> = [
+                "pairs_considered",
+                "pairs_bucketed",
+                "pairs_scored",
+                "edges",
+            ]
+            .iter()
+            .map(|s| (s.to_string(), counter(&format!("dim/{dim}/{s}")).to_json()))
+            .collect();
+            (dim.to_string(), Json::Obj(stages))
+        })
+        .collect();
+    for (dim, _) in &funnel {
+        eprintln!(
+            "{label}: {dim} funnel {} considered → {} bucketed → {} scored → {} edges",
+            counter(&format!("dim/{dim}/pairs_considered")),
+            counter(&format!("dim/{dim}/pairs_bucketed")),
+            counter(&format!("dim/{dim}/pairs_scored")),
+            counter(&format!("dim/{dim}/edges")),
+        );
+    }
+
+    let stages: Vec<(String, Json)> = report
+        .perf
+        .stages
+        .iter()
+        .map(|s| (s.stage.clone(), round3(s.wall_ms).to_json()))
+        .collect();
+    Json::Obj(vec![
+        ("records".into(), records.to_json()),
+        ("quick".into(), quick.to_json()),
+        ("ingest_wall_ms".into(), round3(ingest_ms).to_json()),
+        ("pipeline_wall_ms".into(), round3(pipeline_ms).to_json()),
+        ("records_per_sec".into(), round3(records_per_sec).to_json()),
+        ("lsh_funnel".into(), Json::Obj(funnel)),
+        ("stage_wall_ms".into(), Json::Obj(stages)),
+    ])
+}
+
+// lint:allow(index): slice-typed parameter, not an indexing site
 fn median(v: &mut [f64]) -> f64 {
     if v.is_empty() {
         return 0.0;

@@ -49,7 +49,8 @@ impl ServerFeatures {
     /// Extracts the features of one server.
     pub fn extract(dataset: &TraceDataset, server: ServerId) -> Self {
         let (label, risky_zone) = match dataset.server_key(server) {
-            ServerKey::Domain(d) => {
+            None => (String::new(), false),
+            Some(ServerKey::Domain(d)) => {
                 let label = d.split('.').next().unwrap_or(d).to_string();
                 let risky = d.ends_with(".info")
                     || d.ends_with(".biz")
@@ -57,7 +58,7 @@ impl ServerFeatures {
                     || d.ends_with(".ws");
                 (label, risky)
             }
-            ServerKey::Ip(_) => (String::new(), true),
+            Some(ServerKey::Ip(_)) => (String::new(), true),
         };
         let mut total = 0usize;
         let mut with_query = 0usize;
@@ -99,6 +100,7 @@ pub fn shannon_entropy(s: &str) -> f64 {
     }
     let mut counts = [0usize; 256];
     for b in s.bytes() {
+        // lint:allow(index): a u8 index into a 256-entry table is in range
         counts[b as usize] += 1;
     }
     let n = s.len() as f64;

@@ -15,6 +15,57 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// MinHash/LSH candidate-generation knobs for the client and URI-file
+/// dimensions (DESIGN.md §10).
+///
+/// Candidate pairs are found by banding MinHash signatures of length
+/// `bands · rows`: two servers collide in one band with probability
+/// `J^rows` (J = Jaccard similarity of their feature sets), so they are
+/// produced as a candidate with probability `1 − (1 − J^rows)^bands`.
+/// The defaults (64 bands × 1 row) put the s-curve threshold low enough
+/// that any pair above the paper's edge thresholds is missed with
+/// probability below 1e-5; features shared by at most `rare_cap` servers
+/// bypass MinHash entirely through exact posting enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LshConfig {
+    /// Number of bands (`b` in the banding s-curve).
+    pub bands: usize,
+    /// Signature rows hashed per band (`r`); signature length is `b·r`.
+    pub rows: usize,
+    /// Features shared by at most this many servers skip MinHash and get
+    /// exact pair enumeration — the recall floor for low-Jaccard
+    /// containment pairs (a tiny server fully inside a huge one).
+    pub rare_cap: usize,
+    /// LSH buckets holding more than this many servers are skipped (a
+    /// degenerate bucket would reintroduce the quadratic blowup).
+    pub bucket_cap: usize,
+}
+
+impl_json_struct!(LshConfig {
+    bands,
+    rows,
+    rare_cap,
+    bucket_cap,
+});
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            bands: 64,
+            rows: 1,
+            rare_cap: 16,
+            bucket_cap: 512,
+        }
+    }
+}
+
+impl LshConfig {
+    /// MinHash signature length (`bands · rows`).
+    pub fn signature_len(&self) -> usize {
+        self.bands.saturating_mul(self.rows)
+    }
+}
+
 /// Configuration of the SMASH pipeline.
 ///
 /// Defaults are the values the paper selects: IDF threshold 200
@@ -111,6 +162,13 @@ pub struct SmashConfig {
     /// the pipeline runs. Empty = none. Fault injection for resilience
     /// tests; never set this in production.
     pub failpoints: String,
+    /// Force brute-force all-pairs candidate enumeration in the client
+    /// and URI-file dimensions instead of MinHash/LSH. Quadratic in the
+    /// number of kept servers — the ground-truth oracle the LSH recall
+    /// suite compares against, and an escape hatch for small traces.
+    pub exact_candidates: bool,
+    /// MinHash/LSH banding knobs (ignored when `exact_candidates`).
+    pub lsh: LshConfig,
 }
 
 impl_json_struct!(SmashConfig {
@@ -138,6 +196,8 @@ impl_json_struct!(SmashConfig {
     pruning_enabled,
     dimension_budget_ms?,
     failpoints?,
+    exact_candidates?,
+    lsh?,
 });
 
 impl Default for SmashConfig {
@@ -167,6 +227,8 @@ impl Default for SmashConfig {
             pruning_enabled: true,
             dimension_budget_ms: 0,
             failpoints: String::new(),
+            exact_candidates: false,
+            lsh: LshConfig::default(),
         }
     }
 }
@@ -252,6 +314,20 @@ impl SmashConfig {
         self
     }
 
+    /// Forces brute-force all-pairs candidate enumeration (the LSH
+    /// recall oracle) instead of MinHash/LSH.
+    pub fn with_exact_candidates(mut self, on: bool) -> Self {
+        self.exact_candidates = on;
+        self
+    }
+
+    /// Sets the MinHash/LSH banding shape (signature length `bands·rows`).
+    pub fn with_lsh_bands(mut self, bands: usize, rows: usize) -> Self {
+        self.lsh.bands = bands;
+        self.lsh.rows = rows;
+        self
+    }
+
     /// FNV-1a fingerprint of the canonical JSON of this configuration
     /// (`fnv1a:<16 hex digits>`).
     ///
@@ -282,6 +358,7 @@ impl SmashConfig {
         unit("file_edge_min", self.file_edge_min)?;
         unit("ip_edge_min", self.ip_edge_min)?;
         unit("timing_edge_min", self.timing_edge_min)?;
+        // lint:allow(index): array literal after `in`, not an indexing site
         for (name, v) in [
             ("threshold", self.threshold),
             ("single_client_threshold", self.single_client_threshold),
@@ -308,6 +385,24 @@ impl SmashConfig {
         }
         if let Err(e) = smash_support::failpoint::parse_spec(&self.failpoints) {
             return Err(ConfigError(format!("bad failpoints spec: {e}")));
+        }
+        if self.lsh.bands == 0 || self.lsh.rows == 0 {
+            return Err(ConfigError(format!(
+                "lsh bands and rows must be positive, got {}x{}",
+                self.lsh.bands, self.lsh.rows
+            )));
+        }
+        if self.lsh.signature_len() > 4096 {
+            return Err(ConfigError(format!(
+                "lsh signature length {} exceeds 4096 (bands·rows)",
+                self.lsh.signature_len()
+            )));
+        }
+        if self.lsh.bucket_cap < 2 {
+            return Err(ConfigError(format!(
+                "lsh bucket_cap must be at least 2 (a bucket of one yields no pairs), got {}",
+                self.lsh.bucket_cap
+            )));
         }
         Ok(())
     }
@@ -420,8 +515,40 @@ mod tests {
         let mut json = smash_support::json::to_string(&SmashConfig::default());
         json = json
             .replace(r#","dimension_budget_ms":0"#, "")
-            .replace(r#","failpoints":"""#, "");
+            .replace(r#","failpoints":"""#, "")
+            .replace(r#","exact_candidates":false"#, "");
+        let lsh_json = format!(
+            r#","lsh":{}"#,
+            smash_support::json::to_string(&LshConfig::default())
+        );
+        json = json.replace(&lsh_json, "");
+        assert!(!json.contains("lsh"), "lsh field not stripped: {json}");
         let c: SmashConfig = smash_support::json::from_str(&json).unwrap();
         assert_eq!(c, SmashConfig::default());
+    }
+
+    #[test]
+    fn lsh_defaults_and_validation() {
+        let c = SmashConfig::default();
+        assert!(!c.exact_candidates);
+        assert_eq!(c.lsh.bands, 64);
+        assert_eq!(c.lsh.rows, 1);
+        assert_eq!(c.lsh.signature_len(), 64);
+        assert_eq!(c.lsh.rare_cap, 16);
+        assert_eq!(c.lsh.bucket_cap, 512);
+
+        let c = SmashConfig::default().with_lsh_bands(0, 1);
+        assert!(c.validate().unwrap_err().to_string().contains("lsh"));
+        let c = SmashConfig::default().with_lsh_bands(128, 64);
+        assert!(c.validate().unwrap_err().to_string().contains("4096"));
+        let mut c = SmashConfig::default();
+        c.lsh.bucket_cap = 1;
+        assert!(c.validate().unwrap_err().to_string().contains("bucket_cap"));
+        let c = SmashConfig::default()
+            .with_exact_candidates(true)
+            .with_lsh_bands(32, 2);
+        c.validate().unwrap();
+        assert!(c.exact_candidates);
+        assert_eq!(c.lsh.signature_len(), 64);
     }
 }

@@ -4,14 +4,45 @@
 //! are similar when their common clients matter to *both* of them.
 //! Malicious servers of one campaign are contacted by the same small set
 //! of infected clients; benign servers serve diverse crowds.
+//!
+//! Candidate pairs come from the MinHash/LSH layer over per-server
+//! client-ID sets (DESIGN.md §10); each candidate is then scored
+//! **exactly** by eq. 1 over the full sorted client lists, so LSH only
+//! prunes the pair universe, never changes a weight. Setting
+//! `SmashConfig::exact_candidates` scores every pair instead (the
+//! recall oracle).
 
 use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
-use smash_graph::{CooccurrenceCounter, Graph};
-use std::collections::HashMap;
+use crate::candidates;
+use smash_graph::Graph;
+use smash_support::par;
 
 /// Builder of the client-similarity graph.
 #[derive(Debug, Clone, Default)]
 pub struct ClientDimension;
+
+/// Size of the sorted intersection of two sorted, deduplicated slices.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let mut shared = 0;
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    while let (Some(&&x), Some(&&y)) = (ia.peek(), ib.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                ia.next();
+            }
+            std::cmp::Ordering::Greater => {
+                ib.next();
+            }
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                ia.next();
+                ib.next();
+            }
+        }
+    }
+    shared
+}
 
 impl Dimension for ClientDimension {
     fn kind(&self) -> DimensionKind {
@@ -20,41 +51,74 @@ impl Dimension for ClientDimension {
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
         instrumented_builder(ctx, self.kind(), |builder, funnel| {
-            // Inverted index: client → kept servers (as node ids).
+            // Per-node feature sets: the server's client ids.
             //
-            // Servers visited by exactly one client are excluded here: the
+            // Servers visited by exactly one client get an empty set: the
             // paper handles them in a separate per-client pass (Appendix C),
             // and letting them into the general graph glues each bot's
             // private long-tail browsing onto campaign herds, diluting herd
             // density. The pipeline adds their per-client herds after mining.
-            let mut by_client: HashMap<u32, Vec<u32>> = HashMap::new();
-            for (node, &server) in ctx.nodes.iter().enumerate() {
-                let clients = ctx.dataset.clients_of(server);
-                if clients.len() < 2 {
-                    continue;
+            let feature_sets: Vec<Vec<u64>> = ctx
+                .nodes
+                .iter()
+                .map(|&server| {
+                    let clients = ctx.dataset.clients_of(server);
+                    if clients.len() < 2 {
+                        Vec::new()
+                    } else {
+                        clients.iter().map(|&c| u64::from(c)).collect()
+                    }
+                })
+                .collect();
+            let eligible = feature_sets.iter().filter(|s| !s.is_empty()).count();
+            funnel.pairs_considered = candidates::pair_universe(eligible);
+
+            // Exact eq. 1 score of one node pair; `None` below threshold
+            // or when either side is ineligible.
+            let score = |u: u32, v: u32| -> Option<f64> {
+                let (su, sv) = (ctx.server_at(u)?, ctx.server_at(v)?);
+                let (cu, cv) = (ctx.dataset.clients_of(su), ctx.dataset.clients_of(sv));
+                if cu.len() < 2 || cv.len() < 2 {
+                    return None;
                 }
-                for &c in clients {
-                    by_client.entry(c).or_default().push(node as u32);
+                let shared = sorted_intersection_len(cu, cv);
+                let sim = overlap_product(shared, cu.len(), cv.len());
+                (sim >= ctx.config.client_edge_min).then_some(sim)
+            };
+
+            if ctx.config.exact_candidates {
+                // Brute force: score the whole pair universe, one node's
+                // upper triangle per parallel task.
+                let rows: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
+                let per_node: Vec<Vec<(u32, f64)>> = par::par_map(&rows, |&u| {
+                    (u + 1..ctx.nodes.len() as u32)
+                        .filter_map(|v| score(u, v).map(|s| (v, s)))
+                        .collect()
+                });
+                funnel.postings = feature_sets
+                    .iter()
+                    .flat_map(|s| s.iter())
+                    .collect::<std::collections::HashSet<_>>()
+                    .len() as u64;
+                funnel.pairs_bucketed = funnel.pairs_considered;
+                funnel.pairs_scored = candidates::pair_universe(ctx.nodes.len());
+                for (u, edges) in per_node.into_iter().enumerate() {
+                    for (v, sim) in edges {
+                        builder.add_edge(u as u32, v, sim);
+                        funnel.edges += 1;
+                    }
                 }
-            }
-            funnel.postings = by_client.len() as u64;
-            let mut counter =
-                CooccurrenceCounter::new().with_max_posting_len(ctx.config.client_posting_cap);
-            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
-            for (_, servers) in by_client {
-                counter.add_posting(servers);
-            }
-            for ((u, v), shared) in counter.counts_parallel() {
-                funnel.pairs_scored += 1;
-                let (Some(su), Some(sv)) = (ctx.server_at(u), ctx.server_at(v)) else {
-                    continue;
-                };
-                let cu = ctx.dataset.clients_of(su).len();
-                let cv = ctx.dataset.clients_of(sv).len();
-                let sim = overlap_product(shared as usize, cu, cv);
-                if sim >= ctx.config.client_edge_min {
-                    builder.add_edge(u, v, sim);
-                    funnel.edges += 1;
+            } else {
+                let (pairs, stats) = candidates::lsh_candidates(&feature_sets, &ctx.config.lsh);
+                funnel.postings = stats.features;
+                funnel.pairs_bucketed = stats.pairs;
+                funnel.pairs_scored = pairs.len() as u64;
+                let scores = par::par_map(&pairs, |&(u, v)| score(u, v));
+                for (&(u, v), sim) in pairs.iter().zip(scores) {
+                    if let Some(sim) = sim {
+                        builder.add_edge(u, v, sim);
+                        funnel.edges += 1;
+                    }
                 }
             }
         })
@@ -67,6 +131,7 @@ mod tests {
     use crate::config::SmashConfig;
     use smash_trace::{HttpRecord, TraceDataset};
     use smash_whois::WhoisRegistry;
+    use std::collections::HashMap;
 
     fn ctx_parts(records: Vec<HttpRecord>) -> (TraceDataset, WhoisRegistry, SmashConfig) {
         (
@@ -91,6 +156,13 @@ mod tests {
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
         })
+    }
+
+    #[test]
+    fn sorted_intersection_counts() {
+        assert_eq!(sorted_intersection_len(&[1, 3, 5], &[2, 3, 5, 9]), 2);
+        assert_eq!(sorted_intersection_len(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_len(&[7], &[7]), 1);
     }
 
     #[test]
@@ -168,5 +240,31 @@ mod tests {
         let (ds, w, c) = ctx_parts(vec![HttpRecord::new(0, "c1", "only.com", "1.1.1.1", "/")]);
         let g = build(&ds, &w, &c);
         assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn exact_mode_matches_lsh_on_small_graphs() {
+        // 6 servers with assorted client overlaps: both candidate modes
+        // must build the identical graph.
+        let mut records = Vec::new();
+        for s in 0..6u32 {
+            for k in 0..4u32 {
+                let client = format!("c{}", (s * 2 + k) % 8);
+                records.push(HttpRecord::new(
+                    0,
+                    &client,
+                    &format!("s{s}.com"),
+                    &format!("1.1.1.{s}"),
+                    "/x",
+                ));
+            }
+        }
+        let (ds, w, lsh_cfg) = ctx_parts(records);
+        let exact_cfg = lsh_cfg.clone().with_exact_candidates(true);
+        let g_lsh = build(&ds, &w, &lsh_cfg);
+        let g_exact = build(&ds, &w, &exact_cfg);
+        let edges = |g: &Graph| g.edges().collect::<Vec<_>>();
+        assert_eq!(edges(&g_lsh), edges(&g_exact));
+        assert!(g_lsh.edge_count() > 0, "overlapping servers must connect");
     }
 }

@@ -4,9 +4,12 @@
 //! the servers that survived preprocessing — so that herds from different
 //! dimensions can be intersected directly during correlation.
 //!
-//! Candidate pairs are always generated through an inverted index
-//! ([`smash_graph::CooccurrenceCounter`]); no dimension ever scores all
-//! `N²` server pairs.
+//! Candidate pairs are never enumerated quadratically: the client and
+//! URI-file dimensions route through the MinHash/LSH layer
+//! ([`crate::candidates`], DESIGN.md §10) unless
+//! `SmashConfig::exact_candidates` forces the brute-force oracle, and
+//! the remaining dimensions use an inverted index
+//! ([`smash_graph::CooccurrenceCounter`]).
 
 pub mod client;
 pub mod ip_set;
@@ -153,28 +156,39 @@ impl DimensionContext<'_> {
 pub(crate) fn record_dimension_metrics(
     ctx: &DimensionContext<'_>,
     kind: DimensionKind,
-    postings: u64,
-    pairs_scored: u64,
-    edges: u64,
+    funnel: &BuilderFunnel,
 ) {
     let m = ctx.metrics;
-    m.counter(&format!("dim/{kind}/postings")).add(postings);
+    m.counter(&format!("dim/{kind}/postings"))
+        .add(funnel.postings);
+    m.counter(&format!("dim/{kind}/pairs_considered"))
+        .add(funnel.pairs_considered);
+    m.counter(&format!("dim/{kind}/pairs_bucketed"))
+        .add(funnel.pairs_bucketed);
     m.counter(&format!("dim/{kind}/pairs_scored"))
-        .add(pairs_scored);
+        .add(funnel.pairs_scored);
     m.counter(&format!("dim/{kind}/pairs_pruned"))
-        .add(pairs_scored - edges);
-    m.counter(&format!("dim/{kind}/edges")).add(edges);
+        .add(funnel.pairs_scored - funnel.edges);
+    m.counter(&format!("dim/{kind}/edges")).add(funnel.edges);
     m.gauge(&format!("dim/{kind}/nodes"))
         .set(ctx.nodes.len() as f64);
 }
 
 /// The funnel counters every builder reports: how many inverted-index
-/// postings it processed, how many candidate pairs it scored, and how
-/// many edges survived the similarity threshold.
+/// postings it processed, the candidate funnel from the all-pairs
+/// universe through LSH bucketing down to the pairs actually scored,
+/// and how many edges survived the similarity threshold. Dimensions
+/// still routed through a plain co-occurrence counter leave the LSH
+/// stages (`pairs_considered`, `pairs_bucketed`) equal to
+/// `pairs_scored`'s upstream defaults (zero).
 #[derive(Debug, Default)]
 pub(crate) struct BuilderFunnel {
-    /// Inverted-index postings processed.
+    /// Inverted-index postings (distinct features) processed.
     pub postings: u64,
+    /// Size of the brute-force pair universe over nodes with features.
+    pub pairs_considered: u64,
+    /// Candidate pairs surviving LSH bucketing (deduplicated).
+    pub pairs_bucketed: u64,
     /// Candidate pairs scored.
     pub pairs_scored: u64,
     /// Edges that survived the threshold.
@@ -204,13 +218,7 @@ where
     let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
     let mut funnel = BuilderFunnel::default();
     body(&mut builder, &mut funnel);
-    record_dimension_metrics(
-        ctx,
-        kind,
-        funnel.postings,
-        funnel.pairs_scored,
-        funnel.edges,
-    );
+    record_dimension_metrics(ctx, kind, &funnel);
     builder.build()
 }
 

@@ -6,9 +6,17 @@
 //! case of Fig. 4). Server-level similarity (eq. 7) is the product of the
 //! two directed matched-fraction terms:
 //! `File(Si,Sj) = (matchedᵢ/|Fᵢ|) · (matchedⱼ/|Fⱼ|)`.
+//!
+//! Candidate pairs come from the MinHash/LSH layer (DESIGN.md §10) over
+//! each server's file-id set extended with charset-bucket keys for long
+//! (obfuscated) names — the same fuzzy buckets the inverted index used,
+//! folded into the signature space. Scoring stays the exact eqs. 2–7;
+//! `SmashConfig::exact_candidates` scores every pair instead.
 
 use super::{instrumented_builder, Dimension, DimensionContext, DimensionKind};
-use smash_graph::{CooccurrenceCounter, Graph};
+use crate::candidates;
+use smash_graph::Graph;
+use smash_support::par;
 use smash_trace::uri::charset_vector;
 use std::collections::{HashMap, HashSet};
 
@@ -50,58 +58,82 @@ impl Dimension for UriFileDimension {
                 node_files.push(NodeFiles { files, set, long });
             }
 
-            // Candidate pairs: exact-name postings plus charset buckets for
-            // long names (names over the same alphabet share the bucket).
-            let mut exact: HashMap<u32, Vec<u32>> = HashMap::new();
-            let mut fuzzy: HashMap<String, Vec<u32>> = HashMap::new();
-            for (node, nf) in node_files.iter().enumerate() {
-                for &f in &nf.files {
-                    exact.entry(f).or_default().push(node as u32);
-                }
-                for &f in &nf.long {
-                    let mut chars: Vec<u8> = ctx
-                        .dataset
-                        .file_name(f)
-                        .bytes()
-                        .collect::<HashSet<u8>>()
-                        .into_iter()
-                        .collect();
-                    chars.sort_unstable();
-                    fuzzy
-                        .entry(String::from_utf8_lossy(&chars).into_owned())
-                        .or_default()
-                        .push(node as u32);
-                }
-            }
-            funnel.postings = (exact.len() + fuzzy.len()) as u64;
-            let mut counter =
-                CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
-            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
-            for (_, nodes) in exact {
-                counter.add_posting(nodes);
-            }
-            // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
-            for (_, nodes) in fuzzy {
-                counter.add_posting(nodes);
-            }
+            // Feature sets: exact file ids, plus one namespaced charset
+            // key per long name (names over the same alphabet share the
+            // feature — the old fuzzy bucket, folded into the MinHash
+            // space).
+            let feature_sets: Vec<Vec<u64>> = node_files
+                .iter()
+                .map(|nf| {
+                    let mut feats: Vec<u64> = nf.files.iter().map(|&f| u64::from(f)).collect();
+                    feats.extend(
+                        nf.long
+                            .iter()
+                            .map(|&f| charset_feature(ctx.dataset.file_name(f))),
+                    );
+                    feats.sort_unstable();
+                    feats.dedup();
+                    feats
+                })
+                .collect();
+            let eligible = feature_sets.iter().filter(|s| !s.is_empty()).count();
+            funnel.pairs_considered = candidates::pair_universe(eligible);
 
-            for ((u, v), _) in counter.counts_parallel() {
-                funnel.pairs_scored += 1;
-                let (Some(nu), Some(nv)) = (node_files.get(u as usize), node_files.get(v as usize))
-                else {
-                    continue;
-                };
-                let (mu, mv) =
-                    matched_counts(nu, nv, &long_vectors, ctx.config.charset_cosine_threshold);
-                if mu == 0 {
-                    continue;
+            // Exact eqs. 2–7 score of one node pair; `None` below the
+            // threshold or when no file matches.
+            let cos_thresh = ctx.config.charset_cosine_threshold;
+            let score = |u: u32, v: u32| -> Option<f64> {
+                let nu = node_files.get(u as usize)?;
+                let nv = node_files.get(v as usize)?;
+                if nu.files.is_empty() || nv.files.is_empty() {
+                    return None;
                 }
-                let fu = nu.files.len();
-                let fv = nv.files.len();
-                let sim = (mu as f64 / fu as f64) * (mv as f64 / fv as f64);
-                if sim >= ctx.config.file_edge_min {
-                    builder.add_edge(u, v, sim);
-                    funnel.edges += 1;
+                // Cheap zero-score shortcut: with no long names on one
+                // side, only exact id matches can contribute.
+                if (nu.long.is_empty() || nv.long.is_empty())
+                    && !nu.files.iter().any(|f| nv.set.contains(f))
+                {
+                    return None;
+                }
+                let (mu, mv) = matched_counts(nu, nv, &long_vectors, cos_thresh);
+                if mu == 0 {
+                    return None;
+                }
+                let sim = (mu as f64 / nu.files.len() as f64) * (mv as f64 / nv.files.len() as f64);
+                (sim >= ctx.config.file_edge_min).then_some(sim)
+            };
+
+            if ctx.config.exact_candidates {
+                let rows: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
+                let per_node: Vec<Vec<(u32, f64)>> = par::par_map(&rows, |&u| {
+                    (u + 1..ctx.nodes.len() as u32)
+                        .filter_map(|v| score(u, v).map(|s| (v, s)))
+                        .collect()
+                });
+                funnel.postings = feature_sets
+                    .iter()
+                    .flat_map(|s| s.iter())
+                    .collect::<HashSet<_>>()
+                    .len() as u64;
+                funnel.pairs_bucketed = funnel.pairs_considered;
+                funnel.pairs_scored = candidates::pair_universe(ctx.nodes.len());
+                for (u, edges) in per_node.into_iter().enumerate() {
+                    for (v, sim) in edges {
+                        builder.add_edge(u as u32, v, sim);
+                        funnel.edges += 1;
+                    }
+                }
+            } else {
+                let (pairs, stats) = candidates::lsh_candidates(&feature_sets, &ctx.config.lsh);
+                funnel.postings = stats.features;
+                funnel.pairs_bucketed = stats.pairs;
+                funnel.pairs_scored = pairs.len() as u64;
+                let scores = par::par_map(&pairs, |&(u, v)| score(u, v));
+                for (&(u, v), sim) in pairs.iter().zip(scores) {
+                    if let Some(sim) = sim {
+                        builder.add_edge(u, v, sim);
+                        funnel.edges += 1;
+                    }
                 }
             }
         })
@@ -138,6 +170,15 @@ fn matched_counts(
 
 fn cosine(a: &[f64; 256], b: &[f64; 256]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// The charset-bucket feature of a long filename: an FNV-1a hash of the
+/// sorted distinct bytes, namespaced by the high bit so it can never
+/// collide with an interned file id (a `u32`).
+fn charset_feature(name: &str) -> u64 {
+    let mut chars: Vec<u8> = name.bytes().collect::<HashSet<u8>>().into_iter().collect();
+    chars.sort_unstable();
+    (1 << 63) | (smash_support::ckpt::fnv1a(&chars) >> 1)
 }
 
 #[cfg(test)]
@@ -204,18 +245,19 @@ mod tests {
     }
 
     #[test]
-    fn hot_file_posting_is_capped() {
-        // index.html shared by many servers with a tiny cap: no pairs.
-        let cfg = SmashConfig {
-            file_posting_cap: 3,
-            ..SmashConfig::default()
-        };
+    fn hot_file_pairs_survive_banding() {
+        // index.html shared by ten one-file servers: the posting is far
+        // beyond rare_cap, yet every pair scores 1.0 under eqs. 2–7
+        // (identical file profiles), so banding must surface the whole
+        // clique — LSH prunes candidates, it never deletes edges the
+        // exact math produces.
         let records: Vec<HttpRecord> = (0..10)
             .map(|i| HttpRecord::new(0, "c", &format!("s{i}.com"), "1.1.1.1", "/index.html"))
             .collect();
         // NOTE: shared IP is irrelevant here — this is the file dimension.
-        let (_, g) = build(records, cfg);
-        assert_eq!(g.edge_count(), 0);
+        let (_, g) = build(records, SmashConfig::default());
+        assert_eq!(g.edge_count() as u64, candidates::pair_universe(10));
+        assert!(g.edges().all(|(_, _, w)| w == 1.0));
     }
 
     #[test]
@@ -274,6 +316,32 @@ mod tests {
         );
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.edges().next().unwrap().2, 1.0);
+    }
+
+    #[test]
+    fn exact_mode_matches_lsh_on_small_graphs() {
+        let mut records = Vec::new();
+        let shared_long = format!("/{}.php", "zq".repeat(20));
+        for s in 0..6u32 {
+            let host = format!("s{s}.com");
+            let ip = format!("2.2.2.{s}");
+            records.push(HttpRecord::new(0, "c", &host, &ip, "/common.php"));
+            records.push(HttpRecord::new(
+                0,
+                "c",
+                &host,
+                &ip,
+                &format!("/own-{s}.html"),
+            ));
+            if s % 2 == 0 {
+                records.push(HttpRecord::new(0, "c", &host, &ip, &shared_long));
+            }
+        }
+        let (_, g_lsh) = build(records.clone(), SmashConfig::default());
+        let (_, g_exact) = build(records, SmashConfig::default().with_exact_candidates(true));
+        let edges = |g: &Graph| g.edges().collect::<Vec<_>>();
+        assert_eq!(edges(&g_lsh), edges(&g_exact));
+        assert!(g_lsh.edge_count() > 0);
     }
 
     #[test]

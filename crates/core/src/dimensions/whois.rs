@@ -31,7 +31,7 @@ impl Dimension for WhoisDimension {
                 let rec = ctx
                     .dataset
                     .server_key(server)
-                    .domain()
+                    .and_then(|k| k.domain())
                     .and_then(|d| ctx.whois.get(d));
                 if let Some(r) = rec {
                     let node = node as u32;

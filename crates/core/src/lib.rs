@@ -37,6 +37,7 @@
 
 pub mod ash;
 pub mod baseline;
+pub mod candidates;
 pub mod checkpoint;
 pub mod config;
 pub mod correlation;
@@ -52,7 +53,7 @@ pub mod tracker;
 
 pub use ash::{Ash, MinedDimension};
 pub use checkpoint::CheckpointOptions;
-pub use config::{ConfigError, SmashConfig};
+pub use config::{ConfigError, LshConfig, SmashConfig};
 pub use dimensions::DimensionKind;
 pub use pipeline::Smash;
 pub use report::{

@@ -44,6 +44,7 @@ pub mod config;
 pub mod names;
 pub mod noise;
 pub mod scenario;
+pub mod stream;
 pub mod zipf;
 
 pub use builder::ScenarioBuilder;

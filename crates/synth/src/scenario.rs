@@ -121,7 +121,7 @@ pub struct WeekScenario {
 }
 
 /// SplitMix64 — derives independent sub-seeds from (seed, tags).
-fn mix(seed: u64, a: u64, b: u64) -> u64 {
+pub(crate) fn mix(seed: u64, a: u64, b: u64) -> u64 {
     let mut z = seed ^ a.rotate_left(17) ^ b.rotate_left(41);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

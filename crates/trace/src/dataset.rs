@@ -168,14 +168,26 @@ impl TraceDataset {
         let empty_file = self.files.get("");
         for (i, r) in self.records.iter().enumerate() {
             let s = r.server as usize;
-            clients[s].push(r.client);
+            // Interned server ids are dense indexes into these tables; a
+            // miss would be an interner bug, and skipping the record
+            // beats panicking mid-ingest.
+            let (Some(sc), Some(sf), Some(si), Some(sr), Some(sref)) = (
+                clients.get_mut(s),
+                files.get_mut(s),
+                ips.get_mut(s),
+                recs.get_mut(s),
+                refs.get_mut(s),
+            ) else {
+                continue;
+            };
+            sc.push(r.client);
             if Some(r.file) != empty_file {
-                files[s].push(r.file);
+                sf.push(r.file);
             }
-            ips[s].push(r.ip);
-            recs[s].push(i as u32);
+            si.push(r.ip);
+            sr.push(i as u32);
             if let Some(rf) = r.referrer {
-                refs[s].push(rf);
+                sref.push(rf);
             }
         }
         for v in clients
@@ -231,9 +243,10 @@ impl TraceDataset {
         ckpt::fingerprint_string(ckpt::fnv1a(smash_support::json::to_string(self).as_bytes()))
     }
 
-    /// The [`ServerKey`] of a server id.
-    pub fn server_key(&self, id: ServerId) -> &ServerKey {
-        &self.server_keys[id as usize]
+    /// The [`ServerKey`] of a server id, or `None` for an id this
+    /// dataset never interned.
+    pub fn server_key(&self, id: ServerId) -> Option<&ServerKey> {
+        self.server_keys.get(id as usize)
     }
 
     /// The display name of a server id (domain or dotted IP).
@@ -296,31 +309,45 @@ impl TraceDataset {
         self.paths.resolve(id)
     }
 
-    /// Sorted, deduplicated client ids that contacted `server`.
+    /// Sorted, deduplicated client ids that contacted `server`. A rogue
+    /// id yields the empty slice rather than a panic.
     pub fn clients_of(&self, server: ServerId) -> &[u32] {
-        &self.server_clients[server as usize]
+        self.server_clients
+            .get(server as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Sorted, deduplicated non-empty URI-file ids requested on `server`.
+    /// A rogue id yields the empty slice rather than a panic.
     pub fn files_of(&self, server: ServerId) -> &[u32] {
-        &self.server_files[server as usize]
+        self.server_files
+            .get(server as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
-    /// Sorted, deduplicated IP ids `server` resolved to.
+    /// Sorted, deduplicated IP ids `server` resolved to. A rogue id
+    /// yields the empty slice rather than a panic.
     pub fn ips_of(&self, server: ServerId) -> &[u32] {
-        &self.server_ips[server as usize]
+        self.server_ips
+            .get(server as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Indexes into [`records`](Self::records) of the requests to `server`.
     pub fn records_of(&self, server: ServerId) -> impl Iterator<Item = &CompactRecord> {
-        self.server_records[server as usize]
-            .iter()
-            .map(|&i| &self.records[i as usize])
+        self.server_records
+            .get(server as usize)
+            .into_iter()
+            .flatten()
+            .filter_map(|&i| self.records.get(i as usize))
     }
 
     /// Sorted, deduplicated servers that referred clients to `server`.
+    /// A rogue id yields the empty slice rather than a panic.
     pub fn referrers_of(&self, server: ServerId) -> &[ServerId] {
-        &self.server_referrers[server as usize]
+        self.server_referrers
+            .get(server as usize)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// The redirect target of `server`, if any 3xx response with a
@@ -343,16 +370,16 @@ impl TraceDataset {
     /// Fraction of requests to `server` whose response was an error
     /// (4xx/5xx or missing) — the paper's "suspicious" existence check.
     pub fn error_rate_of(&self, server: ServerId) -> f64 {
-        let recs = &self.server_records[server as usize];
+        let Some(recs) = self.server_records.get(server as usize) else {
+            return 0.0;
+        };
         if recs.is_empty() {
             return 0.0;
         }
         let errors = recs
             .iter()
-            .filter(|&&i| {
-                let s = self.records[i as usize].status;
-                s == 0 || s >= 400
-            })
+            .filter_map(|&i| self.records.get(i as usize))
+            .filter(|r| r.status == 0 || r.status >= 400)
             .count();
         errors as f64 / recs.len() as f64
     }
@@ -390,7 +417,10 @@ mod tests {
             rec("c1", "x.com", "1.2.3.4", "/f.php"),
         ]);
         assert_eq!(ds.server_count(), 2);
-        assert!(ds.server_key(ds.server_id("1.2.3.4").unwrap()).is_ip());
+        assert!(ds
+            .server_key(ds.server_id("1.2.3.4").unwrap())
+            .unwrap()
+            .is_ip());
     }
 
     #[test]

@@ -43,6 +43,9 @@ analyze flags:
   --threshold <t>        eq. 9 acceptance threshold
   --idf <n>              popularity (IDF) filter threshold
   --param-dimension      enable the URI parameter-pattern dimension
+  --exact                brute-force candidate pairs instead of
+                         MinHash/LSH (the recall oracle; see DESIGN.md
+                         §10 — slow on large traces)
   --dimension-budget-ms <ms>  per-dimension wall-clock budget (0 = off)
   --json <path>          write the campaign/health/perf report as JSON
   --dot <path>           write the client-similarity graph as Graphviz DOT
@@ -82,18 +85,18 @@ fn main() -> ExitCode {
         print!("{HELP}");
         return ExitCode::SUCCESS;
     }
-    if args.is_empty() {
+    let Some((cmd, rest)) = args.split_first() else {
         // A missing subcommand is a usage error: help text belongs on
         // stderr so stdout stays clean for scripted consumers.
         eprint!("{HELP}");
         return ExitCode::from(2);
-    }
-    let result = match args.first().map(String::as_str) {
-        Some("generate") => cmd_generate(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("baseline") => cmd_baseline(&args[1..]),
-        Some(first) if first.starts_with('-') => {
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "analyze" => cmd_analyze(rest),
+        "baseline" => cmd_baseline(rest),
+        first if first.starts_with('-') => {
             eprintln!("error: unknown flag `{first}` (see smash --help)");
             return ExitCode::from(2);
         }
@@ -145,8 +148,7 @@ const LOAD_FLAGS: &[FlagSpec] = &[
 /// `--threshhold` would analyze with defaults and report wrong results.
 fn check_flags(args: &[String], allowed: &[&[FlagSpec]]) -> Result<(), UsageError> {
     let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
+    while let Some(a) = args.get(i) {
         if a.starts_with("--") {
             match allowed
                 .iter()
@@ -179,6 +181,7 @@ fn check_flags(args: &[String], allowed: &[&[FlagSpec]]) -> Result<(), UsageErro
     Ok(())
 }
 
+// lint:allow(index): lifetime-annotated slice parameter, not an indexing site
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
@@ -331,6 +334,7 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     ("--threshold", true),
     ("--idf", true),
     ("--param-dimension", false),
+    ("--exact", false),
     ("--dimension-budget-ms", true),
     ("--json", true),
     ("--dot", true),
@@ -379,6 +383,9 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     }
     if args.iter().any(|a| a == "--param-dimension") {
         config = config.with_param_pattern_dimension(true);
+    }
+    if args.iter().any(|a| a == "--exact") {
+        config = config.with_exact_candidates(true);
     }
     if let Some(ms) = flag_value(args, "--dimension-budget-ms") {
         config = config.with_dimension_budget_ms(ms.parse()?);
