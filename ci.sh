@@ -31,6 +31,11 @@
 #   6d. smash-bench --huge --quick            the streamed ISP-scale scenario
 #                                             ingests lazily and the pipeline
 #                                             completes (writes no file)
+#   6e. smash-bench --pressure --quick        the resource governor's
+#                                             degradation ladder replays the
+#                                             streamed scenario under halving
+#                                             memory budgets (DESIGN.md §11;
+#                                             writes no file)
 #   7. examples                               all four examples/ run to completion
 #   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
@@ -70,6 +75,9 @@ cargo test -q --offline --release --test lsh_recall small_scenario
 
 echo "==> smash-bench --huge --quick (streamed ISP-scale smoke)"
 cargo run -q --release --offline -p smash-bench -- --huge --quick >/dev/null
+
+echo "==> smash-bench --pressure --quick (memory-budget degradation smoke)"
+cargo run -q --release --offline -p smash-bench -- --pressure --quick >/dev/null
 
 echo "==> examples build and run"
 for ex in quickstart campaign_discovery weekly_monitoring custom_trace; do

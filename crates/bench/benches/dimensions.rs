@@ -31,6 +31,7 @@ fn bench_dimensions(c: &mut Criterion) {
         nodes: &nodes,
         node_of: &node_of,
         metrics: &metrics,
+        governor: smash_support::governor::Governor::unlimited(),
     };
     let mut g = c.benchmark_group("dimension-graphs");
     g.bench_function("client", |b| b.iter(|| ClientDimension.build_graph(&ctx)));

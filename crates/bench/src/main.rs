@@ -26,6 +26,7 @@
 use smash_bench::chaos::{self, ChaosOptions};
 use smash_bench::{medium_scenario, small_scenario};
 use smash_core::{CheckpointOptions, Smash, SmashConfig, SmashReport};
+use smash_support::governor::GovernorOptions;
 use smash_support::json::{to_string_pretty, Json, ToJson};
 use smash_support::metrics::Registry;
 use smash_synth::stream::StreamScenario;
@@ -43,6 +44,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: smash-bench [--iterations N] [--quick] [--huge] [--out <path>]\n\
+             \x20      smash-bench --pressure [--quick] [--out <path>]\n\
              \x20      smash-bench --chaos [--quick] [--seed N] [--smash-bin <path>] [--keep]\n\
              \n\
              Runs the SMASH pipeline over the small/medium synthetic scenarios\n\
@@ -56,6 +58,15 @@ fn main() {
              --quick it runs the reduced variant alone and writes no file\n\
              unless --out is given.\n\
              \n\
+             --pressure replays the streamed scenario under a descending\n\
+             ladder of per-stage memory budgets (unconstrained, then half\n\
+             and a quarter of the unconstrained peak), recording every\n\
+             degradation rung (bucket_cap tightening, posting shedding,\n\
+             stage cancellation) and the planted-campaign recovery at each\n\
+             rung under a `pressure` key in BENCH_pipeline.json (DESIGN.md\n\
+             \u{a7}11). With --quick it uses the reduced scenario and writes\n\
+             no file unless --out is given.\n\
+             \n\
              --chaos runs the deterministic fault/crash sweep instead: every\n\
              single and paired secondary-dimension kill, a crash/restart cycle\n\
              after every checkpoint boundary (via subprocess re-exec of the\n\
@@ -68,6 +79,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "--chaos") {
         run_chaos(&args, quick);
+        return;
+    }
+    if args.iter().any(|a| a == "--pressure") {
+        run_pressure(&args, quick);
         return;
     }
     let iterations: usize = flag_value(&args, "--iterations")
@@ -167,6 +182,173 @@ fn run_chaos(args: &[String], quick: bool) {
             std::process::exit(1);
         }
     }
+}
+
+/// Replays the streamed scenario under a descending ladder of per-stage
+/// memory budgets (DESIGN.md §11): one unconstrained run to measure the
+/// peak tracked bytes, then the same dataset under half and a quarter of
+/// that peak. Each rung records its budget, observed peak, governor
+/// degradation events, degraded dimensions, and how many of the planted
+/// campaigns were still recovered. In full mode the sweep is merged into
+/// `BENCH_pipeline.json` under a top-level `pressure` key; with --quick
+/// (or no resolvable output path) it prints to stdout.
+fn run_pressure(args: &[String], quick: bool) {
+    let scenario = if quick {
+        StreamScenario::quick(7)
+    } else {
+        StreamScenario::huge(7)
+    };
+    let label = if quick {
+        "pressure (quick)"
+    } else {
+        "pressure"
+    };
+    let config = SmashConfig::default();
+    let dataset = scenario.dataset();
+    let records = dataset.record_count();
+    eprintln!(
+        "{label}: streamed {} records into {} servers",
+        records,
+        dataset.server_count()
+    );
+
+    let whois = WhoisRegistry::new();
+    let smash = Smash::new(config.clone());
+    let metrics = Registry::new();
+    let baseline = smash.run_governed(&dataset, &whois, &metrics, None, None);
+    let peak = baseline.perf.peak_tracked_bytes;
+    let recovered = recovered_campaigns(&baseline, &scenario);
+    eprintln!(
+        "{label}: unconstrained peak {} tracked bytes, {}/{} planted campaigns recovered",
+        peak, recovered, scenario.campaigns
+    );
+
+    let mut rungs: Vec<Json> = vec![pressure_rung_json("unconstrained", 0, &baseline, recovered)];
+    for &divisor in &[2u64, 4] {
+        let budget = (peak / divisor).max(1);
+        let opts = GovernorOptions::unlimited().with_memory_budget_bytes(budget);
+        let rung_metrics = Registry::new();
+        let report = smash.run_governed(&dataset, &whois, &rung_metrics, None, Some(&opts));
+        let recovered = recovered_campaigns(&report, &scenario);
+        eprintln!(
+            "{label}: budget peak/{divisor} = {} bytes → peak {} bytes, {} governor event(s), {}/{} campaigns",
+            budget,
+            report.perf.peak_tracked_bytes,
+            report.health.governor.len(),
+            recovered,
+            scenario.campaigns
+        );
+        for note in report.health.governor.iter().take(12) {
+            eprintln!("{label}:   {note}");
+        }
+        if report.health.governor.len() > 12 {
+            eprintln!(
+                "{label}:   ... {} more event(s), see the pressure record",
+                report.health.governor.len() - 12
+            );
+        }
+        rungs.push(pressure_rung_json(
+            &format!("peak/{divisor}"),
+            budget,
+            &report,
+            recovered,
+        ));
+    }
+
+    let sweep = Json::Obj(vec![
+        ("scenario".into(), Json::Str(label.into())),
+        ("records".into(), records.to_json()),
+        ("planted_campaigns".into(), scenario.campaigns.to_json()),
+        ("unconstrained_peak_bytes".into(), peak.to_json()),
+        ("rungs".into(), Json::Arr(rungs)),
+    ]);
+
+    let out = flag_value(args, "--out").map(str::to_owned).or_else(|| {
+        (!quick).then(|| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")))
+    });
+    match out {
+        Some(path) => {
+            let doc = merge_pressure(&path, sweep);
+            std::fs::write(&path, to_string_pretty(&doc)).expect("write benchmark file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", to_string_pretty(&sweep)),
+    }
+}
+
+/// One rung of the pressure ladder as a JSON object.
+fn pressure_rung_json(
+    name: &str,
+    budget_bytes: u64,
+    report: &SmashReport,
+    recovered: usize,
+) -> Json {
+    let degraded: Vec<Json> = report
+        .health
+        .dimensions
+        .iter()
+        .filter(|d| !d.status.is_ok())
+        .map(|d| Json::Str(format!("{}: {:?}", d.kind, d.status)))
+        .collect();
+    Json::Obj(vec![
+        ("budget".into(), Json::Str(name.into())),
+        ("budget_bytes".into(), budget_bytes.to_json()),
+        (
+            "peak_tracked_bytes".into(),
+            report.perf.peak_tracked_bytes.to_json(),
+        ),
+        ("campaigns_found".into(), report.campaigns.len().to_json()),
+        ("campaigns_recovered".into(), recovered.to_json()),
+        (
+            "governor_events".into(),
+            Json::Arr(
+                report
+                    .health
+                    .governor
+                    .iter()
+                    .map(|e| Json::Str(e.clone()))
+                    .collect(),
+            ),
+        ),
+        ("degraded_dimensions".into(), Json::Arr(degraded)),
+    ])
+}
+
+/// Counts planted campaigns whose servers (`c{campaign}-{n}.bad`) landed
+/// together: a planted campaign is recovered when a single inferred
+/// campaign holds at least half of its planted servers.
+fn recovered_campaigns(report: &SmashReport, scenario: &StreamScenario) -> usize {
+    let need = scenario.servers_per_campaign.div_ceil(2);
+    (0..scenario.campaigns)
+        .filter(|c| {
+            let prefix = format!("c{c}-");
+            report.campaigns.iter().any(|camp| {
+                camp.servers
+                    .iter()
+                    .filter(|s| s.starts_with(&prefix) && s.ends_with(".bad"))
+                    .count()
+                    >= need
+            })
+        })
+        .count()
+}
+
+/// Reads the existing benchmark document at `path` (if any) and inserts
+/// or replaces its top-level `pressure` key with `sweep`, preserving the
+/// scenario results already recorded there.
+fn merge_pressure(path: &str, sweep: Json) -> Json {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| smash_support::json::parse(&s).ok())
+        .unwrap_or_else(|| Json::Obj(vec![("schema".into(), Json::Str(SCHEMA.into()))]));
+    if let Json::Obj(fields) = &mut doc {
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "pressure") {
+            slot.1 = sweep;
+        } else {
+            fields.push(("pressure".into(), sweep));
+        }
+    }
+    doc
 }
 
 /// Median wall times of one scenario across iterations.

@@ -43,6 +43,7 @@
 //! across runs and thread counts.
 
 use crate::config::LshConfig;
+use smash_support::governor::StageScope;
 use smash_support::par;
 use std::collections::HashMap;
 
@@ -55,6 +56,9 @@ pub struct CandidateStats {
     pub capped_buckets: u64,
     /// Candidate pairs after deduplication.
     pub pairs: u64,
+    /// Postings shed by the governor's degradation ladder (always 0
+    /// without a memory budget).
+    pub shed_postings: u64,
 }
 
 /// SplitMix64 finalizer: the bijective scrambler behind every hash in
@@ -79,11 +83,24 @@ fn row_hash(feature: u64, row: u64) -> u64 {
 /// is identical across thread counts). An empty set signs as all
 /// `u64::MAX`.
 pub fn minhash_signatures(node_features: &[Vec<u64>], signature_len: usize) -> Vec<Vec<u64>> {
+    minhash_signature_rows(node_features, 0, signature_len)
+}
+
+/// The `[first_row, first_row + rows)` slice of every node's MinHash
+/// signature, without materialising the rest of the table. Row `i` of
+/// the result equals row `first_row + i` of [`minhash_signatures`]'
+/// output exactly — the governor's streamed-banding rung relies on
+/// that identity.
+fn minhash_signature_rows(
+    node_features: &[Vec<u64>],
+    first_row: usize,
+    rows: usize,
+) -> Vec<Vec<u64>> {
     par::par_map(node_features, |features| {
-        let mut sig = vec![u64::MAX; signature_len];
+        let mut sig = vec![u64::MAX; rows];
         for &f in features {
-            for (row, slot) in sig.iter_mut().enumerate() {
-                let h = row_hash(f, row as u64);
+            for (i, slot) in sig.iter_mut().enumerate() {
+                let h = row_hash(f, (first_row + i) as u64);
                 if h < *slot {
                     *slot = h;
                 }
@@ -115,18 +132,88 @@ pub fn lsh_candidates(
     node_features: &[Vec<u64>],
     lsh: &LshConfig,
 ) -> (Vec<(u32, u32)>, CandidateStats) {
+    lsh_candidates_governed(node_features, lsh, None)
+}
+
+/// [`lsh_candidates`] under governor control (DESIGN.md §11).
+///
+/// With a scope the generator becomes a cancellation point (ticking per
+/// node and per band) and charges its dominant allocations — postings,
+/// the MinHash signature table, per-band buckets, and the candidate-pair
+/// buffer — against the stage's byte account. On a soft-budget breach it
+/// walks the degradation ladder deterministically:
+///
+/// 1. tighten the effective `bucket_cap` (÷4, floor 2), trading recall
+///    in degenerate crowds for clique memory;
+/// 2. shed the most popular postings, longest first (feature id breaks
+///    ties), recording each shed feature — postings beyond `rare_cap`
+///    are free to drop (the rare path never reads them), shorter ones
+///    cost real rare-path pairs;
+/// 3. stream the MinHash table band by band instead of holding all
+///    `bands · rows` rows resident — byte-identical candidate output
+///    (each band's rows are recomputed to the same values), `bands`×
+///    smaller resident signature memory, `bands`× the hashing work;
+/// 4. the hard budget, enforced inside [`StageScope::charge`], cancels
+///    the stage outright.
+///
+/// Without a scope (or with an unbudgeted one) the output is identical
+/// to [`lsh_candidates`].
+pub fn lsh_candidates_governed(
+    node_features: &[Vec<u64>],
+    lsh: &LshConfig,
+    scope: Option<&StageScope>,
+) -> (Vec<(u32, u32)>, CandidateStats) {
     let mut stats = CandidateStats::default();
     let mut pairs: Vec<(u32, u32)> = Vec::new();
 
     // Inverted index feature → nodes. Input sets are deduplicated and
     // nodes are visited in order, so each posting is sorted and unique.
     let mut postings: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut posting_bytes = 0u64;
     for (node, features) in node_features.iter().enumerate() {
+        if let Some(s) = scope {
+            s.tick();
+            let bytes = features.len() as u64 * 4;
+            posting_bytes += bytes;
+            s.charge(bytes);
+        }
         for &f in features {
             postings.entry(f).or_default().push(node as u32);
         }
     }
     stats.features = postings.len() as u64;
+
+    // Soft breach after the postings build: ladder rungs 1 and 2. The
+    // decision point is sequential and driven only by charged bytes, so
+    // a given (input, budget) pair always degrades identically.
+    let mut effective_bucket_cap = lsh.bucket_cap;
+    if let Some(s) = scope {
+        if s.soft_exceeded() {
+            let tightened = (lsh.bucket_cap / 4).max(2);
+            if tightened < effective_bucket_cap {
+                s.record(format!(
+                    "bucket_cap tightened {effective_bucket_cap} -> {tightened}"
+                ));
+                effective_bucket_cap = tightened;
+            }
+            let mut order: Vec<(usize, u64)> = postings
+                .iter()
+                .map(|(&f, nodes)| (nodes.len(), f))
+                .collect();
+            order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            for (len, feature) in order {
+                if !s.soft_exceeded() {
+                    break;
+                }
+                postings.remove(&feature);
+                let bytes = len as u64 * 4;
+                posting_bytes = posting_bytes.saturating_sub(bytes);
+                s.release(bytes);
+                s.record(format!("shed posting feature={feature} len={len}"));
+                stats.shed_postings += 1;
+            }
+        }
+    }
 
     // Rare-feature exact path.
     // lint:allow(hash-iter): pairs are sorted+deduped before use.
@@ -135,38 +222,165 @@ pub fn lsh_candidates(
             push_clique(&mut pairs, nodes);
         }
     }
+    // Postings are only read by the rare path; return their bytes now.
+    drop(postings);
+    if let Some(s) = scope {
+        s.release(posting_bytes);
+        s.charge(pairs.len() as u64 * 8);
+    }
 
-    let signatures = minhash_signatures(node_features, lsh.signature_len());
+    // Ladder rung 3: when holding the full signature table would put
+    // the stage over its soft budget, stream the table band by band —
+    // each band's rows are recomputed to values identical to the full
+    // table's, so the candidate output does not change, only the
+    // resident bytes (÷bands) and the hashing work (×bands).
+    let signature_bytes = node_features.len() as u64 * lsh.signature_len() as u64 * 8;
+    let band_bytes = node_features.len() as u64 * lsh.rows as u64 * 8;
+    let streamed = scope.is_some_and(|s| {
+        s.soft_bytes() > 0 && s.tracked_bytes() + signature_bytes > s.soft_bytes()
+    });
+    let signatures = if streamed {
+        Vec::new()
+    } else {
+        minhash_signatures(node_features, lsh.signature_len())
+    };
+    if let Some(s) = scope {
+        if streamed {
+            s.record(format!(
+                "signature streaming engaged: table {signature_bytes} bytes -> {band_bytes} per band"
+            ));
+        } else {
+            s.charge(signature_bytes);
+        }
+    }
 
     // Banding: one bucket map per band, reused across bands.
     let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
     for band in 0..lsh.bands {
+        if let Some(s) = scope {
+            s.tick();
+            // Re-check the ladder between bands: the pair buffer grows
+            // band by band. First compact it — a crowd with identical
+            // feature sets lands in the same bucket every band, so its
+            // clique is duplicated per band and those bytes are free to
+            // reclaim. Only if compaction leaves the stage over soft
+            // does tightening (which costs recall) engage.
+            if s.soft_exceeded() {
+                let before_compact = pairs.len();
+                pairs.sort_unstable();
+                pairs.dedup();
+                if pairs.len() < before_compact {
+                    s.release((before_compact - pairs.len()) as u64 * 8);
+                    s.record(format!(
+                        "pair buffer compacted: {before_compact} -> {} pairs",
+                        pairs.len()
+                    ));
+                }
+            }
+            if s.soft_exceeded() {
+                let tightened = (effective_bucket_cap / 4).max(2);
+                if tightened < effective_bucket_cap {
+                    s.record(format!(
+                        "bucket_cap tightened {effective_bucket_cap} -> {tightened}"
+                    ));
+                    effective_bucket_cap = tightened;
+                }
+            }
+        }
+        let band_sigs = if streamed {
+            if let Some(s) = scope {
+                s.charge(band_bytes);
+            }
+            minhash_signature_rows(node_features, band * lsh.rows, lsh.rows)
+        } else {
+            Vec::new()
+        };
+        let (table, skip) = if streamed {
+            (&band_sigs, 0)
+        } else {
+            (&signatures, band * lsh.rows)
+        };
         buckets.clear();
-        for (node, (sig, features)) in signatures.iter().zip(node_features).enumerate() {
+        let before = pairs.len();
+        let mut bucketed = 0u64;
+        for (node, (sig, features)) in table.iter().zip(node_features).enumerate() {
             if features.is_empty() {
                 // All-MAX signatures would glue every empty node into
                 // one bucket of spurious pairs.
                 continue;
             }
-            let rows = sig.iter().skip(band * lsh.rows).take(lsh.rows);
+            let rows = sig.iter().skip(skip).take(lsh.rows);
             let mut key = mix64(0xB00C_0000 ^ band as u64);
             for &row in rows {
                 key = mix64(key ^ row);
             }
             buckets.entry(key).or_default().push(node as u32);
+            bucketed += 1;
+        }
+        if let Some(s) = scope {
+            s.charge(bucketed * 4);
+            // Pre-assess this band's clique expansion against the soft
+            // budget and tighten until the projection fits (or the cap
+            // floors at 2): a single crowded band could otherwise jump
+            // the account from under soft straight past the hard budget
+            // before any ladder decision point runs.
+            if s.soft_bytes() > 0 {
+                loop {
+                    // lint:allow(hash-iter): order-independent sum.
+                    let projected: u64 = buckets
+                        .values()
+                        .map(|nodes| {
+                            let k = nodes.len() as u64;
+                            if nodes.len() > effective_bucket_cap {
+                                0
+                            } else {
+                                k * k.saturating_sub(1) / 2 * 8
+                            }
+                        })
+                        .sum();
+                    if effective_bucket_cap <= 2 || s.tracked_bytes() + projected <= s.soft_bytes()
+                    {
+                        break;
+                    }
+                    let tightened = (effective_bucket_cap / 4).max(2);
+                    s.record(format!(
+                        "bucket_cap tightened {effective_bucket_cap} -> {tightened}"
+                    ));
+                    effective_bucket_cap = tightened;
+                }
+            }
         }
         // lint:allow(hash-iter): pairs are sorted+deduped before use.
         for nodes in buckets.values() {
-            if nodes.len() > lsh.bucket_cap {
+            if nodes.len() > effective_bucket_cap {
                 stats.capped_buckets += 1;
             } else {
                 push_clique(&mut pairs, nodes);
             }
         }
+        if let Some(s) = scope {
+            // Buckets are rebuilt next band; the pair delta persists.
+            s.release(bucketed * 4);
+            s.charge((pairs.len() - before) as u64 * 8);
+            if streamed {
+                s.release(band_bytes);
+            }
+        }
+    }
+
+    drop(signatures);
+    if let Some(s) = scope {
+        if !streamed {
+            s.release(signature_bytes);
+        }
     }
 
     pairs.sort_unstable();
+    let before_dedup = pairs.len();
     pairs.dedup();
+    if let Some(s) = scope {
+        s.release((before_dedup - pairs.len()) as u64 * 8);
+    }
     stats.pairs = pairs.len() as u64;
     (pairs, stats)
 }

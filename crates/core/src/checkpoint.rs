@@ -337,8 +337,11 @@ impl Checkpointer {
             ckpt::write_value_snapshot(&path, stage, value)
         };
         match result {
-            Ok(_bytes) => {
+            Ok((_bytes, retries)) => {
                 metrics.counter("ckpt/written").add(1);
+                if retries > 0 {
+                    metrics.counter("ckpt/retried").add(u64::from(retries));
+                }
                 smash_support::failpoint::fire(&format!("ckpt/after/{stage}"));
             }
             Err(e) => self

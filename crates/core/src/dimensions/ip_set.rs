@@ -4,7 +4,10 @@
 //! servers rarely share addresses. Same product form as eq. 1 over the
 //! servers' IP sets.
 
-use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    govern_postings, instrumented_builder, overlap_product, Dimension, DimensionContext,
+    DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::HashMap;
 
@@ -18,22 +21,29 @@ impl Dimension for IpSetDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+        instrumented_builder(ctx, self.kind(), |builder, funnel, scope| {
             let mut by_ip: HashMap<u32, Vec<u32>> = HashMap::new();
             for (node, &server) in ctx.nodes.iter().enumerate() {
+                scope.tick();
                 for &ip in ctx.dataset.ips_of(server) {
                     by_ip.entry(ip).or_default().push(node as u32);
                 }
             }
             funnel.postings = by_ip.len() as u64;
+            govern_postings(scope, &mut by_ip);
             // Hot IPs (large shared hosters / NATs) carry no herd signal.
             let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
             // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
             for (_, servers) in by_ip {
                 counter.add_posting(servers);
             }
-            for ((u, v), shared) in counter.counts_parallel() {
+            let counts = counter.counts_parallel();
+            scope.charge(counts.len() as u64 * 16);
+            for ((u, v), shared) in counts {
                 funnel.pairs_scored += 1;
+                if funnel.pairs_scored % 1024 == 0 {
+                    scope.tick();
+                }
                 let (Some(su), Some(sv)) = (ctx.server_at(u), ctx.server_at(v)) else {
                     continue;
                 };
@@ -73,6 +83,7 @@ mod tests {
             nodes: &nodes,
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
+            governor: smash_support::governor::Governor::unlimited(),
         });
         (ds, g)
     }

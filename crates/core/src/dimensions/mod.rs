@@ -21,6 +21,7 @@ pub mod whois;
 
 use crate::config::SmashConfig;
 use smash_graph::{Graph, GraphBuilder};
+use smash_support::governor::{Governor, StageScope};
 use smash_support::impl_json_enum;
 use smash_support::metrics::Registry;
 use smash_support::wire::{FromWire, Reader, ToWire, WireError};
@@ -140,6 +141,11 @@ pub struct DimensionContext<'a> {
     /// DESIGN.md §7). Pass a throwaway [`Registry`] when observability
     /// is not needed.
     pub metrics: &'a Registry,
+    /// Resource governor (DESIGN.md §11): each builder runs under the
+    /// `dimension/<kind>` stage scope it hands out. Pass
+    /// [`Governor::unlimited`] when no budgets apply — polls and
+    /// charges are then two relaxed atomic ops.
+    pub governor: Governor,
 }
 
 impl DimensionContext<'_> {
@@ -148,6 +154,37 @@ impl DimensionContext<'_> {
     /// from a co-occurrence counter can never panic a dimension.
     pub fn server_at(&self, u: u32) -> Option<ServerId> {
         self.nodes.get(u as usize).copied()
+    }
+}
+
+/// Charges an inverted index's posting bytes to the stage account and,
+/// on a soft-budget breach, sheds the most popular postings — longest
+/// first, smallest key breaking ties — until the account is back under
+/// the soft budget (ladder rung 2 for the counter-routed dimensions).
+/// Every shed feature is recorded on the scope. A no-op on unbudgeted
+/// runs beyond the byte charge itself.
+pub(crate) fn govern_postings<K>(scope: &StageScope, postings: &mut HashMap<K, Vec<u32>>)
+where
+    K: Clone + Ord + std::hash::Hash + fmt::Display,
+{
+    // lint:allow(hash-iter): summing byte counts is order-independent.
+    let bytes: u64 = postings.values().map(|v| v.len() as u64 * 4).sum();
+    scope.charge(bytes);
+    if !scope.soft_exceeded() {
+        return;
+    }
+    let mut order: Vec<(usize, K)> = postings
+        .iter()
+        .map(|(k, nodes)| (nodes.len(), k.clone()))
+        .collect();
+    order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (len, key) in order {
+        if !scope.soft_exceeded() {
+            break;
+        }
+        postings.remove(&key);
+        scope.release(len as u64 * 4);
+        scope.record(format!("shed posting feature={key} len={len}"));
     }
 }
 
@@ -211,13 +248,21 @@ pub(crate) fn instrumented_builder<F>(
     body: F,
 ) -> Graph
 where
-    F: FnOnce(&mut GraphBuilder, &mut BuilderFunnel),
+    F: FnOnce(&mut GraphBuilder, &mut BuilderFunnel, &StageScope),
 {
     smash_support::failpoint::fire(&format!("dimension/{kind}"));
     let _span = ctx.metrics.span(&format!("dim/{kind}/build"));
+    // The stage scope starts the per-dimension wall-clock budget and
+    // carries the byte account the builder's inner loops charge.
+    let scope = ctx
+        .governor
+        .stage(&format!("dimension/{kind}"), ctx.config.dimension_budget_ms);
     let mut builder = GraphBuilder::with_nodes(ctx.nodes.len());
     let mut funnel = BuilderFunnel::default();
-    body(&mut builder, &mut funnel);
+    body(&mut builder, &mut funnel, &scope);
+    // Graph edges are the allocation that outlives the builder: an edge
+    // is two adjacency entries of (node, weight) = 2 × 12 bytes.
+    scope.charge(funnel.edges * 24);
     record_dimension_metrics(ctx, kind, &funnel);
     builder.build()
 }

@@ -6,7 +6,10 @@
 //! work — treats the ordered, value-blanked query-string keys (e.g.
 //! `p=[]&id=[]&e=[]`) the way the file dimension treats URI files.
 
-use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    govern_postings, instrumented_builder, overlap_product, Dimension, DimensionContext,
+    DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::{HashMap, HashSet};
 
@@ -20,12 +23,13 @@ impl Dimension for ParamPatternDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+        instrumented_builder(ctx, self.kind(), |builder, funnel, scope| {
             let empty = ctx.dataset.param_pattern_id("");
             // Per-node sets of distinct non-empty parameter patterns.
             let mut node_patterns: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
             let mut by_pattern: HashMap<u32, Vec<u32>> = HashMap::new();
             for (node, &server) in ctx.nodes.iter().enumerate() {
+                scope.tick();
                 let mut set = HashSet::new();
                 for r in ctx.dataset.records_of(server) {
                     if Some(r.param_pattern) != empty {
@@ -39,14 +43,20 @@ impl Dimension for ParamPatternDimension {
                 node_patterns.push(set);
             }
             funnel.postings = by_pattern.len() as u64;
+            govern_postings(scope, &mut by_pattern);
             let mut counter =
                 CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
             // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
             for (_, nodes) in by_pattern {
                 counter.add_posting(nodes);
             }
-            for ((u, v), shared) in counter.counts_parallel() {
+            let counts = counter.counts_parallel();
+            scope.charge(counts.len() as u64 * 16);
+            for ((u, v), shared) in counts {
                 funnel.pairs_scored += 1;
+                if funnel.pairs_scored % 1024 == 0 {
+                    scope.tick();
+                }
                 let (Some(nu), Some(nv)) =
                     (node_patterns.get(u as usize), node_patterns.get(v as usize))
                 else {
@@ -88,6 +98,7 @@ mod tests {
             nodes: &nodes,
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
+            governor: smash_support::governor::Governor::unlimited(),
         })
     }
 

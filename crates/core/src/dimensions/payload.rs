@@ -8,7 +8,10 @@
 //! compared exactly after masking the low bits (minor header/padding
 //! variation).
 
-use super::{instrumented_builder, overlap_product, Dimension, DimensionContext, DimensionKind};
+use super::{
+    govern_postings, instrumented_builder, overlap_product, Dimension, DimensionContext,
+    DimensionKind,
+};
 use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::{HashMap, HashSet};
 
@@ -29,11 +32,12 @@ impl Dimension for PayloadDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+        instrumented_builder(ctx, self.kind(), |builder, funnel, scope| {
             // Per-node sets of masked payload sizes.
             let mut node_sizes: Vec<HashSet<u32>> = Vec::with_capacity(ctx.nodes.len());
             let mut by_size: HashMap<u32, Vec<u32>> = HashMap::new();
             for (node, &server) in ctx.nodes.iter().enumerate() {
+                scope.tick();
                 let mut sizes = HashSet::new();
                 for r in ctx.dataset.records_of(server) {
                     if r.resp_bytes >= MIN_SIZE {
@@ -47,14 +51,20 @@ impl Dimension for PayloadDimension {
                 node_sizes.push(sizes);
             }
             funnel.postings = by_size.len() as u64;
+            govern_postings(scope, &mut by_size);
             let mut counter =
                 CooccurrenceCounter::new().with_max_posting_len(ctx.config.file_posting_cap);
             // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
             for (_, nodes) in by_size {
                 counter.add_posting(nodes);
             }
-            for ((u, v), shared) in counter.counts_parallel() {
+            let counts = counter.counts_parallel();
+            scope.charge(counts.len() as u64 * 16);
+            for ((u, v), shared) in counts {
                 funnel.pairs_scored += 1;
+                if funnel.pairs_scored % 1024 == 0 {
+                    scope.tick();
+                }
                 let (Some(nu), Some(nv)) = (node_sizes.get(u as usize), node_sizes.get(v as usize))
                 else {
                     continue;
@@ -95,6 +105,7 @@ mod tests {
             nodes: &nodes,
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
+            governor: smash_support::governor::Governor::unlimited(),
         })
     }
 

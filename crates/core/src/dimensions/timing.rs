@@ -11,7 +11,7 @@
 //! is high. Only *bursty* servers participate — always-on servers have
 //! flat histograms that would trivially match each other.
 
-use super::{instrumented_builder, Dimension, DimensionContext, DimensionKind};
+use super::{govern_postings, instrumented_builder, Dimension, DimensionContext, DimensionKind};
 use smash_graph::{CooccurrenceCounter, Graph};
 use std::collections::HashMap;
 
@@ -46,13 +46,14 @@ impl Dimension for TimingDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+        instrumented_builder(ctx, self.kind(), |builder, funnel, scope| {
             let buckets = self.buckets.max(2);
             let bucket_len = (self.span_seconds / buckets as u64).max(1);
             // Per-node activity histograms; only bursty nodes participate.
             let mut histograms: Vec<Option<Vec<f64>>> = Vec::with_capacity(ctx.nodes.len());
             let mut by_bucket: HashMap<usize, Vec<u32>> = HashMap::new();
             for (node, &server) in ctx.nodes.iter().enumerate() {
+                scope.tick();
                 let mut h = vec![0.0f64; buckets];
                 let mut total = 0usize;
                 for r in ctx.dataset.records_of(server) {
@@ -85,14 +86,20 @@ impl Dimension for TimingDimension {
                 histograms.push(Some(h));
             }
             funnel.postings = by_bucket.len() as u64;
+            govern_postings(scope, &mut by_bucket);
             // Candidate pairs: bursty servers active in a common bucket.
             let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
             // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
             for (_, nodes) in by_bucket {
                 counter.add_posting(nodes);
             }
-            for ((u, v), _) in counter.counts_parallel() {
+            let counts = counter.counts_parallel();
+            scope.charge(counts.len() as u64 * 16);
+            for ((u, v), _) in counts {
                 funnel.pairs_scored += 1;
+                if funnel.pairs_scored % 1024 == 0 {
+                    scope.tick();
+                }
                 let (Some(Some(hu)), Some(Some(hv))) =
                     (histograms.get(u as usize), histograms.get(v as usize))
                 else {
@@ -132,6 +139,7 @@ mod tests {
             nodes: &nodes,
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
+            governor: smash_support::governor::Governor::unlimited(),
         });
         (ds, g)
     }

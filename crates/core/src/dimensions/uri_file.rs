@@ -36,13 +36,14 @@ impl Dimension for UriFileDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+        instrumented_builder(ctx, self.kind(), |builder, funnel, scope| {
             let len_thresh = ctx.config.filename_len_threshold;
 
             // Per-node file inventories and charset vectors for long names.
             let mut node_files: Vec<NodeFiles> = Vec::with_capacity(ctx.nodes.len());
             let mut long_vectors: HashMap<u32, [f64; 256]> = HashMap::new();
             for &server in ctx.nodes {
+                scope.tick();
                 let files = ctx.dataset.files_of(server).to_vec();
                 let set: HashSet<u32> = files.iter().copied().collect();
                 let long: Vec<u32> = files
@@ -105,11 +106,12 @@ impl Dimension for UriFileDimension {
 
             if ctx.config.exact_candidates {
                 let rows: Vec<u32> = (0..ctx.nodes.len() as u32).collect();
-                let per_node: Vec<Vec<(u32, f64)>> = par::par_map(&rows, |&u| {
-                    (u + 1..ctx.nodes.len() as u32)
-                        .filter_map(|v| score(u, v).map(|s| (v, s)))
-                        .collect()
-                });
+                let per_node: Vec<Vec<(u32, f64)>> =
+                    par::par_map_cancellable(&rows, scope.token(), |&u| {
+                        (u + 1..ctx.nodes.len() as u32)
+                            .filter_map(|v| score(u, v).map(|s| (v, s)))
+                            .collect()
+                    });
                 funnel.postings = feature_sets
                     .iter()
                     .flat_map(|s| s.iter())
@@ -124,17 +126,24 @@ impl Dimension for UriFileDimension {
                     }
                 }
             } else {
-                let (pairs, stats) = candidates::lsh_candidates(&feature_sets, &ctx.config.lsh);
+                let (pairs, stats) = candidates::lsh_candidates_governed(
+                    &feature_sets,
+                    &ctx.config.lsh,
+                    Some(scope),
+                );
                 funnel.postings = stats.features;
                 funnel.pairs_bucketed = stats.pairs;
                 funnel.pairs_scored = pairs.len() as u64;
-                let scores = par::par_map(&pairs, |&(u, v)| score(u, v));
+                let scores = par::par_map_cancellable(&pairs, scope.token(), |&(u, v)| score(u, v));
                 for (&(u, v), sim) in pairs.iter().zip(scores) {
                     if let Some(sim) = sim {
                         builder.add_edge(u, v, sim);
                         funnel.edges += 1;
                     }
                 }
+                // The pair buffer dies here; return its bytes before the
+                // edge charge lands so the two don't stack in the account.
+                scope.release(pairs.len() as u64 * 8);
             }
         })
     }
@@ -204,6 +213,7 @@ mod tests {
             nodes: &nodes,
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
+            governor: smash_support::governor::Governor::unlimited(),
         });
         (ds, g)
     }

@@ -6,7 +6,7 @@
 //! field *values*, and pairs must co-occur in at least two value postings
 //! before the (proxy-aware) verification runs.
 
-use super::{instrumented_builder, Dimension, DimensionContext, DimensionKind};
+use super::{govern_postings, instrumented_builder, Dimension, DimensionContext, DimensionKind};
 use smash_graph::{CooccurrenceCounter, Graph};
 use smash_whois::MIN_SHARED_FIELDS;
 use std::collections::HashMap;
@@ -21,13 +21,14 @@ impl Dimension for WhoisDimension {
     }
 
     fn build_graph(&self, ctx: &DimensionContext<'_>) -> Graph {
-        instrumented_builder(ctx, self.kind(), |builder, funnel| {
+        instrumented_builder(ctx, self.kind(), |builder, funnel, scope| {
             // Inverted index over field values. Keys are namespaced so a phone
             // number never collides with an address string.
             let mut by_value: HashMap<String, Vec<u32>> = HashMap::new();
             let mut records: Vec<Option<&smash_whois::WhoisRecord>> =
                 Vec::with_capacity(ctx.nodes.len());
             for (node, &server) in ctx.nodes.iter().enumerate() {
+                scope.tick();
                 let rec = ctx
                     .dataset
                     .server_key(server)
@@ -54,13 +55,19 @@ impl Dimension for WhoisDimension {
                 records.push(rec);
             }
             funnel.postings = by_value.len() as u64;
+            govern_postings(scope, &mut by_value);
             let mut counter = CooccurrenceCounter::new().with_max_posting_len(200);
             // lint:allow(hash-iter): postings are order-independent; the counter sorts pairs.
             for (_, nodes) in by_value {
                 counter.add_posting(nodes);
             }
-            for ((u, v), hits) in counter.counts_parallel() {
+            let counts = counter.counts_parallel();
+            scope.charge(counts.len() as u64 * 16);
+            for ((u, v), hits) in counts {
                 funnel.pairs_scored += 1;
+                if funnel.pairs_scored % 1024 == 0 {
+                    scope.tick();
+                }
                 if (hits as usize) < MIN_SHARED_FIELDS {
                     continue;
                 }
@@ -105,6 +112,7 @@ mod tests {
             nodes: &nodes,
             node_of: &node_of,
             metrics: &smash_support::metrics::Registry::new(),
+            governor: smash_support::governor::Governor::unlimited(),
         })
     }
 

@@ -3,6 +3,7 @@
 use crate::ash::{Ash, MinedDimension};
 use crate::dimensions::DimensionKind;
 use smash_graph::{density, Graph, Louvain};
+use smash_support::governor::CancelToken;
 use smash_support::metrics::Registry;
 use smash_trace::ServerId;
 use std::collections::HashMap;
@@ -26,6 +27,20 @@ pub fn mine_with_metrics(
     seed: u64,
     metrics: &Registry,
 ) -> MinedDimension {
+    mine_governed(kind, graph, nodes, seed, metrics, None)
+}
+
+/// [`mine_with_metrics`] under governor control: when `cancel` is given,
+/// Louvain polls it between local moves, so a deadline or budget breach
+/// unwinds out of mining instead of letting a huge level run to the end.
+pub fn mine_governed(
+    kind: DimensionKind,
+    graph: Graph,
+    nodes: &[ServerId],
+    seed: u64,
+    metrics: &Registry,
+    cancel: Option<&CancelToken>,
+) -> MinedDimension {
     assert_eq!(
         graph.node_count(),
         nodes.len(),
@@ -33,7 +48,11 @@ pub fn mine_with_metrics(
         graph.node_count(),
         nodes.len()
     );
-    let (partition, stats) = Louvain::new().with_seed(seed).run_with_stats(&graph);
+    let mut louvain = Louvain::new().with_seed(seed);
+    if let Some(t) = cancel {
+        louvain = louvain.with_cancel(t);
+    }
+    let (partition, stats) = louvain.run_with_stats(&graph);
     metrics
         .counter(&format!("louvain/{kind}/levels"))
         .add(stats.levels as u64);
@@ -53,7 +72,10 @@ pub fn mine_with_metrics(
             continue;
         }
         let members: Vec<ServerId> = {
-            let mut m: Vec<ServerId> = community.iter().map(|&n| nodes[n as usize]).collect();
+            let mut m: Vec<ServerId> = community
+                .iter()
+                .filter_map(|&n| nodes.get(n as usize).copied())
+                .collect();
             m.sort_unstable();
             m
         };

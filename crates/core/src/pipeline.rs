@@ -15,7 +15,7 @@ use crate::dimensions::{
     ParamPatternDimension, PayloadDimension, TimingDimension, UriFileDimension, WhoisDimension,
 };
 use crate::inference::merge_by_main_herd;
-use crate::mining::mine_with_metrics;
+use crate::mining::mine_governed;
 use crate::preprocess::filter_popular;
 use crate::preprocess::Preprocessed;
 use crate::pruning::prune;
@@ -24,6 +24,7 @@ use crate::report::{
     SmashReport, StagePerf,
 };
 use smash_graph::GraphBuilder;
+use smash_support::governor::{self, Governor, GovernorOptions};
 use smash_support::metrics::Registry;
 use smash_support::par;
 use smash_trace::{ServerId, TraceDataset};
@@ -122,7 +123,36 @@ impl Smash {
         metrics: &Registry,
         checkpoints: Option<&CheckpointOptions>,
     ) -> SmashReport {
+        self.run_governed(dataset, whois, metrics, checkpoints, None)
+    }
+
+    /// [`run_resumable`](Self::run_resumable) under a resource governor
+    /// (DESIGN.md §11).
+    ///
+    /// With `resources` set, every stage runs against a cooperative
+    /// [`Governor`]: dimension builders, LSH bucketing, Louvain mining,
+    /// and candidate scoring poll a shared cancellation token and charge
+    /// their dominant allocations against per-stage memory budgets. A
+    /// soft-budget breach walks a deterministic degradation ladder
+    /// (tighten `bucket_cap` → shed popular postings → cancel the
+    /// dimension); a hard breach or deadline cancels the stage through
+    /// the same panic-isolation boundary used for crashes, so the run
+    /// degrades (eq. 9 renormalized) instead of dying, and checkpoint
+    /// state stays resumable. Every ladder rung is recorded in
+    /// [`RunHealth::governor`](crate::report::RunHealth) and the
+    /// `governor/*` metrics. With `resources` unset (or unlimited), the
+    /// governor is inert and the report is byte-identical to an
+    /// ungoverned run.
+    pub fn run_governed(
+        &self,
+        dataset: &TraceDataset,
+        whois: &WhoisRegistry,
+        metrics: &Registry,
+        checkpoints: Option<&CheckpointOptions>,
+        resources: Option<&GovernorOptions>,
+    ) -> SmashReport {
         let cfg = &self.config;
+        let governor = resources.map(Governor::new).unwrap_or_default();
         // lint:allow(wallclock): measures run duration for the perf block; never in report ordering.
         let run_start = Instant::now();
         if !cfg.failpoints.is_empty() {
@@ -173,6 +203,7 @@ impl Smash {
             nodes: &nodes,
             node_of: &node_of,
             metrics,
+            governor: governor.clone(),
         };
 
         // 2. ASH mining per dimension. The client graph covers servers
@@ -191,13 +222,20 @@ impl Smash {
                 let main_start = Instant::now();
                 let result = par::run_isolated(|| {
                     let _span = metrics.span("stage/dimension/client");
+                    // Created before the builder so the wall budget also
+                    // covers graph construction, and mining polls the
+                    // same token the builder's inner loops do.
+                    let scope = ctx
+                        .governor
+                        .stage("dimension/client", cfg.dimension_budget_ms);
                     let main_graph = ClientDimension.build_graph(&ctx);
-                    let mut main = mine_with_metrics(
+                    let mut main = mine_governed(
                         DimensionKind::Client,
                         main_graph,
                         &nodes,
                         cfg.louvain_seed,
                         metrics,
+                        Some(scope.token()),
                     );
                     append_single_client_herds(&mut main, dataset, &nodes);
                     main
@@ -216,6 +254,7 @@ impl Smash {
                 (result, elapsed)
             }
         };
+        governor.close_stage("dimension/client");
         let main = match main_result {
             Ok(main) => main,
             Err(reason) => {
@@ -225,8 +264,9 @@ impl Smash {
                 return Self::aborted_report(
                     &pre.kept,
                     pre.dropped_popular.len(),
-                    reason,
+                    triage_failure(reason),
                     cp.map(Checkpointer::into_warnings).unwrap_or_default(),
+                    harvest_governor(&governor, metrics),
                 );
             }
         };
@@ -306,16 +346,32 @@ impl Smash {
                 // lint:allow(wallclock): measures stage duration for the perf block; never in report ordering.
                 let start = Instant::now();
                 let _span = metrics.span(&format!("stage/dimension/{}", d.kind()));
+                // Created before the builder so the wall budget also
+                // covers graph construction (cooperative, not post-hoc),
+                // and mining polls the same token.
+                let scope = ctx
+                    .governor
+                    .stage(&format!("dimension/{}", d.kind()), cfg.dimension_budget_ms);
                 let g = d.build_graph(&ctx);
-                let mined = mine_with_metrics(d.kind(), g, &nodes, cfg.louvain_seed, metrics);
+                let mined = mine_governed(
+                    d.kind(),
+                    g,
+                    &nodes,
+                    cfg.louvain_seed,
+                    metrics,
+                    Some(scope.token()),
+                );
                 (mined, start.elapsed().as_millis() as u64)
             });
 
         // Triage: a dimension either completed inside its budget (kept,
-        // and snapshotted), overran the wall-clock budget (dropped,
-        // TimedOut), or panicked (dropped, Failed). Only kept dimensions
-        // are checkpointed: a failed or over-budget build must re-run on
-        // resume, not be resurrected from disk.
+        // and snapshotted), was cancelled cooperatively by the governor
+        // (dropped, TimedOut for deadlines / Cancelled for memory),
+        // overran the wall-clock budget between polls (dropped,
+        // TimedOut via the post-hoc backstop), or panicked (dropped,
+        // Failed). Only kept dimensions are checkpointed: a failed,
+        // cancelled, or over-budget build must re-run on resume, not be
+        // resurrected from disk.
         let mut secondaries: Vec<MinedDimension> = Vec::new();
         let mut dimension_health = vec![DimensionHealth {
             kind: DimensionKind::Client,
@@ -339,44 +395,58 @@ impl Smash {
                         elapsed_ms,
                     }
                 }
-                Slot::Build(_) => match results.next().expect("one result per built dimension") {
-                    Ok((mined, elapsed_ms))
-                        if cfg.dimension_budget_ms > 0 && elapsed_ms > cfg.dimension_budget_ms =>
-                    {
-                        drop(mined);
-                        DimensionHealth {
-                            kind,
-                            status: DimensionStatus::TimedOut {
-                                elapsed_ms,
-                                budget_ms: cfg.dimension_budget_ms,
-                            },
-                            elapsed_ms,
-                        }
-                    }
-                    Ok((mined, elapsed_ms)) => {
-                        if let Some(c) = cp.as_mut() {
-                            c.store(
-                                &dimension_stage(kind),
-                                &DimensionSnapshotRef {
-                                    mined: &mined,
+                Slot::Build(_) => {
+                    let triaged = match results.next().expect("one result per built dimension") {
+                        Ok((mined, elapsed_ms))
+                            if cfg.dimension_budget_ms > 0
+                                && elapsed_ms > cfg.dimension_budget_ms =>
+                        {
+                            // Post-hoc backstop: the build finished but
+                            // overran the budget between token polls.
+                            drop(mined);
+                            DimensionHealth {
+                                kind,
+                                status: DimensionStatus::TimedOut {
                                     elapsed_ms,
+                                    budget_ms: cfg.dimension_budget_ms,
                                 },
-                                metrics,
-                            );
+                                elapsed_ms,
+                            }
                         }
-                        secondaries.push(mined);
-                        DimensionHealth {
-                            kind,
-                            status: DimensionStatus::Ok,
-                            elapsed_ms,
+                        Ok((mined, elapsed_ms)) => {
+                            if let Some(c) = cp.as_mut() {
+                                c.store(
+                                    &dimension_stage(kind),
+                                    &DimensionSnapshotRef {
+                                        mined: &mined,
+                                        elapsed_ms,
+                                    },
+                                    metrics,
+                                );
+                            }
+                            secondaries.push(mined);
+                            DimensionHealth {
+                                kind,
+                                status: DimensionStatus::Ok,
+                                elapsed_ms,
+                            }
                         }
-                    }
-                    Err(reason) => DimensionHealth {
-                        kind,
-                        status: DimensionStatus::Failed { reason },
-                        elapsed_ms: 0,
-                    },
-                },
+                        Err(reason) => {
+                            let status = triage_failure(reason);
+                            let elapsed_ms = match &status {
+                                DimensionStatus::TimedOut { elapsed_ms, .. } => *elapsed_ms,
+                                _ => 0,
+                            };
+                            DimensionHealth {
+                                kind,
+                                status,
+                                elapsed_ms,
+                            }
+                        }
+                    };
+                    governor.close_stage(&format!("dimension/{kind}"));
+                    triaged
+                }
             };
             dimension_health.push(health);
         }
@@ -438,6 +508,7 @@ impl Smash {
                 .take()
                 .map(Checkpointer::into_warnings)
                 .unwrap_or_default(),
+            governor: harvest_governor(&governor, metrics),
         };
 
         // 4. Pruning of redirection/referrer groups.
@@ -555,6 +626,7 @@ impl Smash {
             dataset.record_count() as u64,
             peak_graph_nodes,
             peak_graph_edges,
+            &governor,
         );
 
         SmashReport {
@@ -571,20 +643,21 @@ impl Smash {
 
     /// The empty report returned when the main dimension itself failed:
     /// no campaigns, every secondary marked as not run, and the failure
-    /// reason (plus any checkpoint warnings) preserved in `RunHealth`.
+    /// status (plus any checkpoint warnings and governor events)
+    /// preserved in `RunHealth`.
     fn aborted_report(
         kept: &[ServerId],
         dropped_popular: usize,
-        reason: String,
+        status: DimensionStatus,
         checkpoint_warnings: Vec<String>,
+        governor_events: Vec<String>,
     ) -> SmashReport {
         let mut dimensions = vec![DimensionHealth {
             kind: DimensionKind::Client,
-            status: DimensionStatus::Failed {
-                reason: reason.clone(),
-            },
+            status,
             elapsed_ms: 0,
         }];
+        // lint:allow(index): array literal, not an indexing expression
         for kind in [
             DimensionKind::UriFile,
             DimensionKind::IpSet,
@@ -619,10 +692,64 @@ impl Smash {
                 ingest: None,
                 score_renormalization: 1.0,
                 checkpoint_warnings,
+                governor: governor_events,
             },
             perf: PerfReport::default(),
         }
     }
+}
+
+/// Maps an isolated-build failure reason onto a [`DimensionStatus`]:
+/// governor deadline messages become `TimedOut`, other governor
+/// cancellations (memory hard budget, explicit cancel) become
+/// `Cancelled`, and anything else is a genuine `Failed` panic.
+fn triage_failure(reason: String) -> DimensionStatus {
+    if let Some((elapsed_ms, budget_ms)) = governor::parse_deadline_message(&reason) {
+        DimensionStatus::TimedOut {
+            elapsed_ms,
+            budget_ms,
+        }
+    } else if governor::is_cancel_message(&reason) {
+        DimensionStatus::Cancelled { reason }
+    } else {
+        DimensionStatus::Failed { reason }
+    }
+}
+
+/// Folds the governor's final accounting into `metrics`
+/// (`governor/tightened`, `governor/shed`, `governor/cancelled`
+/// counters; `governor/<stage>/peak_bytes` and `governor/peak_bytes`
+/// gauges) and returns the stage-prefixed degradation-ladder event
+/// lines for [`RunHealth::governor`](crate::report::RunHealth). Empty —
+/// and free of side effects beyond zero-valued gauges — when no ladder
+/// rung ever engaged, so unbudgeted runs stay byte-identical.
+fn harvest_governor(governor: &Governor, metrics: &Registry) -> Vec<String> {
+    let mut events = Vec::new();
+    for stage in governor.stage_summaries() {
+        if stage.peak_bytes > 0 {
+            metrics
+                .gauge(&format!("governor/{}/peak_bytes", stage.name))
+                .set(stage.peak_bytes as f64);
+        }
+        for e in &stage.events {
+            if e.starts_with("bucket_cap tightened") {
+                metrics.counter("governor/tightened").add(1);
+            } else if e.starts_with("shed posting") {
+                metrics.counter("governor/shed").add(1);
+            }
+            events.push(format!("{}: {e}", stage.name));
+        }
+        if stage.cancelled {
+            metrics.counter("governor/cancelled").add(1);
+            events.push(format!("{}: stage cancelled by governor", stage.name));
+        }
+    }
+    if governor.peak_tracked_bytes() > 0 {
+        metrics
+            .gauge("governor/peak_bytes")
+            .set(governor.peak_tracked_bytes() as f64);
+    }
+    events
 }
 
 /// Pipeline-order rank of a `stage/*` histogram name (unknown stages
@@ -652,14 +779,21 @@ fn stage_rank(name: &str) -> usize {
 }
 
 /// Distills the registry's `stage/*` histograms into the report's
-/// [`PerfReport`].
+/// [`PerfReport`], folding in the governor's per-stage peak tracked
+/// bytes (governor stage names match the `stage/`-stripped perf names).
 fn assemble_perf(
     metrics: &Registry,
     total_wall_ms: f64,
     records: u64,
     peak_graph_nodes: u64,
     peak_graph_edges: u64,
+    governor: &Governor,
 ) -> PerfReport {
+    let peak_bytes_of: HashMap<String, u64> = governor
+        .stage_summaries()
+        .into_iter()
+        .map(|s| (s.name, s.peak_bytes))
+        .collect();
     let snapshot = metrics.snapshot();
     let mut stages: Vec<StagePerf> = snapshot
         .histograms
@@ -670,6 +804,7 @@ fn assemble_perf(
                 stage: stage.to_owned(),
                 wall_ms: h.sum_ms(),
                 calls: h.count,
+                peak_tracked_bytes: peak_bytes_of.get(stage).copied().unwrap_or(0),
             })
         })
         .collect();
@@ -690,6 +825,7 @@ fn assemble_perf(
         records_per_sec,
         peak_graph_nodes,
         peak_graph_edges,
+        peak_tracked_bytes: governor.peak_tracked_bytes(),
     }
 }
 
@@ -704,6 +840,7 @@ fn append_single_client_herds(
 ) {
     let mut by_client: HashMap<u32, Vec<ServerId>> = HashMap::new();
     for &s in nodes {
+        // lint:allow(index): slice pattern, not an indexing expression
         if let [only_client] = dataset.clients_of(s) {
             by_client.entry(*only_client).or_default().push(s);
         }

@@ -101,6 +101,13 @@ pub enum DimensionStatus {
         /// The configured budget it exceeded.
         budget_ms: u64,
     },
+    /// Stopped mid-build by the resource governor (memory hard budget or
+    /// run deadline — the final rung of the degradation ladder); dropped
+    /// from correlation like a failed dimension.
+    Cancelled {
+        /// The governor's cancellation reason.
+        reason: String,
+    },
 }
 
 impl DimensionStatus {
@@ -129,6 +136,10 @@ impl ToJson for DimensionStatus {
                 ("elapsed_ms".to_owned(), elapsed_ms.to_json()),
                 ("budget_ms".to_owned(), budget_ms.to_json()),
             ],
+            DimensionStatus::Cancelled { reason } => vec![
+                ("status".to_owned(), Json::Str("cancelled".to_owned())),
+                ("reason".to_owned(), Json::Str(reason.clone())),
+            ],
         };
         Json::Obj(fields)
     }
@@ -156,6 +167,13 @@ impl smash_support::json::FromJson for DimensionStatus {
                     "elapsed_ms",
                 )?,
                 budget_ms: smash_support::json::req_field(v.as_obj().unwrap_or(&[]), "budget_ms")?,
+            }),
+            "cancelled" => Ok(DimensionStatus::Cancelled {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
             }),
             other => Err(JsonError(format!("unknown DimensionStatus `{other}`"))),
         }
@@ -201,14 +219,52 @@ pub struct RunHealth {
     /// cold runs and clean resumes, so a clean resume's report matches a
     /// cold run's byte-for-byte (modulo wall times).
     pub checkpoint_warnings: Vec<String>,
+    /// Every degradation-ladder rung the resource governor took, in
+    /// stage order (`<stage>: <event>` — tightened caps, shed postings,
+    /// cancellations). Empty — and omitted from the JSON — on unbudgeted
+    /// runs, so a governed-but-unconstrained run's report stays
+    /// byte-identical to a pre-governor one.
+    pub governor: Vec<String>,
 }
 
-impl_json_struct!(RunHealth {
-    dimensions,
-    ingest,
-    score_renormalization,
-    checkpoint_warnings?,
-});
+// Hand-written (not `impl_json_struct!`) so the `governor` field is
+// omitted when empty: every budgetless run must serialize exactly as it
+// did before the governor existed.
+impl ToJson for RunHealth {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("dimensions".to_owned(), self.dimensions.to_json()),
+            ("ingest".to_owned(), self.ingest.to_json()),
+            (
+                "score_renormalization".to_owned(),
+                self.score_renormalization.to_json(),
+            ),
+            (
+                "checkpoint_warnings".to_owned(),
+                self.checkpoint_warnings.to_json(),
+            ),
+        ];
+        if !self.governor.is_empty() {
+            fields.push(("governor".to_owned(), self.governor.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl smash_support::json::FromJson for RunHealth {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| JsonError("expected object for RunHealth".to_owned()))?;
+        Ok(RunHealth {
+            dimensions: smash_support::json::req_field(obj, "dimensions")?,
+            ingest: smash_support::json::req_field(obj, "ingest")?,
+            score_renormalization: smash_support::json::req_field(obj, "score_renormalization")?,
+            checkpoint_warnings: smash_support::json::opt_field(obj, "checkpoint_warnings")?,
+            governor: smash_support::json::opt_field(obj, "governor")?,
+        })
+    }
+}
 
 impl Default for RunHealth {
     fn default() -> Self {
@@ -217,6 +273,7 @@ impl Default for RunHealth {
             ingest: None,
             score_renormalization: 1.0,
             checkpoint_warnings: Vec::new(),
+            governor: Vec::new(),
         }
     }
 }
@@ -258,12 +315,16 @@ pub struct StagePerf {
     pub wall_ms: f64,
     /// How many times the stage ran (1 for every stage of a single run).
     pub calls: u64,
+    /// High-water mark of governor-tracked bytes while the stage ran
+    /// (0 for stages with no tracked allocations).
+    pub peak_tracked_bytes: u64,
 }
 
 impl_json_struct!(StagePerf {
     stage,
     wall_ms,
-    calls
+    calls,
+    peak_tracked_bytes?,
 });
 
 /// Performance summary of one run (DESIGN.md §7), assembled from the
@@ -288,6 +349,11 @@ pub struct PerfReport {
     pub peak_graph_nodes: u64,
     /// Largest edge count across the dimension graphs.
     pub peak_graph_edges: u64,
+    /// High-water mark of concurrently live governor-tracked bytes
+    /// (postings, signature tables, LSH buckets, pair buffers, graph
+    /// edges) across the whole run — the byte-accurate answer to "how
+    /// big did this run get", next to the graph peaks above.
+    pub peak_tracked_bytes: u64,
 }
 
 impl_json_struct!(PerfReport {
@@ -297,6 +363,7 @@ impl_json_struct!(PerfReport {
     records_per_sec,
     peak_graph_nodes,
     peak_graph_edges,
+    peak_tracked_bytes?,
 });
 
 /// The complete output of one SMASH run.
@@ -508,6 +575,7 @@ mod tests {
             ingest: None,
             score_renormalization: 1.5,
             checkpoint_warnings: vec!["corrupt checkpoint: checksum mismatch".to_owned()],
+            governor: vec!["dimension/whois: shed posting feature=as1 len=900".to_owned()],
         };
         assert!(!health.fully_healthy());
         assert_eq!(health.degraded_dimensions(), vec![DimensionKind::Whois]);

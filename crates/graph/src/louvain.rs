@@ -8,7 +8,13 @@
 use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::modularity::modularity;
 use crate::partition::Partition;
+use smash_support::governor::CancelToken;
 use smash_support::rng::{DetRng, SeedableRng, SliceRandom};
+
+/// How many local moves run between cancellation polls: frequent enough
+/// that a deadline stops a huge level promptly, rare enough that the
+/// atomic load never shows up in a profile.
+const CANCEL_POLL_STRIDE: usize = 1024;
 
 /// Configurable Louvain runner.
 ///
@@ -36,6 +42,7 @@ pub struct Louvain {
     min_gain: f64,
     max_levels: usize,
     max_passes: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Louvain {
@@ -45,6 +52,7 @@ impl Default for Louvain {
             min_gain: 1e-9,
             max_levels: 32,
             max_passes: 64,
+            cancel: None,
         }
     }
 }
@@ -81,6 +89,16 @@ impl Louvain {
         self
     }
 
+    /// Attaches a cooperative cancellation token: the runner polls it at
+    /// every aggregation level, every local-move pass, and every
+    /// `CANCEL_POLL_STRIDE` node moves, and unwinds (via
+    /// [`CancelToken::bail`]) once it is cancelled — so a deadline set by
+    /// the resource governor stops mining mid-level instead of after it.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
     /// Runs Louvain on `graph` and returns the final partition over the
     /// *original* nodes.
     pub fn run(&self, graph: &Graph) -> Partition {
@@ -113,6 +131,9 @@ impl Louvain {
             modularity: 0.0,
         };
         for _level in 0..self.max_levels {
+            if let Some(t) = &self.cancel {
+                t.bail();
+            }
             let (local, improved, passes) = self.one_level(&level_graph, &mut rng);
             stats.passes += passes;
             if !improved {
@@ -152,11 +173,25 @@ impl Louvain {
         let mut neigh_weight: Vec<f64> = vec![0.0; n];
         let mut neigh_comms: Vec<u32> = Vec::new();
         let mut passes = 0u32;
+        let mut moves_since_poll = 0usize;
+        // All community ids stay < n (they start as node ids and only ever
+        // take values of existing communities), so every `[..]` below is in
+        // bounds by construction; the allows record that invariant.
         for _pass in 0..self.max_passes {
             passes += 1;
+            if let Some(t) = &self.cancel {
+                t.bail();
+            }
             let mut moved = 0usize;
             for &u in &order {
-                let cu = community[u];
+                if let Some(t) = &self.cancel {
+                    moves_since_poll += 1;
+                    if moves_since_poll >= CANCEL_POLL_STRIDE {
+                        moves_since_poll = 0;
+                        t.bail();
+                    }
+                }
+                let cu = community[u]; // lint:allow(index): u < n from `order`
                 let ku = g.degree(u as NodeId);
                 // Collect weights to neighboring communities; self-loops do
                 // not affect move gain and are skipped.
@@ -165,24 +200,25 @@ impl Louvain {
                     if v as usize == u {
                         continue;
                     }
-                    let cv = community[v as usize];
+                    let cv = community[v as usize]; // lint:allow(index): graph neighbor ids are < n
                     if neigh_weight[cv as usize] == 0.0 {
+                        // lint:allow(index): community ids are < n
                         neigh_comms.push(cv);
                     }
-                    neigh_weight[cv as usize] += w;
+                    neigh_weight[cv as usize] += w; // lint:allow(index): community ids are < n
                 }
                 // Remove u from its community.
-                tot[cu as usize] -= ku;
-                let w_to_own = neigh_weight[cu as usize];
-                // Gain of joining community c: w(u,c) - ku * tot_c / 2m.
+                tot[cu as usize] -= ku; // lint:allow(index): community ids are < n
+                let w_to_own = neigh_weight[cu as usize]; // lint:allow(index): community ids are < n
+                                                          // Gain of joining community c: w(u,c) - ku * tot_c / 2m.
                 let mut best_c = cu;
-                let mut best_gain = w_to_own - ku * tot[cu as usize] / two_m;
+                let mut best_gain = w_to_own - ku * tot[cu as usize] / two_m; // lint:allow(index): community ids are < n
                 for &c in &neigh_comms {
                     if c == cu {
                         continue;
                     }
-                    let gain = neigh_weight[c as usize] - ku * tot[c as usize] / two_m;
-                    // Deterministic tie-break: prefer the smaller community id.
+                    let gain = neigh_weight[c as usize] - ku * tot[c as usize] / two_m; // lint:allow(index): community ids are < n
+                                                                                        // Deterministic tie-break: prefer the smaller community id.
                     let better = gain > best_gain + self.min_gain
                         || ((gain - best_gain).abs() <= self.min_gain && c < best_c);
                     if better {
@@ -190,14 +226,14 @@ impl Louvain {
                         best_c = c;
                     }
                 }
-                tot[best_c as usize] += ku;
+                tot[best_c as usize] += ku; // lint:allow(index): community ids are < n
                 if best_c != cu {
-                    community[u] = best_c;
+                    community[u] = best_c; // lint:allow(index): u < n from `order`
                     moved += 1;
                     improved_any = true;
                 }
                 for &c in &neigh_comms {
-                    neigh_weight[c as usize] = 0.0;
+                    neigh_weight[c as usize] = 0.0; // lint:allow(index): community ids are < n
                 }
             }
             if moved == 0 {
@@ -334,6 +370,25 @@ mod tests {
         let agg = aggregate(&g, &p);
         assert!((agg.total_weight() - g.total_weight()).abs() < 1e-9);
         assert_eq!(agg.node_count(), 2);
+    }
+
+    #[test]
+    fn cancelled_token_unwinds_out_of_the_run() {
+        let g = clique_chain(6, 6, 0.2);
+        let token = CancelToken::new();
+        token.cancel("governor: test cancellation");
+        let runner = Louvain::new().with_cancel(&token);
+        let err = smash_support::par::run_isolated(|| runner.run(&g)).unwrap_err();
+        assert!(err.contains("governor: test cancellation"), "got: {err}");
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let g = clique_chain(4, 5, 0.1);
+        let token = CancelToken::new();
+        let p1 = Louvain::new().with_seed(3).run(&g);
+        let p2 = Louvain::new().with_seed(3).with_cancel(&token).run(&g);
+        assert_eq!(p1, p2);
     }
 
     #[test]

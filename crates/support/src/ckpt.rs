@@ -51,8 +51,10 @@
 //! Every failure is an [`CkptError`] value; nothing in this module
 //! panics on untrusted bytes (property-tested in `tests/checkpoint.rs`).
 
+use crate::failpoint;
 use crate::impl_json_struct;
 use crate::json::{self, JsonError};
+use crate::rng::{DetRng, Rng, SeedableRng};
 use crate::wire::{self, FromWire, ToWire};
 use std::fmt;
 use std::fs;
@@ -160,6 +162,12 @@ impl std::error::Error for CkptError {}
 /// [`CkptError::Corrupt`] if the stage name cannot be framed (longer
 /// than `u16::MAX` bytes).
 pub fn write_snapshot(path: &Path, stage: &str, payload: &[u8]) -> Result<(), CkptError> {
+    write_atomic(path, &frame_snapshot(stage, payload)?)
+}
+
+/// Builds the envelope bytes for one stage snapshot (the framing half of
+/// [`write_snapshot`], shared with the retrying writer).
+fn frame_snapshot(stage: &str, payload: &[u8]) -> Result<Vec<u8>, CkptError> {
     let stage_bytes = stage.as_bytes();
     let stage_len = u16::try_from(stage_bytes.len())
         .map_err(|_| CkptError::Corrupt(format!("stage name `{stage}` too long to frame")))?;
@@ -175,7 +183,7 @@ pub fn write_snapshot(path: &Path, stage: &str, payload: &[u8]) -> Result<(), Ck
     buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     buf.extend_from_slice(&checksum.finish().to_le_bytes());
     buf.extend_from_slice(payload);
-    write_atomic(path, &buf)
+    Ok(buf)
 }
 
 /// Reads and validates one stage snapshot, returning its payload.
@@ -289,6 +297,56 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), CkptError> {
             e,
         )
     })
+}
+
+/// Attempts per transient-I/O retry loop: the first try plus two
+/// retries. A fault that persists across all three is treated as real.
+pub const RETRY_ATTEMPTS: u32 = 3;
+
+/// Runs `op` up to [`RETRY_ATTEMPTS`] times, sleeping a small
+/// exponentially-growing backoff (with deterministic jitter drawn from
+/// a [`DetRng`] seeded by `seed`) between failures. Returns the final
+/// result plus how many retries were spent — a transient `EINTR`-class
+/// write failure no longer forfeits a checkpoint or a quarantine line.
+///
+/// The jitter seed should be a stable function of the destination (e.g.
+/// [`fnv1a`] of the path), so the backoff schedule is reproducible.
+pub fn retry_transient<T, E>(
+    seed: u64,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> (Result<T, E>, u32) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return (Ok(v), retries),
+            Err(e) => {
+                if retries + 1 >= RETRY_ATTEMPTS {
+                    return (Err(e), retries);
+                }
+                retries += 1;
+                let backoff_ms = (1u64 << retries) + u64::from(rng.gen_range(0..2u32));
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+            }
+        }
+    }
+}
+
+/// [`write_atomic`] wrapped in [`retry_transient`], with the `ckpt/write`
+/// failpoint armed-checkable inside the loop (an `error:<n>` action
+/// there is how the retry path is tested). Returns the number of
+/// retries spent.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] if all [`RETRY_ATTEMPTS`] attempts fail.
+pub fn write_atomic_retrying(path: &Path, contents: &[u8]) -> Result<u32, CkptError> {
+    let seed = fnv1a(path.to_string_lossy().as_bytes());
+    let (result, retries) = retry_transient(seed, || {
+        failpoint::check("ckpt/write").map_err(CkptError::Io)?;
+        write_atomic(path, contents)
+    });
+    result.map(|()| retries)
 }
 
 fn tmp_path(path: &Path) -> PathBuf {
@@ -405,9 +463,12 @@ pub fn snapshot_file_name(stage: &str) -> String {
 }
 
 /// Serializes `value` in the binary wire format ([`crate::wire`]) and
-/// writes its snapshot. JSON is deliberately not used here: snapshot
-/// payloads are the checkpoint layer's hot path, and wire encode/decode
-/// is what keeps the overhead inside the ≤2% budget of DESIGN.md §9.
+/// writes its snapshot, retrying transient I/O failures
+/// ([`write_atomic_retrying`]). JSON is deliberately not used here:
+/// snapshot payloads are the checkpoint layer's hot path, and wire
+/// encode/decode is what keeps the overhead inside the ≤2% budget of
+/// DESIGN.md §9. Returns `(payload_bytes, retries)` so the caller can
+/// account the `ckpt/retried` counter.
 ///
 /// # Errors
 ///
@@ -416,10 +477,11 @@ pub fn write_value_snapshot<T: ToWire + ?Sized>(
     path: &Path,
     stage: &str,
     value: &T,
-) -> Result<u64, CkptError> {
+) -> Result<(u64, u32), CkptError> {
     let payload = wire::encode(value);
-    write_snapshot(path, stage, &payload)?;
-    Ok(payload.len() as u64)
+    let framed = frame_snapshot(stage, &payload)?;
+    let retries = write_atomic_retrying(path, &framed)?;
+    Ok((payload.len() as u64, retries))
 }
 
 /// Reads, validates, and deserializes a stage snapshot.
@@ -589,10 +651,56 @@ mod tests {
         let dir = tmp_dir("value");
         let path = dir.join("v.ckpt");
         let value: Vec<u64> = vec![1, 2, 3];
-        let bytes = write_value_snapshot(&path, "v", &value).expect("write");
+        let (bytes, retries) = write_value_snapshot(&path, "v", &value).expect("write");
         assert!(bytes > 0);
+        assert_eq!(retries, 0, "no fault injected, no retries spent");
         let back: Vec<u64> = read_value_snapshot(&path, "v").expect("read");
         assert_eq!(back, value);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_away() {
+        let dir = tmp_dir("retry");
+        let path = dir.join("r.ckpt");
+        failpoint::arm("ckpt/write", failpoint::Action::ErrorTimes(2));
+        let (bytes, retries) =
+            write_value_snapshot(&path, "r", &vec![9u64]).expect("retries must absorb 2 faults");
+        failpoint::disarm("ckpt/write");
+        assert!(bytes > 0);
+        assert_eq!(retries, 2);
+        let back: Vec<u64> = read_value_snapshot(&path, "r").expect("read");
+        assert_eq!(back, vec![9]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_write_faults_exhaust_the_retry_budget() {
+        let dir = tmp_dir("retry-exhaust");
+        let path = dir.join("r.ckpt");
+        failpoint::arm("ckpt/write", failpoint::Action::Error);
+        let err = write_value_snapshot(&path, "r", &vec![9u64]);
+        failpoint::disarm("ckpt/write");
+        assert!(matches!(err, Err(CkptError::Io(_))), "got: {err:?}");
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_counts_are_deterministic_helpers() {
+        let mut calls = 0;
+        let (r, retries) = retry_transient(7, || {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(3));
+        assert_eq!(retries, 2);
+        let (r2, retries2) = retry_transient::<u32, _>(7, || Err("hard"));
+        assert_eq!(r2, Err("hard"));
+        assert_eq!(retries2, RETRY_ATTEMPTS - 1);
     }
 }

@@ -19,10 +19,12 @@
 //!
 //! Supported actions: `panic` (unwind at the site), `error` (make a
 //! fallible site return an error; panics at infallible sites),
-//! `delay:<ms>` (sleep, for exercising wall-clock budgets), and `abort`
-//! (kill the process without unwinding — a deterministic stand-in for
-//! `kill -9` / OOM, used by the chaos harness to test checkpoint
-//! resume; only meaningful when the target runs as a subprocess).
+//! `error:<n>` (fail the first *n* hits, then disarm — a transient
+//! fault, for exercising retry paths), `delay:<ms>` (sleep, for
+//! exercising wall-clock budgets), and `abort` (kill the process
+//! without unwinding — a deterministic stand-in for `kill -9` / OOM,
+//! used by the chaos harness to test checkpoint resume; only meaningful
+//! when the target runs as a subprocess).
 //!
 //! ```
 //! use smash_support::failpoint::{self, Action};
@@ -45,6 +47,11 @@ pub enum Action {
     /// Make the site fail gracefully: [`check`] returns an error.
     /// Reaching an infallible [`fire`] site with this action panics.
     Error,
+    /// Like [`Action::Error`], but transient: the site fails only the
+    /// first `n` times it is reached, then disarms itself. This is how
+    /// retry paths are tested — an `error:<n>` site with `n` below the
+    /// retry limit must end up succeeding.
+    ErrorTimes(u32),
     /// Sleep for the given number of milliseconds (simulates a stall;
     /// pairs with per-stage wall-clock budgets).
     Delay(u64),
@@ -57,8 +64,8 @@ pub enum Action {
 }
 
 impl Action {
-    /// Parses an action keyword: `panic`, `error`, `abort`, or
-    /// `delay:<ms>`.
+    /// Parses an action keyword: `panic`, `error`, `error:<n>`,
+    /// `abort`, or `delay:<ms>`.
     ///
     /// # Errors
     ///
@@ -70,12 +77,18 @@ impl Action {
                 .map(Action::Delay)
                 .map_err(|_| format!("bad delay milliseconds `{ms}`"));
         }
+        if let Some(n) = s.strip_prefix("error:") {
+            return n
+                .parse()
+                .map(Action::ErrorTimes)
+                .map_err(|_| format!("bad error count `{n}`"));
+        }
         match s {
             "panic" => Ok(Action::Panic),
             "error" => Ok(Action::Error),
             "abort" => Ok(Action::Abort),
             other => Err(format!(
-                "unknown failpoint action `{other}` (expected panic|error|abort|delay:<ms>)"
+                "unknown failpoint action `{other}` (expected panic|error[:<n>]|abort|delay:<ms>)"
             )),
         }
     }
@@ -197,6 +210,24 @@ pub fn action_for(site: &str) -> Option<Action> {
         .copied()
 }
 
+/// Burns one trigger of a self-disarming `error:<n>` action: the
+/// remaining count is decremented under the registry lock, and the site
+/// disarms once it reaches zero. Persistent actions are untouched.
+fn consume_transient(site: &str, action: Action) {
+    let Action::ErrorTimes(n) = action else {
+        return;
+    };
+    let mut map = registry()
+        .lock()
+        .expect("failpoint registry mutex not poisoned");
+    if n <= 1 {
+        map.remove(site);
+    } else {
+        map.insert(site.to_owned(), Action::ErrorTimes(n - 1));
+    }
+    ARMED.store(!map.is_empty(), Ordering::SeqCst);
+}
+
 /// Sites currently armed, sorted (diagnostics and tests).
 pub fn armed_sites() -> Vec<String> {
     ensure_env_loaded();
@@ -221,6 +252,11 @@ pub fn fire(site: &str) {
     match action_for(site) {
         None => {}
         Some(Action::Panic) | Some(Action::Error) => {
+            // lint:allow(panic): the injected panic IS the failpoint's contract.
+            panic!("failpoint `{site}` triggered: injected panic")
+        }
+        Some(a @ Action::ErrorTimes(_)) => {
+            consume_transient(site, a);
             // lint:allow(panic): the injected panic IS the failpoint's contract.
             panic!("failpoint `{site}` triggered: injected panic")
         }
@@ -254,6 +290,12 @@ pub fn check(site: &str) -> Result<(), String> {
         // lint:allow(panic): the injected panic IS the failpoint's contract.
         Some(Action::Panic) => panic!("failpoint `{site}` triggered: injected panic"),
         Some(Action::Error) => Err(format!("failpoint `{site}` triggered: injected error")),
+        Some(a @ Action::ErrorTimes(_)) => {
+            consume_transient(site, a);
+            Err(format!(
+                "failpoint `{site}` triggered: injected transient error"
+            ))
+        }
         Some(Action::Delay(ms)) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));
             Ok(())
@@ -316,6 +358,26 @@ mod tests {
         assert_eq!(action_for("t/z"), Some(Action::Error));
         assert_eq!(armed_sites(), vec!["t/x", "t/y", "t/z"]);
         disarm_all();
+    }
+
+    #[test]
+    fn transient_error_disarms_after_n_hits() {
+        let _g = locked();
+        disarm_all();
+        arm("t/flaky", Action::ErrorTimes(2));
+        assert!(check("t/flaky").is_err());
+        assert_eq!(action_for("t/flaky"), Some(Action::ErrorTimes(1)));
+        assert!(check("t/flaky").is_err());
+        assert!(check("t/flaky").is_ok(), "third hit must succeed");
+        assert_eq!(action_for("t/flaky"), None);
+        disarm_all();
+    }
+
+    #[test]
+    fn transient_error_spec_parses() {
+        assert_eq!(Action::parse("error:3"), Ok(Action::ErrorTimes(3)));
+        assert!(Action::parse("error:x").is_err());
+        assert!(parse_spec("ckpt/write=error:2").is_ok());
     }
 
     #[test]

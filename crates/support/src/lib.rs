@@ -16,6 +16,10 @@
 //!   panic-isolating variant for the degraded-mode pipeline.
 //! * [`failpoint`] — deterministic, zero-cost-when-unarmed fault
 //!   injection (`SMASH_FAILPOINTS`) for resilience testing.
+//! * [`governor`] — run-scoped resource governance: cooperative
+//!   cancellation tokens, byte-accurate per-stage memory accounting, and
+//!   the graceful-degradation ladder behind `--memory-budget-mb` /
+//!   `--deadline-ms`.
 //! * [`check`] — a seeded property-test harness with shrink-on-failure
 //!   and failure-seed reporting, replacing `proptest`.
 //! * [`ckpt`] — versioned, checksummed, atomically-written checkpoint
@@ -35,6 +39,7 @@ pub mod bench;
 pub mod check;
 pub mod ckpt;
 pub mod failpoint;
+pub mod governor;
 pub mod json;
 pub mod metrics;
 pub mod par;

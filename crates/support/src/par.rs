@@ -9,6 +9,7 @@
 //! regression test uses to prove single- and multi-threaded runs emit
 //! byte-identical reports.
 
+use crate::governor::CancelToken;
 use crate::quiet::{panic_message, silenced};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,9 +44,45 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_inner(items, None, f)
+}
+
+/// [`par_map`] with cooperative cancellation: workers stop claiming new
+/// items once `token` is cancelled, and the call then panics with the
+/// cancellation reason (via [`CancelToken::bail`]) instead of returning
+/// a partial result — unwinding into the caller's isolation boundary
+/// exactly like a cancellation point inside `f` would.
+///
+/// # Panics
+///
+/// Panics with the governor cancellation reason when `token` is (or
+/// becomes) cancelled.
+pub fn par_map_cancellable<T, U, F>(items: &[T], token: &CancelToken, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_inner(items, Some(token), f)
+}
+
+fn par_map_inner<T, U, F>(items: &[T], token: Option<&CancelToken>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let threads = current_num_threads().min(items.len()).max(1);
     if threads == 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .map(|item| {
+                if let Some(t) = token {
+                    t.bail();
+                }
+                f(item)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
@@ -54,11 +91,16 @@ where
             s.spawn(|| {
                 let mut local = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    // A cancelled token stops the whole map at the next
+                    // claim; the post-join bail below reports it.
+                    if token.is_some_and(CancelToken::is_cancelled) {
                         break;
                     }
-                    local.push((i, f(&items[i])));
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else {
+                        break;
+                    };
+                    local.push((i, f(item)));
                 }
                 collected
                     .lock()
@@ -67,6 +109,9 @@ where
             });
         }
     });
+    if let Some(t) = token {
+        t.bail();
+    }
     let mut pairs = collected
         .into_inner()
         .expect("collector mutex not poisoned: all workers joined");
@@ -180,6 +225,24 @@ mod tests {
         assert_eq!(run_isolated(|| 41 + 1), Ok(42));
         let err = run_isolated(|| -> u32 { panic!("kapow") }).unwrap_err();
         assert!(err.contains("kapow"), "got: {err}");
+    }
+
+    #[test]
+    fn cancellable_map_completes_when_uncancelled() {
+        let token = CancelToken::new();
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map_cancellable(&items, &token, |x| x + 1);
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[499], 500);
+    }
+
+    #[test]
+    fn cancellable_map_bails_on_cancelled_token() {
+        let token = CancelToken::new();
+        token.cancel("governor: test cancellation");
+        let items: Vec<u64> = (0..100).collect();
+        let err = run_isolated(|| par_map_cancellable(&items, &token, |x| *x)).unwrap_err();
+        assert!(err.contains("governor: test cancellation"), "got: {err}");
     }
 
     #[test]

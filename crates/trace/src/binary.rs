@@ -258,6 +258,7 @@ pub fn read_binary_lenient<R: Read>(
     opts: &IngestOptions,
 ) -> Result<(Vec<HttpRecord>, IngestReport), IngestError> {
     failpoint::check("ingest/binary").map_err(io::Error::other)?;
+    crate::io::check_cancel(opts.cancel.as_ref())?;
     let mut raw = Vec::new();
     r.read_to_end(&mut raw)?;
     let mut buf = Cursor::new(&raw);
@@ -267,7 +268,10 @@ pub fn read_binary_lenient<R: Read>(
         ..IngestReport::default()
     };
     let mut out = Vec::with_capacity(n_records.min(1 << 22));
-    for _ in 0..n_records {
+    for i in 0..n_records {
+        if i % crate::io::CANCEL_POLL_LINES == crate::io::CANCEL_POLL_LINES - 1 {
+            crate::io::check_cancel(opts.cancel.as_ref())?;
+        }
         match read_record(&mut buf, &table) {
             Ok(rec) => {
                 report.records += 1;

@@ -13,7 +13,9 @@
 //! wrong file entirely (fail fast with [`IngestError::BudgetExceeded`]).
 
 use crate::record::HttpRecord;
+use smash_support::ckpt;
 use smash_support::failpoint;
+use smash_support::governor::CancelToken;
 use smash_support::impl_json_struct;
 use smash_support::json::{self, FromJson};
 use std::fmt;
@@ -89,6 +91,11 @@ pub struct IngestOptions {
     /// When set, raw rejected lines are appended to this sidecar file
     /// for offline inspection.
     pub quarantine: Option<PathBuf>,
+    /// When set, the lenient readers poll this token every
+    /// [`CANCEL_POLL_LINES`] lines and abort with
+    /// [`IngestError::Cancelled`] once it fires (governor deadlines and
+    /// run-level cancellation reach ingest through here).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for IngestOptions {
@@ -97,6 +104,7 @@ impl Default for IngestOptions {
             max_line_bytes: 1 << 20,
             error_budget: 0.05,
             quarantine: None,
+            cancel: None,
         }
     }
 }
@@ -119,6 +127,28 @@ impl IngestOptions {
         self.max_line_bytes = n;
         self
     }
+
+    /// Sets the cooperative cancellation token polled during ingest.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Lines (or binary records) between cancellation-token polls: frequent
+/// enough that a cancelled ingest stops within milliseconds, rare enough
+/// that the poll never shows up in a profile.
+pub const CANCEL_POLL_LINES: usize = 4096;
+
+/// Returns [`IngestError::Cancelled`] if the optional token has fired.
+pub(crate) fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), IngestError> {
+    match cancel {
+        Some(t) if t.is_cancelled() => Err(IngestError::Cancelled(
+            t.reason()
+                .unwrap_or_else(|| "governor: cancelled".to_owned()),
+        )),
+        _ => Ok(()),
+    }
 }
 
 /// A lenient ingest that could not produce a usable dataset.
@@ -135,6 +165,9 @@ pub enum IngestError {
         /// The budget that was exceeded.
         budget: f64,
     },
+    /// The [`IngestOptions::cancel`] token fired (deadline or explicit
+    /// cancellation); the payload is the cancellation reason.
+    Cancelled(String),
 }
 
 impl fmt::Display for IngestError {
@@ -154,6 +187,7 @@ impl fmt::Display for IngestError {
                 report.bad_ip,
                 report.bad_field,
             ),
+            IngestError::Cancelled(reason) => write!(f, "ingest cancelled: {reason}"),
         }
     }
 }
@@ -178,16 +212,29 @@ impl<'a> Quarantine<'a> {
         Self { path, file: None }
     }
 
+    /// Appends one bad line, retrying transient I/O errors with the
+    /// same bounded deterministic backoff the checkpoint layer uses
+    /// (the jitter seed is a function of the sidecar path). A flaky
+    /// filesystem costs a retry, not the quarantined evidence.
     fn spill(&mut self, raw: &[u8], report: &mut IngestReport) -> io::Result<()> {
         let Some(path) = self.path else {
             return Ok(());
         };
-        if self.file.is_none() {
-            self.file = Some(BufWriter::new(File::create(path)?));
-        }
-        let f = self.file.as_mut().expect("just created");
-        f.write_all(raw)?;
-        f.write_all(b"\n")?;
+        let file = &mut self.file;
+        let (res, _retries) = ckpt::retry_transient(
+            ckpt::fnv1a(path.as_os_str().as_encoded_bytes()),
+            || -> io::Result<()> {
+                failpoint::check("ingest/quarantine").map_err(io::Error::other)?;
+                if file.is_none() {
+                    *file = Some(BufWriter::new(File::create(path)?));
+                }
+                let f = file.as_mut().expect("just created");
+                f.write_all(raw)?;
+                f.write_all(b"\n")?;
+                Ok(())
+            },
+        );
+        res?;
         report.quarantined += 1;
         Ok(())
     }
@@ -224,6 +271,7 @@ pub fn read_jsonl_lenient<R: Read>(
     opts: &IngestOptions,
 ) -> Result<(Vec<HttpRecord>, IngestReport), IngestError> {
     failpoint::check("ingest/jsonl").map_err(io::Error::other)?;
+    check_cancel(opts.cancel.as_ref())?;
     let mut report = IngestReport::default();
     let mut out = Vec::new();
     let mut quarantine = Quarantine::new(opts.quarantine.as_deref());
@@ -243,6 +291,9 @@ pub fn read_jsonl_lenient<R: Read>(
             continue;
         }
         report.lines += 1;
+        if report.lines % CANCEL_POLL_LINES == 0 {
+            check_cancel(opts.cancel.as_ref())?;
+        }
         if raw.len() > opts.max_line_bytes {
             report.oversized += 1;
             quarantine.spill(&raw, &mut report)?;
@@ -508,6 +559,67 @@ mod tests {
         let (recs, report) = read_jsonl_lenient(&b""[..], &IngestOptions::default()).unwrap();
         assert!(recs.is_empty());
         assert_eq!(report.bad_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_lenient_ingest() {
+        let token = CancelToken::new();
+        token.cancel("governor: run deadline exceeded: elapsed 9 ms > budget 1 ms");
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample()).unwrap();
+        let opts = IngestOptions::default().with_cancel(token);
+        match read_jsonl_lenient(&buf[..], &opts) {
+            Err(IngestError::Cancelled(reason)) => assert!(reason.contains("run deadline")),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample()).unwrap();
+        let opts = IngestOptions::default().with_cancel(CancelToken::new());
+        let (recs, report) = read_jsonl_lenient(&buf[..], &opts).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(report.bad_lines(), 0);
+    }
+
+    #[test]
+    fn quarantine_spill_retries_transient_write_errors() {
+        let dir = unique_test_dir("quarantine-retry");
+        let sidecar = dir.join("trace.quarantine");
+        let buf = dirty_buffer(97, 3);
+        let opts = IngestOptions::default().with_quarantine(&sidecar);
+        // Two transient failures: the first spill succeeds on attempt 3.
+        smash_support::failpoint::arm(
+            "ingest/quarantine",
+            smash_support::failpoint::Action::ErrorTimes(2),
+        );
+        let res = read_jsonl_lenient(&buf[..], &opts);
+        smash_support::failpoint::disarm("ingest/quarantine");
+        let (_, report) = res.unwrap();
+        assert_eq!(report.quarantined, 3);
+        let spilled = std::fs::read(&sidecar).unwrap();
+        assert_eq!(spilled.iter().filter(|&&b| b == b'\n').count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_spill_gives_up_after_bounded_retries() {
+        let dir = unique_test_dir("quarantine-persistent");
+        let sidecar = dir.join("trace.quarantine");
+        let buf = dirty_buffer(97, 3);
+        let opts = IngestOptions::default().with_quarantine(&sidecar);
+        // More consecutive failures than the retry budget: a persistent
+        // error must surface, not loop forever.
+        smash_support::failpoint::arm(
+            "ingest/quarantine",
+            smash_support::failpoint::Action::ErrorTimes(99),
+        );
+        let res = read_jsonl_lenient(&buf[..], &opts);
+        smash_support::failpoint::disarm("ingest/quarantine");
+        assert!(matches!(res, Err(IngestError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -47,6 +47,12 @@ analyze flags:
                          MinHash/LSH (the recall oracle; see DESIGN.md
                          §10 — slow on large traces)
   --dimension-budget-ms <ms>  per-dimension wall-clock budget (0 = off)
+  --memory-budget-mb <mb>  per-stage tracked-memory hard budget; the
+                         degradation ladder engages at 80% (0 = off;
+                         see DESIGN.md §11)
+  --deadline-ms <ms>     whole-run wall-clock deadline, polled
+                         cooperatively by ingest, builders, and mining
+                         (0 = off)
   --json <path>          write the campaign/health/perf report as JSON
   --dot <path>           write the client-similarity graph as Graphviz DOT
   --metrics <path>       dump the full metrics registry snapshot as JSON
@@ -285,6 +291,15 @@ fn load(
         if let Some(b) = flag_value(args, "--error-budget") {
             opts = opts.with_error_budget(b.parse()?);
         }
+        // A run deadline covers ingest too: the lenient readers poll
+        // the token and abort instead of parsing past the deadline.
+        if let Some(ms) = flag_value(args, "--deadline-ms") {
+            let ms: u64 = ms.parse()?;
+            if ms > 0 {
+                opts =
+                    opts.with_cancel(smash::support::governor::CancelToken::with_deadline_ms(ms));
+            }
+        }
         let (records, report) = if path.ends_with(".smsh") {
             smash::trace::binary::read_binary_lenient_file(path, &opts)?
         } else {
@@ -336,6 +351,8 @@ const ANALYZE_FLAGS: &[FlagSpec] = &[
     ("--param-dimension", false),
     ("--exact", false),
     ("--dimension-budget-ms", true),
+    ("--memory-budget-mb", true),
+    ("--deadline-ms", true),
     ("--json", true),
     ("--dot", true),
     ("--metrics", true),
@@ -391,9 +408,21 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         config = config.with_dimension_budget_ms(ms.parse()?);
     }
     let checkpoints = checkpoint_options(args)?;
+    let mut resources = smash::support::governor::GovernorOptions::unlimited();
+    if let Some(mb) = flag_value(args, "--memory-budget-mb") {
+        resources = resources.with_memory_budget_bytes(mb.parse::<u64>()? << 20);
+    }
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        resources = resources.with_deadline_ms(ms.parse()?);
+    }
+    let governed =
+        (resources.memory_budget_bytes > 0 || resources.deadline_ms > 0).then_some(&resources);
     let mut report =
-        Smash::new(config).run_resumable(&dataset, &whois, &metrics, checkpoints.as_ref());
+        Smash::new(config).run_governed(&dataset, &whois, &metrics, checkpoints.as_ref(), governed);
     report.health.ingest = ingest;
+    for note in &report.health.governor {
+        eprintln!("governor: {note}");
+    }
     for warning in &report.health.checkpoint_warnings {
         eprintln!("warning: {warning}");
     }
@@ -412,6 +441,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                     elapsed_ms,
                     budget_ms,
                 }) => format!("over budget ({elapsed_ms} ms > {budget_ms} ms)"),
+                Some(DimensionStatus::Cancelled { reason }) => format!("cancelled: {reason}"),
                 _ => continue,
             };
             eprintln!("warning: dimension {kind} dropped: {why}");
@@ -457,6 +487,18 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     }
     if args.iter().any(|a| a == "--profile") {
         println!("\n{}", metrics.snapshot().render_table());
+        if report.perf.peak_tracked_bytes > 0 {
+            println!(
+                "peak tracked bytes: {} across {} governed stage(s)",
+                report.perf.peak_tracked_bytes,
+                report
+                    .perf
+                    .stages
+                    .iter()
+                    .filter(|s| s.peak_tracked_bytes > 0)
+                    .count()
+            );
+        }
     }
     if let Some(out) = flag_value(args, "--dot") {
         // The main (client-similarity) graph, colored by herd — the

@@ -1,0 +1,97 @@
+//! Ingest error-budget boundary suite (DESIGN.md §6).
+//!
+//! The budget check is strict (`bad_fraction > budget`): a trace that is
+//! bad in *exactly* the budgeted fraction still ingests, one more bad
+//! line fails fast with the structured [`IngestError::BudgetExceeded`],
+//! and an empty file is a clean (zero-line, zero-record) ingest — not a
+//! division-by-zero or a spurious budget failure.
+
+use smash::trace::io::{read_jsonl_lenient, write_jsonl, IngestError, IngestOptions};
+use smash::trace::HttpRecord;
+
+/// A buffer of `good` well-formed records with `bad` malformed lines
+/// interleaved one-per-block so position cannot matter.
+fn dirty_buffer(good: usize, bad: usize) -> Vec<u8> {
+    let records: Vec<HttpRecord> = (0..good)
+        .map(|i| {
+            HttpRecord::new(
+                i as u64,
+                &format!("client{}", i % 7),
+                &format!("host{}.example", i % 11),
+                "10.0.0.1",
+                "/index.html",
+            )
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, &records).expect("serialize records");
+    let mut lines: Vec<&[u8]> = buf
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
+    assert_eq!(lines.len(), good);
+    let markers: Vec<Vec<u8>> = (0..bad)
+        .map(|i| format!("{{not json #{i}").into_bytes())
+        .collect();
+    for (i, m) in markers.iter().enumerate() {
+        // Spread the bad lines across the file instead of clumping them.
+        let at = if good == 0 {
+            0
+        } else {
+            (i * good / bad.max(1)).min(lines.len())
+        };
+        lines.insert(at, m);
+    }
+    let mut out = Vec::new();
+    for l in lines {
+        out.extend_from_slice(l);
+        out.push(b'\n');
+    }
+    out
+}
+
+#[test]
+fn exactly_at_budget_ingests_every_good_line() {
+    let buf = dirty_buffer(95, 5); // 5/100 bad == the 5% default, not over
+    let (records, report) = read_jsonl_lenient(buf.as_slice(), &IngestOptions::default())
+        .expect("exactly-at-budget ingest must succeed");
+    assert_eq!(records.len(), 95);
+    assert_eq!(report.lines, 100);
+    assert_eq!(report.records, 95);
+    assert_eq!(report.bad_json, 5);
+    assert!((report.bad_fraction() - 0.05).abs() < 1e-12);
+}
+
+#[test]
+fn one_line_over_budget_fails_fast_with_the_full_tally() {
+    let buf = dirty_buffer(94, 6); // 6/100 bad: one line over the 5% budget
+    let err = read_jsonl_lenient(buf.as_slice(), &IngestOptions::default())
+        .expect_err("over-budget ingest must fail");
+    match err {
+        IngestError::BudgetExceeded { report, budget } => {
+            assert_eq!(budget, 0.05);
+            // The whole file was still scanned: the error carries the
+            // complete tally, not just the first breach.
+            assert_eq!(report.lines, 100);
+            assert_eq!(report.bad_json, 6);
+            assert_eq!(report.records, 94);
+        }
+        other => panic!("expected BudgetExceeded, got: {other}"),
+    }
+}
+
+#[test]
+fn empty_file_is_a_clean_zero_line_ingest() {
+    let (records, report) = read_jsonl_lenient(&[] as &[u8], &IngestOptions::default())
+        .expect("empty input must ingest cleanly");
+    assert!(records.is_empty());
+    assert_eq!(report.lines, 0);
+    assert_eq!(report.bad_fraction(), 0.0);
+
+    // Whitespace-only input is the same empty ingest: blank lines are
+    // skipped before they can count against the budget.
+    let (records, report) = read_jsonl_lenient(b"\n  \n\r\n".as_slice(), &IngestOptions::default())
+        .expect("blank-only input must ingest cleanly");
+    assert!(records.is_empty());
+    assert_eq!(report.lines, 0);
+}

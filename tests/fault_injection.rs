@@ -258,6 +258,51 @@ fn stalled_dimension_times_out_under_budget_and_is_dropped() {
     }
 }
 
+/// Cooperative enforcement (DESIGN.md §11): the wall budget interrupts
+/// a dimension *mid-stall*, it does not wait for the stage to finish
+/// and then tut-tut post hoc. The whois builder's per-node tick is
+/// stalled 50 ms a step — left alone it would burn seconds — and the
+/// stage must stop within 2× its 200 ms budget.
+#[test]
+fn stalled_dimension_stops_within_twice_its_budget() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let budget_ms = 200;
+    let cfg = SmashConfig::default()
+        .with_failpoints("dimension/whois/tick=delay:50")
+        .with_dimension_budget_ms(budget_ms);
+    let started = std::time::Instant::now();
+    let report = Smash::new(cfg).run(&flux_trace(), &flux_whois());
+    let run_wall_ms = started.elapsed().as_millis() as u64;
+    failpoint::disarm_all();
+
+    assert!(flux_recovered(&report), "campaigns: {:?}", report.campaigns);
+    match report.health.status_of(DimensionKind::Whois) {
+        Some(DimensionStatus::TimedOut {
+            elapsed_ms,
+            budget_ms: b,
+        }) => {
+            assert_eq!(*b, budget_ms);
+            assert!(
+                *elapsed_ms >= budget_ms,
+                "timed out before the budget: {elapsed_ms} ms"
+            );
+            assert!(
+                *elapsed_ms <= 2 * budget_ms,
+                "cooperative cancellation too slow: {elapsed_ms} ms > 2x {budget_ms} ms budget"
+            );
+        }
+        other => panic!("expected Whois TimedOut, got {other:?}"),
+    }
+    // The stall never ran to completion: the whole run (all dimensions,
+    // mining, correlation) finished far below the ~2 s a full per-node
+    // stall would have cost.
+    assert!(
+        run_wall_ms < 1500,
+        "run wall time {run_wall_ms} ms suggests the stall ran to completion"
+    );
+}
+
 #[test]
 fn main_dimension_failure_yields_an_empty_report_not_a_panic() {
     let _g = locked();

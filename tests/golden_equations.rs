@@ -37,6 +37,7 @@ fn graph_of(
         nodes: &nodes,
         node_of: &node_of,
         metrics: &smash::support::metrics::Registry::new(),
+        governor: smash::support::governor::Governor::unlimited(),
     });
     let by_host = nodes
         .iter()

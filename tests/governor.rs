@@ -1,0 +1,257 @@
+//! Resource-governor suite (DESIGN.md §11).
+//!
+//! Three promises of the governed pipeline:
+//!
+//! 1. **No budgets, no change** — `run_governed` without resources is
+//!    byte-identical to the plain run; the governor's accounting alone
+//!    never perturbs the report.
+//! 2. **A hard budget degrades, never corrupts** — an impossible memory
+//!    budget cancels the offending dimension through the degradation
+//!    ladder and the report says so (`Cancelled` status, ladder events
+//!    in `RunHealth`), instead of panicking or lying.
+//! 3. **A governor abort leaves resumable state** — `--resume` from the
+//!    checkpoint directory of an aborted run, with the budget lifted,
+//!    reproduces the unconstrained report exactly.
+
+use smash::core::{CheckpointOptions, Smash, SmashConfig, SmashReport};
+use smash::support::failpoint;
+use smash::support::governor::GovernorOptions;
+use smash::support::metrics::Registry;
+use smash::trace::{HttpRecord, TraceDataset};
+use smash::whois::{WhoisRecord, WhoisRegistry};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The failpoint registry is process-global; serialize the tests that
+/// could observe an armed spec.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "smash-governor-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The planted flux herd: strong in every dimension so a degraded run
+/// has something measurable to lose.
+fn flux_trace() -> TraceDataset {
+    let mut records = Vec::new();
+    let bots = ["bot1", "bot2", "bot3"];
+    for bot in bots {
+        for d in 0..8 {
+            records.push(
+                HttpRecord::new(
+                    0,
+                    bot,
+                    &format!("cc{d}.evil"),
+                    "66.6.6.6",
+                    "/gate/login.php?p=1",
+                )
+                .with_user_agent("BotAgent"),
+            );
+        }
+    }
+    for s in 0..30 {
+        for c in 0..6 {
+            records.push(HttpRecord::new(
+                0,
+                &format!("user{}", (s * 3 + c) % 40),
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                &format!("/page{c}.html"),
+            ));
+        }
+    }
+    for bot in bots {
+        for s in 0..5 {
+            records.push(HttpRecord::new(
+                0,
+                bot,
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                "/index.html",
+            ));
+        }
+    }
+    TraceDataset::from_records(records)
+}
+
+fn flux_whois() -> WhoisRegistry {
+    let mut reg = WhoisRegistry::new();
+    for d in 0..8 {
+        reg.insert(
+            &format!("cc{d}.evil"),
+            WhoisRecord::new()
+                .with_registrant("Evil Holdings")
+                .with_email("ops@evil.example")
+                .with_phone("666")
+                .with_name_server("ns1.evil.example"),
+        );
+    }
+    reg
+}
+
+fn run(
+    checkpoints: Option<&CheckpointOptions>,
+    resources: Option<&GovernorOptions>,
+) -> SmashReport {
+    let metrics = Registry::new();
+    Smash::new(SmashConfig::default()).run_governed(
+        &flux_trace(),
+        &flux_whois(),
+        &metrics,
+        checkpoints,
+        resources,
+    )
+}
+
+#[test]
+fn ungoverned_and_unbudgeted_runs_are_byte_identical_to_plain() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let metrics = Registry::new();
+    let plain =
+        Smash::new(SmashConfig::default()).run_with_metrics(&flux_trace(), &flux_whois(), &metrics);
+
+    let ungoverned = run(None, None);
+    let unlimited = GovernorOptions::unlimited();
+    let unbudgeted = run(None, Some(&unlimited));
+
+    assert_eq!(
+        ungoverned.canonical_json(),
+        plain.canonical_json(),
+        "run_governed without resources changed the report"
+    );
+    assert_eq!(
+        unbudgeted.canonical_json(),
+        plain.canonical_json(),
+        "an unlimited governor changed the report"
+    );
+    assert!(
+        plain.health.governor.is_empty() && unbudgeted.health.governor.is_empty(),
+        "unbudgeted runs must not record ladder events"
+    );
+}
+
+#[test]
+fn impossible_memory_budget_cancels_through_the_ladder() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let tight = GovernorOptions::unlimited().with_memory_budget_bytes(1);
+    let metrics = Registry::new();
+    let report = Smash::new(SmashConfig::default()).run_governed(
+        &flux_trace(),
+        &flux_whois(),
+        &metrics,
+        None,
+        Some(&tight),
+    );
+
+    // The first byte charged blows the hard budget: the main dimension
+    // is cancelled, the run aborts into a degraded-but-valid report.
+    assert!(report.campaigns.is_empty());
+    let client = report
+        .health
+        .dimensions
+        .iter()
+        .find(|d| d.kind.to_string() == "client")
+        .expect("client dimension health present");
+    match &client.status {
+        smash::core::report::DimensionStatus::Cancelled { reason } => {
+            assert!(
+                reason.contains("memory hard budget exceeded"),
+                "unexpected cancel reason: {reason}"
+            );
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert!(
+        report
+            .health
+            .governor
+            .iter()
+            .any(|e| e.contains("cancelled by governor")),
+        "ladder events missing the cancellation: {:?}",
+        report.health.governor
+    );
+    assert!(metrics.counter("governor/cancelled").get() >= 1);
+}
+
+#[test]
+fn resume_after_governor_abort_reproduces_the_unconstrained_report() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("abort-resume");
+
+    let unconstrained = run(None, None);
+
+    // Aborted run: the budget kills the main dimension, but whatever
+    // reached the checkpoint directory first (preprocess) is durable.
+    let tight = GovernorOptions::unlimited().with_memory_budget_bytes(1);
+    let aborted = run(Some(&CheckpointOptions::new(&dir)), Some(&tight));
+    assert!(
+        aborted.campaigns.is_empty(),
+        "the impossible budget should abort the run"
+    );
+
+    // Resume with the budget lifted: the surviving snapshots are
+    // reused, the cancelled work recomputes, and the report matches an
+    // unconstrained cold run exactly.
+    let resumed = run(Some(&CheckpointOptions::new(&dir).with_resume(true)), None);
+    assert_eq!(
+        resumed.canonical_json(),
+        unconstrained.canonical_json(),
+        "resume after a governor abort diverged from the unconstrained run"
+    );
+    assert!(
+        resumed.health.checkpoint_warnings.is_empty(),
+        "resume after abort warned: {:?}",
+        resumed.health.checkpoint_warnings
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn soft_budget_engages_the_ladder_but_still_completes() {
+    let _g = locked();
+    failpoint::disarm_all();
+    // Size the budget off the unconstrained run's biggest stage: a hard
+    // budget just above that peak puts the soft threshold (80%) below
+    // it, so the ladder must engage without ever reaching hard.
+    let unconstrained = run(None, None);
+    let biggest = unconstrained
+        .perf
+        .stages
+        .iter()
+        .map(|s| s.peak_tracked_bytes)
+        .max()
+        .unwrap_or(0);
+    assert!(biggest > 0, "no stage charged any bytes");
+
+    let snug = GovernorOptions::unlimited().with_memory_budget_bytes(biggest + biggest / 8);
+    let report = run(None, Some(&snug));
+    assert!(
+        report.health.dimensions.iter().all(|d| !matches!(
+            d.status,
+            smash::core::report::DimensionStatus::Cancelled { .. }
+        )),
+        "a budget above the observed peak must not cancel: {:?}",
+        report.health.dimensions
+    );
+    assert!(
+        !report.health.governor.is_empty(),
+        "soft breach left no ladder events"
+    );
+}

@@ -36,6 +36,7 @@ fn build_dimension(
         nodes: &pre.kept,
         node_of: &node_of,
         metrics: &metrics,
+        governor: smash::support::governor::Governor::unlimited(),
     });
     (pre.kept, g)
 }

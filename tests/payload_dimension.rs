@@ -40,6 +40,7 @@ fn bagle_downloads_share_payload_sizes() {
         nodes: &pre.kept,
         node_of: &node_of,
         metrics: &smash::support::metrics::Registry::new(),
+        governor: smash::support::governor::Governor::unlimited(),
     });
     // Every pair of download servers (first 8 names) shares the payload
     // size; the C&C servers' small command responses are below the
