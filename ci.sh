@@ -36,6 +36,11 @@
 #                                             streamed scenario under halving
 #                                             memory budgets (DESIGN.md §11;
 #                                             writes no file)
+#   6f. preprocess / re-mine diff             `smash preprocess` writes a
+#                                             SMSHCOLS day, then analyzing the
+#                                             day must print byte-identical
+#                                             output to analyzing the raw
+#                                             trace (DESIGN.md §12.4)
 #   7. examples                               all four examples/ run to completion
 #   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
@@ -78,6 +83,15 @@ cargo run -q --release --offline -p smash-bench -- --huge --quick >/dev/null
 
 echo "==> smash-bench --pressure --quick (memory-budget degradation smoke)"
 cargo run -q --release --offline -p smash-bench -- --pressure --quick >/dev/null
+
+echo "==> preprocess / re-mine diff (SMSHCOLS day vs raw trace)"
+remine_dir="$(mktemp -d)"
+trap 'rm -rf "$remine_dir"' EXIT
+cargo run -q --release --offline --bin smash -- generate small "$remine_dir/trace.jsonl" --seed 42
+cargo run -q --release --offline --bin smash -- preprocess "$remine_dir/trace.jsonl" "$remine_dir/trace.day"
+cargo run -q --release --offline --bin smash -- analyze "$remine_dir/trace.jsonl" >"$remine_dir/raw.out"
+cargo run -q --release --offline --bin smash -- analyze "$remine_dir/trace.day" >"$remine_dir/day.out"
+diff -u "$remine_dir/raw.out" "$remine_dir/day.out"
 
 echo "==> examples build and run"
 for ex in quickstart campaign_discovery weekly_monitoring custom_trace; do

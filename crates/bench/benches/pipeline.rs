@@ -60,7 +60,6 @@ fn bench_dataset_build(c: &mut Criterion) {
         let raw: Vec<smash_trace::HttpRecord> = data
             .dataset
             .records()
-            .iter()
             .map(|r| {
                 smash_trace::HttpRecord::new(
                     r.timestamp,

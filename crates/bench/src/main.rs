@@ -424,9 +424,14 @@ fn bench_huge(config: &SmashConfig, quick: bool) -> Json {
     };
     let label = if quick { "huge (quick)" } else { "huge" };
     let ingest_metrics = Registry::new();
+    // Governed columnar ingest: the stream lands directly in the column
+    // arena with governor byte-accounting, so the entry records the
+    // exact arena footprint alongside the ingest throughput.
+    let ingest_gov = smash_support::governor::Governor::unlimited();
+    let ingest_scope = ingest_gov.stage("ingest", 0);
     let dataset = {
         let _span = ingest_metrics.span("huge/ingest");
-        scenario.dataset()
+        scenario.dataset_governed(Some(&ingest_scope))
     };
     let ingest_ms = ingest_metrics
         .snapshot()
@@ -435,11 +440,26 @@ fn bench_huge(config: &SmashConfig, quick: bool) -> Json {
         .map(|h| h.sum_ms())
         .unwrap_or(0.0);
     let records = dataset.record_count();
+    let arena_bytes = ingest_scope.tracked_bytes();
+    let ingest_columnar = Json::Obj(vec![
+        ("wall_ms".into(), round3(ingest_ms).to_json()),
+        (
+            "records_per_sec".into(),
+            round3(if ingest_ms > 0.0 {
+                records as f64 / (ingest_ms / 1000.0)
+            } else {
+                0.0
+            })
+            .to_json(),
+        ),
+        ("arena_bytes".into(), arena_bytes.to_json()),
+    ]);
     eprintln!(
-        "{label}: streamed {} records into {} servers in {:.0} ms",
+        "{label}: streamed {} records into {} servers in {:.0} ms ({} arena bytes)",
         records,
         dataset.server_count(),
-        ingest_ms
+        ingest_ms,
+        arena_bytes
     );
 
     let whois = WhoisRegistry::new();
@@ -492,14 +512,93 @@ fn bench_huge(config: &SmashConfig, quick: bool) -> Json {
         .iter()
         .map(|s| (s.stage.clone(), round3(s.wall_ms).to_json()))
         .collect();
+    let remine = bench_remine(config, &dataset, &report, label);
     Json::Obj(vec![
         ("records".into(), records.to_json()),
         ("quick".into(), quick.to_json()),
         ("ingest_wall_ms".into(), round3(ingest_ms).to_json()),
         ("pipeline_wall_ms".into(), round3(pipeline_ms).to_json()),
         ("records_per_sec".into(), round3(records_per_sec).to_json()),
+        ("ingest_columnar".into(), ingest_columnar),
+        ("remine_from_disk".into(), remine),
         ("lsh_funnel".into(), Json::Obj(funnel)),
         ("stage_wall_ms".into(), Json::Obj(stages)),
+    ])
+}
+
+/// The zero-copy re-mine loop: persist the interned arena as a SMSHCOLS
+/// day file, reload it, and re-run the full pipeline from the loaded
+/// dataset — the `smash preprocess` / `--load-day` path without the
+/// string-parsing ingest. Asserts the re-mined report matches the
+/// ingest-path one before reporting timings.
+fn bench_remine(
+    config: &SmashConfig,
+    dataset: &smash_trace::TraceDataset,
+    baseline: &SmashReport,
+    label: &str,
+) -> Json {
+    let day_path = std::env::temp_dir().join(format!("smash-bench-{}.day", std::process::id()));
+    let day_metrics = Registry::new();
+    let saved = {
+        let _span = day_metrics.span("remine/save");
+        smash_trace::save_day(&day_path, dataset)
+    };
+    if let Err(e) = saved {
+        eprintln!("{label}: save_day failed ({e}); skipping remine_from_disk");
+        return Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]);
+    }
+    let day_bytes = std::fs::metadata(&day_path).map(|m| m.len()).unwrap_or(0);
+
+    let loaded = {
+        let _span = day_metrics.span("remine/load");
+        smash_trace::load_day(&day_path)
+    };
+    let loaded = match loaded {
+        Ok(ds) => ds,
+        Err(e) => {
+            eprintln!("{label}: load_day failed ({e}); skipping remine_from_disk");
+            let _ = std::fs::remove_file(&day_path);
+            return Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]);
+        }
+    };
+    let day_snapshot = day_metrics.snapshot();
+    let span_ms = |name: &str| {
+        day_snapshot
+            .histograms
+            .get(name)
+            .map(|h| h.sum_ms())
+            .unwrap_or(0.0)
+    };
+    let save_ms = span_ms("remine/save");
+    let load_ms = span_ms("remine/load");
+
+    let whois = WhoisRegistry::new();
+    let metrics = Registry::new();
+    let report = Smash::new(config.clone()).run_with_metrics(&loaded, &whois, &metrics);
+    let remine_pipeline_ms = report.perf.total_wall_ms;
+    let _ = std::fs::remove_file(&day_path);
+
+    let identical = report.campaigns.to_json().to_string()
+        == baseline.campaigns.to_json().to_string()
+        && report.kept_servers == baseline.kept_servers;
+    assert!(
+        identical,
+        "{label}: re-mined report diverged from ingest-path report"
+    );
+    eprintln!(
+        "{label}: re-mine from disk — save {save_ms:.0} ms, load {load_ms:.0} ms, \
+         pipeline {remine_pipeline_ms:.0} ms ({day_bytes} bytes on disk)"
+    );
+    Json::Obj(vec![
+        ("save_ms".into(), round3(save_ms).to_json()),
+        ("load_ms".into(), round3(load_ms).to_json()),
+        ("pipeline_ms".into(), round3(remine_pipeline_ms).to_json()),
+        (
+            "total_ms".into(),
+            round3(load_ms + remine_pipeline_ms).to_json(),
+        ),
+        ("day_bytes".into(), day_bytes.to_json()),
+        ("report_identical".into(), identical.to_json()),
     ])
 }
 

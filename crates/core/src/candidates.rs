@@ -41,11 +41,46 @@
 //! computed with the order-preserving [`smash_support::par::par_map`],
 //! and the returned pair list is sorted and deduplicated — identical
 //! across runs and thread counts.
+//!
+//! Memory: the full `nodes × bands·rows` signature table is never
+//! materialized. Each band recomputes its own rows and folds them into
+//! one `u64` bucket key per node, so resident signature state is `O(n)`
+//! regardless of the band count — and since a band only ever needed its
+//! own rows, the total hashing work is the same as filling the table.
+//!
+//! Feature sets arrive as any slice of [`FeatureId`] values (`u32`
+//! arena ids borrowed straight from `TraceDataset` postings, or `u64`
+//! synthetic features); ids are widened to `u64` at hash time, so the
+//! candidate output is independent of the carrier width.
 
 use crate::config::LshConfig;
 use smash_support::governor::StageScope;
 use smash_support::par;
 use std::collections::HashMap;
+
+/// A value usable as an LSH feature: anything losslessly widenable to
+/// the `u64` the hashes consume. Implemented for `u32` (interned arena
+/// ids) and `u64` (synthetic features like charset buckets), so
+/// dimension builders can hand postings to the generator as borrowed
+/// `&[u32]` slices without a widening copy.
+pub trait FeatureId: Copy + Send + Sync {
+    /// The canonical `u64` this feature hashes as.
+    fn widen(self) -> u64;
+}
+
+impl FeatureId for u64 {
+    #[inline]
+    fn widen(self) -> u64 {
+        self
+    }
+}
+
+impl FeatureId for u32 {
+    #[inline]
+    fn widen(self) -> u64 {
+        u64::from(self)
+    }
+}
 
 /// Funnel statistics of one candidate-generation pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,25 +117,19 @@ fn row_hash(feature: u64, row: u64) -> u64 {
 /// feature set, computed in parallel (order-preserving, so the result
 /// is identical across thread counts). An empty set signs as all
 /// `u64::MAX`.
-pub fn minhash_signatures(node_features: &[Vec<u64>], signature_len: usize) -> Vec<Vec<u64>> {
-    minhash_signature_rows(node_features, 0, signature_len)
-}
-
-/// The `[first_row, first_row + rows)` slice of every node's MinHash
-/// signature, without materialising the rest of the table. Row `i` of
-/// the result equals row `first_row + i` of [`minhash_signatures`]'
-/// output exactly — the governor's streamed-banding rung relies on
-/// that identity.
-fn minhash_signature_rows(
-    node_features: &[Vec<u64>],
-    first_row: usize,
-    rows: usize,
+///
+/// The candidate generator itself never builds this table — it folds
+/// each band's rows into bucket keys directly ([`lsh_candidates`]) —
+/// but the recall harness and the Jaccard estimator read raw rows.
+pub fn minhash_signatures<F: FeatureId, S: AsRef<[F]> + Sync>(
+    node_features: &[S],
+    signature_len: usize,
 ) -> Vec<Vec<u64>> {
     par::par_map(node_features, |features| {
-        let mut sig = vec![u64::MAX; rows];
-        for &f in features {
+        let mut sig = vec![u64::MAX; signature_len];
+        for &f in features.as_ref() {
             for (i, slot) in sig.iter_mut().enumerate() {
-                let h = row_hash(f, (first_row + i) as u64);
+                let h = row_hash(f.widen(), i as u64);
                 if h < *slot {
                     *slot = h;
                 }
@@ -108,6 +137,61 @@ fn minhash_signature_rows(
         }
         sig
     })
+}
+
+/// One bucket key per node for `band`: the band's `rows` signature rows
+/// (rows `band·rows ..` of the full table), folded with [`mix64`] into
+/// a single `u64`. Identical to folding the same rows out of
+/// [`minhash_signatures`]' table — the table is just never built.
+/// Below this node count one band's keys are computed on the calling
+/// thread: `band_keys` runs once per band, and on small graphs the
+/// per-call fork/join coordination costs more than the hashing it
+/// spreads. Output is identical either way (`par_map` preserves
+/// order); only the wall clock changes.
+const PAR_BAND_MIN_NODES: usize = 4096;
+
+fn band_keys<F: FeatureId, S: AsRef<[F]> + Sync>(
+    node_features: &[S],
+    band: usize,
+    rows: usize,
+) -> Vec<u64> {
+    let seed = mix64(0xB00C_0000 ^ band as u64);
+    let first_row = band * rows;
+    let key_of = |features: &S| {
+        let features = features.as_ref();
+        if rows == 1 {
+            // Default shape (64 bands × 1 row): one minimum, no
+            // per-node signature buffer at all.
+            let mut min = u64::MAX;
+            for &f in features {
+                let h = row_hash(f.widen(), first_row as u64);
+                if h < min {
+                    min = h;
+                }
+            }
+            mix64(seed ^ min)
+        } else {
+            let mut sig = vec![u64::MAX; rows];
+            for &f in features {
+                for (i, slot) in sig.iter_mut().enumerate() {
+                    let h = row_hash(f.widen(), (first_row + i) as u64);
+                    if h < *slot {
+                        *slot = h;
+                    }
+                }
+            }
+            let mut key = seed;
+            for row in sig {
+                key = mix64(key ^ row);
+            }
+            key
+        }
+    };
+    if node_features.len() < PAR_BAND_MIN_NODES {
+        node_features.iter().map(key_of).collect()
+    } else {
+        par::par_map(node_features, key_of)
+    }
 }
 
 /// Fraction of agreeing rows between two equal-length signatures — an
@@ -128,8 +212,8 @@ pub fn estimate_jaccard(a: &[u64], b: &[u64]) -> f64 {
 /// their pairs exactly; every feature — however popular — participates
 /// in MinHash banding, so candidacy tracks the full-set Jaccard the
 /// exact scorer will see.
-pub fn lsh_candidates(
-    node_features: &[Vec<u64>],
+pub fn lsh_candidates<F: FeatureId, S: AsRef<[F]> + Sync>(
+    node_features: &[S],
     lsh: &LshConfig,
 ) -> (Vec<(u32, u32)>, CandidateStats) {
     lsh_candidates_governed(node_features, lsh, None)
@@ -139,8 +223,10 @@ pub fn lsh_candidates(
 ///
 /// With a scope the generator becomes a cancellation point (ticking per
 /// node and per band) and charges its dominant allocations — postings,
-/// the MinHash signature table, per-band buckets, and the candidate-pair
-/// buffer — against the stage's byte account. On a soft-budget breach it
+/// per-band bucket keys and buckets, and the candidate-pair buffer —
+/// against the stage's byte account. (Signature memory needs no ladder
+/// rung: banding is streamed by construction, so only one band's keys —
+/// 8 bytes per node — are ever resident.) On a soft-budget breach it
 /// walks the degradation ladder deterministically:
 ///
 /// 1. tighten the effective `bucket_cap` (÷4, floor 2), trading recall
@@ -149,17 +235,22 @@ pub fn lsh_candidates(
 ///    ties), recording each shed feature — postings beyond `rare_cap`
 ///    are free to drop (the rare path never reads them), shorter ones
 ///    cost real rare-path pairs;
-/// 3. stream the MinHash table band by band instead of holding all
-///    `bands · rows` rows resident — byte-identical candidate output
-///    (each band's rows are recomputed to the same values), `bands`×
-///    smaller resident signature memory, `bands`× the hashing work;
-/// 4. the hard budget, enforced inside [`StageScope::charge`], cancels
+/// 3. pre-assess the rare-path clique expansion and shed pair-producing
+///    postings *shortest first* until the projected pair charge fits
+///    under soft — a len-2 posting buys one almost-always-subthreshold
+///    pair, while the longest rare postings are the herd signal;
+/// 4. compact the pair buffer between bands (duplicate cliques from
+///    crowds that collide every band are free to reclaim);
+/// 5. abandon the remaining bands once compaction finds no duplicates
+///    and the cap is floored — pairs already collected keep their
+///    recall, and the stage completes instead of cancelling;
+/// 6. the hard budget, enforced inside [`StageScope::charge`], cancels
 ///    the stage outright.
 ///
 /// Without a scope (or with an unbudgeted one) the output is identical
 /// to [`lsh_candidates`].
-pub fn lsh_candidates_governed(
-    node_features: &[Vec<u64>],
+pub fn lsh_candidates_governed<F: FeatureId, S: AsRef<[F]> + Sync>(
+    node_features: &[S],
     lsh: &LshConfig,
     scope: Option<&StageScope>,
 ) -> (Vec<(u32, u32)>, CandidateStats) {
@@ -171,6 +262,7 @@ pub fn lsh_candidates_governed(
     let mut postings: HashMap<u64, Vec<u32>> = HashMap::new();
     let mut posting_bytes = 0u64;
     for (node, features) in node_features.iter().enumerate() {
+        let features = features.as_ref();
         if let Some(s) = scope {
             s.tick();
             let bytes = features.len() as u64 * 4;
@@ -178,7 +270,7 @@ pub fn lsh_candidates_governed(
             s.charge(bytes);
         }
         for &f in features {
-            postings.entry(f).or_default().push(node as u32);
+            postings.entry(f.widen()).or_default().push(node as u32);
         }
     }
     stats.features = postings.len() as u64;
@@ -215,6 +307,64 @@ pub fn lsh_candidates_governed(
         }
     }
 
+    // Pre-assess the rare-path clique expansion, mirroring the per-band
+    // assessment below: the whole pair buffer is charged in one step
+    // after the postings' bytes are returned, so without a projection a
+    // crowded rare path could jump the account from under soft straight
+    // past the hard budget with no ladder decision point in between.
+    // Sheds pair-producing postings only (a posting beyond `rare_cap`
+    // contributes nothing to the projection), *shortest first*: a len-2
+    // posting buys one pair whose eq.-1 weight is almost always below
+    // the edge threshold, while the longest rare postings are exactly
+    // the herd signal the miner is after — the opposite ordering from
+    // the posting-memory rung above, where oversized postings are free.
+    if let Some(s) = scope {
+        let rare_pair_bytes = |len: usize| -> u64 {
+            if (2..=lsh.rare_cap).contains(&len) {
+                let k = len as u64;
+                k * (k - 1) / 2 * 8
+            } else {
+                0
+            }
+        };
+        if s.soft_bytes() > 0 {
+            // lint:allow(hash-iter): order-independent sum; sheds below are sorted before use
+            let mut projected: u64 = postings.values().map(|n| rare_pair_bytes(n.len())).sum();
+            let base = s.tracked_bytes().saturating_sub(posting_bytes);
+            if base + projected > s.soft_bytes() {
+                let mut order: Vec<(usize, u64)> = postings
+                    .iter()
+                    .filter(|(_, nodes)| rare_pair_bytes(nodes.len()) > 0)
+                    .map(|(&f, nodes)| (nodes.len(), f))
+                    .collect();
+                order.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+                let (mut shed, mut shed_bytes) = (0u64, 0u64);
+                for (len, feature) in order {
+                    if base + projected <= s.soft_bytes() {
+                        break;
+                    }
+                    postings.remove(&feature);
+                    let bytes = len as u64 * 4;
+                    posting_bytes = posting_bytes.saturating_sub(bytes);
+                    s.release(bytes);
+                    shed_bytes += rare_pair_bytes(len);
+                    projected = projected.saturating_sub(rare_pair_bytes(len));
+                    shed += 1;
+                    stats.shed_postings += 1;
+                }
+                if shed > 0 {
+                    // One summary event: this rung routinely sheds
+                    // hundreds of thousands of len-2 postings, and a
+                    // per-shed record would drown the event log.
+                    s.record(format!(
+                        "rare-path postings shed shortest-first: {shed} postings, \
+                         {shed_bytes} projected pair bytes"
+                    ));
+                }
+            }
+        }
+    }
+
     // Rare-feature exact path.
     // lint:allow(hash-iter): pairs are sorted+deduped before use.
     for nodes in postings.values() {
@@ -229,32 +379,14 @@ pub fn lsh_candidates_governed(
         s.charge(pairs.len() as u64 * 8);
     }
 
-    // Ladder rung 3: when holding the full signature table would put
-    // the stage over its soft budget, stream the table band by band —
-    // each band's rows are recomputed to values identical to the full
-    // table's, so the candidate output does not change, only the
-    // resident bytes (÷bands) and the hashing work (×bands).
-    let signature_bytes = node_features.len() as u64 * lsh.signature_len() as u64 * 8;
-    let band_bytes = node_features.len() as u64 * lsh.rows as u64 * 8;
-    let streamed = scope.is_some_and(|s| {
-        s.soft_bytes() > 0 && s.tracked_bytes() + signature_bytes > s.soft_bytes()
-    });
-    let signatures = if streamed {
-        Vec::new()
-    } else {
-        minhash_signatures(node_features, lsh.signature_len())
-    };
-    if let Some(s) = scope {
-        if streamed {
-            s.record(format!(
-                "signature streaming engaged: table {signature_bytes} bytes -> {band_bytes} per band"
-            ));
-        } else {
-            s.charge(signature_bytes);
-        }
-    }
+    // Banding, streamed: each band recomputes only its own signature
+    // rows and folds them straight into one bucket key per node, so
+    // resident signature state is one u64 per node — the full
+    // `nodes × bands·rows` table never exists. A band only ever needed
+    // its own rows, so the total hashing work is unchanged.
+    let key_bytes = node_features.len() as u64 * 8;
 
-    // Banding: one bucket map per band, reused across bands.
+    // One bucket map per band, reused across bands.
     let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
     for band in 0..lsh.bands {
         if let Some(s) = scope {
@@ -284,35 +416,34 @@ pub fn lsh_candidates_governed(
                         "bucket_cap tightened {effective_bucket_cap} -> {tightened}"
                     ));
                     effective_bucket_cap = tightened;
+                } else {
+                    // Every softer rung is exhausted: compaction found
+                    // no duplicates and the cap is already floored, so
+                    // each further band can only grow the pair buffer
+                    // toward the hard budget. Abandon the remaining
+                    // bands instead of cancelling the whole stage — the
+                    // rare-path pairs and the bands already folded in
+                    // keep their recall.
+                    s.record(format!(
+                        "banding abandoned at band {band}/{}: pair buffer at soft budget",
+                        lsh.bands
+                    ));
+                    break;
                 }
             }
         }
-        let band_sigs = if streamed {
-            if let Some(s) = scope {
-                s.charge(band_bytes);
-            }
-            minhash_signature_rows(node_features, band * lsh.rows, lsh.rows)
-        } else {
-            Vec::new()
-        };
-        let (table, skip) = if streamed {
-            (&band_sigs, 0)
-        } else {
-            (&signatures, band * lsh.rows)
-        };
+        if let Some(s) = scope {
+            s.charge(key_bytes);
+        }
+        let keys = band_keys(node_features, band, lsh.rows);
         buckets.clear();
         let before = pairs.len();
         let mut bucketed = 0u64;
-        for (node, (sig, features)) in table.iter().zip(node_features).enumerate() {
-            if features.is_empty() {
+        for (node, (&key, features)) in keys.iter().zip(node_features).enumerate() {
+            if features.as_ref().is_empty() {
                 // All-MAX signatures would glue every empty node into
                 // one bucket of spurious pairs.
                 continue;
-            }
-            let rows = sig.iter().skip(skip).take(lsh.rows);
-            let mut key = mix64(0xB00C_0000 ^ band as u64);
-            for &row in rows {
-                key = mix64(key ^ row);
             }
             buckets.entry(key).or_default().push(node as u32);
             bucketed += 1;
@@ -358,20 +489,13 @@ pub fn lsh_candidates_governed(
                 push_clique(&mut pairs, nodes);
             }
         }
+        drop(keys);
         if let Some(s) = scope {
-            // Buckets are rebuilt next band; the pair delta persists.
+            // Buckets and keys are rebuilt next band; the pair delta
+            // persists.
             s.release(bucketed * 4);
             s.charge((pairs.len() - before) as u64 * 8);
-            if streamed {
-                s.release(band_bytes);
-            }
-        }
-    }
-
-    drop(signatures);
-    if let Some(s) = scope {
-        if !streamed {
-            s.release(signature_bytes);
+            s.release(key_bytes);
         }
     }
 

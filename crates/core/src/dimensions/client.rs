@@ -22,24 +22,16 @@ use smash_support::par;
 pub struct ClientDimension;
 
 /// Size of the sorted intersection of two sorted, deduplicated slices.
+/// Index-based two-pointer merge: this runs once per scored candidate
+/// pair, so it stays branch-light instead of juggling peekable
+/// iterators.
 fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
     let mut shared = 0;
-    let mut ia = a.iter().peekable();
-    let mut ib = b.iter().peekable();
-    while let (Some(&&x), Some(&&y)) = (ia.peek(), ib.peek()) {
-        match x.cmp(&y) {
-            std::cmp::Ordering::Less => {
-                ia.next();
-            }
-            std::cmp::Ordering::Greater => {
-                ib.next();
-            }
-            std::cmp::Ordering::Equal => {
-                shared += 1;
-                ia.next();
-                ib.next();
-            }
-        }
+    let (mut i, mut j) = (0, 0);
+    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+        shared += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
     }
     shared
 }
@@ -58,15 +50,17 @@ impl Dimension for ClientDimension {
             // and letting them into the general graph glues each bot's
             // private long-tail browsing onto campaign herds, diluting herd
             // density. The pipeline adds their per-client herds after mining.
-            let feature_sets: Vec<Vec<u64>> = ctx
+            // Borrowed straight from the arena's postings — no widening
+            // copy; the LSH layer hashes the `u32` ids directly.
+            let feature_sets: Vec<&[u32]> = ctx
                 .nodes
                 .iter()
                 .map(|&server| {
                     let clients = ctx.dataset.clients_of(server);
                     if clients.len() < 2 {
-                        Vec::new()
+                        [].as_slice()
                     } else {
-                        clients.iter().map(|&c| u64::from(c)).collect()
+                        clients
                     }
                 })
                 .collect();

@@ -261,7 +261,24 @@ where
     let mut funnel = BuilderFunnel::default();
     body(&mut builder, &mut funnel, &scope);
     // Graph edges are the allocation that outlives the builder: an edge
-    // is two adjacency entries of (node, weight) = 2 × 12 bytes.
+    // is two adjacency entries of (node, weight) = 2 × 12 bytes. If
+    // that charge would not fit under the soft budget, thin the graph
+    // to its heaviest edges first — campaign herds score near 1.0 while
+    // coincidental overlaps sit just above the edge threshold, so the
+    // lightest edges go first and the stage completes degraded instead
+    // of cancelling on its own output.
+    if scope.soft_bytes() > 0 {
+        let headroom = scope.soft_bytes().saturating_sub(scope.tracked_bytes());
+        let keep = (headroom / 24) as usize;
+        if builder.edge_count() > keep {
+            let dropped = builder.thin_to(keep);
+            funnel.edges = builder.edge_count() as u64;
+            scope.record(format!(
+                "graph thinned: {dropped} lightest edges dropped, {} kept",
+                builder.edge_count()
+            ));
+        }
+    }
     scope.charge(funnel.edges * 24);
     record_dimension_metrics(ctx, kind, &funnel);
     builder.build()

@@ -21,7 +21,6 @@ pub fn split_campaign_scenario(seed: u64) -> (TraceDataset, WhoisRegistry, Vec<S
     let mut records: Vec<HttpRecord> = data
         .dataset
         .records()
-        .iter()
         .map(|r| {
             HttpRecord::new(
                 r.timestamp,

@@ -14,7 +14,7 @@
 //! tests (and FNV collisions, in principle) can hand them anything.
 //!
 //! Layout rules:
-//! - `u32`/`u64`/`f64` (via `to_bits`): fixed-width little-endian.
+//! - `u16`/`u32`/`u64`/`f64` (via `to_bits`): fixed-width little-endian.
 //! - `usize`: encoded as `u64`.
 //! - `bool`: one byte, `0` or `1`; anything else is an error.
 //! - `String`: `u64` byte length, then UTF-8 bytes.
@@ -144,6 +144,18 @@ impl<'a> Reader<'a> {
             )));
         }
         Ok(len)
+    }
+}
+
+impl ToWire for u16 {
+    fn wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl FromWire for u16 {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(u16::from_le_bytes(r.array::<2>()?))
     }
 }
 
@@ -290,6 +302,8 @@ mod tests {
 
     #[test]
     fn scalars_round_trip() {
+        assert_eq!(decode::<u16>(&encode(&513u16)).unwrap(), 513);
+        assert_eq!(decode::<u16>(&encode(&u16::MAX)).unwrap(), u16::MAX);
         assert_eq!(decode::<u32>(&encode(&7u32)).unwrap(), 7);
         assert_eq!(decode::<u64>(&encode(&u64::MAX)).unwrap(), u64::MAX);
         assert_eq!(decode::<usize>(&encode(&42usize)).unwrap(), 42);

@@ -1,7 +1,7 @@
 //! Deterministic name generators: domains, DGA names, obfuscated
 //! filenames, Whois identities, user-agents.
 
-use smash_support::rng::Rng;
+use smash_support::rng::{Rng, SliceRandom};
 
 const TLDS: &[&str] = &["com", "net", "org", "info", "biz"];
 const WORDS: &[&str] = &[
@@ -13,22 +13,22 @@ const WORDS: &[&str] = &[
 pub fn rand_token<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
     const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
     (0..len)
-        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .map(|_| *ALPHABET.choose(rng).expect("alphabet is non-empty") as char)
         .collect()
 }
 
 /// A plausible benign second-level domain, e.g. `blueriver42.com`.
 pub fn benign_domain<R: Rng + ?Sized>(rng: &mut R) -> String {
-    let a = WORDS[rng.gen_range(0..WORDS.len())];
-    let b = WORDS[rng.gen_range(0..WORDS.len())];
+    let a = WORDS.choose(rng).expect("word list is non-empty");
+    let b = WORDS.choose(rng).expect("word list is non-empty");
     let n = rng.gen_range(0..1000);
-    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    let tld = TLDS.choose(rng).expect("tld list is non-empty");
     format!("{a}{b}{n}.{tld}")
 }
 
 /// A malicious throw-away domain, e.g. `xk3f9qa2.info`.
 pub fn shady_domain<R: Rng + ?Sized>(rng: &mut R) -> String {
-    let tld = TLDS[rng.gen_range(0..TLDS.len())];
+    let tld = TLDS.choose(rng).expect("tld list is non-empty");
     let len = rng.gen_range(6..12);
     format!("{}.{tld}", rand_token(rng, len))
 }
@@ -54,7 +54,7 @@ pub fn dga_family<R: Rng + ?Sized>(rng: &mut R, count: usize) -> Vec<String> {
 pub fn obfuscated_filename<R: Rng + ?Sized>(rng: &mut R, alphabet: &[u8], len: usize) -> String {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
     let body: String = (0..len)
-        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .map(|_| *alphabet.choose(rng).expect("alphabet is non-empty") as char)
         .collect();
     format!("{body}.php")
 }
@@ -82,8 +82,8 @@ pub fn registrant<R: Rng + ?Sized>(rng: &mut R) -> String {
     ];
     format!(
         "{} {}{}",
-        FIRST[rng.gen_range(0..FIRST.len())],
-        LAST[rng.gen_range(0..LAST.len())],
+        FIRST.choose(rng).expect("name list is non-empty"),
+        LAST.choose(rng).expect("name list is non-empty"),
         rng.gen_range(0..100)
     )
 }
@@ -93,7 +93,7 @@ pub fn address<R: Rng + ?Sized>(rng: &mut R) -> String {
     format!(
         "{} {} st",
         rng.gen_range(1..999),
-        WORDS[rng.gen_range(0..WORDS.len())]
+        WORDS.choose(rng).expect("word list is non-empty")
     )
 }
 
@@ -121,7 +121,7 @@ pub fn browser_ua<R: Rng + ?Sized>(rng: &mut R) -> String {
         "Mozilla/4.0 (compatible; MSIE 8.0)",
         "Opera/9.80 (Windows NT 6.1)",
     ];
-    UAS[rng.gen_range(0..UAS.len())].to_owned()
+    UAS.choose(rng).expect("ua list is non-empty").to_string()
 }
 
 /// A benign page filename for server-specific content.
@@ -134,10 +134,10 @@ pub fn page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
     const EXT: &[&str] = &["html", "php", "htm", "asp"];
     format!(
         "{}{}{}.{}",
-        WORDS[rng.gen_range(0..WORDS.len())],
+        WORDS.choose(rng).expect("word list is non-empty"),
         rand_token(rng, 4),
         rng.gen_range(0..100),
-        EXT[rng.gen_range(0..EXT.len())]
+        EXT.choose(rng).expect("extension list is non-empty")
     )
 }
 
@@ -206,7 +206,10 @@ pub fn common_page_file<R: Rng + ?Sized>(rng: &mut R) -> String {
         "amp.html",
         "print.html",
     ];
-    COMMON[rng.gen_range(0..COMMON.len())].to_string()
+    COMMON
+        .choose(rng)
+        .expect("common page list is non-empty")
+        .to_string()
 }
 
 #[cfg(test)]

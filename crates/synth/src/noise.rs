@@ -6,7 +6,7 @@
 use crate::builder::ScenarioBuilder;
 use crate::config::NoiseSpec;
 use smash_groundtruth::ActivityCategory;
-use smash_support::rng::Rng;
+use smash_support::rng::{Rng, SliceRandom};
 use smash_trace::HttpRecord;
 
 /// Emits the configured noise herds. Returns (tracker names,
@@ -40,11 +40,15 @@ fn torrent<R: Rng + ?Sized>(
         .map(|_| b.benign_ip())
         .collect();
     let tracker_ip: Vec<String> = (0..n_trackers)
-        .map(|_| ips[rng.gen_range(0..ips.len())].clone())
+        .map(|_| {
+            ips.choose(rng)
+                .expect("benign ip pool is non-empty")
+                .clone()
+        })
         .collect();
     let peers = b.pick_bots(rng, n_clients);
     for p in &peers {
-        for (i, t) in trackers.iter().enumerate() {
+        for (t, tip) in trackers.iter().zip(&tracker_ip) {
             if rng.gen::<f64>() < 0.25 {
                 continue;
             }
@@ -56,14 +60,8 @@ fn torrent<R: Rng + ?Sized>(
                 "announce.php"
             };
             b.push(
-                HttpRecord::new(
-                    ts,
-                    p,
-                    t,
-                    &tracker_ip[i],
-                    &format!("/{file}?info_hash={hash}"),
-                )
-                .with_user_agent("uTorrent/3.2"),
+                HttpRecord::new(ts, p, t, tip, &format!("/{file}?info_hash={hash}"))
+                    .with_user_agent("uTorrent/3.2"),
             );
         }
     }
@@ -93,7 +91,7 @@ fn teamviewer<R: Rng + ?Sized>(
     b.register_whois_correlated(rng, &servers);
     let users = b.pick_bots(rng, n_clients);
     for u in &users {
-        for (i, s) in servers.iter().enumerate() {
+        for (s, sip) in servers.iter().zip(&ips) {
             if rng.gen::<f64>() < 0.25 {
                 continue;
             }
@@ -103,7 +101,7 @@ fn teamviewer<R: Rng + ?Sized>(
                     ts,
                     u,
                     s,
-                    &ips[i],
+                    sip,
                     &format!(
                         "/din.aspx?client=DynGate&id={}",
                         rng.gen_range(10_000..99_999)

@@ -100,9 +100,20 @@ impl StreamScenario {
     }
 
     /// Interns the whole stream into a dataset without materializing
-    /// the record vector.
+    /// the record vector: records flow straight into the column arena
+    /// and postings, so peak memory is the arena plus one client burst.
     pub fn dataset(&self) -> TraceDataset {
         TraceDataset::from_records(self.records())
+    }
+
+    /// [`dataset`](Self::dataset) with governor byte-accounting: the
+    /// growing arena is charged against `scope` in chunks, so ingest
+    /// shows up in peak-tracked-bytes reports and honors cancellation.
+    pub fn dataset_governed(
+        &self,
+        scope: Option<&smash_support::governor::StageScope>,
+    ) -> TraceDataset {
+        TraceDataset::from_records_governed(self.records(), scope)
     }
 
     /// One client's records: benign Zipf browsing, plus the campaign

@@ -39,11 +39,13 @@ fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
 
 /// A bounds-checked little-endian reader over a byte slice.
 struct Cursor<'a> {
+    // lint:allow(index): slice-typed field, not an indexing site
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
+    // lint:allow(index): slice-typed parameter, not an indexing site
     fn new(data: &'a [u8]) -> Self {
         Self { data, pos: 0 }
     }
@@ -52,12 +54,14 @@ impl<'a> Cursor<'a> {
         self.data.len() - self.pos
     }
 
+    // lint:allow(index): slice-typed return, not an indexing site
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(bad("truncated"));
-        }
-        let slice = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("truncated"))?;
+        let slice = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| bad("truncated"))?;
+        self.pos = end;
         Ok(slice)
     }
 

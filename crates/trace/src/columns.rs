@@ -1,0 +1,302 @@
+//! The columnar record arena: one parallel vector per record field.
+//!
+//! [`RecordColumns`] is the storage half of the data-layout contract
+//! (DESIGN.md §12). Instead of an array of row structs, every field of
+//! every record lives in its own dense column vector, indexed by record
+//! position. All string-valued fields are interned `u32` symbols (the
+//! tables live in [`crate::TraceDataset`]); optional id columns use the
+//! [`NO_ID`] sentinel instead of `Option`, so every column is a flat,
+//! fixed-width, little-endian-serializable array — the same shape the
+//! `SMSHCOLS` on-disk day format stores byte for byte.
+//!
+//! Rows are only ever *assembled on demand*: [`RecordColumns::get`]
+//! gathers one [`CompactRecord`] view from the columns. Ingest pushes
+//! straight into the columns ([`RecordColumns::push`]), so streamed
+//! scenarios never materialize a row-struct buffer.
+
+use crate::dataset::CompactRecord;
+use smash_support::wire::{FromWire, Reader, WireError};
+use smash_support::{impl_json_struct, impl_wire_struct};
+
+/// Sentinel in optional id columns (`referrers`, `redirects`) meaning
+/// "no value". Interners can never issue it: they refuse to allocate
+/// more than `u32::MAX` ids, so the last representable id stays free.
+pub const NO_ID: u32 = u32::MAX;
+
+fn opt_to_col(v: Option<u32>) -> u32 {
+    v.unwrap_or(NO_ID)
+}
+
+fn col_to_opt(v: u32) -> Option<u32> {
+    (v != NO_ID).then_some(v)
+}
+
+/// Column-per-field storage of interned HTTP records.
+///
+/// Invariant: every column has the same length (the record count);
+/// [`FromWire`] enforces it, so a decoded value is never ragged.
+///
+/// # Example
+///
+/// ```
+/// use smash_trace::columns::RecordColumns;
+/// use smash_trace::CompactRecord;
+///
+/// let mut cols = RecordColumns::default();
+/// cols.push(CompactRecord {
+///     timestamp: 7,
+///     client: 0,
+///     server: 0,
+///     host: 0,
+///     ip: 0,
+///     file: 0,
+///     path: 0,
+///     param_pattern: 0,
+///     user_agent: 0,
+///     referrer: None,
+///     status: 200,
+///     resp_bytes: 512,
+///     redirect_to: None,
+/// });
+/// assert_eq!(cols.len(), 1);
+/// assert_eq!(cols.get(0).unwrap().timestamp, 7);
+/// assert_eq!(cols.get(1), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordColumns {
+    timestamps: Vec<u64>,
+    clients: Vec<u32>,
+    servers: Vec<u32>,
+    hosts: Vec<u32>,
+    ips: Vec<u32>,
+    files: Vec<u32>,
+    paths: Vec<u32>,
+    param_patterns: Vec<u32>,
+    user_agents: Vec<u32>,
+    referrers: Vec<u32>,
+    statuses: Vec<u16>,
+    resp_bytes: Vec<u32>,
+    redirects: Vec<u32>,
+}
+
+impl_json_struct!(RecordColumns {
+    timestamps,
+    clients,
+    servers,
+    hosts,
+    ips,
+    files,
+    paths,
+    param_patterns,
+    user_agents,
+    referrers,
+    statuses,
+    resp_bytes,
+    redirects,
+});
+
+/// Payload bytes of one record across all columns: one `u64`, one
+/// `u16`, and eleven `u32` cells.
+pub const ROW_BYTES: u64 = 8 + 2 + 11 * 4;
+
+impl RecordColumns {
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// `true` when no record has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+
+    /// Appends one record, splitting it into the columns.
+    pub fn push(&mut self, r: CompactRecord) {
+        self.timestamps.push(r.timestamp);
+        self.clients.push(r.client);
+        self.servers.push(r.server);
+        self.hosts.push(r.host);
+        self.ips.push(r.ip);
+        self.files.push(r.file);
+        self.paths.push(r.path);
+        self.param_patterns.push(r.param_pattern);
+        self.user_agents.push(r.user_agent);
+        self.referrers.push(opt_to_col(r.referrer));
+        self.statuses.push(r.status);
+        self.resp_bytes.push(r.resp_bytes);
+        self.redirects.push(opt_to_col(r.redirect_to));
+    }
+
+    /// Assembles the row view of record `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<CompactRecord> {
+        Some(CompactRecord {
+            timestamp: *self.timestamps.get(i)?,
+            client: *self.clients.get(i)?,
+            server: *self.servers.get(i)?,
+            host: *self.hosts.get(i)?,
+            ip: *self.ips.get(i)?,
+            file: *self.files.get(i)?,
+            path: *self.paths.get(i)?,
+            param_pattern: *self.param_patterns.get(i)?,
+            user_agent: *self.user_agents.get(i)?,
+            referrer: col_to_opt(*self.referrers.get(i)?),
+            status: *self.statuses.get(i)?,
+            resp_bytes: *self.resp_bytes.get(i)?,
+            redirect_to: col_to_opt(*self.redirects.get(i)?),
+        })
+    }
+
+    /// Iterates assembled row views in record order.
+    pub fn iter(&self) -> impl Iterator<Item = CompactRecord> + '_ {
+        (0..self.len()).filter_map(|i| self.get(i))
+    }
+
+    /// The timestamp column (seconds since trace start, record order).
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// The interned client-id column.
+    pub fn clients(&self) -> &[u32] {
+        &self.clients
+    }
+
+    /// The aggregated server-id column.
+    pub fn servers(&self) -> &[u32] {
+        &self.servers
+    }
+
+    /// The HTTP status column (`0` = no response observed).
+    pub fn statuses(&self) -> &[u16] {
+        &self.statuses
+    }
+
+    /// The response-size column (bytes; `0` = unknown).
+    pub fn resp_bytes(&self) -> &[u32] {
+        &self.resp_bytes
+    }
+
+    /// Payload bytes the columns hold: `len() · ROW_BYTES`. Exact by
+    /// construction — every cell is fixed width — which is what lets
+    /// the governor charge the arena itself instead of a per-record
+    /// heap estimate.
+    pub fn payload_bytes(&self) -> u64 {
+        self.len() as u64 * ROW_BYTES
+    }
+}
+
+impl_wire_struct!(RecordColumns {
+    timestamps,
+    clients,
+    servers,
+    hosts,
+    ips,
+    files,
+    paths,
+    param_patterns,
+    user_agents,
+    referrers,
+    statuses,
+    resp_bytes,
+    redirects,
+});
+
+/// Decodes the columns and rejects ragged lengths — a corrupted but
+/// checksum-colliding envelope must not produce a half-readable arena.
+pub fn decode_validated(r: &mut Reader<'_>) -> Result<RecordColumns, WireError> {
+    let cols = RecordColumns::from_wire(r)?;
+    let n = cols.timestamps.len();
+    let ok = cols.clients.len() == n
+        && cols.servers.len() == n
+        && cols.hosts.len() == n
+        && cols.ips.len() == n
+        && cols.files.len() == n
+        && cols.paths.len() == n
+        && cols.param_patterns.len() == n
+        && cols.user_agents.len() == n
+        && cols.referrers.len() == n
+        && cols.statuses.len() == n
+        && cols.resp_bytes.len() == n
+        && cols.redirects.len() == n;
+    if !ok {
+        return Err(WireError("ragged record columns".to_owned()));
+    }
+    Ok(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_support::wire;
+
+    fn sample(i: u64) -> CompactRecord {
+        CompactRecord {
+            timestamp: i,
+            client: i as u32,
+            server: 0,
+            host: 1,
+            ip: 2,
+            file: 3,
+            path: 4,
+            param_pattern: 5,
+            user_agent: 6,
+            referrer: i.is_multiple_of(2).then_some(9),
+            status: 200,
+            resp_bytes: 17,
+            redirect_to: None,
+        }
+    }
+
+    #[test]
+    fn push_get_round_trips_rows() {
+        let mut cols = RecordColumns::default();
+        for i in 0..5 {
+            cols.push(sample(i));
+        }
+        assert_eq!(cols.len(), 5);
+        for i in 0..5u64 {
+            assert_eq!(cols.get(i as usize).unwrap(), sample(i));
+        }
+        assert_eq!(cols.get(5), None);
+        let rows: Vec<CompactRecord> = cols.iter().collect();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let mut cols = RecordColumns::default();
+        for i in 0..9 {
+            cols.push(sample(i));
+        }
+        let bytes = wire::encode(&cols);
+        let back: RecordColumns = wire::decode(&bytes).unwrap();
+        assert_eq!(back, cols);
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let mut cols = RecordColumns::default();
+        cols.push(sample(0));
+        cols.timestamps.push(99); // corrupt: one column longer
+        let bytes = wire::encode(&cols);
+        let mut r = Reader::new(&bytes);
+        assert!(decode_validated(&mut r).is_err());
+    }
+
+    #[test]
+    fn payload_bytes_is_exact() {
+        let mut cols = RecordColumns::default();
+        assert_eq!(cols.payload_bytes(), 0);
+        cols.push(sample(1));
+        cols.push(sample(2));
+        assert_eq!(cols.payload_bytes(), 2 * ROW_BYTES);
+    }
+
+    #[test]
+    fn no_id_sentinel_maps_to_none() {
+        assert_eq!(col_to_opt(NO_ID), None);
+        assert_eq!(col_to_opt(3), Some(3));
+        assert_eq!(opt_to_col(None), NO_ID);
+        assert_eq!(opt_to_col(Some(3)), 3);
+    }
+}

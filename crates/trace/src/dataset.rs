@@ -1,17 +1,21 @@
 //! Columnar, interned trace datasets with the inverted indexes the SMASH
-//! pipeline consumes.
+//! pipeline consumes (the in-memory half of DESIGN.md §12).
 
+use crate::columns::{self, RecordColumns};
 use crate::interner::Interner;
 use crate::record::HttpRecord;
 use crate::server::ServerKey;
 use crate::uri::{parameter_pattern, uri_file, uri_path};
+use smash_support::governor::StageScope;
 use smash_support::impl_json_struct;
+use smash_support::wire::{FromWire, Reader, ToWire, WireError};
 use std::collections::HashMap;
 
 /// Dense id of an (aggregated) server within a [`TraceDataset`].
 pub type ServerId = u32;
 
-/// One HTTP request with every string field interned.
+/// The row *view* of one HTTP request, assembled on demand from the
+/// column arena — never the storage format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactRecord {
     /// Seconds since trace start.
@@ -58,11 +62,20 @@ impl_json_struct!(CompactRecord {
     redirect_to,
 });
 
-/// A full trace: interned records plus per-server inverted indexes.
+/// How many records the governed ingest processes between byte-account
+/// reconciliations (and cancellation ticks).
+const INGEST_CHUNK: usize = 4096;
+
+/// A full trace: the columnar record arena, the symbol tables behind its
+/// interned ids, and the per-server postings every dimension shares.
 ///
 /// Servers are aggregated per the paper's preprocessing step (§III-A):
-/// hosts sharing a second-level domain are one server; IP-literal hosts are
-/// servers keyed by IP.
+/// hosts sharing a second-level domain are one server; IP-literal hosts
+/// are servers keyed by IP. The postings (server → sorted client ids,
+/// file ids, IP ids, referrer ids) are built once during ingest and
+/// handed out as borrowed slices — the dimension builders, the LSH
+/// candidate generator, and Louvain all run on these integers and never
+/// hash a raw string.
 ///
 /// # Example
 ///
@@ -89,8 +102,9 @@ pub struct TraceDataset {
     paths: Interner,
     params: Interner,
     user_agents: Interner,
-    records: Vec<CompactRecord>,
-    // Inverted indexes, all sorted + deduplicated.
+    cols: RecordColumns,
+    // Postings, all sorted + deduplicated except `server_records`
+    // (which stays in record order).
     server_clients: Vec<Vec<u32>>,
     server_files: Vec<Vec<u32>>,
     server_ips: Vec<Vec<u32>>,
@@ -108,7 +122,7 @@ impl_json_struct!(TraceDataset {
     paths,
     params,
     user_agents,
-    records,
+    cols,
     server_clients,
     server_files,
     server_ips,
@@ -116,22 +130,88 @@ impl_json_struct!(TraceDataset {
     server_referrers,
 });
 
+impl ToWire for TraceDataset {
+    fn wire(&self, out: &mut Vec<u8>) {
+        self.clients.wire(out);
+        self.servers.wire(out);
+        self.server_keys.wire(out);
+        self.hosts.wire(out);
+        self.ips.wire(out);
+        self.files.wire(out);
+        self.paths.wire(out);
+        self.params.wire(out);
+        self.user_agents.wire(out);
+        self.cols.wire(out);
+        self.server_clients.wire(out);
+        self.server_files.wire(out);
+        self.server_ips.wire(out);
+        self.server_records.wire(out);
+        self.server_referrers.wire(out);
+    }
+}
+
+impl FromWire for TraceDataset {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TraceDataset {
+            clients: Interner::from_wire(r)?,
+            servers: Interner::from_wire(r)?,
+            server_keys: Vec::from_wire(r)?,
+            hosts: Interner::from_wire(r)?,
+            ips: Interner::from_wire(r)?,
+            files: Interner::from_wire(r)?,
+            paths: Interner::from_wire(r)?,
+            params: Interner::from_wire(r)?,
+            user_agents: Interner::from_wire(r)?,
+            cols: columns::decode_validated(r)?,
+            server_clients: Vec::from_wire(r)?,
+            server_files: Vec::from_wire(r)?,
+            server_ips: Vec::from_wire(r)?,
+            server_records: Vec::from_wire(r)?,
+            server_referrers: Vec::from_wire(r)?,
+        })
+    }
+}
+
 impl TraceDataset {
     /// Builds a dataset from raw records, interning and indexing.
+    ///
+    /// Ingest is a single pass: each record's fields go straight into
+    /// the column arena and its ids into the per-server postings, so a
+    /// lazy record iterator (the streamed ISP-scale generator) is never
+    /// buffered in row form. The postings are sorted and deduplicated
+    /// once at the end.
     pub fn from_records<I: IntoIterator<Item = HttpRecord>>(records: I) -> Self {
+        Self::from_records_governed(records, None)
+    }
+
+    /// [`from_records`](Self::from_records) under governor accounting.
+    ///
+    /// With a scope, ingest charges the growing arena against the
+    /// stage's byte account in 4096-record steps (each step
+    /// is also a cancellation tick) and reconciles to the exact
+    /// [`heap_bytes`](Self::heap_bytes) once the postings are final —
+    /// the account tracks the arena itself, not a per-record estimate.
+    pub fn from_records_governed<I: IntoIterator<Item = HttpRecord>>(
+        records: I,
+        scope: Option<&StageScope>,
+    ) -> Self {
         let mut ds = TraceDataset::default();
-        let mut raw = Vec::new();
+        let mut posting_cells: u64 = 0;
+        let mut charged: u64 = 0;
+        let mut pending = 0usize;
         for r in records {
             let server = ds.intern_server(&r.host);
             let referrer = r.referrer.as_deref().map(|h| ds.intern_server(h));
             let redirect_to = r.redirect_to.as_deref().map(|h| ds.intern_server(h));
+            let file_str = uri_file(&r.uri);
+            let is_dir = file_str.is_empty();
             let rec = CompactRecord {
                 timestamp: r.timestamp,
                 client: ds.clients.intern(&r.client),
                 server,
                 host: ds.hosts.intern(&r.host),
                 ip: ds.ips.intern(&r.server_ip.to_string()),
-                file: ds.files.intern(uri_file(&r.uri)),
+                file: ds.files.intern(file_str),
                 path: ds.paths.intern(uri_path(&r.uri)),
                 param_pattern: ds.params.intern(&parameter_pattern(&r.uri)),
                 user_agent: ds.user_agents.intern(&r.user_agent),
@@ -140,10 +220,65 @@ impl TraceDataset {
                 resp_bytes: r.resp_bytes,
                 redirect_to,
             };
-            raw.push(rec);
+            let idx = ds.cols.len() as u32;
+            ds.grow_postings();
+            let s = rec.server as usize;
+            // Interned server ids are dense indexes into the postings;
+            // a miss would be an interner bug, and skipping the record
+            // beats panicking mid-ingest.
+            if let (Some(sc), Some(sf), Some(si), Some(sr), Some(sref)) = (
+                ds.server_clients.get_mut(s),
+                ds.server_files.get_mut(s),
+                ds.server_ips.get_mut(s),
+                ds.server_records.get_mut(s),
+                ds.server_referrers.get_mut(s),
+            ) {
+                sc.push(rec.client);
+                posting_cells += 2; // client + ip
+                if !is_dir {
+                    sf.push(rec.file);
+                    posting_cells += 1;
+                }
+                si.push(rec.ip);
+                sr.push(idx);
+                posting_cells += 1;
+                if let Some(rf) = rec.referrer {
+                    sref.push(rf);
+                    posting_cells += 1;
+                }
+                ds.cols.push(rec);
+            }
+            pending += 1;
+            if pending >= INGEST_CHUNK {
+                pending = 0;
+                if let Some(sc) = scope {
+                    sc.tick();
+                    let tracked = ds.cols.payload_bytes() + posting_cells * 4;
+                    sc.charge(tracked.saturating_sub(charged));
+                    charged = charged.max(tracked);
+                }
+            }
         }
-        ds.records = raw;
-        ds.build_indexes();
+        for v in ds
+            .server_clients
+            .iter_mut()
+            .chain(&mut ds.server_files)
+            .chain(&mut ds.server_ips)
+            .chain(&mut ds.server_referrers)
+        {
+            v.sort_unstable();
+            v.dedup();
+        }
+        if let Some(sc) = scope {
+            // Dedup shrank the postings and the interner tables were
+            // never charged: settle the account on the exact arena.
+            let exact = ds.heap_bytes();
+            if exact >= charged {
+                sc.charge(exact - charged);
+            } else {
+                sc.release(charged - exact);
+            }
+        }
         ds
     }
 
@@ -158,52 +293,16 @@ impl TraceDataset {
         id
     }
 
-    fn build_indexes(&mut self) {
+    /// Extends every posting table to cover all interned server ids.
+    fn grow_postings(&mut self) {
         let n = self.servers.len();
-        let mut clients = vec![Vec::new(); n];
-        let mut files = vec![Vec::new(); n];
-        let mut ips = vec![Vec::new(); n];
-        let mut recs = vec![Vec::new(); n];
-        let mut refs = vec![Vec::new(); n];
-        let empty_file = self.files.get("");
-        for (i, r) in self.records.iter().enumerate() {
-            let s = r.server as usize;
-            // Interned server ids are dense indexes into these tables; a
-            // miss would be an interner bug, and skipping the record
-            // beats panicking mid-ingest.
-            let (Some(sc), Some(sf), Some(si), Some(sr), Some(sref)) = (
-                clients.get_mut(s),
-                files.get_mut(s),
-                ips.get_mut(s),
-                recs.get_mut(s),
-                refs.get_mut(s),
-            ) else {
-                continue;
-            };
-            sc.push(r.client);
-            if Some(r.file) != empty_file {
-                sf.push(r.file);
-            }
-            si.push(r.ip);
-            sr.push(i as u32);
-            if let Some(rf) = r.referrer {
-                sref.push(rf);
-            }
+        if self.server_clients.len() < n {
+            self.server_clients.resize_with(n, Vec::new);
+            self.server_files.resize_with(n, Vec::new);
+            self.server_ips.resize_with(n, Vec::new);
+            self.server_records.resize_with(n, Vec::new);
+            self.server_referrers.resize_with(n, Vec::new);
         }
-        for v in clients
-            .iter_mut()
-            .chain(&mut files)
-            .chain(&mut ips)
-            .chain(&mut refs)
-        {
-            v.sort_unstable();
-            v.dedup();
-        }
-        self.server_clients = clients;
-        self.server_files = files;
-        self.server_ips = ips;
-        self.server_records = recs;
-        self.server_referrers = refs;
     }
 
     /// Number of aggregated servers.
@@ -224,23 +323,90 @@ impl TraceDataset {
 
     /// Total number of HTTP requests.
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.cols.len()
     }
 
-    /// All interned records in input order.
-    pub fn records(&self) -> &[CompactRecord] {
-        &self.records
+    /// Iterates the assembled row views in input order.
+    pub fn records(&self) -> impl Iterator<Item = CompactRecord> + '_ {
+        self.cols.iter()
+    }
+
+    /// The row view of record `i`, or `None` past the end.
+    pub fn record(&self, i: usize) -> Option<CompactRecord> {
+        self.cols.get(i)
+    }
+
+    /// The underlying column arena (DESIGN.md §12).
+    pub fn columns(&self) -> &RecordColumns {
+        &self.cols
+    }
+
+    /// Payload bytes of the arena: columns, postings, and both resident
+    /// copies of every interned string (id table and reverse map key).
+    /// Exact for the fixed-width parts; allocator headers and hash-table
+    /// overhead are deliberately not modeled, so the figure is a stable,
+    /// reproducible accounting basis for the governor.
+    pub fn heap_bytes(&self) -> u64 {
+        let postings: u64 = [
+            &self.server_clients,
+            &self.server_files,
+            &self.server_ips,
+            &self.server_records,
+            &self.server_referrers,
+        ]
+        .iter()
+        .map(|t| t.iter().map(|v| v.len() as u64 * 4).sum::<u64>())
+        .sum();
+        let strings: u64 = [
+            &self.clients,
+            &self.servers,
+            &self.hosts,
+            &self.ips,
+            &self.files,
+            &self.paths,
+            &self.params,
+            &self.user_agents,
+        ]
+        .iter()
+        .map(|i| i.string_bytes() * 2)
+        .sum();
+        self.cols.payload_bytes() + postings + strings
     }
 
     /// FNV-1a fingerprint of the dataset (`fnv1a:<16 hex digits>`).
     ///
-    /// Covers the canonical JSON of the whole dataset — interner tables
-    /// included, so two traces that intern the same ids for different
-    /// strings fingerprint differently. The checkpoint manifest stores
-    /// this so `--resume` rejects snapshots computed from another trace.
+    /// Hashes the wire form of the symbol tables, server keys, and the
+    /// column arena in one streaming pass — no serialized copy of the
+    /// dataset is materialized. The postings are derived from the
+    /// columns deterministically, so they contribute nothing new and
+    /// are skipped. The checkpoint manifest stores this so `--resume`
+    /// rejects snapshots computed from another trace.
     pub fn fingerprint(&self) -> String {
-        use smash_support::ckpt;
-        ckpt::fingerprint_string(ckpt::fnv1a(smash_support::json::to_string(self).as_bytes()))
+        use smash_support::ckpt::{fingerprint_string, Fnv1a};
+        let mut h = Fnv1a::new();
+        let mut buf = Vec::new();
+        let tables = [
+            &self.clients,
+            &self.servers,
+            &self.hosts,
+            &self.ips,
+            &self.files,
+            &self.paths,
+            &self.params,
+            &self.user_agents,
+        ];
+        for table in tables {
+            buf.clear();
+            table.wire(&mut buf);
+            h.write(&buf);
+        }
+        buf.clear();
+        self.server_keys.wire(&mut buf);
+        h.write(&buf);
+        buf.clear();
+        self.cols.wire(&mut buf);
+        h.write(&buf);
+        fingerprint_string(h.finish())
     }
 
     /// The [`ServerKey`] of a server id, or `None` for an id this
@@ -333,13 +499,18 @@ impl TraceDataset {
             .map_or(&[], Vec::as_slice)
     }
 
-    /// Indexes into [`records`](Self::records) of the requests to `server`.
-    pub fn records_of(&self, server: ServerId) -> impl Iterator<Item = &CompactRecord> {
+    /// Arena indexes (in record order) of the requests to `server`.
+    pub fn record_ids_of(&self, server: ServerId) -> &[u32] {
         self.server_records
             .get(server as usize)
-            .into_iter()
-            .flatten()
-            .filter_map(|&i| self.records.get(i as usize))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Assembled row views of the requests to `server`, in record order.
+    pub fn records_of(&self, server: ServerId) -> impl Iterator<Item = CompactRecord> + '_ {
+        self.record_ids_of(server)
+            .iter()
+            .filter_map(|&i| self.cols.get(i as usize))
     }
 
     /// Sorted, deduplicated servers that referred clients to `server`.
@@ -369,17 +540,17 @@ impl TraceDataset {
 
     /// Fraction of requests to `server` whose response was an error
     /// (4xx/5xx or missing) — the paper's "suspicious" existence check.
+    /// Reads only the status column; no row views are assembled.
     pub fn error_rate_of(&self, server: ServerId) -> f64 {
-        let Some(recs) = self.server_records.get(server as usize) else {
-            return 0.0;
-        };
+        let recs = self.record_ids_of(server);
         if recs.is_empty() {
             return 0.0;
         }
+        let statuses = self.cols.statuses();
         let errors = recs
             .iter()
-            .filter_map(|&i| self.records.get(i as usize))
-            .filter(|r| r.status == 0 || r.status >= 400)
+            .filter_map(|&i| statuses.get(i as usize))
+            .filter(|&&st| st == 0 || st >= 400)
             .count();
         errors as f64 / recs.len() as f64
     }
@@ -387,6 +558,77 @@ impl TraceDataset {
     /// Iterates over all server ids.
     pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
         0..self.servers.len() as ServerId
+    }
+
+    /// Checks every cross-table invariant of the data-layout contract
+    /// (DESIGN.md §12): column ids resolve in their symbol tables,
+    /// postings cover exactly the interned servers, sorted postings are
+    /// sorted and deduplicated, and record postings index real records.
+    /// The `SMSHCOLS` loader runs this on every decoded day, so a file
+    /// that checksums clean but lies structurally is still rejected.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_servers = self.servers.len();
+        if self.server_keys.len() != n_servers {
+            return Err(format!(
+                "{} server keys for {n_servers} servers",
+                self.server_keys.len()
+            ));
+        }
+        for (id, key) in self.server_keys.iter().enumerate() {
+            let name = self.servers.resolve_checked(id as u32);
+            if name != Some(key.to_string().as_str()) {
+                return Err(format!("server key {id} does not match its interned name"));
+            }
+        }
+        let in_range = |col: &[u32], len: usize, what: &str| -> Result<(), String> {
+            match col.iter().find(|&&id| id as usize >= len) {
+                Some(&bad) => Err(format!("{what} id {bad} out of range (table len {len})")),
+                None => Ok(()),
+            }
+        };
+        let c = &self.cols;
+        in_range(c.clients(), self.clients.len(), "client")?;
+        in_range(c.servers(), n_servers, "server")?;
+        for i in 0..c.len() {
+            let Some(r) = c.get(i) else {
+                return Err(format!("record {i} unreadable"));
+            };
+            let ok = (r.host as usize) < self.hosts.len()
+                && (r.ip as usize) < self.ips.len()
+                && (r.file as usize) < self.files.len()
+                && (r.path as usize) < self.paths.len()
+                && (r.param_pattern as usize) < self.params.len()
+                && (r.user_agent as usize) < self.user_agents.len()
+                && r.referrer.is_none_or(|id| (id as usize) < n_servers)
+                && r.redirect_to.is_none_or(|id| (id as usize) < n_servers);
+            if !ok {
+                return Err(format!("record {i} has an out-of-range interned id"));
+            }
+        }
+        let tables: [(&str, &Vec<Vec<u32>>, usize, bool); 5] = [
+            ("clients", &self.server_clients, self.clients.len(), true),
+            ("files", &self.server_files, self.files.len(), true),
+            ("ips", &self.server_ips, self.ips.len(), true),
+            ("records", &self.server_records, c.len(), false),
+            ("referrers", &self.server_referrers, n_servers, true),
+        ];
+        for (what, table, id_range, sorted) in tables {
+            if table.len() != n_servers {
+                return Err(format!(
+                    "{} {what} postings for {n_servers} servers",
+                    table.len()
+                ));
+            }
+            for (server, posting) in table.iter().enumerate() {
+                in_range(posting, id_range, what)?;
+                if sorted && posting.windows(2).any(|w| w.first() >= w.last()) {
+                    return Err(format!(
+                        "{what} posting of server {server} is not sorted+deduplicated"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -485,6 +727,7 @@ mod tests {
         assert_eq!(ds.client_count(), 0);
         assert_eq!(ds.record_count(), 0);
         assert_eq!(ds.file_count(), 0);
+        assert!(ds.validate().is_ok());
     }
 
     #[test]
@@ -493,11 +736,60 @@ mod tests {
             TraceDataset::from_records(vec![
                 rec("c1", "x.com", "1.1.1.1", "/p/a.php?x=1&y=2").with_user_agent("UA-1")
             ]);
-        let r = &ds.records()[0];
+        let r = ds.record(0).unwrap();
         assert_eq!(ds.file_name(r.file), "a.php");
         assert_eq!(ds.path_name(r.path), "/p/a.php");
         assert_eq!(ds.param_pattern_name(r.param_pattern), "x=[]&y=[]");
         assert_eq!(ds.user_agent_name(r.user_agent), "UA-1");
         assert_eq!(ds.ip_name(r.ip), "1.1.1.1");
+    }
+
+    #[test]
+    fn validate_accepts_real_datasets() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "a.x.com", "1.1.1.1", "/f.php").with_referrer("r.com"),
+            rec("c2", "b.y.com", "1.1.1.2", "/g/").with_redirect_to("z.com"),
+        ]);
+        assert!(ds.validate().is_ok());
+        assert!(ds.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_everything() {
+        let ds = TraceDataset::from_records(vec![
+            rec("c1", "a.x.com", "1.1.1.1", "/f.php?k=1").with_referrer("r.com"),
+            rec("c2", "1.2.3.4", "1.2.3.4", "/dir/").with_status(404),
+        ]);
+        let bytes = smash_support::wire::encode(&ds);
+        let back: TraceDataset = smash_support::wire::decode(&bytes).unwrap();
+        assert!(back.validate().is_ok());
+        assert_eq!(back.fingerprint(), ds.fingerprint());
+        assert_eq!(back.record_count(), ds.record_count());
+        let sid = back.server_id("x.com").unwrap();
+        assert_eq!(
+            back.clients_of(sid),
+            ds.clients_of(ds.server_id("x.com").unwrap())
+        );
+    }
+
+    #[test]
+    fn governed_ingest_matches_plain_and_charges_the_arena() {
+        let records: Vec<HttpRecord> = (0..10_000)
+            .map(|i| {
+                rec(
+                    &format!("c{}", i % 97),
+                    &format!("s{}.com", i % 31),
+                    "9.9.9.9",
+                    &format!("/f{}.php", i % 13),
+                )
+            })
+            .collect();
+        let plain = TraceDataset::from_records(records.clone());
+        let gov = smash_support::governor::Governor::unlimited();
+        let scope = gov.stage("ingest", 0);
+        let governed = TraceDataset::from_records_governed(records, Some(&scope));
+        assert_eq!(governed.fingerprint(), plain.fingerprint());
+        assert_eq!(scope.tracked_bytes(), governed.heap_bytes());
+        assert!(scope.peak_bytes() >= governed.heap_bytes());
     }
 }

@@ -1,0 +1,231 @@
+//! `SMSHCOLS`: the zero-copy on-disk day format (DESIGN.md §12).
+//!
+//! A *day file* is one preprocessed [`TraceDataset`] — symbol tables,
+//! column arena, and postings — wrapped in the same versioned,
+//! checksummed envelope style the checkpoint subsystem uses (§9):
+//!
+//! ```text
+//! ┌──────────────┬─────────────┬───────────────────┬──────────────┐
+//! │ magic        │ version     │ payload           │ checksum     │
+//! │ b"SMSHCOLS"  │ u32 LE      │ wire TraceDataset │ u64 LE       │
+//! │ 8 bytes      │ 4 bytes     │ variable          │ 8 bytes      │
+//! └──────────────┴─────────────┴───────────────────┴──────────────┘
+//! checksum = fnv1a(version ‖ payload)
+//! ```
+//!
+//! Write once with [`save_day`] (`smash preprocess`), re-mine as often
+//! as thresholds change with [`load_day`] — ingest, interning, and
+//! posting construction are never repeated. Every load path is total:
+//! corrupt, truncated, or adversarial bytes produce a [`DayError`],
+//! never a panic, and a payload that checksums clean is still run
+//! through [`TraceDataset::validate`] before it is handed to the miner.
+//!
+//! Version policy: readers accept exactly the versions they know
+//! ([`VERSION`]); an unknown version is [`DayError::Version`], not a
+//! best-effort parse. Layout changes bump the version; same-version
+//! additions are forbidden (the wire codec rejects trailing bytes), so
+//! a file either decodes completely or not at all.
+
+use crate::dataset::TraceDataset;
+use smash_support::ckpt::{self, Fnv1a};
+use smash_support::wire;
+use std::fmt;
+use std::path::Path;
+
+/// Magic prefix of every day file.
+pub const MAGIC: &[u8; 8] = b"SMSHCOLS";
+
+/// Current (and only) layout version this reader/writer speaks.
+pub const VERSION: u32 = 1;
+
+/// Why a day file could not be written or loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DayError {
+    /// Filesystem failure reading or writing the file.
+    Io(String),
+    /// Missing magic, bad length, or checksum mismatch.
+    Corrupt(String),
+    /// The file's version field is one this reader does not speak.
+    Version(u32),
+    /// The payload decoded but violates a dataset invariant.
+    Invalid(String),
+}
+
+impl fmt::Display for DayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DayError::Io(e) => write!(f, "day file io error: {e}"),
+            DayError::Corrupt(e) => write!(f, "day file corrupt: {e}"),
+            DayError::Version(v) => write!(
+                f,
+                "day file version {v} not supported (this build reads {VERSION})"
+            ),
+            DayError::Invalid(e) => write!(f, "day file invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DayError {}
+
+fn checksum(version: u32, payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&version.to_le_bytes());
+    h.write(payload);
+    h.finish()
+}
+
+/// Frames a dataset into `SMSHCOLS` envelope bytes.
+pub fn frame_day(ds: &TraceDataset) -> Vec<u8> {
+    let payload = wire::encode(ds);
+    let mut out = Vec::with_capacity(MAGIC.len() + 4 + payload.len() + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum(VERSION, &payload).to_le_bytes());
+    out
+}
+
+/// Parses `SMSHCOLS` envelope bytes back into a dataset, verifying the
+/// magic, version, checksum, and every dataset invariant.
+pub fn parse_day(bytes: &[u8]) -> Result<TraceDataset, DayError> {
+    let min = MAGIC.len() + 4 + 8;
+    if bytes.len() < min {
+        return Err(DayError::Corrupt(format!(
+            "{} bytes is shorter than the {min}-byte envelope",
+            bytes.len()
+        )));
+    }
+    let (head, rest) = bytes.split_at(MAGIC.len());
+    if head != MAGIC {
+        return Err(DayError::Corrupt("bad magic".to_owned()));
+    }
+    let (ver_bytes, rest) = rest.split_at(4);
+    let mut ver = [0u8; 4];
+    ver.copy_from_slice(ver_bytes);
+    let version = u32::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(DayError::Version(version));
+    }
+    let (payload, sum_bytes) = rest.split_at(rest.len() - 8);
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(sum_bytes);
+    if u64::from_le_bytes(sum) != checksum(version, payload) {
+        return Err(DayError::Corrupt("checksum mismatch".to_owned()));
+    }
+    let ds: TraceDataset =
+        wire::decode(payload).map_err(|e| DayError::Corrupt(format!("payload: {}", e.0)))?;
+    ds.validate().map_err(DayError::Invalid)?;
+    Ok(ds)
+}
+
+/// Writes a preprocessed day to `path` atomically (tmp + rename, like
+/// checkpoint snapshots), so a crash mid-write never leaves a torn file.
+pub fn save_day(path: &Path, ds: &TraceDataset) -> Result<(), DayError> {
+    ckpt::write_atomic(path, &frame_day(ds)).map_err(|e| DayError::Io(e.to_string()))
+}
+
+/// Loads a day written by [`save_day`], rejecting anything corrupt.
+pub fn load_day(path: &Path) -> Result<TraceDataset, DayError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| DayError::Io(format!("{}: {e}", path.display())))?;
+    parse_day(&bytes)
+}
+
+/// Sniffs whether `bytes` begin with the `SMSHCOLS` magic — lets the
+/// CLI's loader tell a day file from a JSONL trace by content.
+pub fn is_day_file(bytes: &[u8]) -> bool {
+    bytes.starts_with(MAGIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HttpRecord;
+
+    fn dataset() -> TraceDataset {
+        TraceDataset::from_records(vec![
+            HttpRecord::new(0, "c1", "a.x.com", "1.1.1.1", "/f.php?k=1").with_referrer("r.com"),
+            HttpRecord::new(9, "c2", "1.2.3.4", "1.2.3.4", "/dir/").with_status(404),
+            HttpRecord::new(11, "c2", "b.x.com", "1.1.1.2", "/g.gif").with_redirect_to("z.com"),
+        ])
+    }
+
+    #[test]
+    fn frame_parse_round_trip() {
+        let ds = dataset();
+        let back = parse_day(&frame_day(&ds)).unwrap();
+        assert_eq!(back.fingerprint(), ds.fingerprint());
+        assert_eq!(back.record_count(), ds.record_count());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("smash_day_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("day.smshcols");
+        let ds = dataset();
+        save_day(&path, &ds).unwrap();
+        let back = load_day(&path).unwrap();
+        assert_eq!(back.fingerprint(), ds.fingerprint());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = frame_day(&dataset());
+        for cut in [0, 1, MAGIC.len(), bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                parse_day(bytes.get(..cut).unwrap_or(&bytes)).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_rejected() {
+        let bytes = frame_day(&dataset());
+        let step = (bytes.len() / 40).max(1);
+        for i in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            if let Some(b) = bad.get_mut(i) {
+                *b ^= 0x40;
+            }
+            assert!(parse_day(&bad).is_err(), "bit flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = frame_day(&dataset());
+        let payload_start = MAGIC.len() + 4;
+        bytes[MAGIC.len()..payload_start].copy_from_slice(&2u32.to_le_bytes());
+        // Re-checksum so only the version is wrong.
+        let sum_at = bytes.len() - 8;
+        let sum = checksum(2, &bytes[payload_start..sum_at]);
+        bytes[sum_at..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(parse_day(&bytes), Err(DayError::Version(2))));
+    }
+
+    #[test]
+    fn valid_checksum_invalid_payload_rejected() {
+        // A dataset whose postings disagree with its interned servers:
+        // encode raw fields with an extra posting table entry.
+        let ds = dataset();
+        let mut payload = wire::encode(&ds);
+        // Appending trailing garbage keeps wire decode failing cleanly.
+        payload.push(0xAB);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&checksum(VERSION, &payload).to_le_bytes());
+        assert!(matches!(parse_day(&bytes), Err(DayError::Corrupt(_))));
+    }
+
+    #[test]
+    fn sniffer_detects_day_files() {
+        assert!(is_day_file(&frame_day(&dataset())));
+        assert!(!is_day_file(b"{\"timestamp\":0}"));
+        assert!(!is_day_file(b"SMSH"));
+    }
+}

@@ -1,6 +1,7 @@
 //! String interning: map strings to dense `u32` ids and back.
 
 use smash_support::json::{self, FromJson, Json, JsonError, ToJson};
+use smash_support::wire::{FromWire, Reader, ToWire, WireError};
 use std::collections::HashMap;
 
 /// A bidirectional string ↔ dense-id table.
@@ -49,6 +50,33 @@ impl FromJson for Interner {
     }
 }
 
+/// Wire form mirrors the JSON form: the id-ordered string table only.
+/// Decoding rejects duplicate strings — a table where two ids resolve to
+/// the same string cannot have come from an interner.
+impl ToWire for Interner {
+    fn wire(&self, out: &mut Vec<u8>) {
+        self.strings.wire(out);
+    }
+}
+
+impl FromWire for Interner {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let strings = Vec::<String>::from_wire(r)?;
+        if strings.len() > u32::MAX as usize {
+            return Err(WireError("interner table exceeds u32 id space".to_owned()));
+        }
+        let map: HashMap<String, u32> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        if map.len() != strings.len() {
+            return Err(WireError("duplicate string in interner table".to_owned()));
+        }
+        Ok(Self { map, strings })
+    }
+}
+
 impl Interner {
     /// Creates an empty interner.
     pub fn new() -> Self {
@@ -81,7 +109,20 @@ impl Interner {
     ///
     /// Panics if `id` was never issued by this interner.
     pub fn resolve(&self, id: u32) -> &str {
-        &self.strings[id as usize]
+        self.resolve_checked(id)
+            .expect("id was never issued by this interner")
+    }
+
+    /// Resolves an id back to its string, or `None` for an id this
+    /// interner never issued.
+    pub fn resolve_checked(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Total bytes of string payload in the id table (one copy; the
+    /// reverse map holds a second).
+    pub fn string_bytes(&self) -> u64 {
+        self.strings.iter().map(|s| s.len() as u64).sum()
     }
 
     /// Number of distinct strings interned.
@@ -146,5 +187,33 @@ mod tests {
         let i = Interner::new();
         assert!(i.is_empty());
         assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn resolve_checked_rejects_rogue_ids() {
+        let mut i = Interner::new();
+        i.intern("a");
+        assert_eq!(i.resolve_checked(0), Some("a"));
+        assert_eq!(i.resolve_checked(1), None);
+        assert_eq!(i.string_bytes(), 1);
+    }
+
+    #[test]
+    fn wire_round_trips_and_rebuilds_map() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        let bytes = smash_support::wire::encode(&i);
+        let back: Interner = smash_support::wire::decode(&bytes).unwrap();
+        assert_eq!(back.get("b"), Some(0));
+        assert_eq!(back.get("a"), Some(1));
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn wire_rejects_duplicate_strings() {
+        let dupes = vec!["x".to_owned(), "x".to_owned()];
+        let bytes = smash_support::wire::encode(&dupes);
+        assert!(smash_support::wire::decode::<Interner>(&bytes).is_err());
     }
 }

@@ -1,21 +1,32 @@
-//! HTTP trace substrate for SMASH.
+//! HTTP trace substrate for SMASH: a columnar, interned arena.
 //!
-//! The SMASH paper consumes passive HTTP traces collected at the edge of an
-//! ISP. This crate models those traces:
+//! The SMASH paper consumes passive HTTP traces collected at the edge of
+//! an ISP — tens of millions of records per day. This crate turns a raw
+//! record stream into the integer-only form the miner runs on
+//! (DESIGN.md §12, the data-layout contract):
 //!
-//! * [`HttpRecord`] — one observed HTTP request (client, host, URI,
-//!   user-agent, referrer, server IP, status).
-//! * [`ServerKey`] — the paper's notion of a *server*: either a
-//!   second-level domain (all subdomains aggregated, §III-A) or a bare IP.
-//! * [`uri`] — URI-file and parameter-pattern extraction (§III-B2).
-//! * [`TraceDataset`] — a columnar, interned dataset with the inverted
-//!   indexes the pipeline needs (server→clients, server→files,
-//!   server→IPs, referrer edges, redirect chains).
-//! * [`stats`] — Table-I style summary statistics.
-//! * [`io`] — JSONL import/export, including the lenient quarantining
-//!   ingest for dirty flow logs ([`io::read_jsonl_lenient`]).
-//! * [`binary`] — the compact `.smsh` archive format, with a lenient
-//!   reader that salvages records ahead of a corrupt tail.
+//! * **Symbol tables** ([`Interner`]) — every string field (client,
+//!   server, host, IP, URI file, path, parameter pattern, user-agent)
+//!   is interned to a dense `u32` id exactly once, at ingest. Inner
+//!   loops downstream compare integers and never hash a raw string.
+//! * **Column arena** ([`columns::RecordColumns`]) — records are stored
+//!   one column per field (timestamps, interned ids, statuses, sizes),
+//!   not as row structs; [`CompactRecord`] is the *view* assembled on
+//!   demand. Ingest streams straight into the columns, so even the
+//!   ISP-scale lazy generator never materializes a row buffer.
+//! * **Postings** — per-server sorted, deduplicated id lists
+//!   (server → clients, files, IPs, referrers) built once at ingest and
+//!   shared by all dimension builders, the LSH candidate generator, and
+//!   Louvain. Invariant: sorted ascending, no duplicates — consumers
+//!   may merge-intersect without checking.
+//! * **On-disk days** ([`day`]) — the `SMSHCOLS` versioned, checksummed
+//!   envelope: preprocess a day once, re-mine it under different
+//!   thresholds without re-ingesting.
+//!
+//! Also here: [`ServerKey`] (second-level-domain aggregation, §III-A),
+//! [`uri`] (URI-file and parameter-pattern extraction, §III-B2),
+//! [`stats`] (Table-I summaries), [`io`] (JSONL import/export), and
+//! [`binary`] (the compact `.smsh` archive format).
 //!
 //! # Example
 //!
@@ -29,13 +40,26 @@
 //! let ds = TraceDataset::from_records(records);
 //! assert_eq!(ds.server_count(), 1); // both hosts aggregate to evil.com
 //! assert_eq!(ds.client_count(), 2);
+//!
+//! // Postings are sorted + deduplicated integer slices, borrowed
+//! // straight from the arena:
+//! let sid = ds.server_id("evil.com").unwrap();
+//! assert_eq!(ds.clients_of(sid), &[0, 1]);
+//! assert_eq!(ds.files_of(sid).len(), 1); // login.php, interned once
+//!
+//! // A preprocessed day round-trips through the SMSHCOLS envelope:
+//! let bytes = smash_trace::day::frame_day(&ds);
+//! let back = smash_trace::day::parse_day(&bytes).unwrap();
+//! assert_eq!(back.fingerprint(), ds.fingerprint());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod columns;
 pub mod dataset;
+pub mod day;
 pub mod interner;
 pub mod io;
 pub mod record;
@@ -43,7 +67,9 @@ pub mod server;
 pub mod stats;
 pub mod uri;
 
+pub use columns::RecordColumns;
 pub use dataset::{CompactRecord, ServerId, TraceDataset};
+pub use day::{load_day, save_day, DayError};
 pub use interner::Interner;
 pub use io::{IngestError, IngestOptions, IngestReport};
 pub use record::{HttpRecord, RecordError};

@@ -1,6 +1,7 @@
 //! Server identity: second-level-domain aggregation and IP servers.
 
 use smash_support::json::{FromJson, Json, JsonError, ToJson};
+use smash_support::wire::{FromWire, Reader, ToWire, WireError};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -40,7 +41,13 @@ pub fn second_level_domain(host: &str) -> String {
     if labels.len() <= 2 {
         return host;
     }
-    let last_two = labels[labels.len() - 2..].join(".");
+    let tail = |keep: usize| -> String {
+        labels
+            .get(labels.len().saturating_sub(keep)..)
+            .unwrap_or_default()
+            .join(".")
+    };
+    let last_two = tail(2);
     let keep = if MULTI_LABEL_SUFFIXES.contains(&last_two.as_str()) {
         3
     } else {
@@ -49,7 +56,7 @@ pub fn second_level_domain(host: &str) -> String {
     if labels.len() <= keep {
         host
     } else {
-        labels[labels.len() - keep..].join(".")
+        tail(keep)
     }
 }
 
@@ -86,6 +93,33 @@ impl FromJson for ServerKey {
             _ => Err(JsonError(
                 "expected {\"Domain\": …} or {\"Ip\": …} for ServerKey".to_owned(),
             )),
+        }
+    }
+}
+
+/// Wire form: a `u32` tag (`0` = Domain, `1` = Ip) then the payload —
+/// the domain string, or the IP as its big-endian `u32` form.
+impl ToWire for ServerKey {
+    fn wire(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerKey::Domain(d) => {
+                0u32.wire(out);
+                d.as_str().wire(out);
+            }
+            ServerKey::Ip(ip) => {
+                1u32.wire(out);
+                u32::from(*ip).wire(out);
+            }
+        }
+    }
+}
+
+impl FromWire for ServerKey {
+    fn from_wire(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u32::from_wire(r)? {
+            0 => Ok(ServerKey::Domain(String::from_wire(r)?)),
+            1 => Ok(ServerKey::Ip(Ipv4Addr::from(u32::from_wire(r)?))),
+            tag => Err(WireError(format!("unknown ServerKey tag {tag}"))),
         }
     }
 }
@@ -199,5 +233,20 @@ mod tests {
         let k = ServerKey::from_host("www.shop.example.com");
         assert_eq!(k.to_string(), "example.com");
         assert_eq!(k.domain(), Some("example.com"));
+    }
+
+    #[test]
+    fn wire_round_trips_both_variants() {
+        use smash_support::wire::{decode, encode};
+        for key in [
+            ServerKey::Domain("evil.com".to_owned()),
+            ServerKey::Ip(Ipv4Addr::new(10, 0, 0, 1)),
+        ] {
+            let back: ServerKey = decode(&encode(&key)).unwrap();
+            assert_eq!(back, key);
+        }
+        let mut bad = Vec::new();
+        7u32.wire(&mut bad);
+        assert!(decode::<ServerKey>(&bad).is_err());
     }
 }

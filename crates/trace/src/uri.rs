@@ -30,7 +30,7 @@ pub fn uri_file(uri: &str) -> &str {
         return "/";
     }
     match path.rfind('/') {
-        Some(i) => &path[i + 1..],
+        Some(i) => path.get(i + 1..).unwrap_or(""),
         None => path,
     }
 }
@@ -91,6 +91,7 @@ pub fn parameter_pattern(uri: &str) -> String {
 pub fn charset_vector(s: &str) -> [f64; 256] {
     let mut v = [0.0f64; 256];
     for b in s.bytes() {
+        // lint:allow(index): a u8 index into a 256-entry table is in range
         v[b as usize] += 1.0;
     }
     let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();

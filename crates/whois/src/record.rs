@@ -105,12 +105,13 @@ impl WhoisRecord {
             let is_shared = a.is_some() && a == b;
             (is_shared, in_union)
         };
-        for (s, u) in [
+        let identity_fields = [
             scalar(&self.registrant, &other.registrant),
             scalar(&self.address, &other.address),
             scalar(&self.email, &other.email),
             scalar(&self.phone, &other.phone),
-        ] {
+        ];
+        for (s, u) in identity_fields {
             if u {
                 union += 1;
             }

@@ -70,8 +70,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("smash-custom-trace.jsonl");
     io::write_jsonl_file(&path, &records)?;
     let records = io::read_jsonl_file(&path)?;
+
+    // Ingest interns every string into the columnar arena: records
+    // become rows across typed columns, servers get dense u32 ids, and
+    // per-server postings (clients, files, IPs) are built once for
+    // every downstream consumer (DESIGN.md §12).
     let dataset = TraceDataset::from_records(records);
     println!("loaded trace: {}", TraceStats::compute(&dataset));
+
+    // 2b. For repeated mining runs, skip re-parsing entirely: save the
+    //     interned arena as a binary day file and reload it — the CLI
+    //     equivalent is `smash preprocess` + `analyze --load-day`.
+    let day_path = std::env::temp_dir().join("smash-custom-trace.day");
+    smash::trace::save_day(&day_path, &dataset)?;
+    let dataset = smash::trace::load_day(&day_path)?;
+    println!(
+        "reloaded {} interned records from {}",
+        dataset.record_count(),
+        day_path.display()
+    );
 
     // 3. Attach whatever Whois you have (optional — the dimension just
     //    stays silent for unregistered domains).

@@ -6,15 +6,19 @@
 //! smash analyze out.jsonl                     # infer campaigns (text report)
 //! smash analyze out.jsonl --whois out.whois.json --threshold 1.0 --json report.json
 //! smash analyze dirty.jsonl --lenient --error-budget 0.05   # quarantining ingest
+//! smash preprocess out.jsonl day.smshcols     # intern + index once, save the day
+//! smash analyze day.smshcols --threshold 1.0  # re-mine without re-ingesting
 //! smash baseline out.jsonl --top 15           # per-server reputation scores
 //! ```
 //!
 //! Traces are JSONL, one `HttpRecord` per line (see `smash::trace::io`),
-//! or the compact `.smsh` binary archive. With `--lenient`, malformed
-//! lines are counted per error class (and spilled to `<trace>.quarantine`)
-//! instead of aborting the ingest, as long as they stay under the error
-//! budget. `SMASH_FAILPOINTS` injects deterministic faults for
-//! resilience testing (see `smash::support::failpoint`).
+//! the compact `.smsh` binary archive, or a preprocessed `SMSHCOLS` day
+//! (written by `smash preprocess` or `--save-day`; detected by content,
+//! any file name works). With `--lenient`, malformed lines are counted
+//! per error class (and spilled to `<trace>.quarantine`) instead of
+//! aborting the ingest, as long as they stay under the error budget.
+//! `SMASH_FAILPOINTS` injects deterministic faults for resilience
+//! testing (see `smash::support::failpoint`).
 
 use smash::core::baseline::ReputationBaseline;
 use smash::core::{CheckpointOptions, DimensionStatus, Smash, SmashConfig};
@@ -31,6 +35,7 @@ usage:
   smash generate <small|day2011|day2012> <out> [--seed N]
   smash stats <trace> [ingest flags]
   smash analyze <trace> [ingest flags] [analyze flags]
+  smash preprocess <trace> <out.smshcols> [ingest flags]
   smash baseline <trace> [ingest flags] [--top N]
 
 ingest flags (any command that loads a trace):
@@ -38,6 +43,11 @@ ingest flags (any command that loads a trace):
   --lenient              quarantine malformed lines instead of aborting
   --error-budget <frac>  max quarantined fraction before failing (default 0.05)
   --quarantine <path>    quarantine sidecar path (default <trace>.quarantine)
+  --save-day <path>      after ingest, save the interned dataset as a
+                         SMSHCOLS day file (see DESIGN.md §12)
+  --load-day <path>      load a SMSHCOLS day instead of a raw trace
+                         (the positional <trace> may be omitted); a day
+                         file given as <trace> is detected automatically
 
 analyze flags:
   --threshold <t>        eq. 9 acceptance threshold
@@ -101,13 +111,16 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(rest),
         "stats" => cmd_stats(rest),
         "analyze" => cmd_analyze(rest),
+        "preprocess" => cmd_preprocess(rest),
         "baseline" => cmd_baseline(rest),
         first if first.starts_with('-') => {
             eprintln!("error: unknown flag `{first}` (see smash --help)");
             return ExitCode::from(2);
         }
         _ => {
-            eprintln!("usage: smash <generate|stats|analyze|baseline> ... (see smash --help)");
+            eprintln!(
+                "usage: smash <generate|stats|analyze|preprocess|baseline> ... (see smash --help)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -148,6 +161,8 @@ const LOAD_FLAGS: &[FlagSpec] = &[
     ("--lenient", false),
     ("--error-budget", true),
     ("--quarantine", true),
+    ("--save-day", true),
+    ("--load-day", true),
 ];
 
 /// Rejects any `--flag` not in `allowed` — silently ignoring a typo like
@@ -222,7 +237,6 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let records: Vec<smash::trace::HttpRecord> = data
         .dataset
         .records()
-        .iter()
         .map(|r| {
             let mut rec = smash::trace::HttpRecord::new(
                 r.timestamp,
@@ -278,10 +292,40 @@ fn load(
     args: &[String],
     metrics: &Registry,
 ) -> Result<(TraceDataset, WhoisRegistry, Option<IngestReport>), Box<dyn std::error::Error>> {
-    let path = args
-        .first()
-        .filter(|a| !a.starts_with("--"))
-        .ok_or("missing trace path")?;
+    let whois = || -> Result<WhoisRegistry, Box<dyn std::error::Error>> {
+        Ok(match flag_value(args, "--whois") {
+            Some(p) => smash::support::json::from_str(&std::fs::read_to_string(p)?)?,
+            None => WhoisRegistry::new(),
+        })
+    };
+    let positional = args.first().filter(|a| !a.starts_with("--"));
+    // A preprocessed day skips ingest entirely: the arena, symbol
+    // tables, and postings come back exactly as `preprocess` built them.
+    let day_path = flag_value(args, "--load-day").or_else(|| {
+        positional.map(String::as_str).filter(|p| {
+            let mut head = [0u8; 8];
+            std::fs::File::open(p)
+                .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut head))
+                .is_ok()
+                && smash::trace::day::is_day_file(&head)
+        })
+    });
+    if let Some(day) = day_path {
+        let span = metrics.span("stage/load_day");
+        let dataset = smash::trace::day::load_day(std::path::Path::new(day))?;
+        metrics
+            .counter("ingest/records")
+            .add(dataset.record_count() as u64);
+        metrics
+            .counter("ingest/arena_bytes")
+            .add(dataset.heap_bytes());
+        drop(span);
+        if let Some(out) = flag_value(args, "--save-day") {
+            smash::trace::day::save_day(std::path::Path::new(out), &dataset)?;
+        }
+        return Ok((dataset, whois()?, None));
+    }
+    let path = positional.ok_or("missing trace path")?;
     let ingest_span = metrics.span("stage/ingest");
     let lenient = args.iter().any(|a| a == "--lenient");
     let (records, ingest) = if lenient {
@@ -330,12 +374,35 @@ fn load(
         .counter("ingest/quarantined")
         .add(ingest.as_ref().map_or(0, |r| r.bad_lines() as u64));
     let dataset = TraceDataset::from_records(records);
+    metrics
+        .counter("ingest/arena_bytes")
+        .add(dataset.heap_bytes());
     drop(ingest_span);
-    let whois = match flag_value(args, "--whois") {
-        Some(p) => smash::support::json::from_str(&std::fs::read_to_string(p)?)?,
-        None => WhoisRegistry::new(),
-    };
-    Ok((dataset, whois, ingest))
+    if let Some(out) = flag_value(args, "--save-day") {
+        smash::trace::day::save_day(std::path::Path::new(out), &dataset)?;
+        eprintln!("note: saved preprocessed day to {out}");
+    }
+    Ok((dataset, whois()?, ingest))
+}
+
+fn cmd_preprocess(args: &[String]) -> CliResult {
+    check_flags(args, &[LOAD_FLAGS])?;
+    let out = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or("missing output path (smash preprocess <trace> <out.smshcols>)")?;
+    let metrics = Registry::new();
+    let (dataset, _, _) = load(args, &metrics)?;
+    smash::trace::day::save_day(std::path::Path::new(out), &dataset)?;
+    println!(
+        "preprocessed {} records ({} servers, {} clients, {} arena bytes) to {out}",
+        dataset.record_count(),
+        dataset.server_count(),
+        dataset.client_count(),
+        dataset.heap_bytes()
+    );
+    Ok(())
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {

@@ -1,0 +1,122 @@
+//! The SMSHCOLS on-disk day contract (DESIGN.md §12.4), from both
+//! ends: the codec must never panic on hostile bytes and must reject
+//! every corruption, and a dataset mined after a save/load round trip
+//! must produce a byte-identical campaign report — the guarantee that
+//! lets `smash preprocess` + `--load-day` replace re-ingesting.
+
+use smash::core::{Smash, SmashConfig, SmashReport};
+use smash::support::check::{cases, Gen, Shrink};
+use smash::support::json::{self, ToJson};
+use smash::synth::Scenario;
+use smash::trace::day::{frame_day, parse_day, VERSION};
+use smash::trace::{load_day, save_day, DayError, TraceDataset};
+
+/// The report's serializable surface, as one canonical JSON string
+/// (the determinism suite's fingerprint).
+fn fingerprint(report: &SmashReport) -> String {
+    let mut root = std::collections::BTreeMap::new();
+    root.insert("campaigns".to_string(), report.campaigns.to_json());
+    root.insert("kept_servers".to_string(), report.kept_servers.to_json());
+    root.insert(
+        "dropped_popular".to_string(),
+        report.dropped_popular.to_json(),
+    );
+    root.insert(
+        "dimension_summaries".to_string(),
+        report.dimension_summaries.to_json(),
+    );
+    json::to_string_pretty(&root.to_json())
+}
+
+/// Arbitrary bytes fed straight to the frame parser. No shrinking:
+/// every case is cheap and the seed replays it exactly.
+#[derive(Debug, Clone)]
+struct Hostile(Vec<u8>);
+impl Shrink for Hostile {}
+
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    cases(512).run(
+        |g: &mut Gen| {
+            let len = g.range(0..4096usize);
+            let mut bytes = g.vec(len..=len, |g| g.range(0..=255u32) as u8);
+            // Half the cases get a valid magic so the parser reaches
+            // the deeper version/checksum/decode layers instead of
+            // bailing at byte 0.
+            if g.bool(0.5) {
+                for (i, b) in b"SMSHCOLS".iter().enumerate() {
+                    if let Some(slot) = bytes.get_mut(i) {
+                        *slot = *b;
+                    }
+                }
+            }
+            Hostile(bytes)
+        },
+        |case: &Hostile| {
+            // Any outcome but a panic is acceptable; random bytes that
+            // decode are astronomically unlikely, so nearly every case
+            // exercises an error path.
+            let _ = parse_day(&case.0);
+        },
+    );
+}
+
+#[test]
+fn every_truncation_and_bit_flip_is_rejected() {
+    let data = Scenario::small_day(11).generate();
+    let bytes = frame_day(&data.dataset);
+    assert!(parse_day(&bytes).is_ok(), "pristine frame must parse");
+
+    // Truncation at every ~37th boundary (plus the ends) fails closed.
+    let step = (bytes.len() / 37).max(1);
+    for cut in (0..bytes.len()).step_by(step) {
+        assert!(
+            parse_day(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes was accepted"
+        );
+    }
+
+    // A single flipped bit anywhere — magic, version, payload, or
+    // checksum — fails closed.
+    let step = (bytes.len() / 53).max(1);
+    for pos in (0..bytes.len()).step_by(step) {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x10;
+        assert!(
+            parse_day(&corrupt).is_err(),
+            "bit flip at byte {pos} was accepted"
+        );
+    }
+}
+
+#[test]
+fn future_versions_are_rejected_with_the_version_they_carried() {
+    let data = Scenario::small_day(11).generate();
+    let mut bytes = frame_day(&data.dataset);
+    // Patch the version field: readers fail closed with the version
+    // they saw (DESIGN.md §12.4), before even checking the checksum —
+    // the error must tell an operator *which* writer produced the file.
+    bytes[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    match parse_day(&bytes) {
+        Err(DayError::Version(v)) => assert_eq!(v, VERSION + 1),
+        other => panic!("patched version must not parse: {other:?}"),
+    }
+}
+
+#[test]
+fn remined_day_report_is_byte_identical() {
+    let data = Scenario::small_day(42).generate();
+    let direct = fingerprint(&Smash::new(SmashConfig::default()).run(&data.dataset, &data.whois));
+
+    let path = std::env::temp_dir().join(format!("smash-day-remine-{}.day", std::process::id()));
+    save_day(&path, &data.dataset).expect("save day");
+    let loaded: TraceDataset = load_day(&path).expect("load day");
+    std::fs::remove_file(&path).ok();
+
+    let remined = fingerprint(&Smash::new(SmashConfig::default()).run(&loaded, &data.whois));
+    assert_eq!(
+        direct, remined,
+        "re-mining a saved day diverged from the ingest path"
+    );
+    assert!(direct.len() > 100, "suspiciously small report: {direct}");
+}
