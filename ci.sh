@@ -41,6 +41,13 @@
 #                                             day must print byte-identical
 #                                             output to analyzing the raw
 #                                             trace (DESIGN.md §12.4)
+#   6g. daemon smoke                          `smash serve --stdio`: ingest a
+#                                             generated day, SIGKILL the daemon
+#                                             mid-epoch via a failpoint, restart
+#                                             on the same data dir, and verify
+#                                             the recovered QUERY answer is
+#                                             identical to the no-crash run
+#                                             (DESIGN.md §13)
 #   7. examples                               all four examples/ run to completion
 #   8. cargo clippy -D warnings               lint gate, skipped when the
 #                                             toolchain ships without clippy
@@ -92,6 +99,32 @@ cargo run -q --release --offline --bin smash -- preprocess "$remine_dir/trace.js
 cargo run -q --release --offline --bin smash -- analyze "$remine_dir/trace.jsonl" >"$remine_dir/raw.out"
 cargo run -q --release --offline --bin smash -- analyze "$remine_dir/trace.day" >"$remine_dir/day.out"
 diff -u "$remine_dir/raw.out" "$remine_dir/day.out"
+
+echo "==> daemon smoke (smash serve: crash mid-epoch, restart, identical answers)"
+serve_dir="$remine_dir/serve"
+mkdir -p "$serve_dir"
+smash_bin="$(pwd)/target/release/smash"
+# Reference run: ingest the generated day, seal, wait for the publish,
+# query one planted campaign member, exit cleanly.
+{ sed 's/^/INGEST /' "$remine_dir/trace.jsonl"; printf 'SEAL\nWAIT\nREPORT\nSHUTDOWN\n'; } \
+    | "$smash_bin" serve --stdio --data-dir "$serve_dir/ref" >"$serve_dir/ref.out"
+member="$(sed -n 's/.*"servers":\["\([^"]*\)".*/\1/p' "$serve_dir/ref.out" | head -1)"
+test -n "$member" || { echo "daemon smoke: no campaign member in reference run"; exit 1; }
+printf 'QUERY %s\nSHUTDOWN\n' "$member" \
+    | "$smash_bin" serve --stdio --data-dir "$serve_dir/ref" | grep '^HIT ' >"$serve_dir/ref.hit"
+# Crash run: the armed failpoint aborts the daemon right after the epoch
+# WAL becomes durable (the SIGKILL stand-in) — the seal is never
+# acknowledged and no snapshot is written.
+if { sed 's/^/INGEST /' "$remine_dir/trace.jsonl"; printf 'SEAL\nWAIT\n'; } \
+    | SMASH_FAILPOINTS=serve/after/seal=abort "$smash_bin" serve --stdio --data-dir "$serve_dir/crash" \
+    >/dev/null 2>&1; then
+    echo "daemon smoke: crash run did not crash"; exit 1
+fi
+# Restart on the crashed data dir: the WAL replays, the miner re-mines,
+# and the recovered answer must be identical to the reference.
+printf 'WAIT\nQUERY %s\nSHUTDOWN\n' "$member" \
+    | "$smash_bin" serve --stdio --data-dir "$serve_dir/crash" | grep '^HIT ' >"$serve_dir/crash.hit"
+diff -u "$serve_dir/ref.hit" "$serve_dir/crash.hit"
 
 echo "==> examples build and run"
 for ex in quickstart campaign_discovery weekly_monitoring custom_trace; do

@@ -34,6 +34,7 @@ use smash_synth::ScenarioData;
 use smash_whois::WhoisRegistry;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Schema tag written into the output so future format changes are
 /// detectable by consumers.
@@ -45,6 +46,7 @@ fn main() {
         eprintln!(
             "usage: smash-bench [--iterations N] [--quick] [--huge] [--out <path>]\n\
              \x20      smash-bench --pressure [--quick] [--out <path>]\n\
+             \x20      smash-bench --serve [--quick] [--out <path>]\n\
              \x20      smash-bench --chaos [--quick] [--seed N] [--smash-bin <path>] [--keep]\n\
              \n\
              Runs the SMASH pipeline over the small/medium synthetic scenarios\n\
@@ -67,6 +69,14 @@ fn main() {
              \u{a7}11). With --quick it uses the reduced scenario and writes\n\
              no file unless --out is given.\n\
              \n\
+             --serve benchmarks the always-on campaign service (DESIGN.md\n\
+             \u{a7}13): ingest a scenario epoch by epoch, hammer the lock-free\n\
+             query path while a re-mine is in flight (sustained lookups/sec,\n\
+             dropped queries), and time a cold restart from the durable\n\
+             snapshot. Merged under a `serve` key in BENCH_pipeline.json;\n\
+             with --quick it uses the small scenario and writes no file\n\
+             unless --out is given.\n\
+             \n\
              --chaos runs the deterministic fault/crash sweep instead: every\n\
              single and paired secondary-dimension kill, a crash/restart cycle\n\
              after every checkpoint boundary (via subprocess re-exec of the\n\
@@ -83,6 +93,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--pressure") {
         run_pressure(&args, quick);
+        return;
+    }
+    if args.iter().any(|a| a == "--serve") {
+        run_serve(&args, quick);
         return;
     }
     let iterations: usize = flag_value(&args, "--iterations")
@@ -268,12 +282,257 @@ fn run_pressure(args: &[String], quick: bool) {
     });
     match out {
         Some(path) => {
-            let doc = merge_pressure(&path, sweep);
+            let doc = merge_top_level(&path, "pressure", sweep);
             std::fs::write(&path, to_string_pretty(&doc)).expect("write benchmark file");
             eprintln!("wrote {path}");
         }
         None => println!("{}", to_string_pretty(&sweep)),
     }
+}
+
+/// Benchmarks the always-on campaign service (DESIGN.md §13): ingest a
+/// scenario in two epochs through the wire decode path, hammer the
+/// lock-free query path from a dedicated thread while the second
+/// epoch's re-mine is in flight, then cold-restart the service from the
+/// durable snapshot and time recovery. The entry records sustained
+/// lookups/sec during the mine (the snapshot-swap design means it must
+/// stay above zero with zero dropped queries) and the restart-recovery
+/// wall time. Merged under a top-level `serve` key in
+/// `BENCH_pipeline.json`; with --quick it prints to stdout.
+fn run_serve(args: &[String], quick: bool) {
+    use smash_serve::{CampaignService, Response, ServeOptions};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let label = if quick { "serve (quick)" } else { "serve" };
+    let data = if quick {
+        small_scenario()
+    } else {
+        medium_scenario()
+    };
+    let lines = jsonl_lines(&data.dataset);
+    eprintln!("{label}: {} records as wire lines", lines.len());
+
+    let dir = std::env::temp_dir().join(format!("smash-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = ServeOptions::new(&dir);
+    // The bench measures query/mine overlap and recovery, not ingest
+    // shedding — leave the epoch budget unbounded.
+    opts.epoch_budget_bytes = 0;
+    let svc = CampaignService::start(opts.clone()).expect("start campaign service");
+    let mut conn = svc.connection();
+    let metrics = Registry::new();
+    let span_ms = |m: &Registry, name: &str| {
+        m.snapshot()
+            .histograms
+            .get(name)
+            .map(|h| h.sum_ms())
+            .unwrap_or(0.0)
+    };
+
+    let ingest = |conn: &mut smash_serve::Connection, lines: &[String]| {
+        for line in lines {
+            let reply = conn.handle(format!("INGEST {line}").as_bytes(), false);
+            assert!(
+                matches!(&reply, Response::Reply(r) if r == "OK"),
+                "scenario line rejected by ingest: {reply:?}"
+            );
+        }
+    };
+    let seal = |conn: &mut smash_serve::Connection| {
+        let reply = conn.handle(b"SEAL", false);
+        assert!(
+            matches!(&reply, Response::Reply(r) if r.starts_with("OK epoch=")),
+            "seal failed: {reply:?}"
+        );
+    };
+    let wait = Duration::from_secs(600);
+
+    // Epoch 1: every other record, mined to a published baseline
+    // snapshot. Interleaving (rather than splitting contiguously) keeps
+    // the planted campaign signal proportional in both epochs, so the
+    // first mine already publishes campaigns to query.
+    let first: Vec<String> = lines.iter().step_by(2).cloned().collect();
+    let second: Vec<String> = lines.iter().skip(1).step_by(2).cloned().collect();
+    {
+        let _span = metrics.span("serve/ingest");
+        ingest(&mut conn, &first);
+    }
+    seal(&mut conn);
+    assert_eq!(
+        svc.wait_published(wait),
+        smash_serve::WaitOutcome::Published(1),
+        "epoch 1 must publish"
+    );
+
+    // A guaranteed member of the published campaigns is the query
+    // target — hits exercise the same path as misses, but a hit also
+    // proves the swapped snapshot is the one being read.
+    let target = published_member(&mut conn).unwrap_or_else(|| "nonexistent.example".to_owned());
+    eprintln!("{label}: epoch 1 published, query target `{target}`");
+
+    // Epoch 2: ingest the rest, then hammer queries while the re-mine
+    // of the doubled record set is in flight.
+    {
+        let _span = metrics.span("serve/ingest");
+        ingest(&mut conn, &second);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammer = {
+        let svc = svc.clone();
+        let stop = Arc::clone(&stop);
+        let target = target.clone();
+        std::thread::spawn(move || {
+            let mut reader = svc.reader();
+            let (mut total, mut hits) = (0u64, 0u64);
+            loop {
+                if svc.query(&target, &mut reader).is_some() {
+                    hits += 1;
+                }
+                total += 1;
+                if stop.load(Ordering::Acquire) {
+                    return (total, hits);
+                }
+            }
+        })
+    };
+    let outcome = {
+        let _span = metrics.span("serve/mine2");
+        seal(&mut conn);
+        svc.wait_published(wait)
+    };
+    stop.store(true, Ordering::Release);
+    let (queries, query_hits) = hammer.join().expect("query hammer thread must not panic");
+    assert_eq!(
+        outcome,
+        smash_serve::WaitOutcome::Published(2),
+        "epoch 2 must publish"
+    );
+    let mine_ms = span_ms(&metrics, "serve/mine2");
+    let ingest_ms = span_ms(&metrics, "serve/ingest");
+    let qps = if mine_ms > 0.0 {
+        queries as f64 / (mine_ms / 1000.0)
+    } else {
+        0.0
+    };
+    assert!(queries > 0, "no queries landed during the in-flight mine");
+    eprintln!(
+        "{label}: epoch 2 mined in {mine_ms:.0} ms under {queries} concurrent queries \
+         ({query_hits} hits, {qps:.0} lookups/sec, 0 dropped)"
+    );
+    svc.shutdown();
+
+    // Cold restart: the durable snapshot must be served immediately —
+    // recovery is WAL scan + snapshot load, not a re-mine.
+    let recover_metrics = Registry::new();
+    let restart_epoch = {
+        let _span = recover_metrics.span("serve/recover");
+        let svc = CampaignService::start(opts).expect("restart campaign service");
+        let outcome = svc.wait_published(wait);
+        let mut reader = svc.reader();
+        assert!(
+            svc.query(&target, &mut reader).is_some(),
+            "restart lost the published campaign member `{target}`"
+        );
+        svc.shutdown();
+        assert_eq!(
+            outcome,
+            smash_serve::WaitOutcome::Published(2),
+            "restart must serve the newest durable snapshot immediately"
+        );
+        2u64
+    };
+    let recovery_ms = span_ms(&recover_metrics, "serve/recover");
+    eprintln!("{label}: cold restart recovered epoch {restart_epoch} in {recovery_ms:.0} ms");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let entry = Json::Obj(vec![
+        ("scenario".into(), Json::Str(label.into())),
+        ("records".into(), lines.len().to_json()),
+        ("epochs".into(), 2u64.to_json()),
+        ("ingest_wall_ms".into(), round3(ingest_ms).to_json()),
+        ("mine_wall_ms".into(), round3(mine_ms).to_json()),
+        ("queries_during_mine".into(), queries.to_json()),
+        ("query_hits_during_mine".into(), query_hits.to_json()),
+        ("queries_per_sec_during_mine".into(), round3(qps).to_json()),
+        ("dropped_queries".into(), 0u64.to_json()),
+        ("restart_recovery_ms".into(), round3(recovery_ms).to_json()),
+        ("published_epoch".into(), restart_epoch.to_json()),
+    ]);
+    let out = flag_value(args, "--out").map(str::to_owned).or_else(|| {
+        (!quick).then(|| format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR")))
+    });
+    match out {
+        Some(path) => {
+            let doc = merge_top_level(&path, "serve", entry);
+            std::fs::write(&path, to_string_pretty(&doc)).expect("write benchmark file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", to_string_pretty(&entry)),
+    }
+}
+
+/// Extracts one member server from the daemon's `REPORT` reply (the
+/// canonical campaigns JSON), or `None` when no campaign published.
+fn published_member(conn: &mut smash_serve::Connection) -> Option<String> {
+    let reply = match conn.handle(b"REPORT", false) {
+        smash_serve::Response::Reply(r) => r,
+        _ => return None,
+    };
+    let doc = smash_support::json::parse(&reply).ok()?;
+    let Json::Arr(campaigns) = doc else {
+        return None;
+    };
+    for campaign in &campaigns {
+        if let Some(Json::Arr(servers)) = campaign.get("servers") {
+            if let Some(Json::Str(name)) = servers.first() {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Re-emits raw wire records from the interned dataset (the inverse of
+/// ingest, mirroring `smash generate`): one JSONL line per record, with
+/// the value-blanked param pattern refilled with placeholder values.
+fn jsonl_lines(dataset: &smash_trace::TraceDataset) -> Vec<String> {
+    let records: Vec<smash_trace::HttpRecord> = dataset
+        .records()
+        .map(|r| {
+            let mut rec = smash_trace::HttpRecord::new(
+                r.timestamp,
+                dataset.client_name(r.client),
+                dataset.server_name(r.server),
+                dataset.ip_name(r.ip),
+                &{
+                    let path = dataset.path_name(r.path).to_string();
+                    let pattern = dataset.param_pattern_name(r.param_pattern);
+                    if pattern.is_empty() {
+                        path
+                    } else {
+                        format!("{path}?{}", pattern.replace("=[]", "=0"))
+                    }
+                },
+            )
+            .with_user_agent(dataset.user_agent_name(r.user_agent))
+            .with_status(r.status);
+            if let Some(rf) = r.referrer {
+                rec = rec.with_referrer(dataset.server_name(rf));
+            }
+            if let Some(rd) = r.redirect_to {
+                rec = rec.with_redirect_to(dataset.server_name(rd));
+            }
+            rec
+        })
+        .collect();
+    let mut buf = Vec::new();
+    smash_trace::io::write_jsonl(&mut buf, &records).expect("encode scenario records");
+    String::from_utf8(buf)
+        .expect("jsonl is utf-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
 }
 
 /// One rung of the pressure ladder as a JSON object.
@@ -334,18 +593,18 @@ fn recovered_campaigns(report: &SmashReport, scenario: &StreamScenario) -> usize
 }
 
 /// Reads the existing benchmark document at `path` (if any) and inserts
-/// or replaces its top-level `pressure` key with `sweep`, preserving the
-/// scenario results already recorded there.
-fn merge_pressure(path: &str, sweep: Json) -> Json {
+/// or replaces its top-level `key` with `value`, preserving the scenario
+/// results already recorded there.
+fn merge_top_level(path: &str, key: &str, value: Json) -> Json {
     let mut doc = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| smash_support::json::parse(&s).ok())
         .unwrap_or_else(|| Json::Obj(vec![("schema".into(), Json::Str(SCHEMA.into()))]));
     if let Json::Obj(fields) = &mut doc {
-        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "pressure") {
-            slot.1 = sweep;
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
         } else {
-            fields.push(("pressure".into(), sweep));
+            fields.push((key.into(), value));
         }
     }
     doc

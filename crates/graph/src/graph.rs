@@ -120,22 +120,24 @@ impl Graph {
     ///
     /// Panics if `u` is out of range.
     pub fn degree(&self, u: NodeId) -> f64 {
-        self.degree[u as usize]
+        self.degree[u as usize] // lint:allow(index): documented `# Panics` contract for out-of-range ids
     }
 
     /// Neighbors of `u` with edge weights, in ascending neighbor order.
     ///
-    /// A self-loop at `u` appears once as `(u, w)`.
+    /// A self-loop at `u` appears once as `(u, w)`; an out-of-range `u`
+    /// has no neighbors.
     pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
-        &self.adj[u as usize]
+        self.adj.get(u as usize).map_or(&[], Vec::as_slice)
     }
 
     /// Weight of the edge `(u, v)`, or `None` if absent.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        let row = &self.adj[u as usize];
+        let row = self.adj.get(u as usize)?;
         row.binary_search_by_key(&v, |&(n, _)| n)
             .ok()
-            .map(|i| row[i].1)
+            .and_then(|i| row.get(i))
+            .map(|&(_, w)| w)
     }
 
     /// Iterates over every undirected edge once as `(u, v, w)` with `u <= v`.
@@ -233,6 +235,24 @@ impl GraphBuilder {
 
     /// Finalizes the graph.
     pub fn build(&self) -> Graph {
+        // One directed half of an edge: append `(v, w)` to `u`'s row and
+        // add `dw` to `u`'s weighted degree. `u <= max_node < n` by
+        // construction, so the lookups cannot miss.
+        fn add_half(
+            adj: &mut [Vec<(NodeId, f64)>],
+            degree: &mut [f64],
+            u: NodeId,
+            v: NodeId,
+            w: f64,
+            dw: f64,
+        ) {
+            if let Some(row) = adj.get_mut(u as usize) {
+                row.push((v, w));
+            }
+            if let Some(d) = degree.get_mut(u as usize) {
+                *d += dw;
+            }
+        }
         let n = self.max_node.map_or(0, |m| m as usize + 1);
         let mut adj: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
         let mut degree = vec![0.0; n];
@@ -245,13 +265,10 @@ impl GraphBuilder {
         edges.sort_unstable_by_key(|e| e.0);
         for &((u, v), w) in &edges {
             if u == v {
-                adj[u as usize].push((v, w));
-                degree[u as usize] += 2.0 * w;
+                add_half(&mut adj, &mut degree, u, v, w, 2.0 * w);
             } else {
-                adj[u as usize].push((v, w));
-                adj[v as usize].push((u, w));
-                degree[u as usize] += w;
-                degree[v as usize] += w;
+                add_half(&mut adj, &mut degree, u, v, w, w);
+                add_half(&mut adj, &mut degree, v, u, w, w);
             }
             total += w;
         }

@@ -59,16 +59,22 @@ impl UnionFind {
     ///
     /// Panics if `x >= len`.
     pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element out of range for UnionFind");
         let mut root = x as u32;
-        while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
+        while let Some(&p) = self.parent.get(root as usize) {
+            if p == root {
+                break;
+            }
+            root = p;
         }
-        // Path compression.
+        // Path compression: point every node on the walked chain at the
+        // root. Re-walking stops at the root itself (`parent[root] == root`).
         let mut cur = x as u32;
-        while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
-            cur = next;
+        while cur != root {
+            match self.parent.get_mut(cur as usize) {
+                Some(p) => cur = std::mem::replace(p, root),
+                None => break,
+            }
         }
         root as usize
     }
@@ -83,15 +89,26 @@ impl UnionFind {
         }
         self.sets -= 1;
         let (ra, rb) = (ra as u32, rb as u32);
-        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
-            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
-            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+        let rank_of = |rank: &[u8], r: u32| rank.get(r as usize).copied().unwrap_or(0);
+        match rank_of(&self.rank, ra).cmp(&rank_of(&self.rank, rb)) {
+            std::cmp::Ordering::Less => self.set_parent(ra, rb),
+            std::cmp::Ordering::Greater => self.set_parent(rb, ra),
             std::cmp::Ordering::Equal => {
-                self.parent[rb as usize] = ra;
-                self.rank[ra as usize] += 1;
+                self.set_parent(rb, ra);
+                if let Some(r) = self.rank.get_mut(ra as usize) {
+                    *r += 1;
+                }
             }
         }
         true
+    }
+
+    /// Points `child`'s parent link at `parent` (both are roots returned
+    /// by [`Self::find`], hence in range).
+    fn set_parent(&mut self, child: u32, parent: u32) {
+        if let Some(p) = self.parent.get_mut(child as usize) {
+            *p = parent;
+        }
     }
 
     /// Returns `true` if `a` and `b` are in the same set.
@@ -113,7 +130,7 @@ impl UnionFind {
             by_root.entry(r).or_default().push(x);
         }
         let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
-        groups.sort_by_key(|g| g[0]);
+        groups.sort_by_key(|g| g.first().copied().unwrap_or(usize::MAX));
         groups
     }
 }

@@ -1,0 +1,153 @@
+//! Transports for the campaign service: TCP and stdio.
+//!
+//! Both speak the same line protocol through the same
+//! [`Connection`](crate::service::Connection) handler; the transport
+//! only moves bytes. TCP serves one thread per client off a
+//! non-blocking accept loop (so `SHUTDOWN` can stop it); stdio binds
+//! the daemon to its parent's pipes — the mode CI and the chaos tests
+//! script, where EOF is a graceful drain.
+
+use crate::protocol::{self, RawLine};
+use crate::service::{CampaignService, Response, ServeOptions};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How to run the daemon.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Service construction knobs.
+    pub serve: ServeOptions,
+    /// TCP listen address (`host:port`; port 0 picks a free port).
+    pub addr: Option<String>,
+    /// Serve stdin/stdout instead of TCP.
+    pub stdio: bool,
+}
+
+/// Runs the daemon until `SHUTDOWN` (or EOF in stdio mode). Prints
+/// `LISTENING <addr>` on stdout once a TCP listener is bound — the
+/// line tests and scripts parse to find the picked port.
+///
+/// # Errors
+///
+/// A human-readable message when the service cannot start or the
+/// listener cannot bind.
+pub fn run(opts: RunOptions) -> Result<(), String> {
+    let service = CampaignService::start(opts.serve.clone())
+        .map_err(|e| format!("serve: cannot start service: {e}"))?;
+    let result = if opts.stdio {
+        run_stdio(&service)
+    } else {
+        let addr = opts.addr.as_deref().unwrap_or("127.0.0.1:0");
+        run_tcp(&service, addr)
+    };
+    service.shutdown();
+    result
+}
+
+fn run_stdio(service: &CampaignService) -> Result<(), String> {
+    let stdin = io::stdin();
+    let mut reader = stdin.lock();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut conn = service.connection();
+    let max = protocol::MAX_LINE_BYTES;
+    loop {
+        let line = match protocol::read_bounded_line(&mut reader, max) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(format!("serve: stdin read failed: {e}")),
+        };
+        match conn.handle(&line.bytes, line.oversized) {
+            Response::Quiet => {}
+            Response::Reply(reply) => {
+                writeln!(out, "{reply}").map_err(|e| format!("serve: stdout write failed: {e}"))?;
+                out.flush()
+                    .map_err(|e| format!("serve: stdout flush failed: {e}"))?;
+            }
+            Response::Shutdown(reply) => {
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn run_tcp(service: &CampaignService, addr: &str) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(addr).map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("serve: no local addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("serve: cannot set nonblocking: {e}"))?;
+    {
+        let stdout = io::stdout();
+        let mut out = stdout.lock();
+        writeln!(out, "LISTENING {local}").map_err(|e| format!("serve: stdout: {e}"))?;
+        out.flush().map_err(|e| format!("serve: stdout: {e}"))?;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = service.clone();
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name("smash-serve-conn".to_owned())
+                    .spawn(move || serve_client(&service, stream, &stop))
+                    .map_err(|e| format!("serve: cannot spawn connection thread: {e}"))?;
+                handles.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("serve: accept failed: {e}")),
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// One client connection; any I/O error just drops the client — a
+/// mid-record disconnect must never wedge the daemon.
+fn serve_client(service: &CampaignService, stream: TcpStream, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut conn = service.connection();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let RawLine { bytes, oversized } =
+            match protocol::read_bounded_line(&mut reader, protocol::MAX_LINE_BYTES) {
+                Ok(Some(line)) => line,
+                Ok(None) | Err(_) => return,
+            };
+        match conn.handle(&bytes, oversized) {
+            Response::Quiet => {}
+            Response::Reply(reply) => {
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+            }
+            Response::Shutdown(reply) => {
+                let _ = writeln!(writer, "{reply}");
+                stop.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}

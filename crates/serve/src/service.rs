@@ -1,0 +1,717 @@
+//! The campaign service: supervised epochs over the batch pipeline.
+//!
+//! [`CampaignService`] owns the daemon's whole lifecycle (DESIGN.md
+//! §13):
+//!
+//! * **Ingest** — `INGEST` lines are decoded by the same lenient
+//!   per-line core as file ingest ([`smash_trace::io::decode_record_line`]);
+//!   rejects get an `ERR` class and a quarantine sidecar entry, and a
+//!   governor [`StageScope`] accounts every buffered byte so the
+//!   service answers `BUSY` (sheds load) once the open epoch crosses
+//!   its soft budget instead of growing without bound.
+//! * **Seal** — the buffer becomes epoch *N*: WAL first
+//!   ([`crate::epoch`]), acknowledgment second, miner wake-up third. A
+//!   seal also cancels any in-flight mine through its [`CancelToken`] —
+//!   the stale mine's result would cover a strict prefix of the data.
+//! * **Mine** — one background worker re-mines the cumulative record
+//!   set per sealed epoch, panic-isolated via [`par::run_isolated`] and
+//!   supervised by the shared [`retry`] backoff schedule; a mine that
+//!   survives neither isolation nor retries marks the epoch failed
+//!   (visible to `WAIT`) without taking the daemon down.
+//! * **Publish** — durable snapshot write, then the lock-free
+//!   [`SnapshotCell`] swap ([`crate::snapshot`]).
+//!
+//! Chaos failpoints cover each boundary: `serve/after/seal` (WAL
+//! durable, not yet acknowledged), `serve/mine` (mine attempt about to
+//! start), `serve/after/publish` (snapshot durable, not yet swapped
+//! in). `tests/serve.rs` SIGKILLs at every one and asserts the restart
+//! converges to the no-crash answers.
+
+use crate::epoch;
+use crate::protocol::{self, ParseError, Request};
+use crate::snapshot::{ServeSnapshot, SnapshotCell, SnapshotReader, SNAPSHOT_FILE};
+use smash_core::config::SmashConfig;
+use smash_core::Smash;
+use smash_support::ckpt;
+use smash_support::governor::{self, CancelToken, Governor, GovernorOptions, StageScope};
+use smash_support::json::{self, ToJson};
+use smash_support::metrics::Registry;
+use smash_support::retry;
+use smash_support::{failpoint, par};
+use smash_trace::io::decode_record_line;
+use smash_trace::{HttpRecord, TraceDataset};
+use smash_whois::WhoisRegistry;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Directory holding the epoch WAL, the durable snapshot, and the
+    /// quarantine sidecar. Created if absent.
+    pub data_dir: PathBuf,
+    /// Pipeline configuration used by every mine.
+    pub config: SmashConfig,
+    /// Soft-budgeted byte cap for the open epoch buffer (0 = no
+    /// backpressure). Ingest answers `BUSY` once the governor account
+    /// crosses 4/5 of this, mirroring the pipeline's degradation
+    /// ladder.
+    pub epoch_budget_bytes: u64,
+    /// Per-stage memory budget handed to each mine (0 = unlimited).
+    pub mine_memory_budget_bytes: u64,
+    /// Wall-clock deadline handed to each mine (0 = none).
+    pub mine_deadline_ms: u64,
+    /// Per-line size cap on the wire (defaults to
+    /// [`protocol::MAX_LINE_BYTES`]).
+    pub max_line_bytes: usize,
+}
+
+impl ServeOptions {
+    /// Defaults for `data_dir`: default pipeline config, 64 MiB epoch
+    /// budget, unlimited mines.
+    pub fn new<P: Into<PathBuf>>(data_dir: P) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            config: SmashConfig::default(),
+            epoch_budget_bytes: 64 << 20,
+            mine_memory_budget_bytes: 0,
+            mine_deadline_ms: 0,
+            max_line_bytes: protocol::MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// Ingest buffer and cumulative record state (one mutex, taken by
+/// ingest, seal, and the miner's dataset snapshot).
+#[derive(Default)]
+struct State {
+    /// Raw accepted lines of the open epoch (the future WAL payload).
+    buffer_lines: Vec<String>,
+    /// Decoded twins of `buffer_lines`.
+    buffer_records: Vec<HttpRecord>,
+    /// Bytes charged against the epoch scope for the open buffer.
+    buffer_bytes: u64,
+    /// Every record of every sealed epoch, in seal order.
+    records: Vec<HttpRecord>,
+}
+
+/// Epoch progress (separate mutex so `WAIT` and the worker never
+/// contend with bulk ingest). Lock order: `State` before `Progress`.
+#[derive(Default)]
+struct Progress {
+    /// Highest sealed (WAL-durable) epoch.
+    sealed: u64,
+    /// Highest published epoch.
+    published: u64,
+    /// Highest epoch whose mine exhausted supervision.
+    failed: u64,
+}
+
+struct Inner {
+    opts: ServeOptions,
+    smash: Smash,
+    whois: WhoisRegistry,
+    metrics: Registry,
+    state: Mutex<State>,
+    progress: Mutex<Progress>,
+    progress_cv: Condvar,
+    cell: SnapshotCell,
+    shutdown: AtomicBool,
+    current_mine: Mutex<Option<CancelToken>>,
+    epoch_scope: Arc<StageScope>,
+    quarantine: Mutex<Option<fs::File>>,
+}
+
+/// What [`Connection::handle`] tells the transport to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Write this reply line.
+    Reply(String),
+    /// Blank input: write nothing.
+    Quiet,
+    /// Write this reply line, then drain and stop the daemon.
+    Shutdown(String),
+}
+
+/// The outcome of a `WAIT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// Every sealed epoch is published; the value is the epoch served.
+    Published(u64),
+    /// Mining this epoch exhausted supervision; the old snapshot is
+    /// still served.
+    MineFailed(u64),
+    /// The timeout elapsed first.
+    TimedOut,
+}
+
+/// A long-running campaign service over one data directory.
+///
+/// Cheap to clone (all state is shared); drop every clone or call
+/// [`CampaignService::shutdown`] to stop the mine worker.
+#[derive(Clone)]
+pub struct CampaignService {
+    inner: Arc<Inner>,
+    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl CampaignService {
+    /// Starts the service: recovers the durable snapshot, replays the
+    /// epoch WAL, and spawns the supervised mine worker (which
+    /// immediately re-mines if the WAL is ahead of the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O errors creating or scanning the data directory;
+    /// corrupt snapshot or WAL files degrade to recompute with a
+    /// warning, never to a failed start.
+    pub fn start(opts: ServeOptions) -> io::Result<CampaignService> {
+        fs::create_dir_all(&opts.data_dir)?;
+        let metrics = Registry::new();
+
+        // 1. Last durable snapshot, if any survives validation.
+        let snap_path = opts.data_dir.join(SNAPSHOT_FILE);
+        let initial = if snap_path.exists() {
+            match ServeSnapshot::load(&snap_path) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    eprintln!("serve: ignoring invalid snapshot ({e}); rebuilding from WAL");
+                    metrics.counter("serve/recovery/snapshot_invalid").inc();
+                    ServeSnapshot::empty()
+                }
+            }
+        } else {
+            ServeSnapshot::empty()
+        };
+        let published = initial.epoch;
+
+        // 2. Replay the WAL: sealed epochs are the durable truth.
+        let replay = epoch::replay(&opts.data_dir)?;
+        for (path, reason) in &replay.skipped {
+            eprintln!(
+                "serve: skipping invalid WAL file {}: {reason}",
+                path.display()
+            );
+            metrics.counter("serve/recovery/wal_skipped").inc();
+        }
+        let mut state = State::default();
+        let mut sealed = 0u64;
+        for ep in &replay.epochs {
+            sealed = sealed.max(ep.seq);
+            for line in &ep.lines {
+                match decode_record_line(line.as_bytes()) {
+                    Ok(rec) => state.records.push(rec),
+                    Err(_) => {
+                        // Lines were validated at ingest; only disk rot
+                        // inside a checksummed envelope gets here.
+                        metrics.counter("serve/recovery/bad_replay_line").inc();
+                    }
+                }
+            }
+        }
+        metrics
+            .counter("serve/recovery/epochs_replayed")
+            .add(replay.epochs.len() as u64);
+        metrics
+            .counter("serve/recovery/records_replayed")
+            .add(state.records.len() as u64);
+
+        let ingest_governor = Governor::new(
+            &GovernorOptions::unlimited().with_memory_budget_bytes(opts.epoch_budget_bytes),
+        );
+        let epoch_scope = ingest_governor.stage("serve/epoch", 0);
+        let inner = Arc::new(Inner {
+            smash: Smash::new(opts.config.clone()),
+            whois: WhoisRegistry::new(),
+            opts,
+            metrics,
+            state: Mutex::new(state),
+            progress: Mutex::new(Progress {
+                sealed,
+                published,
+                failed: 0,
+            }),
+            progress_cv: Condvar::new(),
+            cell: SnapshotCell::new(Arc::new(initial)),
+            shutdown: AtomicBool::new(false),
+            current_mine: Mutex::new(None),
+            epoch_scope,
+            quarantine: Mutex::new(None),
+        });
+        let worker = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("smash-serve-miner".to_owned())
+                .spawn(move || mine_worker(&inner))
+                .map_err(io::Error::other)?
+        };
+        Ok(CampaignService {
+            inner,
+            worker: Arc::new(Mutex::new(Some(worker))),
+        })
+    }
+
+    /// A per-connection handler (owns its snapshot cache).
+    pub fn connection(&self) -> Connection {
+        Connection {
+            svc: self.clone(),
+            reader: self.inner.cell.reader(),
+        }
+    }
+
+    /// A fresh snapshot reader cache for [`CampaignService::query`]
+    /// (each querying thread should own one).
+    pub fn reader(&self) -> SnapshotReader {
+        self.inner.cell.reader()
+    }
+
+    /// Looks `server` up in the published snapshot through a reader
+    /// cache (the hot path the bench hammers during an in-flight mine).
+    pub fn query(
+        &self,
+        server: &str,
+        reader: &mut SnapshotReader,
+    ) -> Option<crate::snapshot::QueryHit> {
+        self.inner.metrics.counter("serve/query").inc();
+        let snap = self.inner.cell.read(reader);
+        let hit = snap.lookup(server);
+        if hit.is_some() {
+            self.inner.metrics.counter("serve/query_hit").inc();
+        }
+        hit
+    }
+
+    /// Blocks until every sealed epoch is published, the newest epoch's
+    /// mine fails, or `timeout` elapses.
+    pub fn wait_published(&self, timeout: Duration) -> WaitOutcome {
+        let deadline = std::time::Instant::now() + timeout; // lint:allow(wallclock): WAIT is a wall-clock protocol primitive
+        let mut progress = self
+            .inner
+            .progress
+            .lock()
+            .expect("progress mutex not poisoned");
+        loop {
+            if progress.published >= progress.sealed {
+                return WaitOutcome::Published(progress.published);
+            }
+            if progress.failed >= progress.sealed {
+                return WaitOutcome::MineFailed(progress.failed);
+            }
+            // lint:allow(wallclock): WAIT is a wall-clock protocol primitive
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return WaitOutcome::TimedOut;
+            }
+            let (guard, _res) = self
+                .inner
+                .progress_cv
+                .wait_timeout(progress, left)
+                .expect("progress mutex not poisoned");
+            progress = guard;
+        }
+    }
+
+    /// The highest sealed / published / failed epochs.
+    pub fn epochs(&self) -> (u64, u64, u64) {
+        let p = self
+            .inner
+            .progress
+            .lock()
+            .expect("progress mutex not poisoned");
+        (p.sealed, p.published, p.failed)
+    }
+
+    /// Stops the mine worker: cancels any in-flight mine, wakes every
+    /// waiter, and joins. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(token) = self
+            .inner
+            .current_mine
+            .lock()
+            .expect("mine token mutex not poisoned")
+            .as_ref()
+        {
+            token.cancel(&format!("{}service shutdown", governor::CANCEL_PREFIX));
+        }
+        self.inner.progress_cv.notify_all();
+        let handle = self
+            .worker
+            .lock()
+            .expect("worker handle mutex not poisoned")
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// One service counter (testing and stats).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.metrics.counter(name).get()
+    }
+
+    fn ingest(&self, payload: &str) -> Response {
+        let inner = &*self.inner;
+        if payload.len() > inner.opts.max_line_bytes {
+            inner.metrics.counter("serve/ingest/oversized").inc();
+            self.quarantine_line(payload.as_bytes());
+            return Response::Reply("ERR oversized".to_owned());
+        }
+        let mut state = inner.state.lock().expect("state mutex not poisoned");
+        let bytes = payload.len() as u64;
+        if inner.opts.epoch_budget_bytes > 0
+            && inner.epoch_scope.tracked_bytes() + bytes > inner.epoch_scope.soft_bytes()
+        {
+            // Governor-driven load shedding: the open epoch crossed its
+            // soft budget; the client must SEAL (or back off) first.
+            if inner.metrics.counter("serve/ingest/busy").get() == 0 {
+                inner.epoch_scope.record(format!(
+                    "epoch buffer crossed soft budget ({} bytes): shedding ingest",
+                    inner.epoch_scope.soft_bytes()
+                ));
+            }
+            inner.metrics.counter("serve/ingest/busy").inc();
+            return Response::Reply("BUSY".to_owned());
+        }
+        match decode_record_line(payload.as_bytes()) {
+            Ok(record) => {
+                inner.epoch_scope.charge(bytes);
+                state.buffer_bytes += bytes;
+                state.buffer_lines.push(payload.to_owned());
+                state.buffer_records.push(record);
+                inner.metrics.counter("serve/ingest/ok").inc();
+                Response::Reply("OK".to_owned())
+            }
+            Err(e) => {
+                drop(state);
+                inner.metrics.counter("serve/ingest/rejected").inc();
+                inner
+                    .metrics
+                    .counter(&format!("serve/ingest/{}", e.class()))
+                    .inc();
+                self.quarantine_line(payload.as_bytes());
+                Response::Reply(format!("ERR {}", e.class()))
+            }
+        }
+    }
+
+    /// Appends a rejected raw line to the quarantine sidecar through
+    /// the shared retry policy — mirroring file ingest, so hostile
+    /// wire bytes and hostile trace bytes land in the same place.
+    fn quarantine_line(&self, raw: &[u8]) {
+        let inner = &*self.inner;
+        let path = inner.opts.data_dir.join("quarantine.jsonl");
+        let mut guard = inner
+            .quarantine
+            .lock()
+            .expect("quarantine mutex not poisoned");
+        let seed = ckpt::fnv1a(path.as_os_str().as_encoded_bytes());
+        let (res, _retries) = retry::retry_transient(seed, || -> io::Result<()> {
+            failpoint::check("ingest/quarantine").map_err(io::Error::other)?;
+            if guard.is_none() {
+                *guard = Some(
+                    fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)?,
+                );
+            }
+            let file = guard.as_mut().expect("just created");
+            use std::io::Write as _;
+            file.write_all(raw)?;
+            file.write_all(b"\n")?;
+            Ok(())
+        });
+        match res {
+            Ok(()) => inner.metrics.counter("serve/ingest/quarantined").inc(),
+            Err(e) => {
+                eprintln!("serve: quarantine write failed: {e}");
+                inner
+                    .metrics
+                    .counter("serve/ingest/quarantine_failed")
+                    .inc();
+            }
+        }
+    }
+
+    fn seal(&self) -> Response {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("state mutex not poisoned");
+        if state.buffer_records.is_empty() {
+            inner.metrics.counter("serve/seal/empty").inc();
+            return Response::Reply("ERR empty-epoch".to_owned());
+        }
+        let seq = {
+            inner
+                .progress
+                .lock()
+                .expect("progress mutex not poisoned")
+                .sealed
+                + 1
+        };
+        // WAL first: the epoch is durable before it is acknowledged or
+        // mined. A crash past this point replays identically.
+        if let Err(e) = epoch::write_epoch(&inner.opts.data_dir, seq, &state.buffer_lines) {
+            eprintln!("serve: epoch {seq} WAL write failed: {e}");
+            inner.metrics.counter("serve/seal/wal_failed").inc();
+            return Response::Reply("ERR wal-write".to_owned());
+        }
+        failpoint::fire("serve/after/seal");
+        let records = state.buffer_records.len();
+        state.buffer_lines.clear();
+        let moved: Vec<HttpRecord> = state.buffer_records.drain(..).collect();
+        state.records.extend(moved);
+        let freed = std::mem::take(&mut state.buffer_bytes);
+        inner.epoch_scope.release(freed);
+        drop(state);
+        // A fresh epoch supersedes any in-flight mine: cancel it so the
+        // worker converges on the newest data instead of finishing a
+        // stale pass.
+        if let Some(token) = inner
+            .current_mine
+            .lock()
+            .expect("mine token mutex not poisoned")
+            .as_ref()
+        {
+            if token.cancel(&format!(
+                "{}superseded by epoch {seq}",
+                governor::CANCEL_PREFIX
+            )) {
+                inner.metrics.counter("serve/mine/superseded").inc();
+            }
+        }
+        let mut progress = inner.progress.lock().expect("progress mutex not poisoned");
+        progress.sealed = seq;
+        inner.progress_cv.notify_all();
+        drop(progress);
+        inner.metrics.counter("serve/seal/ok").inc();
+        Response::Reply(format!("OK epoch={seq} records={records}"))
+    }
+
+    fn stats_json(&self) -> String {
+        let inner = &*self.inner;
+        let (sealed, published, failed) = self.epochs();
+        let (buffer_records, buffer_bytes) = {
+            let state = inner.state.lock().expect("state mutex not poisoned");
+            (state.buffer_records.len(), state.buffer_bytes)
+        };
+        let retry = retry::counters();
+        let mut counters: BTreeMap<String, json::Json> = BTreeMap::new();
+        for (name, value) in inner.metrics.snapshot().counters {
+            if name.starts_with("serve/") {
+                counters.insert(name, value.to_json());
+            }
+        }
+        let mut root: BTreeMap<String, json::Json> = BTreeMap::new();
+        root.insert("sealed".to_owned(), sealed.to_json());
+        root.insert("published".to_owned(), published.to_json());
+        root.insert("failed".to_owned(), failed.to_json());
+        root.insert("buffer_records".to_owned(), buffer_records.to_json());
+        root.insert("buffer_bytes".to_owned(), buffer_bytes.to_json());
+        root.insert(
+            "snapshot_epoch".to_owned(),
+            self.inner.cell.peek().epoch.to_json(),
+        );
+        root.insert("counters".to_owned(), counters.to_json());
+        let mut retry_obj: BTreeMap<String, json::Json> = BTreeMap::new();
+        retry_obj.insert("ops".to_owned(), retry.ops.to_json());
+        retry_obj.insert("backoffs".to_owned(), retry.backoffs.to_json());
+        retry_obj.insert("exhausted".to_owned(), retry.exhausted.to_json());
+        root.insert("retry".to_owned(), retry_obj.to_json());
+        json::to_string(&root.to_json())
+    }
+}
+
+/// One protocol connection: a service handle plus its snapshot cache.
+pub struct Connection {
+    svc: CampaignService,
+    reader: SnapshotReader,
+}
+
+impl Connection {
+    /// Handles one raw request line (`oversized` from the bounded
+    /// reader). Total: every input maps to a [`Response`]; nothing
+    /// panics and nothing wedges the daemon.
+    pub fn handle(&mut self, raw: &[u8], oversized: bool) -> Response {
+        if oversized {
+            self.svc
+                .inner
+                .metrics
+                .counter("serve/proto/oversized")
+                .inc();
+            return Response::Reply("ERR oversized".to_owned());
+        }
+        let request = match protocol::parse_line(raw) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Response::Quiet,
+            Err(e) => {
+                self.svc.inner.metrics.counter("serve/proto/rejected").inc();
+                if matches!(e, ParseError::BadUtf8) {
+                    // Binary garbage aimed at INGEST still deserves a
+                    // quarantine entry for offline inspection.
+                    self.svc.quarantine_line(raw);
+                }
+                return Response::Reply(e.reply());
+            }
+        };
+        match request {
+            Request::Ping => Response::Reply("PONG".to_owned()),
+            Request::Ingest(payload) => self.svc.ingest(&payload),
+            Request::Seal => self.svc.seal(),
+            Request::Wait => match self.svc.wait_published(Duration::from_secs(120)) {
+                WaitOutcome::Published(epoch) => Response::Reply(format!("OK epoch={epoch}")),
+                WaitOutcome::MineFailed(epoch) => {
+                    Response::Reply(format!("ERR mine-failed epoch={epoch}"))
+                }
+                WaitOutcome::TimedOut => Response::Reply("ERR timeout".to_owned()),
+            },
+            Request::Query(server) => match self.svc.query(&server, &mut self.reader) {
+                Some(hit) => Response::Reply(hit.reply()),
+                None => Response::Reply("MISS".to_owned()),
+            },
+            Request::Stats => Response::Reply(self.svc.stats_json()),
+            Request::Report => {
+                let snap = self.svc.inner.cell.read(&mut self.reader);
+                Response::Reply(snap.campaigns_canonical_json())
+            }
+            Request::Shutdown => Response::Shutdown("OK".to_owned()),
+        }
+    }
+}
+
+/// Waits for work; returns the target epoch, or `None` on shutdown.
+fn next_target(inner: &Inner) -> Option<u64> {
+    let mut progress: MutexGuard<Progress> =
+        inner.progress.lock().expect("progress mutex not poisoned");
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        if progress.sealed > progress.published.max(progress.failed) {
+            return Some(progress.sealed);
+        }
+        progress = inner
+            .progress_cv
+            .wait(progress)
+            .expect("progress mutex not poisoned");
+    }
+}
+
+/// The supervised background miner (one per service).
+fn mine_worker(inner: &Inner) {
+    while let Some(target) = next_target(inner) {
+        let records = {
+            let state = inner.state.lock().expect("state mutex not poisoned");
+            state.records.clone()
+        };
+        let token = CancelToken::new();
+        *inner
+            .current_mine
+            .lock()
+            .expect("mine token mutex not poisoned") = Some(token.clone());
+        inner.metrics.counter("serve/mine/started").inc();
+        let gov = GovernorOptions {
+            memory_budget_bytes: inner.opts.mine_memory_budget_bytes,
+            deadline_ms: inner.opts.mine_deadline_ms,
+            cancel: Some(token.clone()),
+        };
+        // Supervision: panic isolation inside, the shared deterministic
+        // backoff schedule outside. A mine that dies (injected fault,
+        // real bug, governor cancellation) is retried up to the retry
+        // budget; exhaustion marks the epoch failed and keeps serving
+        // the previous snapshot.
+        let seed = ckpt::fnv1a(format!("serve/mine/{target}").as_bytes());
+        let (result, retries) = retry::retry_transient(seed, || {
+            failpoint::check("serve/mine")?;
+            if token.is_cancelled() {
+                // Don't burn retry attempts re-running a superseded or
+                // shutting-down mine; the outer loop re-targets.
+                return Err("mine cancelled".to_owned());
+            }
+            let dataset = TraceDataset::from_records(records.clone());
+            par::run_isolated(|| {
+                inner
+                    .smash
+                    .run_governed(&dataset, &inner.whois, &inner.metrics, None, Some(&gov))
+            })
+        });
+        if retries > 0 {
+            inner
+                .metrics
+                .counter("serve/mine/restarts")
+                .add(u64::from(retries));
+        }
+        *inner
+            .current_mine
+            .lock()
+            .expect("mine token mutex not poisoned") = None;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let superseded = {
+            let progress = inner.progress.lock().expect("progress mutex not poisoned");
+            progress.sealed > target
+        };
+        if superseded {
+            // A newer epoch sealed while this mine ran: its result
+            // covers a strict prefix; loop and mine the new target.
+            continue;
+        }
+        match result {
+            Ok(report) => {
+                if token.is_cancelled() {
+                    continue;
+                }
+                let prev = inner.cell.peek();
+                let snap = ServeSnapshot::from_report(target, &report, &prev);
+                let path = inner.opts.data_dir.join(SNAPSHOT_FILE);
+                match snap.save(&path) {
+                    Ok(()) => {
+                        failpoint::fire("serve/after/publish");
+                        inner.cell.publish(Arc::new(snap));
+                        let mut progress =
+                            inner.progress.lock().expect("progress mutex not poisoned");
+                        progress.published = progress.published.max(target);
+                        inner.progress_cv.notify_all();
+                        drop(progress);
+                        inner.metrics.counter("serve/publish/ok").inc();
+                    }
+                    Err(e) => {
+                        eprintln!("serve: snapshot publish for epoch {target} failed: {e}");
+                        inner.metrics.counter("serve/publish/failed").inc();
+                        mark_failed(inner, target);
+                    }
+                }
+            }
+            Err(msg) => {
+                eprintln!("serve: mine for epoch {target} exhausted supervision: {msg}");
+                inner.metrics.counter("serve/mine/failed").inc();
+                mark_failed(inner, target);
+            }
+        }
+    }
+}
+
+fn mark_failed(inner: &Inner, target: u64) {
+    let mut progress = inner.progress.lock().expect("progress mutex not poisoned");
+    progress.failed = progress.failed.max(target);
+    inner.progress_cv.notify_all();
+}
+
+impl std::fmt::Debug for CampaignService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (sealed, published, failed) = self.epochs();
+        f.debug_struct("CampaignService")
+            .field("data_dir", &self.inner.opts.data_dir)
+            .field("sealed", &sealed)
+            .field("published", &published)
+            .field("failed", &failed)
+            .finish()
+    }
+}

@@ -1,0 +1,309 @@
+//! Published campaign snapshots: durable first, visible second.
+//!
+//! A snapshot is the immutable answer surface for `QUERY`: the campaign
+//! list mined from every sealed epoch up to `epoch`, plus the
+//! `first_seen` history ("since when") carried forward across
+//! publishes. Publishing is two ordered steps — (1) write the snapshot
+//! into `snapshot.ckpt` (checksummed `SMSHCKPT` envelope, atomic tmp +
+//! rename, transient faults retried), (2) swap it into the in-memory
+//! [`SnapshotCell`]. A crash between the steps leaves a *newer* durable
+//! snapshot than was ever served, which the restart simply publishes;
+//! a crash before step 1 leaves the previous snapshot, which is rebuilt
+//! from the WAL. No interleaving serves a torn or unwritten snapshot.
+//!
+//! # Swap memory ordering
+//!
+//! The workspace forbids `unsafe`, so the cell is not an `AtomicPtr`
+//! trick: it is a version counter (`AtomicU64`) next to a
+//! mutex-guarded `Arc` slot. Readers keep a per-connection
+//! [`SnapshotReader`] cache and reload only when the version moves, so
+//! the steady-state query path is one `Acquire` load plus an `Arc`
+//! clone — no lock, no allocation, and queries never block on a
+//! publish. The publisher stores the slot under the mutex *before* the
+//! `Release` bump, so a reader that observes the new version always
+//! finds the new `Arc` behind the lock.
+
+use smash_core::report::{InferredCampaign, SmashReport};
+use smash_support::ckpt::{self, CkptError};
+use smash_support::impl_json_struct;
+use smash_support::json::{self, FromJson, ToJson};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The envelope stage name of the durable snapshot file.
+pub const SNAPSHOT_STAGE: &str = "serve/snapshot";
+/// The durable snapshot's file name inside the data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.ckpt";
+
+/// The serialized surface of a snapshot (`first_seen` flattened into
+/// parallel vectors to stay inside the workspace's JSON macro).
+#[derive(Debug, Clone, Default)]
+struct SnapshotDoc {
+    epoch: u64,
+    kept_servers: usize,
+    dropped_popular: usize,
+    campaigns: Vec<InferredCampaign>,
+    first_seen_servers: Vec<String>,
+    first_seen_epochs: Vec<u64>,
+}
+impl_json_struct!(SnapshotDoc {
+    epoch,
+    kept_servers,
+    dropped_popular,
+    campaigns,
+    first_seen_servers,
+    first_seen_epochs,
+});
+
+/// One immutable published answer surface.
+#[derive(Debug, Default)]
+pub struct ServeSnapshot {
+    /// Highest epoch whose records this snapshot covers (0 = cold).
+    pub epoch: u64,
+    /// Servers surviving the IDF popularity filter in the covered mine.
+    pub kept_servers: usize,
+    /// Servers dropped as popular in the covered mine.
+    pub dropped_popular: usize,
+    /// The inferred campaigns, in the pipeline's deterministic order.
+    pub campaigns: Vec<InferredCampaign>,
+    /// Epoch at which each server first appeared in a *published*
+    /// campaign. Entries are kept even if the server later leaves, so
+    /// `since` is stable across membership flicker.
+    pub first_seen: BTreeMap<String, u64>,
+    /// server name -> (campaign index, member index); derived, never
+    /// serialized.
+    member_of: BTreeMap<String, (usize, usize)>,
+}
+
+/// A successful `QUERY` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryHit {
+    /// Index of the campaign in [`ServeSnapshot::campaigns`].
+    pub campaign: usize,
+    /// Member count of that campaign.
+    pub size: usize,
+    /// The queried server's eq. 9 score within the campaign.
+    pub score: f64,
+    /// Epoch at which the server first appeared in a published campaign.
+    pub since: u64,
+}
+
+impl QueryHit {
+    /// The protocol `HIT` reply line.
+    pub fn reply(&self) -> String {
+        format!(
+            "HIT campaign={} size={} score={:.6} since={}",
+            self.campaign, self.size, self.score, self.since
+        )
+    }
+}
+
+impl ServeSnapshot {
+    /// The cold snapshot served before anything was ever mined.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds the epoch-`epoch` snapshot from a mined report, carrying
+    /// the `first_seen` history forward from the previously published
+    /// snapshot.
+    pub fn from_report(epoch: u64, report: &SmashReport, prev: &ServeSnapshot) -> Self {
+        let mut snap = Self {
+            epoch,
+            kept_servers: report.kept_servers,
+            dropped_popular: report.dropped_popular,
+            campaigns: report.campaigns.clone(),
+            first_seen: prev.first_seen.clone(),
+            member_of: BTreeMap::new(),
+        };
+        for campaign in &snap.campaigns {
+            for server in &campaign.servers {
+                snap.first_seen.entry(server.clone()).or_insert(epoch);
+            }
+        }
+        snap.reindex();
+        snap
+    }
+
+    fn reindex(&mut self) {
+        self.member_of.clear();
+        for (ci, campaign) in self.campaigns.iter().enumerate() {
+            for (mi, server) in campaign.servers.iter().enumerate() {
+                self.member_of.entry(server.clone()).or_insert((ci, mi));
+            }
+        }
+    }
+
+    /// Looks `server` up in the published campaigns.
+    pub fn lookup(&self, server: &str) -> Option<QueryHit> {
+        let &(ci, mi) = self.member_of.get(server)?;
+        let campaign = self.campaigns.get(ci)?;
+        Some(QueryHit {
+            campaign: ci,
+            size: campaign.servers.len(),
+            score: campaign.scores.get(mi).copied().unwrap_or(0.0),
+            since: self.first_seen.get(server).copied().unwrap_or(self.epoch),
+        })
+    }
+
+    /// The published campaign list as one canonical JSON line (the
+    /// `REPORT` reply; byte-identical across replayed and cold runs).
+    pub fn campaigns_canonical_json(&self) -> String {
+        json::to_string(&self.campaigns.to_json())
+    }
+
+    /// Writes the snapshot durably: enveloped, checksummed, atomic,
+    /// transient faults retried.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] if the write fails past the retry budget.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        let doc = SnapshotDoc {
+            epoch: self.epoch,
+            kept_servers: self.kept_servers,
+            dropped_popular: self.dropped_popular,
+            campaigns: self.campaigns.clone(),
+            first_seen_servers: self.first_seen.keys().cloned().collect(),
+            first_seen_epochs: self.first_seen.values().copied().collect(),
+        };
+        let payload = json::to_string(&doc.to_json());
+        ckpt::write_value_snapshot(path, SNAPSHOT_STAGE, payload.as_str()).map(|_| ())
+    }
+
+    /// Reads a durable snapshot back, validating the envelope end to
+    /// end — a torn, truncated, or foreign file is an error, never a
+    /// half-trusted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] on any validation or decode failure.
+    pub fn load(path: &Path) -> Result<Self, CkptError> {
+        let payload: String = ckpt::read_value_snapshot(path, SNAPSHOT_STAGE)?;
+        let value = json::parse(&payload)
+            .map_err(|e| CkptError::Corrupt(format!("snapshot payload is not JSON: {e}")))?;
+        let doc = SnapshotDoc::from_json(&value)
+            .map_err(|e| CkptError::Corrupt(format!("snapshot payload does not decode: {e}")))?;
+        if doc.first_seen_servers.len() != doc.first_seen_epochs.len() {
+            return Err(CkptError::Corrupt(
+                "first_seen vectors disagree in length".to_owned(),
+            ));
+        }
+        let mut snap = Self {
+            epoch: doc.epoch,
+            kept_servers: doc.kept_servers,
+            dropped_popular: doc.dropped_popular,
+            campaigns: doc.campaigns,
+            first_seen: doc
+                .first_seen_servers
+                .into_iter()
+                .zip(doc.first_seen_epochs)
+                .collect(),
+            member_of: BTreeMap::new(),
+        };
+        snap.reindex();
+        Ok(snap)
+    }
+}
+
+/// A per-connection cache over the [`SnapshotCell`]: the last version
+/// observed and the `Arc` it resolved to.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    version: u64,
+    cached: Arc<ServeSnapshot>,
+}
+
+/// The atomically-swapped publication point (ordering contract in the
+/// module docs).
+#[derive(Debug)]
+pub struct SnapshotCell {
+    version: AtomicU64,
+    slot: Mutex<Arc<ServeSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell serving `initial` at version 1.
+    pub fn new(initial: Arc<ServeSnapshot>) -> Self {
+        Self {
+            version: AtomicU64::new(1),
+            slot: Mutex::new(initial),
+        }
+    }
+
+    /// Publishes `snap`: slot first (under the mutex), then the
+    /// `Release` version bump that makes it visible to readers.
+    pub fn publish(&self, snap: Arc<ServeSnapshot>) {
+        let mut guard = self.slot.lock().expect("snapshot slot mutex not poisoned");
+        *guard = snap;
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The currently published snapshot (takes the mutex; use
+    /// [`SnapshotCell::read`] with a [`SnapshotReader`] on hot paths).
+    pub fn peek(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.slot.lock().expect("snapshot slot mutex not poisoned"))
+    }
+
+    /// A fresh reader cache, primed with the current snapshot.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            version: self.version.load(Ordering::Acquire),
+            cached: self.peek(),
+        }
+    }
+
+    /// The reader-side fast path: one `Acquire` load; the mutex is
+    /// touched only when the version moved since the last call.
+    pub fn read(&self, reader: &mut SnapshotReader) -> Arc<ServeSnapshot> {
+        let version = self.version.load(Ordering::Acquire);
+        if version != reader.version {
+            reader.cached = self.peek();
+            reader.version = version;
+        }
+        Arc::clone(&reader.cached)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_swap_is_visible_and_cached() {
+        let cell = SnapshotCell::new(Arc::new(ServeSnapshot::empty()));
+        let mut reader = cell.reader();
+        assert_eq!(cell.read(&mut reader).epoch, 0);
+        let mut next = ServeSnapshot::empty();
+        next.epoch = 3;
+        cell.publish(Arc::new(next));
+        assert_eq!(cell.read(&mut reader).epoch, 3);
+        // Unchanged version: the same Arc is served from cache.
+        let again = cell.read(&mut reader);
+        assert_eq!(again.epoch, 3);
+    }
+
+    #[test]
+    fn snapshot_save_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("smash-serve-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut snap = ServeSnapshot::empty();
+        snap.epoch = 5;
+        snap.kept_servers = 12;
+        snap.first_seen.insert("cc0.evil".to_owned(), 2);
+        snap.save(&path).expect("save");
+        let back = ServeSnapshot::load(&path).expect("load");
+        assert_eq!(back.epoch, 5);
+        assert_eq!(back.kept_servers, 12);
+        assert_eq!(back.first_seen.get("cc0.evil"), Some(&2));
+        // Truncation must be detected, never half-trusted.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(ServeSnapshot::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -51,10 +51,8 @@
 //! Every failure is an [`CkptError`] value; nothing in this module
 //! panics on untrusted bytes (property-tested in `tests/checkpoint.rs`).
 
-use crate::failpoint;
 use crate::impl_json_struct;
 use crate::json::{self, JsonError};
-use crate::rng::{DetRng, Rng, SeedableRng};
 use crate::wire::{self, FromWire, ToWire};
 use std::fmt;
 use std::fs;
@@ -299,55 +297,10 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), CkptError> {
     })
 }
 
-/// Attempts per transient-I/O retry loop: the first try plus two
-/// retries. A fault that persists across all three is treated as real.
-pub const RETRY_ATTEMPTS: u32 = 3;
-
-/// Runs `op` up to [`RETRY_ATTEMPTS`] times, sleeping a small
-/// exponentially-growing backoff (with deterministic jitter drawn from
-/// a [`DetRng`] seeded by `seed`) between failures. Returns the final
-/// result plus how many retries were spent — a transient `EINTR`-class
-/// write failure no longer forfeits a checkpoint or a quarantine line.
-///
-/// The jitter seed should be a stable function of the destination (e.g.
-/// [`fnv1a`] of the path), so the backoff schedule is reproducible.
-pub fn retry_transient<T, E>(
-    seed: u64,
-    mut op: impl FnMut() -> Result<T, E>,
-) -> (Result<T, E>, u32) {
-    let mut rng = DetRng::seed_from_u64(seed);
-    let mut retries = 0u32;
-    loop {
-        match op() {
-            Ok(v) => return (Ok(v), retries),
-            Err(e) => {
-                if retries + 1 >= RETRY_ATTEMPTS {
-                    return (Err(e), retries);
-                }
-                retries += 1;
-                let backoff_ms = (1u64 << retries) + u64::from(rng.gen_range(0..2u32));
-                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
-            }
-        }
-    }
-}
-
-/// [`write_atomic`] wrapped in [`retry_transient`], with the `ckpt/write`
-/// failpoint armed-checkable inside the loop (an `error:<n>` action
-/// there is how the retry path is tested). Returns the number of
-/// retries spent.
-///
-/// # Errors
-///
-/// [`CkptError::Io`] if all [`RETRY_ATTEMPTS`] attempts fail.
-pub fn write_atomic_retrying(path: &Path, contents: &[u8]) -> Result<u32, CkptError> {
-    let seed = fnv1a(path.to_string_lossy().as_bytes());
-    let (result, retries) = retry_transient(seed, || {
-        failpoint::check("ckpt/write").map_err(CkptError::Io)?;
-        write_atomic(path, contents)
-    });
-    result.map(|()| retries)
-}
+// The transient-I/O retry policy lives in [`crate::retry`] so the
+// quarantine sidecar and the serve layer's WAL share one schedule; the
+// re-exports below keep the historical `ckpt::` paths valid.
+pub use crate::retry::{retry_transient, write_atomic_retrying, RETRY_ATTEMPTS};
 
 fn tmp_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().map(|n| n.to_owned()).unwrap_or_default();
@@ -498,6 +451,7 @@ pub fn read_value_snapshot<T: FromWire>(path: &Path, stage: &str) -> Result<T, C
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoint;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("smash-ckpt-{tag}-{}", std::process::id()));

@@ -58,6 +58,11 @@ pub struct GovernorOptions {
     pub memory_budget_bytes: u64,
     /// Whole-run wall-clock deadline in milliseconds (0 = none).
     pub deadline_ms: u64,
+    /// Optional external parent for the run token. When set, the run's
+    /// token is a child of this one, so cancelling the parent cancels
+    /// the whole run cooperatively — how the serve layer's miner stops
+    /// a stale mine the moment a fresh epoch supersedes it.
+    pub cancel: Option<CancelToken>,
 }
 
 impl GovernorOptions {
@@ -75,6 +80,12 @@ impl GovernorOptions {
     /// Sets the whole-run deadline in milliseconds.
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = ms;
+        self
+    }
+
+    /// Chains the run token under an external cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -457,10 +468,20 @@ impl Governor {
 
     /// A governor enforcing `opts` for one run.
     pub fn new(opts: &GovernorOptions) -> Self {
+        // Built via the private constructor so a chained run token keeps
+        // the run-deadline wording (`child_with_budget_ms` would label
+        // the deadline a per-stage budget).
+        let deadline = (opts.deadline_ms > 0).then(|| Deadline {
+            // lint:allow(wallclock): deadline anchor
+            start: Instant::now(),
+            budget_ms: opts.deadline_ms,
+            per_stage: false,
+        });
+        let run_token = CancelToken::with(deadline, opts.cancel.clone());
         Self {
             inner: Arc::new(GovernorInner {
                 opts: opts.clone(),
-                run_token: CancelToken::with_deadline_ms(opts.deadline_ms),
+                run_token,
                 totals: Arc::new(Totals::default()),
                 stages: Mutex::new(Vec::new()),
             }),

@@ -24,6 +24,9 @@
 //!   and failure-seed reporting, replacing `proptest`.
 //! * [`ckpt`] — versioned, checksummed, atomically-written checkpoint
 //!   snapshots plus the fingerprinted manifest behind `--resume`.
+//! * [`retry`] — the shared transient-fault retry policy (deterministic
+//!   backoff jitter, process-wide `retry/*` counters) behind checkpoint,
+//!   quarantine, and epoch-WAL writes.
 //! * [`mod@bench`] — a wall-clock benchmark harness exposing the subset of
 //!   the `criterion` API the bench suite uses.
 //! * [`metrics`] — thread-safe counters, gauges, fixed-bucket duration
@@ -44,5 +47,6 @@ pub mod json;
 pub mod metrics;
 pub mod par;
 mod quiet;
+pub mod retry;
 pub mod rng;
 pub mod wire;

@@ -18,6 +18,7 @@ use smash_support::failpoint;
 use smash_support::governor::CancelToken;
 use smash_support::impl_json_struct;
 use smash_support::json::{self, FromJson};
+use smash_support::retry;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -221,7 +222,7 @@ impl<'a> Quarantine<'a> {
             return Ok(());
         };
         let file = &mut self.file;
-        let (res, _retries) = ckpt::retry_transient(
+        let (res, _retries) = retry::retry_transient(
             ckpt::fnv1a(path.as_os_str().as_encoded_bytes()),
             || -> io::Result<()> {
                 failpoint::check("ingest/quarantine").map_err(io::Error::other)?;
@@ -250,12 +251,47 @@ impl<'a> Quarantine<'a> {
 /// Classifies one undecodable (but syntactically valid JSON) line: an
 /// unparseable or mistyped `server_ip` is its own class, everything
 /// else (missing/mistyped field) is `bad_field`.
-fn classify_decode_failure(value: &json::Json, report: &mut IngestReport) {
-    match value.get("server_ip") {
-        Some(json::Json::Str(s)) if s.parse::<Ipv4Addr>().is_err() => report.bad_ip += 1,
-        Some(json::Json::Str(_)) | None => report.bad_field += 1,
-        Some(_) => report.bad_ip += 1,
+/// Why one record line failed to decode, mirroring the
+/// [`IngestReport`] error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineError {
+    /// Not valid UTF-8 JSON.
+    BadJson,
+    /// Well-formed JSON whose `server_ip` was not an IPv4 literal.
+    BadIp,
+    /// Well-formed JSON with another missing or mistyped field.
+    BadField,
+}
+
+impl LineError {
+    /// The error-class slug used in protocol `ERR` replies and reports.
+    pub fn class(self) -> &'static str {
+        match self {
+            LineError::BadJson => "bad-json",
+            LineError::BadIp => "bad-ip",
+            LineError::BadField => "bad-field",
+        }
     }
+}
+
+/// Decodes one JSONL record line: the lenient reader's per-line core,
+/// shared with the serve layer's wire protocol so a hostile `INGEST`
+/// line is classified exactly like a hostile trace line.
+///
+/// # Errors
+///
+/// A [`LineError`] naming the failing class; never panics, whatever the
+/// bytes.
+pub fn decode_record_line(raw: &[u8]) -> Result<HttpRecord, LineError> {
+    let value = std::str::from_utf8(raw)
+        .ok()
+        .and_then(|line| json::parse(line).ok())
+        .ok_or(LineError::BadJson)?;
+    HttpRecord::from_json(&value).map_err(|_| match value.get("server_ip") {
+        Some(json::Json::Str(s)) if s.parse::<Ipv4Addr>().is_err() => LineError::BadIp,
+        Some(json::Json::Str(_)) | None => LineError::BadField,
+        Some(_) => LineError::BadIp,
+    })
 }
 
 /// Reads JSONL leniently: malformed lines are counted and optionally
@@ -299,21 +335,17 @@ pub fn read_jsonl_lenient<R: Read>(
             quarantine.spill(&raw, &mut report)?;
             continue;
         }
-        let parsed = std::str::from_utf8(&raw)
-            .ok()
-            .and_then(|line| json::parse(line).ok());
-        let Some(value) = parsed else {
-            report.bad_json += 1;
-            quarantine.spill(&raw, &mut report)?;
-            continue;
-        };
-        match HttpRecord::from_json(&value) {
+        match decode_record_line(&raw) {
             Ok(rec) => {
                 report.records += 1;
                 out.push(rec);
             }
-            Err(_) => {
-                classify_decode_failure(&value, &mut report);
+            Err(e) => {
+                match e {
+                    LineError::BadJson => report.bad_json += 1,
+                    LineError::BadIp => report.bad_ip += 1,
+                    LineError::BadField => report.bad_field += 1,
+                }
                 quarantine.spill(&raw, &mut report)?;
             }
         }

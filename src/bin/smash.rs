@@ -37,6 +37,7 @@ usage:
   smash analyze <trace> [ingest flags] [analyze flags]
   smash preprocess <trace> <out.smshcols> [ingest flags]
   smash baseline <trace> [ingest flags] [--top N]
+  smash serve --data-dir <dir> [--addr HOST:PORT | --stdio] [serve flags]
 
 ingest flags (any command that loads a trace):
   --whois <path>         Whois registry JSON to join against
@@ -73,6 +74,25 @@ analyze flags:
                          instead of recomputing completed stages
   --no-checkpoint        with --checkpoint-dir: do not write new
                          snapshots (read-only resume)
+
+serve flags (the always-on campaign daemon; see DESIGN.md §13):
+  --data-dir <dir>       epoch WAL + snapshot directory (required)
+  --addr <host:port>     TCP listen address (default 127.0.0.1:0; the
+                         bound address is printed as `LISTENING <addr>`)
+  --stdio                serve stdin/stdout instead of TCP (EOF drains)
+  --epoch-budget-mb <mb> open-epoch buffer budget; ingest answers BUSY
+                         past 80% of it (default 64, 0 = off)
+  --threshold / --idf / --param-dimension / --exact
+                         pipeline knobs, as for analyze
+  --memory-budget-mb / --deadline-ms
+                         per-mine governor budgets, as for analyze
+
+  protocol: one request per line — PING, INGEST <json>, SEAL, WAIT,
+  QUERY <server>, STATS, REPORT, SHUTDOWN. Example session:
+    INGEST {\"timestamp\":0,\"client\":\"bot1\",\"host\":\"cc0.evil\",...}
+    SEAL            -> OK epoch=1 records=1
+    WAIT            -> OK epoch=1
+    QUERY cc0.evil  -> HIT campaign=0 size=8 score=1.000000 since=1
 
 environment:
   SMASH_FAILPOINTS       deterministic fault injection, e.g.
@@ -113,13 +133,14 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "preprocess" => cmd_preprocess(rest),
         "baseline" => cmd_baseline(rest),
+        "serve" => cmd_serve(rest),
         first if first.starts_with('-') => {
             eprintln!("error: unknown flag `{first}` (see smash --help)");
             return ExitCode::from(2);
         }
         _ => {
             eprintln!(
-                "usage: smash <generate|stats|analyze|preprocess|baseline> ... (see smash --help)"
+                "usage: smash <generate|stats|analyze|preprocess|baseline|serve> ... (see smash --help)"
             );
             return ExitCode::from(2);
         }
@@ -602,4 +623,58 @@ fn cmd_baseline(args: &[String]) -> CliResult {
         println!("  {:5.2}  {}", score, dataset.server_name(sid));
     }
     Ok(())
+}
+
+const SERVE_FLAGS: &[FlagSpec] = &[
+    ("--data-dir", true),
+    ("--addr", true),
+    ("--stdio", false),
+    ("--epoch-budget-mb", true),
+    ("--threshold", true),
+    ("--idf", true),
+    ("--param-dimension", false),
+    ("--exact", false),
+    ("--dimension-budget-ms", true),
+    ("--memory-budget-mb", true),
+    ("--deadline-ms", true),
+];
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    check_flags(args, &[SERVE_FLAGS])?;
+    let data_dir = flag_value(args, "--data-dir")
+        .ok_or_else(|| UsageError("`smash serve` needs `--data-dir <dir>`".to_owned()))?;
+    let stdio = args.iter().any(|a| a == "--stdio");
+    let addr = flag_value(args, "--addr").map(str::to_owned);
+    if stdio && addr.is_some() {
+        return Err(UsageError("`--stdio` and `--addr` are mutually exclusive".to_owned()).into());
+    }
+    let mut config = SmashConfig::default();
+    if let Some(t) = flag_value(args, "--threshold") {
+        config = config.with_threshold(t.parse()?);
+    }
+    if let Some(t) = flag_value(args, "--idf") {
+        config = config.with_idf_threshold(t.parse()?);
+    }
+    if args.iter().any(|a| a == "--param-dimension") {
+        config = config.with_param_pattern_dimension(true);
+    }
+    if args.iter().any(|a| a == "--exact") {
+        config = config.with_exact_candidates(true);
+    }
+    if let Some(ms) = flag_value(args, "--dimension-budget-ms") {
+        config = config.with_dimension_budget_ms(ms.parse()?);
+    }
+    let mut serve = smash::serve::ServeOptions::new(data_dir);
+    serve.config = config;
+    if let Some(mb) = flag_value(args, "--epoch-budget-mb") {
+        serve.epoch_budget_bytes = mb.parse::<u64>()? << 20;
+    }
+    if let Some(mb) = flag_value(args, "--memory-budget-mb") {
+        serve.mine_memory_budget_bytes = mb.parse::<u64>()? << 20;
+    }
+    if let Some(ms) = flag_value(args, "--deadline-ms") {
+        serve.mine_deadline_ms = ms.parse()?;
+    }
+    smash::serve::run(smash::serve::RunOptions { serve, addr, stdio })
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })
 }

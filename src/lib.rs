@@ -17,6 +17,8 @@
 //!   mining → correlation → pruning → campaign inference).
 //! * [`eval`] — experiment harness regenerating every table and figure of
 //!   the paper.
+//! * [`serve`] — the always-on campaign service (`smash serve`):
+//!   supervised epochs, backpressure, crash-recoverable snapshot swaps.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use smash_core as core;
 pub use smash_eval as eval;
 pub use smash_graph as graph;
 pub use smash_groundtruth as groundtruth;
+pub use smash_serve as serve;
 pub use smash_support as support;
 pub use smash_synth as synth;
 pub use smash_trace as trace;

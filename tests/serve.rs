@@ -1,0 +1,377 @@
+//! The `smash serve` robustness suite (DESIGN.md §13): the wire
+//! protocol must survive arbitrary hostile bytes, hostile `INGEST`
+//! payloads must be rejected-and-quarantined without wedging the mine
+//! worker, backpressure must shed load past the epoch soft budget, and
+//! — the chaos gate — a SIGKILL at *every* registered serve failpoint
+//! followed by a restart must serve a valid snapshot that converges to
+//! the no-crash answers.
+
+use smash::serve::{CampaignService, Response, ServeOptions};
+use smash::support::check::{cases, Gen, Shrink};
+use smash::support::failpoint;
+use smash::trace::{io, HttpRecord};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+
+/// The failpoint registry is process-global; serialize every test that
+/// arms it or runs a mine that could observe another test's fault.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh scratch directory under the system tempdir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smash-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The planted C&C flux herd from the fault-injection suite, as raw
+/// JSONL lines — 3 bots hammering 8 `.evil` domains on one IP and one
+/// gate script over benign background traffic.
+fn flux_lines() -> Vec<String> {
+    let mut records = Vec::new();
+    for bot in ["bot1", "bot2", "bot3"] {
+        for d in 0..8 {
+            records.push(
+                HttpRecord::new(
+                    0,
+                    bot,
+                    &format!("cc{d}.evil"),
+                    "66.6.6.6",
+                    "/gate/login.php?p=1",
+                )
+                .with_user_agent("BotAgent"),
+            );
+        }
+    }
+    for s in 0..30 {
+        for c in 0..6 {
+            records.push(HttpRecord::new(
+                0,
+                &format!("user{}", (s * 3 + c) % 40),
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                &format!("/page{c}.html"),
+            ));
+        }
+    }
+    for bot in ["bot1", "bot2", "bot3"] {
+        for s in 0..5 {
+            records.push(HttpRecord::new(
+                0,
+                bot,
+                &format!("site{s}.com"),
+                &format!("23.0.0.{s}"),
+                "/index.html",
+            ));
+        }
+    }
+    let mut buf = Vec::new();
+    io::write_jsonl(&mut buf, &records).expect("encode flux records");
+    String::from_utf8(buf)
+        .expect("jsonl is utf-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+fn reply(conn: &mut smash::serve::Connection, line: &str) -> String {
+    match conn.handle(line.as_bytes(), false) {
+        Response::Reply(r) | Response::Shutdown(r) => r,
+        Response::Quiet => String::new(),
+    }
+}
+
+/// Arbitrary bytes fed straight to the protocol parser. No shrinking:
+/// every case is cheap and the seed replays it exactly.
+#[derive(Debug, Clone)]
+struct Hostile(Vec<u8>);
+impl Shrink for Hostile {}
+
+#[test]
+fn protocol_parser_never_panics_on_arbitrary_bytes() {
+    cases(512).run(
+        |g: &mut Gen| {
+            let len = g.range(0..2048usize);
+            let mut bytes = g.vec(len..=len, |g| g.range(0..=255u32) as u8);
+            // Half the cases get a valid verb prefix so the parser
+            // reaches the argument layers instead of bailing on the
+            // command word.
+            if g.bool(0.5) {
+                const VERBS: [&[u8]; 4] = [b"INGEST ", b"QUERY ", b"SEAL", b"STATS"];
+                let verb = *g.pick(&VERBS);
+                for (i, b) in verb.iter().enumerate() {
+                    if let Some(slot) = bytes.get_mut(i) {
+                        *slot = *b;
+                    }
+                }
+            }
+            Hostile(bytes)
+        },
+        |case: &Hostile| {
+            // Any outcome but a panic is acceptable.
+            let _ = smash::serve::protocol::parse_line(&case.0);
+        },
+    );
+}
+
+#[test]
+fn hostile_ingest_is_rejected_quarantined_and_never_wedges_the_miner() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("hostile");
+    let svc = CampaignService::start(ServeOptions::new(&dir)).expect("start");
+    let mut conn = svc.connection();
+
+    // Hostile payloads: truncated JSON, binary garbage, an invalid IP,
+    // a record missing required fields. Each maps to a classed ERR.
+    assert_eq!(reply(&mut conn, "INGEST {broken"), "ERR bad-json");
+    assert_eq!(
+        reply(&mut conn, "INGEST {\"server_ip\":\"999.1.2.3\"}"),
+        "ERR bad-ip"
+    );
+    assert_eq!(reply(&mut conn, "INGEST {\"host\":\"x\"}"), "ERR bad-field");
+    match conn.handle(b"INGEST \xff\xfe{\"host\"", false) {
+        Response::Reply(r) => assert!(r.starts_with("ERR"), "binary garbage got: {r}"),
+        other => panic!("binary garbage got: {other:?}"),
+    }
+    // Unknown verbs and missing arguments are classed too, not fatal.
+    assert_eq!(reply(&mut conn, "FROBNICATE now"), "ERR unknown-command");
+    assert_eq!(reply(&mut conn, "QUERY"), "ERR missing-arg server");
+    // An oversized line (flagged by the bounded reader) is shed.
+    match conn.handle(b"INGEST {}", true) {
+        Response::Reply(r) => assert_eq!(r, "ERR oversized"),
+        other => panic!("oversized got: {other:?}"),
+    }
+    // Every hostile payload landed in the quarantine sidecar.
+    // Bytes, not a String: the binary-garbage line is in there too.
+    let sidecar_bytes = std::fs::read(dir.join("quarantine.jsonl")).expect("sidecar");
+    let sidecar = String::from_utf8_lossy(&sidecar_bytes);
+    assert!(sidecar.contains("{broken"), "sidecar: {sidecar}");
+    assert!(sidecar.contains("999.1.2.3"), "sidecar: {sidecar}");
+    assert!(svc.counter("serve/ingest/quarantined") >= 3);
+
+    // The daemon is not wedged: a full valid epoch still ingests,
+    // seals, mines, and answers queries.
+    for line in flux_lines() {
+        assert_eq!(reply(&mut conn, &format!("INGEST {line}")), "OK");
+    }
+    let seal = reply(&mut conn, "SEAL");
+    assert!(seal.starts_with("OK epoch=1"), "seal: {seal}");
+    let wait = reply(&mut conn, "WAIT");
+    assert_eq!(wait, "OK epoch=1");
+    let hit = reply(&mut conn, "QUERY cc0.evil");
+    assert!(hit.starts_with("HIT campaign="), "query: {hit}");
+    assert!(hit.contains("size=8"), "flux herd size: {hit}");
+    assert!(hit.contains("since=1"), "first-seen epoch: {hit}");
+    assert_eq!(reply(&mut conn, "QUERY site0.com"), "MISS");
+
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_backpressure_sheds_with_busy_past_the_soft_budget() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("busy");
+    let mut opts = ServeOptions::new(&dir);
+    // A deliberately tiny epoch budget: soft budget = 4/5 of 4096.
+    opts.epoch_budget_bytes = 4096;
+    let svc = CampaignService::start(opts).expect("start");
+    let mut conn = svc.connection();
+
+    let lines = flux_lines();
+    let mut accepted = 0usize;
+    let mut shed = 0usize;
+    for line in &lines {
+        match reply(&mut conn, &format!("INGEST {line}")).as_str() {
+            "OK" => accepted += 1,
+            "BUSY" => shed += 1,
+            other => panic!("unexpected ingest reply: {other}"),
+        }
+    }
+    assert!(accepted > 0, "nothing fit under a 4 KiB budget?");
+    assert!(shed > 0, "nothing shed over a 4 KiB budget?");
+    assert_eq!(svc.counter("serve/ingest/busy"), shed as u64);
+
+    // Sealing releases the budget: ingest accepts again.
+    assert!(reply(&mut conn, "SEAL").starts_with("OK epoch=1"));
+    assert_eq!(reply(&mut conn, &format!("INGEST {}", lines[0])), "OK");
+
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_mine_marks_the_epoch_failed_then_recovers() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("minefail");
+    let svc = CampaignService::start(ServeOptions::new(&dir)).expect("start");
+    let mut conn = svc.connection();
+
+    // Every mine attempt dies at the failpoint: supervision retries,
+    // exhausts, and marks the epoch failed — the daemon stays up.
+    failpoint::arm("serve/mine", failpoint::Action::Error);
+    for line in flux_lines() {
+        assert_eq!(reply(&mut conn, &format!("INGEST {line}")), "OK");
+    }
+    assert!(reply(&mut conn, "SEAL").starts_with("OK epoch=1"));
+    let wait = reply(&mut conn, "WAIT");
+    assert_eq!(wait, "ERR mine-failed epoch=1");
+    assert_eq!(reply(&mut conn, "QUERY cc0.evil"), "MISS");
+    assert!(svc.counter("serve/mine/restarts") >= 2, "retries consumed");
+
+    // Self-healing: with the fault gone, the next sealed epoch mines
+    // the full cumulative record set and publishes.
+    failpoint::disarm_all();
+    let late = HttpRecord::new(1, "bot1", "late.evil", "66.6.6.6", "/gate/login.php?p=1");
+    let mut buf = Vec::new();
+    io::write_jsonl(&mut buf, std::slice::from_ref(&late)).expect("encode");
+    let line = String::from_utf8(buf).expect("utf-8");
+    assert_eq!(
+        reply(&mut conn, &format!("INGEST {}", line.trim_end())),
+        "OK"
+    );
+    assert!(reply(&mut conn, "SEAL").starts_with("OK epoch=2"));
+    assert_eq!(reply(&mut conn, "WAIT"), "OK epoch=2");
+    let hit = reply(&mut conn, "QUERY cc0.evil");
+    assert!(hit.starts_with("HIT"), "post-recovery query: {hit}");
+
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_snapshot_is_served_immediately_on_restart() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("restart");
+    let report_json;
+    {
+        let svc = CampaignService::start(ServeOptions::new(&dir)).expect("start");
+        let mut conn = svc.connection();
+        for line in flux_lines() {
+            assert_eq!(reply(&mut conn, &format!("INGEST {line}")), "OK");
+        }
+        assert!(reply(&mut conn, "SEAL").starts_with("OK epoch=1"));
+        assert_eq!(reply(&mut conn, "WAIT"), "OK epoch=1");
+        report_json = reply(&mut conn, "REPORT");
+        svc.shutdown();
+    }
+    // A clean restart serves the durable snapshot without re-mining:
+    // the published epoch equals the sealed epoch from the start.
+    let svc = CampaignService::start(ServeOptions::new(&dir)).expect("restart");
+    let (sealed, published, failed) = svc.epochs();
+    assert_eq!((sealed, published, failed), (1, 1, 0));
+    let mut conn = svc.connection();
+    assert_eq!(reply(&mut conn, "WAIT"), "OK epoch=1");
+    assert_eq!(reply(&mut conn, "REPORT"), report_json);
+    let hit = reply(&mut conn, "QUERY cc0.evil");
+    assert!(
+        hit.contains("since=1"),
+        "first-seen must survive restart: {hit}"
+    );
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Chaos gate: SIGKILL at every serve failpoint, then restart.
+// ---------------------------------------------------------------------
+
+/// Runs `smash serve --stdio` as a subprocess over `script`, with
+/// `failpoints` armed in its environment, and returns
+/// `(reply lines, clean exit)`.
+fn run_daemon(data_dir: &std::path::Path, script: &str, failpoints: &str) -> (Vec<String>, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_smash"));
+    cmd.args(["serve", "--stdio", "--data-dir"])
+        .arg(data_dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if failpoints.is_empty() {
+        cmd.env_remove("SMASH_FAILPOINTS");
+    } else {
+        cmd.env("SMASH_FAILPOINTS", failpoints);
+    }
+    let mut child = cmd.spawn().expect("spawn smash serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("daemon exit");
+    let lines = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    (lines, out.status.success())
+}
+
+/// The full golden script: ingest the flux day, seal, wait for the
+/// publish, query a planted member, dump the report.
+fn golden_script() -> String {
+    let mut script = String::new();
+    for line in flux_lines() {
+        script.push_str("INGEST ");
+        script.push_str(&line);
+        script.push('\n');
+    }
+    script.push_str("SEAL\nWAIT\nQUERY cc0.evil\nREPORT\nSHUTDOWN\n");
+    script
+}
+
+/// The post-crash probe: wait for recovery mining (a no-op when the
+/// snapshot is already durable), then ask the same questions.
+const PROBE: &str = "WAIT\nQUERY cc0.evil\nREPORT\nSHUTDOWN\n";
+
+fn answers(lines: &[String]) -> (String, String) {
+    let hit = lines
+        .iter()
+        .find(|l| l.starts_with("HIT "))
+        .unwrap_or_else(|| panic!("no HIT in replies: {lines:?}"))
+        .clone();
+    let report = lines
+        .iter()
+        .find(|l| l.starts_with('['))
+        .unwrap_or_else(|| panic!("no REPORT in replies: {lines:?}"))
+        .clone();
+    (hit, report)
+}
+
+#[test]
+fn sigkill_at_every_failpoint_recovers_to_the_no_crash_answers() {
+    // The no-crash run is the golden truth.
+    let golden_dir = scratch("chaos-golden");
+    let (golden_lines, clean) = run_daemon(&golden_dir, &golden_script(), "");
+    assert!(clean, "golden run must exit cleanly: {golden_lines:?}");
+    let (golden_hit, golden_report) = answers(&golden_lines);
+    assert!(golden_hit.contains("size=8"), "golden: {golden_hit}");
+    let _ = std::fs::remove_dir_all(&golden_dir);
+
+    // Abort (the SIGKILL stand-in: no destructors, no flushes) at each
+    // registered failpoint boundary in turn.
+    for site in ["serve/after/seal", "serve/mine", "serve/after/publish"] {
+        let dir = scratch(&format!("chaos-{}", site.replace('/', "-")));
+        let (_lines, clean) = run_daemon(&dir, &golden_script(), &format!("{site}=abort"));
+        assert!(!clean, "{site}=abort did not kill the daemon");
+
+        // Restart with no faults: the WAL replays, the miner converges,
+        // and the answers are byte-identical to the no-crash run.
+        let (lines, clean) = run_daemon(&dir, PROBE, "");
+        assert!(clean, "restart after {site} crash failed: {lines:?}");
+        let (hit, report) = answers(&lines);
+        assert_eq!(hit, golden_hit, "diverged after {site} crash");
+        assert_eq!(report, golden_report, "diverged after {site} crash");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
