@@ -139,6 +139,37 @@ pub struct RawLine {
     pub oversized: bool,
 }
 
+/// Partial-line state carried across [`read_bounded_line_into`] calls.
+///
+/// Lets a transport read with a socket timeout: a `WouldBlock` /
+/// `TimedOut` error surfaces to the caller (to re-check its stop flag)
+/// while whatever prefix of the line already arrived stays buffered
+/// here, so the retry resumes mid-line instead of corrupting the
+/// stream.
+#[derive(Debug, Default)]
+pub struct LineAccumulator {
+    bytes: Vec<u8>,
+    oversized: bool,
+    saw_any: bool,
+}
+
+impl LineAccumulator {
+    /// An empty accumulator (no partial line pending).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the accumulated line and resets for the next one.
+    fn take(&mut self) -> RawLine {
+        let line = RawLine {
+            bytes: std::mem::take(&mut self.bytes),
+            oversized: self.oversized,
+        };
+        *self = Self::default();
+        line
+    }
+}
+
 /// Reads one `\n`-terminated line, never buffering more than
 /// `max_bytes`. An oversized line is drained to its newline and flagged
 /// rather than returned whole. `Ok(None)` is clean EOF; a final
@@ -152,9 +183,24 @@ pub fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     max_bytes: usize,
 ) -> io::Result<Option<RawLine>> {
-    let mut bytes: Vec<u8> = Vec::new();
-    let mut oversized = false;
-    let mut saw_any = false;
+    read_bounded_line_into(reader, max_bytes, &mut LineAccumulator::new())
+}
+
+/// [`read_bounded_line`] with caller-owned partial-line state: on a
+/// timeout-class error (`WouldBlock`/`TimedOut` from a socket read
+/// deadline) the bytes consumed so far stay in `acc`, and calling again
+/// with the same `acc` resumes the same line. Any returned line resets
+/// `acc` for the next one.
+///
+/// # Errors
+///
+/// I/O errors from the underlying reader; timeout-class errors are
+/// resumable, anything else should end the connection.
+pub fn read_bounded_line_into<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    acc: &mut LineAccumulator,
+) -> io::Result<Option<RawLine>> {
     loop {
         let buf = match reader.fill_buf() {
             Ok(b) => b,
@@ -164,29 +210,30 @@ pub fn read_bounded_line<R: BufRead>(
         if buf.is_empty() {
             // EOF: a partial fragment is still a line (the disconnect
             // case); nothing buffered means clean end of stream.
-            if saw_any {
-                return Ok(Some(RawLine { bytes, oversized }));
+            if acc.saw_any {
+                return Ok(Some(acc.take()));
             }
             return Ok(None);
         }
-        saw_any = true;
+        acc.saw_any = true;
         let (content_len, consume_len, done) = match buf.iter().position(|&b| b == b'\n') {
             Some(i) => (i, i + 1, true),
             None => (buf.len(), buf.len(), false),
         };
-        if !oversized {
-            let room = max_bytes.saturating_sub(bytes.len());
-            oversized = content_len > room;
+        if !acc.oversized {
+            let room = max_bytes.saturating_sub(acc.bytes.len());
+            acc.oversized = content_len > room;
             if let Some(keep) = buf.get(..content_len.min(room)) {
-                bytes.extend_from_slice(keep);
+                acc.bytes.extend_from_slice(keep);
             }
         }
         reader.consume(consume_len);
         if done {
-            while bytes.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
-                bytes.pop();
+            let mut line = acc.take();
+            while line.bytes.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                line.bytes.pop();
             }
-            return Ok(Some(RawLine { bytes, oversized }));
+            return Ok(Some(line));
         }
     }
 }
@@ -245,5 +292,64 @@ mod tests {
             .expect("read")
             .expect("fragment");
         assert_eq!(line.bytes, b"QUERY partial");
+    }
+
+    /// Yields one byte per `fill_buf`, failing every other call with
+    /// `WouldBlock` — the shape of a socket read deadline firing
+    /// mid-line.
+    struct TimeoutEveryOtherRead<'a> {
+        data: &'a [u8],
+        pos: usize,
+        tick: bool,
+    }
+
+    impl std::io::Read for TimeoutEveryOtherRead<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let buf = self.fill_buf()?;
+            let n = buf.len().min(out.len());
+            out[..n].copy_from_slice(&buf[..n]);
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl BufRead for TimeoutEveryOtherRead<'_> {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            self.tick = !self.tick;
+            if self.tick {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "read deadline"));
+            }
+            let end = (self.pos + 1).min(self.data.len());
+            Ok(&self.data[self.pos..end])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.pos += amt;
+        }
+    }
+
+    #[test]
+    fn resumable_reader_preserves_partial_lines_across_timeouts() {
+        let mut r = TimeoutEveryOtherRead {
+            data: b"QUERY cc0.evil\nPING\n",
+            pos: 0,
+            tick: false,
+        };
+        let mut acc = LineAccumulator::new();
+        let mut lines = Vec::new();
+        let mut timeouts = 0u32;
+        loop {
+            match read_bounded_line_into(&mut r, MAX_LINE_BYTES, &mut acc) {
+                Ok(Some(line)) => {
+                    assert!(!line.oversized);
+                    lines.push(line.bytes);
+                }
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(lines, vec![b"QUERY cc0.evil".to_vec(), b"PING".to_vec()]);
+        assert!(timeouts > 0, "the flaky reader never timed out?");
     }
 }

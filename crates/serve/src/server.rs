@@ -117,24 +117,51 @@ fn run_tcp(service: &CampaignService, addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// How long a connection blocks in `read` before re-checking the stop
+/// flag. Bounds how long an idle (or mid-line) client can delay the
+/// accept loop's thread joins after `SHUTDOWN`.
+const STOP_POLL: Duration = Duration::from_millis(100);
+
 /// One client connection; any I/O error just drops the client — a
 /// mid-record disconnect must never wedge the daemon.
+///
+/// Reads run under [`STOP_POLL`] socket timeouts with a persistent
+/// [`protocol::LineAccumulator`], so a connected-but-idle client never
+/// parks this thread in `read()` past shutdown: every timeout re-checks
+/// `stop` and resumes any partial line intact. A `WAIT`-parked
+/// connection is unblocked the same way — `SHUTDOWN` flags the service
+/// first ([`CampaignService::begin_shutdown`]), which wakes every
+/// waiter with `ERR shutdown`.
 fn serve_client(service: &CampaignService, stream: TcpStream, stop: &AtomicBool) {
     let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(STOP_POLL)).is_err() {
+        return;
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut conn = service.connection();
+    let mut acc = protocol::LineAccumulator::new();
     loop {
         if stop.load(Ordering::Acquire) {
             return;
         }
         let RawLine { bytes, oversized } =
-            match protocol::read_bounded_line(&mut reader, protocol::MAX_LINE_BYTES) {
+            match protocol::read_bounded_line_into(&mut reader, protocol::MAX_LINE_BYTES, &mut acc)
+            {
                 Ok(Some(line)) => line,
-                Ok(None) | Err(_) => return,
+                Ok(None) => return,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => return,
             };
         match conn.handle(&bytes, oversized) {
             Response::Quiet => {}
@@ -145,6 +172,11 @@ fn serve_client(service: &CampaignService, stream: TcpStream, stop: &AtomicBool)
             }
             Response::Shutdown(reply) => {
                 let _ = writeln!(writer, "{reply}");
+                // Flag the service before the transport stop flag:
+                // WAIT-blocked connection threads wake immediately and
+                // notice `stop`, instead of keeping the joins below
+                // hostage for up to the WAIT timeout.
+                service.begin_shutdown();
                 stop.store(true, Ordering::Release);
                 return;
             }

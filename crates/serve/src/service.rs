@@ -99,6 +99,11 @@ struct State {
     buffer_bytes: u64,
     /// Every record of every sealed epoch, in seal order.
     records: Vec<HttpRecord>,
+    /// Highest epoch number ever allocated to a seal. Epoch numbers are
+    /// minted under this (the state) lock — held from allocation through
+    /// the WAL write — so two concurrent `SEAL`s can never observe the
+    /// same value and overwrite each other's durable WAL file.
+    sealed_seq: u64,
 }
 
 /// Epoch progress (separate mutex so `WAIT` and the worker never
@@ -125,7 +130,6 @@ struct Inner {
     shutdown: AtomicBool,
     current_mine: Mutex<Option<CancelToken>>,
     epoch_scope: Arc<StageScope>,
-    quarantine: Mutex<Option<fs::File>>,
 }
 
 /// What [`Connection::handle`] tells the transport to do.
@@ -149,6 +153,8 @@ pub enum WaitOutcome {
     MineFailed(u64),
     /// The timeout elapsed first.
     TimedOut,
+    /// The service is shutting down; no further publishes will happen.
+    ShuttingDown,
 }
 
 /// A long-running campaign service over one data directory.
@@ -215,6 +221,7 @@ impl CampaignService {
                 }
             }
         }
+        state.sealed_seq = sealed;
         metrics
             .counter("serve/recovery/epochs_replayed")
             .add(replay.epochs.len() as u64);
@@ -242,7 +249,6 @@ impl CampaignService {
             shutdown: AtomicBool::new(false),
             current_mine: Mutex::new(None),
             epoch_scope,
-            quarantine: Mutex::new(None),
         });
         let worker = {
             let inner = Arc::clone(&inner);
@@ -288,7 +294,7 @@ impl CampaignService {
     }
 
     /// Blocks until every sealed epoch is published, the newest epoch's
-    /// mine fails, or `timeout` elapses.
+    /// mine fails, shutdown begins, or `timeout` elapses.
     pub fn wait_published(&self, timeout: Duration) -> WaitOutcome {
         let deadline = std::time::Instant::now() + timeout; // lint:allow(wallclock): WAIT is a wall-clock protocol primitive
         let mut progress = self
@@ -297,6 +303,15 @@ impl CampaignService {
             .lock()
             .expect("progress mutex not poisoned");
         loop {
+            // Shutdown first: a draining daemon answers every waiter
+            // immediately instead of parking them for up to the WAIT
+            // timeout while the transport tries to join their threads.
+            // The flag is stored under this mutex (see
+            // [`CampaignService::begin_shutdown`]), so the check and the
+            // condvar wait below cannot race with the notification.
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return WaitOutcome::ShuttingDown;
+            }
             if progress.published >= progress.sealed {
                 return WaitOutcome::Published(progress.published);
             }
@@ -327,10 +342,27 @@ impl CampaignService {
         (p.sealed, p.published, p.failed)
     }
 
-    /// Stops the mine worker: cancels any in-flight mine, wakes every
-    /// waiter, and joins. Idempotent.
-    pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Release);
+    /// Signals shutdown without joining: flags the service, cancels any
+    /// in-flight mine, and wakes every `WAIT`-blocked thread (which
+    /// answers [`WaitOutcome::ShuttingDown`]). Idempotent; the
+    /// transport calls this on `SHUTDOWN` so parked connections unblock
+    /// before their threads are joined.
+    ///
+    /// The flag is stored while the progress mutex is held: a waiter is
+    /// either about to check the flag (and sees it) or already parked
+    /// on the condvar (and receives the notify) — the store can never
+    /// land in the gap between a waiter's check and its wait, so no
+    /// wake-up is lost and the mine worker cannot sleep through
+    /// shutdown.
+    pub(crate) fn begin_shutdown(&self) {
+        {
+            let _progress = self
+                .inner
+                .progress
+                .lock()
+                .expect("progress mutex not poisoned");
+            self.inner.shutdown.store(true, Ordering::Release);
+        }
         if let Some(token) = self
             .inner
             .current_mine
@@ -341,6 +373,12 @@ impl CampaignService {
             token.cancel(&format!("{}service shutdown", governor::CANCEL_PREFIX));
         }
         self.inner.progress_cv.notify_all();
+    }
+
+    /// Stops the mine worker: cancels any in-flight mine, wakes every
+    /// waiter, and joins. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
         let handle = self
             .worker
             .lock()
@@ -404,28 +442,28 @@ impl CampaignService {
     /// Appends a rejected raw line to the quarantine sidecar through
     /// the shared retry policy — mirroring file ingest, so hostile
     /// wire bytes and hostile trace bytes land in the same place.
+    ///
+    /// Each call opens its own append-mode handle and writes the line
+    /// (terminator included) in one `write_all`: O_APPEND keeps
+    /// concurrent lines whole, and no service-wide lock is held across
+    /// the retry backoff — a persistently failing sidecar (full disk)
+    /// slows only the connection that hit it, never every rejecting
+    /// connection at once.
     fn quarantine_line(&self, raw: &[u8]) {
         let inner = &*self.inner;
         let path = inner.opts.data_dir.join("quarantine.jsonl");
-        let mut guard = inner
-            .quarantine
-            .lock()
-            .expect("quarantine mutex not poisoned");
+        let mut entry = Vec::with_capacity(raw.len() + 1);
+        entry.extend_from_slice(raw);
+        entry.push(b'\n');
         let seed = ckpt::fnv1a(path.as_os_str().as_encoded_bytes());
         let (res, _retries) = retry::retry_transient(seed, || -> io::Result<()> {
             failpoint::check("ingest/quarantine").map_err(io::Error::other)?;
-            if guard.is_none() {
-                *guard = Some(
-                    fs::OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(&path)?,
-                );
-            }
-            let file = guard.as_mut().expect("just created");
+            let mut file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
             use std::io::Write as _;
-            file.write_all(raw)?;
-            file.write_all(b"\n")?;
+            file.write_all(&entry)?;
             Ok(())
         });
         match res {
@@ -447,14 +485,12 @@ impl CampaignService {
             inner.metrics.counter("serve/seal/empty").inc();
             return Response::Reply("ERR empty-epoch".to_owned());
         }
-        let seq = {
-            inner
-                .progress
-                .lock()
-                .expect("progress mutex not poisoned")
-                .sealed
-                + 1
-        };
+        // The epoch number is allocated *and committed* under the state
+        // lock, which is held across the WAL write: a concurrent SEAL
+        // blocks on the lock and mints the next number, so no two seals
+        // can ever target the same `epoch-<seq>.wal` (an overwrite
+        // would silently drop an acknowledged epoch from replay).
+        let seq = state.sealed_seq + 1;
         // WAL first: the epoch is durable before it is acknowledged or
         // mined. A crash past this point replays identically.
         if let Err(e) = epoch::write_epoch(&inner.opts.data_dir, seq, &state.buffer_lines) {
@@ -462,6 +498,7 @@ impl CampaignService {
             inner.metrics.counter("serve/seal/wal_failed").inc();
             return Response::Reply("ERR wal-write".to_owned());
         }
+        state.sealed_seq = seq;
         failpoint::fire("serve/after/seal");
         let records = state.buffer_records.len();
         state.buffer_lines.clear();
@@ -487,7 +524,9 @@ impl CampaignService {
             }
         }
         let mut progress = inner.progress.lock().expect("progress mutex not poisoned");
-        progress.sealed = seq;
+        // `max`, not assignment: two seals that raced past the state
+        // lock may reach this update out of order.
+        progress.sealed = progress.sealed.max(seq);
         inner.progress_cv.notify_all();
         drop(progress);
         inner.metrics.counter("serve/seal/ok").inc();
@@ -570,6 +609,7 @@ impl Connection {
                     Response::Reply(format!("ERR mine-failed epoch={epoch}"))
                 }
                 WaitOutcome::TimedOut => Response::Reply("ERR timeout".to_owned()),
+                WaitOutcome::ShuttingDown => Response::Reply("ERR shutdown".to_owned()),
             },
             Request::Query(server) => match self.svc.query(&server, &mut self.reader) {
                 Some(hit) => Response::Reply(hit.reply()),

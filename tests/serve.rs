@@ -283,6 +283,141 @@ fn durable_snapshot_is_served_immediately_on_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn concurrent_seals_mint_distinct_wal_epochs() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("seal-race");
+    let svc = CampaignService::start(ServeOptions::new(&dir)).expect("start");
+    let lines = flux_lines();
+
+    // Hammer SEAL from many connections at once: epoch numbers are
+    // minted under the state lock, so every acknowledged seal must land
+    // in its own WAL file — a duplicate would silently overwrite an
+    // acknowledged epoch and break replay.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 4;
+    let minted: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let svc = svc.clone();
+                let line = lines[t % lines.len()].clone();
+                scope.spawn(move || {
+                    let mut conn = svc.connection();
+                    let mut seqs = Vec::new();
+                    for _ in 0..ROUNDS {
+                        assert_eq!(reply(&mut conn, &format!("INGEST {line}")), "OK");
+                        let seal = reply(&mut conn, "SEAL");
+                        if let Some(rest) = seal.strip_prefix("OK epoch=") {
+                            let seq = rest
+                                .split_whitespace()
+                                .next()
+                                .and_then(|s| s.parse::<u64>().ok())
+                                .unwrap_or_else(|| panic!("unparseable seal reply: {seal}"));
+                            seqs.push(seq);
+                        } else {
+                            // Another thread's seal drained this one's
+                            // ingest first; that line is sealed anyway.
+                            assert_eq!(seal, "ERR empty-epoch", "seal: {seal}");
+                        }
+                    }
+                    seqs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("seal thread"))
+            .collect()
+    });
+
+    // Distinct, gapless epoch numbers...
+    let mut sorted = minted.clone();
+    sorted.sort_unstable();
+    let expect: Vec<u64> = (1..=minted.len() as u64).collect();
+    assert_eq!(sorted, expect, "duplicate or skipped epoch numbers");
+    // ...and the WAL holds every ingested line across those epochs: no
+    // acknowledged epoch was overwritten by a racing seal.
+    let replay = smash::serve::epoch::replay(&dir).expect("replay");
+    assert!(replay.skipped.is_empty(), "skipped: {:?}", replay.skipped);
+    let seqs: Vec<u64> = replay.epochs.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, expect, "WAL files diverge from acknowledged seals");
+    let total: usize = replay.epochs.iter().map(|e| e.lines.len()).sum();
+    assert_eq!(total, THREADS * ROUNDS, "ingested lines lost from the WAL");
+
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wait_after_shutdown_answers_immediately() {
+    let _g = locked();
+    failpoint::disarm_all();
+    let dir = scratch("wait-shutdown");
+    let svc = CampaignService::start(ServeOptions::new(&dir)).expect("start");
+    svc.shutdown();
+    // A draining service must answer parked-or-new WAITs right away
+    // (never sit out the 120 s protocol timeout while the transport
+    // waits to join the connection's thread).
+    let mut conn = svc.connection();
+    let start = std::time::Instant::now();
+    assert_eq!(reply(&mut conn, "WAIT"), "ERR shutdown");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "WAIT blocked on a shut-down service"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_shutdown_exits_despite_idle_connected_client() {
+    let dir = scratch("tcp-idle");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_smash"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
+        .arg(&dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    cmd.env_remove("SMASH_FAILPOINTS");
+    let mut child = cmd.spawn().expect("spawn smash serve");
+    let mut stdout = child.stdout.take().expect("stdout piped");
+    let addr = {
+        use std::io::Read as _;
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        while stdout.read(&mut byte).expect("read LISTENING") == 1 && byte[0] != b'\n' {
+            line.push(byte[0]);
+        }
+        String::from_utf8(line)
+            .expect("LISTENING line utf-8")
+            .strip_prefix("LISTENING ")
+            .expect("LISTENING prefix")
+            .trim()
+            .to_owned()
+    };
+
+    // This client connects and then never sends a byte: its connection
+    // thread must not park the daemon's exit in a blocking read.
+    let idle = std::net::TcpStream::connect(&addr).expect("idle connect");
+    let mut driver = std::net::TcpStream::connect(&addr).expect("driver connect");
+    driver.write_all(b"SHUTDOWN\n").expect("send SHUTDOWN");
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert!(status.success(), "daemon exited uncleanly: {status:?}");
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit while an idle client stayed connected");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    drop(idle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------
 // Chaos gate: SIGKILL at every serve failpoint, then restart.
 // ---------------------------------------------------------------------
